@@ -1,0 +1,105 @@
+//! Criterion benchmarks for the Fig. 4 baseline codecs: throughput of
+//! the from-scratch bzip-like pipeline, FSST and SHOCO next to ZSMILES.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use molgen::Dataset;
+use textcomp::{bzip, fsst::Fsst, shoco::ShocoModel, smaz::Smaz};
+use zsmiles_core::{Compressor, DictBuilder, WideCompressor, WideDictBuilder};
+
+fn bench_baseline_compression(c: &mut Criterion) {
+    let deck = Dataset::generate_mixed(2_000, 0xBA5E);
+    let input = deck.as_bytes().to_vec();
+
+    let mut group = c.benchmark_group("fig4_tools");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("bzip_like", |b| b.iter(|| bzip::compress(&input).len()));
+
+    group.bench_function("lz77_huffman", |b| {
+        b.iter(|| textcomp::lz::compress(&input).len())
+    });
+
+    let fsst = Fsst::train(&input);
+    group.bench_function("fsst", |b| {
+        let mut out = Vec::with_capacity(input.len());
+        b.iter(|| {
+            out.clear();
+            for line in input.split(|&x| x == b'\n').filter(|l| !l.is_empty()) {
+                fsst.compress_line(line, &mut out);
+            }
+            out.len()
+        })
+    });
+
+    let shoco = ShocoModel::train(&input);
+    group.bench_function("shoco", |b| {
+        let mut out = Vec::with_capacity(input.len());
+        b.iter(|| {
+            out.clear();
+            for line in input.split(|&x| x == b'\n').filter(|l| !l.is_empty()) {
+                shoco.compress_line(line, &mut out);
+            }
+            out.len()
+        })
+    });
+
+    let smaz = Smaz::train(&input);
+    group.bench_function("smaz", |b| {
+        let mut out = Vec::with_capacity(input.len());
+        b.iter(|| {
+            out.clear();
+            for line in input.split(|&x| x == b'\n').filter(|l| !l.is_empty()) {
+                smaz.compress_line(line, &mut out);
+            }
+            out.len()
+        })
+    });
+
+    let dict = DictBuilder::default().train(deck.iter()).expect("train");
+    group.bench_function("zsmiles", |b| {
+        let mut compressor = Compressor::new(&dict);
+        let mut out = Vec::with_capacity(input.len());
+        b.iter(|| {
+            out.clear();
+            compressor.compress_buffer(&input, &mut out);
+            out.len()
+        })
+    });
+
+    let wide = WideDictBuilder { base: DictBuilder::default(), wide_size: 512 }
+        .train(deck.iter())
+        .expect("train wide");
+    group.bench_function("zsmiles_wide", |b| {
+        let mut compressor = WideCompressor::new(&wide);
+        let mut out = Vec::with_capacity(input.len());
+        b.iter(|| {
+            out.clear();
+            compressor.compress_buffer(&input, &mut out);
+            out.len()
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let deck = Dataset::generate_mixed(1_000, 0xBA5E);
+    let input = deck.as_bytes().to_vec();
+    let mut group = c.benchmark_group("table_construction");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("zsmiles_dictionary", |b| {
+        b.iter(|| DictBuilder::default().train(deck.iter()).unwrap().len())
+    });
+    group.bench_function("fsst_table", |b| b.iter(|| Fsst::train(&input).len()));
+    group.bench_function("shoco_model", |b| b.iter(|| ShocoModel::train(&input)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_compression, bench_training);
+criterion_main!(benches);

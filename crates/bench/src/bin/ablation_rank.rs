@@ -1,0 +1,51 @@
+//! **Ablation** — dictionary selection strategy (DESIGN.md §4): the
+//! paper's Eq. (1) rank (`occ × (len − overlap)`) vs naive `occ × len` vs
+//! coverage re-counting, across training times and achieved ratios.
+
+use bench::{compress_dataset, emit_datum, row, Decks, ExpConfig};
+use std::time::Instant;
+use zsmiles_core::{DictBuilder, RankStrategy};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let decks = Decks::generate(&cfg);
+    let deck = &decks.mixed;
+
+    println!(
+        "Ablation: rank strategy for dictionary selection (MIXED, {} lines)\n",
+        deck.len()
+    );
+    let widths = [18usize, 10, 12, 12];
+    println!(
+        "{}",
+        row(
+            &["strategy".into(), "ratio".into(), "train time".into(), "patterns".into()],
+            &widths
+        )
+    );
+
+    for rank in [
+        RankStrategy::PaperOverlap,
+        RankStrategy::FreqTimesLen,
+        RankStrategy::CoverageRecount,
+    ] {
+        let builder = DictBuilder { rank, ..Default::default() };
+        let t0 = Instant::now();
+        let dict = builder.train(deck.iter()).expect("training succeeds");
+        let train_s = t0.elapsed().as_secs_f64();
+        let stats = compress_dataset(&dict, deck);
+        println!(
+            "{}",
+            row(
+                &[
+                    rank.name().into(),
+                    format!("{:.3}", stats.ratio()),
+                    format!("{train_s:.2}s"),
+                    dict.pattern_entries().count().to_string(),
+                ],
+                &widths
+            )
+        );
+        emit_datum("ablation_rank", rank.name(), stats.ratio());
+    }
+}

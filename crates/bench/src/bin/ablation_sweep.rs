@@ -1,0 +1,58 @@
+//! **Ablation** — dictionary size `T` and maximum pattern length `Lmax`
+//! sweeps (the two capacity knobs of Algorithm 1), on the MIXED deck.
+//!
+//! The paper fixes `T` to the free code space and sweeps `Lmax` only for
+//! runtime (Fig. 5); this harness shows what both knobs do to the *ratio*,
+//! which is the design headroom discussion DESIGN.md promises.
+
+use bench::{compress_dataset, emit_datum, row, Decks, ExpConfig};
+use zsmiles_core::DictBuilder;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let decks = Decks::generate(&cfg);
+    let deck = &decks.mixed;
+
+    println!("Ablation: dictionary capacity sweeps (MIXED, {} lines)\n", deck.len());
+
+    let widths = [12usize, 10, 12];
+    println!("dictionary size T (Lmax = 8, SMILES-alphabet pre-population: 144 free codes)");
+    println!("{}", row(&["T".into(), "ratio".into(), "patterns".into()], &widths));
+    for t in [8usize, 16, 32, 64, 96, 128, 144] {
+        let builder = DictBuilder { dict_size: Some(t), ..Default::default() };
+        let dict = builder.train(deck.iter()).expect("train");
+        let stats = compress_dataset(&dict, deck);
+        println!(
+            "{}",
+            row(
+                &[
+                    t.to_string(),
+                    format!("{:.3}", stats.ratio()),
+                    dict.pattern_entries().count().to_string(),
+                ],
+                &widths
+            )
+        );
+        emit_datum("ablation_T", &t.to_string(), stats.ratio());
+    }
+
+    println!("\nmaximum pattern length Lmax (T = full code space)");
+    println!("{}", row(&["Lmax".into(), "ratio".into(), "patterns".into()], &widths));
+    for lmax in [2usize, 3, 4, 5, 6, 8, 10, 12, 15] {
+        let builder = DictBuilder { lmax, ..Default::default() };
+        let dict = builder.train(deck.iter()).expect("train");
+        let stats = compress_dataset(&dict, deck);
+        println!(
+            "{}",
+            row(
+                &[
+                    lmax.to_string(),
+                    format!("{:.3}", stats.ratio()),
+                    dict.pattern_entries().count().to_string(),
+                ],
+                &widths
+            )
+        );
+        emit_datum("ablation_lmax", &lmax.to_string(), stats.ratio());
+    }
+}

@@ -1,0 +1,337 @@
+//! Dataset container and `.smi` file I/O.
+//!
+//! A dataset is a flat byte buffer of newline-separated SMILES plus a line
+//! index — the same layout the compressor works on, so a 10⁶-line deck costs
+//! one allocation, not a million.
+
+use crate::generator::Generator;
+use crate::profiles::Profile;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// A set of SMILES lines in a flat buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dataset {
+    /// All lines concatenated, each terminated by `\n`.
+    data: Vec<u8>,
+    /// Byte offset of the start of each line.
+    starts: Vec<u32>,
+}
+
+impl Dataset {
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Total payload bytes *excluding* newlines — the paper's compression
+    /// ratios are payload-to-payload.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() - self.len()
+    }
+
+    /// Total bytes including newlines (on-disk footprint).
+    pub fn total_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Line `i`, without its newline.
+    pub fn line(&self, i: usize) -> &[u8] {
+        let start = self.starts[i] as usize;
+        let end = self
+            .starts
+            .get(i + 1)
+            .map(|&s| s as usize - 1)
+            .unwrap_or(self.data.len() - 1);
+        &self.data[start..end]
+    }
+
+    /// Append one line (no newline in `line`).
+    pub fn push(&mut self, line: &[u8]) {
+        debug_assert!(!line.contains(&b'\n'));
+        self.starts.push(self.data.len() as u32);
+        self.data.extend_from_slice(line);
+        self.data.push(b'\n');
+    }
+
+    /// Iterate lines (without newlines).
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.len()).map(move |i| self.line(i))
+    }
+
+    /// The raw newline-separated buffer.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Build from a newline-separated buffer. Empty trailing line ignored.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut ds = Dataset::new();
+        for line in buf.split(|&b| b == b'\n') {
+            if !line.is_empty() {
+                ds.push(line);
+            }
+        }
+        ds
+    }
+
+    /// Generate `n` molecules from `profile` with the given seed.
+    pub fn generate(profile: Profile, n: usize, seed: u64) -> Self {
+        let mut g = Generator::new(profile, seed);
+        let mut ds = Dataset::new();
+        for _ in 0..n {
+            let line = g.next_smiles();
+            ds.push(&line);
+        }
+        ds
+    }
+
+    /// The paper's MIXED dataset: equal parts of the three profiles,
+    /// interleaved (the paper concatenates the first million of each; the
+    /// statistics are what matter, not the order — interleaving keeps any
+    /// prefix representative, which the sampling experiments rely on).
+    pub fn generate_mixed(n: usize, seed: u64) -> Self {
+        use crate::profiles::{EXSCALATE, GDB17, MEDIATE};
+        let mut gens = [
+            Generator::new(GDB17, seed),
+            Generator::new(MEDIATE, seed.wrapping_add(1)),
+            Generator::new(EXSCALATE, seed.wrapping_add(2)),
+        ];
+        let mut ds = Dataset::new();
+        for i in 0..n {
+            let line = gens[i % 3].next_smiles();
+            ds.push(&line);
+        }
+        ds
+    }
+
+    /// Random sample of `k` lines (without replacement), deterministic in
+    /// `seed`. Order follows the original dataset.
+    pub fn sample(&self, k: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(k.min(self.len()));
+        idx.sort_unstable();
+        let mut out = Dataset::new();
+        for i in idx {
+            out.push(self.line(i));
+        }
+        out
+    }
+
+    /// First `k` lines.
+    pub fn head(&self, k: usize) -> Self {
+        let mut out = Dataset::new();
+        for i in 0..k.min(self.len()) {
+            out.push(self.line(i));
+        }
+        out
+    }
+
+    /// Remove duplicate molecules by canonical form (the same molecule
+    /// written two ways counts as one). Lines that fail to parse are kept
+    /// verbatim and deduplicated by raw bytes.
+    pub fn dedup_canonical(&self) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Dataset::new();
+        for line in self.iter() {
+            let key = match smiles::parser::parse(line) {
+                Ok(mol) => smiles::canon::canonical_smiles(&mol),
+                Err(_) => line.to_vec(),
+            };
+            if seen.insert(key) {
+                out.push(line);
+            }
+        }
+        out
+    }
+
+    /// Concatenate datasets — the "cut and combine" workflow the paper's
+    /// separability requirement exists for.
+    pub fn concat(parts: &[&Dataset]) -> Self {
+        let mut out = Dataset::new();
+        for p in parts {
+            for line in p.iter() {
+                out.push(line);
+            }
+        }
+        out
+    }
+
+    /// Write as a `.smi` file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.data)
+    }
+
+    /// Read a `.smi` file (one SMILES per line; blank lines skipped; a
+    /// trailing tab-separated name column, common in real decks, is kept).
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let f = std::fs::File::open(path)?;
+        Self::from_reader(BufReader::new(f))
+    }
+
+    pub fn from_reader<R: Read>(reader: BufReader<R>) -> io::Result<Self> {
+        let mut ds = Dataset::new();
+        for line in reader.lines() {
+            let line = line?;
+            if !line.is_empty() {
+                ds.push(line.as_bytes());
+            }
+        }
+        Ok(ds)
+    }
+}
+
+impl FromIterator<Vec<u8>> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Vec<u8>>>(iter: T) -> Self {
+        let mut ds = Dataset::new();
+        for line in iter {
+            ds.push(&line);
+        }
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::GDB17;
+
+    #[test]
+    fn push_and_line_access() {
+        let mut ds = Dataset::new();
+        ds.push(b"CCO");
+        ds.push(b"c1ccccc1");
+        ds.push(b"N");
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.line(0), b"CCO");
+        assert_eq!(ds.line(1), b"c1ccccc1");
+        assert_eq!(ds.line(2), b"N");
+        assert_eq!(ds.payload_bytes(), 3 + 8 + 1);
+        assert_eq!(ds.total_bytes(), 3 + 8 + 1 + 3);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut ds = Dataset::new();
+        ds.push(b"CCO");
+        ds.push(b"CC(=O)O");
+        let again = Dataset::from_bytes(ds.as_bytes());
+        assert_eq!(ds, again);
+    }
+
+    #[test]
+    fn iter_matches_line() {
+        let ds = Dataset::generate(GDB17, 20, 3);
+        let collected: Vec<&[u8]> = ds.iter().collect();
+        assert_eq!(collected.len(), 20);
+        for (i, line) in collected.iter().enumerate() {
+            assert_eq!(*line, ds.line(i));
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = Dataset::generate(GDB17, 50, 7);
+        let b = Dataset::generate(GDB17, 50, 7);
+        assert_eq!(a, b);
+        let c = Dataset::generate(GDB17, 50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mixed_interleaves_profiles() {
+        let ds = Dataset::generate_mixed(30, 1);
+        assert_eq!(ds.len(), 30);
+        // GDB-17 lines (i % 3 == 0) are short; MEDIATE/EXSCALATE longer on
+        // average. Just verify all lines are valid and nonempty.
+        for line in ds.iter() {
+            assert!(!line.is_empty());
+            smiles::validate::full_check(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn sample_is_subset_and_deterministic() {
+        let ds = Dataset::generate(GDB17, 100, 2);
+        let s1 = ds.sample(10, 99);
+        let s2 = ds.sample(10, 99);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 10);
+        let all: std::collections::HashSet<&[u8]> = ds.iter().collect();
+        for line in s1.iter() {
+            assert!(all.contains(line));
+        }
+        // Oversampling clamps.
+        assert_eq!(ds.sample(1000, 1).len(), 100);
+    }
+
+    #[test]
+    fn dedup_canonical_removes_respellings() {
+        let mut ds = Dataset::new();
+        ds.push(b"CCO");
+        ds.push(b"OCC"); // same molecule, different spelling
+        ds.push(b"C(O)C"); // again
+        ds.push(b"CCN"); // different molecule
+        ds.push(b"not!valid"); // unparsable, kept by raw bytes
+        ds.push(b"not!valid"); // duplicate raw bytes, dropped
+        let d = ds.dedup_canonical();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.line(0), b"CCO");
+        assert_eq!(d.line(1), b"CCN");
+        assert_eq!(d.line(2), b"not!valid");
+    }
+
+    #[test]
+    fn generated_decks_have_low_duplicate_rate() {
+        let ds = Dataset::generate(crate::profiles::MEDIATE, 500, 11);
+        let d = ds.dedup_canonical();
+        assert!(
+            d.len() * 10 >= ds.len() * 9,
+            "duplicate rate above 10%: {} of {}",
+            ds.len() - d.len(),
+            ds.len()
+        );
+    }
+
+    #[test]
+    fn concat_and_head() {
+        let a = Dataset::generate(GDB17, 10, 1);
+        let b = Dataset::generate(GDB17, 5, 2);
+        let joined = Dataset::concat(&[&a, &b]);
+        assert_eq!(joined.len(), 15);
+        assert_eq!(joined.line(12), b.line(2));
+        let h = joined.head(10);
+        assert_eq!(h, a);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("zsmiles_molgen_test.smi");
+        let ds = Dataset::generate(GDB17, 25, 5);
+        ds.save(&path).unwrap();
+        let back = Dataset::load(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_bytes_skips_blank_lines() {
+        let ds = Dataset::from_bytes(b"CCO\n\nCC\n");
+        assert_eq!(ds.len(), 2);
+    }
+}

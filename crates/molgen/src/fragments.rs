@@ -1,0 +1,435 @@
+//! Graph-level fragment builders.
+//!
+//! Every function here mutates a [`Molecule`] under construction and keeps
+//! it structurally valid: bonds only consume free valence, aromatic rings
+//! are only built in aromatizable shapes, and bracket atoms carry explicit
+//! hydrogen counts consistent with their degree.
+
+use rand::Rng;
+use smiles::element::Element;
+use smiles::graph::{AtomKind, Molecule};
+use smiles::token::{BareAtom, BondSym, BracketAtom, Chirality};
+
+/// Shorthand: a bare atom of `sym`.
+pub fn bare(sym: &str, aromatic: bool) -> AtomKind {
+    AtomKind::Bare(BareAtom {
+        element: Element::from_symbol(sym.as_bytes()).expect("known element"),
+        aromatic,
+    })
+}
+
+/// Free valence of an atom: how many more single bonds it can accept.
+pub fn free_valence(mol: &Molecule, atom: u32) -> u32 {
+    match mol.atom(atom) {
+        AtomKind::Bracket(_) => 0, // bracket atoms are sealed once written
+        AtomKind::Bare(a) => {
+            let used = mol.degree_valence(atom) + if a.aromatic { 1 } else { 0 };
+            // Aromatic atoms are held to their lowest normal valence so the
+            // generator never builds pyridinium-like oddities; aliphatic
+            // atoms may use their highest (e.g. S(=O)(=O)).
+            let vals = a.element.default_valences();
+            let max = if a.aromatic {
+                vals.first().copied().unwrap_or(0) as u32
+            } else {
+                vals.last().copied().unwrap_or(0) as u32
+            };
+            max.saturating_sub(used)
+        }
+    }
+}
+
+/// Atoms that can accept at least `need` more bond order.
+pub fn attachment_points(mol: &Molecule, need: u32) -> Vec<u32> {
+    (0..mol.atom_count() as u32)
+        .filter(|&a| free_valence(mol, a) >= need)
+        .collect()
+}
+
+/// Build an isolated ring of `size` atoms and return its atom indices.
+///
+/// Aromatic rings are 5- or 6-membered. Six-membered aromatic rings may
+/// substitute C→N (pyridine-like); five-membered ones get exactly one O/S/
+/// `[nH]` so they stay chemically plausible. Saturated rings may substitute
+/// O/N/S at `hetero_prob` per position.
+pub fn add_ring<R: Rng>(
+    mol: &mut Molecule,
+    rng: &mut R,
+    size: usize,
+    aromatic: bool,
+    hetero_prob: f64,
+) -> Vec<u32> {
+    debug_assert!((3..=8).contains(&size));
+    let mut atoms = Vec::with_capacity(size);
+    if aromatic {
+        debug_assert!(size == 5 || size == 6);
+        if size == 6 {
+            for _ in 0..6 {
+                let kind = if rng.gen_bool(hetero_prob * 0.6) {
+                    bare("N", true)
+                } else {
+                    bare("C", true)
+                };
+                atoms.push(mol.add_atom(kind));
+            }
+        } else {
+            // One mandatory heteroatom at position 0.
+            let hetero = match rng.gen_range(0..3) {
+                0 => bare("O", true),
+                1 => bare("S", true),
+                _ => {
+                    // Pyrrole nitrogen needs its explicit H.
+                    AtomKind::Bracket(BracketAtom {
+                        isotope: None,
+                        element: Element::from_symbol(b"N").unwrap(),
+                        aromatic: true,
+                        chirality: Chirality::None,
+                        hcount: 1,
+                        charge: 0,
+                        class: None,
+                    })
+                }
+            };
+            atoms.push(mol.add_atom(hetero));
+            for _ in 1..5 {
+                atoms.push(mol.add_atom(bare("C", true)));
+            }
+        }
+        for i in 0..size {
+            mol.add_bond(atoms[i], atoms[(i + 1) % size], None, i + 1 == size);
+        }
+    } else {
+        for _ in 0..size {
+            let kind = if rng.gen_bool(hetero_prob) {
+                match rng.gen_range(0..3) {
+                    0 => bare("O", false),
+                    1 => bare("N", false),
+                    _ => bare("S", false),
+                }
+            } else {
+                bare("C", false)
+            };
+            atoms.push(mol.add_atom(kind));
+        }
+        for i in 0..size {
+            mol.add_bond(atoms[i], atoms[(i + 1) % size], None, i + 1 == size);
+        }
+    }
+    atoms
+}
+
+/// Fuse a new aromatic 6-ring onto an existing aromatic bond (naphthalene
+/// style): the new ring shares atoms `a`–`b`. Returns the four new atoms, or
+/// `None` if `a`/`b` cannot take another ring bond.
+pub fn fuse_aromatic_ring<R: Rng>(
+    mol: &mut Molecule,
+    rng: &mut R,
+    a: u32,
+    b: u32,
+    hetero_prob: f64,
+) -> Option<Vec<u32>> {
+    // Each fusion atom needs one free slot (aromatic C has 4 = 3 ring
+    // bonds + the aromatic adjustment... in practice degree ≤ 2 works).
+    if free_valence(mol, a) < 1 || free_valence(mol, b) < 1 {
+        return None;
+    }
+    let mut new_atoms = Vec::with_capacity(4);
+    for _ in 0..4 {
+        let kind = if rng.gen_bool(hetero_prob * 0.5) {
+            bare("N", true)
+        } else {
+            bare("C", true)
+        };
+        new_atoms.push(mol.add_atom(kind));
+    }
+    mol.add_bond(a, new_atoms[0], None, false);
+    for w in new_atoms.windows(2) {
+        mol.add_bond(w[0], w[1], None, false);
+    }
+    mol.add_bond(*new_atoms.last().unwrap(), b, None, true);
+    Some(new_atoms)
+}
+
+/// Functional groups the generator can bolt onto a free-valence atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionalGroup {
+    Carboxyl,    // C(=O)O
+    Amide,       // C(=O)N
+    Methoxy,     // OC
+    Nitrile,     // C#N
+    Nitro,       // [N+](=O)[O-]
+    Sulfonyl,    // S(=O)(=O)C
+    Trifluoromethyl, // C(F)(F)F
+    Hydroxyl,    // O
+    Amine,       // N
+    Ketone,      // C(=O)C
+}
+
+pub const ALL_GROUPS: [FunctionalGroup; 10] = [
+    FunctionalGroup::Carboxyl,
+    FunctionalGroup::Amide,
+    FunctionalGroup::Methoxy,
+    FunctionalGroup::Nitrile,
+    FunctionalGroup::Nitro,
+    FunctionalGroup::Sulfonyl,
+    FunctionalGroup::Trifluoromethyl,
+    FunctionalGroup::Hydroxyl,
+    FunctionalGroup::Amine,
+    FunctionalGroup::Ketone,
+];
+
+impl FunctionalGroup {
+    /// Heavy atoms this group adds.
+    pub fn size(&self) -> usize {
+        match self {
+            FunctionalGroup::Carboxyl | FunctionalGroup::Amide | FunctionalGroup::Nitro => 3,
+            FunctionalGroup::Methoxy | FunctionalGroup::Nitrile | FunctionalGroup::Ketone => 2,
+            FunctionalGroup::Sulfonyl | FunctionalGroup::Trifluoromethyl => 4,
+            FunctionalGroup::Hydroxyl | FunctionalGroup::Amine => 1,
+        }
+    }
+
+    /// Attach this group to `at` (which must have ≥1 free valence).
+    pub fn attach(&self, mol: &mut Molecule, at: u32) {
+        match self {
+            FunctionalGroup::Carboxyl => {
+                let c = mol.add_atom(bare("C", false));
+                let o1 = mol.add_atom(bare("O", false));
+                let o2 = mol.add_atom(bare("O", false));
+                mol.add_bond(at, c, None, false);
+                mol.add_bond(c, o1, Some(BondSym::Double), false);
+                mol.add_bond(c, o2, None, false);
+            }
+            FunctionalGroup::Amide => {
+                let c = mol.add_atom(bare("C", false));
+                let o = mol.add_atom(bare("O", false));
+                let n = mol.add_atom(bare("N", false));
+                mol.add_bond(at, c, None, false);
+                mol.add_bond(c, o, Some(BondSym::Double), false);
+                mol.add_bond(c, n, None, false);
+            }
+            FunctionalGroup::Methoxy => {
+                let o = mol.add_atom(bare("O", false));
+                let c = mol.add_atom(bare("C", false));
+                mol.add_bond(at, o, None, false);
+                mol.add_bond(o, c, None, false);
+            }
+            FunctionalGroup::Nitrile => {
+                let c = mol.add_atom(bare("C", false));
+                let n = mol.add_atom(bare("N", false));
+                mol.add_bond(at, c, None, false);
+                mol.add_bond(c, n, Some(BondSym::Triple), false);
+            }
+            FunctionalGroup::Nitro => {
+                let n = mol.add_atom(AtomKind::Bracket(BracketAtom {
+                    isotope: None,
+                    element: Element::from_symbol(b"N").unwrap(),
+                    aromatic: false,
+                    chirality: Chirality::None,
+                    hcount: 0,
+                    charge: 1,
+                    class: None,
+                }));
+                let o1 = mol.add_atom(bare("O", false));
+                let o2 = mol.add_atom(AtomKind::Bracket(BracketAtom {
+                    isotope: None,
+                    element: Element::from_symbol(b"O").unwrap(),
+                    aromatic: false,
+                    chirality: Chirality::None,
+                    hcount: 0,
+                    charge: -1,
+                    class: None,
+                }));
+                mol.add_bond(at, n, None, false);
+                mol.add_bond(n, o1, Some(BondSym::Double), false);
+                mol.add_bond(n, o2, None, false);
+            }
+            FunctionalGroup::Sulfonyl => {
+                let s = mol.add_atom(bare("S", false));
+                let o1 = mol.add_atom(bare("O", false));
+                let o2 = mol.add_atom(bare("O", false));
+                let c = mol.add_atom(bare("C", false));
+                mol.add_bond(at, s, None, false);
+                mol.add_bond(s, o1, Some(BondSym::Double), false);
+                mol.add_bond(s, o2, Some(BondSym::Double), false);
+                mol.add_bond(s, c, None, false);
+            }
+            FunctionalGroup::Trifluoromethyl => {
+                let c = mol.add_atom(bare("C", false));
+                mol.add_bond(at, c, None, false);
+                for _ in 0..3 {
+                    let f = mol.add_atom(bare("F", false));
+                    mol.add_bond(c, f, None, false);
+                }
+            }
+            FunctionalGroup::Hydroxyl => {
+                let o = mol.add_atom(bare("O", false));
+                mol.add_bond(at, o, None, false);
+            }
+            FunctionalGroup::Amine => {
+                let n = mol.add_atom(bare("N", false));
+                mol.add_bond(at, n, None, false);
+            }
+            FunctionalGroup::Ketone => {
+                let c = mol.add_atom(bare("C", false));
+                let o = mol.add_atom(bare("O", false));
+                mol.add_bond(at, c, None, false);
+                mol.add_bond(c, o, Some(BondSym::Double), false);
+            }
+        }
+    }
+}
+
+/// Counter-ion fragments for salt lines, as disconnected components.
+pub fn add_counter_ion<R: Rng>(mol: &mut Molecule, rng: &mut R) {
+    let charged = |sym: &str, charge: i8, hcount: u8| {
+        AtomKind::Bracket(BracketAtom {
+            isotope: None,
+            element: Element::from_symbol(sym.as_bytes()).unwrap(),
+            aromatic: false,
+            chirality: Chirality::None,
+            hcount,
+            charge,
+            class: None,
+        })
+    };
+    match rng.gen_range(0..5) {
+        0 => {
+            mol.add_atom(charged("Cl", -1, 0));
+        }
+        1 => {
+            mol.add_atom(charged("Na", 1, 0));
+        }
+        2 => {
+            mol.add_atom(charged("K", 1, 0));
+        }
+        3 => {
+            mol.add_atom(charged("Br", -1, 0));
+        }
+        _ => {
+            // Water of crystallization.
+            mol.add_atom(bare("O", false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use smiles::parser::parse;
+    use smiles::writer::{to_smiles, WriteOptions};
+
+    fn check_valid(mol: &Molecule) -> String {
+        let s = to_smiles(mol, &WriteOptions::default()).unwrap();
+        parse(&s).unwrap_or_else(|e| panic!("{e} in {}", String::from_utf8_lossy(&s)));
+        String::from_utf8(s).unwrap()
+    }
+
+    #[test]
+    fn benzene_like_ring() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mol = Molecule::new();
+        let ring = add_ring(&mut mol, &mut rng, 6, true, 0.0);
+        assert_eq!(ring.len(), 6);
+        assert_eq!(mol.ring_count(), 1);
+        let s = check_valid(&mol);
+        assert_eq!(s, "c1ccccc1");
+    }
+
+    #[test]
+    fn five_ring_has_heteroatom() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mut mol = Molecule::new();
+            add_ring(&mut mol, &mut rng, 5, true, 0.3);
+            let s = check_valid(&mol);
+            assert!(
+                s.contains('o') || s.contains('s') || s.contains("[nH]"),
+                "5-ring needs hetero: {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_rings_valid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for size in 3..=8 {
+            let mut mol = Molecule::new();
+            add_ring(&mut mol, &mut rng, size, false, 0.3);
+            check_valid(&mol);
+        }
+    }
+
+    #[test]
+    fn fused_ring_makes_naphthalene_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mol = Molecule::new();
+        let ring = add_ring(&mut mol, &mut rng, 6, true, 0.0);
+        let fused = fuse_aromatic_ring(&mut mol, &mut rng, ring[0], ring[1], 0.0).unwrap();
+        assert_eq!(fused.len(), 4);
+        assert_eq!(mol.ring_count(), 2);
+        assert_eq!(mol.atom_count(), 10);
+        check_valid(&mol);
+    }
+
+    #[test]
+    fn all_functional_groups_attach_validly() {
+        for g in ALL_GROUPS {
+            let mut mol = Molecule::new();
+            let c = mol.add_atom(bare("C", false));
+            g.attach(&mut mol, c);
+            assert_eq!(mol.atom_count(), 1 + g.size(), "{g:?}");
+            let s = check_valid(&mol);
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn nitro_group_serialization() {
+        let mut mol = Molecule::new();
+        let c = mol.add_atom(bare("C", false));
+        FunctionalGroup::Nitro.attach(&mut mol, c);
+        let s = check_valid(&mol);
+        assert!(s.contains("[N+]") && s.contains("[O-]"), "{s}");
+    }
+
+    #[test]
+    fn free_valence_accounting() {
+        let mut mol = Molecule::new();
+        let c = mol.add_atom(bare("C", false));
+        assert_eq!(free_valence(&mol, c), 4);
+        let n = mol.add_atom(bare("N", false));
+        mol.add_bond(c, n, Some(BondSym::Triple), false);
+        assert_eq!(free_valence(&mol, c), 1);
+        // N default max valence 5; used 3 -> 2 free. (We allow the higher
+        // normal valence; the generator only uses the first slot anyway.)
+        assert_eq!(free_valence(&mol, n), 2);
+    }
+
+    #[test]
+    fn counter_ions_are_single_atoms() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let mut mol = Molecule::new();
+            let c = mol.add_atom(bare("C", false));
+            let o = mol.add_atom(bare("O", false));
+            mol.add_bond(c, o, None, false);
+            add_counter_ion(&mut mol, &mut rng);
+            assert_eq!(mol.components().len(), 2);
+            let s = check_valid(&mol);
+            assert!(s.contains('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn attachment_points_respect_valence() {
+        let mut mol = Molecule::new();
+        let c = mol.add_atom(bare("C", false));
+        let f = mol.add_atom(bare("F", false));
+        mol.add_bond(c, f, None, false);
+        let pts = attachment_points(&mol, 1);
+        assert!(pts.contains(&c));
+        assert!(!pts.contains(&f), "F is saturated");
+    }
+}

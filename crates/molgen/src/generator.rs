@@ -1,0 +1,616 @@
+//! Seeded random molecule generation.
+//!
+//! The generator assembles a molecular graph fragment-by-fragment (rings,
+//! chains, functional groups), applies profile-driven decorations (stereo
+//! bonds, chiral centers, charges, isotopes, salts), and serializes it with
+//! *sequential* ring-ID allocation — the exporter style whose redundant ring
+//! digits the paper's pre-processing step exists to fix.
+
+use crate::fragments::{
+    add_counter_ion, add_ring, attachment_points, bare, free_valence, fuse_aromatic_ring,
+    ALL_GROUPS,
+};
+use crate::profiles::Profile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smiles::element::Element;
+use smiles::graph::{AtomKind, Molecule};
+use smiles::token::{BondSym, BracketAtom, Chirality};
+use smiles::writer::{write, RingAlloc, StartAtom, WriteOptions};
+
+/// Molecule generator for one profile. Deterministic given the seed.
+pub struct Generator {
+    profile: Profile,
+    rng: StdRng,
+    write_opts: WriteOptions,
+    /// Shared molecular cores (see [`Profile::scaffold_pool`]); cloned as
+    /// the starting point of most molecules, combinatorial-library style.
+    scaffolds: Vec<Molecule>,
+}
+
+impl Generator {
+    pub fn new(profile: Profile, seed: u64) -> Self {
+        let mut gen = Generator {
+            profile,
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x5EED)),
+            write_opts: WriteOptions {
+                ring_alloc: RingAlloc::Sequential,
+                start: StartAtom::Terminal,
+            },
+            scaffolds: Vec::new(),
+        };
+        for _ in 0..profile.scaffold_pool {
+            let core = gen.build_scaffold();
+            gen.scaffolds.push(core);
+        }
+        gen
+    }
+
+    /// Build one reusable core: ring systems and linkers only, sized to
+    /// roughly 60% of the profile's smallest molecule, undecorated (the
+    /// per-molecule growth pass adds the variety).
+    fn build_scaffold(&mut self) -> Molecule {
+        let p = self.profile;
+        let rng = &mut self.rng;
+        let target = (p.heavy_atoms.0 * 3 / 5).max(4);
+        let mut mol = Molecule::new();
+        let want_rings = sample_ring_count(rng, p.mean_rings).max(1);
+        let aromatic = rng.gen_bool(p.aromatic_ring_prob);
+        let size = ring_size(rng, aromatic);
+        add_ring(&mut mol, rng, size, aromatic, p.ring_hetero_prob);
+        let mut rings_built = 1usize;
+        let mut guard = 0;
+        while mol.atom_count() < target && guard < 50 {
+            guard += 1;
+            let points = attachment_points(&mol, 1);
+            if points.is_empty() {
+                break;
+            }
+            let at = points[rng.gen_range(0..points.len())];
+            if rings_built < want_rings {
+                rings_built += 1;
+                let aromatic = rng.gen_bool(p.aromatic_ring_prob);
+                if aromatic && rng.gen_bool(p.fused_ring_prob) {
+                    if let Some((a, b)) = pick_aromatic_bond(&mol, rng) {
+                        if fuse_aromatic_ring(&mut mol, rng, a, b, p.ring_hetero_prob).is_some() {
+                            continue;
+                        }
+                    }
+                }
+                let size = ring_size(rng, aromatic);
+                let ring = add_ring(&mut mol, rng, size, aromatic, p.ring_hetero_prob);
+                let candidates: Vec<u32> = ring
+                    .iter()
+                    .copied()
+                    .filter(|&a| free_valence(&mol, a) >= 1)
+                    .collect();
+                if !candidates.is_empty() && free_valence(&mol, at) >= 1 {
+                    let entry = candidates[rng.gen_range(0..candidates.len())];
+                    let sym = if mol.atom(at).aromatic() && mol.atom(entry).aromatic() {
+                        Some(BondSym::Single)
+                    } else {
+                        None
+                    };
+                    mol.add_bond(at, entry, sym, false);
+                }
+            } else {
+                grow_chain(&mut mol, rng, &p, Some(at), 2);
+            }
+        }
+        mol
+    }
+
+    /// Generate the next molecule as a SMILES line (no newline).
+    pub fn next_smiles(&mut self) -> Vec<u8> {
+        let mol = self.next_molecule();
+        write(&mol, &self.write_opts)
+            .expect("generated molecules stay within ring-ID limits")
+            .smiles
+    }
+
+    /// Generate the next molecule as a graph.
+    pub fn next_molecule(&mut self) -> Molecule {
+        let p = self.profile;
+        let rng = &mut self.rng;
+        let target = rng.gen_range(p.heavy_atoms.0..=p.heavy_atoms.1);
+
+        // Start from a shared scaffold when the profile has a pool —
+        // combinatorial-library structure — otherwise grow from scratch.
+        let mut mol;
+        let mut want_rings;
+        if self.scaffolds.is_empty() {
+            mol = Molecule::new();
+            want_rings = sample_ring_count(rng, p.mean_rings);
+            if want_rings > 0 {
+                let aromatic = rng.gen_bool(p.aromatic_ring_prob);
+                let size = ring_size(rng, aromatic);
+                add_ring(&mut mol, rng, size, aromatic, p.ring_hetero_prob);
+            } else {
+                let len = rng.gen_range(2..=4.min(target));
+                grow_chain(&mut mol, rng, &p, None, len);
+            }
+        } else {
+            mol = self.scaffolds[rng.gen_range(0..self.scaffolds.len())].clone();
+            // The scaffold already carries its ring systems; only
+            // occasionally add one more.
+            want_rings = if rng.gen_bool(0.15) { usize::MAX } else { 0 };
+            if want_rings == usize::MAX {
+                want_rings = 1;
+            }
+        }
+
+        // Keep attaching fragments until the target size is reached.
+        let mut rings_built = if self.scaffolds.is_empty() { 1.min(want_rings) } else { 0 };
+        let mut guard = 0;
+        while mol.atom_count() < target && guard < 200 {
+            guard += 1;
+            let points = attachment_points(&mol, 1);
+            if points.is_empty() {
+                break;
+            }
+            let at = points[rng.gen_range(0..points.len())];
+            let remaining = target - mol.atom_count();
+
+            if rings_built < want_rings && remaining >= 4 {
+                rings_built += 1;
+                let aromatic = rng.gen_bool(p.aromatic_ring_prob);
+                // Try ring fusion first when allowed and an aromatic bond
+                // exists to fuse onto.
+                if aromatic && rng.gen_bool(p.fused_ring_prob) {
+                    if let Some((a, b)) = pick_aromatic_bond(&mol, rng) {
+                        if fuse_aromatic_ring(&mut mol, rng, a, b, p.ring_hetero_prob).is_some() {
+                            continue;
+                        }
+                    }
+                }
+                let size = ring_size(rng, aromatic);
+                let ring = add_ring(&mut mol, rng, size, aromatic, p.ring_hetero_prob);
+                // Link the new ring to the scaffold. A plain single bond;
+                // explicit `-` is unnecessary because one side is usually
+                // aliphatic, but aromatic-aromatic links need it spelled out
+                // — the writer handles that via the bond symbol we set.
+                // Link through a ring atom that can still bond (aromatic O/S
+                // and [nH] pyrrole nitrogens are sealed).
+                let candidates: Vec<u32> = ring
+                    .iter()
+                    .copied()
+                    .filter(|&a| free_valence(&mol, a) >= 1)
+                    .collect();
+                if !candidates.is_empty() {
+                    let entry = candidates[rng.gen_range(0..candidates.len())];
+                    let sym = if mol.atom(at).aromatic() && mol.atom(entry).aromatic() {
+                        Some(BondSym::Single)
+                    } else {
+                        None
+                    };
+                    if free_valence(&mol, at) >= 1 {
+                        mol.add_bond(at, entry, sym, false);
+                    }
+                }
+                continue;
+            }
+
+            if rng.gen_bool(p.functional_group_prob) {
+                let g = ALL_GROUPS[rng.gen_range(0..ALL_GROUPS.len())];
+                if g.size() <= remaining && free_valence(&mol, at) >= 1 {
+                    g.attach(&mut mol, at);
+                    continue;
+                }
+            }
+
+            if rng.gen_bool(p.halogen_prob) && free_valence(&mol, at) >= 1 {
+                let hal = ["F", "Cl", "Br", "I"][rng.gen_range(0..4)];
+                let h = mol.add_atom(bare(hal, false));
+                mol.add_bond(at, h, None, false);
+                continue;
+            }
+
+            // Default: grow a short chain.
+            let len = rng.gen_range(1..=3.min(remaining.max(1)));
+            grow_chain(&mut mol, rng, &p, Some(at), len);
+        }
+
+        self.decorate(&mut mol);
+        if self.rng.gen_bool(p.salt_prob) {
+            add_counter_ion(&mut mol, &mut self.rng);
+        }
+        mol
+    }
+
+    /// Post-pass decorations: chiral centers, charges, isotopes, stereo
+    /// bond marks. All operate on the finished skeleton so valence
+    /// arithmetic stays simple.
+    fn decorate(&mut self, mol: &mut Molecule) {
+        let p = self.profile;
+        decorate_chiral_centers(mol, &mut self.rng, p.chiral_center_prob);
+        decorate_charges(mol, &mut self.rng, p.charge_prob);
+        decorate_isotopes(mol, &mut self.rng, p.isotope_prob);
+        decorate_stereo_bonds(mol, &mut self.rng, p.stereo_bond_prob);
+    }
+}
+
+fn sample_ring_count<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    // Cheap Poisson-ish sampler: floor(mean) guaranteed, fractional part as
+    // a Bernoulli extra, plus one more with small probability for spread.
+    let base = mean.floor() as usize;
+    let frac = mean - mean.floor();
+    let mut k = base;
+    if rng.gen_bool(frac.clamp(0.0, 1.0)) {
+        k += 1;
+    }
+    if k > 0 && rng.gen_bool(0.15) {
+        k -= 1;
+    }
+    k
+}
+
+fn ring_size<R: Rng>(rng: &mut R, aromatic: bool) -> usize {
+    if aromatic {
+        if rng.gen_bool(0.8) {
+            6
+        } else {
+            5
+        }
+    } else {
+        *[3usize, 4, 5, 5, 6, 6, 6, 7].get(rng.gen_range(0..8)).unwrap()
+    }
+}
+
+fn pick_aromatic_bond<R: Rng>(mol: &Molecule, rng: &mut R) -> Option<(u32, u32)> {
+    let candidates: Vec<(u32, u32)> = mol
+        .bonds()
+        .iter()
+        .filter(|b| {
+            b.is_aromatic(mol.atoms())
+                && free_valence(mol, b.a) >= 1
+                && free_valence(mol, b.b) >= 1
+        })
+        .map(|b| (b.a, b.b))
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+/// Grow a chain of `len` atoms from `from` (or as a fresh component).
+fn grow_chain<R: Rng>(
+    mol: &mut Molecule,
+    rng: &mut R,
+    p: &Profile,
+    from: Option<u32>,
+    len: usize,
+) {
+    let mut prev = from;
+    for _ in 0..len {
+        // Stop before orphaning an atom: the previous one may have
+        // saturated (e.g. it just took a double bond).
+        if let Some(pr) = prev {
+            if free_valence(mol, pr) == 0 {
+                break;
+            }
+        }
+        let sym = pick_palette_element(rng, p.palette);
+        let atom = mol.add_atom(bare(sym, false));
+        if let Some(pr) = prev {
+            let bond = chain_bond(mol, rng, p, pr, atom);
+            mol.add_bond(pr, atom, bond, false);
+        }
+        prev = Some(atom);
+        // Occasional branch point: also hang a methyl off this atom.
+        if rng.gen_bool(p.branch_prob) && free_valence(mol, atom) >= 2 {
+            let m = mol.add_atom(bare("C", false));
+            mol.add_bond(atom, m, None, false);
+        }
+    }
+}
+
+fn chain_bond<R: Rng>(
+    mol: &Molecule,
+    rng: &mut R,
+    p: &Profile,
+    a: u32,
+    b: u32,
+) -> Option<BondSym> {
+    let fva = free_valence(mol, a);
+    let fvb = free_valence(mol, b);
+    if fva >= 3 && fvb >= 3 && rng.gen_bool(p.triple_bond_prob) {
+        // Triple bonds only between carbons keeps things plausible.
+        if mol.atom(a).element().symbol() == "C" && mol.atom(b).element().symbol() == "C" {
+            return Some(BondSym::Triple);
+        }
+    }
+    if fva >= 2 && fvb >= 2 && rng.gen_bool(p.double_bond_prob) {
+        return Some(BondSym::Double);
+    }
+    None
+}
+
+fn pick_palette_element<R: Rng>(rng: &mut R, palette: &[(&'static str, f64)]) -> &'static str {
+    let total: f64 = palette.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (sym, w) in palette {
+        if x < *w {
+            return sym;
+        }
+        x -= w;
+    }
+    palette.last().unwrap().0
+}
+
+/// Convert eligible sp3 CH carbons (exactly 3 single-bond heavy neighbors,
+/// not aromatic, not in a bracket) into `[C@H]` / `[C@@H]`.
+fn decorate_chiral_centers<R: Rng>(mol: &mut Molecule, rng: &mut R, prob: f64) {
+    if prob == 0.0 {
+        return;
+    }
+    for i in 0..mol.atom_count() as u32 {
+        let eligible = match mol.atom(i) {
+            AtomKind::Bare(a) => {
+                !a.aromatic
+                    && a.element.symbol() == "C"
+                    && mol.adjacent(i).len() == 3
+                    && mol.degree_valence(i) == 3
+            }
+            _ => false,
+        };
+        if eligible && rng.gen_bool(prob) {
+            let chir = if rng.gen_bool(0.5) { Chirality::Ccw } else { Chirality::Cw };
+            replace_atom(
+                mol,
+                i,
+                AtomKind::Bracket(BracketAtom {
+                    isotope: None,
+                    element: Element::from_symbol(b"C").unwrap(),
+                    aromatic: false,
+                    chirality: chir,
+                    hcount: 1,
+                    charge: 0,
+                    class: None,
+                }),
+            );
+        }
+    }
+}
+
+/// Charge terminal O (→ [O-]) or terminal N (→ [NH3+]).
+fn decorate_charges<R: Rng>(mol: &mut Molecule, rng: &mut R, prob: f64) {
+    if prob == 0.0 {
+        return;
+    }
+    for i in 0..mol.atom_count() as u32 {
+        if mol.adjacent(i).len() != 1 || mol.degree_valence(i) != 1 {
+            continue;
+        }
+        let (sym, charge, hcount) = match mol.atom(i) {
+            AtomKind::Bare(a) if !a.aromatic => match a.element.symbol() {
+                "O" => ("O", -1i8, 0u8),
+                "N" => ("N", 1, 3),
+                _ => continue,
+            },
+            _ => continue,
+        };
+        if rng.gen_bool(prob) {
+            replace_atom(
+                mol,
+                i,
+                AtomKind::Bracket(BracketAtom {
+                    isotope: None,
+                    element: Element::from_symbol(sym.as_bytes()).unwrap(),
+                    aromatic: false,
+                    chirality: Chirality::None,
+                    hcount,
+                    charge,
+                    class: None,
+                }),
+            );
+        }
+    }
+}
+
+/// Label some carbons with 13C / 14C.
+fn decorate_isotopes<R: Rng>(mol: &mut Molecule, rng: &mut R, prob: f64) {
+    if prob == 0.0 {
+        return;
+    }
+    for i in 0..mol.atom_count() as u32 {
+        let eligible = match mol.atom(i) {
+            AtomKind::Bare(a) => !a.aromatic && a.element.symbol() == "C",
+            _ => false,
+        };
+        if eligible && rng.gen_bool(prob) {
+            let iso = if rng.gen_bool(0.7) { 13 } else { 14 };
+            let h = mol.implicit_hydrogens(i);
+            replace_atom(
+                mol,
+                i,
+                AtomKind::Bracket(BracketAtom {
+                    isotope: Some(iso),
+                    element: Element::from_symbol(b"C").unwrap(),
+                    aromatic: false,
+                    chirality: Chirality::None,
+                    hcount: h,
+                    charge: 0,
+                    class: None,
+                }),
+            );
+        }
+    }
+}
+
+/// Put `/` and `\` marks on single bonds flanking eligible chain C=C bonds.
+fn decorate_stereo_bonds<R: Rng>(mol: &mut Molecule, rng: &mut R, prob: f64) {
+    if prob == 0.0 {
+        return;
+    }
+    let double_bonds: Vec<(u32, u32)> = mol
+        .bonds()
+        .iter()
+        .filter(|b| b.sym == Some(BondSym::Double) && !b.ring)
+        .map(|b| (b.a, b.b))
+        .collect();
+    for (a, b) in double_bonds {
+        if !rng.gen_bool(prob) {
+            continue;
+        }
+        // Need a plain single bond on each side that is not itself part of
+        // another stereo specification.
+        let side = |mol: &Molecule, center: u32, exclude: u32| -> Option<u32> {
+            mol.adjacent(center)
+                .iter()
+                .copied()
+                .find(|&bi| {
+                    let bd = &mol.bonds()[bi as usize];
+                    bd.sym.is_none() && !bd.ring && bd.other(center) != exclude
+                })
+        };
+        let (Some(ba), Some(bb)) = (side(mol, a, b), side(mol, b, a)) else {
+            continue;
+        };
+        let up_first = rng.gen_bool(0.5);
+        set_bond_sym(mol, ba, if up_first { BondSym::Up } else { BondSym::Down });
+        set_bond_sym(mol, bb, if up_first { BondSym::Up } else { BondSym::Down });
+    }
+}
+
+fn replace_atom(mol: &mut Molecule, i: u32, kind: AtomKind) {
+    // Molecule has no public mutator for atom kinds; rebuild in place via
+    // the dedicated helper below.
+    mol.set_atom_kind(i, kind);
+}
+
+fn set_bond_sym(mol: &mut Molecule, bond_idx: u32, sym: BondSym) {
+    mol.set_bond_sym(bond_idx, Some(sym));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{EXSCALATE, GDB17, MEDIATE};
+    use smiles::parser::parse;
+    use smiles::validate::full_check;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut g1 = Generator::new(GDB17, 42);
+        let mut g2 = Generator::new(GDB17, 42);
+        for _ in 0..50 {
+            assert_eq!(g1.next_smiles(), g2.next_smiles());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut g1 = Generator::new(GDB17, 1);
+        let mut g2 = Generator::new(GDB17, 2);
+        let a: Vec<_> = (0..20).map(|_| g1.next_smiles()).collect();
+        let b: Vec<_> = (0..20).map(|_| g2.next_smiles()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_profiles_generate_valid_smiles() {
+        for (profile, seed) in [(GDB17, 10u64), (MEDIATE, 11), (EXSCALATE, 12)] {
+            let mut g = Generator::new(profile, seed);
+            for i in 0..300 {
+                let s = g.next_smiles();
+                full_check(&s).unwrap_or_else(|e| {
+                    panic!("{} molecule {i}: {e}: {}", profile.name, String::from_utf8_lossy(&s))
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_respect_profile_bounds() {
+        let mut g = Generator::new(GDB17, 99);
+        for _ in 0..100 {
+            let m = g.next_molecule();
+            // Counter-ions could add atoms beyond target, but GDB17 has
+            // salt_prob = 0, so the bound holds strictly.
+            assert!(
+                m.atom_count() <= GDB17.heavy_atoms.1 + 4,
+                "atom count {} exceeds bound",
+                m.atom_count()
+            );
+            assert!(m.atom_count() >= 2);
+        }
+    }
+
+    #[test]
+    fn gdb17_has_no_decorations() {
+        let mut g = Generator::new(GDB17, 5);
+        for _ in 0..200 {
+            let s = g.next_smiles();
+            let txt = String::from_utf8_lossy(&s).to_string();
+            assert!(!txt.contains('@'), "no chirality in GDB-17: {txt}");
+            assert!(!txt.contains('/'), "no stereo bonds: {txt}");
+            assert!(!txt.contains("[13"), "no isotopes: {txt}");
+            assert!(!txt.contains('.'), "no salts / stray fragments: {txt}");
+            // ('+' can legitimately appear via nitro groups.)
+        }
+    }
+
+    #[test]
+    fn mediate_eventually_shows_decorations() {
+        let mut g = Generator::new(MEDIATE, 7);
+        let mut saw_chiral = false;
+        let mut saw_ring = false;
+        for _ in 0..500 {
+            let s = String::from_utf8(g.next_smiles()).unwrap();
+            saw_chiral |= s.contains('@');
+            saw_ring |= s.contains('1');
+        }
+        assert!(saw_chiral, "chirality should appear in 500 MEDIATE molecules");
+        assert!(saw_ring);
+    }
+
+    #[test]
+    fn exscalate_produces_salts() {
+        let mut g = Generator::new(EXSCALATE, 13);
+        let mut dots = 0;
+        for _ in 0..300 {
+            let s = g.next_smiles();
+            if s.contains(&b'.') {
+                dots += 1;
+            }
+        }
+        assert!(dots > 5, "~10% of EXSCALATE lines should be salts, saw {dots}/300");
+    }
+
+    #[test]
+    fn generated_ring_ids_are_sequential_style() {
+        // The generator uses Sequential allocation, so a molecule with two
+        // rings must use digits 1 and 2 (not reuse 1).
+        let mut g = Generator::new(MEDIATE, 21);
+        let mut found = false;
+        for _ in 0..300 {
+            let s = String::from_utf8(g.next_smiles()).unwrap();
+            if s.contains('2') && s.matches('1').count() >= 2 {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected multi-ring molecules with sequential IDs");
+    }
+
+    #[test]
+    fn generated_molecules_reparse_to_same_graph() {
+        let mut g = Generator::new(MEDIATE, 31);
+        for _ in 0..100 {
+            let m = g.next_molecule();
+            let w = write(&m, &WriteOptions::default()).unwrap();
+            let re = parse(&w.smiles).unwrap();
+            let mut perm = vec![0u32; m.atom_count()];
+            for (new_idx, &orig) in w.emit_order.iter().enumerate() {
+                perm[orig as usize] = new_idx as u32;
+            }
+            assert!(
+                m.eq_under_permutation(&re, &perm),
+                "{}",
+                String::from_utf8_lossy(&w.smiles)
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Statistical profiles for the synthetic datasets.
+//!
+//! The paper evaluates on three chemical libraries we cannot redistribute:
+//! GDB-17 (exhaustively enumerated small organic molecules — very
+//! homogeneous), MEDIATE (drug-like ligands from commercial vendors and
+//! natural products — diverse) and EXSCALATE (a production virtual-screening
+//! deck — diverse, decorated, multi-component). The cross-dictionary
+//! experiment (Table II) only depends on those libraries having *different
+//! statistics* along axes a substring dictionary can feel: molecule size,
+//! element palette, ring/aromatic content, decorations (stereo, charge,
+//! isotopes, salts). Each [`Profile`] here pins down one such distribution;
+//! `MIXED` is produced by concatenating samples of the three, exactly like
+//! the paper's mixed training set.
+
+/// Weighted element palette entry: (symbol, weight). Symbols must be
+/// organic-subset elements; everything else enters via decorations.
+pub type PaletteEntry = (&'static str, f64);
+
+/// All knobs of a synthetic dataset. Probabilities are per-opportunity
+/// (per atom or per fragment decision), not per molecule.
+#[derive(Debug, Clone, Copy)]
+pub struct Profile {
+    pub name: &'static str,
+    /// Inclusive range of heavy-atom counts to target.
+    pub heavy_atoms: (usize, usize),
+    /// Expected number of rings per molecule (Poisson-ish via attach loop).
+    pub mean_rings: f64,
+    /// Probability that a generated ring is aromatic.
+    pub aromatic_ring_prob: f64,
+    /// Probability that a ring position is substituted by a heteroatom.
+    pub ring_hetero_prob: f64,
+    /// Probability that a new ring fuses onto an existing one instead of
+    /// hanging off a linker.
+    pub fused_ring_prob: f64,
+    /// Probability of branching at a chain atom.
+    pub branch_prob: f64,
+    /// Probability that a chain bond is double.
+    pub double_bond_prob: f64,
+    /// Probability that a chain bond is triple.
+    pub triple_bond_prob: f64,
+    /// Probability that an eligible chain double bond gets `/`/`\` marks.
+    pub stereo_bond_prob: f64,
+    /// Probability that an eligible sp3 CH becomes a `[C@H]`/`[C@@H]` center.
+    pub chiral_center_prob: f64,
+    /// Probability that an eligible terminal atom is charged (`[O-]`, `[NH3+]`).
+    pub charge_prob: f64,
+    /// Probability that a carbon carries an isotope label.
+    pub isotope_prob: f64,
+    /// Probability that the line gains an extra dot-separated counter-ion.
+    pub salt_prob: f64,
+    /// Probability that a substituent is a halogen.
+    pub halogen_prob: f64,
+    /// Chain-atom element palette.
+    pub palette: &'static [PaletteEntry],
+    /// Probability of attaching a functional group instead of a plain chain.
+    pub functional_group_prob: f64,
+    /// Size of the reusable scaffold pool. Real chemical libraries are
+    /// combinatorial: a limited set of core scaffolds decorated many ways.
+    /// Every generated molecule starts from one of `scaffold_pool` shared
+    /// cores (0 disables reuse and grows fully random structures). Smaller
+    /// pools mean more repeated substrings — the axis that separates the
+    /// homogeneous GDB-17 from the diverse screening decks in Table II.
+    pub scaffold_pool: usize,
+}
+
+/// GDB-17-like: small (≤17 heavy atoms), narrow palette {C,N,O,F}, ring-rich
+/// but undecorated — the homogeneity is the point: a dictionary trained here
+/// transfers poorly (paper Table II, GDB-17 row).
+pub const GDB17: Profile = Profile {
+    name: "GDB-17",
+    heavy_atoms: (8, 17),
+    mean_rings: 1.4,
+    aromatic_ring_prob: 0.45,
+    ring_hetero_prob: 0.25,
+    fused_ring_prob: 0.35,
+    branch_prob: 0.30,
+    double_bond_prob: 0.12,
+    triple_bond_prob: 0.04,
+    stereo_bond_prob: 0.0,
+    chiral_center_prob: 0.0,
+    charge_prob: 0.0,
+    isotope_prob: 0.0,
+    salt_prob: 0.0,
+    halogen_prob: 0.05,
+    palette: &[("C", 0.80), ("N", 0.10), ("O", 0.09), ("F", 0.01)],
+    functional_group_prob: 0.10,
+    scaffold_pool: 40,
+};
+
+/// MEDIATE-like: drug-like ligands, 15–45 heavy atoms, wide palette, stereo
+/// and charge decorations, occasional salts.
+pub const MEDIATE: Profile = Profile {
+    name: "MEDIATE",
+    heavy_atoms: (15, 45),
+    mean_rings: 2.8,
+    aromatic_ring_prob: 0.70,
+    ring_hetero_prob: 0.30,
+    fused_ring_prob: 0.30,
+    branch_prob: 0.35,
+    double_bond_prob: 0.10,
+    triple_bond_prob: 0.02,
+    stereo_bond_prob: 0.15,
+    chiral_center_prob: 0.10,
+    charge_prob: 0.06,
+    isotope_prob: 0.0,
+    salt_prob: 0.04,
+    halogen_prob: 0.10,
+    palette: &[("C", 0.80), ("N", 0.09), ("O", 0.08), ("S", 0.03)],
+    functional_group_prob: 0.30,
+    scaffold_pool: 120,
+};
+
+/// EXSCALATE-like: production screening deck — widest size range, longest
+/// linkers, most decorations, most multi-component lines.
+pub const EXSCALATE: Profile = Profile {
+    name: "EXSCALATE",
+    heavy_atoms: (10, 60),
+    mean_rings: 2.2,
+    aromatic_ring_prob: 0.60,
+    ring_hetero_prob: 0.35,
+    fused_ring_prob: 0.25,
+    branch_prob: 0.40,
+    double_bond_prob: 0.14,
+    triple_bond_prob: 0.03,
+    stereo_bond_prob: 0.10,
+    chiral_center_prob: 0.08,
+    charge_prob: 0.08,
+    isotope_prob: 0.01,
+    salt_prob: 0.10,
+    halogen_prob: 0.12,
+    palette: &[("C", 0.76), ("N", 0.10), ("O", 0.09), ("S", 0.04), ("P", 0.01)],
+    functional_group_prob: 0.35,
+    scaffold_pool: 200,
+};
+
+/// The three source profiles in the order the paper lists them.
+pub const ALL_SOURCE_PROFILES: [&Profile; 3] = [&GDB17, &MEDIATE, &EXSCALATE];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palettes_are_normalized_enough() {
+        for p in ALL_SOURCE_PROFILES {
+            let total: f64 = p.palette.iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{} palette sums to {total}", p.name);
+        }
+    }
+
+    #[test]
+    fn probabilities_in_range() {
+        for p in ALL_SOURCE_PROFILES {
+            for (label, v) in [
+                ("aromatic", p.aromatic_ring_prob),
+                ("hetero", p.ring_hetero_prob),
+                ("fused", p.fused_ring_prob),
+                ("branch", p.branch_prob),
+                ("double", p.double_bond_prob),
+                ("triple", p.triple_bond_prob),
+                ("stereo", p.stereo_bond_prob),
+                ("chiral", p.chiral_center_prob),
+                ("charge", p.charge_prob),
+                ("isotope", p.isotope_prob),
+                ("salt", p.salt_prob),
+                ("halogen", p.halogen_prob),
+                ("fg", p.functional_group_prob),
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{}.{label} = {v}", p.name);
+            }
+            assert!(p.heavy_atoms.0 <= p.heavy_atoms.1);
+            assert!(p.heavy_atoms.0 >= 2, "need room for at least a bond");
+        }
+    }
+
+    #[test]
+    fn profiles_are_distinct_along_key_axes() {
+        // GDB-17 must be smaller and cleaner than the other two.
+        assert!(GDB17.heavy_atoms.1 < MEDIATE.heavy_atoms.1);
+        assert!(GDB17.salt_prob == 0.0 && MEDIATE.salt_prob > 0.0);
+        assert!(GDB17.stereo_bond_prob == 0.0 && EXSCALATE.stereo_bond_prob > 0.0);
+        // EXSCALATE is the most decorated.
+        assert!(EXSCALATE.salt_prob > MEDIATE.salt_prob);
+    }
+}

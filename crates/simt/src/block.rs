@@ -1,0 +1,123 @@
+//! Block context: one warp plus its shared memory.
+//!
+//! The paper sets block size = warp size (32), so a block *is* a warp with
+//! a scratchpad. Shared memory here is a bump arena reset between blocks;
+//! accesses are modeled as ordinary instructions (shared memory runs at
+//! register-adjacent latency when, as in these kernels, there are no bank
+//! conflicts worth modeling).
+
+use crate::warp::WarpCtx;
+
+/// Shared-memory arena. Typed bump allocation, reset per block.
+#[derive(Debug, Default)]
+pub struct SharedMem {
+    u32_pool: Vec<u32>,
+    u8_pool: Vec<u8>,
+    u32_used: usize,
+    u8_used: usize,
+}
+
+impl SharedMem {
+    pub fn new() -> Self {
+        SharedMem::default()
+    }
+
+    /// Allocate `n` zeroed u32 words.
+    pub fn alloc_u32(&mut self, n: usize) -> &mut [u32] {
+        let start = self.u32_used;
+        self.u32_used += n;
+        if self.u32_pool.len() < self.u32_used {
+            self.u32_pool.resize(self.u32_used, 0);
+        }
+        let s = &mut self.u32_pool[start..start + n];
+        s.fill(0);
+        s
+    }
+
+    /// Allocate `n` zeroed bytes.
+    pub fn alloc_u8(&mut self, n: usize) -> &mut [u8] {
+        let start = self.u8_used;
+        self.u8_used += n;
+        if self.u8_pool.len() < self.u8_used {
+            self.u8_pool.resize(self.u8_used, 0);
+        }
+        let s = &mut self.u8_pool[start..start + n];
+        s.fill(0);
+        s
+    }
+
+    /// Bytes currently allocated (capacity planning: an SM has 164 kB).
+    pub fn used_bytes(&self) -> usize {
+        self.u32_used * 4 + self.u8_used
+    }
+
+    fn reset(&mut self) {
+        self.u32_used = 0;
+        self.u8_used = 0;
+    }
+}
+
+/// Execution context handed to a kernel for one block.
+#[derive(Debug, Default)]
+pub struct BlockCtx {
+    pub warp: WarpCtx,
+    pub shared: SharedMem,
+}
+
+impl BlockCtx {
+    pub fn new() -> Self {
+        BlockCtx::default()
+    }
+
+    /// Reset for the next block: costs zeroed, shared memory recycled.
+    pub fn reset(&mut self) {
+        self.warp.cost = Default::default();
+        self.shared.reset();
+    }
+
+    /// Block-level barrier (`__syncthreads`). With one warp per block it
+    /// only costs the instruction, but kernels still mark their phases
+    /// with it — the cost model charges it and the code documents itself.
+    pub fn sync(&mut self) {
+        self.warp.cost.syncs += 1;
+        self.warp.cost.instructions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_alloc_zeroed_and_reusable() {
+        let mut ctx = BlockCtx::new();
+        {
+            let a = ctx.shared.alloc_u32(8);
+            a[0] = 42;
+            a[7] = 7;
+        }
+        let used = ctx.shared.used_bytes();
+        assert_eq!(used, 32);
+        {
+            let b = ctx.shared.alloc_u8(16);
+            assert!(b.iter().all(|&x| x == 0));
+        }
+        assert_eq!(ctx.shared.used_bytes(), 48);
+        ctx.reset();
+        assert_eq!(ctx.shared.used_bytes(), 0);
+        // Fresh allocation after reset is zeroed even though the pool was
+        // dirtied before.
+        let c = ctx.shared.alloc_u32(8);
+        assert!(c.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn sync_counts() {
+        let mut ctx = BlockCtx::new();
+        ctx.sync();
+        ctx.sync();
+        assert_eq!(ctx.warp.cost.syncs, 2);
+        ctx.reset();
+        assert_eq!(ctx.warp.cost.syncs, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Execution cost accounting.
+//!
+//! Every warp-level operation the simulator executes increments these
+//! counters; the [`crate::device`] profiles then convert counts into
+//! modeled time. Keeping counting separate from modeling means one
+//! simulated run can be priced on several device profiles.
+
+/// Per-warp (= per-block, the paper uses 32-thread blocks) cost counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostCounter {
+    /// Warp-wide instructions issued (one vector op = one instruction,
+    /// regardless of how many lanes are active — SIMT lockstep).
+    pub instructions: u64,
+    /// Shuffle/ballot-class instructions (a subset of `instructions`,
+    /// tracked separately because they execute on the SM's shuffle unit).
+    pub shuffles: u64,
+    /// Coalesced global-memory load transactions (32-byte sectors).
+    pub load_transactions: u64,
+    /// Coalesced global-memory store transactions.
+    pub store_transactions: u64,
+    /// Payload bytes actually read from global memory.
+    pub bytes_read: u64,
+    /// Payload bytes actually written.
+    pub bytes_written: u64,
+    /// Block-level barriers.
+    pub syncs: u64,
+}
+
+impl CostCounter {
+    pub fn add(&mut self, other: &CostCounter) {
+        self.instructions += other.instructions;
+        self.shuffles += other.shuffles;
+        self.load_transactions += other.load_transactions;
+        self.store_transactions += other.store_transactions;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.syncs += other.syncs;
+    }
+
+    /// Total global-memory traffic in bytes, at transaction granularity
+    /// (what the DRAM actually moves).
+    pub fn dram_bytes(&self) -> u64 {
+        (self.load_transactions + self.store_transactions) * crate::TRANSACTION_BYTES as u64
+    }
+}
+
+/// Aggregated cost of a kernel launch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostReport {
+    /// Sum over all blocks.
+    pub total: CostCounter,
+    /// The most expensive single block (bounds the tail).
+    pub max_block_instructions: u64,
+    /// Number of blocks launched.
+    pub blocks: u64,
+}
+
+impl CostReport {
+    pub fn merge_block(&mut self, c: &CostCounter) {
+        self.total.add(c);
+        self.max_block_instructions = self.max_block_instructions.max(c.instructions);
+        self.blocks += 1;
+    }
+
+    pub fn merge(&mut self, other: &CostReport) {
+        self.total.add(&other.total);
+        self.max_block_instructions = self.max_block_instructions.max(other.max_block_instructions);
+        self.blocks += other.blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add() {
+        let mut a = CostCounter { instructions: 10, shuffles: 2, ..Default::default() };
+        let b = CostCounter {
+            instructions: 5,
+            load_transactions: 3,
+            bytes_read: 96,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.shuffles, 2);
+        assert_eq!(a.load_transactions, 3);
+        assert_eq!(a.dram_bytes(), 3 * crate::TRANSACTION_BYTES as u64);
+    }
+
+    #[test]
+    fn report_tracks_max_block() {
+        let mut r = CostReport::default();
+        r.merge_block(&CostCounter { instructions: 10, ..Default::default() });
+        r.merge_block(&CostCounter { instructions: 50, ..Default::default() });
+        r.merge_block(&CostCounter { instructions: 20, ..Default::default() });
+        assert_eq!(r.blocks, 3);
+        assert_eq!(r.total.instructions, 80);
+        assert_eq!(r.max_block_instructions, 50);
+
+        let mut r2 = CostReport::default();
+        r2.merge_block(&CostCounter { instructions: 70, ..Default::default() });
+        r.merge(&r2);
+        assert_eq!(r.blocks, 4);
+        assert_eq!(r.max_block_instructions, 70);
+    }
+}

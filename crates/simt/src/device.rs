@@ -1,0 +1,257 @@
+//! Device profiles: turning cost counters into modeled time.
+//!
+//! The paper's experimental machine is an AMD EPYC 7282 host with NVIDIA
+//! A100 GPUs; [`A100_LIKE`] and [`EPYC_CORE_LIKE`] model those at the
+//! granularity the memory-bound analysis needs — peak instruction issue
+//! and the three bandwidths that dominate: device DRAM, host↔device link,
+//! and the storage the paper identifies as the real bottleneck.
+
+use crate::cost::CostReport;
+
+/// A modeled accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub sm_count: u32,
+    /// Core clock, GHz.
+    pub clock_ghz: f64,
+    /// Warp instructions issued per SM per cycle (sustained).
+    pub warp_ipc: f64,
+    /// Device memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Host↔device transfer bandwidth, GB/s (PCIe/NVLink, effective).
+    pub link_bw_gbs: f64,
+    /// Fixed kernel-launch overhead, microseconds.
+    pub launch_overhead_us: f64,
+}
+
+/// NVIDIA A100-like profile (SXM4 40 GB: 108 SMs @ ~1.41 GHz, 1 555 GB/s
+/// HBM2e, PCIe 4.0 ×16 effective ~12 GB/s on the paper's host).
+pub const A100_LIKE: DeviceProfile = DeviceProfile {
+    name: "A100-like",
+    sm_count: 108,
+    clock_ghz: 1.41,
+    warp_ipc: 1.0,
+    mem_bw_gbs: 1555.0,
+    link_bw_gbs: 12.0,
+    launch_overhead_us: 10.0,
+};
+
+/// A modeled CPU core (for the serial C++ reference point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuProfile {
+    pub name: &'static str,
+    pub clock_ghz: f64,
+    /// Scalar instructions per cycle (sustained, branchy byte code).
+    pub ipc: f64,
+    /// Single-core effective memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+}
+
+/// One core of an EPYC-7282-like host (2.8 GHz base, Zen 2).
+pub const EPYC_CORE_LIKE: CpuProfile = CpuProfile {
+    name: "EPYC-core-like",
+    clock_ghz: 2.8,
+    ipc: 2.0,
+    mem_bw_gbs: 20.0,
+};
+
+/// Cold-storage / parallel-filesystem profile. The paper's conclusion —
+/// "the bottlenecks are the read-and-write operations on storage" — makes
+/// these two numbers the ones every pipeline time shares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageProfile {
+    pub name: &'static str,
+    pub read_bw_gbs: f64,
+    pub write_bw_gbs: f64,
+}
+
+/// Cold-storage tier of an HPC parallel filesystem, single-stream
+/// effective bandwidth. The paper stores screening decks on CINECA
+/// Marconi100's project/cold areas; per-stream GPFS throughput there is
+/// hundreds of MB/s, not the multi-GB/s aggregate figure — and this is
+/// the number that makes ZSMILES "memory-bound" end to end.
+pub const SCRATCH_FS: StorageProfile =
+    StorageProfile { name: "cold-storage", read_bw_gbs: 0.25, write_bw_gbs: 0.22 };
+
+/// Kernel-only time breakdown, seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelTime {
+    pub compute_s: f64,
+    pub memory_s: f64,
+    pub launch_s: f64,
+}
+
+impl KernelTime {
+    /// Roofline-style total: compute and memory overlap; launch does not.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s.max(self.memory_s) + self.launch_s
+    }
+
+    pub fn is_memory_bound(&self) -> bool {
+        self.memory_s >= self.compute_s
+    }
+}
+
+/// Full device pipeline: storage → host → device → kernel → device → host
+/// → storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineTime {
+    pub read_s: f64,
+    pub h2d_s: f64,
+    pub kernel_s: f64,
+    pub d2h_s: f64,
+    pub write_s: f64,
+}
+
+impl PipelineTime {
+    pub fn total_s(&self) -> f64 {
+        self.read_s + self.h2d_s + self.kernel_s + self.d2h_s + self.write_s
+    }
+
+    /// Fraction of time spent moving bytes rather than computing.
+    pub fn io_fraction(&self) -> f64 {
+        let io = self.read_s + self.h2d_s + self.d2h_s + self.write_s;
+        if self.total_s() == 0.0 {
+            0.0
+        } else {
+            io / self.total_s()
+        }
+    }
+}
+
+impl DeviceProfile {
+    /// Modeled kernel execution time for a cost report.
+    ///
+    /// Compute: total warp instructions spread over `sm_count` SMs, bounded
+    /// below by the single slowest block (tail effect). Memory: DRAM
+    /// traffic at transaction granularity over the device bandwidth.
+    pub fn kernel_time(&self, report: &CostReport) -> KernelTime {
+        let issue_rate = self.sm_count as f64 * self.warp_ipc * self.clock_ghz * 1e9;
+        let parallel_s = report.total.instructions as f64 / issue_rate;
+        let tail_s =
+            report.max_block_instructions as f64 / (self.warp_ipc * self.clock_ghz * 1e9);
+        let compute_s = parallel_s.max(tail_s);
+        let memory_s = report.total.dram_bytes() as f64 / (self.mem_bw_gbs * 1e9);
+        KernelTime { compute_s, memory_s, launch_s: self.launch_overhead_us * 1e-6 }
+    }
+
+    /// Modeled end-to-end pipeline time: read `in_bytes` from storage,
+    /// ship to the device, run the kernel, ship `out_bytes` back, write.
+    pub fn pipeline_time(
+        &self,
+        report: &CostReport,
+        in_bytes: u64,
+        out_bytes: u64,
+        storage: &StorageProfile,
+    ) -> PipelineTime {
+        let kt = self.kernel_time(report);
+        PipelineTime {
+            read_s: in_bytes as f64 / (storage.read_bw_gbs * 1e9),
+            h2d_s: in_bytes as f64 / (self.link_bw_gbs * 1e9),
+            kernel_s: kt.total_s(),
+            d2h_s: out_bytes as f64 / (self.link_bw_gbs * 1e9),
+            write_s: out_bytes as f64 / (storage.write_bw_gbs * 1e9),
+        }
+    }
+}
+
+impl CpuProfile {
+    /// Modeled serial pipeline: read, compute (measured or modeled
+    /// seconds supplied by the caller), write.
+    pub fn pipeline_time(
+        &self,
+        compute_s: f64,
+        in_bytes: u64,
+        out_bytes: u64,
+        storage: &StorageProfile,
+    ) -> PipelineTime {
+        PipelineTime {
+            read_s: in_bytes as f64 / (storage.read_bw_gbs * 1e9),
+            h2d_s: 0.0,
+            kernel_s: compute_s,
+            d2h_s: 0.0,
+            write_s: out_bytes as f64 / (storage.write_bw_gbs * 1e9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostCounter, CostReport};
+
+    fn report(instructions: u64, loads: u64, stores: u64, blocks: u64) -> CostReport {
+        let mut r = CostReport::default();
+        for _ in 0..blocks {
+            r.merge_block(&CostCounter {
+                instructions: instructions / blocks,
+                load_transactions: loads / blocks,
+                store_transactions: stores / blocks,
+                ..Default::default()
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        // Many instructions, no memory traffic.
+        let r = report(1_000_000_000, 0, 0, 1000);
+        let kt = A100_LIKE.kernel_time(&r);
+        assert!(!kt.is_memory_bound());
+        assert!(kt.compute_s > 0.0);
+        assert_eq!(kt.memory_s, 0.0);
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        // Light compute, heavy traffic — the paper's regime.
+        let r = report(1_000, 10_000_000, 10_000_000, 1000);
+        let kt = A100_LIKE.kernel_time(&r);
+        assert!(kt.is_memory_bound());
+    }
+
+    #[test]
+    fn tail_block_bounds_compute() {
+        // One monster block can't be split across SMs.
+        let mut r = CostReport::default();
+        r.merge_block(&CostCounter { instructions: 1_000_000, ..Default::default() });
+        let kt = A100_LIKE.kernel_time(&r);
+        let single_sm_s = 1_000_000.0 / (1.41e9);
+        assert!((kt.compute_s - single_sm_s).abs() / single_sm_s < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_io_dominates_small_kernels() {
+        let r = report(1_000, 100, 100, 10);
+        let pt = A100_LIKE.pipeline_time(&r, 1 << 30, 300 << 20, &SCRATCH_FS);
+        assert!(pt.io_fraction() > 0.9, "storage + PCIe dominate: {}", pt.io_fraction());
+        // 1 GiB at the profile's read bandwidth.
+        let expect = (1u64 << 30) as f64 / (SCRATCH_FS.read_bw_gbs * 1e9);
+        assert!((pt.read_s - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_pipeline_has_no_link_terms() {
+        let pt = EPYC_CORE_LIKE.pipeline_time(2.0, 1 << 30, 1 << 28, &SCRATCH_FS);
+        assert_eq!(pt.h2d_s, 0.0);
+        assert_eq!(pt.d2h_s, 0.0);
+        assert!(pt.total_s() > 2.0);
+    }
+
+    #[test]
+    fn gpu_beats_cpu_when_cpu_compute_dominates() {
+        // The Fig. 5 shape: when serial compute is several times the I/O
+        // time, the GPU pipeline (compute ≈ 0) wins by about that factor.
+        let in_b = 1u64 << 30;
+        let out_b = 350u64 << 20;
+        let r = report(1_000_000, 1 << 20, 1 << 19, 1 << 15);
+        let gpu = A100_LIKE.pipeline_time(&r, in_b, out_b, &SCRATCH_FS);
+        let io_s = gpu.read_s + gpu.write_s;
+        let cpu = EPYC_CORE_LIKE.pipeline_time(6.0 * io_s, in_b, out_b, &SCRATCH_FS);
+        let speedup = cpu.total_s() / gpu.total_s();
+        assert!(speedup > 3.0 && speedup < 9.0, "speedup {speedup}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Kernel launch: a grid of independent 32-lane blocks executed across a
+//! CPU worker pool, with per-block cost aggregation.
+//!
+//! The paper's kernels use one warp-sized block per SMILES, so the launch
+//! API hands each block its index and a [`BlockCtx`] (warp context plus
+//! shared memory); blocks return their own output, which keeps the
+//! simulator free of cross-block synchronization — exactly the
+//! embarrassing parallelism the workload has.
+
+use crate::block::BlockCtx;
+use crate::cost::CostReport;
+
+/// Launch `blocks` blocks of one warp each, running `kernel` for every
+/// block, spread over `workers` OS threads. Returns per-block results in
+/// block order plus the aggregated cost report.
+///
+/// Determinism: results and costs are independent of `workers`.
+pub fn launch<R, F>(blocks: usize, workers: usize, kernel: F) -> (Vec<R>, CostReport)
+where
+    R: Send,
+    F: Fn(&mut BlockCtx, usize) -> R + Sync,
+{
+    let workers = workers.max(1);
+    if blocks == 0 {
+        return (Vec::new(), CostReport::default());
+    }
+    if workers == 1 || blocks == 1 {
+        let mut report = CostReport::default();
+        let mut results = Vec::with_capacity(blocks);
+        let mut ctx = BlockCtx::new();
+        for b in 0..blocks {
+            ctx.reset();
+            results.push(kernel(&mut ctx, b));
+            report.merge_block(&ctx.warp.cost);
+        }
+        return (results, report);
+    }
+
+    // Static chunking: worker w takes blocks [w*chunk, ...). Each worker
+    // produces (ordered results, local report); merge in worker order so
+    // the aggregate is deterministic.
+    let chunk = blocks.div_ceil(workers);
+    let mut slots: Vec<Option<(Vec<R>, CostReport)>> = Vec::new();
+    for _ in 0..workers {
+        slots.push(None);
+    }
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let kernel = &kernel;
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(blocks);
+            handles.push(scope.spawn(move |_| {
+                let mut report = CostReport::default();
+                let mut results = Vec::with_capacity(end.saturating_sub(start));
+                let mut ctx = BlockCtx::new();
+                for b in start..end {
+                    ctx.reset();
+                    results.push(kernel(&mut ctx, b));
+                    report.merge_block(&ctx.warp.cost);
+                }
+                (results, report)
+            }));
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            slots[w] = Some(h.join().expect("kernel panicked"));
+        }
+    })
+    .expect("scope join");
+
+    let mut results = Vec::with_capacity(blocks);
+    let mut report = CostReport::default();
+    for slot in slots.into_iter().flatten() {
+        let (rs, rep) = slot;
+        results.extend(rs);
+        report.merge(&rep);
+    }
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::{Mask, WarpVec};
+
+    #[test]
+    fn empty_grid() {
+        let (r, rep) = launch(0, 4, |_ctx, b| b);
+        assert!(r.is_empty());
+        assert_eq!(rep.blocks, 0);
+    }
+
+    #[test]
+    fn results_in_block_order() {
+        let (r, rep) = launch(100, 7, |_ctx, b| b * 2);
+        assert_eq!(r.len(), 100);
+        for (i, v) in r.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+        assert_eq!(rep.blocks, 100);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let run = |workers| {
+            launch(64, workers, |ctx, b| {
+                let v = WarpVec::splat(b as u32);
+                let doubled = ctx.warp.map(&v, Mask::ALL, |x| x * 2);
+                ctx.warp.reduce_add(&doubled, Mask::ALL)
+            })
+        };
+        let (r1, rep1) = run(1);
+        let (r4, rep4) = run(4);
+        let (r9, rep9) = run(9);
+        assert_eq!(r1, r4);
+        assert_eq!(r1, r9);
+        assert_eq!(rep1, rep4);
+        assert_eq!(rep1, rep9);
+    }
+
+    #[test]
+    fn cost_aggregates_per_block() {
+        let (_, rep) = launch(10, 3, |ctx, b| {
+            let v = WarpVec::splat(b as u32);
+            // b+1 map instructions in block b.
+            for _ in 0..=b {
+                ctx.warp.map(&v, Mask::ALL, |x| x + 1);
+            }
+        });
+        // total = 1+2+…+10 = 55; max block = 10.
+        assert_eq!(rep.total.instructions, 55);
+        assert_eq!(rep.max_block_instructions, 10);
+    }
+
+    #[test]
+    fn block_ctx_resets_between_blocks() {
+        let (r, _) = launch(3, 1, |ctx, _b| {
+            ctx.shared.alloc_u32(4)[0] = 7;
+            ctx.warp.cost.instructions
+        });
+        // Cost must start at 0 for each block (reset works).
+        assert!(r.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,417 @@
+//! Warp-synchronous execution: 32-lane vectors, lockstep operations,
+//! shuffles and ballots — the programming model of the paper's CUDA
+//! kernels, minus the GPU.
+//!
+//! Kernels are written in *vector form*: every operation acts on all 32
+//! lanes at once under an active-lane mask, exactly how a warp executes.
+//! Each [`WarpCtx`] method counts its cost, so a kernel run doubles as a
+//! cost-model trace.
+
+use crate::cost::CostCounter;
+use crate::{TRANSACTION_BYTES, WARP_SIZE};
+
+/// A per-lane value vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpVec<T>(pub [T; WARP_SIZE]);
+
+impl<T: Copy + Default> Default for WarpVec<T> {
+    fn default() -> Self {
+        WarpVec([T::default(); WARP_SIZE])
+    }
+}
+
+impl<T: Copy> WarpVec<T> {
+    pub fn splat(v: T) -> Self {
+        WarpVec([v; WARP_SIZE])
+    }
+
+    pub fn from_fn(f: impl FnMut(usize) -> T) -> Self {
+        WarpVec(std::array::from_fn(f))
+    }
+
+    pub fn lane(&self, i: usize) -> T {
+        self.0[i]
+    }
+}
+
+/// Active-lane mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mask(pub u32);
+
+impl Mask {
+    pub const ALL: Mask = Mask(u32::MAX);
+    pub const NONE: Mask = Mask(0);
+
+    #[inline]
+    pub fn lane(&self, i: usize) -> bool {
+        (self.0 >> i) & 1 == 1
+    }
+
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    pub fn any(&self) -> bool {
+        self.0 != 0
+    }
+
+    pub fn all(&self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    pub fn and(&self, other: Mask) -> Mask {
+        Mask(self.0 & other.0)
+    }
+
+    pub fn not(&self) -> Mask {
+        Mask(!self.0)
+    }
+
+    pub fn from_fn(f: impl FnMut(usize) -> bool) -> Mask {
+        let mut m = 0u32;
+        for (i, bit) in (0..WARP_SIZE).map(f).enumerate() {
+            m |= (bit as u32) << i;
+        }
+        Mask(m)
+    }
+}
+
+/// Warp execution context: issues lockstep operations and accounts their
+/// cost.
+#[derive(Debug, Default)]
+pub struct WarpCtx {
+    pub cost: CostCounter,
+}
+
+impl WarpCtx {
+    pub fn new() -> Self {
+        WarpCtx::default()
+    }
+
+    /// The lane-index vector (0..32). Free, like `threadIdx.x`.
+    pub fn lane_id(&self) -> WarpVec<u32> {
+        WarpVec::from_fn(|i| i as u32)
+    }
+
+    /// One lockstep ALU instruction over one input vector. Inactive lanes
+    /// keep their value from `a`.
+    #[inline]
+    pub fn map<T: Copy, U: Copy + Default>(
+        &mut self,
+        a: &WarpVec<T>,
+        mask: Mask,
+        mut f: impl FnMut(T) -> U,
+    ) -> WarpVec<U> {
+        self.cost.instructions += 1;
+        WarpVec::from_fn(|i| if mask.lane(i) { f(a.lane(i)) } else { U::default() })
+    }
+
+    /// One lockstep ALU instruction over two input vectors.
+    #[inline]
+    pub fn zip<A: Copy, B: Copy, U: Copy + Default>(
+        &mut self,
+        a: &WarpVec<A>,
+        b: &WarpVec<B>,
+        mask: Mask,
+        mut f: impl FnMut(A, B) -> U,
+    ) -> WarpVec<U> {
+        self.cost.instructions += 1;
+        WarpVec::from_fn(|i| if mask.lane(i) { f(a.lane(i), b.lane(i)) } else { U::default() })
+    }
+
+    /// Predicate evaluation (one instruction) producing a mask — the
+    /// `__ballot_sync` idiom.
+    pub fn ballot<T: Copy>(
+        &mut self,
+        a: &WarpVec<T>,
+        mask: Mask,
+        mut pred: impl FnMut(T) -> bool,
+    ) -> Mask {
+        self.cost.instructions += 1;
+        self.cost.shuffles += 1;
+        Mask::from_fn(|i| mask.lane(i) && pred(a.lane(i)))
+    }
+
+    /// `__shfl_sync`: every lane reads the value of an arbitrary source
+    /// lane.
+    pub fn shfl<T: Copy + Default>(
+        &mut self,
+        v: &WarpVec<T>,
+        src: &WarpVec<u32>,
+        mask: Mask,
+    ) -> WarpVec<T> {
+        self.cost.instructions += 1;
+        self.cost.shuffles += 1;
+        WarpVec::from_fn(|i| {
+            if mask.lane(i) {
+                v.lane((src.lane(i) as usize) % WARP_SIZE)
+            } else {
+                T::default()
+            }
+        })
+    }
+
+    /// `__shfl_up_sync`: lane i reads lane i-delta (lanes < delta keep
+    /// their own value).
+    pub fn shfl_up<T: Copy>(&mut self, v: &WarpVec<T>, delta: usize, mask: Mask) -> WarpVec<T> {
+        self.cost.instructions += 1;
+        self.cost.shuffles += 1;
+        WarpVec::from_fn(|i| {
+            if mask.lane(i) && i >= delta {
+                v.lane(i - delta)
+            } else {
+                v.lane(i)
+            }
+        })
+    }
+
+    /// Warp-wide inclusive prefix sum via log₂(32) shuffle-add steps —
+    /// the textbook scan the paper's decompression kernel uses to find
+    /// per-lane output offsets.
+    pub fn inclusive_scan_add(&mut self, v: &WarpVec<u32>, mask: Mask) -> WarpVec<u32> {
+        let mut acc = *v;
+        let mut delta = 1usize;
+        while delta < WARP_SIZE {
+            let shifted = self.shfl_up(&acc, delta, mask);
+            acc = WarpVec::from_fn(|i| {
+                if i >= delta {
+                    // u32 adds wrap on the device; mirror that here.
+                    acc.lane(i).wrapping_add(shifted.lane(i))
+                } else {
+                    acc.lane(i)
+                }
+            });
+            self.cost.instructions += 1; // the add
+            delta <<= 1;
+        }
+        acc
+    }
+
+    /// Warp-wide reduction (sum) via butterfly shuffles.
+    pub fn reduce_add(&mut self, v: &WarpVec<u32>, mask: Mask) -> u32 {
+        // 5 shuffle+add steps on hardware.
+        self.cost.instructions += 10;
+        self.cost.shuffles += 5;
+        (0..WARP_SIZE)
+            .filter(|&i| mask.lane(i))
+            .map(|i| v.lane(i))
+            .fold(0u32, u32::wrapping_add)
+    }
+
+    /// Warp-wide minimum (u32::MAX when no lane is active).
+    pub fn reduce_min(&mut self, v: &WarpVec<u32>, mask: Mask) -> u32 {
+        self.cost.instructions += 10;
+        self.cost.shuffles += 5;
+        (0..WARP_SIZE)
+            .filter(|&i| mask.lane(i))
+            .map(|i| v.lane(i))
+            .min()
+            .unwrap_or(u32::MAX)
+    }
+
+    /// Warp-wide maximum.
+    pub fn reduce_max(&mut self, v: &WarpVec<u32>, mask: Mask) -> u32 {
+        self.cost.instructions += 10;
+        self.cost.shuffles += 5;
+        (0..WARP_SIZE)
+            .filter(|&i| mask.lane(i))
+            .map(|i| v.lane(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Coalesced gather from global memory: each active lane loads
+    /// `width` bytes at its own byte offset. Transactions are counted per
+    /// distinct 32-byte sector touched — adjacent lanes reading adjacent
+    /// bytes coalesce into few transactions, scattered reads do not.
+    pub fn global_read<T: Copy + Default>(
+        &mut self,
+        buf: &[u8],
+        offsets: &WarpVec<u32>,
+        mask: Mask,
+        mut load: impl FnMut(&[u8], usize) -> T,
+    ) -> WarpVec<T> {
+        let width = std::mem::size_of::<T>().max(1);
+        self.count_transactions(offsets, width, mask, false);
+        self.cost.instructions += 1;
+        WarpVec::from_fn(|i| {
+            if mask.lane(i) {
+                let off = offsets.lane(i) as usize;
+                self.cost.bytes_read += width as u64;
+                load(buf, off)
+            } else {
+                T::default()
+            }
+        })
+    }
+
+    /// Coalesced scatter to global memory, mirroring [`Self::global_read`].
+    pub fn global_write<T: Copy>(
+        &mut self,
+        buf: &mut [u8],
+        offsets: &WarpVec<u32>,
+        values: &WarpVec<T>,
+        mask: Mask,
+        mut store: impl FnMut(&mut [u8], usize, T),
+    ) {
+        let width = std::mem::size_of::<T>().max(1);
+        self.count_transactions(offsets, width, mask, true);
+        self.cost.instructions += 1;
+        for i in 0..WARP_SIZE {
+            if mask.lane(i) {
+                store(buf, offsets.lane(i) as usize, values.lane(i));
+                self.cost.bytes_written += width as u64;
+            }
+        }
+    }
+
+    fn count_transactions(&mut self, offsets: &WarpVec<u32>, width: usize, mask: Mask, store: bool) {
+        // Distinct 32-byte sectors across all active lanes.
+        let mut sectors: Vec<u64> = (0..WARP_SIZE)
+            .filter(|&i| mask.lane(i))
+            .flat_map(|i| {
+                let start = offsets.lane(i) as u64;
+                let end = start + width as u64;
+                (start / TRANSACTION_BYTES as u64)..=((end.max(start + 1) - 1) / TRANSACTION_BYTES as u64)
+            })
+            .collect();
+        sectors.sort_unstable();
+        sectors.dedup();
+        let n = sectors.len() as u64;
+        if store {
+            self.cost.store_transactions += n;
+        } else {
+            self.cost.load_transactions += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_from_fn() {
+        let v = WarpVec::splat(7u32);
+        assert_eq!(v.lane(0), 7);
+        assert_eq!(v.lane(31), 7);
+        let id = WarpVec::from_fn(|i| i as u32 * 2);
+        assert_eq!(id.lane(5), 10);
+    }
+
+    #[test]
+    fn mask_basics() {
+        assert!(Mask::ALL.all());
+        assert!(!Mask::NONE.any());
+        let m = Mask::from_fn(|i| i < 4);
+        assert_eq!(m.count(), 4);
+        assert!(m.lane(3) && !m.lane(4));
+        assert_eq!(m.and(Mask::from_fn(|i| i >= 2)).count(), 2);
+        assert_eq!(m.not().count(), 28);
+    }
+
+    #[test]
+    fn map_zip_respect_mask_and_count() {
+        let mut ctx = WarpCtx::new();
+        let a = WarpVec::from_fn(|i| i as u32);
+        let m = Mask::from_fn(|i| i % 2 == 0);
+        let doubled = ctx.map(&a, m, |x| x * 2);
+        assert_eq!(doubled.lane(4), 8);
+        assert_eq!(doubled.lane(5), 0, "inactive lane defaults");
+        let b = WarpVec::splat(10u32);
+        let s = ctx.zip(&a, &b, Mask::ALL, |x, y| x + y);
+        assert_eq!(s.lane(3), 13);
+        assert_eq!(ctx.cost.instructions, 2);
+    }
+
+    #[test]
+    fn ballot_builds_mask() {
+        let mut ctx = WarpCtx::new();
+        let a = WarpVec::from_fn(|i| i as u32);
+        let m = ctx.ballot(&a, Mask::ALL, |x| x >= 30);
+        assert_eq!(m.count(), 2);
+        assert!(m.lane(30) && m.lane(31));
+        assert_eq!(ctx.cost.shuffles, 1);
+    }
+
+    #[test]
+    fn shfl_permutes() {
+        let mut ctx = WarpCtx::new();
+        let v = WarpVec::from_fn(|i| i as u32 * 100);
+        let src = WarpVec::splat(3u32); // all lanes read lane 3
+        let r = ctx.shfl(&v, &src, Mask::ALL);
+        assert!(
+            (0..WARP_SIZE).all(|i| r.lane(i) == 300),
+            "broadcast from lane 3"
+        );
+    }
+
+    #[test]
+    fn inclusive_scan_matches_reference() {
+        let mut ctx = WarpCtx::new();
+        let v = WarpVec::from_fn(|i| (i % 3) as u32 + 1);
+        let scanned = ctx.inclusive_scan_add(&v, Mask::ALL);
+        let mut expect = 0u32;
+        for i in 0..WARP_SIZE {
+            expect += v.lane(i);
+            assert_eq!(scanned.lane(i), expect, "lane {i}");
+        }
+        assert_eq!(ctx.cost.shuffles, 5, "log2(32) shuffle steps");
+    }
+
+    #[test]
+    fn reductions() {
+        let mut ctx = WarpCtx::new();
+        let v = WarpVec::from_fn(|i| i as u32);
+        assert_eq!(ctx.reduce_add(&v, Mask::ALL), (0..32).sum::<u32>());
+        assert_eq!(ctx.reduce_max(&v, Mask::ALL), 31);
+        let m = Mask::from_fn(|i| i < 3);
+        assert_eq!(ctx.reduce_add(&v, m), 3);
+        assert_eq!(ctx.reduce_max(&v, Mask::NONE), 0);
+        assert_eq!(ctx.reduce_min(&v, Mask::ALL), 0);
+        assert_eq!(ctx.reduce_min(&v, m), 0);
+        assert_eq!(ctx.reduce_min(&v, Mask::NONE), u32::MAX);
+    }
+
+    #[test]
+    fn coalesced_read_counts_few_transactions() {
+        let mut ctx = WarpCtx::new();
+        let buf = vec![7u8; 256];
+        // Adjacent lanes read adjacent bytes: 32 bytes = 1 sector.
+        let offs = WarpVec::from_fn(|i| i as u32);
+        ctx.global_read::<u8>(&buf, &offs, Mask::ALL, |b, o| b[o]);
+        assert_eq!(ctx.cost.load_transactions, 1, "fully coalesced");
+        assert_eq!(ctx.cost.bytes_read, 32);
+
+        // Strided reads: 32 distinct sectors.
+        let mut ctx2 = WarpCtx::new();
+        let big = vec![0u8; 32 * 64];
+        let strided = WarpVec::from_fn(|i| (i * 64) as u32);
+        ctx2.global_read::<u8>(&big, &strided, Mask::ALL, |b, o| b[o]);
+        assert_eq!(ctx2.cost.load_transactions, 32, "fully scattered");
+    }
+
+    #[test]
+    fn write_scatter_counts_and_stores() {
+        let mut ctx = WarpCtx::new();
+        let mut buf = vec![0u8; 64];
+        let offs = WarpVec::from_fn(|i| i as u32);
+        let vals = WarpVec::from_fn(|i| i as u8);
+        ctx.global_write(&mut buf, &offs, &vals, Mask::from_fn(|i| i < 8), |b, o, v| b[o] = v);
+        assert_eq!(&buf[..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(buf[8], 0);
+        assert_eq!(ctx.cost.bytes_written, 8);
+        assert_eq!(ctx.cost.store_transactions, 1);
+    }
+
+    #[test]
+    fn shfl_up_boundary_lanes_keep_value() {
+        let mut ctx = WarpCtx::new();
+        let v = WarpVec::from_fn(|i| i as u32);
+        let r = ctx.shfl_up(&v, 4, Mask::ALL);
+        assert_eq!(r.lane(0), 0);
+        assert_eq!(r.lane(3), 3, "lanes < delta keep their own value");
+        assert_eq!(r.lane(4), 0);
+        assert_eq!(r.lane(31), 27);
+    }
+}

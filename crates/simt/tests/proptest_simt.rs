@@ -1,0 +1,93 @@
+//! Property tests for the warp primitives: every collective must agree
+//! with its scalar reference on arbitrary lane values and masks.
+
+use proptest::prelude::*;
+use simt::{launch, Mask, WarpCtx, WarpVec, WARP_SIZE};
+
+fn arb_lanes() -> impl Strategy<Value = [u32; WARP_SIZE]> {
+    proptest::array::uniform32(0u32..1000)
+}
+
+fn arb_mask() -> impl Strategy<Value = u32> {
+    any::<u32>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scan_matches_scalar_prefix_sum(lanes in arb_lanes()) {
+        let mut ctx = WarpCtx::new();
+        let v = WarpVec(lanes);
+        let scanned = ctx.inclusive_scan_add(&v, Mask::ALL);
+        let mut acc = 0u32;
+        for i in 0..WARP_SIZE {
+            acc += lanes[i];
+            prop_assert_eq!(scanned.lane(i), acc, "lane {}", i);
+        }
+    }
+
+    #[test]
+    fn reductions_match_scalar(lanes in arb_lanes(), mask_bits in arb_mask()) {
+        let mut ctx = WarpCtx::new();
+        let v = WarpVec(lanes);
+        let mask = Mask(mask_bits);
+        let active: Vec<u32> = (0..WARP_SIZE).filter(|&i| mask.lane(i)).map(|i| lanes[i]).collect();
+        prop_assert_eq!(ctx.reduce_add(&v, mask), active.iter().sum::<u32>());
+        prop_assert_eq!(ctx.reduce_max(&v, mask), active.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(
+            ctx.reduce_min(&v, mask),
+            active.iter().copied().min().unwrap_or(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn ballot_matches_predicate(lanes in arb_lanes(), mask_bits in arb_mask(), cut in 0u32..1000) {
+        let mut ctx = WarpCtx::new();
+        let v = WarpVec(lanes);
+        let mask = Mask(mask_bits);
+        let m = ctx.ballot(&v, mask, |x| x >= cut);
+        for i in 0..WARP_SIZE {
+            prop_assert_eq!(m.lane(i), mask.lane(i) && lanes[i] >= cut, "lane {}", i);
+        }
+    }
+
+    #[test]
+    fn shfl_is_a_permutation_read(lanes in arb_lanes(), srcs in proptest::array::uniform32(0u32..64)) {
+        let mut ctx = WarpCtx::new();
+        let v = WarpVec(lanes);
+        let src = WarpVec(srcs);
+        let r = ctx.shfl(&v, &src, Mask::ALL);
+        for i in 0..WARP_SIZE {
+            prop_assert_eq!(r.lane(i), lanes[(srcs[i] as usize) % WARP_SIZE]);
+        }
+    }
+
+    #[test]
+    fn coalescing_counts_are_bounded(offsets in proptest::array::uniform32(0u32..4096)) {
+        // Transactions per warp access are between 1 and 32.
+        let mut ctx = WarpCtx::new();
+        let buf = vec![0u8; 8192];
+        let offs = WarpVec(offsets);
+        ctx.global_read::<u8>(&buf, &offs, Mask::ALL, |b, o| b[o]);
+        let t = ctx.cost.load_transactions;
+        prop_assert!((1..=32).contains(&t), "transactions {}", t);
+        prop_assert_eq!(ctx.cost.bytes_read, 32);
+    }
+
+    /// Grid results and cost accounting are independent of worker count.
+    #[test]
+    fn launch_determinism(blocks in 1usize..40, seed in any::<u32>()) {
+        let run = |workers: usize| {
+            launch(blocks, workers, move |ctx, b| {
+                let v = WarpVec::from_fn(|i| (i as u32).wrapping_mul(seed) ^ b as u32);
+                let s = ctx.warp.inclusive_scan_add(&v, Mask::ALL);
+                ctx.warp.reduce_add(&s, Mask::ALL)
+            })
+        };
+        let (r1, c1) = run(1);
+        let (r3, c3) = run(3);
+        prop_assert_eq!(r1, r3);
+        prop_assert_eq!(c1, c3);
+    }
+}

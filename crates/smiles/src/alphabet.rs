@@ -1,0 +1,101 @@
+//! Character sets used for dictionary pre-population (paper §IV-B).
+//!
+//! Pre-populating the compression dictionary with every character a valid
+//! SMILES can contain guarantees that compliant input never *expands*: each
+//! input byte either matches a multi-byte pattern or falls back to its
+//! identity entry at cost 1. The paper compares three seeds — nothing, the
+//! SMILES alphabet, and all printable ASCII — and finds the SMILES alphabet
+//! best (fewer identity codes leave more code points for patterns).
+
+/// Every byte that can appear in a valid SMILES string.
+///
+/// Letters cover all element symbols (bracket atoms may name any element,
+/// upper then lower case), digits cover ring IDs / isotopes / charges /
+/// H-counts / atom classes, and the symbol set is the full OpenSMILES
+/// punctuation: branches, brackets, bonds, dot, chirality, charge signs,
+/// `%` ring-ID prefix and the `*` wildcard.
+pub const SMILES_ALPHABET: &[u8] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789()[]=#$:/\\.@+-%*";
+
+/// Printable ASCII excluding space (0x21..=0x7E). Space cannot be an
+/// identity code because ZSMILES uses it as the escape marker.
+pub fn printable_ascii() -> impl Iterator<Item = u8> {
+    0x21u8..=0x7E
+}
+
+/// Is `b` part of the SMILES alphabet? O(1) table lookup.
+pub fn is_smiles_char(b: u8) -> bool {
+    SMILES_TABLE[b as usize]
+}
+
+static SMILES_TABLE: [bool; 256] = build_table();
+
+const fn build_table() -> [bool; 256] {
+    let mut t = [false; 256];
+    let mut i = 0;
+    while i < SMILES_ALPHABET.len() {
+        t[SMILES_ALPHABET[i] as usize] = true;
+        i += 1;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_size() {
+        // 52 letters + 10 digits + 16 punctuation marks = 78.
+        assert_eq!(SMILES_ALPHABET.len(), 78);
+        // No duplicates.
+        let mut seen = [false; 256];
+        for &b in SMILES_ALPHABET {
+            assert!(!seen[b as usize], "duplicate {}", b as char);
+            seen[b as usize] = true;
+        }
+    }
+
+    #[test]
+    fn alphabet_is_printable_subset() {
+        for &b in SMILES_ALPHABET {
+            assert!((0x21..=0x7E).contains(&b), "byte {b:#x}");
+        }
+        assert!(SMILES_ALPHABET.len() < printable_ascii().count());
+    }
+
+    #[test]
+    fn printable_count() {
+        assert_eq!(printable_ascii().count(), 94);
+        assert!(!printable_ascii().any(|b| b == b' '));
+        assert!(!printable_ascii().any(|b| b == b'\n'));
+    }
+
+    #[test]
+    fn membership_lookup() {
+        for c in "COc1cc(C=O)ccc1O[nH+]%99\\/#$.*@".bytes() {
+            assert!(is_smiles_char(c), "{}", c as char);
+        }
+        assert!(!is_smiles_char(b' '));
+        assert!(!is_smiles_char(b'\n'));
+        assert!(!is_smiles_char(b'!'));
+        assert!(!is_smiles_char(b'~'));
+        assert!(!is_smiles_char(0x80));
+        assert!(!is_smiles_char(0xFF));
+    }
+
+    #[test]
+    fn real_smiles_stay_inside_alphabet() {
+        for s in [
+            "CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+            "[13C@@H](N)(C)C(=O)O",
+            "C/C=C\\C.[NH4+].[Cl-]",
+            "C%10CCCCC%10",
+            "N#Cc1ccccc1$C",
+        ] {
+            for b in s.bytes() {
+                assert!(is_smiles_char(b), "{} in {s}", b as char);
+            }
+        }
+    }
+}

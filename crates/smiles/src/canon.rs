@@ -1,0 +1,224 @@
+//! Light canonicalization: a deterministic, traversal-invariant SMILES
+//! form for deduplication and equality checks.
+//!
+//! This is a Morgan-style iterative refinement (atom invariants sharpened
+//! by neighborhood hashing until stable), then a writer pass that starts
+//! from the highest-ranked atom and visits neighbors in rank order. It is
+//! *not* a certified graph-canonicalization (no orbit splitting beyond the
+//! deterministic index tie-break), but it is stable under input reordering
+//! for the overwhelming majority of chemical graphs, which is what the
+//! dataset generator's deduplication and the tests need. Stereo markers
+//! are dropped in the canonical form (parity would need neighbor-order
+//! bookkeeping this light variant does not do).
+
+use crate::graph::{AtomKind, Molecule};
+use crate::writer::{write, RingAlloc, StartAtom, WriteOptions};
+
+/// Initial invariant of one atom: element, aromaticity, degree, charge,
+/// hydrogen count, isotope. Deliberately *structural only* — notational
+/// artifacts like which bond carried the ring-closure digit must not
+/// enter, or the canonical form would not be a fixed point.
+fn initial_invariant(mol: &Molecule, i: u32) -> u64 {
+    let a = mol.atom(i);
+    let z = a.element().atomic_number().unwrap_or(0) as u64;
+    let aromatic = a.aromatic() as u64;
+    let degree = mol.adjacent(i).len() as u64;
+    let (charge, hcount, isotope) = match a {
+        AtomKind::Bracket(b) => (b.charge as i64 + 16, b.hcount as u64, b.isotope.unwrap_or(0)),
+        AtomKind::Bare(_) => (16, mol.implicit_hydrogens(i) as u64, 0),
+    };
+    let mut h = z;
+    h = h << 1 | aromatic;
+    h = h << 4 | degree.min(15);
+    h = h << 6 | (charge as u64).min(63);
+    h = h << 4 | hcount.min(15);
+    h << 10 | (isotope as u64).min(1023)
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .rotate_left(23)
+        .wrapping_mul(0x100_0000_01b3)
+}
+
+/// Refined ranks: position of each atom in the sorted invariant order.
+fn refine(mol: &Molecule) -> Vec<u64> {
+    let n = mol.atom_count();
+    let mut inv: Vec<u64> = (0..n as u32).map(|i| initial_invariant(mol, i)).collect();
+    // log₂(n)+2 rounds reach the graph diameter for molecule-sized graphs.
+    let rounds = (usize::BITS - n.leading_zeros()) as usize + 2;
+    for _ in 0..rounds {
+        let mut next = vec![0u64; n];
+        for i in 0..n {
+            // Combine neighbor invariants order-independently (sorted).
+            let mut neigh: Vec<u64> = mol
+                .adjacent(i as u32)
+                .iter()
+                .map(|&b| {
+                    let bond = &mol.bonds()[b as usize];
+                    let other = bond.other(i as u32) as usize;
+                    mix(inv[other], bond.order(mol.atoms()) as u64 + 1)
+                })
+                .collect();
+            neigh.sort_unstable();
+            let mut h = mix(inv[i], 0x5EED);
+            for v in neigh {
+                h = mix(h, v);
+            }
+            next[i] = h;
+        }
+        inv = next;
+    }
+    inv
+}
+
+/// A canonical-ish SMILES string: deterministic and traversal-invariant
+/// (the same molecule entered with different atom orders produces the same
+/// bytes, stereo aside).
+pub fn canonical_smiles(mol: &Molecule) -> Vec<u8> {
+    let n = mol.atom_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let inv = refine(mol);
+
+    // Rebuild the molecule with atoms ordered by (invariant, original
+    // index) and adjacency sorted the same way, so the deterministic
+    // writer's traversal order is invariant-driven.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&i| (inv[i as usize], i));
+    let mut new_index = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_index[old as usize] = new as u32;
+    }
+
+    let mut canon = Molecule::new();
+    for &old in &order {
+        let kind = strip_stereo(mol.atom(old));
+        canon.add_atom(kind);
+    }
+    // Insert bonds sorted by their new endpoints so adjacency order is
+    // also canonical.
+    let mut bonds: Vec<(u32, u32, _)> = mol
+        .bonds()
+        .iter()
+        .map(|b| {
+            let x = new_index[b.a as usize];
+            let y = new_index[b.b as usize];
+            let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+            (lo, hi, strip_dir(b.sym))
+        })
+        .collect();
+    bonds.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    for (a, b, sym) in bonds {
+        canon.add_bond(a, b, sym, false);
+    }
+
+    let opts = WriteOptions { ring_alloc: RingAlloc::Reuse, start: StartAtom::First };
+    write(&canon, &opts).expect("canonical rewrite stays in ring-ID bounds").smiles
+}
+
+fn strip_stereo(kind: &AtomKind) -> AtomKind {
+    match kind {
+        AtomKind::Bare(a) => AtomKind::Bare(*a),
+        AtomKind::Bracket(b) => {
+            let mut b = *b;
+            b.chirality = crate::token::Chirality::None;
+            AtomKind::Bracket(b)
+        }
+    }
+}
+
+fn strip_dir(sym: Option<crate::token::BondSym>) -> Option<crate::token::BondSym> {
+    use crate::token::BondSym;
+    match sym {
+        Some(BondSym::Up) | Some(BondSym::Down) => None,
+        s => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn canon(s: &str) -> String {
+        String::from_utf8(canonical_smiles(&parse(s.as_bytes()).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn traversal_invariance() {
+        // The same molecule written from different starting atoms / orders.
+        let spellings: [&[&str]; 5] = [
+            &["CCO", "OCC", "C(O)C"],
+            &["c1ccccc1C", "Cc1ccccc1"],
+            &["CC(=O)O", "OC(C)=O", "C(C)(=O)O"],
+            &["COc1cc(C=O)ccc1O", "O=Cc1ccc(O)c(OC)c1"],
+            &["C1CCCCC1", "C2CCCCC2"],
+        ];
+        for group in spellings {
+            let forms: Vec<String> = group.iter().map(|s| canon(s)).collect();
+            for w in forms.windows(2) {
+                assert_eq!(w[0], w[1], "group {group:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_molecules_stay_distinct() {
+        let pairs = [
+            ("CCO", "CCN"),
+            ("c1ccccc1", "C1CCCCC1"),
+            ("CC(=O)O", "CC(=O)N"),
+            ("C1CC1", "C1CCC1"),
+            ("CC#N", "CC=N"),
+        ];
+        for (a, b) in pairs {
+            assert_ne!(canon(a), canon(b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_fixed_point() {
+        for s in ["COc1cc(C=O)ccc1O", "CC(C)Cc1ccc(cc1)C(C)C(=O)O", "C1CC2CCC2C1"] {
+            let once = canon(s);
+            assert_eq!(canon(&once), once, "{s}");
+        }
+    }
+
+    #[test]
+    fn canonical_output_is_valid() {
+        for s in ["COc1cc(C=O)ccc1O", "[NH4+].[Cl-]", "C/C=C\\C", "[13CH3]C"] {
+            let c = canon(s);
+            let m = parse(c.as_bytes()).unwrap_or_else(|e| panic!("{e} in {c}"));
+            assert_eq!(
+                m.atom_count(),
+                parse(s.as_bytes()).unwrap().atom_count(),
+                "{s} -> {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn stereo_is_dropped_consistently() {
+        assert_eq!(canon("C/C=C\\C"), canon("C/C=C/C"), "cis/trans collapse");
+        assert_eq!(canon("[C@H](C)(N)O"), canon("[C@@H](C)(N)O"), "parity collapse");
+    }
+
+    #[test]
+    fn charges_and_isotopes_distinguish() {
+        assert_ne!(canon("[O-]C"), canon("OC"));
+        assert_ne!(canon("[13CH4]"), canon("C"));
+    }
+
+    #[test]
+    fn generated_molecules_dedupe_by_canonical_form() {
+        // Same generator seed twice: canonical forms must match pairwise.
+        use crate::writer::{RingAlloc, StartAtom, WriteOptions};
+        let m = parse(b"CC(C)c1ccc(N)cc1").unwrap();
+        let w1 = write(&m, &WriteOptions { ring_alloc: RingAlloc::Sequential, start: StartAtom::Terminal })
+            .unwrap();
+        let m2 = parse(&w1.smiles).unwrap();
+        assert_eq!(canonical_smiles(&m), canonical_smiles(&m2));
+    }
+}

@@ -1,0 +1,190 @@
+//! Error types shared by the SMILES lexer, parser and preprocessor.
+
+use std::fmt;
+
+/// Byte range of the offending region inside the input line.
+///
+/// Spans are half-open (`start..end`) byte offsets. They always refer to a
+/// single line of input, which is how every SMILES API in this crate
+/// operates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end);
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`, used for "expected something here" errors.
+    pub fn point(pos: usize) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Slice the input line with this span.
+    pub fn slice<'a>(&self, line: &'a [u8]) -> &'a [u8] {
+        &line[self.start..self.end.min(line.len())]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Everything that can go wrong while reading a SMILES line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmilesError {
+    /// A byte that cannot start any SMILES token.
+    UnexpectedByte { byte: u8, at: usize },
+    /// A `[` bracket atom that is not terminated by `]`.
+    UnterminatedBracket { at: usize },
+    /// A bracket atom with no element symbol, e.g. `[+]`.
+    EmptyBracket { span: Span },
+    /// An element symbol that is not in the periodic table.
+    UnknownElement { span: Span },
+    /// An organic-subset aromatic symbol that is not allowed bare
+    /// (e.g. `se` outside brackets).
+    BareAromaticNotAllowed { span: Span },
+    /// `%` ring bond not followed by two digits.
+    MalformedPercentRing { at: usize },
+    /// Numeric field (isotope, charge, class) out of the representable range.
+    NumberOverflow { span: Span },
+    /// A ring-bond ID was opened twice without being closed
+    /// (e.g. `C1CC1C1` leaves ring 1 open at end of line -> see below),
+    /// or a ring closure bonds an atom to itself (`C11`).
+    RingSelfBond { id: u16, span: Span },
+    /// The two halves of a ring closure carry contradictory bond symbols
+    /// (`C=1CCC-1`).
+    RingBondMismatch { id: u16, span: Span },
+    /// A ring ID still open when the line (or dot-separated component) ends.
+    UnclosedRing { id: u16 },
+    /// Ring closure would duplicate an existing bond (e.g. `C12CC12`
+    /// creating two bonds between the same atoms is chemically suspect but
+    /// legal SMILES; this error is only for an *identical* pair re-bonded via
+    /// the same ring digit semantics, i.e. `C11`).
+    DuplicateRingBond { id: u16, span: Span },
+    /// `(` without a matching `)`.
+    UnclosedBranch { at: usize },
+    /// `)` without a matching `(`.
+    UnmatchedBranchClose { at: usize },
+    /// A branch with no atoms, `C()C`.
+    EmptyBranch { span: Span },
+    /// A bond symbol with nothing to attach to (`=CC`, `C(=)C`, trailing `=`).
+    DanglingBond { at: usize },
+    /// A dot (fragment separator) in an illegal position, e.g. inside an
+    /// open branch or at the start/end of the line.
+    MisplacedDot { at: usize },
+    /// Branch open immediately after start of line or after `.`:
+    /// `(C)C` has no preceding atom.
+    BranchWithoutAtom { at: usize },
+    /// A ring-bond digit with no preceding atom, e.g. `1CC1`.
+    RingWithoutAtom { at: usize },
+    /// The line is empty (no atoms).
+    EmptyInput,
+    /// More than [`crate::preprocess::MAX_RING_ID`] rings simultaneously
+    /// open: cannot be renumbered into `%nn` notation.
+    RingIdSpaceExhausted { concurrent: usize },
+    /// Two chirality markers or other duplicate fields inside one bracket.
+    DuplicateBracketField { span: Span },
+}
+
+impl fmt::Display for SmilesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use SmilesError::*;
+        match self {
+            UnexpectedByte { byte, at } => {
+                if byte.is_ascii_graphic() {
+                    write!(f, "unexpected character '{}' at byte {}", *byte as char, at)
+                } else {
+                    write!(f, "unexpected byte 0x{byte:02x} at byte {at}")
+                }
+            }
+            UnterminatedBracket { at } => write!(f, "'[' at byte {at} has no matching ']'"),
+            EmptyBracket { span } => write!(f, "bracket atom at {span} has no element symbol"),
+            UnknownElement { span } => write!(f, "unknown element symbol at {span}"),
+            BareAromaticNotAllowed { span } => {
+                write!(f, "aromatic symbol at {span} must be written inside brackets")
+            }
+            MalformedPercentRing { at } => {
+                write!(f, "'%' at byte {at} must be followed by exactly two digits")
+            }
+            NumberOverflow { span } => write!(f, "numeric field at {span} out of range"),
+            RingSelfBond { id, span } => {
+                write!(f, "ring bond {id} at {span} closes onto the same atom")
+            }
+            RingBondMismatch { id, span } => {
+                write!(f, "ring bond {id} at {span} disagrees with its opening bond symbol")
+            }
+            UnclosedRing { id } => write!(f, "ring bond {id} is never closed"),
+            DuplicateRingBond { id, span } => {
+                write!(f, "ring bond {id} at {span} duplicates an existing bond")
+            }
+            UnclosedBranch { at } => write!(f, "'(' at byte {at} has no matching ')'"),
+            UnmatchedBranchClose { at } => write!(f, "')' at byte {at} has no matching '('"),
+            EmptyBranch { span } => write!(f, "empty branch at {span}"),
+            DanglingBond { at } => write!(f, "bond symbol at byte {at} has no following atom"),
+            MisplacedDot { at } => write!(f, "'.' at byte {at} is not allowed here"),
+            BranchWithoutAtom { at } => {
+                write!(f, "branch at byte {at} is not attached to any atom")
+            }
+            RingWithoutAtom { at } => {
+                write!(f, "ring bond at byte {at} is not attached to any atom")
+            }
+            EmptyInput => write!(f, "empty SMILES"),
+            RingIdSpaceExhausted { concurrent } => write!(
+                f,
+                "{concurrent} rings are simultaneously open; SMILES ring IDs only go up to 99"
+            ),
+            DuplicateBracketField { span } => {
+                write!(f, "duplicate field inside bracket atom at {span}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmilesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(2, 5);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.slice(b"0123456789"), b"234");
+        let p = Span::point(4);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let e = SmilesError::UnexpectedByte { byte: b'!', at: 3 };
+        assert_eq!(e.to_string(), "unexpected character '!' at byte 3");
+        let e = SmilesError::UnexpectedByte { byte: 0x07, at: 0 };
+        assert_eq!(e.to_string(), "unexpected byte 0x07 at byte 0");
+        let e = SmilesError::UnclosedRing { id: 12 };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn span_slice_clamps_to_line() {
+        let s = Span::new(8, 64);
+        assert_eq!(s.slice(b"0123456789"), b"89");
+    }
+}

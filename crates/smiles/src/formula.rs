@@ -1,0 +1,202 @@
+//! Molecular formula and molar mass from a parsed [`Molecule`].
+//!
+//! Screening decks are routinely filtered by composition (Lipinski-style
+//! cutoffs on molecular weight) before a campaign is even stored, so the
+//! substrate should be able to answer "what is this ligand, by the
+//! numbers?" without round-tripping through an external toolkit. Formulas
+//! follow the **Hill convention**: carbon first, hydrogen second, every
+//! other element alphabetically (and strictly alphabetical when no carbon
+//! is present); a non-zero net formal charge is appended as a suffix
+//! (`+`, `2-`, …).
+
+use crate::element::Element;
+use crate::graph::{AtomKind, Molecule};
+use std::collections::BTreeMap;
+
+/// Element counts plus net charge — the data behind a formula string.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Composition {
+    /// Counts per element symbol (hydrogens included under "H").
+    counts: BTreeMap<&'static str, u32>,
+    /// Number of `*` wildcard atoms (kept out of the formula proper).
+    pub wildcards: u32,
+    /// Sum of formal charges.
+    pub net_charge: i32,
+}
+
+impl Composition {
+    /// Tally a molecule: every heavy atom plus explicit (bracket) and
+    /// implicit hydrogens.
+    pub fn of(mol: &Molecule) -> Composition {
+        let mut c = Composition::default();
+        for (i, atom) in mol.atoms().iter().enumerate() {
+            match atom.element() {
+                Element::Wildcard => c.wildcards += 1,
+                e => *c.counts.entry(e.symbol()).or_insert(0) += 1,
+            }
+            let h = mol.implicit_hydrogens(i as u32) as u32;
+            if h > 0 {
+                *c.counts.entry("H").or_insert(0) += h;
+            }
+            if let AtomKind::Bracket(b) = atom {
+                c.net_charge += b.charge as i32;
+            }
+        }
+        c
+    }
+
+    /// Count for one element symbol (0 when absent).
+    pub fn count(&self, symbol: &str) -> u32 {
+        self.counts.get(symbol).copied().unwrap_or(0)
+    }
+
+    /// Total heavy (non-H, non-wildcard) atoms.
+    pub fn heavy_atoms(&self) -> u32 {
+        self.counts
+            .iter()
+            .filter(|(s, _)| **s != "H")
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// The Hill-order formula string.
+    pub fn hill_formula(&self) -> String {
+        let mut out = String::new();
+        let mut push = |sym: &str, n: u32| {
+            if n == 0 {
+                return;
+            }
+            out.push_str(sym);
+            if n > 1 {
+                out.push_str(&n.to_string());
+            }
+        };
+        let has_carbon = self.count("C") > 0;
+        if has_carbon {
+            push("C", self.count("C"));
+            push("H", self.count("H"));
+            for (sym, &n) in &self.counts {
+                if *sym != "C" && *sym != "H" {
+                    push(sym, n);
+                }
+            }
+        } else {
+            // No carbon: strictly alphabetical, H included in order.
+            for (sym, &n) in &self.counts {
+                push(sym, n);
+            }
+        }
+        match self.net_charge {
+            0 => {}
+            1 => out.push('+'),
+            -1 => out.push('-'),
+            q if q > 0 => out.push_str(&format!("{q}+")),
+            q => out.push_str(&format!("{}-", -q)),
+        }
+        out
+    }
+
+    /// Molar mass in g/mol from standard atomic weights. `None` if the
+    /// molecule contains wildcard atoms (their mass is undefined).
+    pub fn molar_mass(&self) -> Option<f64> {
+        if self.wildcards > 0 {
+            return None;
+        }
+        let mut total = 0.0;
+        for (sym, &n) in &self.counts {
+            let w = Element::from_symbol(sym.as_bytes())?.atomic_weight()?;
+            total += w * n as f64;
+        }
+        Some(total)
+    }
+}
+
+/// Convenience: the Hill formula of a molecule.
+pub fn molecular_formula(mol: &Molecule) -> String {
+    Composition::of(mol).hill_formula()
+}
+
+/// Convenience: the molar mass of a molecule (g/mol).
+pub fn molar_mass(mol: &Molecule) -> Option<f64> {
+    Composition::of(mol).molar_mass()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn formula(s: &str) -> String {
+        molecular_formula(&parse(s.as_bytes()).unwrap())
+    }
+
+    fn mass(s: &str) -> f64 {
+        molar_mass(&parse(s.as_bytes()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn known_drug_formulas() {
+        // Vanillin (the paper's own Fig. 1 example).
+        assert_eq!(formula("COc1cc(C=O)ccc1O"), "C8H8O3");
+        // Aspirin.
+        assert_eq!(formula("CC(=O)Oc1ccccc1C(=O)O"), "C9H8O4");
+        // Caffeine.
+        assert_eq!(formula("CN1C=NC2=C1C(=O)N(C(=O)N2C)C"), "C8H10N4O2");
+        // Ibuprofen.
+        assert_eq!(formula("CC(C)Cc1ccc(cc1)C(C)C(=O)O"), "C13H18O2");
+        // Ethanol.
+        assert_eq!(formula("CCO"), "C2H6O");
+        // Methane as a bracket atom.
+        assert_eq!(formula("[CH4]"), "CH4");
+    }
+
+    #[test]
+    fn hill_order_without_carbon_is_alphabetical() {
+        assert_eq!(formula("O"), "H2O");
+        assert_eq!(formula("N"), "H3N", "ammonia: alphabetical, not NH3");
+        assert_eq!(formula("[Na+].[Cl-]"), "ClNa");
+    }
+
+    #[test]
+    fn charges_in_formula() {
+        assert_eq!(formula("[NH4+]"), "H4N+");
+        assert_eq!(formula("[OH-]"), "HO-");
+        assert_eq!(formula("[Ca+2]"), "Ca2+");
+        // A zwitterion sums to zero net charge: glycine-like.
+        assert_eq!(formula("[NH3+]CC(=O)[O-]"), "C2H5NO2");
+    }
+
+    #[test]
+    fn known_masses() {
+        assert!((mass("O") - 18.015).abs() < 0.01, "water {}", mass("O"));
+        assert!((mass("COc1cc(C=O)ccc1O") - 152.15).abs() < 0.05, "vanillin {}", mass("COc1cc(C=O)ccc1O"));
+        assert!((mass("CN1C=NC2=C1C(=O)N(C(=O)N2C)C") - 194.19).abs() < 0.05, "caffeine");
+    }
+
+    #[test]
+    fn wildcard_blocks_mass_but_not_formula() {
+        let m = parse(b"C*C").unwrap();
+        let c = Composition::of(&m);
+        assert_eq!(c.wildcards, 1);
+        assert!(c.molar_mass().is_none());
+        // Wildcards contribute no symbol; carbons and their H's remain.
+        assert!(c.hill_formula().starts_with("C2"));
+    }
+
+    #[test]
+    fn composition_accessors() {
+        let c = Composition::of(&parse(b"CC(=O)Oc1ccccc1C(=O)O").unwrap());
+        assert_eq!(c.count("C"), 9);
+        assert_eq!(c.count("H"), 8);
+        assert_eq!(c.count("O"), 4);
+        assert_eq!(c.count("N"), 0);
+        assert_eq!(c.heavy_atoms(), 13);
+        assert_eq!(c.net_charge, 0);
+    }
+
+    #[test]
+    fn multi_component_salts_tally_everything() {
+        // Sodium acetate: both components in one formula.
+        assert_eq!(formula("CC(=O)[O-].[Na+]"), "C2H3NaO2");
+    }
+}

@@ -1,0 +1,402 @@
+//! Molecular graph: the in-memory form shared by the parser, the writer and
+//! the dataset generator.
+
+use crate::element::Element;
+use crate::token::{BareAtom, BondSym, BracketAtom};
+
+/// An atom node. We keep the distinction between bare and bracket notation
+/// because it matters for re-serialization (`[CH4]` and `C` are the same
+/// molecule but different bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomKind {
+    Bare(BareAtom),
+    Bracket(BracketAtom),
+}
+
+impl AtomKind {
+    pub fn element(&self) -> Element {
+        match self {
+            AtomKind::Bare(a) => a.element,
+            AtomKind::Bracket(a) => a.element,
+        }
+    }
+
+    pub fn aromatic(&self) -> bool {
+        match self {
+            AtomKind::Bare(a) => a.aromatic,
+            AtomKind::Bracket(a) => a.aromatic,
+        }
+    }
+}
+
+/// An edge. `sym == None` means the bond was implicit in the notation:
+/// single between two non-aromatic atoms, aromatic between two aromatic ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bond {
+    pub a: u32,
+    pub b: u32,
+    pub sym: Option<BondSym>,
+    /// True when the bond came from (or should be written as) a ring-closure
+    /// digit rather than adjacency in the string.
+    pub ring: bool,
+}
+
+impl Bond {
+    /// Bond order after resolving implicitness against the endpoints.
+    pub fn order(&self, _atoms: &[AtomKind]) -> u8 {
+        match self.sym {
+            Some(s) => s.order(),
+            None => 1, // implicit aromatic bonds also count 1 for valence
+        }
+    }
+
+    /// The other endpoint.
+    pub fn other(&self, atom: u32) -> u32 {
+        if self.a == atom {
+            self.b
+        } else {
+            debug_assert_eq!(self.b, atom);
+            self.a
+        }
+    }
+
+    /// Is the (possibly implicit) bond aromatic given its endpoints?
+    pub fn is_aromatic(&self, atoms: &[AtomKind]) -> bool {
+        match self.sym {
+            Some(BondSym::Aromatic) => true,
+            None => {
+                atoms[self.a as usize].aromatic() && atoms[self.b as usize].aromatic()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A molecule (possibly multiple disconnected components, as produced by
+/// dot-separated SMILES).
+#[derive(Debug, Clone, Default)]
+pub struct Molecule {
+    atoms: Vec<AtomKind>,
+    bonds: Vec<Bond>,
+    /// Bond indices incident to each atom, in insertion order. Insertion
+    /// order is what makes the writer deterministic.
+    adj: Vec<Vec<u32>>,
+}
+
+impl Molecule {
+    pub fn new() -> Self {
+        Molecule::default()
+    }
+
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    pub fn bond_count(&self) -> usize {
+        self.bonds.len()
+    }
+
+    pub fn atoms(&self) -> &[AtomKind] {
+        &self.atoms
+    }
+
+    pub fn bonds(&self) -> &[Bond] {
+        &self.bonds
+    }
+
+    pub fn atom(&self, i: u32) -> &AtomKind {
+        &self.atoms[i as usize]
+    }
+
+    /// Bond indices incident to atom `i`, in insertion order.
+    pub fn adjacent(&self, i: u32) -> &[u32] {
+        &self.adj[i as usize]
+    }
+
+    pub fn add_atom(&mut self, kind: AtomKind) -> u32 {
+        let idx = self.atoms.len() as u32;
+        self.atoms.push(kind);
+        self.adj.push(Vec::new());
+        idx
+    }
+
+    /// Add a bond; panics on self-bonds or out-of-range atoms (the parser
+    /// reports those as errors before calling this).
+    pub fn add_bond(&mut self, a: u32, b: u32, sym: Option<BondSym>, ring: bool) -> u32 {
+        assert!(a != b, "self bond");
+        assert!((a as usize) < self.atoms.len() && (b as usize) < self.atoms.len());
+        let idx = self.bonds.len() as u32;
+        self.bonds.push(Bond { a, b, sym, ring });
+        self.adj[a as usize].push(idx);
+        self.adj[b as usize].push(idx);
+        idx
+    }
+
+    /// Replace the kind of atom `i` (used by post-pass decorators, e.g.
+    /// turning a bare `C` into a `[C@H]` bracket atom). The caller is
+    /// responsible for keeping valence arithmetic consistent.
+    pub fn set_atom_kind(&mut self, i: u32, kind: AtomKind) {
+        self.atoms[i as usize] = kind;
+    }
+
+    /// Replace the bond symbol of bond `idx` (used to add `/`/`\` stereo
+    /// marks after skeleton construction).
+    pub fn set_bond_sym(&mut self, idx: u32, sym: Option<BondSym>) {
+        self.bonds[idx as usize].sym = sym;
+    }
+
+    /// Is there already a bond between `a` and `b`?
+    pub fn has_bond_between(&self, a: u32, b: u32) -> bool {
+        self.adj[a as usize]
+            .iter()
+            .any(|&bi| self.bonds[bi as usize].other(a) == b)
+    }
+
+    /// Sum of bond orders at an atom (explicit graph valence).
+    pub fn degree_valence(&self, i: u32) -> u32 {
+        self.adj[i as usize]
+            .iter()
+            .map(|&bi| self.bonds[bi as usize].order(&self.atoms) as u32)
+            .sum()
+    }
+
+    /// Number of implicit hydrogens an organic-subset atom would get, per
+    /// the OpenSMILES default-valence rule. Bracket atoms carry their
+    /// hydrogen count explicitly, so this returns that count for them.
+    pub fn implicit_hydrogens(&self, i: u32) -> u8 {
+        match &self.atoms[i as usize] {
+            AtomKind::Bracket(b) => b.hcount,
+            AtomKind::Bare(a) => {
+                let v = self.degree_valence(i);
+                // Aromatic atoms in rings get one fewer H slot because the
+                // delocalized system adds bonding; the standard approximation
+                // is to charge them one extra unit of valence.
+                let v = if a.aromatic { v + 1 } else { v };
+                for &dv in a.element.default_valences() {
+                    if v <= dv as u32 {
+                        return (dv as u32 - v) as u8;
+                    }
+                }
+                0
+            }
+        }
+    }
+
+    /// Connected components, each a sorted list of atom indices.
+    pub fn components(&self) -> Vec<Vec<u32>> {
+        let n = self.atoms.len();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start as u32];
+            seen[start] = true;
+            while let Some(a) = stack.pop() {
+                comp.push(a);
+                for &bi in &self.adj[a as usize] {
+                    let o = self.bonds[bi as usize].other(a);
+                    if !seen[o as usize] {
+                        seen[o as usize] = true;
+                        stack.push(o);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Number of independent rings (circuit rank): `bonds - atoms + components`.
+    pub fn ring_count(&self) -> usize {
+        self.bonds.len() + self.components().len() - self.atoms.len()
+    }
+
+    /// Exact graph equality under an atom-index permutation `perm`, where
+    /// `perm[i]` is the index in `other` corresponding to atom `i` in
+    /// `self`. Used by round-trip tests: the writer reports the emit order,
+    /// which is exactly this permutation for the re-parsed molecule.
+    pub fn eq_under_permutation(&self, other: &Molecule, perm: &[u32]) -> bool {
+        if self.atoms.len() != other.atoms.len()
+            || self.bonds.len() != other.bonds.len()
+            || perm.len() != self.atoms.len()
+        {
+            return false;
+        }
+        for (i, kind) in self.atoms.iter().enumerate() {
+            if other.atoms[perm[i] as usize] != *kind {
+                return false;
+            }
+        }
+        let key = |a: u32, b: u32, ord: u8| {
+            let (x, y) = if a < b { (a, b) } else { (b, a) };
+            (x, y, ord)
+        };
+        let mut mine: Vec<_> = self
+            .bonds
+            .iter()
+            .map(|bd| {
+                key(
+                    perm[bd.a as usize],
+                    perm[bd.b as usize],
+                    bd.order(&self.atoms),
+                )
+            })
+            .collect();
+        let mut theirs: Vec<_> = other
+            .bonds
+            .iter()
+            .map(|bd| key(bd.a, bd.b, bd.order(&other.atoms)))
+            .collect();
+        mine.sort_unstable();
+        theirs.sort_unstable();
+        mine == theirs
+    }
+
+    /// A cheap permutation-invariant fingerprint: sorted atom kinds plus the
+    /// sorted multiset of (element, element, order) bond descriptors. Equal
+    /// molecules always have equal signatures; the converse is not
+    /// guaranteed (it is a sanity check, not an isomorphism test).
+    pub fn signature(&self) -> u64 {
+        let mut atom_keys: Vec<u64> = self
+            .atoms
+            .iter()
+            .map(|a| {
+                let z = a.element().atomic_number().unwrap_or(0) as u64;
+                let ar = a.aromatic() as u64;
+                (z << 1) | ar
+            })
+            .collect();
+        atom_keys.sort_unstable();
+        let mut bond_keys: Vec<u64> = self
+            .bonds
+            .iter()
+            .map(|b| {
+                let za = self.atoms[b.a as usize].element().atomic_number().unwrap_or(0) as u64;
+                let zb = self.atoms[b.b as usize].element().atomic_number().unwrap_or(0) as u64;
+                let (lo, hi) = if za < zb { (za, zb) } else { (zb, za) };
+                (lo << 16) | (hi << 4) | b.order(&self.atoms) as u64
+            })
+            .collect();
+        bond_keys.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for k in atom_keys.iter().chain(bond_keys.iter()) {
+            h ^= k.wrapping_mul(0x100_0000_01b3);
+            h = h.rotate_left(27).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        h ^ (self.atoms.len() as u64) << 32 ^ self.bonds.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+
+    fn carbon() -> AtomKind {
+        AtomKind::Bare(BareAtom { element: Element::from_symbol(b"C").unwrap(), aromatic: false })
+    }
+
+    fn arom_carbon() -> AtomKind {
+        AtomKind::Bare(BareAtom { element: Element::from_symbol(b"C").unwrap(), aromatic: true })
+    }
+
+    #[test]
+    fn build_ethane() {
+        let mut m = Molecule::new();
+        let a = m.add_atom(carbon());
+        let b = m.add_atom(carbon());
+        m.add_bond(a, b, None, false);
+        assert_eq!(m.atom_count(), 2);
+        assert_eq!(m.bond_count(), 1);
+        assert_eq!(m.degree_valence(a), 1);
+        assert_eq!(m.implicit_hydrogens(a), 3);
+        assert!(m.has_bond_between(a, b));
+        assert!(m.has_bond_between(b, a));
+        assert_eq!(m.ring_count(), 0);
+    }
+
+    #[test]
+    fn implicit_h_counts() {
+        // C=C : each carbon has valence 2 -> 2 implicit H.
+        let mut m = Molecule::new();
+        let a = m.add_atom(carbon());
+        let b = m.add_atom(carbon());
+        m.add_bond(a, b, Some(BondSym::Double), false);
+        assert_eq!(m.implicit_hydrogens(a), 2);
+        // Aromatic ring carbon: 2 ring bonds + 1 aromatic adjustment = 3 -> 1 H.
+        let mut ring = Molecule::new();
+        let atoms: Vec<u32> = (0..6).map(|_| ring.add_atom(arom_carbon())).collect();
+        for i in 0..6 {
+            ring.add_bond(atoms[i], atoms[(i + 1) % 6], None, i == 5);
+        }
+        for &a in &atoms {
+            assert_eq!(ring.implicit_hydrogens(a), 1, "benzene CH");
+        }
+        assert_eq!(ring.ring_count(), 1);
+    }
+
+    #[test]
+    fn components_and_rings() {
+        let mut m = Molecule::new();
+        let a = m.add_atom(carbon());
+        let b = m.add_atom(carbon());
+        let c = m.add_atom(carbon());
+        m.add_bond(a, b, None, false);
+        // c is disconnected
+        let comps = m.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![a, b]);
+        assert_eq!(comps[1], vec![c]);
+        assert_eq!(m.ring_count(), 0);
+    }
+
+    #[test]
+    fn permutation_equality() {
+        // Triangle written twice with different index orders.
+        let mut m1 = Molecule::new();
+        let a = m1.add_atom(carbon());
+        let b = m1.add_atom(arom_carbon());
+        let c = m1.add_atom(carbon());
+        m1.add_bond(a, b, None, false);
+        m1.add_bond(b, c, None, false);
+        m1.add_bond(c, a, None, true);
+
+        let mut m2 = Molecule::new();
+        let x = m2.add_atom(arom_carbon()); // = b
+        let y = m2.add_atom(carbon()); // = c
+        let z = m2.add_atom(carbon()); // = a
+        m2.add_bond(x, y, None, false);
+        m2.add_bond(y, z, None, false);
+        m2.add_bond(z, x, None, false);
+
+        // perm maps m1 indices -> m2 indices: a->z, b->x, c->y
+        assert!(m1.eq_under_permutation(&m2, &[z, x, y]));
+        assert!(!m1.eq_under_permutation(&m2, &[x, y, z]), "wrong mapping");
+        assert_eq!(m1.signature(), m2.signature());
+    }
+
+    #[test]
+    fn signature_differs_on_bond_order() {
+        let mut m1 = Molecule::new();
+        let a = m1.add_atom(carbon());
+        let b = m1.add_atom(carbon());
+        m1.add_bond(a, b, None, false);
+        let mut m2 = Molecule::new();
+        let a = m2.add_atom(carbon());
+        let b = m2.add_atom(carbon());
+        m2.add_bond(a, b, Some(BondSym::Double), false);
+        assert_ne!(m1.signature(), m2.signature());
+    }
+
+    #[test]
+    #[should_panic(expected = "self bond")]
+    fn self_bond_panics() {
+        let mut m = Molecule::new();
+        let a = m.add_atom(carbon());
+        m.add_bond(a, a, None, false);
+    }
+}

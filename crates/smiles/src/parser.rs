@@ -1,0 +1,397 @@
+//! SMILES grammar: token stream → [`Molecule`].
+//!
+//! The parser enforces the structural rules the lexer cannot see:
+//! branch balance, ring-bond pairing (first occurrence opens, second
+//! closes, IDs reusable after closing), bond-symbol agreement between the
+//! two halves of a ring closure, and sane placement of dots and bonds.
+
+use crate::error::{SmilesError, Span};
+use crate::graph::{AtomKind, Molecule};
+use crate::lexer::{tokenize, Spanned};
+use crate::token::{BondSym, Token};
+
+/// An open ring-bond half waiting for its partner digit.
+#[derive(Debug, Clone, Copy)]
+struct OpenRing {
+    atom: u32,
+    bond: Option<BondSym>,
+    span: Span,
+}
+
+/// Parse one SMILES line into a molecule.
+pub fn parse(line: &[u8]) -> Result<Molecule, SmilesError> {
+    let tokens = tokenize(line)?;
+    parse_tokens(&tokens)
+}
+
+/// Parse an already-tokenized line.
+pub fn parse_tokens(tokens: &[Spanned]) -> Result<Molecule, SmilesError> {
+    let mut mol = Molecule::new();
+    // `prev` is the attachment point for the next atom/ring digit.
+    let mut prev: Option<u32> = None;
+    // Branch stack stores the attachment point to restore at ')'.
+    let mut stack: Vec<(u32, usize)> = Vec::new(); // (atom, '(' byte pos)
+    let mut pending_bond: Option<(BondSym, usize)> = None;
+    // 100 possible ring IDs (0..=9 digits, %00..%99 overlap on 0..=9: the
+    // ID value is what matters, not the spelling).
+    let mut open_rings: Vec<Option<OpenRing>> = vec![None; 100];
+    let mut open_ring_count: usize = 0;
+    // Set when the token immediately after '(' has been seen, to detect "()".
+    let mut branch_just_opened = false;
+
+    for st in tokens {
+        let tok = &st.token;
+        match tok {
+            Token::Atom(_) | Token::Bracket(_) => {
+                let kind = match tok {
+                    Token::Atom(a) => AtomKind::Bare(*a),
+                    Token::Bracket(b) => AtomKind::Bracket(*b),
+                    _ => unreachable!(),
+                };
+                let idx = mol.add_atom(kind);
+                if let Some(p) = prev {
+                    let sym = pending_bond.take().map(|(s, _)| s);
+                    mol.add_bond(p, idx, sym, false);
+                } else if let Some((_, at)) = pending_bond.take() {
+                    return Err(SmilesError::DanglingBond { at });
+                }
+                prev = Some(idx);
+                branch_just_opened = false;
+            }
+            Token::Bond(sym) => {
+                if pending_bond.is_some() {
+                    return Err(SmilesError::DanglingBond { at: st.span.start });
+                }
+                if prev.is_none() {
+                    return Err(SmilesError::DanglingBond { at: st.span.start });
+                }
+                pending_bond = Some((*sym, st.span.start));
+                branch_just_opened = false;
+            }
+            Token::Ring { id, form: _ } => {
+                let cur = match prev {
+                    Some(p) => p,
+                    None => return Err(SmilesError::RingWithoutAtom { at: st.span.start }),
+                };
+                let slot = &mut open_rings[*id as usize];
+                match slot.take() {
+                    None => {
+                        // Opening half.
+                        *slot = Some(OpenRing {
+                            atom: cur,
+                            bond: pending_bond.take().map(|(s, _)| s),
+                            span: st.span,
+                        });
+                        open_ring_count += 1;
+                    }
+                    Some(open) => {
+                        // Closing half.
+                        open_ring_count -= 1;
+                        if open.atom == cur {
+                            return Err(SmilesError::RingSelfBond { id: *id, span: st.span });
+                        }
+                        let close_bond = pending_bond.take().map(|(s, _)| s);
+                        let sym = match (open.bond, close_bond) {
+                            (Some(a), Some(b)) if a != b => {
+                                // Directional bonds may legitimately differ
+                                // (/ on one side, \ on the other).
+                                let dir = |s: BondSym| {
+                                    matches!(s, BondSym::Up | BondSym::Down)
+                                };
+                                if dir(a) && dir(b) {
+                                    Some(a)
+                                } else {
+                                    return Err(SmilesError::RingBondMismatch {
+                                        id: *id,
+                                        span: st.span,
+                                    });
+                                }
+                            }
+                            (Some(a), _) => Some(a),
+                            (None, b) => b,
+                        };
+                        if mol.has_bond_between(open.atom, cur) {
+                            return Err(SmilesError::DuplicateRingBond {
+                                id: *id,
+                                span: st.span,
+                            });
+                        }
+                        let _ = open.span;
+                        mol.add_bond(open.atom, cur, sym, true);
+                    }
+                }
+                branch_just_opened = false;
+            }
+            Token::BranchOpen => {
+                let cur = match prev {
+                    Some(p) => p,
+                    None => return Err(SmilesError::BranchWithoutAtom { at: st.span.start }),
+                };
+                if pending_bond.is_some() {
+                    // "C=(C)" is not legal: the bond belongs inside.
+                    return Err(SmilesError::DanglingBond { at: st.span.start });
+                }
+                stack.push((cur, st.span.start));
+                branch_just_opened = true;
+            }
+            Token::BranchClose => {
+                let (restore, open_at) = match stack.pop() {
+                    Some(v) => v,
+                    None => {
+                        return Err(SmilesError::UnmatchedBranchClose { at: st.span.start })
+                    }
+                };
+                if branch_just_opened {
+                    return Err(SmilesError::EmptyBranch {
+                        span: Span::new(open_at, st.span.end),
+                    });
+                }
+                if let Some((_, at)) = pending_bond.take() {
+                    return Err(SmilesError::DanglingBond { at });
+                }
+                prev = Some(restore);
+                branch_just_opened = false;
+            }
+            Token::Dot => {
+                if !stack.is_empty() {
+                    return Err(SmilesError::MisplacedDot { at: st.span.start });
+                }
+                if prev.is_none() {
+                    return Err(SmilesError::MisplacedDot { at: st.span.start });
+                }
+                if let Some((_, at)) = pending_bond.take() {
+                    return Err(SmilesError::DanglingBond { at });
+                }
+                prev = None;
+                branch_just_opened = false;
+            }
+        }
+    }
+
+    if mol.atom_count() == 0 {
+        return Err(SmilesError::EmptyInput);
+    }
+    if let Some((_, at)) = pending_bond {
+        return Err(SmilesError::DanglingBond { at });
+    }
+    if let Some((_, at)) = stack.first() {
+        return Err(SmilesError::UnclosedBranch { at: *at });
+    }
+    if open_ring_count > 0 {
+        let id = open_rings
+            .iter()
+            .position(|s| s.is_some())
+            .expect("count says one is open") as u16;
+        return Err(SmilesError::UnclosedRing { id });
+    }
+    // Trailing dot leaves prev == None with atoms present: "C." — the dot
+    // token would have required a following atom; detect by checking the
+    // last token.
+    if let Some(last) = tokens.last() {
+        if matches!(last.token, Token::Dot) {
+            return Err(SmilesError::MisplacedDot { at: last.span.start });
+        }
+    }
+    Ok(mol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::BondSym;
+
+    #[test]
+    fn linear_chain() {
+        let m = parse(b"CCO").unwrap();
+        assert_eq!(m.atom_count(), 3);
+        assert_eq!(m.bond_count(), 2);
+        assert_eq!(m.atoms()[2].element().symbol(), "O");
+    }
+
+    #[test]
+    fn vanillin_structure() {
+        let m = parse(b"COc1cc(C=O)ccc1O").unwrap();
+        assert_eq!(m.atom_count(), 11);
+        // ring closure adds 1 bond beyond the tree: atoms-1 + 1
+        assert_eq!(m.bond_count(), 11);
+        assert_eq!(m.ring_count(), 1);
+    }
+
+    #[test]
+    fn dibenzoylmethane_structure() {
+        // The paper's preprocessing example.
+        let m = parse(b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2").unwrap();
+        assert_eq!(m.ring_count(), 2);
+        assert_eq!(m.atom_count(), 17);
+        // And the pre-processed form parses to an equivalent graph.
+        let p = parse(b"C0=CC=C(C=C0)C(=O)CC(=O)C0=CC=CC=C0").unwrap();
+        assert_eq!(p.ring_count(), 2);
+        assert_eq!(m.signature(), p.signature());
+    }
+
+    #[test]
+    fn branches_attach_correctly() {
+        let m = parse(b"CC(C)(C)C").unwrap(); // neopentane
+        assert_eq!(m.atom_count(), 5);
+        assert_eq!(m.adjacent(1).len(), 4, "quaternary carbon");
+    }
+
+    #[test]
+    fn ring_bond_symbol_on_open_half() {
+        let m = parse(b"C=1CCCCC=1").unwrap();
+        let ring_bond = m.bonds().iter().find(|b| b.ring).unwrap();
+        assert_eq!(ring_bond.sym, Some(BondSym::Double));
+    }
+
+    #[test]
+    fn ring_bond_symbol_on_either_half() {
+        for s in [&b"C=1CCCCC1"[..], &b"C1CCCCC=1"[..]] {
+            let m = parse(s).unwrap();
+            let ring_bond = m.bonds().iter().find(|b| b.ring).unwrap();
+            assert_eq!(ring_bond.sym, Some(BondSym::Double), "{}", String::from_utf8_lossy(s));
+        }
+    }
+
+    #[test]
+    fn ring_bond_symbol_conflict() {
+        assert!(matches!(
+            parse(b"C=1CCCCC-1"),
+            Err(SmilesError::RingBondMismatch { id: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn directional_ring_halves_tolerated() {
+        assert!(parse(b"C/1CCCCC\\1").is_ok());
+    }
+
+    #[test]
+    fn ring_id_reuse_across_line() {
+        // Two hexagons reusing digit 1 after it closed.
+        let m = parse(b"C1CCCCC1C1CCCCC1").unwrap();
+        assert_eq!(m.ring_count(), 2);
+        assert_eq!(m.atom_count(), 12);
+    }
+
+    #[test]
+    fn percent_ring_ids_pair_with_digit_ids() {
+        // %01 and 1 are the same ID value.
+        let m = parse(b"C%01CCCCC1").unwrap();
+        assert_eq!(m.ring_count(), 1);
+    }
+
+    #[test]
+    fn dot_separates_components() {
+        let m = parse(b"[NH4+].[Cl-]").unwrap();
+        assert_eq!(m.atom_count(), 2);
+        assert_eq!(m.bond_count(), 0);
+        assert_eq!(m.components().len(), 2);
+    }
+
+    #[test]
+    fn ring_closure_across_dot_components_is_legal() {
+        // Rare but valid: ring bond 1 spans the dot.
+        let m = parse(b"C1.CC1").unwrap();
+        assert_eq!(m.components().len(), 1, "the ring bond joins them");
+        assert_eq!(m.bond_count(), 2);
+    }
+
+    #[test]
+    fn error_unclosed_ring() {
+        assert!(matches!(parse(b"C1CCC"), Err(SmilesError::UnclosedRing { id: 1 })));
+    }
+
+    #[test]
+    fn error_self_ring() {
+        assert!(matches!(parse(b"C11"), Err(SmilesError::RingSelfBond { id: 1, .. })));
+    }
+
+    #[test]
+    fn error_duplicate_ring_bond() {
+        // 1 closes C(0)-C(1); then 2 would bond the same pair again.
+        assert!(matches!(
+            parse(b"C12C12"),
+            Err(SmilesError::DuplicateRingBond { .. })
+        ));
+    }
+
+    #[test]
+    fn error_branch_imbalance() {
+        assert!(matches!(parse(b"C(C"), Err(SmilesError::UnclosedBranch { at: 1 })));
+        assert!(matches!(parse(b"CC)"), Err(SmilesError::UnmatchedBranchClose { at: 2 })));
+    }
+
+    #[test]
+    fn error_empty_branch() {
+        assert!(matches!(parse(b"C()C"), Err(SmilesError::EmptyBranch { .. })));
+    }
+
+    #[test]
+    fn error_branch_without_atom() {
+        assert!(matches!(parse(b"(C)C"), Err(SmilesError::BranchWithoutAtom { at: 0 })));
+    }
+
+    #[test]
+    fn error_dangling_bonds() {
+        assert!(matches!(parse(b"=CC"), Err(SmilesError::DanglingBond { at: 0 })));
+        assert!(matches!(parse(b"CC="), Err(SmilesError::DanglingBond { at: 2 })));
+        assert!(matches!(parse(b"C==C"), Err(SmilesError::DanglingBond { .. })));
+        assert!(matches!(parse(b"C=(C)"), Err(SmilesError::DanglingBond { .. })));
+        assert!(matches!(parse(b"C(C=)"), Err(SmilesError::DanglingBond { .. })));
+        assert!(matches!(parse(b"C=.C"), Err(SmilesError::DanglingBond { .. })));
+    }
+
+    #[test]
+    fn error_misplaced_dots() {
+        assert!(matches!(parse(b".CC"), Err(SmilesError::MisplacedDot { at: 0 })));
+        assert!(matches!(parse(b"CC."), Err(SmilesError::MisplacedDot { .. })));
+        assert!(matches!(parse(b"C(.C)C"), Err(SmilesError::MisplacedDot { .. })));
+        assert!(matches!(parse(b"C..C"), Err(SmilesError::MisplacedDot { .. })));
+    }
+
+    #[test]
+    fn error_ring_without_atom() {
+        assert!(matches!(parse(b"1CC1"), Err(SmilesError::RingWithoutAtom { at: 0 })));
+        assert!(matches!(parse(b"C.1CC1"), Err(SmilesError::RingWithoutAtom { .. })));
+    }
+
+    #[test]
+    fn error_empty() {
+        assert!(matches!(parse(b""), Err(SmilesError::EmptyInput)));
+    }
+
+    #[test]
+    fn bond_after_branch_close() {
+        let m = parse(b"CC(C)=O").unwrap(); // acetone written with = after )
+        assert_eq!(m.atom_count(), 4);
+        let dbl = m
+            .bonds()
+            .iter()
+            .find(|b| b.sym == Some(BondSym::Double))
+            .unwrap();
+        assert_eq!(m.atoms()[dbl.other(1) as usize].element().symbol(), "O");
+    }
+
+    #[test]
+    fn nested_branches() {
+        let m = parse(b"CC(C(C)(C)C)C").unwrap();
+        assert_eq!(m.atom_count(), 7);
+        assert_eq!(m.adjacent(2).len(), 4);
+    }
+
+    #[test]
+    fn aromatic_implicit_bond_is_aromatic() {
+        let m = parse(b"c1ccccc1").unwrap();
+        for b in m.bonds() {
+            assert!(b.is_aromatic(m.atoms()));
+        }
+    }
+
+    #[test]
+    fn explicit_single_between_aromatic_rings() {
+        let m = parse(b"c1ccccc1-c1ccccc1").unwrap(); // biphenyl
+        let link = m.bonds().iter().find(|b| b.sym == Some(BondSym::Single)).unwrap();
+        assert!(!link.is_aromatic(m.atoms()));
+        assert_eq!(m.ring_count(), 2);
+    }
+}

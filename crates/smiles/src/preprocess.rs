@@ -1,0 +1,390 @@
+//! The paper's pre-processing step (§IV-A): ring-ID renumbering.
+//!
+//! SMILES exporters tend to give every ring a fresh closure digit
+//! (`C1=CC=C(C=C1)…C2=CC=CC=C2`), which makes two otherwise identical ring
+//! spellings differ and defeats substring-dictionary compression. The
+//! transform here re-numbers ring IDs so they are *reused* as soon as a ring
+//! closes, which maximizes repeated substrings while keeping the SMILES
+//! valid and the molecule unchanged.
+//!
+//! Two pairs of ring-closure digits may share an ID only if their
+//! open–close intervals are disjoint; assigning IDs is therefore interval
+//! graph coloring. The greedy order decides who gets the small IDs:
+//!
+//! * [`RingRenumber::Innermost`] (the paper's choice) colors intervals in
+//!   closing order, so the innermost / simplest rings take the smallest IDs;
+//! * [`RingRenumber::Outermost`] colors in opening order;
+//! * [`RingRenumber::Preserve`] leaves IDs untouched.
+//!
+//! Only ring-digit bytes are rewritten — every other byte of the line is
+//! copied verbatim, so bracket atoms, stereo markers and the rest of the
+//! string survive untouched. `%nn` spellings shrink to plain digits whenever
+//! the new ID fits (`%12` → `3`), which is itself worth a few bytes.
+
+use crate::error::SmilesError;
+use crate::lexer::Lexer;
+use crate::token::{RingForm, Token};
+
+/// Largest ring ID expressible in SMILES (`%99`).
+pub const MAX_RING_ID: u16 = 99;
+
+/// Ring-ID renumbering strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RingRenumber {
+    /// Innermost rings get the smallest IDs (paper §IV-A choice).
+    #[default]
+    Innermost,
+    /// Outermost rings get the smallest IDs.
+    Outermost,
+    /// Keep the input numbering (identity transform).
+    Preserve,
+}
+
+/// One open/close ring-digit pair found in a line.
+#[derive(Debug, Clone, Copy)]
+struct RingPair {
+    /// Byte span of the opening digit (excluding any bond symbol).
+    open_span: (usize, usize),
+    close_span: (usize, usize),
+    /// Occurrence order indices used for interval intersection tests.
+    open_seq: u32,
+    close_seq: u32,
+}
+
+/// Reusable pre-processor. Holds scratch buffers so per-line processing is
+/// allocation-free in the steady state.
+#[derive(Debug)]
+pub struct Preprocessor {
+    pairs: Vec<RingPair>,
+    assigned: Vec<u16>,
+    /// Map id -> index into `pairs` of the currently-open pair.
+    open_slots: [i32; 100],
+}
+
+impl Default for Preprocessor {
+    fn default() -> Self {
+        Preprocessor::new()
+    }
+}
+
+impl Preprocessor {
+    pub fn new() -> Self {
+        Preprocessor { pairs: Vec::new(), assigned: Vec::new(), open_slots: [-1; 100] }
+    }
+
+    /// Renumber ring IDs in `line` (no trailing newline), appending the
+    /// result to `out`. `out` is *not* cleared. The first assigned ID is
+    /// `first_id` — the paper starts at 0; conventional exporters start
+    /// at 1.
+    pub fn process_into(
+        &mut self,
+        line: &[u8],
+        strategy: RingRenumber,
+        first_id: u16,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SmilesError> {
+        if strategy == RingRenumber::Preserve {
+            out.extend_from_slice(line);
+            return Ok(());
+        }
+        self.collect_pairs(line)?;
+        if self.pairs.is_empty() {
+            out.extend_from_slice(line);
+            return Ok(());
+        }
+        self.assign_ids(strategy, first_id)?;
+        self.rewrite(line, out);
+        Ok(())
+    }
+
+    /// Find and pair all ring digits. Errors on an unclosed ring, the only
+    /// structural property the transform needs. (Full validation is the
+    /// parser's job; compression must work even on lines it has not parsed.)
+    fn collect_pairs(&mut self, line: &[u8]) -> Result<(), SmilesError> {
+        self.pairs.clear();
+        self.open_slots = [-1; 100];
+        let mut lexer = Lexer::new(line);
+        let mut seq: u32 = 0;
+        while let Some(st) = lexer.next_token()? {
+            if let Token::Ring { id, form: _ } = st.token {
+                let slot = &mut self.open_slots[id as usize];
+                if *slot < 0 {
+                    self.pairs.push(RingPair {
+                        open_span: (st.span.start, st.span.end),
+                        close_span: (0, 0),
+                        open_seq: seq,
+                        close_seq: u32::MAX,
+                    });
+                    *slot = (self.pairs.len() - 1) as i32;
+                } else {
+                    let p = &mut self.pairs[*slot as usize];
+                    p.close_span = (st.span.start, st.span.end);
+                    p.close_seq = seq;
+                    *slot = -1;
+                }
+                seq += 1;
+            }
+        }
+        if let Some(id) = self.open_slots.iter().position(|&s| s >= 0) {
+            return Err(SmilesError::UnclosedRing { id: id as u16 });
+        }
+        Ok(())
+    }
+
+    /// Greedy interval coloring in the strategy's order.
+    fn assign_ids(&mut self, strategy: RingRenumber, first_id: u16) -> Result<(), SmilesError> {
+        let n = self.pairs.len();
+        self.assigned.clear();
+        self.assigned.resize(n, u16::MAX);
+
+        // Processing order: indices of `pairs`, sorted by close or open seq.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        match strategy {
+            RingRenumber::Innermost => {
+                order.sort_unstable_by_key(|&i| self.pairs[i as usize].close_seq)
+            }
+            RingRenumber::Outermost => {
+                order.sort_unstable_by_key(|&i| self.pairs[i as usize].open_seq)
+            }
+            RingRenumber::Preserve => unreachable!("handled by caller"),
+        }
+
+        for &pi in &order {
+            let p = self.pairs[pi as usize];
+            // IDs already taken by assigned pairs whose interval intersects.
+            let mut taken = [false; 100];
+            for (qi, q) in self.pairs.iter().enumerate() {
+                let qid = self.assigned[qi];
+                if qid == u16::MAX {
+                    continue;
+                }
+                let disjoint = p.close_seq < q.open_seq || q.close_seq < p.open_seq;
+                if !disjoint {
+                    taken[qid as usize] = true;
+                }
+            }
+            let id = (first_id..=MAX_RING_ID)
+                .find(|&id| !taken[id as usize])
+                .ok_or(SmilesError::RingIdSpaceExhausted { concurrent: n })?;
+            self.assigned[pi as usize] = id;
+        }
+        Ok(())
+    }
+
+    /// Copy `line` to `out`, substituting ring-digit spans.
+    fn rewrite(&self, line: &[u8], out: &mut Vec<u8>) {
+        // Collect (span, new_id) for both halves of every pair, sorted by
+        // position, then splice.
+        let mut edits: Vec<((usize, usize), u16)> = Vec::with_capacity(self.pairs.len() * 2);
+        for (i, p) in self.pairs.iter().enumerate() {
+            let id = self.assigned[i];
+            edits.push((p.open_span, id));
+            edits.push((p.close_span, id));
+        }
+        edits.sort_unstable_by_key(|(span, _)| span.0);
+
+        let mut pos = 0;
+        for ((start, end), id) in edits {
+            out.extend_from_slice(&line[pos..start]);
+            let tok = if id < 10 {
+                Token::Ring { id, form: RingForm::Digit }
+            } else {
+                Token::Ring { id, form: RingForm::Percent }
+            };
+            tok.write_to(out);
+            pos = end;
+        }
+        out.extend_from_slice(&line[pos..]);
+    }
+}
+
+/// One-shot convenience: renumber with the paper's defaults
+/// (innermost-first, IDs from 0).
+pub fn preprocess(line: &[u8]) -> Result<Vec<u8>, SmilesError> {
+    let mut out = Vec::with_capacity(line.len());
+    Preprocessor::new().process_into(line, RingRenumber::Innermost, 0, &mut out)?;
+    Ok(out)
+}
+
+/// One-shot post-processing: renumber to the conventional exporter style
+/// (outermost-first, IDs from 1, no ID 0). Decompressed archives stay valid
+/// SMILES without this; it exists for tools that dislike ring ID 0.
+pub fn postprocess(line: &[u8]) -> Result<Vec<u8>, SmilesError> {
+    let mut out = Vec::with_capacity(line.len() + 4);
+    Preprocessor::new().process_into(line, RingRenumber::Outermost, 1, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(s: &str) -> String {
+        String::from_utf8(preprocess(s.as_bytes()).unwrap()).unwrap()
+    }
+
+    fn post(s: &str) -> String {
+        String::from_utf8(postprocess(s.as_bytes()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_example_dibenzoylmethane() {
+        // Figure in §IV-A: both disjoint rings collapse onto ID 0.
+        assert_eq!(
+            pp("C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2"),
+            "C0=CC=C(C=C0)C(=O)CC(=O)C0=CC=CC=C0"
+        );
+    }
+
+    #[test]
+    fn chain_identity() {
+        assert_eq!(pp("CCO"), "CCO");
+        assert_eq!(pp("CC(=O)N"), "CC(=O)N");
+    }
+
+    #[test]
+    fn nested_rings_innermost_gets_zero() {
+        // Outer ring 1 spans everything; inner ring 2 nested. Innermost
+        // strategy: inner -> 0, outer -> 1.
+        assert_eq!(pp("C1CC2CCC2CC1"), "C1CC0CCC0CC1");
+        // Outermost strategy: outer -> 0, inner -> 1.
+        let mut out = Vec::new();
+        Preprocessor::new()
+            .process_into(b"C1CC2CCC2CC1", RingRenumber::Outermost, 0, &mut out)
+            .unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "C0CC1CCC1CC0");
+    }
+
+    #[test]
+    fn interleaved_rings_get_distinct_ids() {
+        // open1 open2 close1 close2 — intervals intersect, distinct IDs.
+        let s = "C1CC2CC1CC2";
+        let got = pp(s);
+        // innermost: ring 1 closes first -> 0; ring 2 -> 1
+        assert_eq!(got, "C0CC1CC0CC1");
+    }
+
+    #[test]
+    fn percent_ids_shrink_to_digits() {
+        assert_eq!(pp("C%10CCCCC%10"), "C0CCCCC0");
+        assert_eq!(pp("C%99CC%99"), "C0CC0");
+    }
+
+    #[test]
+    fn preprocessed_output_reparses_to_same_molecule() {
+        use crate::parser::parse;
+        for s in [
+            "C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            "C1CC2CCC2CC1",
+            "c1ccc2ccccc2c1", // naphthalene, fused
+            "C%12CCCC%12",
+            "C1CCCCC1C2CCCCC2C3CCCCC3",
+        ] {
+            let before = parse(s.as_bytes()).unwrap();
+            let after = parse(pp(s).as_bytes()).unwrap();
+            assert_eq!(before.signature(), after.signature(), "{s}");
+            assert_eq!(before.ring_count(), after.ring_count());
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        for s in [
+            "C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            "c1ccc2ccccc2c1",
+            "C1CC2CCC2CC1",
+        ] {
+            let once = pp(s);
+            assert_eq!(pp(&once), once, "{s}");
+        }
+    }
+
+    #[test]
+    fn fused_rings_share_atom_but_not_interval() {
+        // Naphthalene c1ccc2ccccc2c1: ring 2 nested inside ring 1.
+        assert_eq!(pp("c1ccc2ccccc2c1"), "c1ccc0ccccc0c1");
+    }
+
+    #[test]
+    fn reuse_after_close_many_rings() {
+        // Ten disjoint rings all collapse to ID 0.
+        let s = "C1CC1C2CC2C3CC3C4CC4C5CC5C6CC6C7CC7C8CC8C9CC9C%10CC%10";
+        let expect = "C0CC0".repeat(10);
+        assert_eq!(pp(s), expect);
+    }
+
+    #[test]
+    fn unclosed_ring_is_error() {
+        assert!(matches!(
+            preprocess(b"C1CCC"),
+            Err(SmilesError::UnclosedRing { id: 1 })
+        ));
+    }
+
+    #[test]
+    fn lexical_error_propagates() {
+        assert!(preprocess(b"C!C").is_err());
+        assert!(preprocess(b"C%1C").is_err());
+    }
+
+    #[test]
+    fn postprocess_starts_at_one_outermost() {
+        assert_eq!(post("C0=CC=C(C=C0)C(=O)CC(=O)C0=CC=CC=C0"),
+                   "C1=CC=C(C=C1)C(=O)CC(=O)C1=CC=CC=C1");
+        assert_eq!(post("C1CC0CCC0CC1"), "C1CC2CCC2CC1");
+    }
+
+    #[test]
+    fn postprocess_then_preprocess_round_trip() {
+        for s in ["C0=CC=C(C=C0)C0=CC=CC=C0", "C1CC0CCC0CC1", "c0ccc1ccccc1c0"] {
+            assert_eq!(pp(&post(s)), pp(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn ring_id_zero_inputs_handled() {
+        // Input already using 0 renumbers fine.
+        assert_eq!(pp("C0CC0C1CC1"), "C0CC0C0CC0");
+    }
+
+    #[test]
+    fn bond_symbol_before_digit_untouched() {
+        assert_eq!(pp("C=1CCCCC=1C=2CC=2"), "C=0CCCCC=0C=0CC=0");
+    }
+
+    #[test]
+    fn preserve_is_identity() {
+        let mut out = Vec::new();
+        Preprocessor::new()
+            .process_into(b"C1CC2CCC2CC1", RingRenumber::Preserve, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, b"C1CC2CCC2CC1");
+    }
+
+    #[test]
+    fn deeply_nested_rings_allocate_increasing_ids() {
+        // 3 nested rings: innermost 0, middle 1, outer 2.
+        assert_eq!(pp("C1C2C3CC3C2C1"), "C2C1C0CC0C1C2");
+    }
+
+    #[test]
+    fn brackets_untouched() {
+        assert_eq!(pp("[13CH3]C1CC1[O-]"), "[13CH3]C0CC0[O-]");
+    }
+
+    #[test]
+    fn processor_reuse_across_lines() {
+        let mut p = Preprocessor::new();
+        let mut out = Vec::new();
+        for (input, want) in [
+            ("C1CC1", "C0CC0"),
+            ("C2CC2", "C0CC0"),
+            ("CCO", "CCO"),
+            ("C1CC2CCC2CC1", "C1CC0CCC0CC1"),
+        ] {
+            out.clear();
+            p.process_into(input.as_bytes(), RingRenumber::Innermost, 0, &mut out).unwrap();
+            assert_eq!(std::str::from_utf8(&out).unwrap(), want, "{input}");
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Token model for SMILES lines.
+
+use crate::element::Element;
+use std::fmt;
+
+/// Bond symbols. `Single` is written `-` when explicit; most single bonds
+/// are implicit and produce no token at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BondSym {
+    /// `-`
+    Single,
+    /// `=`
+    Double,
+    /// `#`
+    Triple,
+    /// `$`
+    Quadruple,
+    /// `:` aromatic bond
+    Aromatic,
+    /// `/` directional (stereo) single bond
+    Up,
+    /// `\` directional (stereo) single bond
+    Down,
+}
+
+impl BondSym {
+    pub fn as_byte(&self) -> u8 {
+        match self {
+            BondSym::Single => b'-',
+            BondSym::Double => b'=',
+            BondSym::Triple => b'#',
+            BondSym::Quadruple => b'$',
+            BondSym::Aromatic => b':',
+            BondSym::Up => b'/',
+            BondSym::Down => b'\\',
+        }
+    }
+
+    pub fn from_byte(b: u8) -> Option<BondSym> {
+        Some(match b {
+            b'-' => BondSym::Single,
+            b'=' => BondSym::Double,
+            b'#' => BondSym::Triple,
+            b'$' => BondSym::Quadruple,
+            b':' => BondSym::Aromatic,
+            b'/' => BondSym::Up,
+            b'\\' => BondSym::Down,
+            _ => return None,
+        })
+    }
+
+    /// Bond order for valence accounting (directional bonds are single).
+    pub fn order(&self) -> u8 {
+        match self {
+            BondSym::Single | BondSym::Up | BondSym::Down => 1,
+            BondSym::Double => 2,
+            BondSym::Triple => 3,
+            BondSym::Quadruple => 4,
+            BondSym::Aromatic => 1,
+        }
+    }
+}
+
+/// Tetrahedral chirality marker inside a bracket atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Chirality {
+    #[default]
+    None,
+    /// `@` — anticlockwise
+    Ccw,
+    /// `@@` — clockwise
+    Cw,
+}
+
+impl Chirality {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Chirality::None => "",
+            Chirality::Ccw => "@",
+            Chirality::Cw => "@@",
+        }
+    }
+}
+
+/// A bare (organic subset) atom, e.g. `C`, `n`, `Cl`, `*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BareAtom {
+    pub element: Element,
+    pub aromatic: bool,
+}
+
+/// A bracket atom with all its optional fields, e.g. `[13C@H2+2:7]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BracketAtom {
+    pub isotope: Option<u16>,
+    pub element: Element,
+    pub aromatic: bool,
+    pub chirality: Chirality,
+    /// Explicit hydrogen count (the `H3` field); 0 when absent.
+    pub hcount: u8,
+    /// Formal charge in `-15..=15`.
+    pub charge: i8,
+    /// Atom-map class (`:nnn`), `None` when absent.
+    pub class: Option<u16>,
+}
+
+impl BracketAtom {
+    /// A plain bracket atom of an element with every optional field empty.
+    pub fn bare(element: Element) -> Self {
+        BracketAtom {
+            isotope: None,
+            element,
+            aromatic: false,
+            chirality: Chirality::None,
+            hcount: 0,
+            charge: 0,
+            class: None,
+        }
+    }
+
+    /// Serialize back to the canonical `[...]` byte form.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.push(b'[');
+        if let Some(iso) = self.isotope {
+            push_u16(out, iso);
+        }
+        let sym = self.element.symbol();
+        if self.aromatic {
+            for b in sym.bytes() {
+                out.push(b.to_ascii_lowercase());
+            }
+        } else {
+            out.extend_from_slice(sym.as_bytes());
+        }
+        out.extend_from_slice(self.chirality.as_str().as_bytes());
+        if self.hcount > 0 {
+            out.push(b'H');
+            if self.hcount > 1 {
+                push_u16(out, self.hcount as u16);
+            }
+        }
+        match self.charge {
+            0 => {}
+            1 => out.push(b'+'),
+            -1 => out.push(b'-'),
+            c if c > 0 => {
+                out.push(b'+');
+                push_u16(out, c as u16);
+            }
+            c => {
+                out.push(b'-');
+                push_u16(out, (-(c as i16)) as u16);
+            }
+        }
+        if let Some(class) = self.class {
+            out.push(b':');
+            push_u16(out, class);
+        }
+        out.push(b']');
+    }
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    let mut buf = [0u8; 5];
+    let mut i = buf.len();
+    let mut v = v as u32;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&buf[i..]);
+}
+
+/// How a ring-bond ID was written in the input: single digit or `%nn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RingForm {
+    /// `0`..`9`
+    Digit,
+    /// `%10`..`%99` (also tolerates `%00`..`%09` on input)
+    Percent,
+}
+
+/// One lexical token. Ring-bond tokens carry the optional bond symbol that
+/// immediately precedes the digit (`C=1...=1`), because the pair belongs
+/// together for both parsing and re-serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Token {
+    Atom(BareAtom),
+    Bracket(BracketAtom),
+    Bond(BondSym),
+    /// Ring-bond open-or-close marker. Whether it opens or closes is
+    /// resolved by the parser (first occurrence opens, second closes).
+    Ring { id: u16, form: RingForm },
+    BranchOpen,
+    BranchClose,
+    Dot,
+}
+
+impl Token {
+    /// Serialize a single token to bytes (ring tokens in their stated form).
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        match self {
+            Token::Atom(a) => {
+                let sym = a.element.symbol();
+                if a.aromatic {
+                    for b in sym.bytes() {
+                        out.push(b.to_ascii_lowercase());
+                    }
+                } else {
+                    out.extend_from_slice(sym.as_bytes());
+                }
+            }
+            Token::Bracket(b) => b.write_to(out),
+            Token::Bond(b) => out.push(b.as_byte()),
+            Token::Ring { id, form } => match form {
+                RingForm::Digit => {
+                    debug_assert!(*id < 10);
+                    out.push(b'0' + *id as u8);
+                }
+                RingForm::Percent => {
+                    debug_assert!(*id < 100);
+                    out.push(b'%');
+                    out.push(b'0' + (*id / 10) as u8);
+                    out.push(b'0' + (*id % 10) as u8);
+                }
+            },
+            Token::BranchOpen => out.push(b'('),
+            Token::BranchClose => out.push(b')'),
+            Token::Dot => out.push(b'.'),
+        }
+    }
+
+    /// Is this token an atom (bare or bracket)?
+    pub fn is_atom(&self) -> bool {
+        matches!(self, Token::Atom(_) | Token::Bracket(_))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut buf = Vec::with_capacity(8);
+        self.write_to(&mut buf);
+        f.write_str(&String::from_utf8_lossy(&buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+
+    fn to_string(t: Token) -> String {
+        let mut v = Vec::new();
+        t.write_to(&mut v);
+        String::from_utf8(v).unwrap()
+    }
+
+    #[test]
+    fn bond_symbol_round_trip() {
+        for b in [b'-', b'=', b'#', b'$', b':', b'/', b'\\'] {
+            let sym = BondSym::from_byte(b).unwrap();
+            assert_eq!(sym.as_byte(), b);
+        }
+        assert_eq!(BondSym::from_byte(b'x'), None);
+    }
+
+    #[test]
+    fn bond_orders() {
+        assert_eq!(BondSym::Single.order(), 1);
+        assert_eq!(BondSym::Up.order(), 1);
+        assert_eq!(BondSym::Double.order(), 2);
+        assert_eq!(BondSym::Triple.order(), 3);
+        assert_eq!(BondSym::Quadruple.order(), 4);
+    }
+
+    #[test]
+    fn bare_atom_serialization() {
+        let c = Token::Atom(BareAtom { element: Element::from_symbol(b"C").unwrap(), aromatic: false });
+        assert_eq!(to_string(c), "C");
+        let n = Token::Atom(BareAtom { element: Element::from_symbol(b"N").unwrap(), aromatic: true });
+        assert_eq!(to_string(n), "n");
+        let cl = Token::Atom(BareAtom { element: Element::from_symbol(b"Cl").unwrap(), aromatic: false });
+        assert_eq!(to_string(cl), "Cl");
+    }
+
+    #[test]
+    fn bracket_atom_serialization_full() {
+        let a = BracketAtom {
+            isotope: Some(13),
+            element: Element::from_symbol(b"C").unwrap(),
+            aromatic: false,
+            chirality: Chirality::Ccw,
+            hcount: 2,
+            charge: 2,
+            class: Some(7),
+        };
+        assert_eq!(to_string(Token::Bracket(a)), "[13C@H2+2:7]");
+    }
+
+    #[test]
+    fn bracket_atom_serialization_minimal() {
+        let a = BracketAtom::bare(Element::from_symbol(b"Au").unwrap());
+        assert_eq!(to_string(Token::Bracket(a)), "[Au]");
+    }
+
+    #[test]
+    fn bracket_charge_forms() {
+        let mut a = BracketAtom::bare(Element::from_symbol(b"O").unwrap());
+        a.charge = -1;
+        assert_eq!(to_string(Token::Bracket(a)), "[O-]");
+        a.charge = -2;
+        assert_eq!(to_string(Token::Bracket(a)), "[O-2]");
+        a.charge = 1;
+        assert_eq!(to_string(Token::Bracket(a)), "[O+]");
+        a.charge = 3;
+        assert_eq!(to_string(Token::Bracket(a)), "[O+3]");
+    }
+
+    #[test]
+    fn bracket_hcount_forms() {
+        let mut a = BracketAtom::bare(Element::from_symbol(b"N").unwrap());
+        a.hcount = 1;
+        assert_eq!(to_string(Token::Bracket(a)), "[NH]");
+        a.hcount = 4;
+        a.charge = 1;
+        assert_eq!(to_string(Token::Bracket(a)), "[NH4+]");
+    }
+
+    #[test]
+    fn aromatic_bracket_atom() {
+        let mut a = BracketAtom::bare(Element::from_symbol(b"Se").unwrap());
+        a.aromatic = true;
+        assert_eq!(to_string(Token::Bracket(a)), "[se]");
+    }
+
+    #[test]
+    fn ring_token_forms() {
+        assert_eq!(to_string(Token::Ring { id: 3, form: RingForm::Digit }), "3");
+        assert_eq!(to_string(Token::Ring { id: 12, form: RingForm::Percent }), "%12");
+        assert_eq!(to_string(Token::Ring { id: 5, form: RingForm::Percent }), "%05");
+    }
+
+    #[test]
+    fn structural_tokens() {
+        assert_eq!(to_string(Token::BranchOpen), "(");
+        assert_eq!(to_string(Token::BranchClose), ")");
+        assert_eq!(to_string(Token::Dot), ".");
+        assert_eq!(to_string(Token::Bond(BondSym::Double)), "=");
+    }
+
+    #[test]
+    fn is_atom_predicate() {
+        assert!(Token::Atom(BareAtom { element: Element::Wildcard, aromatic: false }).is_atom());
+        assert!(Token::Bracket(BracketAtom::bare(Element::Z(26))).is_atom());
+        assert!(!Token::Dot.is_atom());
+        assert!(!Token::Ring { id: 1, form: RingForm::Digit }.is_atom());
+    }
+}

@@ -1,0 +1,112 @@
+//! Line validation helpers.
+//!
+//! Two levels:
+//! * [`quick_check`] — lexical scan plus branch/ring balance, no graph
+//!   construction. This is what the compressor uses to decide whether a
+//!   line is "compliant" (and therefore guaranteed not to expand).
+//! * [`full_check`] — complete parse into a molecular graph, catching
+//!   grammatical problems the quick check cannot (dangling bonds, empty
+//!   branches, self-rings, …).
+
+use crate::error::SmilesError;
+use crate::lexer::Lexer;
+use crate::parser::parse;
+use crate::token::Token;
+
+/// Lexical + balance validation without building a graph. Roughly 3×
+/// faster than [`full_check`]; sufficient for compression pipelines.
+pub fn quick_check(line: &[u8]) -> Result<(), SmilesError> {
+    let mut lexer = Lexer::new(line);
+    let mut depth: usize = 0;
+    let mut first_open_at = 0usize;
+    let mut ring_open = [false; 100];
+    let mut ring_open_count = 0usize;
+    let mut any_atom = false;
+    while let Some(st) = lexer.next_token()? {
+        match st.token {
+            Token::BranchOpen => {
+                if depth == 0 {
+                    first_open_at = st.span.start;
+                }
+                depth += 1;
+            }
+            Token::BranchClose => {
+                if depth == 0 {
+                    return Err(SmilesError::UnmatchedBranchClose { at: st.span.start });
+                }
+                depth -= 1;
+            }
+            Token::Ring { id, .. } => {
+                let slot = &mut ring_open[id as usize];
+                if *slot {
+                    *slot = false;
+                    ring_open_count -= 1;
+                } else {
+                    *slot = true;
+                    ring_open_count += 1;
+                }
+            }
+            Token::Atom(_) | Token::Bracket(_) => any_atom = true,
+            _ => {}
+        }
+    }
+    if depth > 0 {
+        return Err(SmilesError::UnclosedBranch { at: first_open_at });
+    }
+    if ring_open_count > 0 {
+        let id = ring_open.iter().position(|&b| b).unwrap() as u16;
+        return Err(SmilesError::UnclosedRing { id });
+    }
+    if !any_atom {
+        return Err(SmilesError::EmptyInput);
+    }
+    Ok(())
+}
+
+/// Full grammatical validation (builds and discards the molecule).
+pub fn full_check(line: &[u8]) -> Result<(), SmilesError> {
+    parse(line).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_accepts_valid() {
+        for s in [
+            "COc1cc(C=O)ccc1O",
+            "C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            "[NH4+].[Cl-]",
+            "C%10CCCCC%10",
+        ] {
+            assert!(quick_check(s.as_bytes()).is_ok(), "{s}");
+            assert!(full_check(s.as_bytes()).is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn quick_rejects_imbalance() {
+        assert!(matches!(quick_check(b"C(C"), Err(SmilesError::UnclosedBranch { at: 1 })));
+        assert!(matches!(quick_check(b"CC)"), Err(SmilesError::UnmatchedBranchClose { .. })));
+        assert!(matches!(quick_check(b"C1CC"), Err(SmilesError::UnclosedRing { id: 1 })));
+        assert!(matches!(quick_check(b""), Err(SmilesError::EmptyInput)));
+        assert!(matches!(quick_check(b"=#"), Err(SmilesError::EmptyInput)));
+    }
+
+    #[test]
+    fn quick_misses_what_full_catches() {
+        // Dangling bond is grammatical, not lexical: quick passes, full fails.
+        assert!(quick_check(b"CC=").is_ok());
+        assert!(full_check(b"CC=").is_err());
+        // Self-ring likewise.
+        assert!(quick_check(b"C11").is_ok());
+        assert!(full_check(b"C11").is_err());
+    }
+
+    #[test]
+    fn both_reject_lexical_garbage() {
+        assert!(quick_check(b"C?C").is_err());
+        assert!(full_check(b"C?C").is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the SMILES substrate: lexer totality, token
+//! serialization inverses, writer/parser round trips on arbitrary
+//! generated molecular graphs, preprocessing invariants.
+
+use proptest::prelude::*;
+use smiles::element::Element;
+use smiles::graph::{AtomKind, Molecule};
+use smiles::lexer::{detokenize, tokenize};
+use smiles::preprocess::{preprocess, Preprocessor, RingRenumber};
+use smiles::token::{BareAtom, BondSym};
+use smiles::writer::{write, RingAlloc, StartAtom, WriteOptions};
+
+/// Arbitrary random graphs over organic-subset atoms: a random tree plus
+/// random extra (ring) edges, all single/double bonds within valence.
+fn arb_molecule() -> impl Strategy<Value = Molecule> {
+    (2usize..24, any::<u64>()).prop_map(|(n, seed)| {
+        // Deterministic xorshift so shrinking stays meaningful.
+        let mut state = seed | 1;
+        let mut next = move |m: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as usize) % m.max(1)
+        };
+        let symbols = ["C", "C", "C", "C", "N", "O", "S"];
+        let mut mol = Molecule::new();
+        for _ in 0..n {
+            let sym = symbols[next(symbols.len())];
+            mol.add_atom(AtomKind::Bare(BareAtom {
+                element: Element::from_symbol(sym.as_bytes()).unwrap(),
+                aromatic: false,
+            }));
+        }
+        let free = |mol: &Molecule, i: u32| -> u32 {
+            let a = match mol.atom(i) {
+                AtomKind::Bare(a) => *a,
+                _ => unreachable!(),
+            };
+            let max = a.element.default_valences().last().copied().unwrap_or(0) as u32;
+            max.saturating_sub(mol.degree_valence(i))
+        };
+        // Spanning tree.
+        for i in 1..n as u32 {
+            let parent = next(i as usize) as u32;
+            if free(&mol, parent) >= 1 {
+                mol.add_bond(parent, i, None, false);
+            } else {
+                // Fall back to any open atom; at least atom i-1 of a fresh
+                // chain has capacity in practice, else leave disconnected
+                // (a dot component — also legal).
+                let mut attached = false;
+                for p in 0..i {
+                    if free(&mol, p) >= 1 && !mol.has_bond_between(p, i) {
+                        mol.add_bond(p, i, None, false);
+                        attached = true;
+                        break;
+                    }
+                }
+                let _ = attached;
+            }
+        }
+        // Extra ring edges.
+        let extra = next(3);
+        for _ in 0..extra {
+            let a = next(n) as u32;
+            let b = next(n) as u32;
+            if a != b && !mol.has_bond_between(a, b) && free(&mol, a) >= 1 && free(&mol, b) >= 1
+            {
+                mol.add_bond(a, b, None, true);
+            }
+        }
+        // A few double bonds where valence allows.
+        for _ in 0..next(3) {
+            let a = next(n) as u32;
+            let b = next(n) as u32;
+            if a != b && !mol.has_bond_between(a, b) && free(&mol, a) >= 2 && free(&mol, b) >= 2
+            {
+                mol.add_bond(a, b, Some(BondSym::Double), true);
+            }
+        }
+        mol
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    /// The lexer never panics on arbitrary bytes, and on success
+    /// detokenize reproduces the input exactly (modulo documented
+    /// normalizations, which the doubly-lexed form is a fixed point of).
+    #[test]
+    fn lexer_total_and_detokenize_fixpoint(line in proptest::collection::vec(any::<u8>(), 0..80)) {
+        if let Ok(tokens) = tokenize(&line) {
+            let once = detokenize(&tokens);
+            let tokens2 = tokenize(&once).expect("detokenized output must re-lex");
+            let twice = detokenize(&tokens2);
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    /// Arbitrary generated graphs survive write → parse → compare.
+    #[test]
+    fn writer_parser_roundtrip(mol in arb_molecule()) {
+        for opts in [
+            WriteOptions { ring_alloc: RingAlloc::Sequential, start: StartAtom::First },
+            WriteOptions { ring_alloc: RingAlloc::Reuse, start: StartAtom::Terminal },
+        ] {
+            let w = write(&mol, &opts).unwrap();
+            let re = smiles::parser::parse(&w.smiles).unwrap_or_else(|e| {
+                panic!("{e}: {}", String::from_utf8_lossy(&w.smiles))
+            });
+            let mut perm = vec![0u32; mol.atom_count()];
+            for (new_idx, &orig) in w.emit_order.iter().enumerate() {
+                perm[orig as usize] = new_idx as u32;
+            }
+            prop_assert!(mol.eq_under_permutation(&re, &perm),
+                "graph mismatch for {}", String::from_utf8_lossy(&w.smiles));
+        }
+    }
+
+    /// Preprocessing on arbitrary generated molecules: valid output, same
+    /// molecule, idempotent, never longer.
+    #[test]
+    fn preprocess_invariants(mol in arb_molecule()) {
+        let opts = WriteOptions { ring_alloc: RingAlloc::Sequential, start: StartAtom::First };
+        let s = write(&mol, &opts).unwrap().smiles;
+        let pp = preprocess(&s).unwrap_or_else(|e| {
+            panic!("{e}: {}", String::from_utf8_lossy(&s))
+        });
+        prop_assert!(pp.len() <= s.len(), "renumbering never grows the line");
+        let a = smiles::parser::parse(&s).unwrap();
+        let b = smiles::parser::parse(&pp).unwrap();
+        prop_assert_eq!(a.signature(), b.signature());
+        let pp2 = preprocess(&pp).unwrap();
+        prop_assert_eq!(&pp, &pp2);
+    }
+
+    /// Innermost and outermost strategies agree on ring-pair structure
+    /// (same molecule), even when they number differently.
+    #[test]
+    fn renumber_strategies_preserve_molecule(mol in arb_molecule()) {
+        let opts = WriteOptions { ring_alloc: RingAlloc::Sequential, start: StartAtom::First };
+        let s = write(&mol, &opts).unwrap().smiles;
+        let mut pp = Preprocessor::new();
+        let mut inner = Vec::new();
+        pp.process_into(&s, RingRenumber::Innermost, 0, &mut inner).unwrap();
+        let mut outer = Vec::new();
+        pp.process_into(&s, RingRenumber::Outermost, 0, &mut outer).unwrap();
+        let sig = smiles::parser::parse(&s).unwrap().signature();
+        prop_assert_eq!(smiles::parser::parse(&inner).unwrap().signature(), sig);
+        prop_assert_eq!(smiles::parser::parse(&outer).unwrap().signature(), sig);
+    }
+
+    /// Canonical form is identical across writer configurations of the
+    /// same molecule.
+    #[test]
+    fn canonical_form_is_writer_invariant(mol in arb_molecule()) {
+        let a = write(&mol, &WriteOptions { ring_alloc: RingAlloc::Sequential, start: StartAtom::First }).unwrap();
+        let b = write(&mol, &WriteOptions { ring_alloc: RingAlloc::Reuse, start: StartAtom::Terminal }).unwrap();
+        let ma = smiles::parser::parse(&a.smiles).unwrap();
+        let mb = smiles::parser::parse(&b.smiles).unwrap();
+        prop_assert_eq!(
+            smiles::canon::canonical_smiles(&ma),
+            smiles::canon::canonical_smiles(&mb)
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! MSB-first bit-level I/O used by the Huffman coder.
+
+/// Accumulates bits MSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits pending in `acc` (top `nbits` of the u64's low 8·k positions).
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Write the low `n` bits of `value`, MSB first. `n ≤ 57` per call.
+    #[inline]
+    pub fn write_bits(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || value < (1u32 << n));
+        self.acc = (self.acc << n) | value as u64;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.buf.push((self.acc >> self.nbits) as u8);
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.buf.len() as u64 * 8 + self.nbits as u64
+    }
+
+    /// Flush (zero-padding the final byte) and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.acc <<= pad;
+            self.buf.push(self.acc as u8);
+            self.nbits = 0;
+        }
+        self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next bit index.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> u64 {
+        self.data.len() as u64 * 8 - self.pos
+    }
+
+    /// Read one bit; `None` past the end.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<u32> {
+        let byte = self.data.get((self.pos / 8) as usize)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Some(bit as u32)
+    }
+
+    /// Read `n` bits MSB-first; `None` if fewer remain.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Option<u32> {
+        debug_assert!(n <= 32);
+        if self.remaining() < n as u64 {
+            return None;
+        }
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()?;
+        }
+        Some(v)
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [1u32, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1];
+        for &b in &pattern {
+            w.write_bits(b, 1);
+        }
+        assert_eq!(w.bit_len(), 11);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_round_trip() {
+        let mut w = BitWriter::new();
+        let values = [(0b101u32, 3u32), (0xFFFF, 16), (0, 1), (0b11001, 5), (12345, 20)];
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n), Some(v), "{v}:{n}");
+        }
+    }
+
+    #[test]
+    fn byte_alignment() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xAB, 8);
+        w.write_bits(0xCD, 8);
+        assert_eq!(w.finish(), vec![0xAB, 0xCD]);
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        assert_eq!(w.finish(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(1), None);
+        let mut r2 = BitReader::new(&[0xFF]);
+        assert_eq!(r2.read_bits(9), None, "partial reads refused");
+        assert_eq!(r2.bit_pos(), 0, "failed read consumes nothing");
+    }
+
+    #[test]
+    fn empty_writer() {
+        assert!(BitWriter::new().finish().is_empty());
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn thirty_two_bit_write() {
+        let mut w = BitWriter::new();
+        w.write_bits(u32::MAX, 32);
+        w.write_bits(0x1234_5678, 32);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(32), Some(u32::MAX));
+        assert_eq!(r.read_bits(32), Some(0x1234_5678));
+    }
+}

@@ -1,0 +1,447 @@
+//! FSST — Fast Static Symbol Table string compression, reimplemented from
+//! Boncz, Neumann & Leis, *FSST: Fast Random Access String Compression*,
+//! VLDB 2020. This is the paper's strongest random-access baseline in
+//! Fig. 4.
+//!
+//! A table holds up to 255 symbols of 1–8 bytes; output bytes are symbol
+//! codes, with code 255 escaping one literal byte. The table is built by a
+//! few *generations*: encode a sample with the current table, count symbol
+//! and adjacent-pair frequencies, then keep the 255 candidates with the
+//! highest `gain = frequency × length` (pairs form new, longer symbols).
+//!
+//! Contrast with ZSMILES (the comparison the paper draws): the table is
+//! **input-dependent** — every dataset gets its own — and compressed output
+//! uses arbitrary byte values, so it is neither readable nor
+//! dictionary-compatible across files. Random access works (strings are
+//! compressed independently), which is why it is the fair baseline.
+
+use std::collections::HashMap;
+
+/// Escape code: the next output byte is a literal.
+pub const ESCAPE: u8 = 255;
+/// Maximum number of real symbols.
+pub const MAX_SYMBOLS: usize = 255;
+/// Maximum symbol length in bytes.
+pub const MAX_SYMBOL_LEN: usize = 8;
+/// Training generations (the VLDB paper uses 5).
+const GENERATIONS: usize = 5;
+/// Default sample budget for table construction.
+const SAMPLE_BYTES: usize = 16 * 1024;
+
+/// A symbol packed into a u64 (little-endian bytes) plus its length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Sym {
+    packed: u64,
+    len: u8,
+}
+
+impl Sym {
+    fn from_bytes(b: &[u8]) -> Sym {
+        debug_assert!(!b.is_empty() && b.len() <= MAX_SYMBOL_LEN);
+        let mut buf = [0u8; 8];
+        buf[..b.len()].copy_from_slice(b);
+        Sym { packed: u64::from_le_bytes(buf), len: b.len() as u8 }
+    }
+
+    fn bytes(&self) -> [u8; 8] {
+        self.packed.to_le_bytes()
+    }
+
+    fn as_slice<'a>(&self, buf: &'a mut [u8; 8]) -> &'a [u8] {
+        *buf = self.bytes();
+        &buf[..self.len as usize]
+    }
+
+    /// Concatenate, truncating to 8 bytes.
+    fn concat(&self, other: &Sym) -> Sym {
+        let a = self.bytes();
+        let b = other.bytes();
+        let mut buf = [0u8; 8];
+        let la = self.len as usize;
+        let lb = (other.len as usize).min(MAX_SYMBOL_LEN - la);
+        buf[..la].copy_from_slice(&a[..la]);
+        buf[la..la + lb].copy_from_slice(&b[..lb]);
+        Sym { packed: u64::from_le_bytes(buf), len: (la + lb) as u8 }
+    }
+}
+
+/// An immutable FSST symbol table.
+#[derive(Debug, Clone)]
+pub struct Fsst {
+    /// `symbols[code]`, code < symbols.len() ≤ 255.
+    symbols: Vec<Sym>,
+    /// Longest-match lookup: (packed, len) → code.
+    lookup: HashMap<Sym, u8>,
+    /// Longest symbol installed (bounds the match probe).
+    max_len: usize,
+}
+
+impl Fsst {
+    /// Build a table from a training sample (typically the data itself or
+    /// a prefix — the table is input-dependent by design).
+    pub fn train(data: &[u8]) -> Fsst {
+        let sample = &data[..data.len().min(SAMPLE_BYTES)];
+        let mut table = Fsst::from_syms(Vec::new());
+        for _gen in 0..GENERATIONS {
+            table = table.next_generation(sample);
+        }
+        table
+    }
+
+    fn from_syms(symbols: Vec<Sym>) -> Fsst {
+        let mut lookup = HashMap::with_capacity(symbols.len() * 2);
+        let mut max_len = 0usize;
+        for (code, s) in symbols.iter().enumerate() {
+            lookup.insert(*s, code as u8);
+            max_len = max_len.max(s.len as usize);
+        }
+        Fsst { symbols, lookup, max_len }
+    }
+
+    /// One construction generation: encode the sample, count, re-select.
+    /// The sample is consumed record-by-record (newline-separated), so
+    /// symbols never span two strings — FSST compresses strings
+    /// independently, and a symbol containing a separator would never
+    /// match.
+    fn next_generation(&self, sample: &[u8]) -> Fsst {
+        // Codes: 0..n = table symbols, 256 + b = escaped byte b.
+        let n = self.symbols.len();
+        let mut count1 = vec![0u64; n + 512];
+        let mut count2: HashMap<(u16, u16), u64> = HashMap::new();
+
+        for record in sample.split(|&b| b == b'\n').filter(|r| !r.is_empty()) {
+            self.count_record(record, n, &mut count1, &mut count2);
+        }
+
+        // Candidates: existing symbols, escaped bytes, and pair concats.
+        let sym_of = |code: u16| -> Sym {
+            if code >= 256 {
+                Sym::from_bytes(&[(code - 256) as u8])
+            } else {
+                self.symbols[code as usize]
+            }
+        };
+        let mut gains: HashMap<Sym, u64> = HashMap::new();
+        for (idx, &cnt) in count1.iter().enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            let sym = if idx < n {
+                self.symbols[idx]
+            } else {
+                Sym::from_bytes(&[(idx - n) as u8])
+            };
+            let g = gains.entry(sym).or_insert(0);
+            *g += cnt * sym.len as u64;
+        }
+        for (&(c1, c2), &cnt) in &count2 {
+            let merged = sym_of(c1).concat(&sym_of(c2));
+            if merged.len as usize <= MAX_SYMBOL_LEN {
+                let g = gains.entry(merged).or_insert(0);
+                *g += cnt * merged.len as u64;
+            }
+        }
+
+        let mut ranked: Vec<(Sym, u64)> = gains.into_iter().collect();
+        ranked.sort_unstable_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(b.0.len.cmp(&a.0.len))
+                .then(a.0.packed.cmp(&b.0.packed))
+        });
+        ranked.truncate(MAX_SYMBOLS);
+        Fsst::from_syms(ranked.into_iter().map(|(s, _)| s).collect())
+    }
+
+    /// Count one record's greedy parse into the generation counters.
+    fn count_record(
+        &self,
+        record: &[u8],
+        n: usize,
+        count1: &mut [u64],
+        count2: &mut HashMap<(u16, u16), u64>,
+    ) {
+        let mut pos = 0usize;
+        let mut prev: Option<u16> = None;
+        while pos < record.len() {
+            let (code, len) = match self.longest_match(record, pos) {
+                Some((c, l)) => (c as u16, l),
+                None => (256 + record[pos] as u16, 1),
+            };
+            let idx = if code >= 256 { n + (code - 256) as usize } else { code as usize };
+            count1[idx] += 1;
+            // Like the VLDB paper: also count the bare first byte at this
+            // position, so single-byte symbols stay alive as candidates and
+            // the table keeps byte-level fallbacks instead of collapsing
+            // onto a handful of long symbols.
+            let byte_code = 256 + record[pos] as u16;
+            if code < 256 {
+                count1[n + record[pos] as usize] += 1;
+            }
+            if let Some(p) = prev {
+                *count2.entry((p, code)).or_insert(0) += 1;
+                if code < 256 {
+                    *count2.entry((p, byte_code)).or_insert(0) += 1;
+                }
+            }
+            prev = Some(code);
+            pos += len;
+        }
+    }
+
+    /// Longest symbol matching at `data[pos]`.
+    fn longest_match(&self, data: &[u8], pos: usize) -> Option<(u8, usize)> {
+        let limit = self.max_len.min(data.len() - pos);
+        for len in (1..=limit).rev() {
+            let probe = Sym::from_bytes(&data[pos..pos + len]);
+            if let Some(&code) = self.lookup.get(&probe) {
+                return Some((code, len));
+            }
+        }
+        None
+    }
+
+    /// Symbol bytes in code order (diagnostics and tests).
+    pub fn debug_symbols(&self) -> Vec<Vec<u8>> {
+        let mut buf = [0u8; 8];
+        self.symbols.iter().map(|s| s.as_slice(&mut buf).to_vec()).collect()
+    }
+
+    /// Number of installed symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Compress one string, appending codes to `out`.
+    pub fn compress_line(&self, line: &[u8], out: &mut Vec<u8>) {
+        let mut pos = 0usize;
+        while pos < line.len() {
+            match self.longest_match(line, pos) {
+                Some((code, len)) => {
+                    out.push(code);
+                    pos += len;
+                }
+                None => {
+                    out.push(ESCAPE);
+                    out.push(line[pos]);
+                    pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Decompress one string.
+    pub fn decompress_line(&self, line: &[u8], out: &mut Vec<u8>) -> Result<(), &'static str> {
+        let mut i = 0usize;
+        let mut buf = [0u8; 8];
+        while i < line.len() {
+            let b = line[i];
+            if b == ESCAPE {
+                let lit = line.get(i + 1).ok_or("truncated escape")?;
+                out.push(*lit);
+                i += 2;
+            } else {
+                let sym = self
+                    .symbols
+                    .get(b as usize)
+                    .ok_or("code beyond symbol table")?;
+                out.extend_from_slice(sym.as_slice(&mut buf));
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialized table: count byte + per-symbol (len byte + bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.symbols.len() * 9);
+        out.push(self.symbols.len() as u8);
+        let mut buf = [0u8; 8];
+        for s in &self.symbols {
+            out.push(s.len);
+            out.extend_from_slice(s.as_slice(&mut buf));
+        }
+        out
+    }
+
+    /// Parse a serialized table.
+    pub fn from_bytes(data: &[u8]) -> Result<Fsst, &'static str> {
+        let n = *data.first().ok_or("empty table blob")? as usize;
+        let mut pos = 1usize;
+        let mut symbols = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = *data.get(pos).ok_or("truncated table")? as usize;
+            if len == 0 || len > MAX_SYMBOL_LEN {
+                return Err("bad symbol length");
+            }
+            pos += 1;
+            let bytes = data.get(pos..pos + len).ok_or("truncated table")?;
+            symbols.push(Sym::from_bytes(bytes));
+            pos += len;
+        }
+        Ok(Fsst::from_syms(symbols))
+    }
+
+    /// Size of the serialized table (counted against the compression ratio
+    /// in comparisons, like the VLDB paper does).
+    pub fn serialized_size(&self) -> usize {
+        1 + self.symbols.iter().map(|s| 1 + s.len as usize).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<u8> {
+        let lines = [
+            "COc1cc(C=O)ccc1O",
+            "CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+            "C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            "CCN(CC)CC",
+            "c1ccc2ccccc2c1",
+        ];
+        let mut buf = Vec::new();
+        for _ in 0..300 {
+            for l in lines {
+                buf.extend_from_slice(l.as_bytes());
+                buf.push(b'\n');
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn sym_packing() {
+        let s = Sym::from_bytes(b"c1cc");
+        let mut buf = [0u8; 8];
+        assert_eq!(s.as_slice(&mut buf), b"c1cc");
+        assert_eq!(s.len, 4);
+        let t = Sym::from_bytes(b"ccc1");
+        let joined = s.concat(&t);
+        let mut buf2 = [0u8; 8];
+        assert_eq!(joined.as_slice(&mut buf2), b"c1ccccc1");
+        // Truncation at 8.
+        let long = joined.concat(&t);
+        assert_eq!(long.len, 8);
+    }
+
+    #[test]
+    fn training_produces_multibyte_symbols() {
+        let data = corpus();
+        let t = Fsst::train(&data);
+        assert!(t.len() > 10, "table has {} symbols", t.len());
+        assert!(t.max_len >= 4, "long symbols learned, max_len = {}", t.max_len);
+    }
+
+    #[test]
+    fn round_trip_on_training_data() {
+        let data = corpus();
+        let t = Fsst::train(&data);
+        for line in data.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            let mut z = Vec::new();
+            t.compress_line(line, &mut z);
+            let mut back = Vec::new();
+            t.decompress_line(&z, &mut back).unwrap();
+            assert_eq!(back, line);
+            assert!(z.len() <= line.len(), "compressed not larger on trained data");
+        }
+    }
+
+    #[test]
+    fn round_trip_on_unseen_data() {
+        let t = Fsst::train(&corpus());
+        for line in [
+            b"N#Cc1ccccc1".as_slice(),
+            b"completely different text!",
+            &[0u8, 255, 128, 7],
+            b"",
+        ] {
+            let mut z = Vec::new();
+            t.compress_line(line, &mut z);
+            let mut back = Vec::new();
+            t.decompress_line(&z, &mut back).unwrap();
+            assert_eq!(back, line);
+        }
+    }
+
+    #[test]
+    fn compresses_repetitive_smiles_well() {
+        let data = corpus();
+        let t = Fsst::train(&data);
+        let mut z = Vec::new();
+        for line in data.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            t.compress_line(line, &mut z);
+        }
+        let payload: usize = data
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .map(|l| l.len())
+            .sum();
+        let ratio = (z.len() + t.serialized_size()) as f64 / payload as f64;
+        assert!(ratio < 0.5, "FSST ratio on repetitive SMILES: {ratio}");
+    }
+
+    #[test]
+    fn empty_table_escapes_everything() {
+        let t = Fsst::from_syms(Vec::new());
+        let mut z = Vec::new();
+        t.compress_line(b"abc", &mut z);
+        assert_eq!(z, vec![ESCAPE, b'a', ESCAPE, b'b', ESCAPE, b'c']);
+        let mut back = Vec::new();
+        t.decompress_line(&z, &mut back).unwrap();
+        assert_eq!(back, b"abc");
+    }
+
+    #[test]
+    fn table_serialization_round_trip() {
+        let t = Fsst::train(&corpus());
+        let blob = t.to_bytes();
+        assert_eq!(blob.len(), t.serialized_size());
+        let t2 = Fsst::from_bytes(&blob).unwrap();
+        assert_eq!(t2.len(), t.len());
+        // The reloaded table must decode output of the original.
+        let line = b"COc1cc(C=O)ccc1O";
+        let mut z = Vec::new();
+        t.compress_line(line, &mut z);
+        let mut back = Vec::new();
+        t2.decompress_line(&z, &mut back).unwrap();
+        assert_eq!(back, line);
+    }
+
+    #[test]
+    fn serialization_rejects_garbage() {
+        assert!(Fsst::from_bytes(&[]).is_err());
+        assert!(Fsst::from_bytes(&[1]).is_err(), "truncated");
+        assert!(Fsst::from_bytes(&[1, 0]).is_err(), "zero-length symbol");
+        assert!(Fsst::from_bytes(&[1, 9, 1, 2, 3, 4, 5, 6, 7, 8, 9]).is_err(), "too long");
+    }
+
+    #[test]
+    fn decompress_errors() {
+        let t = Fsst::from_syms(vec![Sym::from_bytes(b"ab")]);
+        let mut out = Vec::new();
+        assert!(t.decompress_line(&[ESCAPE], &mut out).is_err(), "dangling escape");
+        assert!(t.decompress_line(&[7], &mut out).is_err(), "unknown code");
+        out.clear();
+        t.decompress_line(&[0, 0], &mut out).unwrap();
+        assert_eq!(out, b"abab");
+    }
+
+    #[test]
+    fn max_symbols_respected() {
+        // Train on high-entropy data with many distinct bigrams.
+        let mut data = Vec::new();
+        for a in 0u8..64 {
+            for b in 0u8..64 {
+                data.push(b'A' + (a % 26));
+                data.push(b'a' + (b % 26));
+            }
+        }
+        let t = Fsst::train(&data);
+        assert!(t.len() <= MAX_SYMBOLS);
+    }
+}

@@ -1,0 +1,358 @@
+//! Canonical Huffman coding over an arbitrary (≤ 2¹⁶) symbol alphabet.
+//!
+//! The bzip-like pipeline Huffman-codes RLE2 symbols (alphabet ≈ 259), so
+//! symbols are `u16`. Code lengths are limited to [`MAX_CODE_LEN`] by
+//! frequency-halving rebuilds, and codes are *canonical*: the decoder needs
+//! only the length table, which the container stores as one byte per
+//! symbol.
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Upper bound on code length. 20 bits is plenty for ≤ 2¹⁶ symbols on
+/// blocks ≤ 1 MiB and keeps the decoder's per-length tables tiny.
+pub const MAX_CODE_LEN: u32 = 20;
+
+/// Build code lengths for `freqs` (0-frequency symbols get length 0 = no
+/// code). Standard heap-based Huffman with the frequency-halving trick when
+/// the depth limit is exceeded.
+pub fn build_code_lengths(freqs: &[u64]) -> Vec<u8> {
+    let n = freqs.len();
+    let mut adjusted: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths = build_once(&adjusted);
+        let too_deep = lengths.iter().any(|&l| l as u32 > MAX_CODE_LEN);
+        if !too_deep {
+            return lengths;
+        }
+        // Halve (rounding up so nothing drops to zero) and retry; flattens
+        // the tree.
+        for f in adjusted.iter_mut() {
+            if *f > 0 {
+                *f = (*f).div_ceil(2);
+            }
+        }
+        let _ = n;
+    }
+}
+
+fn build_once(freqs: &[u64]) -> Vec<u8> {
+    #[derive(PartialEq, Eq)]
+    struct HeapItem {
+        weight: u64,
+        /// Tie-break on creation order for determinism.
+        order: u32,
+        node: u32,
+    }
+    impl Ord for HeapItem {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reversed: BinaryHeap is a max-heap, we need min.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.order.cmp(&self.order))
+        }
+    }
+    impl PartialOrd for HeapItem {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = freqs.len();
+    let mut lengths = vec![0u8; n];
+    let alive: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match alive.len() {
+        0 => return lengths,
+        1 => {
+            // A single symbol still needs one bit on the wire.
+            lengths[alive[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Internal tree: leaves are 0..n, internal nodes appended after.
+    let mut parent: Vec<u32> = vec![u32::MAX; n];
+    let mut heap = std::collections::BinaryHeap::with_capacity(alive.len());
+    let mut order = 0u32;
+    for &i in &alive {
+        heap.push(HeapItem { weight: freqs[i], order, node: i as u32 });
+        order += 1;
+    }
+    while heap.len() >= 2 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        let internal = parent.len() as u32;
+        parent.push(u32::MAX);
+        parent[a.node as usize] = internal;
+        parent[b.node as usize] = internal;
+        heap.push(HeapItem {
+            weight: a.weight + b.weight,
+            order,
+            node: internal,
+        });
+        order += 1;
+    }
+    for &i in &alive {
+        let mut depth = 0u8;
+        let mut cur = i as u32;
+        while parent[cur as usize] != u32::MAX {
+            depth += 1;
+            cur = parent[cur as usize];
+        }
+        lengths[i] = depth;
+    }
+    lengths
+}
+
+/// Canonical code assignment: shorter codes first, ties by symbol index.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let mut codes = vec![0u32; lengths.len()];
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as u32;
+    let mut code = 0u32;
+    for len in 1..=max_len {
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l as u32 == len {
+                codes[sym] = code;
+                code += 1;
+            }
+        }
+        code <<= 1;
+    }
+    codes
+}
+
+/// Encoder: symbol → (code, length).
+pub struct HuffmanEncoder {
+    codes: Vec<u32>,
+    lengths: Vec<u8>,
+}
+
+impl HuffmanEncoder {
+    pub fn new(lengths: &[u8]) -> Self {
+        HuffmanEncoder { codes: canonical_codes(lengths), lengths: lengths.to_vec() }
+    }
+
+    /// Append the code for `sym`. Panics on a symbol with no code —
+    /// encoders must only emit symbols they counted.
+    #[inline]
+    pub fn write(&self, w: &mut BitWriter, sym: u16) {
+        let len = self.lengths[sym as usize] as u32;
+        debug_assert!(len > 0, "symbol {sym} has no code");
+        w.write_bits(self.codes[sym as usize], len);
+    }
+}
+
+/// Canonical decoder using per-length first-code/first-index tables.
+pub struct HuffmanDecoder {
+    /// `first_code[l]` = canonical code value of the first code of length l.
+    first_code: Vec<u32>,
+    /// `first_index[l]` = index into `symbols` of that code.
+    first_index: Vec<u32>,
+    /// count of codes per length
+    count: Vec<u32>,
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u16>,
+    max_len: u32,
+}
+
+impl HuffmanDecoder {
+    pub fn new(lengths: &[u8]) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as u32;
+        let mut count = vec![0u32; (max_len + 1) as usize];
+        for &l in lengths {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut symbols = Vec::new();
+        for len in 1..=max_len {
+            for (sym, &l) in lengths.iter().enumerate() {
+                if l as u32 == len {
+                    symbols.push(sym as u16);
+                }
+            }
+        }
+        let mut first_code = vec![0u32; (max_len + 2) as usize];
+        let mut first_index = vec![0u32; (max_len + 2) as usize];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..=max_len {
+            first_code[len as usize] = code;
+            first_index[len as usize] = index;
+            code = (code + count[len as usize]) << 1;
+            index += count[len as usize];
+        }
+        HuffmanDecoder { first_code, first_index, count, symbols, max_len }
+    }
+
+    /// Decode one symbol; `None` on truncated input or invalid code.
+    #[inline]
+    pub fn read(&self, r: &mut BitReader<'_>) -> Option<u16> {
+        let mut code = 0u32;
+        for len in 1..=self.max_len {
+            code = (code << 1) | r.read_bit()?;
+            let fc = self.first_code[len as usize];
+            let cnt = self.count[len as usize];
+            if cnt > 0 && code >= fc && code < fc + cnt {
+                let idx = self.first_index[len as usize] + (code - fc);
+                return Some(self.symbols[idx as usize]);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(symbols: &[u16], alphabet: usize) {
+        let mut freqs = vec![0u64; alphabet];
+        for &s in symbols {
+            freqs[s as usize] += 1;
+        }
+        let lengths = build_code_lengths(&freqs);
+        let enc = HuffmanEncoder::new(&lengths);
+        let mut w = BitWriter::new();
+        for &s in symbols {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let dec = HuffmanDecoder::new(&lengths);
+        let mut r = BitReader::new(&bytes);
+        for &s in symbols {
+            assert_eq!(dec.read(&mut r), Some(s));
+        }
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (0..50).map(|i| (i * i + 1) as u64).collect();
+        let lengths = build_code_lengths(&freqs);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
+        // Huffman is complete: equality.
+        assert!((kraft - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimality_on_known_distribution() {
+        // freqs 1,1,2,4: depths 3,3,2,1 (classic).
+        let lengths = build_code_lengths(&[1, 1, 2, 4]);
+        assert_eq!(lengths, vec![3, 3, 2, 1]);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lengths = build_code_lengths(&[0, 42, 0]);
+        assert_eq!(lengths, vec![0, 1, 0]);
+        round_trip(&[1, 1, 1, 1], 3);
+    }
+
+    #[test]
+    fn empty_freqs() {
+        let lengths = build_code_lengths(&[0, 0, 0]);
+        assert_eq!(lengths, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        round_trip(&[0, 1, 0, 1, 1, 0], 2);
+    }
+
+    #[test]
+    fn skewed_distribution_round_trips() {
+        let mut syms = vec![7u16; 1000];
+        syms.extend_from_slice(&[1, 2, 3, 4, 5, 6, 8, 9, 10]);
+        round_trip(&syms, 11);
+    }
+
+    #[test]
+    fn large_alphabet_round_trips() {
+        // 259-symbol alphabet like the bzip pipeline's RLE2 output.
+        let symbols: Vec<u16> = (0..259u16).cycle().take(5000).collect();
+        round_trip(&symbols, 259);
+    }
+
+    #[test]
+    fn depth_limit_enforced_on_fibonacci_freqs() {
+        // Fibonacci frequencies force maximal skew → unbounded depth
+        // without the halving trick.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_code_lengths(&freqs);
+        assert!(lengths.iter().all(|&l| (l as u32) <= MAX_CODE_LEN));
+        // Still decodable.
+        let syms: Vec<u16> = (0..40u16).collect();
+        let enc = HuffmanEncoder::new(&lengths);
+        let dec = HuffmanDecoder::new(&lengths);
+        let mut w = BitWriter::new();
+        for &s in &syms {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &syms {
+            assert_eq!(dec.read(&mut r), Some(s));
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free_and_ordered() {
+        let lengths = vec![2u8, 2, 2, 3, 3, 0];
+        let codes = canonical_codes(&lengths);
+        // Length-2 codes: 00, 01, 10; length-3: 110, 111.
+        assert_eq!(codes[0], 0b00);
+        assert_eq!(codes[1], 0b01);
+        assert_eq!(codes[2], 0b10);
+        assert_eq!(codes[3], 0b110);
+        assert_eq!(codes[4], 0b111);
+    }
+
+    #[test]
+    fn decoder_rejects_truncated_stream() {
+        let lengths = build_code_lengths(&[5, 5, 5, 5]);
+        let enc = HuffmanEncoder::new(&lengths);
+        let mut w = BitWriter::new();
+        enc.write(&mut w, 0);
+        let bytes = w.finish();
+        let dec = HuffmanDecoder::new(&lengths);
+        let mut r = BitReader::new(&bytes[..0]);
+        assert_eq!(dec.read(&mut r), None);
+    }
+
+    #[test]
+    fn compresses_skewed_better_than_uniform() {
+        let mut freqs = vec![0u64; 4];
+        let skewed: Vec<u16> = std::iter::repeat_n(0u16, 900)
+            .chain(std::iter::repeat_n(1u16, 50))
+            .chain(std::iter::repeat_n(2u16, 30))
+            .chain(std::iter::repeat_n(3u16, 20))
+            .collect();
+        for &s in &skewed {
+            freqs[s as usize] += 1;
+        }
+        let lengths = build_code_lengths(&freqs);
+        let enc = HuffmanEncoder::new(&lengths);
+        let mut w = BitWriter::new();
+        for &s in &skewed {
+            enc.write(&mut w, s);
+        }
+        let bits = w.bit_len();
+        assert!(
+            bits < skewed.len() as u64 * 2,
+            "skewed input must beat the 2-bit flat code: {bits} bits"
+        );
+    }
+}

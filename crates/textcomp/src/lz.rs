@@ -1,0 +1,439 @@
+//! LZ77 + Huffman ("deflate-like") compressor, built from scratch.
+//!
+//! The paper's related-work section positions DEFLATE/LZ77 alongside Bzip2
+//! as the general-purpose alternatives; this module supplies that third
+//! baseline family. The design follows DEFLATE: a 32 KiB sliding window,
+//! greedy hash-chain match finding (min match 3, max 258), the standard
+//! length/distance bucket tables with extra bits, and per-block canonical
+//! Huffman tables for the literal/length and distance alphabets. The
+//! container is *not* RFC 1951 wire-compatible (no fixed-table mode, no
+//! bit-level header games) — compatibility is not what the comparison
+//! needs; the compression behavior is.
+//!
+//! Like bzip2 and unlike ZSMILES/FSST, output is stateful across a block:
+//! no random access, binary bytes.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::crc32::crc32;
+use crate::huffman::{build_code_lengths, HuffmanDecoder, HuffmanEncoder};
+
+const MAGIC: &[u8; 4] = b"RZLZ";
+/// Sliding-window size (DEFLATE's 32 KiB).
+const WINDOW: usize = 32 * 1024;
+/// Tokenization block size: tokens are re-Huffmanned per block.
+const BLOCK: usize = 256 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+/// Hash-chain search depth.
+const MAX_CHAIN: usize = 64;
+
+/// DEFLATE length buckets: base length per code 257+i.
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// DEFLATE distance buckets.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+/// Literal/length alphabet: 256 literals + EOB (256) + 29 length codes.
+const LITLEN_ALPHABET: usize = 286;
+const EOB: u16 = 256;
+const DIST_ALPHABET: usize = 30;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    Literal(u8),
+    Match { len: u16, dist: u16 },
+}
+
+/// Map a length (3..=258) to (code index, extra bits value, extra count).
+fn length_code(len: usize) -> (usize, u32, u8) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    let mut i = LENGTH_BASE.len() - 1;
+    while LENGTH_BASE[i] as usize > len {
+        i -= 1;
+    }
+    (i, (len - LENGTH_BASE[i] as usize) as u32, LENGTH_EXTRA[i])
+}
+
+/// Map a distance (1..=32768) to (code index, extra value, extra count).
+fn dist_code(dist: usize) -> (usize, u32, u8) {
+    debug_assert!((1..=WINDOW).contains(&dist));
+    let mut i = DIST_BASE.len() - 1;
+    while DIST_BASE[i] as usize > dist {
+        i -= 1;
+    }
+    (i, (dist - DIST_BASE[i] as usize) as u32, DIST_EXTRA[i])
+}
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | (data[i + 1] as u32) << 8 | (data[i + 2] as u32) << 16;
+    (v.wrapping_mul(0x9E37_79B1) >> 17) as usize & (HASH_SIZE - 1)
+}
+
+const HASH_SIZE: usize = 1 << 15;
+
+/// Greedy hash-chain tokenizer over the whole input.
+fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 3 + 8);
+    let mut head = vec![u32::MAX; HASH_SIZE];
+    let mut prev = vec![u32::MAX; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut chain = 0usize;
+            while cand != u32::MAX && chain < MAX_CHAIN {
+                let c = cand as usize;
+                if i - c > WINDOW {
+                    break;
+                }
+                // Extend the match.
+                let limit = (n - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && data[c + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - c;
+                    if l >= MAX_MATCH {
+                        break;
+                    }
+                }
+                cand = prev[c];
+                chain += 1;
+            }
+            // Insert current position into the chain.
+            prev[i] = head[h];
+            head[h] = i as u32;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
+            // Insert the skipped positions so later matches can reference
+            // them (bounded work: matches are ≤ 258 long).
+            let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+            let mut j = i + 1;
+            while j < end {
+                let h = hash3(data, j);
+                prev[j] = head[h];
+                head[h] = j as u32;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Compress a buffer.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 64);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(input).to_le_bytes());
+    for block in input.chunks(BLOCK) {
+        // NOTE: chunking resets the window at block boundaries (simpler
+        // container; costs a hair of ratio on multi-block inputs).
+        compress_block(block, &mut out);
+    }
+    out
+}
+
+fn compress_block(data: &[u8], out: &mut Vec<u8>) {
+    let tokens = tokenize(data);
+
+    let mut lit_freq = vec![0u64; LITLEN_ALPHABET];
+    let mut dist_freq = vec![0u64; DIST_ALPHABET];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[257 + length_code(len as usize).0] += 1;
+                dist_freq[dist_code(dist as usize).0] += 1;
+            }
+        }
+    }
+    lit_freq[EOB as usize] += 1;
+
+    let lit_lengths = build_code_lengths(&lit_freq);
+    let dist_lengths = build_code_lengths(&dist_freq);
+    let lit_enc = HuffmanEncoder::new(&lit_lengths);
+    let dist_enc = HuffmanEncoder::new(&dist_lengths);
+
+    let mut bits = BitWriter::new();
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_enc.write(&mut bits, b as u16),
+            Token::Match { len, dist } => {
+                let (lc, lx, ln) = length_code(len as usize);
+                lit_enc.write(&mut bits, (257 + lc) as u16);
+                if ln > 0 {
+                    bits.write_bits(lx, ln as u32);
+                }
+                let (dc, dx, dn) = dist_code(dist as usize);
+                dist_enc.write(&mut bits, dc as u16);
+                if dn > 0 {
+                    bits.write_bits(dx, dn as u32);
+                }
+            }
+        }
+    }
+    lit_enc.write(&mut bits, EOB);
+    let payload = bits.finish();
+
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&lit_lengths);
+    out.extend_from_slice(&dist_lengths);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// Decompress a buffer.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, &'static str> {
+    if input.len() < 12 || &input[..4] != MAGIC {
+        return Err("not an RZLZ stream");
+    }
+    let total_len = u32::from_le_bytes(input[4..8].try_into().unwrap()) as usize;
+    let expect_crc = u32::from_le_bytes(input[8..12].try_into().unwrap());
+    let mut out = Vec::with_capacity(total_len);
+    let mut pos = 12usize;
+    while pos < input.len() {
+        pos = decompress_block(input, pos, &mut out)?;
+    }
+    if out.len() != total_len {
+        return Err("length mismatch");
+    }
+    if crc32(&out) != expect_crc {
+        return Err("CRC mismatch");
+    }
+    Ok(out)
+}
+
+fn decompress_block(
+    input: &[u8],
+    mut pos: usize,
+    out: &mut Vec<u8>,
+) -> Result<usize, &'static str> {
+    let need = |pos: usize, n: usize| {
+        if pos + n > input.len() {
+            Err("truncated stream")
+        } else {
+            Ok(())
+        }
+    };
+    need(pos, 4)?;
+    let raw_len = u32::from_le_bytes(input[pos..pos + 4].try_into().unwrap()) as usize;
+    pos += 4;
+    need(pos, LITLEN_ALPHABET + DIST_ALPHABET + 4)?;
+    let lit_lengths = &input[pos..pos + LITLEN_ALPHABET];
+    pos += LITLEN_ALPHABET;
+    let dist_lengths = &input[pos..pos + DIST_ALPHABET];
+    pos += DIST_ALPHABET;
+    let payload_len = u32::from_le_bytes(input[pos..pos + 4].try_into().unwrap()) as usize;
+    pos += 4;
+    need(pos, payload_len)?;
+    let payload = &input[pos..pos + payload_len];
+    pos += payload_len;
+
+    let lit_dec = HuffmanDecoder::new(lit_lengths);
+    let dist_dec = HuffmanDecoder::new(dist_lengths);
+    let block_start = out.len();
+    let mut bits = BitReader::new(payload);
+    loop {
+        let sym = lit_dec.read(&mut bits).ok_or("truncated bitstream")?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            s if s == EOB => break,
+            s if (257..257 + 29).contains(&(s as usize)) => {
+                let idx = s as usize - 257;
+                let extra = LENGTH_EXTRA[idx];
+                let len = LENGTH_BASE[idx] as usize
+                    + if extra > 0 {
+                        bits.read_bits(extra as u32).ok_or("truncated extra bits")? as usize
+                    } else {
+                        0
+                    };
+                let dsym = dist_dec.read(&mut bits).ok_or("truncated distance")? as usize;
+                if dsym >= DIST_ALPHABET {
+                    return Err("bad distance code");
+                }
+                let dextra = DIST_EXTRA[dsym];
+                let dist = DIST_BASE[dsym] as usize
+                    + if dextra > 0 {
+                        bits.read_bits(dextra as u32).ok_or("truncated extra bits")? as usize
+                    } else {
+                        0
+                    };
+                // Window resets per block: distances may not reach before
+                // the block start.
+                if dist == 0 || dist > out.len() - block_start {
+                    return Err("distance out of range");
+                }
+                let from = out.len() - dist;
+                for k in 0..len {
+                    let b = out[from + k];
+                    out.push(b);
+                }
+            }
+            _ => return Err("bad literal/length code"),
+        }
+        if out.len() - block_start > raw_len {
+            return Err("block overruns declared length");
+        }
+    }
+    if out.len() - block_start != raw_len {
+        return Err("block length mismatch");
+    }
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(input: &[u8]) -> Vec<u8> {
+        let z = compress(input);
+        assert_eq!(decompress(&z).unwrap(), input, "{} bytes", input.len());
+        z
+    }
+
+    #[test]
+    fn bucket_tables_cover_their_domains() {
+        for len in MIN_MATCH..=MAX_MATCH {
+            let (c, extra, n) = length_code(len);
+            assert!(c < 29);
+            let reconstructed = LENGTH_BASE[c] as usize + extra as usize;
+            assert_eq!(reconstructed, len);
+            assert!(extra < (1 << n) || n == 0);
+        }
+        for dist in 1..=WINDOW {
+            let (c, extra, n) = dist_code(dist);
+            assert!(c < 30);
+            assert_eq!(DIST_BASE[c] as usize + extra as usize, dist);
+            assert!(extra < (1 << n) || n == 0);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+        round_trip(b"aaaa");
+    }
+
+    #[test]
+    fn repetitive_text_uses_matches() {
+        let input = b"COc1cc(C=O)ccc1O\n".repeat(300);
+        let z = round_trip(&input);
+        let ratio = z.len() as f64 / input.len() as f64;
+        assert!(ratio < 0.1, "LZ77 crushes repetition: {ratio}");
+    }
+
+    #[test]
+    fn long_runs() {
+        round_trip(&vec![b'x'; 100_000]);
+        let mut v = Vec::new();
+        for i in 0..50_000 {
+            v.push((i % 251) as u8);
+        }
+        round_trip(&v);
+    }
+
+    #[test]
+    fn smiles_deck_ratio_between_bzip_and_dictionary_tools() {
+        let mut input = Vec::new();
+        for i in 0..2000 {
+            input.extend_from_slice(b"CC(C)Cc1ccc(cc1)C(C)C(=O)O");
+            input.extend_from_slice(format!("{}", i % 100).as_bytes());
+            input.push(b'\n');
+        }
+        let z = round_trip(&input);
+        let lz_ratio = z.len() as f64 / input.len() as f64;
+        let bz_ratio =
+            crate::bzip::compress(&input).len() as f64 / input.len() as f64;
+        assert!(lz_ratio < 0.35, "lz {lz_ratio}");
+        // bzip2's BWT usually wins on this text, as in the wider world.
+        assert!(bz_ratio < lz_ratio + 0.05, "bz {bz_ratio} vs lz {lz_ratio}");
+    }
+
+    #[test]
+    fn incompressible_data_survives() {
+        let mut x = 0xDEADBEEFu32;
+        let data: Vec<u8> = (0..20_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        let z = round_trip(&data);
+        assert!(z.len() < data.len() + 800);
+    }
+
+    #[test]
+    fn multi_block_inputs() {
+        let input = b"c1ccccc1NC(=O)".repeat(30_000); // > BLOCK
+        assert!(input.len() > BLOCK);
+        round_trip(&input);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let input = b"COc1cc(C=O)ccc1O\n".repeat(100);
+        let mut z = compress(&input);
+        let n = z.len();
+        z[n - 8] ^= 0x10;
+        assert!(decompress(&z).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decompress(b"").is_err());
+        assert!(decompress(b"NOPE00000000").is_err());
+        let z = compress(b"hello world hello world");
+        assert!(decompress(&z[..z.len() - 2]).is_err(), "truncation");
+    }
+
+    #[test]
+    fn matches_do_not_cross_block_boundary() {
+        // Construct input where block 2 starts with text that matched
+        // block 1 — decoder must not allow the reference.
+        let unit = b"ABCDEFGH".repeat(BLOCK / 8 + 10);
+        round_trip(&unit);
+    }
+
+    #[test]
+    fn window_limit_respected() {
+        // A repeat farther than 32 KiB apart cannot be matched; correctness
+        // must be unaffected.
+        let mut v = vec![0u8; 40_000];
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = (i / 7) as u8;
+        }
+        let mut input = b"UNIQUEPREFIX".to_vec();
+        input.extend_from_slice(&v);
+        input.extend_from_slice(b"UNIQUEPREFIX");
+        round_trip(&input);
+    }
+}

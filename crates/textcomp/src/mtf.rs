@@ -1,0 +1,98 @@
+//! Move-to-front transform over the widened (u16) BWT alphabet.
+//!
+//! After BWT, identical characters cluster; MTF turns that locality into a
+//! stream dominated by small values (especially 0), which the zero-run
+//! RLE2 stage then crushes.
+
+/// Number of symbols in the widened alphabet (sentinel + 256 byte values).
+pub const ALPHABET: usize = 257;
+
+/// Forward MTF. Symbols must be `< ALPHABET`.
+pub fn mtf_forward(input: &[u16]) -> Vec<u16> {
+    let mut order: Vec<u16> = (0..ALPHABET as u16).collect();
+    let mut out = Vec::with_capacity(input.len());
+    for &sym in input {
+        let pos = order
+            .iter()
+            .position(|&s| s == sym)
+            .expect("symbol within alphabet");
+        out.push(pos as u16);
+        // Move to front.
+        order.copy_within(0..pos, 1);
+        order[0] = sym;
+    }
+    out
+}
+
+/// Inverse MTF.
+pub fn mtf_inverse(ranks: &[u16]) -> Result<Vec<u16>, &'static str> {
+    let mut order: Vec<u16> = (0..ALPHABET as u16).collect();
+    let mut out = Vec::with_capacity(ranks.len());
+    for &r in ranks {
+        let pos = r as usize;
+        if pos >= ALPHABET {
+            return Err("MTF rank out of range");
+        }
+        let sym = order[pos];
+        out.push(sym);
+        order.copy_within(0..pos, 1);
+        order[0] = sym;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_example() {
+        // alphabet positions: 5 is at index 5; after moving, repeats cost 0.
+        let input = vec![5u16, 5, 5, 2, 2, 5];
+        let ranks = mtf_forward(&input);
+        assert_eq!(ranks, vec![5, 0, 0, 3, 0, 1]);
+        assert_eq!(mtf_inverse(&ranks).unwrap(), input);
+    }
+
+    #[test]
+    fn runs_become_zeros() {
+        let input = vec![9u16; 100];
+        let ranks = mtf_forward(&input);
+        assert_eq!(ranks[0], 9);
+        assert!(ranks[1..].iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn round_trip_full_alphabet() {
+        let input: Vec<u16> = (0..ALPHABET as u16).rev().collect();
+        assert_eq!(mtf_inverse(&mtf_forward(&input)).unwrap(), input);
+    }
+
+    #[test]
+    fn round_trip_bwt_output() {
+        let bwt = crate::bwt::bwt_forward(b"c1ccccc1Nc1ccccc1Oc1ccccc1");
+        assert_eq!(mtf_inverse(&mtf_forward(&bwt)).unwrap(), bwt);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(mtf_forward(&[]).is_empty());
+        assert!(mtf_inverse(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn inverse_rejects_out_of_range() {
+        assert!(mtf_inverse(&[300]).is_err());
+    }
+
+    #[test]
+    fn clustered_input_yields_small_ranks() {
+        // BWT-like clustering: 'a'*50 + 'b'*50 + 'a'*50.
+        let mut input = vec![10u16; 50];
+        input.extend(vec![20u16; 50]);
+        input.extend(vec![10u16; 50]);
+        let ranks = mtf_forward(&input);
+        let small = ranks.iter().filter(|&&r| r <= 1).count();
+        assert!(small >= 147, "{small} of {} ranks are small", ranks.len());
+    }
+}

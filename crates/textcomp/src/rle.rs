@@ -1,0 +1,278 @@
+//! The two run-length stages of the bzip-like pipeline.
+//!
+//! * **RLE1** (bytes → bytes, before BWT): runs of 4–259 identical bytes
+//!   become `bbbb` + count byte, exactly like bzip2's first stage. Its job
+//!   is protecting the suffix sorter from degenerate inputs.
+//! * **RLE2** (MTF ranks → symbols, after MTF): zero runs are encoded in
+//!   bijective base-2 using two dedicated symbols RUNA/RUNB; non-zero ranks
+//!   shift up by one. An EOB symbol terminates the block. This is the
+//!   encoding bzip2 feeds its Huffman stage.
+
+/// RLE1 threshold: a run of this many bytes triggers a count byte.
+const RLE1_RUN: usize = 4;
+/// Maximum extra run length the count byte can express.
+const RLE1_MAX_EXTRA: usize = 255;
+
+/// RLE1 encode (bytes → bytes).
+pub fn rle1_encode(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        let mut run = 1;
+        while i + run < input.len() && input[i + run] == b && run < RLE1_RUN + RLE1_MAX_EXTRA {
+            run += 1;
+        }
+        if run >= RLE1_RUN {
+            out.extend_from_slice(&[b; RLE1_RUN]);
+            out.push((run - RLE1_RUN) as u8);
+        } else {
+            for _ in 0..run {
+                out.push(b);
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+/// RLE1 decode.
+pub fn rle1_decode(input: &[u8]) -> Result<Vec<u8>, &'static str> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        // Detect a literal run of 4 identical bytes → next byte is a count.
+        if i + RLE1_RUN <= input.len() && input[i..i + RLE1_RUN].iter().all(|&x| x == b) {
+            let extra = *input
+                .get(i + RLE1_RUN)
+                .ok_or("RLE1: missing count byte after run")? as usize;
+            for _ in 0..RLE1_RUN + extra {
+                out.push(b);
+            }
+            i += RLE1_RUN + 1;
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// RLE2: zero-run coding of MTF ranks
+// ---------------------------------------------------------------------------
+
+/// RUNA symbol (zero-run bit 1 in bijective base 2).
+pub const RUNA: u16 = 0;
+/// RUNB symbol (zero-run bit 2).
+pub const RUNB: u16 = 1;
+/// End-of-block symbol.
+pub const EOB: u16 = 2 + crate::mtf::ALPHABET as u16 - 1; // ranks 1..=256 → 3..=258; EOB = 258
+/// Total RLE2 alphabet size (RUNA, RUNB, shifted ranks, EOB).
+pub const RLE2_ALPHABET: usize = EOB as usize + 1;
+
+/// Encode MTF ranks into RLE2 symbols (EOB appended).
+pub fn rle2_encode(ranks: &[u16]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(ranks.len() / 2 + 8);
+    let mut zero_run: u64 = 0;
+    for &r in ranks {
+        if r == 0 {
+            zero_run += 1;
+            continue;
+        }
+        flush_zero_run(&mut out, &mut zero_run);
+        // rank 1..=256 → symbol 2..=257
+        out.push(r + 1);
+    }
+    flush_zero_run(&mut out, &mut zero_run);
+    out.push(EOB);
+    out
+}
+
+/// Bijective base-2: n ≥ 1 written with digits RUNA(=1), RUNB(=2),
+/// least-significant first.
+fn flush_zero_run(out: &mut Vec<u16>, run: &mut u64) {
+    let mut n = *run;
+    while n > 0 {
+        if n % 2 == 1 {
+            out.push(RUNA);
+            n = (n - 1) / 2;
+        } else {
+            out.push(RUNB);
+            n = (n - 2) / 2;
+        }
+    }
+    *run = 0;
+}
+
+/// Decode RLE2 symbols back into MTF ranks. Stops at EOB; returns an error
+/// if EOB is missing or a symbol is out of range.
+pub fn rle2_decode(symbols: &[u16]) -> Result<Vec<u16>, &'static str> {
+    let mut out = Vec::with_capacity(symbols.len() * 2);
+    let mut run_value: u64 = 0; // accumulated zero-run count
+    let mut run_digit: u64 = 1; // current bijective digit weight
+    let mut saw_eob = false;
+    for &s in symbols {
+        match s {
+            RUNA | RUNB => {
+                let digit = if s == RUNA { 1 } else { 2 };
+                run_value += digit * run_digit;
+                run_digit *= 2;
+            }
+            _ if s == EOB => {
+                saw_eob = true;
+                break;
+            }
+            _ if (2..EOB).contains(&s) => {
+                emit_zero_run(&mut out, &mut run_value, &mut run_digit);
+                out.push(s - 1);
+            }
+            _ => return Err("RLE2: symbol out of range"),
+        }
+    }
+    if !saw_eob {
+        return Err("RLE2: missing EOB");
+    }
+    emit_zero_run(&mut out, &mut run_value, &mut run_digit);
+    Ok(out)
+}
+
+fn emit_zero_run(out: &mut Vec<u16>, run_value: &mut u64, run_digit: &mut u64) {
+    for _ in 0..*run_value {
+        out.push(0);
+    }
+    *run_value = 0;
+    *run_digit = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rle1_short_runs_pass_through() {
+        for input in [&b"abc"[..], b"aabbcc", b"aaa", b""] {
+            let enc = rle1_encode(input);
+            assert_eq!(enc, input, "runs < 4 unchanged");
+            assert_eq!(rle1_decode(&enc).unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn rle1_long_runs_collapse() {
+        let input = vec![b'x'; 100];
+        let enc = rle1_encode(&input);
+        assert_eq!(enc, vec![b'x', b'x', b'x', b'x', 96]);
+        assert_eq!(rle1_decode(&enc).unwrap(), input);
+    }
+
+    #[test]
+    fn rle1_exact_four() {
+        let input = b"aaaab";
+        let enc = rle1_encode(input);
+        assert_eq!(enc, vec![b'a', b'a', b'a', b'a', 0, b'b']);
+        assert_eq!(rle1_decode(&enc).unwrap(), input);
+    }
+
+    #[test]
+    fn rle1_run_longer_than_cap_splits() {
+        let input = vec![b'z'; 600];
+        let enc = rle1_encode(&input);
+        assert_eq!(rle1_decode(&enc).unwrap(), input);
+        assert!(enc.len() < 20);
+    }
+
+    #[test]
+    fn rle1_truncated_run_is_error() {
+        assert!(rle1_decode(b"aaaa").is_err(), "missing count byte");
+    }
+
+    #[test]
+    fn rle1_mixed_content() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"CCO");
+        input.extend(vec![b'c'; 10]);
+        input.extend_from_slice(b"N=N");
+        input.extend(vec![0u8; 300]);
+        input.extend_from_slice(b"end");
+        let enc = rle1_encode(&input);
+        assert_eq!(rle1_decode(&enc).unwrap(), input);
+        assert!(enc.len() < input.len());
+    }
+
+    #[test]
+    fn rle2_zero_runs_bijective_base2() {
+        // run of 1 → RUNA; 2 → RUNB; 3 → RUNA RUNA (1 + 1·2); 4 → RUNB RUNA
+        let cases: Vec<(Vec<u16>, Vec<u16>)> = vec![
+            (vec![0], vec![RUNA, EOB]),
+            (vec![0, 0], vec![RUNB, EOB]),
+            (vec![0, 0, 0], vec![RUNA, RUNA, EOB]),
+            (vec![0, 0, 0, 0], vec![RUNB, RUNA, EOB]),
+        ];
+        for (ranks, want) in cases {
+            assert_eq!(rle2_encode(&ranks), want, "{ranks:?}");
+            assert_eq!(rle2_decode(&want).unwrap(), ranks);
+        }
+    }
+
+    #[test]
+    fn rle2_nonzero_shift() {
+        let ranks = vec![5u16, 0, 0, 7];
+        let sym = rle2_encode(&ranks);
+        assert_eq!(sym, vec![6, RUNB, 8, EOB]);
+        assert_eq!(rle2_decode(&sym).unwrap(), ranks);
+    }
+
+    #[test]
+    fn rle2_round_trip_exhaustive_runs() {
+        for run in 0..50usize {
+            let mut ranks = vec![3u16];
+            ranks.extend(vec![0u16; run]);
+            ranks.push(9);
+            let sym = rle2_encode(&ranks);
+            assert_eq!(rle2_decode(&sym).unwrap(), ranks, "run={run}");
+        }
+    }
+
+    #[test]
+    fn rle2_trailing_zeros() {
+        let ranks = vec![1u16, 0, 0, 0, 0, 0];
+        let sym = rle2_encode(&ranks);
+        assert_eq!(rle2_decode(&sym).unwrap(), ranks);
+    }
+
+    #[test]
+    fn rle2_max_rank() {
+        let ranks = vec![256u16, 0, 256];
+        let sym = rle2_encode(&ranks);
+        assert!(sym.iter().all(|&s| (s as usize) < RLE2_ALPHABET));
+        assert_eq!(rle2_decode(&sym).unwrap(), ranks);
+    }
+
+    #[test]
+    fn rle2_errors() {
+        assert!(rle2_decode(&[RUNA]).is_err(), "missing EOB");
+        assert!(rle2_decode(&[999, EOB]).is_err(), "out of range");
+        assert_eq!(rle2_decode(&[EOB]).unwrap(), Vec::<u16>::new());
+    }
+
+    #[test]
+    fn rle2_compresses_zero_dominated_stream() {
+        // 1000 zeros → ~10 RUNA/RUNB symbols.
+        let ranks = vec![0u16; 1000];
+        let sym = rle2_encode(&ranks);
+        assert!(sym.len() <= 11, "got {}", sym.len());
+    }
+
+    #[test]
+    fn full_mtf_rle2_pipeline_round_trip() {
+        let bwt = crate::bwt::bwt_forward(&b"c1ccccc1Nc1ccccc1".repeat(10));
+        let ranks = crate::mtf::mtf_forward(&bwt);
+        let sym = rle2_encode(&ranks);
+        let ranks2 = rle2_decode(&sym).unwrap();
+        assert_eq!(ranks2, ranks);
+        let bwt2 = crate::mtf::mtf_inverse(&ranks2).unwrap();
+        assert_eq!(bwt2, bwt);
+    }
+}

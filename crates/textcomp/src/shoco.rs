@@ -1,0 +1,357 @@
+//! SHOCO-style short-string compression, reimplemented from Ed von
+//! Schleck's `shoco` design: a trained model of the most frequent
+//! characters and their most frequent *successors*, packed into bit-fields.
+//!
+//! The model: the 32 most common bytes get 5-bit IDs; for each of them, its
+//! 8 most common successor bytes get 3-bit IDs. The encoder then packs runs
+//! of model-predicted characters:
+//!
+//! * `0xxxxxxx` — literal ASCII byte (pass-through);
+//! * `10...`    — 2-byte pack: 5-bit lead + 3 successor hops = 4 chars;
+//! * `110...`   — 4-byte pack: 5-bit lead + 8 successor hops = 9 chars;
+//! * `0xFF b`   — escaped literal for non-ASCII bytes.
+//!
+//! Like the original, compression quality hinges on how chain-predictable
+//! the text is; SMILES hop between ~20 hot characters with moderate bigram
+//! skew, which is why SHOCO trails both FSST and ZSMILES in the paper's
+//! Fig. 4 — a shape this implementation reproduces.
+
+/// Number of lead characters in the model (5-bit IDs).
+pub const N_CHRS: usize = 32;
+/// Successors per lead character (3-bit IDs).
+pub const N_SUCCESSORS: usize = 8;
+/// Escape byte for non-ASCII literals.
+pub const ESCAPE: u8 = 0xFF;
+
+/// A trained SHOCO model.
+#[derive(Debug, Clone)]
+pub struct ShocoModel {
+    /// The top characters, by descending frequency.
+    chrs: [u8; N_CHRS],
+    /// byte → lead ID (or -1).
+    chr_ids: [i8; 256],
+    /// `successors[lead_id][successor_id]` = byte.
+    successors: [[u8; N_SUCCESSORS]; N_CHRS],
+    /// `successor_ids[lead_id][byte]` = successor ID (or -1).
+    successor_ids: Vec<[i8; 256]>, // N_CHRS entries; boxed to keep the struct small
+}
+
+impl ShocoModel {
+    /// Train on a corpus (newlines are skipped: they separate records and
+    /// must never be predicted).
+    pub fn train(corpus: &[u8]) -> ShocoModel {
+        let mut uni = [0u64; 256];
+        let mut bi = vec![[0u64; 256]; 256];
+        let mut prev: Option<u8> = None;
+        for &b in corpus {
+            if b == b'\n' {
+                prev = None;
+                continue;
+            }
+            uni[b as usize] += 1;
+            if let Some(p) = prev {
+                bi[p as usize][b as usize] += 1;
+            }
+            prev = Some(b);
+        }
+
+        // Top 32 characters by frequency (ties: smaller byte). Newline is
+        // excluded outright — it separates records and must never be
+        // produced by a pack — and zero-frequency bytes only enter as
+        // padding after every observed byte.
+        let mut order: Vec<u8> = (0u8..=255).filter(|&b| b != b'\n').collect();
+        order.sort_unstable_by(|&a, &b| {
+            uni[b as usize]
+                .cmp(&uni[a as usize])
+                .then(a.cmp(&b))
+        });
+        let mut chrs = [0u8; N_CHRS];
+        chrs.copy_from_slice(&order[..N_CHRS]);
+
+        let mut chr_ids = [-1i8; 256];
+        for (id, &c) in chrs.iter().enumerate() {
+            chr_ids[c as usize] = id as i8;
+        }
+
+        let mut successors = [[0u8; N_SUCCESSORS]; N_CHRS];
+        let mut successor_ids = vec![[-1i8; 256]; N_CHRS];
+        for (id, &c) in chrs.iter().enumerate() {
+            let mut foll: Vec<u8> = (0u8..=255).filter(|&b| b != b'\n').collect();
+            foll.sort_unstable_by(|&a, &b| {
+                bi[c as usize][b as usize]
+                    .cmp(&bi[c as usize][a as usize])
+                    .then(a.cmp(&b))
+            });
+            for (sid, &s) in foll[..N_SUCCESSORS].iter().enumerate() {
+                successors[id][sid] = s;
+                successor_ids[id][s as usize] = sid as i8;
+            }
+        }
+        ShocoModel { chrs, chr_ids, successors, successor_ids }
+    }
+
+    /// Longest encodable successor chain starting at `line[pos]`:
+    /// `chain[k]` holds the 3-bit successor ID of char `pos+1+k`.
+    /// Returns how many successors are encodable (0..=max).
+    fn chain_len(&self, line: &[u8], pos: usize, max: usize, chain: &mut [u8]) -> Option<usize> {
+        let lead = line[pos];
+        let mut lead_id = match self.chr_ids[lead as usize] {
+            -1 => return None,
+            id => id as usize,
+        };
+        let mut k = 0usize;
+        while k < max && pos + 1 + k < line.len() {
+            let next = line[pos + 1 + k];
+            let sid = self.successor_ids[lead_id][next as usize];
+            if sid < 0 {
+                break;
+            }
+            chain[k] = sid as u8;
+            // The next hop needs `next` to be a lead character itself.
+            match self.chr_ids[next as usize] {
+                -1 => {
+                    k += 1;
+                    break;
+                }
+                id => lead_id = id as usize,
+            }
+            k += 1;
+        }
+        Some(k)
+    }
+
+    /// Compress one line, appending to `out`.
+    pub fn compress_line(&self, line: &[u8], out: &mut Vec<u8>) {
+        let mut pos = 0usize;
+        let mut chain = [0u8; 8];
+        while pos < line.len() {
+            let b = line[pos];
+            let chain_n = self.chain_len(line, pos, 8, &mut chain);
+            if let Some(n) = chain_n {
+                if n >= 8 {
+                    // 4-byte pack: 110 | lead(5) | 8 × succ(3)
+                    let lead_id = self.chr_ids[b as usize] as u32;
+                    let mut word: u32 = 0b110 << 29 | lead_id << 24;
+                    for (k, &s) in chain[..8].iter().enumerate() {
+                        word |= (s as u32) << (21 - 3 * k);
+                    }
+                    out.extend_from_slice(&word.to_be_bytes());
+                    pos += 9;
+                    continue;
+                }
+                if n >= 3 {
+                    // 2-byte pack: 10 | lead(5) | 3 × succ(3)
+                    let lead_id = self.chr_ids[b as usize] as u16;
+                    let mut word: u16 = 0b10 << 14 | lead_id << 9;
+                    for (k, &s) in chain[..3].iter().enumerate() {
+                        word |= (s as u16) << (6 - 3 * k);
+                    }
+                    out.extend_from_slice(&word.to_be_bytes());
+                    pos += 4;
+                    continue;
+                }
+            }
+            if b < 0x80 {
+                out.push(b);
+                pos += 1;
+            } else {
+                out.push(ESCAPE);
+                out.push(b);
+                pos += 1;
+            }
+        }
+    }
+
+    /// Decompress one line, appending to `out`.
+    pub fn decompress_line(&self, line: &[u8], out: &mut Vec<u8>) -> Result<(), &'static str> {
+        let mut i = 0usize;
+        while i < line.len() {
+            let b = line[i];
+            if b < 0x80 {
+                out.push(b);
+                i += 1;
+            } else if b == ESCAPE {
+                let lit = line.get(i + 1).ok_or("truncated escape")?;
+                out.push(*lit);
+                i += 2;
+            } else if b >> 6 == 0b10 {
+                let hi = b as u16;
+                let lo = *line.get(i + 1).ok_or("truncated 2-byte pack")? as u16;
+                let word = hi << 8 | lo;
+                let lead_id = ((word >> 9) & 0x1F) as usize;
+                let mut cur = self.chrs[lead_id];
+                out.push(cur);
+                for k in 0..3 {
+                    let sid = ((word >> (6 - 3 * k)) & 0x7) as usize;
+                    let cur_id = self.chr_ids[cur as usize];
+                    if cur_id < 0 {
+                        return Err("broken successor chain");
+                    }
+                    cur = self.successors[cur_id as usize][sid];
+                    out.push(cur);
+                }
+                i += 2;
+            } else if b >> 5 == 0b110 {
+                let bytes = line.get(i..i + 4).ok_or("truncated 4-byte pack")?;
+                let word = u32::from_be_bytes(bytes.try_into().unwrap());
+                let lead_id = ((word >> 24) & 0x1F) as usize;
+                let mut cur = self.chrs[lead_id];
+                out.push(cur);
+                for k in 0..8 {
+                    let sid = ((word >> (21 - 3 * k)) & 0x7) as usize;
+                    let cur_id = self.chr_ids[cur as usize];
+                    if cur_id < 0 {
+                        return Err("broken successor chain");
+                    }
+                    cur = self.successors[cur_id as usize][sid];
+                    out.push(cur);
+                }
+                i += 4;
+            } else {
+                return Err("invalid pack header");
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<u8> {
+        let lines = [
+            "COc1cc(C=O)ccc1O",
+            "CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+            "C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            "c1ccc2ccccc2c1",
+            "CCN(CC)CC",
+        ];
+        let mut buf = Vec::new();
+        for _ in 0..50 {
+            for l in lines {
+                buf.extend_from_slice(l.as_bytes());
+                buf.push(b'\n');
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn model_learns_hot_smiles_chars() {
+        let m = ShocoModel::train(&corpus());
+        // 'C' and 'c' dominate SMILES; both must be lead chars.
+        assert!(m.chr_ids[b'C' as usize] >= 0);
+        assert!(m.chr_ids[b'c' as usize] >= 0);
+        assert!(m.chr_ids[b'(' as usize] >= 0);
+        // Newline must never enter the model: packs could otherwise emit
+        // record separators and break line-oriented archives.
+        assert!(m.chr_ids[b'\n' as usize] < 0);
+        for lead in 0..N_CHRS {
+            for sid in 0..N_SUCCESSORS {
+                assert_ne!(m.successors[lead][sid], b'\n');
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_on_training_lines() {
+        let data = corpus();
+        let m = ShocoModel::train(&data);
+        for line in data.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            let mut z = Vec::new();
+            m.compress_line(line, &mut z);
+            let mut back = Vec::new();
+            m.decompress_line(&z, &mut back).unwrap();
+            assert_eq!(back, line, "{}", String::from_utf8_lossy(line));
+        }
+    }
+
+    #[test]
+    fn round_trip_on_unseen_and_hostile_input() {
+        let m = ShocoModel::train(&corpus());
+        for line in [
+            b"N#Cc1ccccc1".as_slice(),
+            b"THE QUICK BROWN FOX",
+            &[0x80, 0xFF, 0x00, 0x7F],
+            b"",
+            &[0xFF; 5],
+        ] {
+            let mut z = Vec::new();
+            m.compress_line(line, &mut z);
+            let mut back = Vec::new();
+            m.decompress_line(&z, &mut back).unwrap();
+            assert_eq!(back, line);
+        }
+    }
+
+    #[test]
+    fn compresses_predictable_smiles() {
+        let data = corpus();
+        let m = ShocoModel::train(&data);
+        let mut in_bytes = 0usize;
+        let mut out_bytes = 0usize;
+        for line in data.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            let mut z = Vec::new();
+            m.compress_line(line, &mut z);
+            in_bytes += line.len();
+            out_bytes += z.len();
+        }
+        let ratio = out_bytes as f64 / in_bytes as f64;
+        assert!(ratio < 0.9, "some packing must happen: {ratio}");
+        assert!(ratio > 0.35, "entropy coding can't beat dictionaries here: {ratio}");
+    }
+
+    #[test]
+    fn ascii_passthrough_when_unpredictable() {
+        let m = ShocoModel::train(b"zzzz\nzzzz\n");
+        let mut z = Vec::new();
+        m.compress_line(b"Q", &mut z);
+        assert_eq!(z, b"Q");
+    }
+
+    #[test]
+    fn non_ascii_escapes() {
+        let m = ShocoModel::train(&corpus());
+        let mut z = Vec::new();
+        m.compress_line(&[0x80], &mut z);
+        assert_eq!(z, vec![ESCAPE, 0x80]);
+    }
+
+    #[test]
+    fn pack_headers_disambiguate() {
+        // A compressed stream must decode unambiguously even when packs,
+        // literals and escapes interleave.
+        let data = corpus();
+        let m = ShocoModel::train(&data);
+        let line = b"CCCC(=O)c1ccccc1\x80\x81QQ";
+        let mut z = Vec::new();
+        m.compress_line(line, &mut z);
+        let mut back = Vec::new();
+        m.decompress_line(&z, &mut back).unwrap();
+        assert_eq!(back, line);
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        let m = ShocoModel::train(&corpus());
+        let mut out = Vec::new();
+        assert!(m.decompress_line(&[0xFF], &mut out).is_err(), "dangling escape");
+        assert!(m.decompress_line(&[0b1000_0000], &mut out).is_err(), "cut 2-byte pack");
+        assert!(m.decompress_line(&[0b1100_0000, 0, 0], &mut out).is_err(), "cut 4-byte pack");
+        assert!(m.decompress_line(&[0b1110_0000], &mut out).is_err(), "bad header");
+    }
+
+    #[test]
+    fn four_byte_pack_used_on_highly_predictable_runs() {
+        // 'ccccccccc' (9 chars) should use one 4-byte pack when 'c'→'c' is
+        // the hottest bigram.
+        let m = ShocoModel::train(&b"cccccccccc\n".repeat(50));
+        let mut z = Vec::new();
+        m.compress_line(b"ccccccccc", &mut z);
+        assert_eq!(z.len(), 4, "9 chars in one 4-byte pack, got {} bytes", z.len());
+        let mut back = Vec::new();
+        m.decompress_line(&z, &mut back).unwrap();
+        assert_eq!(back, b"ccccccccc");
+    }
+}

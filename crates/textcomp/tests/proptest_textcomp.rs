@@ -1,0 +1,160 @@
+//! Property tests for every stage of the baseline compressors: each
+//! transform must invert exactly on arbitrary inputs, and the containers
+//! must round-trip end to end.
+
+use proptest::prelude::*;
+use textcomp::bwt::{bwt_forward, bwt_inverse};
+use textcomp::huffman::{build_code_lengths, HuffmanDecoder, HuffmanEncoder};
+use textcomp::mtf::{mtf_forward, mtf_inverse};
+use textcomp::rle::{rle1_decode, rle1_encode, rle2_decode, rle2_encode};
+use textcomp::{bitio, bzip, fsst, lz, shoco, smaz};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bwt_inverts(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let t = bwt_forward(&data);
+        prop_assert_eq!(bwt_inverse(&t).unwrap(), data);
+    }
+
+    #[test]
+    fn mtf_inverts(data in proptest::collection::vec(0u16..257, 0..500)) {
+        prop_assert_eq!(mtf_inverse(&mtf_forward(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rle1_inverts(data in proptest::collection::vec(any::<u8>(), 0..800)) {
+        prop_assert_eq!(rle1_decode(&rle1_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rle2_inverts(ranks in proptest::collection::vec(0u16..257, 0..500)) {
+        prop_assert_eq!(rle2_decode(&rle2_encode(&ranks)).unwrap(), ranks);
+    }
+
+    #[test]
+    fn huffman_inverts(symbols in proptest::collection::vec(0u16..64, 1..400)) {
+        let mut freqs = vec![0u64; 64];
+        for &s in &symbols {
+            freqs[s as usize] += 1;
+        }
+        let lengths = build_code_lengths(&freqs);
+        let enc = HuffmanEncoder::new(&lengths);
+        let dec = HuffmanDecoder::new(&lengths);
+        let mut w = bitio::BitWriter::new();
+        for &s in &symbols {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = bitio::BitReader::new(&bytes);
+        for &s in &symbols {
+            prop_assert_eq!(dec.read(&mut r), Some(s));
+        }
+    }
+
+    #[test]
+    fn bitio_inverts(values in proptest::collection::vec((any::<u32>(), 1u32..=32), 0..200)) {
+        let mut w = bitio::BitWriter::new();
+        for &(v, n) in &values {
+            w.write_bits(v & ((1u64 << n) - 1) as u32, n);
+        }
+        let bytes = w.finish();
+        let mut r = bitio::BitReader::new(&bytes);
+        for &(v, n) in &values {
+            prop_assert_eq!(r.read_bits(n), Some(v & ((1u64 << n) - 1) as u32));
+        }
+    }
+
+    #[test]
+    fn bzip_container_inverts(data in proptest::collection::vec(any::<u8>(), 0..3000)) {
+        let z = bzip::compress(&data);
+        prop_assert_eq!(bzip::decompress(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn lz_container_inverts(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        let z = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&z).unwrap(), data);
+    }
+
+    /// LZ with highly repetitive structure (worst case for window/match
+    /// bookkeeping).
+    #[test]
+    fn lz_repetitive_inverts(unit in proptest::collection::vec(any::<u8>(), 1..12),
+                             reps in 1usize..400) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let z = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn fsst_inverts_on_arbitrary_lines(
+        training in proptest::collection::vec(any::<u8>(), 0..800),
+        line in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let table = fsst::Fsst::train(&training);
+        let mut z = Vec::new();
+        table.compress_line(&line, &mut z);
+        let mut back = Vec::new();
+        table.decompress_line(&z, &mut back).unwrap();
+        prop_assert_eq!(back, line);
+    }
+
+    #[test]
+    fn shoco_inverts_on_arbitrary_lines(
+        training in proptest::collection::vec(any::<u8>(), 0..800),
+        line in proptest::collection::vec(
+            any::<u8>().prop_filter("no nl", |&b| b != b'\n'), 0..120),
+    ) {
+        let model = shoco::ShocoModel::train(&training);
+        let mut z = Vec::new();
+        model.compress_line(&line, &mut z);
+        let mut back = Vec::new();
+        model.decompress_line(&z, &mut back).unwrap();
+        prop_assert_eq!(back, line);
+    }
+
+    #[test]
+    fn smaz_trained_inverts_on_arbitrary_lines(
+        training in proptest::collection::vec(any::<u8>(), 0..800),
+        line in proptest::collection::vec(
+            any::<u8>().prop_filter("no nl", |&b| b != b'\n'), 0..300),
+    ) {
+        let table = smaz::Smaz::train(&training);
+        let mut z = Vec::new();
+        table.compress_line(&line, &mut z);
+        let mut back = Vec::new();
+        table.decompress_line(&z, &mut back).unwrap();
+        prop_assert_eq!(back, line);
+    }
+
+    #[test]
+    fn smaz_classic_inverts_on_arbitrary_lines(
+        line in proptest::collection::vec(
+            any::<u8>().prop_filter("no nl", |&b| b != b'\n'), 0..300),
+    ) {
+        let table = smaz::Smaz::classic();
+        let mut z = Vec::new();
+        table.compress_line(&line, &mut z);
+        let mut back = Vec::new();
+        table.decompress_line(&z, &mut back).unwrap();
+        prop_assert_eq!(back, line);
+    }
+
+    /// FSST table serialization round-trips for any training corpus.
+    #[test]
+    fn fsst_table_serialization(training in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let table = fsst::Fsst::train(&training);
+        let blob = table.to_bytes();
+        let back = fsst::Fsst::from_bytes(&blob).unwrap();
+        prop_assert_eq!(back.len(), table.len());
+        // Reloaded table must decode the original's output.
+        let sample = &training[..training.len().min(40)];
+        let mut z = Vec::new();
+        table.compress_line(sample, &mut z);
+        let mut out = Vec::new();
+        back.decompress_line(&z, &mut out).unwrap();
+        prop_assert_eq!(out, sample.to_vec());
+    }
+}

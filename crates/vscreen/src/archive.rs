@@ -1,0 +1,120 @@
+//! Cold-storage archives: a compressed deck plus its line-offset index.
+//!
+//! The paper's random-access requirement, made concrete: compressed line
+//! *i* is ligand *i*, and a [`LineIndex`] turns that into O(1) byte-range
+//! reads — a query for k hits touches k compressed lines, not the archive.
+
+use zsmiles_core::{CompressStats, Compressor, Dictionary, LineIndex, ZsmilesError};
+
+/// A compressed, indexed SMILES deck.
+#[derive(Debug, Clone)]
+pub struct Archive {
+    bytes: Vec<u8>,
+    index: LineIndex,
+    stats: CompressStats,
+}
+
+impl Archive {
+    /// Compress `deck_bytes` (newline-separated SMILES) with `dict` and
+    /// index the result.
+    pub fn build(dict: &Dictionary, deck_bytes: &[u8]) -> Archive {
+        let mut bytes = Vec::with_capacity(deck_bytes.len() / 2);
+        let stats = Compressor::new(dict).compress_buffer(deck_bytes, &mut bytes);
+        let index = LineIndex::build(&bytes);
+        Archive { bytes, index, stats }
+    }
+
+    /// Number of ligands stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Compression ratio achieved (compressed / original payload).
+    pub fn ratio(&self) -> f64 {
+        self.stats.ratio()
+    }
+
+    /// Compression accounting.
+    pub fn stats(&self) -> &CompressStats {
+        &self.stats
+    }
+
+    /// The raw archive bytes (what cold storage would hold).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The compressed bytes of ligand `i` — the unit a random-access read
+    /// transfers.
+    pub fn compressed_line(&self, i: usize) -> &[u8] {
+        self.index.line(&self.bytes, i)
+    }
+
+    /// Decompress ligand `i` back to SMILES.
+    pub fn fetch(&self, dict: &Dictionary, i: usize) -> Result<Vec<u8>, ZsmilesError> {
+        self.index.decompress_line_at(dict, &self.bytes, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molgen::Dataset;
+    use zsmiles_core::DictBuilder;
+
+    fn setup() -> (Dictionary, Dataset, Archive) {
+        let deck = Dataset::generate_mixed(300, 11);
+        let dict = DictBuilder::default().train(deck.iter()).unwrap();
+        let archive = Archive::build(&dict, deck.as_bytes());
+        (dict, deck, archive)
+    }
+
+    #[test]
+    fn archive_preserves_line_count_and_compresses() {
+        let (_, deck, archive) = setup();
+        assert_eq!(archive.len(), deck.len());
+        assert!(archive.ratio() < 0.7, "ratio {}", archive.ratio());
+        assert!(!archive.is_empty());
+    }
+
+    #[test]
+    fn fetch_returns_the_right_molecule() {
+        let (dict, deck, archive) = setup();
+        for i in [0usize, 1, 7, 150, 299] {
+            let got = archive.fetch(&dict, i).unwrap();
+            // Preprocessing renumbers ring IDs; compare molecules.
+            assert_eq!(
+                smiles::parser::parse(&got).unwrap().signature(),
+                smiles::parser::parse(deck.line(i)).unwrap().signature(),
+                "line {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_access_touches_only_the_requested_lines() {
+        let (_, _, archive) = setup();
+        let total: usize = archive.as_bytes().len();
+        let touched: usize = [3usize, 42, 260]
+            .iter()
+            .map(|&i| archive.compressed_line(i).len())
+            .sum();
+        assert!(
+            touched * 10 < total,
+            "3 lines should be far less than the archive ({touched} vs {total})"
+        );
+    }
+
+    #[test]
+    fn empty_deck_builds_empty_archive() {
+        let deck = Dataset::generate_mixed(50, 1);
+        let dict = DictBuilder::default().train(deck.iter()).unwrap();
+        let archive = Archive::build(&dict, b"");
+        assert!(archive.is_empty());
+        assert_eq!(archive.len(), 0);
+    }
+}

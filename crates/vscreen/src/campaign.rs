@@ -1,0 +1,177 @@
+//! The campaign loop: screen → archive → sample.
+//!
+//! [`screen`] and [`screen_parallel`] produce a [`ScoreTable`] for a deck
+//! against one pocket (ligand-pocket pairs are independent — the
+//! embarrassing parallelism the paper notes in §I). [`top_hits`] closes the
+//! loop: it pulls exactly the winning lines back out of a compressed
+//! [`Archive`] — the sampling workflow the random-access requirement
+//! exists for. [`StorageModel`] does the paper's cold-storage arithmetic.
+
+use crate::archive::Archive;
+use crate::pocket::Pocket;
+use crate::score::ScoreTable;
+use molgen::Dataset;
+use zsmiles_core::{Dictionary, ZsmilesError};
+
+/// Score an unparseable line poorly instead of failing the campaign: real
+/// decks contain the odd malformed row and a screen must not stop for it.
+const UNPARSEABLE_SCORE: f64 = f64::NEG_INFINITY;
+
+/// Score every ligand in `deck` against `pocket`, serially.
+pub fn screen(deck: &Dataset, pocket: &Pocket) -> ScoreTable {
+    let mut scores = Vec::with_capacity(deck.len());
+    for line in deck.iter() {
+        scores.push(score_line(line, pocket));
+    }
+    ScoreTable::new(scores)
+}
+
+/// Score every ligand in `deck` against `pocket` on `workers` threads.
+/// Deterministic: each ligand's score is independent, and every worker
+/// writes only its own contiguous slice, so the result is byte-identical
+/// to [`screen`] for any worker count.
+pub fn screen_parallel(deck: &Dataset, pocket: &Pocket, workers: usize) -> ScoreTable {
+    let n = deck.len();
+    let workers = workers.max(1).min(n.max(1));
+    let mut scores = vec![0.0f64; n];
+    let chunk = n.div_ceil(workers);
+    crossbeam::thread::scope(|s| {
+        for (w, out) in scores.chunks_mut(chunk).enumerate() {
+            let start = w * chunk;
+            s.spawn(move |_| {
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = score_line(deck.line(start + k), pocket);
+                }
+            });
+        }
+    })
+    .expect("scoring workers do not panic");
+    ScoreTable::new(scores)
+}
+
+fn score_line(line: &[u8], pocket: &Pocket) -> f64 {
+    match smiles::parser::parse(line) {
+        Ok(mol) => pocket.score(&mol),
+        Err(_) => UNPARSEABLE_SCORE,
+    }
+}
+
+/// One retrieved hit: deck line number, its score, and the decompressed
+/// SMILES pulled from the archive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    pub index: usize,
+    pub score: f64,
+    pub smiles: Vec<u8>,
+}
+
+/// Select the `k` best ligands from `scores` and fetch exactly those lines
+/// from the archive — k random-access reads, not a decompression pass.
+pub fn top_hits(
+    archive: &Archive,
+    dict: &Dictionary,
+    scores: &ScoreTable,
+    k: usize,
+) -> Result<Vec<Hit>, ZsmilesError> {
+    let mut hits = Vec::with_capacity(k.min(scores.len()));
+    for (index, score) in scores.top_k(k) {
+        let smiles = archive.fetch(dict, index)?;
+        hits.push(Hit { index, score, smiles });
+    }
+    Ok(hits)
+}
+
+/// The paper's cold-storage arithmetic (§I: 72 TB on Marconi100), scaled
+/// by a measured compression ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageModel {
+    /// Raw campaign footprint in terabytes.
+    pub raw_tb: f64,
+}
+
+impl StorageModel {
+    /// The Marconi100 campaign from the paper's introduction.
+    pub const MARCONI100: StorageModel = StorageModel { raw_tb: 72.0 };
+
+    /// Footprint after compression at `ratio`.
+    pub fn compressed_tb(&self, ratio: f64) -> f64 {
+        self.raw_tb * ratio
+    }
+
+    /// Storage reclaimed at `ratio`.
+    pub fn saved_tb(&self, ratio: f64) -> f64 {
+        self.raw_tb * (1.0 - ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsmiles_core::DictBuilder;
+
+    fn fixture() -> (Dataset, Pocket) {
+        (Dataset::generate_mixed(400, 3), Pocket::from_seed(5))
+    }
+
+    #[test]
+    fn parallel_screen_matches_serial_for_any_worker_count() {
+        let (deck, pocket) = fixture();
+        let serial = screen(&deck, &pocket);
+        for workers in [1usize, 2, 3, 7, 64] {
+            let par = screen_parallel(&deck, &pocket, workers);
+            assert_eq!(par, serial, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn unparseable_lines_sink_to_the_bottom() {
+        let mut deck = Dataset::new();
+        deck.push(b"COc1cc(C=O)ccc1O");
+        deck.push(b"this is not smiles!!!");
+        deck.push(b"CCO");
+        let pocket = Pocket::from_seed(1);
+        let t = screen(&deck, &pocket);
+        assert_eq!(t.get(1), f64::NEG_INFINITY);
+        let top = t.top_k(3);
+        assert_eq!(top.last().unwrap().0, 1, "malformed row ranks last");
+    }
+
+    #[test]
+    fn top_hits_fetches_the_right_lines() {
+        let (deck, pocket) = fixture();
+        let scores = screen(&deck, &pocket);
+        let dict = DictBuilder::default().train(deck.iter()).unwrap();
+        let archive = Archive::build(&dict, deck.as_bytes());
+        let hits = top_hits(&archive, &dict, &scores, 10).unwrap();
+        assert_eq!(hits.len(), 10);
+        // Best-first ordering, and every SMILES matches its deck line.
+        for pair in hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+        for h in &hits {
+            assert_eq!(
+                smiles::parser::parse(&h.smiles).unwrap().signature(),
+                smiles::parser::parse(deck.line(h.index)).unwrap().signature()
+            );
+        }
+    }
+
+    #[test]
+    fn top_hits_clamps_k() {
+        let (deck, pocket) = fixture();
+        let scores = screen(&deck, &pocket);
+        let dict = DictBuilder::default().train(deck.iter()).unwrap();
+        let archive = Archive::build(&dict, deck.as_bytes());
+        let hits = top_hits(&archive, &dict, &scores, deck.len() + 50).unwrap();
+        assert_eq!(hits.len(), deck.len());
+    }
+
+    #[test]
+    fn storage_model_arithmetic() {
+        let m = StorageModel::MARCONI100;
+        assert!((m.compressed_tb(0.29) - 20.88).abs() < 1e-9);
+        assert!((m.saved_tb(0.29) - 51.12).abs() < 1e-9);
+        assert_eq!(m.compressed_tb(1.0), 72.0);
+        assert_eq!(m.saved_tb(1.0), 0.0);
+    }
+}

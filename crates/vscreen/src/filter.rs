@@ -1,0 +1,181 @@
+//! Drug-likeness pre-filters — the step campaigns run *before* storing a
+//! deck, which is why the substrate carries it: filtering changes the
+//! byte-statistics of what ends up in cold storage.
+//!
+//! The classic gate is Lipinski's rule of five. We compute its descriptors
+//! from the molecular graph alone (no 3D, no partial charges), with the
+//! standard structural approximations spelled out per field.
+
+use smiles::{AtomKind, Composition, Molecule};
+
+/// Rule-of-five descriptors for one ligand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ro5Profile {
+    /// Molar mass, g/mol (`None` when the molecule has wildcard atoms).
+    pub molecular_weight: Option<f64>,
+    /// Hydrogen-bond donors: N or O atoms carrying at least one hydrogen.
+    pub hb_donors: u32,
+    /// Hydrogen-bond acceptors: every N or O atom (the common
+    /// heavy-atom-count approximation of Lipinski's original definition).
+    pub hb_acceptors: u32,
+    /// Heavy (non-H) atom count.
+    pub heavy_atoms: u32,
+    /// Rotatable bonds: non-ring single bonds between two non-terminal
+    /// heavy atoms (amide C–N bonds are *not* excluded — documented
+    /// approximation, biases the count slightly high).
+    pub rotatable_bonds: u32,
+}
+
+impl Ro5Profile {
+    /// Compute the descriptors for a parsed molecule.
+    pub fn of(mol: &Molecule) -> Ro5Profile {
+        let comp = Composition::of(mol);
+        let mut donors = 0u32;
+        let mut acceptors = 0u32;
+        for (i, atom) in mol.atoms().iter().enumerate() {
+            let sym = atom.element().symbol();
+            if sym == "N" || sym == "O" {
+                acceptors += 1;
+                let h = match atom {
+                    AtomKind::Bracket(b) => b.hcount as u32,
+                    AtomKind::Bare(_) => mol.implicit_hydrogens(i as u32) as u32,
+                };
+                if h > 0 {
+                    donors += 1;
+                }
+            }
+        }
+        let mut rotatable = 0u32;
+        for bond in mol.bonds() {
+            if bond.ring || bond.order(mol.atoms()) != 1 || bond.is_aromatic(mol.atoms()) {
+                continue;
+            }
+            let deg = |i: u32| mol.adjacent(i).len();
+            if deg(bond.a) >= 2 && deg(bond.b) >= 2 {
+                rotatable += 1;
+            }
+        }
+        Ro5Profile {
+            molecular_weight: comp.molar_mass(),
+            hb_donors: donors,
+            hb_acceptors: acceptors,
+            heavy_atoms: comp.heavy_atoms(),
+            rotatable_bonds: rotatable,
+        }
+    }
+
+    /// Lipinski's rule of five: MW ≤ 500, donors ≤ 5, acceptors ≤ 10.
+    /// (logP, the fourth rule, needs an empirical model we deliberately do
+    /// not fake.) Wildcard-bearing molecules fail closed.
+    pub fn passes_ro5(&self) -> bool {
+        matches!(self.molecular_weight, Some(mw) if mw <= 500.0)
+            && self.hb_donors <= 5
+            && self.hb_acceptors <= 10
+    }
+
+    /// Veber's oral-bioavailability criterion: rotatable bonds ≤ 10.
+    /// (The polar-surface-area half needs group contributions; omitted.)
+    pub fn passes_veber_rotatable(&self) -> bool {
+        self.rotatable_bonds <= 10
+    }
+}
+
+/// Indices of the deck lines whose ligands pass the rule of five.
+/// Unparseable lines fail closed.
+pub fn ro5_filter(deck: &molgen::Dataset) -> Vec<usize> {
+    deck.iter()
+        .enumerate()
+        .filter(|(_, line)| {
+            smiles::parser::parse(line)
+                .map(|m| Ro5Profile::of(&m).passes_ro5())
+                .unwrap_or(false)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(s: &str) -> Ro5Profile {
+        Ro5Profile::of(&smiles::parser::parse(s.as_bytes()).unwrap())
+    }
+
+    #[test]
+    fn aspirin_is_drug_like() {
+        let p = profile("CC(=O)Oc1ccccc1C(=O)O");
+        assert!((p.molecular_weight.unwrap() - 180.16).abs() < 0.1);
+        assert_eq!(p.hb_donors, 1, "the carboxylic OH");
+        assert_eq!(p.hb_acceptors, 4, "four oxygens");
+        assert_eq!(p.heavy_atoms, 13);
+        assert!(p.passes_ro5());
+        assert!(p.passes_veber_rotatable());
+    }
+
+    #[test]
+    fn caffeine_descriptors() {
+        let p = profile("CN1C=NC2=C1C(=O)N(C(=O)N2C)C");
+        assert_eq!(p.hb_donors, 0, "all nitrogens methylated");
+        assert_eq!(p.hb_acceptors, 6, "4 N + 2 O");
+        assert!(p.passes_ro5());
+    }
+
+    #[test]
+    fn a_sugar_polymer_fails_on_donors() {
+        // A hexa-ol chain: 8 donors > 5.
+        let p = profile("OCC(O)C(O)C(O)C(O)C(O)C(O)CO");
+        assert!(p.hb_donors > 5);
+        assert!(!p.passes_ro5());
+    }
+
+    #[test]
+    fn a_long_lipid_fails_on_weight() {
+        let p = profile(&format!("CC(=O)O{}", "C".repeat(40)));
+        assert!(p.molecular_weight.unwrap() > 500.0);
+        assert!(!p.passes_ro5());
+    }
+
+    #[test]
+    fn rotatable_bond_counting() {
+        // Butane: one rotatable bond (C2–C3); the terminal bonds do not count.
+        assert_eq!(profile("CCCC").rotatable_bonds, 1);
+        // Benzene: none (all ring/aromatic).
+        assert_eq!(profile("c1ccccc1").rotatable_bonds, 0);
+        // Biphenyl: exactly the inter-ring bond.
+        assert_eq!(profile("c1ccccc1-c1ccccc1").rotatable_bonds, 1);
+        // Ethane: none (both carbons terminal-ish: degree 1).
+        assert_eq!(profile("CC").rotatable_bonds, 0);
+    }
+
+    #[test]
+    fn wildcards_fail_closed() {
+        let p = profile("C*C");
+        assert_eq!(p.molecular_weight, None);
+        assert!(!p.passes_ro5());
+    }
+
+    #[test]
+    fn deck_filter_keeps_drug_like_lines() {
+        let mut deck = molgen::Dataset::new();
+        deck.push(b"CC(=O)Oc1ccccc1C(=O)O"); // aspirin: pass
+        deck.push(b"not smiles");            // unparseable: fail closed
+        deck.push(b"OCC(O)C(O)C(O)C(O)C(O)C(O)CO"); // too many donors
+        deck.push(b"CCO");                   // pass
+        assert_eq!(ro5_filter(&deck), vec![0, 3]);
+    }
+
+    #[test]
+    fn generated_decks_are_mostly_drug_like() {
+        // The molgen profiles emit screening-deck-shaped molecules; most
+        // should clear the gate (sanity of both the generator and filter).
+        let deck = molgen::Dataset::generate_mixed(300, 77);
+        let kept = ro5_filter(&deck);
+        assert!(
+            kept.len() * 2 > deck.len(),
+            "only {}/{} pass Ro5",
+            kept.len(),
+            deck.len()
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Minimal flag–value argument parsing.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--flag value` / `--flag` pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["--postprocess", "--no-preprocess", "--index", "--quiet"];
+
+impl Args {
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if !a.starts_with('-') {
+                return Err(format!("unexpected positional argument '{a}'"));
+            }
+            let key = canonical(a);
+            if BOOL_FLAGS.contains(&key.as_str()) {
+                flags.insert(key, "true".to_string());
+                i += 1;
+            } else {
+                let v = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag '{a}' needs a value"))?;
+                flags.insert(key, v.clone());
+                i += 2;
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag '{key}'"))
+    }
+
+    pub fn get_bool(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
+    }
+
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("flag '{key}': bad number '{v}'")),
+        }
+    }
+
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("flag '{key}': bad number '{v}'")),
+        }
+    }
+}
+
+/// Map short flags to long ones.
+fn canonical(flag: &str) -> String {
+    match flag {
+        "-i" => "--input".into(),
+        "-o" => "--output".into(),
+        "-d" => "--dict".into(),
+        "-n" => "--count".into(),
+        _ => flag.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_values_and_shorts() {
+        let a = Args::parse(&argv(&["-i", "in.smi", "--seed", "7", "--postprocess"])).unwrap();
+        assert_eq!(a.get("--input"), Some("in.smi"));
+        assert_eq!(a.get_u64("--seed", 0).unwrap(), 7);
+        assert!(a.get_bool("--postprocess"));
+        assert!(!a.get_bool("--index"));
+        assert_eq!(a.get_usize("--threads", 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Args::parse(&argv(&["positional"])).is_err());
+        assert!(Args::parse(&argv(&["--input"])).is_err());
+        let a = Args::parse(&argv(&["--seed", "x"])).unwrap();
+        assert!(a.get_u64("--seed", 0).is_err());
+        assert!(a.require("--output").is_err());
+    }
+}

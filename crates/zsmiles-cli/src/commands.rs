@@ -1,0 +1,472 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use molgen::{profiles, stats, Dataset};
+use std::path::Path;
+use std::time::Instant;
+use zsmiles_core::dict::format as dict_format;
+use zsmiles_core::wide::{read_wide_dict, write_wide_dict};
+use zsmiles_core::{
+    compress_parallel, decompress_parallel, Decompressor, DictBuilder, Dictionary, LineIndex,
+    Prepopulation, SpAlgorithm, WideDecompressor, WideDictBuilder, WideDictionary,
+};
+
+const USAGE: &str = "usage: zsmiles <gen|train|compress|decompress|get|screen|stats|inspect> [flags]
+  gen        --profile gdb17|mediate|exscalate|mixed -n N [--seed S] -o out.smi
+  train      -i train.smi -o dict.dct [--lmin 2] [--lmax 8] [--dict-size N]
+             [--prepopulation none|smiles-alphabet|printable-ascii] [--no-preprocess]
+             [--wide N]     (N two-byte codes; writes the wide format)
+  compress   -i in.smi -d dict.dct -o out.zsmi [--threads N] [--index]
+  decompress -i in.zsmi -d dict.dct -o out.smi [--threads N] [--postprocess]
+  get        -i in.zsmi -d dict.dct --line K
+  screen     -i deck.smi [--pocket-seed S] [--top K] [--threads N] [--scores out.tsv]
+  stats      -i file.smi
+  inspect    -d dict.dct [-i corpus.smi]
+Dictionary files are sniffed by magic: both the paper's one-byte format and
+the wide extension work everywhere a -d flag is accepted.";
+
+/// Either dictionary flavour, sniffed from the file magic. Boxed: the two
+/// payloads differ in size and the enum lives on one stack frame per run.
+enum AnyDict {
+    Base(Box<Dictionary>),
+    Wide(Box<WideDictionary>),
+}
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&args),
+        "train" => cmd_train(&args),
+        "compress" => cmd_compress(&args),
+        "decompress" => cmd_decompress(&args),
+        "get" => cmd_get(&args),
+        "screen" => cmd_screen(&args),
+        "stats" => cmd_stats(&args),
+        "inspect" => cmd_inspect(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let n = args.get_usize("--count", 10_000)?;
+    let seed = args.get_u64("--seed", 42)?;
+    let out = args.require("--output")?;
+    let profile = args.get("--profile").unwrap_or("mixed");
+    let ds = match profile {
+        "gdb17" => Dataset::generate(profiles::GDB17, n, seed),
+        "mediate" => Dataset::generate(profiles::MEDIATE, n, seed),
+        "exscalate" => Dataset::generate(profiles::EXSCALATE, n, seed),
+        "mixed" => Dataset::generate_mixed(n, seed),
+        other => return Err(format!("unknown profile '{other}'")),
+    };
+    ds.save(Path::new(out)).map_err(|e| e.to_string())?;
+    if !args.get_bool("--quiet") {
+        println!("wrote {} lines ({} bytes) to {}", ds.len(), ds.total_bytes(), out);
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let output = args.require("--output")?;
+    let ds = Dataset::load(Path::new(input)).map_err(|e| e.to_string())?;
+    let name = args.get("--prepopulation").unwrap_or("smiles-alphabet");
+    let prepopulation = Prepopulation::from_name(name)
+        .ok_or_else(|| format!("unknown prepopulation '{name}'"))?;
+    let builder = DictBuilder {
+        lmin: args.get_usize("--lmin", 2)?,
+        lmax: args.get_usize("--lmax", 8)?,
+        prepopulation,
+        preprocess: !args.get_bool("--no-preprocess"),
+        dict_size: args.get("--dict-size").map(|v| v.parse().unwrap_or(0)).filter(|&v| v > 0),
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let wide = args.get_usize("--wide", 0)?;
+    if wide > 0 {
+        let dict = WideDictBuilder { base: builder, wide_size: wide }
+            .train(ds.iter())
+            .map_err(|e| e.to_string())?;
+        let f = std::fs::File::create(output).map_err(|e| e.to_string())?;
+        write_wide_dict(&dict, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+        if !args.get_bool("--quiet") {
+            println!(
+                "trained {} one-byte + {} two-byte codes from {} lines in {:.2?} -> {}",
+                dict.base_len(),
+                dict.wide_len(),
+                ds.len(),
+                t0.elapsed(),
+                output
+            );
+        }
+        return Ok(());
+    }
+    let dict = builder.train(ds.iter()).map_err(|e| e.to_string())?;
+    dict_format::save(&dict, Path::new(output)).map_err(|e| e.to_string())?;
+    if !args.get_bool("--quiet") {
+        println!(
+            "trained {} patterns (+{} identity codes) from {} lines in {:.2?} -> {}",
+            dict.pattern_entries().count(),
+            dict.prepopulation().identity_bytes().len(),
+            ds.len(),
+            t0.elapsed(),
+            output
+        );
+    }
+    Ok(())
+}
+
+fn load_dict(args: &Args) -> Result<AnyDict, String> {
+    let path = args.require("--dict")?;
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let first_line = bytes.split(|&b| b == b'\n').next().unwrap_or(b"");
+    if first_line.starts_with(b"#zsmiles-wide-dict") {
+        Ok(AnyDict::Wide(Box::new(
+            read_wide_dict(&bytes[..]).map_err(|e| e.to_string())?,
+        )))
+    } else {
+        Ok(AnyDict::Base(Box::new(
+            dict_format::read_dict(&bytes[..]).map_err(|e| e.to_string())?,
+        )))
+    }
+}
+
+fn cmd_compress(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let output = args.require("--output")?;
+    let dict = load_dict(args)?;
+    let threads = args.get_usize("--threads", 1)?;
+    let data = std::fs::read(input).map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    let (out, cstats) = match &dict {
+        AnyDict::Base(d) => compress_parallel(d, &data, SpAlgorithm::BackwardDp, threads),
+        AnyDict::Wide(d) => zsmiles_core::compress_parallel_wide(d, &data, threads),
+    };
+    let dt = t0.elapsed();
+    std::fs::write(output, &out).map_err(|e| e.to_string())?;
+    if args.get_bool("--index") {
+        let idx = LineIndex::build(&out);
+        idx.save(Path::new(&format!("{output}.zsx"))).map_err(|e| e.to_string())?;
+    }
+    if !args.get_bool("--quiet") {
+        println!(
+            "{} lines, {} -> {} bytes (ratio {:.3}) in {:.2?} [{} pp-failures]",
+            cstats.lines,
+            cstats.in_bytes,
+            cstats.out_bytes,
+            cstats.ratio(),
+            dt,
+            cstats.preprocess_failures
+        );
+    }
+    Ok(())
+}
+
+fn cmd_decompress(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let output = args.require("--output")?;
+    let dict = load_dict(args)?;
+    let threads = args.get_usize("--threads", 1)?;
+    let data = std::fs::read(input).map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    let out = match &dict {
+        AnyDict::Base(d) => {
+            if args.get_bool("--postprocess") {
+                // Post-processing path is line-by-line (serial; the renumber
+                // is cheap next to I/O).
+                let mut dc = Decompressor::new(d).with_postprocess(true);
+                let mut out = Vec::with_capacity(data.len() * 3);
+                dc.decompress_buffer(&data, &mut out).map_err(|e| e.to_string())?;
+                out
+            } else {
+                let (out, _) =
+                    decompress_parallel(d, &data, threads).map_err(|e| e.to_string())?;
+                out
+            }
+        }
+        AnyDict::Wide(d) => {
+            if args.get_bool("--postprocess") {
+                return Err("--postprocess is not supported with wide dictionaries".into());
+            }
+            let (out, _) = zsmiles_core::decompress_parallel_wide(d, &data, threads)
+                .map_err(|e| e.to_string())?;
+            out
+        }
+    };
+    let dt = t0.elapsed();
+    std::fs::write(output, &out).map_err(|e| e.to_string())?;
+    if !args.get_bool("--quiet") {
+        println!("{} -> {} bytes in {:.2?}", data.len(), out.len(), dt);
+    }
+    Ok(())
+}
+
+fn cmd_get(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let dict = load_dict(args)?;
+    let line_no = args.get_usize("--line", 0)?;
+    let data = std::fs::read(input).map_err(|e| e.to_string())?;
+    // Use the sidecar if present, else index on the fly.
+    let sidecar = format!("{input}.zsx");
+    let idx = if Path::new(&sidecar).exists() {
+        LineIndex::load(Path::new(&sidecar)).map_err(|e| e.to_string())?
+    } else {
+        LineIndex::build(&data)
+    };
+    if line_no >= idx.len() {
+        return Err(format!("line {line_no} out of range (file has {})", idx.len()));
+    }
+    let smiles = match &dict {
+        AnyDict::Base(d) => {
+            idx.decompress_line_at(d, &data, line_no).map_err(|e| e.to_string())?
+        }
+        AnyDict::Wide(d) => {
+            let mut out = Vec::new();
+            WideDecompressor::new(d)
+                .decompress_line(idx.line(&data, line_no), &mut out)
+                .map_err(|e| e.to_string())?;
+            out
+        }
+    };
+    println!("{}", String::from_utf8_lossy(&smiles));
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let dict = load_dict(args)?;
+    match &dict {
+        AnyDict::Base(dict) => {
+            println!(
+                "dictionary: {} patterns + {} identity codes | prepopulation {} | \
+                 preprocess {} | Lmin {} Lmax {} | longest pattern {}",
+                dict.pattern_entries().count(),
+                dict.prepopulation().identity_bytes().len(),
+                dict.prepopulation().name(),
+                dict.preprocessed(),
+                dict.lmin(),
+                dict.lmax(),
+                dict.max_pattern_len(),
+            );
+            if let Some(input) = args.get("--input") {
+                let data = std::fs::read(input).map_err(|e| e.to_string())?;
+                let report = zsmiles_core::dict::analysis::analyze(dict, &data);
+                print!("{}", report.summary(dict));
+            }
+        }
+        AnyDict::Wide(dict) => {
+            println!(
+                "wide dictionary: {} one-byte + {} two-byte codes | prepopulation {} | \
+                 preprocess {} | Lmin {} Lmax {} | longest pattern {}",
+                dict.base_len(),
+                dict.wide_len(),
+                dict.prepopulation().name(),
+                dict.preprocessed(),
+                dict.lmin(),
+                dict.lmax(),
+                dict.max_pattern_len(),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_screen(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let ds = Dataset::load(Path::new(input)).map_err(|e| e.to_string())?;
+    let pocket = vscreen::Pocket::from_seed(args.get_u64("--pocket-seed", 0xD0C5EED)?);
+    let threads = args.get_usize("--threads", 2)?;
+    let top = args.get_usize("--top", 10)?;
+    let t0 = Instant::now();
+    let scores = vscreen::screen_parallel(&ds, &pocket, threads);
+    let dt = t0.elapsed();
+    if let Some(path) = args.get("--scores") {
+        let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        scores.write_tsv(std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+    }
+    if !args.get_bool("--quiet") {
+        println!(
+            "screened {} ligands against pocket {:#x} in {:.2?} (mean score {:.2})",
+            ds.len(),
+            pocket.seed(),
+            dt,
+            scores.mean()
+        );
+        for (i, s) in scores.top_k(top) {
+            println!("#{i:>8}  {s:9.2}  {}", String::from_utf8_lossy(ds.line(i)));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let ds = Dataset::load(Path::new(input)).map_err(|e| e.to_string())?;
+    println!("{}", stats(&ds).summary());
+    Ok(())
+}
+
+/// Round-trip one deck through every CLI stage, used by the integration
+/// test below (kept here so the binary logic is what gets tested).
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir().join(name).to_string_lossy().into_owned()
+    }
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn full_cli_round_trip() {
+        let smi = tmp("zcli_deck.smi");
+        let dct = tmp("zcli_dict.dct");
+        let zsmi = tmp("zcli_deck.zsmi");
+        let back = tmp("zcli_back.smi");
+
+        run(&argv(&["gen", "--profile", "gdb17", "-n", "300", "--seed", "9", "-o", &smi, "--quiet"]))
+            .unwrap();
+        run(&argv(&["train", "-i", &smi, "-o", &dct, "--quiet"])).unwrap();
+        run(&argv(&["compress", "-i", &smi, "-d", &dct, "-o", &zsmi, "--index", "--quiet"]))
+            .unwrap();
+        run(&argv(&["decompress", "-i", &zsmi, "-d", &dct, "-o", &back, "--quiet"])).unwrap();
+
+        let original = Dataset::load(Path::new(&smi)).unwrap();
+        let restored = Dataset::load(Path::new(&back)).unwrap();
+        assert_eq!(original.len(), restored.len());
+        // Training preprocessed, so restored lines are the renumbered form;
+        // they must still be valid SMILES for the same molecules.
+        for (a, b) in original.iter().zip(restored.iter()) {
+            let ma = smiles::parser::parse(a).unwrap();
+            let mb = smiles::parser::parse(b).unwrap();
+            assert_eq!(ma.signature(), mb.signature());
+        }
+        // The compressed file must be smaller.
+        let z = std::fs::metadata(&zsmi).unwrap().len();
+        let o = std::fs::metadata(&smi).unwrap().len();
+        assert!(z < o, "{z} < {o}");
+        // Random access via the sidecar.
+        run(&argv(&["get", "-i", &zsmi, "-d", &dct, "--line", "42"])).unwrap();
+
+        for f in [&smi, &dct, &zsmi, &back, &format!("{zsmi}.zsx")] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn wide_cli_round_trip() {
+        let smi = tmp("zcli_wide.smi");
+        let dct = tmp("zcli_wide.wdct");
+        let zsmi = tmp("zcli_wide.zsmi");
+        let back = tmp("zcli_wide_back.smi");
+
+        run(&argv(&["gen", "--profile", "mixed", "-n", "400", "--seed", "3", "-o", &smi, "--quiet"]))
+            .unwrap();
+        run(&argv(&["train", "-i", &smi, "-o", &dct, "--wide", "64", "--quiet"])).unwrap();
+        run(&argv(&["compress", "-i", &smi, "-d", &dct, "-o", &zsmi, "--index", "--quiet"]))
+            .unwrap();
+        run(&argv(&["decompress", "-i", &zsmi, "-d", &dct, "-o", &back, "--quiet"])).unwrap();
+
+        let original = Dataset::load(Path::new(&smi)).unwrap();
+        let restored = Dataset::load(Path::new(&back)).unwrap();
+        assert_eq!(original.len(), restored.len());
+        for (a, b) in original.iter().zip(restored.iter()) {
+            assert_eq!(
+                smiles::parser::parse(a).unwrap().signature(),
+                smiles::parser::parse(b).unwrap().signature()
+            );
+        }
+        let z = std::fs::metadata(&zsmi).unwrap().len();
+        let o = std::fs::metadata(&smi).unwrap().len();
+        assert!(z < o, "{z} < {o}");
+        // Random access and inspect against the wide dictionary.
+        run(&argv(&["get", "-i", &zsmi, "-d", &dct, "--line", "7"])).unwrap();
+        run(&argv(&["inspect", "-d", &dct])).unwrap();
+        // Postprocess is a base-only feature; the wide path must refuse.
+        assert!(run(&argv(&[
+            "decompress", "-i", &zsmi, "-d", &dct, "-o", &back, "--postprocess", "--quiet"
+        ]))
+        .is_err());
+
+        for f in [&smi, &dct, &zsmi, &back, &format!("{zsmi}.zsx")] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn inspect_command() {
+        let smi = tmp("zcli_inspect.smi");
+        let dct = tmp("zcli_inspect.dct");
+        run(&argv(&["gen", "--profile", "mixed", "-n", "200", "-o", &smi, "--quiet"])).unwrap();
+        run(&argv(&["train", "-i", &smi, "-o", &dct, "--quiet"])).unwrap();
+        run(&argv(&["inspect", "-d", &dct, "-i", &smi])).unwrap();
+        run(&argv(&["inspect", "-d", &dct])).unwrap();
+        std::fs::remove_file(&smi).ok();
+        std::fs::remove_file(&dct).ok();
+    }
+
+    #[test]
+    fn stats_command() {
+        let smi = tmp("zcli_stats.smi");
+        run(&argv(&["gen", "--profile", "mixed", "-n", "50", "-o", &smi, "--quiet"])).unwrap();
+        run(&argv(&["stats", "-i", &smi])).unwrap();
+        std::fs::remove_file(&smi).ok();
+    }
+
+    #[test]
+    fn screen_command_writes_scores() {
+        let smi = tmp("zcli_screen.smi");
+        let tsv = tmp("zcli_screen.tsv");
+        run(&argv(&["gen", "--profile", "mixed", "-n", "120", "-o", &smi, "--quiet"])).unwrap();
+        run(&argv(&[
+            "screen", "-i", &smi, "--pocket-seed", "7", "--top", "3", "--scores", &tsv,
+            "--quiet",
+        ]))
+        .unwrap();
+        let table =
+            vscreen::ScoreTable::read_tsv(std::fs::File::open(&tsv).unwrap()).unwrap();
+        assert_eq!(table.len(), 120);
+        // Deterministic: re-screening in process gives the same table.
+        let ds = Dataset::load(Path::new(&smi)).unwrap();
+        let again = vscreen::screen(&ds, &vscreen::Pocket::from_seed(7));
+        assert_eq!(table, again);
+        std::fs::remove_file(&smi).ok();
+        std::fs::remove_file(&tsv).ok();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&argv(&["bogus"])).is_err());
+        assert!(run(&argv(&["gen", "--profile", "nope", "-o", "/tmp/x", "-n", "1"])).is_err());
+        assert!(run(&argv(&["train", "-i", "/nonexistent", "-o", "/tmp/x"])).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&argv(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn postprocess_flag_renumbers() {
+        let smi = tmp("zcli_pp.smi");
+        let dct = tmp("zcli_pp.dct");
+        let zsmi = tmp("zcli_pp.zsmi");
+        let back = tmp("zcli_pp_back.smi");
+        std::fs::write(&smi, "C1CC1C2CC2\n").unwrap();
+        run(&argv(&["train", "-i", &smi, "-o", &dct, "--quiet"])).unwrap();
+        run(&argv(&["compress", "-i", &smi, "-d", &dct, "-o", &zsmi, "--quiet"])).unwrap();
+        run(&argv(&["decompress", "-i", &zsmi, "-d", &dct, "-o", &back, "--postprocess", "--quiet"]))
+            .unwrap();
+        let restored = std::fs::read_to_string(&back).unwrap();
+        assert_eq!(restored.trim(), "C1CC1C1CC1", "conventional outermost-from-1 IDs");
+        for f in [&smi, &dct, &zsmi, &back] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Decompression (paper §IV-D2 and Fig. 3, lower path: read → decompress →
+//! optional post-process).
+//!
+//! Per compressed byte: a space is the escape marker (emit the next byte
+//! literally); anything else is a dictionary code (emit its expansion).
+//! Straight table lookups — the asymmetry with the compressor's
+//! shortest-path search is the design: archives are written once and read
+//! many times.
+
+use crate::codec::{ESCAPE, LINE_SEP};
+use crate::dict::Dictionary;
+use crate::error::ZsmilesError;
+
+/// Accounting for one decompression run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecompressStats {
+    pub lines: usize,
+    pub in_bytes: usize,
+    pub out_bytes: usize,
+}
+
+/// A reusable decompressor bound to one dictionary.
+pub struct Decompressor<'d> {
+    /// Flat expansion table: `table[code]` = pattern bytes.
+    table: [Option<&'d [u8]>; 256],
+    /// Re-number ring IDs to the conventional exporter style after
+    /// expansion (Fig. 3's optional post-process). Off by default: the
+    /// archived pre-processed form is already valid SMILES.
+    postprocess: bool,
+    ppbuf: Vec<u8>,
+}
+
+impl<'d> Decompressor<'d> {
+    pub fn new(dict: &'d Dictionary) -> Self {
+        let mut table: [Option<&'d [u8]>; 256] = [None; 256];
+        for (code, pat) in dict.all_entries() {
+            table[code as usize] = Some(pat);
+        }
+        Decompressor { table, postprocess: false, ppbuf: Vec::new() }
+    }
+
+    pub fn with_postprocess(mut self, on: bool) -> Self {
+        self.postprocess = on;
+        self
+    }
+
+    /// Decompress one line (no newline), appending to `out`.
+    pub fn decompress_line(
+        &mut self,
+        line: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<usize, ZsmilesError> {
+        let start = out.len();
+        if self.postprocess {
+            self.ppbuf.clear();
+        }
+        // Expand into `out` directly unless post-processing needs a
+        // staging buffer.
+        let target_is_out = !self.postprocess;
+        {
+            let target: &mut Vec<u8> = if target_is_out { out } else { &mut self.ppbuf };
+            let mut i = 0;
+            while i < line.len() {
+                let b = line[i];
+                if b == ESCAPE {
+                    let lit = line
+                        .get(i + 1)
+                        .ok_or(ZsmilesError::TruncatedEscape { at: i })?;
+                    target.push(*lit);
+                    i += 2;
+                } else {
+                    let pat = self.table[b as usize]
+                        .ok_or(ZsmilesError::UnknownCode { code: b, at: i })?;
+                    target.extend_from_slice(pat);
+                    i += 1;
+                }
+            }
+        }
+        if self.postprocess {
+            match smiles::postprocess(&self.ppbuf) {
+                Ok(pp) => out.extend_from_slice(&pp),
+                // A line that is not valid SMILES (it was archived raw) is
+                // returned as-is.
+                Err(_) => out.extend_from_slice(&self.ppbuf),
+            }
+        }
+        Ok(out.len() - start)
+    }
+
+    /// Decompress a newline-separated buffer.
+    pub fn decompress_buffer(
+        &mut self,
+        input: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<DecompressStats, ZsmilesError> {
+        let mut stats = DecompressStats::default();
+        for line in input.split(|&b| b == LINE_SEP) {
+            if line.is_empty() {
+                continue;
+            }
+            let n = self.decompress_line(line, out)?;
+            out.push(LINE_SEP);
+            stats.lines += 1;
+            stats.in_bytes += line.len();
+            stats.out_bytes += n;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Prepopulation;
+    use crate::compress::Compressor;
+    use crate::dict::builder::DictBuilder;
+    use crate::dict::Dictionary;
+
+    fn trained(corpus: &[&[u8]]) -> Dictionary {
+        DictBuilder { min_count: 2, ..Default::default() }
+            .train(corpus.iter().copied())
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_without_preprocess() {
+        let corpus: Vec<&[u8]> = vec![b"COc1cc(C=O)ccc1O"; 10];
+        let d = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
+            .train(corpus.iter().copied())
+            .unwrap();
+        let mut c = Compressor::new(&d);
+        let mut dc = Decompressor::new(&d);
+        for line in [
+            b"COc1cc(C=O)ccc1O".as_slice(),
+            b"CC(C)(C)c1ccc(O)cc1",
+            b"[NH4+].[Cl-]",
+            b"weird but compressible !!",
+        ] {
+            let mut z = Vec::new();
+            c.compress_line(line, &mut z);
+            let mut back = Vec::new();
+            dc.decompress_line(&z, &mut back).unwrap();
+            assert_eq!(back, line, "round trip of {}", String::from_utf8_lossy(line));
+        }
+    }
+
+    #[test]
+    fn round_trip_with_preprocess_yields_preprocessed_form() {
+        let corpus: Vec<&[u8]> = vec![b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2"; 10];
+        let d = trained(&corpus);
+        assert!(d.preprocessed());
+        let mut c = Compressor::new(&d);
+        let mut dc = Decompressor::new(&d);
+        let mut z = Vec::new();
+        c.compress_line(b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2", &mut z);
+        let mut back = Vec::new();
+        dc.decompress_line(&z, &mut back).unwrap();
+        assert_eq!(back, b"C0=CC=C(C=C0)C(=O)CC(=O)C0=CC=CC=C0");
+    }
+
+    #[test]
+    fn postprocess_restores_conventional_ids() {
+        let corpus: Vec<&[u8]> = vec![b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2"; 10];
+        let d = trained(&corpus);
+        let mut c = Compressor::new(&d);
+        let mut dc = Decompressor::new(&d).with_postprocess(true);
+        let mut z = Vec::new();
+        c.compress_line(b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2", &mut z);
+        let mut back = Vec::new();
+        dc.decompress_line(&z, &mut back).unwrap();
+        // Outermost-from-1 numbering; both rings disjoint → both get 1.
+        assert_eq!(back, b"C1=CC=C(C=C1)C(=O)CC(=O)C1=CC=CC=C1");
+    }
+
+    #[test]
+    fn buffer_round_trip_preserves_line_order() {
+        let corpus: Vec<&[u8]> =
+            [b"CCOC(=O)c1ccccc1".as_slice(), b"CC(C)Cc1ccc(cc1)C(C)C(=O)O", b"CCN(CC)CC"]
+                .repeat(5);
+        let d = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
+            .train(corpus.iter().copied())
+            .unwrap();
+        let input: Vec<u8> = corpus
+            .iter()
+            .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+            .collect();
+        let mut z = Vec::new();
+        let cs = Compressor::new(&d).compress_buffer(&input, &mut z);
+        let mut back = Vec::new();
+        let ds = Decompressor::new(&d).decompress_buffer(&z, &mut back).unwrap();
+        assert_eq!(back, input);
+        assert_eq!(cs.lines, ds.lines);
+        assert_eq!(cs.in_bytes, ds.out_bytes);
+        assert_eq!(cs.out_bytes, ds.in_bytes);
+    }
+
+    #[test]
+    fn unknown_code_is_an_error() {
+        let d = Dictionary::identity_only(Prepopulation::SmilesAlphabet);
+        let mut dc = Decompressor::new(&d);
+        let mut out = Vec::new();
+        // 0x80 has no entry in an identity-only alphabet dictionary.
+        let r = dc.decompress_line(&[b'C', 0x80], &mut out);
+        assert!(matches!(r, Err(ZsmilesError::UnknownCode { code: 0x80, at: 1 })));
+    }
+
+    #[test]
+    fn truncated_escape_is_an_error() {
+        let d = Dictionary::identity_only(Prepopulation::SmilesAlphabet);
+        let mut dc = Decompressor::new(&d);
+        let mut out = Vec::new();
+        let r = dc.decompress_line(b"CC ", &mut out);
+        assert!(matches!(r, Err(ZsmilesError::TruncatedEscape { at: 2 })));
+    }
+
+    #[test]
+    fn escaped_bytes_pass_through() {
+        let d = Dictionary::identity_only(Prepopulation::SmilesAlphabet);
+        let mut dc = Decompressor::new(&d);
+        let mut out = Vec::new();
+        dc.decompress_line(b" ! C \x07", &mut out).unwrap();
+        assert_eq!(out, b"!C\x07");
+    }
+
+    #[test]
+    fn random_access_per_line() {
+        // Decompressing line k alone must work without touching other
+        // lines — the property Bzip2 lacks.
+        let corpus: Vec<&[u8]> = [b"CCOC(=O)c1ccccc1".as_slice(), b"CCN(CC)CC"].repeat(10);
+        let d = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
+            .train(corpus.iter().copied())
+            .unwrap();
+        let mut z = Vec::new();
+        let mut c = Compressor::new(&d);
+        for line in &corpus {
+            c.compress_line(line, &mut z);
+            z.push(b'\n');
+        }
+        let lines: Vec<&[u8]> = z.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+        let mut dc = Decompressor::new(&d);
+        let mut out = Vec::new();
+        dc.decompress_line(lines[7], &mut out).unwrap();
+        assert_eq!(out, corpus[7]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Dictionary introspection: how well does a dictionary fit a corpus?
+//!
+//! A shared dictionary is an artifact teams version and argue about; this
+//! module gives the argument numbers — per-code usage, coverage, escape
+//! pressure, dead entries — by running the real encoder over a corpus and
+//! attributing every output byte.
+
+use crate::codec::{ESCAPE, LINE_SEP};
+use crate::compress::Compressor;
+use crate::dict::Dictionary;
+
+/// Where the output bytes of a corpus went.
+#[derive(Debug, Clone)]
+pub struct DictReport {
+    /// Output occurrences per code (identity and pattern alike).
+    pub uses: [u64; 256],
+    /// Input bytes covered per code.
+    pub covered: [u64; 256],
+    /// Escape sequences emitted (2 output bytes each).
+    pub escapes: u64,
+    /// Total input payload bytes.
+    pub in_bytes: u64,
+    /// Total output payload bytes.
+    pub out_bytes: u64,
+    /// Lines analyzed.
+    pub lines: u64,
+}
+
+impl DictReport {
+    /// Fraction of input bytes covered by multi-byte patterns (as opposed
+    /// to identity codes or escapes).
+    pub fn pattern_coverage(&self, dict: &Dictionary) -> f64 {
+        if self.in_bytes == 0 {
+            return 0.0;
+        }
+        let pattern_bytes: u64 = dict
+            .pattern_entries()
+            .map(|(c, _)| self.covered[c as usize])
+            .sum();
+        pattern_bytes as f64 / self.in_bytes as f64
+    }
+
+    /// Codes installed but never used on this corpus.
+    pub fn dead_codes<'d>(&self, dict: &'d Dictionary) -> Vec<(u8, &'d [u8])> {
+        dict.pattern_entries()
+            .filter(|(c, _)| self.uses[*c as usize] == 0)
+            .collect()
+    }
+
+    /// Compression ratio implied by the analysis run.
+    pub fn ratio(&self) -> f64 {
+        if self.in_bytes == 0 {
+            1.0
+        } else {
+            self.out_bytes as f64 / self.in_bytes as f64
+        }
+    }
+
+    /// The `k` most productive entries by input bytes covered.
+    pub fn top_entries<'d>(&self, dict: &'d Dictionary, k: usize) -> Vec<(u8, &'d [u8], u64)> {
+        let mut rows: Vec<(u8, &[u8], u64)> = dict
+            .all_entries()
+            .map(|(c, p)| (c, p, self.covered[c as usize]))
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        rows.truncate(k);
+        rows
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn summary(&self, dict: &Dictionary) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} lines, {} -> {} bytes (ratio {:.3})",
+            self.lines, self.in_bytes, self.out_bytes, self.ratio()
+        );
+        let _ = writeln!(
+            s,
+            "pattern coverage {:.1}% | escapes {} ({:.2}% of output)",
+            self.pattern_coverage(dict) * 100.0,
+            self.escapes,
+            if self.out_bytes == 0 {
+                0.0
+            } else {
+                self.escapes as f64 * 2.0 / self.out_bytes as f64 * 100.0
+            }
+        );
+        let dead = self.dead_codes(dict);
+        let _ = writeln!(s, "dead patterns: {} of {}", dead.len(), dict.pattern_entries().count());
+        let _ = writeln!(s, "top entries by bytes covered:");
+        for (code, pat, covered) in self.top_entries(dict, 10) {
+            let printable: String = pat
+                .iter()
+                .map(|&b| if b.is_ascii_graphic() { b as char } else { '?' })
+                .collect();
+            let _ = writeln!(s, "  0x{code:02x} {printable:<12} {covered:>10} B");
+        }
+        s
+    }
+}
+
+/// Run the encoder over a newline-separated corpus and attribute output.
+pub fn analyze(dict: &Dictionary, corpus: &[u8]) -> DictReport {
+    let mut report = DictReport {
+        uses: [0; 256],
+        covered: [0; 256],
+        escapes: 0,
+        in_bytes: 0,
+        out_bytes: 0,
+        lines: 0,
+    };
+    let mut compressor = Compressor::new(dict);
+    let mut z = Vec::new();
+    for line in corpus.split(|&b| b == LINE_SEP).filter(|l| !l.is_empty()) {
+        z.clear();
+        let (n, _) = compressor.compress_line(line, &mut z);
+        report.lines += 1;
+        report.in_bytes += line.len() as u64;
+        report.out_bytes += n as u64;
+        // Walk the code stream and attribute.
+        let mut i = 0;
+        while i < z.len() {
+            let b = z[i];
+            if b == ESCAPE {
+                report.escapes += 1;
+                i += 2;
+            } else {
+                report.uses[b as usize] += 1;
+                report.covered[b as usize] +=
+                    dict.entry(b).map(|p| p.len() as u64).unwrap_or(0);
+                i += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::builder::DictBuilder;
+    use crate::Prepopulation;
+
+    fn corpus() -> Vec<u8> {
+        let mut v = Vec::new();
+        for _ in 0..50 {
+            v.extend_from_slice(b"COc1cc(C=O)ccc1O\n");
+            v.extend_from_slice(b"CC(C)Cc1ccc(cc1)C(C)C(=O)O\n");
+        }
+        v
+    }
+
+    #[test]
+    fn attribution_accounts_every_byte() {
+        let data = corpus();
+        let dict = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
+            .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
+            .unwrap();
+        let report = analyze(&dict, &data);
+        // covered input bytes + escaped bytes == in_bytes
+        let covered: u64 = report.covered.iter().sum();
+        assert_eq!(covered + report.escapes, report.in_bytes);
+        // uses + 2×escapes == out_bytes
+        let uses: u64 = report.uses.iter().sum();
+        assert_eq!(uses + report.escapes * 2, report.out_bytes);
+        assert_eq!(report.lines, 100);
+        assert!(report.ratio() < 0.6);
+    }
+
+    #[test]
+    fn pattern_coverage_dominates_on_trained_corpus() {
+        let data = corpus();
+        let dict = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
+            .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
+            .unwrap();
+        let report = analyze(&dict, &data);
+        assert!(
+            report.pattern_coverage(&dict) > 0.7,
+            "trained patterns should cover most input: {}",
+            report.pattern_coverage(&dict)
+        );
+        assert_eq!(report.escapes, 0, "compliant SMILES never escape");
+    }
+
+    #[test]
+    fn identity_dictionary_has_zero_pattern_coverage() {
+        let data = corpus();
+        let dict = Dictionary::identity_only(Prepopulation::SmilesAlphabet);
+        let report = analyze(&dict, &data);
+        assert_eq!(report.pattern_coverage(&dict), 0.0);
+        assert!((report.ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_codes_detected_on_foreign_corpus() {
+        let data = corpus();
+        let dict = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
+            .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
+            .unwrap();
+        // A corpus the dictionary has never seen and barely matches.
+        let foreign = b"PPPPBBBBIIII\nPPPPBBBBIIII\n";
+        let report = analyze(&dict, foreign);
+        assert!(!report.dead_codes(&dict).is_empty());
+    }
+
+    #[test]
+    fn summary_renders() {
+        let data = corpus();
+        let dict = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
+            .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
+            .unwrap();
+        let report = analyze(&dict, &data);
+        let s = report.summary(&dict);
+        assert!(s.contains("pattern coverage"));
+        assert!(s.contains("top entries"));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let dict = Dictionary::identity_only(Prepopulation::SmilesAlphabet);
+        let report = analyze(&dict, b"");
+        assert_eq!(report.lines, 0);
+        assert_eq!(report.ratio(), 1.0);
+        assert_eq!(report.pattern_coverage(&dict), 0.0);
+    }
+}

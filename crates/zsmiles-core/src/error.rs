@@ -1,0 +1,94 @@
+//! Error type for the ZSMILES codec.
+
+use std::fmt;
+
+/// Everything that can go wrong while training, loading, compressing or
+/// decompressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZsmilesError {
+    /// Pre-processing failed (the input line is not valid SMILES).
+    Preprocess(smiles::SmilesError),
+    /// The training set produced no usable patterns.
+    EmptyTrainingSet,
+    /// `Lmin`/`Lmax` out of range (`2 ≤ Lmin ≤ Lmax ≤ 16`).
+    BadLengthBounds { lmin: usize, lmax: usize },
+    /// A compressed line references a code with no dictionary entry.
+    UnknownCode { code: u8, at: usize },
+    /// A compressed line ends in the middle of an escape sequence.
+    TruncatedEscape { at: usize },
+    /// A compressed line ends after a wide-code page byte (wide-code
+    /// extension only; see [`crate::wide`]).
+    TruncatedWideCode { at: usize },
+    /// Dictionary file violations.
+    DictFormat { line: usize, reason: String },
+    /// The requested dictionary size exceeds the available code space.
+    CodeSpaceExhausted { requested: usize, available: usize },
+    /// An input line contains a byte the dictionary cannot express and
+    /// escaping is disabled.
+    Unencodable { byte: u8, at: usize },
+    /// I/O error (stringified: io::Error is not Clone/PartialEq).
+    Io(String),
+}
+
+impl fmt::Display for ZsmilesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ZsmilesError::*;
+        match self {
+            Preprocess(e) => write!(f, "pre-processing failed: {e}"),
+            EmptyTrainingSet => write!(f, "training set contains no usable substrings"),
+            BadLengthBounds { lmin, lmax } => {
+                write!(f, "invalid substring length bounds [{lmin}, {lmax}]")
+            }
+            UnknownCode { code, at } => {
+                write!(f, "compressed stream references unassigned code 0x{code:02x} at byte {at}")
+            }
+            TruncatedEscape { at } => {
+                write!(f, "escape marker at byte {at} has no following literal")
+            }
+            TruncatedWideCode { at } => {
+                write!(f, "wide-code page byte at {at} has no following sub-code")
+            }
+            DictFormat { line, reason } => {
+                write!(f, "dictionary file line {line}: {reason}")
+            }
+            CodeSpaceExhausted { requested, available } => {
+                write!(f, "dictionary wants {requested} codes but only {available} are free")
+            }
+            Unencodable { byte, at } => {
+                write!(f, "byte 0x{byte:02x} at {at} has no dictionary entry")
+            }
+            Io(msg) => write!(f, "I/O: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ZsmilesError {}
+
+impl From<smiles::SmilesError> for ZsmilesError {
+    fn from(e: smiles::SmilesError) -> Self {
+        ZsmilesError::Preprocess(e)
+    }
+}
+
+impl From<std::io::Error> for ZsmilesError {
+    fn from(e: std::io::Error) -> Self {
+        ZsmilesError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ZsmilesError::UnknownCode { code: 0x80, at: 3 }
+            .to_string()
+            .contains("0x80"));
+        assert!(ZsmilesError::CodeSpaceExhausted { requested: 300, available: 222 }
+            .to_string()
+            .contains("300"));
+        let e: ZsmilesError = smiles::SmilesError::EmptyInput.into();
+        assert!(matches!(e, ZsmilesError::Preprocess(_)));
+    }
+}

@@ -1,0 +1,221 @@
+//! Streaming compression for decks that do not fit in memory.
+//!
+//! The paper's setting is tens of terabytes of SMILES; buffering a whole
+//! file is not an option there. These helpers process a `BufRead` →
+//! `Write` pair in bounded chunks, cutting at line boundaries, with
+//! optional multi-threading per chunk. The output is identical to the
+//! in-memory engines' (same per-line encoding; chunking cannot change it).
+
+use crate::compress::{CompressStats, Compressor};
+use crate::decompress::{DecompressStats, Decompressor};
+use crate::dict::Dictionary;
+use crate::error::ZsmilesError;
+use crate::parallel::{compress_parallel, decompress_parallel};
+use crate::sp::SpAlgorithm;
+use std::io::{BufRead, Write};
+
+/// Chunk size for streaming (bytes of input buffered at a time).
+pub const DEFAULT_CHUNK: usize = 8 << 20;
+
+/// Streaming configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    pub chunk_bytes: usize,
+    /// Worker threads per chunk (1 = serial).
+    pub threads: usize,
+    pub algorithm: SpAlgorithm,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions { chunk_bytes: DEFAULT_CHUNK, threads: 1, algorithm: SpAlgorithm::default() }
+    }
+}
+
+/// Read a chunk of whole lines (≥ 1 line, ≤ ~chunk_bytes) into `buf`.
+/// Returns false at EOF with nothing read.
+fn fill_chunk<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    chunk_bytes: usize,
+) -> std::io::Result<bool> {
+    buf.clear();
+    while buf.len() < chunk_bytes {
+        let before = buf.len();
+        let n = reader.read_until(b'\n', buf)?;
+        if n == 0 {
+            break;
+        }
+        // Normalize a missing trailing newline on the final line.
+        if buf.last() != Some(&b'\n') {
+            buf.push(b'\n');
+        }
+        let _ = before;
+    }
+    Ok(!buf.is_empty())
+}
+
+/// Stream-compress `reader` into `writer`.
+pub fn compress_stream<R: BufRead, W: Write>(
+    dict: &Dictionary,
+    mut reader: R,
+    mut writer: W,
+    opts: &StreamOptions,
+) -> Result<CompressStats, ZsmilesError> {
+    let mut stats = CompressStats::default();
+    let mut chunk = Vec::with_capacity(opts.chunk_bytes + 4096);
+    let mut out = Vec::with_capacity(opts.chunk_bytes / 2);
+    let mut serial = Compressor::new(dict).with_algorithm(opts.algorithm);
+    while fill_chunk(&mut reader, &mut chunk, opts.chunk_bytes)? {
+        if opts.threads > 1 {
+            let (part, s) = compress_parallel(dict, &chunk, opts.algorithm, opts.threads);
+            writer.write_all(&part)?;
+            stats.merge(&s);
+        } else {
+            out.clear();
+            let s = serial.compress_buffer(&chunk, &mut out);
+            writer.write_all(&out)?;
+            stats.merge(&s);
+        }
+    }
+    writer.flush()?;
+    Ok(stats)
+}
+
+/// Stream-decompress `reader` into `writer`.
+pub fn decompress_stream<R: BufRead, W: Write>(
+    dict: &Dictionary,
+    mut reader: R,
+    mut writer: W,
+    opts: &StreamOptions,
+) -> Result<DecompressStats, ZsmilesError> {
+    let mut stats = DecompressStats::default();
+    let mut chunk = Vec::with_capacity(opts.chunk_bytes + 4096);
+    let mut out = Vec::with_capacity(opts.chunk_bytes * 3);
+    let mut serial = Decompressor::new(dict);
+    while fill_chunk(&mut reader, &mut chunk, opts.chunk_bytes)? {
+        if opts.threads > 1 {
+            let (part, s) = decompress_parallel(dict, &chunk, opts.threads)?;
+            writer.write_all(&part)?;
+            stats.lines += s.lines;
+            stats.in_bytes += s.in_bytes;
+            stats.out_bytes += s.out_bytes;
+        } else {
+            out.clear();
+            let s = serial.decompress_buffer(&chunk, &mut out)?;
+            writer.write_all(&out)?;
+            stats.lines += s.lines;
+            stats.in_bytes += s.in_bytes;
+            stats.out_bytes += s.out_bytes;
+        }
+    }
+    writer.flush()?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::builder::DictBuilder;
+    use std::io::BufReader;
+
+    fn fixture() -> (Dictionary, Vec<u8>) {
+        let lines: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O"]
+        .repeat(200);
+        let dict = DictBuilder { min_count: 2, ..Default::default() }
+            .train(lines.iter().copied())
+            .unwrap();
+        let input: Vec<u8> = lines
+            .iter()
+            .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+            .collect();
+        (dict, input)
+    }
+
+    #[test]
+    fn streaming_equals_in_memory() {
+        let (dict, input) = fixture();
+        let mut whole = Vec::new();
+        Compressor::new(&dict).compress_buffer(&input, &mut whole);
+
+        // Tiny chunks force many boundaries.
+        for chunk_bytes in [64usize, 1000, 1 << 20] {
+            let mut streamed = Vec::new();
+            let opts = StreamOptions { chunk_bytes, ..Default::default() };
+            let stats = compress_stream(
+                &dict,
+                BufReader::new(input.as_slice()),
+                &mut streamed,
+                &opts,
+            )
+            .unwrap();
+            assert_eq!(streamed, whole, "chunk={chunk_bytes}");
+            assert_eq!(stats.lines, 600);
+        }
+    }
+
+    #[test]
+    fn streaming_round_trip_multithreaded() {
+        let (dict, input) = fixture();
+        let mut z = Vec::new();
+        let opts = StreamOptions { chunk_bytes: 4096, threads: 4, ..Default::default() };
+        compress_stream(&dict, BufReader::new(input.as_slice()), &mut z, &opts).unwrap();
+        let mut back = Vec::new();
+        decompress_stream(&dict, BufReader::new(z.as_slice()), &mut back, &opts).unwrap();
+
+        // Preprocessing on: expect the renumbered forms.
+        let mut expect = Vec::new();
+        let mut pp = smiles::Preprocessor::new();
+        for line in input.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            pp.process_into(line, smiles::RingRenumber::Innermost, 0, &mut expect).unwrap();
+            expect.push(b'\n');
+        }
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn missing_trailing_newline_handled() {
+        let (dict, _) = fixture();
+        let input = b"CCO\nCCN".to_vec(); // no trailing newline
+        let mut z = Vec::new();
+        compress_stream(
+            &dict,
+            BufReader::new(input.as_slice()),
+            &mut z,
+            &StreamOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(z.iter().filter(|&&b| b == b'\n').count(), 2);
+    }
+
+    #[test]
+    fn empty_input_streams_nothing() {
+        let (dict, _) = fixture();
+        let mut z = Vec::new();
+        let stats = compress_stream(
+            &dict,
+            BufReader::new(&b""[..]),
+            &mut z,
+            &StreamOptions::default(),
+        )
+        .unwrap();
+        assert!(z.is_empty());
+        assert_eq!(stats.lines, 0);
+    }
+
+    #[test]
+    fn decompress_stream_propagates_errors() {
+        let (dict, _) = fixture();
+        let bad = b"\x01\x02\n".to_vec();
+        let mut out = Vec::new();
+        let r = decompress_stream(
+            &dict,
+            BufReader::new(bad.as_slice()),
+            &mut out,
+            &StreamOptions::default(),
+        );
+        assert!(r.is_err());
+    }
+}

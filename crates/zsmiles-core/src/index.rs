@@ -1,0 +1,242 @@
+//! Line-offset index for O(1) random access into `.zsmi` (or `.smi`)
+//! buffers — the use case the whole design serves: domain experts sample a
+//! small subset of a huge archive without decompressing it.
+//!
+//! The index is a sidecar (`.zsx`): a small binary table of line-start
+//! offsets. The archive itself stays readable text; only the *optional*
+//! accelerator is binary (rebuilding it is a single scan, so it can always
+//! be regenerated from the archive).
+
+use crate::decompress::Decompressor;
+use crate::dict::Dictionary;
+use crate::error::ZsmilesError;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"ZSXIDX01";
+
+/// Offsets of line starts in a newline-separated buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LineIndex {
+    starts: Vec<u64>,
+    /// Total buffer length, to bound the last line.
+    total: u64,
+}
+
+impl LineIndex {
+    /// Scan a buffer and index every non-empty line.
+    pub fn build(buf: &[u8]) -> LineIndex {
+        let mut starts = Vec::new();
+        let mut at_line_start = true;
+        for (i, &b) in buf.iter().enumerate() {
+            if at_line_start && b != b'\n' {
+                starts.push(i as u64);
+            }
+            at_line_start = b == b'\n';
+        }
+        LineIndex { starts, total: buf.len() as u64 }
+    }
+
+    /// Number of indexed lines.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Byte range of line `i` (newline excluded).
+    pub fn line_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start = self.starts[i] as usize;
+        let end = self
+            .starts
+            .get(i + 1)
+            .map(|&s| s as usize - 1)
+            .unwrap_or_else(|| {
+                // Last line: trim one trailing newline if present.
+                let mut e = self.total as usize;
+                if e > start {
+                    e -= 1; // this may be the newline — verified by caller slice
+                }
+                e
+            });
+        start..end
+    }
+
+    /// Slice line `i` out of the buffer the index was built from.
+    pub fn line<'a>(&self, buf: &'a [u8], i: usize) -> &'a [u8] {
+        let r = self.line_range(i);
+        let s = &buf[r.start..];
+        // Defensive: recompute the end from the actual newline so an index
+        // built on a buffer without a trailing newline still works.
+        match s.iter().position(|&b| b == b'\n') {
+            Some(n) => &s[..n],
+            None => s,
+        }
+    }
+
+    /// Decompress exactly one line of a compressed archive.
+    pub fn decompress_line_at(
+        &self,
+        dict: &Dictionary,
+        buf: &[u8],
+        i: usize,
+    ) -> Result<Vec<u8>, ZsmilesError> {
+        let mut out = Vec::new();
+        Decompressor::new(dict).decompress_line(self.line(buf, i), &mut out)?;
+        Ok(out)
+    }
+
+    /// Serialize as a `.zsx` sidecar.
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.starts.len() as u64).to_le_bytes())?;
+        w.write_all(&self.total.to_le_bytes())?;
+        for &s in &self.starts {
+            w.write_all(&s.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Parse a `.zsx` sidecar.
+    pub fn read_from<R: Read>(mut r: R) -> Result<LineIndex, ZsmilesError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(ZsmilesError::DictFormat {
+                line: 0,
+                reason: "not a ZSX index file".into(),
+            });
+        }
+        let mut n8 = [0u8; 8];
+        r.read_exact(&mut n8)?;
+        let n = u64::from_le_bytes(n8) as usize;
+        r.read_exact(&mut n8)?;
+        let total = u64::from_le_bytes(n8);
+        let mut starts = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for _ in 0..n {
+            r.read_exact(&mut n8)?;
+            let v = u64::from_le_bytes(n8);
+            if v < prev || v >= total.max(1) {
+                return Err(ZsmilesError::DictFormat {
+                    line: 0,
+                    reason: "corrupt index: offsets not monotonic".into(),
+                });
+            }
+            starts.push(v);
+            prev = v;
+        }
+        Ok(LineIndex { starts, total })
+    }
+
+    pub fn save(&self, path: &Path) -> Result<(), ZsmilesError> {
+        let f = std::fs::File::create(path)?;
+        self.write_to(std::io::BufWriter::new(f))?;
+        Ok(())
+    }
+
+    pub fn load(path: &Path) -> Result<LineIndex, ZsmilesError> {
+        let f = std::fs::File::open(path)?;
+        Self::read_from(std::io::BufReader::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::Compressor;
+    use crate::dict::builder::DictBuilder;
+
+    #[test]
+    fn build_and_slice() {
+        let buf = b"CCO\nc1ccccc1\nN\n";
+        let idx = LineIndex::build(buf);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.line(buf, 0), b"CCO");
+        assert_eq!(idx.line(buf, 1), b"c1ccccc1");
+        assert_eq!(idx.line(buf, 2), b"N");
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let buf = b"CCO\nCC";
+        let idx = LineIndex::build(buf);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.line(buf, 1), b"CC");
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let buf = b"\n\nCCO\n\nCC\n\n";
+        let idx = LineIndex::build(buf);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.line(buf, 0), b"CCO");
+        assert_eq!(idx.line(buf, 1), b"CC");
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let idx = LineIndex::build(b"");
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn random_access_into_compressed_archive() {
+        let lines: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O"]
+        .repeat(10);
+        let dict = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
+            .train(lines.iter().copied())
+            .unwrap();
+        let mut z = Vec::new();
+        let mut c = Compressor::new(&dict);
+        for l in &lines {
+            c.compress_line(l, &mut z);
+            z.push(b'\n');
+        }
+        let idx = LineIndex::build(&z);
+        assert_eq!(idx.len(), 30);
+        for i in [0usize, 7, 15, 29] {
+            let got = idx.decompress_line_at(&dict, &z, i).unwrap();
+            assert_eq!(got, lines[i], "line {i}");
+        }
+    }
+
+    #[test]
+    fn sidecar_round_trip() {
+        let buf = b"CCO\nc1ccccc1\nN\n";
+        let idx = LineIndex::build(buf);
+        let mut raw = Vec::new();
+        idx.write_to(&mut raw).unwrap();
+        let back = LineIndex::read_from(raw.as_slice()).unwrap();
+        assert_eq!(idx, back);
+    }
+
+    #[test]
+    fn sidecar_rejects_garbage() {
+        assert!(LineIndex::read_from(&b"NOTANIDX"[..]).is_err());
+        assert!(LineIndex::read_from(&b"ZS"[..]).is_err());
+        // Non-monotonic offsets.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC);
+        raw.extend_from_slice(&2u64.to_le_bytes());
+        raw.extend_from_slice(&100u64.to_le_bytes());
+        raw.extend_from_slice(&50u64.to_le_bytes());
+        raw.extend_from_slice(&10u64.to_le_bytes());
+        assert!(LineIndex::read_from(raw.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let buf = b"CCO\nCC\n";
+        let idx = LineIndex::build(buf);
+        let path = std::env::temp_dir().join("zsmiles_test.zsx");
+        idx.save(&path).unwrap();
+        let back = LineIndex::load(&path).unwrap();
+        assert_eq!(idx, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

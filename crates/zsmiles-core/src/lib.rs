@@ -1,0 +1,68 @@
+//! ZSMILES: dictionary-based SMILES compression with readable output,
+//! separable lines and a shared dictionary — a Rust reproduction of
+//! Accordi et al., *ZSMILES: an approach for efficient SMILES storage for
+//! random access in Virtual Screening* (IPPS 2024, arXiv:2404.19391).
+//!
+//! # Design requirements (paper §I)
+//!
+//! 1. **Readable output** — compressed bytes are displayable characters;
+//!    archives survive `grep`, `head`, text editors and third-party tools.
+//! 2. **Separable SMILES / random access** — compressed line *i* is input
+//!    molecule *i*; any subset of lines decompresses independently.
+//! 3. **Shared dictionary** — one trained [`dict::Dictionary`] compresses
+//!    *any* SMILES set, so archives can be cut and recombined freely.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! .smi ── preprocess (ring-ID renumber) ──► compress (trie + shortest path) ──► .zsmi
+//! .zsmi ── decompress (table lookup) ──► postprocess (optional) ──► .smi
+//! ```
+//!
+//! # Quickstart
+//!
+//! ```
+//! use zsmiles_core::dict::builder::DictBuilder;
+//! use zsmiles_core::{Compressor, Decompressor};
+//!
+//! let training: Vec<&[u8]> = vec![b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2"; 8];
+//! let dict = DictBuilder { min_count: 2, ..Default::default() }
+//!     .train(training.into_iter())
+//!     .unwrap();
+//!
+//! let mut z = Vec::new();
+//! Compressor::new(&dict).compress_line(b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2", &mut z);
+//! assert!(z.len() < 35, "compressed to {} bytes", z.len());
+//!
+//! let mut back = Vec::new();
+//! Decompressor::new(&dict).decompress_line(&z, &mut back).unwrap();
+//! // Decompression returns the pre-processed (ring-ID-renumbered) form,
+//! // which is the same molecule in valid SMILES.
+//! assert_eq!(back, b"C0=CC=C(C=C0)C(=O)CC(=O)C0=CC=CC=C0");
+//! ```
+
+pub mod codec;
+pub mod compress;
+pub mod decompress;
+pub mod dict;
+pub mod error;
+pub mod fileio;
+pub mod index;
+pub mod parallel;
+pub mod sp;
+pub mod trie;
+pub mod wide;
+
+pub use codec::{Prepopulation, ESCAPE, LINE_SEP};
+pub use compress::{CompressStats, Compressor};
+pub use decompress::{DecompressStats, Decompressor};
+pub use dict::builder::{DictBuilder, RankStrategy};
+pub use dict::Dictionary;
+pub use error::ZsmilesError;
+pub use fileio::{compress_stream, decompress_stream, StreamOptions};
+pub use index::LineIndex;
+pub use parallel::{
+    compress_parallel, compress_parallel_wide, decompress_parallel, decompress_parallel_wide,
+};
+pub use sp::SpAlgorithm;
+pub use wide::{WideCompressor, WideDecompressor, WideDictBuilder, WideDictionary};

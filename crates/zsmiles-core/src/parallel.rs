@@ -1,0 +1,346 @@
+//! Order-preserving parallel compression and decompression.
+//!
+//! The paper accelerates ZSMILES with CUDA; on the CPU the same
+//! embarrassing parallelism is available across lines. The input buffer is
+//! split at line boundaries into one contiguous span per worker (balanced
+//! by bytes, not lines, so a span of long EXSCALATE salts does not straggle),
+//! each worker runs the ordinary serial engine with its own scratch, and the
+//! outputs are concatenated in span order — so the result is byte-identical
+//! to the serial engine's.
+
+use crate::compress::{CompressStats, Compressor};
+use crate::decompress::{DecompressStats, Decompressor};
+use crate::dict::Dictionary;
+use crate::error::ZsmilesError;
+use crate::sp::SpAlgorithm;
+use crate::wide::{WideCompressor, WideDecompressor, WideDictionary};
+
+/// Split `input` into at most `n` spans that end on line boundaries and
+/// have roughly equal byte counts.
+fn byte_balanced_spans(input: &[u8], n: usize) -> Vec<&[u8]> {
+    if input.is_empty() || n <= 1 {
+        return vec![input];
+    }
+    let step = input.len().div_ceil(n);
+    let mut spans = Vec::with_capacity(n);
+    let mut start = 0;
+    while start < input.len() {
+        let mut end = (start + step).min(input.len());
+        // Extend so the span ends just past a newline (or at EOF).
+        while end < input.len() && input[end - 1] != b'\n' {
+            end += 1;
+        }
+        spans.push(&input[start..end]);
+        start = end;
+    }
+    spans
+}
+
+/// Compress a newline-separated buffer on `threads` workers. Byte-identical
+/// to [`Compressor::compress_buffer`].
+pub fn compress_parallel(
+    dict: &Dictionary,
+    input: &[u8],
+    algo: SpAlgorithm,
+    threads: usize,
+) -> (Vec<u8>, CompressStats) {
+    let spans = byte_balanced_spans(input, threads.max(1));
+    if spans.len() == 1 {
+        let mut out = Vec::with_capacity(input.len() / 2);
+        let stats = Compressor::new(dict)
+            .with_algorithm(algo)
+            .compress_buffer(input, &mut out);
+        return (out, stats);
+    }
+    let mut results: Vec<(Vec<u8>, CompressStats)> = Vec::with_capacity(spans.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|span| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::with_capacity(span.len() / 2);
+                    let stats = Compressor::new(dict)
+                        .with_algorithm(algo)
+                        .compress_buffer(span, &mut out);
+                    (out, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("compression workers do not panic"));
+        }
+    })
+    .expect("scope itself cannot fail");
+
+    let mut out = Vec::with_capacity(results.iter().map(|(v, _)| v.len()).sum());
+    let mut stats = CompressStats::default();
+    for (part, s) in results {
+        out.extend_from_slice(&part);
+        stats.merge(&s);
+    }
+    (out, stats)
+}
+
+/// Decompress a newline-separated buffer on `threads` workers.
+pub fn decompress_parallel(
+    dict: &Dictionary,
+    input: &[u8],
+    threads: usize,
+) -> Result<(Vec<u8>, DecompressStats), ZsmilesError> {
+    let spans = byte_balanced_spans(input, threads.max(1));
+    if spans.len() == 1 {
+        let mut out = Vec::with_capacity(input.len() * 3);
+        let stats = Decompressor::new(dict).decompress_buffer(input, &mut out)?;
+        return Ok((out, stats));
+    }
+    let mut results: Vec<Result<(Vec<u8>, DecompressStats), ZsmilesError>> =
+        Vec::with_capacity(spans.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|span| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::with_capacity(span.len() * 3);
+                    let stats =
+                        Decompressor::new(dict).decompress_buffer(span, &mut out)?;
+                    Ok((out, stats))
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("decompression workers do not panic"));
+        }
+    })
+    .expect("scope itself cannot fail");
+
+    let mut out = Vec::new();
+    let mut stats = DecompressStats::default();
+    for r in results {
+        let (part, s) = r?;
+        out.extend_from_slice(&part);
+        stats.lines += s.lines;
+        stats.in_bytes += s.in_bytes;
+        stats.out_bytes += s.out_bytes;
+    }
+    Ok((out, stats))
+}
+
+/// [`compress_parallel`] for the wide-code extension. Byte-identical to
+/// [`WideCompressor::compress_buffer`].
+pub fn compress_parallel_wide(
+    dict: &WideDictionary,
+    input: &[u8],
+    threads: usize,
+) -> (Vec<u8>, CompressStats) {
+    let spans = byte_balanced_spans(input, threads.max(1));
+    if spans.len() == 1 {
+        let mut out = Vec::with_capacity(input.len() / 2);
+        let stats = WideCompressor::new(dict).compress_buffer(input, &mut out);
+        return (out, stats);
+    }
+    let mut results: Vec<(Vec<u8>, CompressStats)> = Vec::with_capacity(spans.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|span| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::with_capacity(span.len() / 2);
+                    let stats = WideCompressor::new(dict).compress_buffer(span, &mut out);
+                    (out, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("compression workers do not panic"));
+        }
+    })
+    .expect("scope itself cannot fail");
+
+    let mut out = Vec::with_capacity(results.iter().map(|(v, _)| v.len()).sum());
+    let mut stats = CompressStats::default();
+    for (part, s) in results {
+        out.extend_from_slice(&part);
+        stats.merge(&s);
+    }
+    (out, stats)
+}
+
+/// [`decompress_parallel`] for the wide-code extension.
+pub fn decompress_parallel_wide(
+    dict: &WideDictionary,
+    input: &[u8],
+    threads: usize,
+) -> Result<(Vec<u8>, DecompressStats), ZsmilesError> {
+    let spans = byte_balanced_spans(input, threads.max(1));
+    if spans.len() == 1 {
+        let mut out = Vec::with_capacity(input.len() * 3);
+        let stats = WideDecompressor::new(dict).decompress_buffer(input, &mut out)?;
+        return Ok((out, stats));
+    }
+    let mut results: Vec<Result<(Vec<u8>, DecompressStats), ZsmilesError>> =
+        Vec::with_capacity(spans.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|span| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::with_capacity(span.len() * 3);
+                    let stats = WideDecompressor::new(dict).decompress_buffer(span, &mut out)?;
+                    Ok((out, stats))
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("decompression workers do not panic"));
+        }
+    })
+    .expect("scope itself cannot fail");
+
+    let mut out = Vec::new();
+    let mut stats = DecompressStats::default();
+    for r in results {
+        let (part, s) = r?;
+        out.extend_from_slice(&part);
+        stats.lines += s.lines;
+        stats.in_bytes += s.in_bytes;
+        stats.out_bytes += s.out_bytes;
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::builder::DictBuilder;
+    use crate::wide::WideDictBuilder;
+
+    fn fixture() -> (Dictionary, Vec<u8>) {
+        let lines: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+            b"CCN(CC)CC"]
+        .repeat(64);
+        let dict = DictBuilder { min_count: 2, ..Default::default() }
+            .train(lines.iter().copied())
+            .unwrap();
+        let input: Vec<u8> = lines
+            .iter()
+            .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+            .collect();
+        (dict, input)
+    }
+
+    #[test]
+    fn spans_tile_the_input_on_line_boundaries() {
+        let input = b"aaa\nbb\nccccc\nd\neee\n";
+        for n in 1..=6 {
+            let spans = byte_balanced_spans(input, n);
+            let total: usize = spans.iter().map(|s| s.len()).sum();
+            assert_eq!(total, input.len(), "n={n}");
+            let rejoined: Vec<u8> = spans.concat();
+            assert_eq!(rejoined, input, "n={n}");
+            for s in &spans {
+                assert!(s.ends_with(b"\n"), "span must end on newline: n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_output_identical_to_serial() {
+        let (dict, input) = fixture();
+        let mut serial = Vec::new();
+        let s_stats = Compressor::new(&dict).compress_buffer(&input, &mut serial);
+        for threads in [1, 2, 3, 4, 7] {
+            let (par, p_stats) =
+                compress_parallel(&dict, &input, SpAlgorithm::BackwardDp, threads);
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(p_stats, s_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_round_trip() {
+        let (dict, input) = fixture();
+        let (z, _) = compress_parallel(&dict, &input, SpAlgorithm::BackwardDp, 4);
+        let (back, stats) = decompress_parallel(&dict, &z, 4).unwrap();
+        // Preprocessing is on (dictionary default), so compare against the
+        // preprocessed input.
+        let mut expect = Vec::new();
+        let mut pp = smiles::Preprocessor::new();
+        for line in input.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            pp.process_into(line, smiles::RingRenumber::Innermost, 0, &mut expect)
+                .unwrap();
+            expect.push(b'\n');
+        }
+        assert_eq!(back, expect);
+        assert_eq!(stats.lines, 256);
+    }
+
+    #[test]
+    fn decompress_error_propagates_from_worker() {
+        let (dict, _) = fixture();
+        let bad = b"CCO\n\x01\x02\n".to_vec(); // 0x01 is not a valid code
+        let r = decompress_parallel(&dict, &bad, 4);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let (dict, _) = fixture();
+        let (z, stats) = compress_parallel(&dict, b"", SpAlgorithm::BackwardDp, 4);
+        assert!(z.is_empty());
+        assert_eq!(stats.lines, 0);
+    }
+
+    #[test]
+    fn wide_parallel_identical_to_serial_and_round_trips() {
+        let lines: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+            b"CCN(CC)CC"]
+        .repeat(64);
+        let dict = WideDictBuilder {
+            base: DictBuilder { min_count: 2, ..Default::default() },
+            wide_size: 32,
+        }
+        .train(lines.iter().copied())
+        .unwrap();
+        let input: Vec<u8> = lines
+            .iter()
+            .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+            .collect();
+
+        let mut serial = Vec::new();
+        let s_stats = WideCompressor::new(&dict).compress_buffer(&input, &mut serial);
+        for threads in [1, 2, 3, 5] {
+            let (par, p_stats) = compress_parallel_wide(&dict, &input, threads);
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(p_stats, s_stats, "threads={threads}");
+        }
+
+        let (back, d_stats) = decompress_parallel_wide(&dict, &serial, 3).unwrap();
+        assert_eq!(d_stats.lines, 256);
+        // Preprocess is on; decompressed output is the renumbered form.
+        let mut expect = Vec::new();
+        let mut pp = smiles::Preprocessor::new();
+        for line in input.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            pp.process_into(line, smiles::RingRenumber::Innermost, 0, &mut expect)
+                .unwrap();
+            expect.push(b'\n');
+        }
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn wide_parallel_error_propagates() {
+        let lines: Vec<&[u8]> = [b"CCO".as_slice()].repeat(8);
+        let dict = WideDictBuilder {
+            base: DictBuilder { min_count: 2, ..Default::default() },
+            wide_size: 8,
+        }
+        .train(lines.iter().copied())
+        .unwrap();
+        let bad = b"CCO\n\x01\x02\n".to_vec();
+        assert!(decompress_parallel_wide(&dict, &bad, 4).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Flat-arena byte trie for multi-pattern matching (paper §IV-D1: "the
+//! dictionary D is represented by a trie to do pattern matching").
+//!
+//! Layout choices follow the access pattern: the root level is consulted
+//! once per input position, so it gets a direct 256-entry table; deeper
+//! nodes are rare (patterns are ≤16 bytes and there are ≤222 of them), so
+//! they store sorted child lists searched linearly — the lists are tiny and
+//! a linear scan beats binary search at these sizes.
+
+/// Node index sentinel.
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Sorted (byte, child) pairs.
+    children: Vec<(u8, u32)>,
+    /// Code emitted if a pattern ends here.
+    code: Option<u8>,
+}
+
+/// Multi-pattern matcher over byte strings.
+#[derive(Debug, Clone)]
+pub struct Trie {
+    /// Root children: direct byte-indexed table.
+    root: [u32; 256],
+    /// Codes for single-byte patterns, kept out of `nodes` so the hot
+    /// single-char path is one load.
+    root_code: [Option<u8>; 256],
+    nodes: Vec<Node>,
+    max_depth: usize,
+    pattern_count: usize,
+}
+
+impl Default for Trie {
+    fn default() -> Self {
+        Trie::new()
+    }
+}
+
+impl Trie {
+    pub fn new() -> Self {
+        Trie {
+            root: [NONE; 256],
+            root_code: [None; 256],
+            nodes: Vec::new(),
+            max_depth: 0,
+            pattern_count: 0,
+        }
+    }
+
+    /// Number of patterns inserted.
+    pub fn len(&self) -> usize {
+        self.pattern_count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pattern_count == 0
+    }
+
+    /// Length of the longest pattern.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Insert `pattern` with its output `code`. Re-inserting a pattern
+    /// replaces its code.
+    pub fn insert(&mut self, pattern: &[u8], code: u8) {
+        assert!(!pattern.is_empty(), "empty patterns are not meaningful");
+        self.max_depth = self.max_depth.max(pattern.len());
+        if pattern.len() == 1 {
+            if self.root_code[pattern[0] as usize].is_none() {
+                self.pattern_count += 1;
+            }
+            self.root_code[pattern[0] as usize] = Some(code);
+            return;
+        }
+        let b0 = pattern[0] as usize;
+        let mut cur = if self.root[b0] == NONE {
+            let idx = self.alloc_node();
+            self.root[b0] = idx;
+            idx
+        } else {
+            self.root[b0]
+        };
+        for &b in &pattern[1..] {
+            cur = match self.nodes[cur as usize]
+                .children
+                .iter()
+                .find(|(cb, _)| *cb == b)
+            {
+                Some(&(_, child)) => child,
+                None => {
+                    let idx = self.alloc_node();
+                    let node = &mut self.nodes[cur as usize];
+                    let pos = node.children.partition_point(|(cb, _)| *cb < b);
+                    node.children.insert(pos, (b, idx));
+                    idx
+                }
+            };
+        }
+        let node = &mut self.nodes[cur as usize];
+        if node.code.is_none() {
+            self.pattern_count += 1;
+        }
+        node.code = Some(code);
+    }
+
+    fn alloc_node(&mut self) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node { children: Vec::new(), code: None });
+        idx
+    }
+
+    /// Visit every pattern match starting at `input[start]`, shortest
+    /// first: `visit(code, length)`.
+    #[inline]
+    pub fn matches_at<F: FnMut(u8, usize)>(&self, input: &[u8], start: usize, mut visit: F) {
+        let first = input[start] as usize;
+        if let Some(code) = self.root_code[first] {
+            visit(code, 1);
+        }
+        let mut cur = self.root[first];
+        let mut depth = 1;
+        while cur != NONE && start + depth < input.len() {
+            let b = input[start + depth];
+            let node = &self.nodes[cur as usize];
+            match node.children.iter().find(|(cb, _)| *cb == b) {
+                Some(&(_, child)) => {
+                    depth += 1;
+                    let child_node = &self.nodes[child as usize];
+                    if let Some(code) = child_node.code {
+                        visit(code, depth);
+                    }
+                    cur = child;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The longest match at `input[start]`, if any: `(code, length)`.
+    pub fn longest_match_at(&self, input: &[u8], start: usize) -> Option<(u8, usize)> {
+        let mut best = None;
+        self.matches_at(input, start, |code, len| best = Some((code, len)));
+        best
+    }
+
+    /// Exact lookup of one pattern.
+    pub fn get(&self, pattern: &[u8]) -> Option<u8> {
+        if pattern.is_empty() {
+            return None;
+        }
+        if pattern.len() == 1 {
+            return self.root_code[pattern[0] as usize];
+        }
+        let mut cur = self.root[pattern[0] as usize];
+        for &b in &pattern[1..] {
+            if cur == NONE {
+                return None;
+            }
+            cur = self.nodes[cur as usize]
+                .children
+                .iter()
+                .find(|(cb, _)| *cb == b)
+                .map(|&(_, c)| c)
+                .unwrap_or(NONE);
+        }
+        if cur == NONE {
+            None
+        } else {
+            self.nodes[cur as usize].code
+        }
+    }
+
+    /// Approximate heap usage in bytes (for capacity planning in docs).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.nodes.len() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.capacity() * std::mem::size_of::<(u8, u32)>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_matches(t: &Trie, input: &[u8], start: usize) -> Vec<(u8, usize)> {
+        let mut v = Vec::new();
+        t.matches_at(input, start, |c, l| v.push((c, l)));
+        v
+    }
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let t = Trie::new();
+        assert!(t.is_empty());
+        assert_eq!(collect_matches(&t, b"CCO", 0), vec![]);
+        assert_eq!(t.longest_match_at(b"CCO", 0), None);
+    }
+
+    #[test]
+    fn single_byte_patterns() {
+        let mut t = Trie::new();
+        t.insert(b"C", 1);
+        t.insert(b"O", 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(collect_matches(&t, b"CO", 0), vec![(1, 1)]);
+        assert_eq!(collect_matches(&t, b"CO", 1), vec![(2, 1)]);
+        assert_eq!(t.get(b"C"), Some(1));
+        assert_eq!(t.get(b"N"), None);
+    }
+
+    #[test]
+    fn nested_prefix_patterns_all_reported() {
+        let mut t = Trie::new();
+        t.insert(b"C", 10);
+        t.insert(b"CC", 11);
+        t.insert(b"CCO", 12);
+        let m = collect_matches(&t, b"CCOC", 0);
+        assert_eq!(m, vec![(10, 1), (11, 2), (12, 3)]);
+        assert_eq!(t.longest_match_at(b"CCOC", 0), Some((12, 3)));
+        // At position 1 only "C" and "CC"... "CO" is not a pattern.
+        assert_eq!(collect_matches(&t, b"CCOC", 1), vec![(10, 1)]);
+    }
+
+    #[test]
+    fn match_stops_at_input_end() {
+        let mut t = Trie::new();
+        t.insert(b"CCCC", 9);
+        t.insert(b"CC", 8);
+        let m = collect_matches(&t, b"CCC", 0);
+        assert_eq!(m, vec![(8, 2)], "CCCC cannot match a 3-byte input");
+    }
+
+    #[test]
+    fn overlapping_patterns_at_different_starts() {
+        let mut t = Trie::new();
+        t.insert(b"c1cc", 1);
+        t.insert(b"ccc", 2);
+        t.insert(b"cc", 3);
+        let input = b"c1ccccc1";
+        assert_eq!(collect_matches(&t, input, 0), vec![(1, 4)]);
+        assert_eq!(collect_matches(&t, input, 2), vec![(3, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn reinsert_replaces_code_without_double_count() {
+        let mut t = Trie::new();
+        t.insert(b"CC", 1);
+        t.insert(b"CC", 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(b"CC"), Some(2));
+        t.insert(b"C", 3);
+        t.insert(b"C", 4);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(b"C"), Some(4));
+    }
+
+    #[test]
+    fn max_depth_tracks_longest() {
+        let mut t = Trie::new();
+        assert_eq!(t.max_depth(), 0);
+        t.insert(b"CC", 0);
+        assert_eq!(t.max_depth(), 2);
+        t.insert(b"C(=O)CC", 1);
+        assert_eq!(t.max_depth(), 7);
+        t.insert(b"N", 2);
+        assert_eq!(t.max_depth(), 7);
+    }
+
+    #[test]
+    fn high_bytes_work_as_pattern_content() {
+        // Patterns may contain any byte (dictionaries are trained on raw
+        // lines; escape handling is the compressor's job, not the trie's).
+        let mut t = Trie::new();
+        t.insert(&[0x80, 0xFF], 7);
+        assert_eq!(t.get(&[0x80, 0xFF]), Some(7));
+        assert_eq!(collect_matches(&t, &[0x80, 0xFF, 0x80], 0), vec![(7, 2)]);
+    }
+
+    #[test]
+    fn get_partial_path_is_none() {
+        let mut t = Trie::new();
+        t.insert(b"CCO", 5);
+        assert_eq!(t.get(b"CC"), None, "interior node has no code");
+        assert_eq!(t.get(b"CCOC"), None);
+        assert_eq!(t.get(b""), None);
+    }
+
+    #[test]
+    fn dense_dictionary_scales() {
+        // 222 patterns of length up to 16 — the realistic maximum.
+        let mut t = Trie::new();
+        for i in 0..222usize {
+            let len = 2 + (i % 15);
+            let pat: Vec<u8> = (0..len).map(|j| b'A' + ((i + j) % 26) as u8).collect();
+            t.insert(&pat, (i % 200) as u8);
+        }
+        assert!(t.len() <= 222);
+        assert!(t.max_depth() <= 16);
+        // Memory stays small (well under a megabyte).
+        assert!(t.memory_bytes() < 1 << 20, "{} bytes", t.memory_bytes());
+    }
+}

@@ -1,0 +1,1125 @@
+//! Wide-code extension: two-byte codes that lift the 222-pattern ceiling.
+//!
+//! The paper confines the dictionary to one-byte codes — 222 displayable
+//! bytes after reserving newline and the escape marker — and never asks
+//! whether that ceiling binds. This module answers the question (see the
+//! `ablation_wide` harness): it reserves the top eight extended bytes
+//! ([`PAGE_BYTES`], `0xF8..=0xFF`) as *page prefixes*, each opening a full
+//! second byte of code space, for up to `8 × 222 = 1776` extra patterns on
+//! top of the remaining 214 one-byte codes.
+//!
+//! Costs change accordingly: a wide code spends **two** output bytes, the
+//! same as an escape, so it only ever pays for patterns of length ≥ 3 —
+//! shorter candidates are rejected at installation. The per-line encoder is
+//! the same backward shortest-path DP as [`crate::sp`], generalized to
+//! per-edge costs, so the emitted stream is still optimal for the
+//! dictionary.
+//!
+//! Every design requirement of the paper survives:
+//!
+//! * output bytes remain displayable (page bytes are extended bytes like
+//!   any other code), so archives stay readable and grep-able;
+//! * `\n` and the space escape are untouched — lines stay separable, random
+//!   access works, and a [`WideDictionary`] with zero wide entries encodes
+//!   exactly like a base [`Dictionary`] shorn of eight codes.
+
+use crate::codec::{code_space, is_code_byte, Prepopulation, ESCAPE, LINE_SEP};
+use crate::compress::CompressStats;
+use crate::decompress::DecompressStats;
+use crate::dict::builder::DictBuilder;
+use crate::dict::MAX_PATTERN_LEN;
+use crate::error::ZsmilesError;
+use smiles::preprocess::{Preprocessor, RingRenumber};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// The eight extended bytes reserved as wide-code page prefixes.
+pub const PAGE_BYTES: [u8; 8] = [0xF8, 0xF9, 0xFA, 0xFB, 0xFC, 0xFD, 0xFE, 0xFF];
+
+/// Wide slots available per page (any code byte may follow a page byte).
+pub const SUBS_PER_PAGE: usize = crate::codec::CODE_SPACE_SIZE;
+
+/// Maximum wide entries: 8 pages × 222 sub-codes.
+pub const MAX_WIDE_ENTRIES: usize = PAGE_BYTES.len() * SUBS_PER_PAGE;
+
+/// Index of a page byte within [`PAGE_BYTES`], if it is one.
+#[inline]
+pub const fn page_index(b: u8) -> Option<usize> {
+    if b >= PAGE_BYTES[0] {
+        Some((b - PAGE_BYTES[0]) as usize)
+    } else {
+        None
+    }
+}
+
+/// Shortest wide pattern worth a two-byte code (an escape also costs 2, so
+/// length-2 wide patterns would be dead weight).
+pub const MIN_WIDE_PATTERN_LEN: usize = 3;
+
+// ---------------------------------------------------------------------------
+// Code identifiers
+// ---------------------------------------------------------------------------
+
+/// Dense identifier for either code width, as stored in the matcher:
+/// `id < 256` is the base code byte itself; otherwise
+/// `id - 256 = page_index × 256 + sub_byte`.
+type CodeId = u16;
+
+#[inline]
+fn base_id(code: u8) -> CodeId {
+    code as CodeId
+}
+
+#[inline]
+fn wide_id(page: usize, sub: u8) -> CodeId {
+    256 + (page as CodeId) * 256 + sub as CodeId
+}
+
+/// Emitted bytes and their count for a [`CodeId`].
+#[inline]
+fn emit_bytes(id: CodeId) -> ([u8; 2], usize) {
+    if id < 256 {
+        ([id as u8, 0], 1)
+    } else {
+        let x = id - 256;
+        ([PAGE_BYTES[(x >> 8) as usize], (x & 0xFF) as u8], 2)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A trie with 16-bit payloads
+// ---------------------------------------------------------------------------
+
+/// Flat-arena byte trie mapping patterns to [`CodeId`]s. Same layout as
+/// [`crate::trie::Trie`]; only the payload width differs (base + wide codes
+/// overflow a `u8`).
+#[derive(Debug, Clone)]
+struct Trie16 {
+    root: Vec<u32>,
+    root_code: Vec<Option<CodeId>>,
+    nodes: Vec<Node16>,
+    max_depth: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node16 {
+    children: Vec<(u8, u32)>,
+    code: Option<CodeId>,
+}
+
+const NONE32: u32 = u32::MAX;
+
+impl Trie16 {
+    fn new() -> Self {
+        Trie16 {
+            root: vec![NONE32; 256],
+            root_code: vec![None; 256],
+            nodes: Vec::new(),
+            max_depth: 0,
+        }
+    }
+
+    fn insert(&mut self, pattern: &[u8], code: CodeId) {
+        debug_assert!(!pattern.is_empty());
+        self.max_depth = self.max_depth.max(pattern.len());
+        if pattern.len() == 1 {
+            self.root_code[pattern[0] as usize] = Some(code);
+            return;
+        }
+        let b0 = pattern[0] as usize;
+        let mut cur = if self.root[b0] == NONE32 {
+            let idx = self.alloc();
+            self.root[b0] = idx;
+            idx
+        } else {
+            self.root[b0]
+        };
+        for &b in &pattern[1..] {
+            cur = match self.nodes[cur as usize].children.iter().find(|(cb, _)| *cb == b) {
+                Some(&(_, child)) => child,
+                None => {
+                    let idx = self.alloc();
+                    let node = &mut self.nodes[cur as usize];
+                    let pos = node.children.partition_point(|(cb, _)| *cb < b);
+                    node.children.insert(pos, (b, idx));
+                    idx
+                }
+            };
+        }
+        self.nodes[cur as usize].code = Some(code);
+    }
+
+    fn alloc(&mut self) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node16 { children: Vec::new(), code: None });
+        idx
+    }
+
+    /// Visit every pattern match starting at `input[start]`, shortest
+    /// first: `visit(code_id, length)`.
+    #[inline]
+    fn matches_at<F: FnMut(CodeId, usize)>(&self, input: &[u8], start: usize, mut visit: F) {
+        let first = input[start] as usize;
+        if let Some(code) = self.root_code[first] {
+            visit(code, 1);
+        }
+        let mut cur = self.root[first];
+        let mut depth = 1;
+        while cur != NONE32 && start + depth < input.len() {
+            let b = input[start + depth];
+            let node = &self.nodes[cur as usize];
+            match node.children.iter().find(|(cb, _)| *cb == b) {
+                Some(&(_, child)) => {
+                    depth += 1;
+                    if let Some(code) = self.nodes[child as usize].code {
+                        visit(code, depth);
+                    }
+                    cur = child;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WideDictionary
+// ---------------------------------------------------------------------------
+
+/// A dictionary over the widened code space: up to 214 one-byte codes plus
+/// up to [`MAX_WIDE_ENTRIES`] two-byte codes behind page prefixes.
+#[derive(Debug, Clone)]
+pub struct WideDictionary {
+    /// One-byte code table (page bytes always vacant here).
+    base: Vec<Option<Box<[u8]>>>,
+    /// Identity provenance for base codes (pre-population entries).
+    identity: Vec<bool>,
+    /// `pages[p][sub]` = pattern behind the two-byte code `PAGE_BYTES[p] sub`.
+    pages: Vec<Vec<Option<Box<[u8]>>>>,
+    prepopulation: Prepopulation,
+    lmin: usize,
+    lmax: usize,
+    preprocessed: bool,
+    trie: Trie16,
+}
+
+impl WideDictionary {
+    /// Install `patterns` (ordered by rank) into the widened code space:
+    /// identity entries first, then one-byte codes until they run out, then
+    /// two-byte codes (patterns shorter than [`MIN_WIDE_PATTERN_LEN`] are
+    /// skipped in the wide region — a 2-byte code for a 2-byte pattern
+    /// saves nothing). At most `wide_capacity` wide entries are installed;
+    /// further patterns error with [`ZsmilesError::CodeSpaceExhausted`].
+    pub fn from_patterns<I, P>(
+        prepopulation: Prepopulation,
+        patterns: I,
+        lmin: usize,
+        lmax: usize,
+        preprocessed: bool,
+        wide_capacity: usize,
+    ) -> Result<WideDictionary, ZsmilesError>
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[u8]>,
+    {
+        if lmin < 1 || lmax < lmin || lmax > MAX_PATTERN_LEN {
+            return Err(ZsmilesError::BadLengthBounds { lmin, lmax });
+        }
+        let wide_capacity = wide_capacity.min(MAX_WIDE_ENTRIES);
+        let mut base: Vec<Option<Box<[u8]>>> = vec![None; 256];
+        let mut identity = vec![false; 256];
+        for &b in &prepopulation.identity_bytes() {
+            base[b as usize] = Some(vec![b].into_boxed_slice());
+            identity[b as usize] = true;
+        }
+        let mut free_base: Vec<u8> = code_space()
+            .filter(|&c| page_index(c).is_none() && base[c as usize].is_none())
+            .collect();
+        free_base.reverse();
+        // Wide slots in (page, sub) order.
+        let mut wide_next = 0usize;
+        let mut pages: Vec<Vec<Option<Box<[u8]>>>> =
+            vec![vec![None; 256]; PAGE_BYTES.len()];
+        let subs: Vec<u8> = code_space().collect();
+
+        let mut installed = 0usize;
+        let mut requested = 0usize;
+        for pat in patterns {
+            let pat = pat.as_ref();
+            requested += 1;
+            debug_assert!(!pat.is_empty() && pat.len() <= MAX_PATTERN_LEN);
+            if pat.len() == 1 && base[pat[0] as usize].is_some() {
+                continue; // identity duplicate
+            }
+            if let Some(code) = free_base.pop() {
+                base[code as usize] = Some(pat.to_vec().into_boxed_slice());
+                installed += 1;
+                continue;
+            }
+            if pat.len() < MIN_WIDE_PATTERN_LEN {
+                continue; // not worth two bytes
+            }
+            if wide_next >= wide_capacity {
+                return Err(ZsmilesError::CodeSpaceExhausted {
+                    requested,
+                    available: installed + prepopulation.identity_bytes().len(),
+                });
+            }
+            let page = wide_next / SUBS_PER_PAGE;
+            let sub = subs[wide_next % SUBS_PER_PAGE];
+            pages[page][sub as usize] = Some(pat.to_vec().into_boxed_slice());
+            wide_next += 1;
+            installed += 1;
+        }
+
+        let mut trie = Trie16::new();
+        for (code, entry) in base.iter().enumerate() {
+            if let Some(pat) = entry {
+                trie.insert(pat, base_id(code as u8));
+            }
+        }
+        for (p, page) in pages.iter().enumerate() {
+            for (sub, entry) in page.iter().enumerate() {
+                if let Some(pat) = entry {
+                    trie.insert(pat, wide_id(p, sub as u8));
+                }
+            }
+        }
+        Ok(WideDictionary {
+            base,
+            identity,
+            pages,
+            prepopulation,
+            lmin,
+            lmax,
+            preprocessed,
+            trie,
+        })
+    }
+
+    /// The pattern behind a one-byte code.
+    #[inline]
+    pub fn base_entry(&self, code: u8) -> Option<&[u8]> {
+        self.base[code as usize].as_deref()
+    }
+
+    /// The pattern behind the two-byte code `PAGE_BYTES[page] sub`.
+    #[inline]
+    pub fn wide_entry(&self, page: usize, sub: u8) -> Option<&[u8]> {
+        self.pages.get(page)?.get(sub as usize)?.as_deref()
+    }
+
+    /// One-byte entries (identity included).
+    pub fn base_len(&self) -> usize {
+        self.base.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Two-byte entries.
+    pub fn wide_len(&self) -> usize {
+        self.pages
+            .iter()
+            .map(|p| p.iter().filter(|e| e.is_some()).count())
+            .sum()
+    }
+
+    /// Total entries across both widths.
+    pub fn len(&self) -> usize {
+        self.base_len() + self.wide_len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn prepopulation(&self) -> Prepopulation {
+        self.prepopulation
+    }
+
+    pub fn lmin(&self) -> usize {
+        self.lmin
+    }
+
+    pub fn lmax(&self) -> usize {
+        self.lmax
+    }
+
+    pub fn preprocessed(&self) -> bool {
+        self.preprocessed
+    }
+
+    /// Longest installed pattern.
+    pub fn max_pattern_len(&self) -> usize {
+        self.trie.max_depth
+    }
+
+    /// All entries in code-assignment order: base codes (code-space order),
+    /// then wide codes (page-major). Yields `(emitted bytes, pattern)`.
+    pub fn all_entries(&self) -> impl Iterator<Item = (Vec<u8>, &[u8])> + '_ {
+        let base = code_space().filter_map(move |c| {
+            self.base[c as usize]
+                .as_deref()
+                .map(move |p| (vec![c], p))
+        });
+        let wide = (0..self.pages.len()).flat_map(move |pi| {
+            code_space().filter_map(move |sub| {
+                self.pages[pi][sub as usize]
+                    .as_deref()
+                    .map(move |p| (vec![PAGE_BYTES[pi], sub], p))
+            })
+        });
+        base.chain(wide)
+    }
+
+    /// Trained (non-identity) entries in assignment order.
+    pub fn pattern_entries(&self) -> impl Iterator<Item = (Vec<u8>, &[u8])> + '_ {
+        self.all_entries()
+            .filter(move |(code, _)| !(code.len() == 1 && self.identity[code[0] as usize]))
+    }
+
+    /// Sanity invariants (used by tests and after deserialization).
+    pub fn validate(&self) -> Result<(), ZsmilesError> {
+        for (c, e) in self.base.iter().enumerate() {
+            let Some(pat) = e else { continue };
+            if !is_code_byte(c as u8) || page_index(c as u8).is_some() {
+                return Err(ZsmilesError::DictFormat {
+                    line: 0,
+                    reason: format!("base code 0x{c:02x} is reserved"),
+                });
+            }
+            check_pattern(pat)?;
+        }
+        for page in &self.pages {
+            for (s, e) in page.iter().enumerate() {
+                let Some(pat) = e else { continue };
+                if !is_code_byte(s as u8) {
+                    return Err(ZsmilesError::DictFormat {
+                        line: 0,
+                        reason: format!("wide sub-code 0x{s:02x} is reserved"),
+                    });
+                }
+                if pat.len() < MIN_WIDE_PATTERN_LEN {
+                    return Err(ZsmilesError::DictFormat {
+                        line: 0,
+                        reason: format!(
+                            "wide pattern of length {} never pays for its 2-byte code",
+                            pat.len()
+                        ),
+                    });
+                }
+                check_pattern(pat)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check_pattern(pat: &[u8]) -> Result<(), ZsmilesError> {
+    if pat.is_empty() || pat.len() > MAX_PATTERN_LEN {
+        return Err(ZsmilesError::DictFormat {
+            line: 0,
+            reason: format!("pattern length {} out of range", pat.len()),
+        });
+    }
+    if pat.contains(&LINE_SEP) {
+        return Err(ZsmilesError::DictFormat {
+            line: 0,
+            reason: "pattern contains newline".into(),
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Training
+// ---------------------------------------------------------------------------
+
+/// Trains a [`WideDictionary`]: the base [`DictBuilder`] machinery asked
+/// for `214 − identity + wide_size` ranked patterns, installed across both
+/// code widths.
+#[derive(Debug, Clone)]
+pub struct WideDictBuilder {
+    /// Counting/selection configuration (its `dict_size` is overridden).
+    pub base: DictBuilder,
+    /// Two-byte pattern slots to fill (0 = one-byte behaviour minus the
+    /// eight page codes).
+    pub wide_size: usize,
+}
+
+impl Default for WideDictBuilder {
+    fn default() -> Self {
+        WideDictBuilder { base: DictBuilder::default(), wide_size: 512 }
+    }
+}
+
+impl WideDictBuilder {
+    /// Train on an iterator of SMILES lines (no newlines).
+    pub fn train<'a, I>(&self, lines: I) -> Result<WideDictionary, ZsmilesError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let wide_size = self.wide_size.min(MAX_WIDE_ENTRIES);
+        let base_free = self
+            .base
+            .prepopulation
+            .free_code_count()
+            .saturating_sub(PAGE_BYTES.len());
+        let mut cfg = self.base.clone();
+        cfg.dict_size = Some(base_free + wide_size);
+        // Selection may hand back short patterns that the wide region will
+        // reject; ask for a margin so the wide slots still fill.
+        let selected = cfg.train_patterns(lines)?;
+        WideDictionary::from_patterns(
+            self.base.prepopulation,
+            selected,
+            self.base.lmin,
+            self.base.lmax,
+            self.base.preprocess,
+            wide_size,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compression: shortest path with per-edge costs
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WideChoice {
+    id: CodeId,
+    len: u8,
+}
+
+const WIDE_ESCAPE: WideChoice = WideChoice { id: 0, len: 0 };
+
+/// Reusable DP scratch.
+#[derive(Debug, Default)]
+pub struct WideScratch {
+    dist: Vec<u32>,
+    choice: Vec<WideChoice>,
+}
+
+/// Encode one line against a wide dictionary: backward DP over the position
+/// DAG with per-edge costs (1 for base codes, 2 for wide codes and
+/// escapes). Ties prefer any code over an escape, then cheaper emission,
+/// then longer patterns, then smaller ids — deterministic like
+/// [`crate::sp`].
+fn wide_encode_line(
+    dict: &WideDictionary,
+    line: &[u8],
+    scratch: &mut WideScratch,
+    out: &mut Vec<u8>,
+) -> usize {
+    if line.is_empty() {
+        return 0;
+    }
+    let n = line.len();
+    scratch.dist.clear();
+    scratch.dist.resize(n + 1, u32::MAX);
+    scratch.choice.clear();
+    scratch.choice.resize(n + 1, WIDE_ESCAPE);
+    scratch.dist[n] = 0;
+    for i in (0..n).rev() {
+        let mut best_cost = 2 + scratch.dist[i + 1];
+        let mut best = WIDE_ESCAPE;
+        let (dist, choice) = (&mut scratch.dist, &mut scratch.choice);
+        dict.trie.matches_at(line, i, |id, len| {
+            let (_, width) = emit_bytes(id);
+            let c = width as u32 + dist[i + len];
+            let better = c < best_cost
+                || (c == best_cost
+                    && (best.len == 0
+                        || len as u8 > best.len
+                        || (len as u8 == best.len && id < best.id)));
+            if better {
+                best_cost = c;
+                best = WideChoice { id, len: len as u8 };
+            }
+        });
+        dist[i] = best_cost;
+        choice[i] = best;
+    }
+    let before = out.len();
+    let mut i = 0;
+    while i < n {
+        let ch = scratch.choice[i];
+        if ch.len == 0 {
+            out.push(ESCAPE);
+            out.push(line[i]);
+            i += 1;
+        } else {
+            let (bytes, width) = emit_bytes(ch.id);
+            out.extend_from_slice(&bytes[..width]);
+            i += ch.len as usize;
+        }
+    }
+    out.len() - before
+}
+
+/// A reusable compressor bound to one wide dictionary (mirrors
+/// [`crate::Compressor`]).
+pub struct WideCompressor<'d> {
+    dict: &'d WideDictionary,
+    preprocess: bool,
+    scratch: WideScratch,
+    ppbuf: Vec<u8>,
+    pp: Preprocessor,
+}
+
+impl<'d> WideCompressor<'d> {
+    pub fn new(dict: &'d WideDictionary) -> Self {
+        WideCompressor {
+            dict,
+            preprocess: dict.preprocessed(),
+            scratch: WideScratch::default(),
+            ppbuf: Vec::new(),
+            pp: Preprocessor::new(),
+        }
+    }
+
+    pub fn with_preprocess(mut self, on: bool) -> Self {
+        self.preprocess = on;
+        self
+    }
+
+    pub fn dictionary(&self) -> &WideDictionary {
+        self.dict
+    }
+
+    /// Compress one line (no newline), appending to `out`. Returns
+    /// `(bytes_written, preprocess_failed)`.
+    pub fn compress_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> (usize, bool) {
+        let (src, failed): (&[u8], bool) = if self.preprocess {
+            self.ppbuf.clear();
+            match self
+                .pp
+                .process_into(line, RingRenumber::Innermost, 0, &mut self.ppbuf)
+            {
+                Ok(()) => (&self.ppbuf, false),
+                Err(_) => (line, true),
+            }
+        } else {
+            (line, false)
+        };
+        let n = wide_encode_line(self.dict, src, &mut self.scratch, out);
+        (n, failed)
+    }
+
+    /// Compress a newline-separated buffer, preserving line count and order.
+    pub fn compress_buffer(&mut self, input: &[u8], out: &mut Vec<u8>) -> CompressStats {
+        let mut stats = CompressStats::default();
+        for line in input.split(|&b| b == LINE_SEP) {
+            if line.is_empty() {
+                continue;
+            }
+            let (n, failed) = self.compress_line(line, out);
+            out.push(LINE_SEP);
+            stats.lines += 1;
+            stats.in_bytes += line.len();
+            stats.out_bytes += n;
+            stats.preprocess_failures += failed as usize;
+        }
+        stats
+    }
+}
+
+/// Decompressor for wide-code streams (mirrors [`crate::Decompressor`]).
+pub struct WideDecompressor<'d> {
+    dict: &'d WideDictionary,
+}
+
+impl<'d> WideDecompressor<'d> {
+    pub fn new(dict: &'d WideDictionary) -> Self {
+        WideDecompressor { dict }
+    }
+
+    /// Decompress one line, appending to `out`.
+    pub fn decompress_line(&self, line: &[u8], out: &mut Vec<u8>) -> Result<(), ZsmilesError> {
+        let mut i = 0usize;
+        while i < line.len() {
+            let b = line[i];
+            if b == ESCAPE {
+                let lit = *line
+                    .get(i + 1)
+                    .ok_or(ZsmilesError::TruncatedEscape { at: i })?;
+                out.push(lit);
+                i += 2;
+            } else if let Some(page) = page_index(b) {
+                let sub = *line
+                    .get(i + 1)
+                    .ok_or(ZsmilesError::TruncatedWideCode { at: i })?;
+                let pat = self
+                    .dict
+                    .wide_entry(page, sub)
+                    .ok_or(ZsmilesError::UnknownCode { code: sub, at: i + 1 })?;
+                out.extend_from_slice(pat);
+                i += 2;
+            } else {
+                let pat = self
+                    .dict
+                    .base_entry(b)
+                    .ok_or(ZsmilesError::UnknownCode { code: b, at: i })?;
+                out.extend_from_slice(pat);
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Decompress a newline-separated buffer.
+    pub fn decompress_buffer(
+        &self,
+        input: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<DecompressStats, ZsmilesError> {
+        let mut stats = DecompressStats::default();
+        for line in input.split(|&b| b == LINE_SEP) {
+            if line.is_empty() {
+                continue;
+            }
+            let before = out.len();
+            self.decompress_line(line, out)?;
+            out.push(LINE_SEP);
+            stats.lines += 1;
+            stats.in_bytes += line.len();
+            stats.out_bytes += out.len() - 1 - before;
+        }
+        Ok(stats)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization (readable, like `.dct`)
+// ---------------------------------------------------------------------------
+
+const WIDE_MAGIC: &str = "#zsmiles-wide-dict v1";
+
+/// Serialize a wide dictionary to the readable text format: the `.dct`
+/// layout with a wide magic, a `#wide-size` header, and one- or two-byte
+/// codes in the code column.
+pub fn write_wide_dict<W: Write>(dict: &WideDictionary, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "{WIDE_MAGIC}")?;
+    writeln!(w, "#prepopulation {}", dict.prepopulation().name())?;
+    writeln!(w, "#preprocess {}", dict.preprocessed())?;
+    writeln!(w, "#lmin {}", dict.lmin())?;
+    writeln!(w, "#lmax {}", dict.lmax())?;
+    writeln!(w, "#wide-size {}", dict.wide_len())?;
+    for (code, pat) in dict.pattern_entries() {
+        let mut line = Vec::with_capacity(pat.len() * 4 + 12);
+        super::dict::format::escape_into(&code, &mut line);
+        line.push(b'\t');
+        super::dict::format::escape_into(pat, &mut line);
+        line.push(b'\n');
+        w.write_all(&line)?;
+    }
+    Ok(())
+}
+
+/// Parse the wide text format. Codes are re-derived from pattern order
+/// (which [`write_wide_dict`] preserves), exactly like the base format.
+pub fn read_wide_dict<R: Read>(r: R) -> Result<WideDictionary, ZsmilesError> {
+    let reader = BufReader::new(r);
+    let mut prepopulation = Prepopulation::SmilesAlphabet;
+    let mut preprocess = true;
+    let mut lmin = 2usize;
+    let mut lmax = 8usize;
+    let mut wide_size = 0usize;
+    let mut patterns: Vec<Vec<u8>> = Vec::new();
+
+    for (ln, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = ln + 1;
+        if ln == 0 {
+            if line.trim() != WIDE_MAGIC {
+                return Err(ZsmilesError::DictFormat {
+                    line: lineno,
+                    reason: format!("expected magic '{WIDE_MAGIC}'"),
+                });
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut parts = rest.splitn(2, ' ');
+            let key = parts.next().unwrap_or("");
+            let value = parts.next().unwrap_or("").trim();
+            let bad = |reason: String| ZsmilesError::DictFormat { line: lineno, reason };
+            match key {
+                "prepopulation" => {
+                    prepopulation = Prepopulation::from_name(value)
+                        .ok_or_else(|| bad(format!("unknown prepopulation '{value}'")))?;
+                }
+                "preprocess" => {
+                    preprocess = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad bool '{value}'")))?;
+                }
+                "lmin" => {
+                    lmin = value.parse().map_err(|_| bad(format!("bad lmin '{value}'")))?;
+                }
+                "lmax" => {
+                    lmax = value.parse().map_err(|_| bad(format!("bad lmax '{value}'")))?;
+                }
+                "wide-size" => {
+                    wide_size = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad wide-size '{value}'")))?;
+                }
+                _ => {}
+            }
+            continue;
+        }
+        let (_, pat_part) = line.split_once('\t').ok_or_else(|| ZsmilesError::DictFormat {
+            line: lineno,
+            reason: "missing tab separator".into(),
+        })?;
+        let pat = super::dict::format::unescape(pat_part)
+            .map_err(|reason| ZsmilesError::DictFormat { line: lineno, reason })?;
+        if pat.is_empty() {
+            return Err(ZsmilesError::DictFormat {
+                line: lineno,
+                reason: "empty pattern".into(),
+            });
+        }
+        patterns.push(pat);
+    }
+
+    let dict =
+        WideDictionary::from_patterns(prepopulation, patterns, lmin, lmax, preprocess, wide_size)?;
+    dict.validate()?;
+    Ok(dict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deck() -> Vec<&'static [u8]> {
+        let lines: [&[u8]; 6] = [
+            b"COc1cc(C=O)ccc1O",
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            b"CN1C=NC2=C1C(=O)N(C(=O)N2C)C",
+            b"OC(=O)c1ccccc1Nc1ccnc2cc(Cl)ccc12",
+            b"CC(=O)Oc1ccccc1C(=O)O",
+        ];
+        lines.iter().copied().cycle().take(120).collect()
+    }
+
+    fn trained(wide_size: usize) -> WideDictionary {
+        WideDictBuilder {
+            base: DictBuilder { min_count: 2, ..Default::default() },
+            wide_size,
+        }
+        .train(deck())
+        .unwrap()
+    }
+
+    /// 729 distinct valid SMILES from a fragment product — diverse enough
+    /// that training overflows the one-byte code space.
+    fn diverse_deck() -> Vec<Vec<u8>> {
+        let a = ["CC", "CCO", "c1ccccc1", "N(C)C", "C(=O)O", "CN", "OC", "CS", "Cl"];
+        let b = [
+            "C(=O)N", "c1ccncc1", "CC(C)", "OCC", "N1CCOCC1", "C#N", "CCCC", "C(F)(F)F",
+            "S(=O)(=O)C",
+        ];
+        let c = ["O", "N", "CO", "c1ccc(Cl)cc1", "C(=O)OC", "CCN", "Br", "CCC", "F"];
+        let mut v = Vec::new();
+        for x in a {
+            for y in b {
+                for z in c {
+                    v.push(format!("{x}{y}{z}").into_bytes());
+                }
+            }
+        }
+        v
+    }
+
+    fn trained_diverse(wide_size: usize) -> WideDictionary {
+        let deck = diverse_deck();
+        WideDictBuilder {
+            base: DictBuilder { min_count: 2, ..Default::default() },
+            wide_size,
+        }
+        .train(deck.iter().map(|l| l.as_slice()))
+        .unwrap()
+    }
+
+    #[test]
+    fn page_bytes_are_top_extended_bytes() {
+        assert_eq!(PAGE_BYTES[0], 0xF8);
+        assert_eq!(*PAGE_BYTES.last().unwrap(), 0xFF);
+        for (i, &b) in PAGE_BYTES.iter().enumerate() {
+            assert_eq!(page_index(b), Some(i));
+            assert!(is_code_byte(b));
+        }
+        assert_eq!(page_index(0xF7), None);
+        assert_eq!(page_index(b'A'), None);
+    }
+
+    #[test]
+    fn code_id_packing_round_trips() {
+        let (b, w) = emit_bytes(base_id(b'!'));
+        assert_eq!((b[0], w), (b'!', 1));
+        let (b, w) = emit_bytes(wide_id(3, 0x42));
+        assert_eq!(w, 2);
+        assert_eq!(b, [PAGE_BYTES[3], 0x42]);
+        let (b, w) = emit_bytes(wide_id(7, 0xFF));
+        assert_eq!(w, 2);
+        assert_eq!(b, [0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn base_codes_never_use_page_bytes() {
+        let d = trained(64);
+        for &pb in &PAGE_BYTES {
+            assert!(d.base_entry(pb).is_none(), "page byte 0x{pb:02x} must stay free");
+        }
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trip_on_training_deck() {
+        let deck = diverse_deck();
+        let d = trained_diverse(128);
+        assert!(d.wide_len() > 0, "training should spill into wide codes");
+        let mut c = WideCompressor::new(&d);
+        let dec = WideDecompressor::new(&d);
+        for line in &deck {
+            let mut z = Vec::new();
+            c.compress_line(line, &mut z);
+            let mut back = Vec::new();
+            dec.decompress_line(&z, &mut back).unwrap();
+            // Preprocessing renumbers ring IDs; molecules must match.
+            assert_eq!(
+                smiles::parser::parse(line).unwrap().signature(),
+                smiles::parser::parse(&back).unwrap().signature(),
+                "line {:?}",
+                String::from_utf8_lossy(line)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_round_trip_without_preprocess() {
+        let d = WideDictBuilder {
+            base: DictBuilder { min_count: 2, preprocess: false, ..Default::default() },
+            wide_size: 128,
+        }
+        .train(deck())
+        .unwrap();
+        let mut c = WideCompressor::new(&d);
+        let dec = WideDecompressor::new(&d);
+        for line in deck() {
+            let mut z = Vec::new();
+            c.compress_line(line, &mut z);
+            let mut back = Vec::new();
+            dec.decompress_line(&z, &mut back).unwrap();
+            assert_eq!(back, line);
+        }
+    }
+
+    #[test]
+    fn no_expansion_with_alphabet_prepopulation() {
+        let d = trained(64);
+        let mut c = WideCompressor::new(&d).with_preprocess(false);
+        for line in deck() {
+            let mut z = Vec::new();
+            let (n, _) = c.compress_line(line, &mut z);
+            assert!(n <= line.len(), "{:?}", String::from_utf8_lossy(line));
+        }
+    }
+
+    #[test]
+    fn wide_codes_improve_ratio_on_diverse_deck() {
+        let narrow = trained(0);
+        let wide = trained(512);
+        let input: Vec<u8> = deck()
+            .iter()
+            .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+            .collect();
+        let mut zn = Vec::new();
+        let sn = WideCompressor::new(&narrow).compress_buffer(&input, &mut zn);
+        let mut zw = Vec::new();
+        let sw = WideCompressor::new(&wide).compress_buffer(&input, &mut zw);
+        assert!(
+            sw.ratio() <= sn.ratio(),
+            "wide {} should not lose to narrow {}",
+            sw.ratio(),
+            sn.ratio()
+        );
+    }
+
+    #[test]
+    fn output_bytes_stay_displayable() {
+        let d = trained(128);
+        let input: Vec<u8> = deck()
+            .iter()
+            .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+            .collect();
+        let mut z = Vec::new();
+        WideCompressor::new(&d).compress_buffer(&input, &mut z);
+        for &b in &z {
+            assert!(
+                b == LINE_SEP || b == ESCAPE || is_code_byte(b),
+                "byte 0x{b:02x} is not displayable"
+            );
+        }
+        // Line separability: one output line per input line.
+        let in_lines = input.iter().filter(|&&b| b == b'\n').count();
+        let out_lines = z.iter().filter(|&&b| b == b'\n').count();
+        assert_eq!(in_lines, out_lines);
+    }
+
+    #[test]
+    fn zero_wide_capacity_matches_base_behaviour() {
+        // A wide dictionary with no wide entries is a base dictionary minus
+        // the eight page codes: same decompression semantics.
+        let d = trained(0);
+        assert_eq!(d.wide_len(), 0);
+        let mut c = WideCompressor::new(&d).with_preprocess(false);
+        let dec = WideDecompressor::new(&d);
+        let mut z = Vec::new();
+        c.compress_line(b"COc1cc(C=O)ccc1O", &mut z);
+        let mut back = Vec::new();
+        dec.decompress_line(&z, &mut back).unwrap();
+        assert_eq!(back, b"COc1cc(C=O)ccc1O");
+    }
+
+    #[test]
+    fn short_patterns_rejected_from_wide_region() {
+        // Fill the base region, then offer a 2-byte pattern: it must be
+        // skipped, not installed wide.
+        let fill: Vec<Vec<u8>> = (0..214u32)
+            .map(|i| vec![b'a', b'0' + (i % 10) as u8, b'A' + (i / 10 % 26) as u8])
+            .collect();
+        let mut pats = fill;
+        pats.push(b"XY".to_vec()); // short: skipped
+        pats.push(b"XYZ".to_vec()); // long enough: installed wide
+        let d = WideDictionary::from_patterns(Prepopulation::None, &pats, 2, 8, false, 16)
+            .unwrap();
+        assert_eq!(d.wide_len(), 1);
+        assert_eq!(d.wide_entry(0, 0x21), Some(&b"XYZ"[..]));
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn capacity_exhaustion_detected() {
+        let fill: Vec<Vec<u8>> = (0..220u32)
+            .map(|i| {
+                vec![
+                    b'a' + (i % 26) as u8,
+                    b'a' + (i / 26 % 26) as u8,
+                    b'0' + (i % 10) as u8,
+                ]
+            })
+            .collect();
+        let r = WideDictionary::from_patterns(Prepopulation::None, &fill, 2, 8, false, 2);
+        assert!(matches!(r, Err(ZsmilesError::CodeSpaceExhausted { .. })));
+    }
+
+    #[test]
+    fn decompressor_reports_truncation_and_unknown_codes() {
+        let d = trained(16);
+        let dec = WideDecompressor::new(&d);
+        let mut out = Vec::new();
+        assert!(matches!(
+            dec.decompress_line(&[ESCAPE], &mut out),
+            Err(ZsmilesError::TruncatedEscape { at: 0 })
+        ));
+        assert!(matches!(
+            dec.decompress_line(&[PAGE_BYTES[0]], &mut out),
+            Err(ZsmilesError::TruncatedWideCode { at: 0 })
+        ));
+        // Page 7 is empty in a 16-entry dictionary.
+        assert!(matches!(
+            dec.decompress_line(&[PAGE_BYTES[7], b'!'], &mut out),
+            Err(ZsmilesError::UnknownCode { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_code_beats_escapes_for_unmatched_text() {
+        // Fill all 214 one-byte codes (no pre-population) with 4-byte
+        // q-patterns so the next pattern lands in the wide region, then
+        // check the DP emits the 2-byte wide code instead of 3 escapes.
+        let mut pats: Vec<Vec<u8>> = (0..214u32)
+            .map(|i| {
+                vec![
+                    b'q',
+                    b'a' + (i % 26) as u8,
+                    b'a' + (i / 26 % 26) as u8,
+                    b'0' + (i % 10) as u8,
+                ]
+            })
+            .collect();
+        pats.push(b"XYZ".to_vec());
+        let d = WideDictionary::from_patterns(Prepopulation::None, &pats, 2, 8, false, 8)
+            .unwrap();
+        assert_eq!(d.wide_len(), 1);
+        let mut c = WideCompressor::new(&d).with_preprocess(false);
+        let mut z = Vec::new();
+        let (n, _) = c.compress_line(b"XYZ", &mut z);
+        assert_eq!(n, 2, "wide code used: {z:?}");
+        assert_eq!(page_index(z[0]), Some(0));
+        // And a base code still wins where one applies (cost 1 < cost 2).
+        let mut z2 = Vec::new();
+        let (n2, _) = c.compress_line(b"qaa0", &mut z2);
+        assert_eq!(n2, 1);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let d = trained(64);
+        let mut buf = Vec::new();
+        write_wide_dict(&d, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with(WIDE_MAGIC));
+        assert!(text.is_ascii());
+        let back = read_wide_dict(&buf[..]).unwrap();
+        assert_eq!(back.base_len(), d.base_len());
+        assert_eq!(back.wide_len(), d.wide_len());
+        let a: Vec<_> = d.all_entries().map(|(c, p)| (c, p.to_vec())).collect();
+        let b: Vec<_> = back.all_entries().map(|(c, p)| (c, p.to_vec())).collect();
+        assert_eq!(a, b);
+        // Cross-decode: the reloaded dictionary decodes the original's
+        // stream (preprocess off so bytes round-trip exactly).
+        let mut z = Vec::new();
+        WideCompressor::new(&d)
+            .with_preprocess(false)
+            .compress_line(b"COc1cc(C=O)ccc1O", &mut z);
+        let mut out = Vec::new();
+        WideDecompressor::new(&back).decompress_line(&z, &mut out).unwrap();
+        assert_eq!(out, b"COc1cc(C=O)ccc1O");
+    }
+
+    #[test]
+    fn bad_wide_files_rejected() {
+        let r = read_wide_dict("#zsmiles-dict v1\n".as_bytes());
+        assert!(matches!(r, Err(ZsmilesError::DictFormat { line: 1, .. })));
+        let r = read_wide_dict("#zsmiles-wide-dict v1\nnotab\n".as_bytes());
+        assert!(matches!(r, Err(ZsmilesError::DictFormat { line: 2, .. })));
+        let r = read_wide_dict("#zsmiles-wide-dict v1\n!\t\n".as_bytes());
+        assert!(matches!(r, Err(ZsmilesError::DictFormat { line: 2, .. })));
+        let r = read_wide_dict("#zsmiles-wide-dict v1\n#wide-size banana\n".as_bytes());
+        assert!(matches!(r, Err(ZsmilesError::DictFormat { line: 2, .. })));
+    }
+
+    #[test]
+    fn buffer_round_trip_with_stats() {
+        let d = trained(128);
+        let input: Vec<u8> = deck()
+            .iter()
+            .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+            .collect();
+        let mut z = Vec::new();
+        let cs = WideCompressor::new(&d).with_preprocess(false).compress_buffer(&input, &mut z);
+        let mut back = Vec::new();
+        let ds = WideDecompressor::new(&d).decompress_buffer(&z, &mut back).unwrap();
+        assert_eq!(back, input);
+        assert_eq!(cs.lines, ds.lines);
+        assert_eq!(cs.in_bytes, ds.out_bytes);
+        assert_eq!(cs.out_bytes, ds.in_bytes);
+        assert!(cs.ratio() < 1.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Device-resident dictionary layout.
+//!
+//! The paper's CUDA kernels iterate over dictionary *entries* (not a trie):
+//! "for each dictionary element, the thread checks if the correspondent
+//! substrings can be matched in the input". That favors a flat,
+//! broadcast-friendly layout: concatenated pattern bytes plus per-entry
+//! (offset, length, code) arrays for matching, and a fixed 256-slot
+//! expansion table for decompression.
+
+use zsmiles_core::dict::{Dictionary, MAX_PATTERN_LEN};
+
+/// Flattened dictionary as it would live in device constant/global memory.
+#[derive(Debug, Clone)]
+pub struct DeviceDict {
+    /// Concatenated pattern bytes of all entries.
+    pub pattern_bytes: Vec<u8>,
+    /// Per-entry byte offset into `pattern_bytes`.
+    pub offsets: Vec<u32>,
+    /// Per-entry pattern length.
+    pub lens: Vec<u8>,
+    /// Per-entry output code.
+    pub codes: Vec<u8>,
+    /// Decompression table: `expand[code]` = (len, bytes).
+    pub expand_len: [u8; 256],
+    pub expand_bytes: [[u8; MAX_PATTERN_LEN]; 256],
+    /// Longest pattern (the kernel's match-loop bound — the paper's Lmax).
+    pub lmax: usize,
+}
+
+impl DeviceDict {
+    pub fn from_dictionary(dict: &Dictionary) -> DeviceDict {
+        let mut pattern_bytes = Vec::new();
+        let mut offsets = Vec::new();
+        let mut lens = Vec::new();
+        let mut codes = Vec::new();
+        let mut expand_len = [0u8; 256];
+        let mut expand_bytes = [[0u8; MAX_PATTERN_LEN]; 256];
+        let mut lmax = 0usize;
+        for (code, pat) in dict.all_entries() {
+            offsets.push(pattern_bytes.len() as u32);
+            lens.push(pat.len() as u8);
+            codes.push(code);
+            pattern_bytes.extend_from_slice(pat);
+            lmax = lmax.max(pat.len());
+            expand_len[code as usize] = pat.len() as u8;
+            expand_bytes[code as usize][..pat.len()].copy_from_slice(pat);
+        }
+        DeviceDict { pattern_bytes, offsets, lens, codes, expand_len, expand_bytes, lmax }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Pattern bytes of entry `e`.
+    pub fn pattern(&self, e: usize) -> &[u8] {
+        let start = self.offsets[e] as usize;
+        &self.pattern_bytes[start..start + self.lens[e] as usize]
+    }
+
+    /// Device memory footprint in bytes (tables shipped once per launch).
+    pub fn footprint(&self) -> usize {
+        self.pattern_bytes.len()
+            + self.offsets.len() * 4
+            + self.lens.len()
+            + self.codes.len()
+            + 256 * (1 + MAX_PATTERN_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zsmiles_core::{DictBuilder, Prepopulation};
+
+    fn dict() -> Dictionary {
+        let corpus: Vec<&[u8]> = vec![b"COc1cc(C=O)ccc1O"; 8];
+        DictBuilder { min_count: 2, ..Default::default() }
+            .train(corpus)
+            .unwrap()
+    }
+
+    #[test]
+    fn flattening_preserves_entries() {
+        let d = dict();
+        let dd = DeviceDict::from_dictionary(&d);
+        assert_eq!(dd.len(), d.len());
+        for (e, (code, pat)) in d.all_entries().enumerate() {
+            assert_eq!(dd.pattern(e), pat);
+            assert_eq!(dd.codes[e], code);
+            assert_eq!(dd.expand_len[code as usize] as usize, pat.len());
+            assert_eq!(&dd.expand_bytes[code as usize][..pat.len()], pat);
+        }
+        assert!(dd.lmax >= 2);
+        assert!(dd.footprint() > 0);
+    }
+
+    #[test]
+    fn identity_dictionary_flattens() {
+        let d = Dictionary::identity_only(Prepopulation::SmilesAlphabet);
+        let dd = DeviceDict::from_dictionary(&d);
+        assert_eq!(dd.len(), 78);
+        assert_eq!(dd.lmax, 1);
+        assert_eq!(dd.expand_len[b'C' as usize], 1);
+        assert_eq!(dd.expand_bytes[b'C' as usize][0], b'C');
+    }
+}

@@ -1,0 +1,441 @@
+//! The paper's CUDA kernels (§IV-E), written warp-synchronously against
+//! the `simt` simulator. One 32-lane block per SMILES line.
+//!
+//! Compression (three phases, mirroring the paper's description):
+//!
+//! 1. **Match** — the line is staged into shared memory with coalesced
+//!    loads; then, *for each dictionary element*, each lane checks whether
+//!    that entry matches at its character position, building the edge
+//!    table of the position DAG.
+//! 2. **Backward shortest-path scan** — positions are settled from the end
+//!    of the line toward the start; for one position, the ≤ Lmax+1
+//!    candidate edges (including the escape edge) are evaluated by
+//!    separate lanes and combined with a warp min-reduction whose packed
+//!    key reproduces the CPU engine's exact tie-breaking, which is what
+//!    makes GPU and CPU outputs byte-identical.
+//! 3. **Emit** — the chosen path is walked, code bytes staged in shared
+//!    memory, and the result written out in coalesced 32-byte tiles.
+//!
+//! Decompression: each lane looks up the expansion length of its code
+//! byte (escape markers resolved by run-parity), lanes share their write
+//! offsets with a warp inclusive scan — the paper's "block threads share
+//! how many characters they must write" — and expansions are scattered.
+
+use crate::device_dict::DeviceDict;
+use simt::{BlockCtx, Mask, WarpVec, WARP_SIZE};
+use zsmiles_core::ESCAPE;
+
+/// Longest line a block can process (bounded by shared memory).
+pub const MAX_LINE: usize = 4096;
+
+/// Pack (cost, len, code) into one u32 so a warp min-reduction picks the
+/// best edge with the CPU tie-break order: lower cost, then any code over
+/// escape, then longer pattern, then smaller code.
+#[inline]
+fn pack_key(cost: u32, len: u32, code: u8) -> u32 {
+    debug_assert!(cost < 1 << 18);
+    (cost << 13) | ((16 - len) << 8) | code as u32
+}
+
+#[inline]
+fn unpack_key(key: u32) -> (u32, u32, u8) {
+    (key >> 13, 16 - ((key >> 8) & 0x1F), key as u8)
+}
+
+/// Compress one line; returns the compressed bytes for this block.
+pub fn compress_block(ctx: &mut BlockCtx, dict: &DeviceDict, line: &[u8]) -> Vec<u8> {
+    let n = line.len();
+    assert!(n <= MAX_LINE, "line exceeds block shared-memory budget");
+    if n == 0 {
+        return Vec::new();
+    }
+    let w = dict.lmax + 1;
+
+    // ---- Phase 1: stage line, build the edge table -----------------------
+    // edges[pos * w + len] = code (0 = no edge).
+    let tiles = n.div_ceil(WARP_SIZE);
+    let mut staged = vec![0u8; n];
+    for t in 0..tiles {
+        let base = t * WARP_SIZE;
+        let mask = Mask::from_fn(|i| base + i < n);
+        let offs = WarpVec::from_fn(|i| (base + i).min(n - 1) as u32);
+        let bytes = ctx.warp.global_read::<u8>(line, &offs, mask, |buf, o| buf[o]);
+        for i in 0..WARP_SIZE {
+            if mask.lane(i) {
+                staged[base + i] = bytes.lane(i);
+            }
+        }
+        ctx.warp.cost.instructions += 1; // shared store
+    }
+    ctx.sync();
+
+    let mut edges = vec![0u8; n * w];
+    for t in 0..tiles {
+        let base = t * WARP_SIZE;
+        let active = Mask::from_fn(|i| base + i < n);
+        for e in 0..dict.len() {
+            let pat = dict.pattern(e);
+            let plen = pat.len();
+            // Lockstep compare: every lane tests this entry at its own
+            // position. Cost: the compare loop (one instruction per
+            // pattern byte) plus mask bookkeeping — charged per warp, the
+            // SIMT way, regardless of how many lanes hit.
+            ctx.warp.cost.instructions += 2 + plen as u64;
+            for i in 0..WARP_SIZE {
+                let pos = base + i;
+                if active.lane(i) && pos + plen <= n && &staged[pos..pos + plen] == pat {
+                    edges[pos * w + plen] = dict.codes[e];
+                }
+            }
+            ctx.warp.cost.instructions += 1; // masked shared store of the edge
+        }
+    }
+    ctx.sync();
+
+    // ---- Phase 2: backward shortest-path scan ----------------------------
+    // dist[i] = cheapest bytes to encode line[i..]; choice packs (len, code).
+    let mut dist = vec![0u32; n + 1];
+    let mut choice = vec![(0u32, 0u8); n];
+    let lane_ids = ctx.warp.lane_id();
+    for i in (0..n).rev() {
+        // Lane 0 proposes the escape edge, lane l (lmin..=lmax) the
+        // dictionary edge of length l, inactive lanes propose u32::MAX.
+        let candidate_mask = Mask::from_fn(|l| l == 0 || (l <= dict.lmax && i + l <= n));
+        let keys = ctx.warp.map(&lane_ids, candidate_mask, |l| {
+            let l = l as usize;
+            if l == 0 {
+                pack_key(2 + dist[i + 1], 0, 0)
+            } else {
+                let code = edges[i * w + l];
+                if code == 0 {
+                    u32::MAX
+                } else {
+                    pack_key(1 + dist[i + l], l as u32, code)
+                }
+            }
+        });
+        // Inactive lanes yield the default 0 — mask them out of the min.
+        let best = ctx.warp.reduce_min(&keys, candidate_mask);
+        let (cost, len, code) = unpack_key(best);
+        dist[i] = cost;
+        choice[i] = (len, code);
+        ctx.warp.cost.instructions += 2; // shared stores of dist/choice
+    }
+    ctx.sync();
+
+    // ---- Phase 3: walk the path, emit, copy out --------------------------
+    let mut staged_out = Vec::with_capacity(dist[0] as usize);
+    let mut i = 0usize;
+    while i < n {
+        let (len, code) = choice[i];
+        if len == 0 {
+            staged_out.push(ESCAPE);
+            staged_out.push(staged[i]);
+            i += 1;
+        } else {
+            staged_out.push(code);
+            i += len as usize;
+        }
+        ctx.warp.cost.instructions += 2; // single-lane walk step
+    }
+    debug_assert_eq!(staged_out.len(), dist[0] as usize);
+
+    // Coalesced copy shared → global.
+    let m = staged_out.len();
+    let mut out = vec![0u8; m];
+    for t in 0..m.div_ceil(WARP_SIZE) {
+        let base = t * WARP_SIZE;
+        let mask = Mask::from_fn(|l| base + l < m);
+        let offs = WarpVec::from_fn(|l| (base + l).min(m.saturating_sub(1)) as u32);
+        let vals = WarpVec::from_fn(|l| if base + l < m { staged_out[base + l] } else { 0 });
+        ctx.warp.global_write(&mut out, &offs, &vals, mask, |buf, o, v| buf[o] = v);
+    }
+    out
+}
+
+/// Decompress one line; returns the expanded bytes for this block.
+pub fn decompress_block(
+    ctx: &mut BlockCtx,
+    dict: &DeviceDict,
+    line: &[u8],
+) -> Result<Vec<u8>, String> {
+    let n = line.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Stage compressed bytes (coalesced).
+    let tiles = n.div_ceil(WARP_SIZE);
+    let mut staged = vec![0u8; n];
+    for t in 0..tiles {
+        let base = t * WARP_SIZE;
+        let mask = Mask::from_fn(|i| base + i < n);
+        let offs = WarpVec::from_fn(|i| (base + i).min(n - 1) as u32);
+        let bytes = ctx.warp.global_read::<u8>(line, &offs, mask, |buf, o| buf[o]);
+        for i in 0..WARP_SIZE {
+            if mask.lane(i) {
+                staged[base + i] = bytes.lane(i);
+            }
+        }
+        ctx.warp.cost.instructions += 1;
+    }
+    ctx.sync();
+
+    // Per-byte expansion lengths. A byte is "consumed" if the run of
+    // escape markers immediately before it has odd length (escape pairs
+    // chain); consumed bytes and escape markers contribute the literal at
+    // the marker's position.
+    let mut consumed = vec![false; n];
+    {
+        let mut run = 0usize;
+        for i in 0..n {
+            let is_consumed = run % 2 == 1;
+            consumed[i] = is_consumed;
+            if !is_consumed && staged[i] == ESCAPE {
+                run += 1;
+            } else {
+                run = 0;
+            }
+        }
+        // One pass over the line on lane 0; cheap next to the scans.
+        ctx.warp.cost.instructions += n as u64;
+    }
+
+    let mut out_len_at = vec![0u32; n];
+    let mut total = 0u64;
+    for t in 0..tiles {
+        let base = t * WARP_SIZE;
+        let mask = Mask::from_fn(|i| base + i < n);
+        let idx = WarpVec::from_fn(|i| (base + i).min(n - 1) as u32);
+        // Lane-parallel table lookup — the paper's "each block's thread
+        // performs a lookup into the dictionary".
+        let lens = ctx.warp.map(&idx, mask, |p| {
+            let p = p as usize;
+            if consumed[p] {
+                0u32
+            } else if staged[p] == ESCAPE {
+                if p + 1 >= n {
+                    u32::MAX // truncated escape, detected below
+                } else {
+                    1
+                }
+            } else {
+                dict.expand_len[staged[p] as usize] as u32
+            }
+        });
+        for i in 0..WARP_SIZE {
+            if mask.lane(i) {
+                let v = lens.lane(i);
+                if v == u32::MAX {
+                    return Err("truncated escape".into());
+                }
+                if v == 0 && !consumed[base + i] && staged[base + i] != ESCAPE {
+                    return Err(format!(
+                        "unknown code 0x{:02x} at byte {}",
+                        staged[base + i],
+                        base + i
+                    ));
+                }
+            }
+        }
+        // Warp prefix sum gives each lane its write offset within the
+        // tile; the running total carries across tiles.
+        let scanned = ctx.warp.inclusive_scan_add(&lens, mask);
+        for i in 0..WARP_SIZE {
+            if mask.lane(i) {
+                out_len_at[base + i] = total as u32 + scanned.lane(i) - lens.lane(i);
+            }
+        }
+        let tile_total = ctx.warp.reduce_add(&lens, mask);
+        total += tile_total as u64;
+        ctx.warp.cost.instructions += 2;
+    }
+    ctx.sync();
+
+    // Scatter expansions. The inner loop runs to the longest expansion in
+    // the warp (lockstep), shorter lanes masked off.
+    let mut out = vec![0u8; total as usize];
+    for t in 0..tiles {
+        let base = t * WARP_SIZE;
+        let mask = Mask::from_fn(|i| base + i < n && !consumed[base + i]);
+        let max_len = (0..WARP_SIZE)
+            .filter(|&i| mask.lane(i))
+            .map(|i| {
+                let p = base + i;
+                if staged[p] == ESCAPE {
+                    1
+                } else {
+                    dict.expand_len[staged[p] as usize] as usize
+                }
+            })
+            .max()
+            .unwrap_or(0);
+        for k in 0..max_len {
+            let write_mask = Mask::from_fn(|i| {
+                if !mask.lane(i) {
+                    return false;
+                }
+                let p = base + i;
+                let l = if staged[p] == ESCAPE {
+                    1
+                } else {
+                    dict.expand_len[staged[p] as usize] as usize
+                };
+                k < l
+            });
+            let offs = WarpVec::from_fn(|i| {
+                if write_mask.lane(i) {
+                    out_len_at[base + i] + k as u32
+                } else {
+                    0
+                }
+            });
+            let vals = WarpVec::from_fn(|i| {
+                if !write_mask.lane(i) {
+                    return 0u8;
+                }
+                let p = base + i;
+                if staged[p] == ESCAPE {
+                    staged[p + 1]
+                } else {
+                    dict.expand_bytes[staged[p] as usize][k]
+                }
+            });
+            ctx.warp
+                .global_write(&mut out, &offs, &vals, write_mask, |buf, o, v| buf[o] = v);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt::BlockCtx;
+    use zsmiles_core::{Compressor, Decompressor, DictBuilder, Dictionary};
+
+    fn dict() -> Dictionary {
+        let corpus: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O"]
+        .repeat(8);
+        DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
+            .train(corpus)
+            .unwrap()
+    }
+
+    #[test]
+    fn pack_key_orders_like_cpu_tie_break() {
+        // Lower cost wins.
+        assert!(pack_key(1, 4, 10) < pack_key(2, 8, 10));
+        // Equal cost: code beats escape.
+        assert!(pack_key(3, 1, 10) < pack_key(3, 0, 0));
+        // Equal cost: longer pattern beats shorter.
+        assert!(pack_key(3, 8, 200) < pack_key(3, 2, 10));
+        // Equal cost and length: smaller code.
+        assert!(pack_key(3, 4, 10) < pack_key(3, 4, 11));
+        // Round trip.
+        assert_eq!(unpack_key(pack_key(7, 5, 42)), (7, 5, 42));
+        assert_eq!(unpack_key(pack_key(2, 0, 0)), (2, 0, 0));
+    }
+
+    #[test]
+    fn kernel_output_matches_cpu_engine_exactly() {
+        let d = dict();
+        let dd = DeviceDict::from_dictionary(&d);
+        let mut cpu = Compressor::new(&d).with_preprocess(false);
+        let mut ctx = BlockCtx::new();
+        for line in [
+            b"COc1cc(C=O)ccc1O".as_slice(),
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            b"CCN(CC)CC",                // partially out-of-dictionary
+            b"total mismatch ~~ bytes!", // heavy escaping
+            b"C",
+        ] {
+            let mut want = Vec::new();
+            cpu.compress_line(line, &mut want);
+            ctx.reset();
+            let got = compress_block(&mut ctx, &dd, line);
+            assert_eq!(
+                got,
+                want,
+                "byte-identical CPU/GPU output for {}",
+                String::from_utf8_lossy(line)
+            );
+        }
+    }
+
+    #[test]
+    fn decompress_kernel_matches_cpu() {
+        let d = dict();
+        let dd = DeviceDict::from_dictionary(&d);
+        let mut cpu = Compressor::new(&d).with_preprocess(false);
+        let mut ctx = BlockCtx::new();
+        for line in [
+            b"COc1cc(C=O)ccc1O".as_slice(),
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            b"odd in put # with escapes",
+        ] {
+            let mut z = Vec::new();
+            cpu.compress_line(line, &mut z);
+            ctx.reset();
+            let got = decompress_block(&mut ctx, &dd, &z).unwrap();
+            assert_eq!(got, line);
+            // And against the CPU decompressor for good measure.
+            let mut want = Vec::new();
+            Decompressor::new(&d).decompress_line(&z, &mut want).unwrap();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn escape_runs_decode_correctly() {
+        // A compressed stream with chained escapes: marker+literal pairs,
+        // including an escaped escape byte.
+        let d = Dictionary::identity_only(zsmiles_core::Prepopulation::SmilesAlphabet);
+        let dd = DeviceDict::from_dictionary(&d);
+        let mut cpu = Compressor::new(&d).with_preprocess(false);
+        let mut ctx = BlockCtx::new();
+        // '!' and '~' are not in the SMILES alphabet → escaped.
+        let line = b"C!~!!C~~";
+        let mut z = Vec::new();
+        cpu.compress_line(line, &mut z);
+        let got = decompress_block(&mut ctx, &dd, &z).unwrap();
+        assert_eq!(got, line);
+    }
+
+    #[test]
+    fn decompress_kernel_rejects_garbage() {
+        let d = dict();
+        let dd = DeviceDict::from_dictionary(&d);
+        let mut ctx = BlockCtx::new();
+        assert!(decompress_block(&mut ctx, &dd, &[ESCAPE]).is_err(), "dangling escape");
+        ctx.reset();
+        assert!(decompress_block(&mut ctx, &dd, &[0x01]).is_err(), "bad code");
+    }
+
+    #[test]
+    fn empty_line() {
+        let d = dict();
+        let dd = DeviceDict::from_dictionary(&d);
+        let mut ctx = BlockCtx::new();
+        assert!(compress_block(&mut ctx, &dd, b"").is_empty());
+        ctx.reset();
+        assert!(decompress_block(&mut ctx, &dd, b"").unwrap().is_empty());
+    }
+
+    #[test]
+    fn kernels_account_memory_traffic() {
+        let d = dict();
+        let dd = DeviceDict::from_dictionary(&d);
+        let mut ctx = BlockCtx::new();
+        let line = b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2";
+        let z = compress_block(&mut ctx, &dd, line);
+        let cost = ctx.warp.cost;
+        assert_eq!(cost.bytes_read, line.len() as u64, "line staged once");
+        assert_eq!(cost.bytes_written, z.len() as u64);
+        assert!(cost.load_transactions >= 1);
+        assert!(cost.instructions > dd.len() as u64, "match phase dominates");
+        assert!(cost.syncs >= 3, "phases separated by barriers");
+    }
+}

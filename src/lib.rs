@@ -1,0 +1,54 @@
+//! # zsmiles — umbrella crate
+//!
+//! Re-exports the whole ZSMILES reproduction workspace behind one
+//! dependency. See the README for the architecture map and
+//! `DESIGN.md`/`EXPERIMENTS.md` for the paper-reproduction ledger.
+//!
+//! * [`zsmiles_core`] — the compressor itself (dictionaries, engines,
+//!   random-access index, streaming I/O);
+//! * [`smiles`] — SMILES lexer/parser/writer and the ring-ID
+//!   pre-processing transform;
+//! * [`molgen`] — seeded synthetic screening decks;
+//! * [`textcomp`] — from-scratch baselines (bzip2-like, LZ77+Huffman,
+//!   FSST, SHOCO, SMAZ);
+//! * [`simt`] + [`zsmiles_gpu`] — the CUDA-substitute simulator and the
+//!   warp-synchronous kernels;
+//! * [`vscreen`] — the virtual-screening workload on top (surrogate
+//!   docking, scored decks, archive sampling).
+//!
+//! # Example
+//!
+//! ```
+//! use zsmiles::molgen::Dataset;
+//! use zsmiles::zsmiles_core::{Compressor, Decompressor, Dictionary, LineIndex};
+//!
+//! // The built-in shared dictionary ships inside the library, so the
+//! // zero-setup path needs no training step at all.
+//! let dict = Dictionary::builtin();
+//! let deck = Dataset::generate_mixed(500, 7);
+//!
+//! let mut archive = Vec::new();
+//! let stats = Compressor::new(dict).compress_buffer(deck.as_bytes(), &mut archive);
+//! assert!(stats.ratio() < 0.6);
+//!
+//! // Random access into the archive.
+//! let index = LineIndex::build(&archive);
+//! let one = index.decompress_line_at(dict, &archive, 123).unwrap();
+//! zsmiles::smiles::validate::full_check(&one).unwrap();
+//!
+//! // Full round trip restores every molecule (in pre-processed spelling).
+//! let mut restored = Vec::new();
+//! Decompressor::new(dict).decompress_buffer(&archive, &mut restored).unwrap();
+//! assert_eq!(
+//!     restored.iter().filter(|&&b| b == b'\n').count(),
+//!     archive.iter().filter(|&&b| b == b'\n').count()
+//! );
+//! ```
+
+pub use molgen;
+pub use simt;
+pub use smiles;
+pub use textcomp;
+pub use vscreen;
+pub use zsmiles_core;
+pub use zsmiles_gpu;
