@@ -1,9 +1,9 @@
 //! Criterion benchmarks for the Fig. 4 baseline codecs: throughput of
 //! the from-scratch bzip-like pipeline, FSST and SHOCO next to ZSMILES.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use molgen::Dataset;
+use std::time::Duration;
 use textcomp::{bzip, fsst::Fsst, shoco::ShocoModel, smaz::Smaz};
 use zsmiles_core::{Compressor, DictBuilder, WideCompressor, WideDictBuilder};
 
@@ -70,9 +70,12 @@ fn bench_baseline_compression(c: &mut Criterion) {
         })
     });
 
-    let wide = WideDictBuilder { base: DictBuilder::default(), wide_size: 512 }
-        .train(deck.iter())
-        .expect("train wide");
+    let wide = WideDictBuilder {
+        base: DictBuilder::default(),
+        wide_size: 512,
+    }
+    .train(deck.iter())
+    .expect("train wide");
     group.bench_function("zsmiles_wide", |b| {
         let mut compressor = WideCompressor::new(&wide);
         let mut out = Vec::with_capacity(input.len());

@@ -2,9 +2,9 @@
 //! of the `ablation_engines` harness (DP vs Dijkstra vs greedy, trie
 //! matching, preprocessing).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use molgen::Dataset;
+use std::time::Duration;
 use zsmiles_core::sp::{encode_line, SpScratch};
 use zsmiles_core::{Compressor, Decompressor, DictBuilder, SpAlgorithm};
 
@@ -97,5 +97,10 @@ fn bench_compress_decompress(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shortest_path, bench_preprocess, bench_compress_decompress);
+criterion_group!(
+    benches,
+    bench_shortest_path,
+    bench_preprocess,
+    bench_compress_decompress
+);
 criterion_main!(benches);

@@ -7,9 +7,9 @@
 //! are the real measured engines, and the Lmax trend matches Fig. 5's
 //! flat profile.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use molgen::Dataset;
+use std::time::Duration;
 use zsmiles_core::{compress_parallel, Compressor, DictBuilder, SpAlgorithm};
 
 fn bench_lmax_sweep(c: &mut Criterion) {
@@ -20,9 +20,12 @@ fn bench_lmax_sweep(c: &mut Criterion) {
     group.warm_up_time(Duration::from_secs(1));
     group.throughput(Throughput::Bytes(deck.payload_bytes() as u64));
     for lmax in [5usize, 8, 15] {
-        let dict = DictBuilder { lmax, ..Default::default() }
-            .train(deck.iter())
-            .expect("train");
+        let dict = DictBuilder {
+            lmax,
+            ..Default::default()
+        }
+        .train(deck.iter())
+        .expect("train");
         group.bench_function(BenchmarkId::new("serial", lmax), |b| {
             let mut compressor = Compressor::new(&dict);
             let mut out = Vec::with_capacity(input.len());
@@ -44,9 +47,12 @@ fn bench_lmax_sweep_decompress(c: &mut Criterion) {
     group.warm_up_time(Duration::from_secs(1));
     group.throughput(Throughput::Bytes(deck.payload_bytes() as u64));
     for lmax in [5usize, 8, 15] {
-        let dict = DictBuilder { lmax, ..Default::default() }
-            .train(deck.iter())
-            .expect("train");
+        let dict = DictBuilder {
+            lmax,
+            ..Default::default()
+        }
+        .train(deck.iter())
+        .expect("train");
         let mut z = Vec::with_capacity(input.len());
         Compressor::new(&dict).compress_buffer(&input, &mut z);
         group.bench_function(BenchmarkId::new("serial", lmax), |b| {
@@ -72,7 +78,11 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(deck.payload_bytes() as u64));
     for threads in [1usize, 2, 4, 8] {
         group.bench_function(BenchmarkId::from_parameter(threads), |b| {
-            b.iter(|| compress_parallel(&dict, &input, SpAlgorithm::BackwardDp, threads).0.len())
+            b.iter(|| {
+                compress_parallel(&dict, &input, SpAlgorithm::BackwardDp, threads)
+                    .0
+                    .len()
+            })
         });
     }
     group.finish();
@@ -91,8 +101,7 @@ fn bench_gpu_sim(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("compress_kernel", |b| {
         b.iter(|| {
-            zsmiles_gpu::compress(&dict, &input, &zsmiles_gpu::GpuOptions::default())
-                .out_bytes
+            zsmiles_gpu::compress(&dict, &input, &zsmiles_gpu::GpuOptions::default()).out_bytes
         })
     });
     group.finish();

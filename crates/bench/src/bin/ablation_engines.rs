@@ -8,9 +8,7 @@
 
 use bench::{emit_datum, row, Decks, ExpConfig};
 use std::time::Instant;
-use zsmiles_core::{
-    compress_parallel, Compressor, DictBuilder, SpAlgorithm, ESCAPE,
-};
+use zsmiles_core::{compress_parallel, Compressor, DictBuilder, SpAlgorithm, ESCAPE};
 
 fn main() {
     let cfg = ExpConfig::from_args();
@@ -23,13 +21,23 @@ fn main() {
 
     // ---- DP vs Dijkstra --------------------------------------------------
     let widths = [14usize, 10, 14];
-    println!("{}", row(&["engine".into(), "ratio".into(), "throughput".into()], &widths));
+    println!(
+        "{}",
+        row(
+            &["engine".into(), "ratio".into(), "throughput".into()],
+            &widths
+        )
+    );
     let mut outputs = Vec::new();
-    for (name, algo) in [("backward-dp", SpAlgorithm::BackwardDp), ("dijkstra", SpAlgorithm::Dijkstra)]
-    {
+    for (name, algo) in [
+        ("backward-dp", SpAlgorithm::BackwardDp),
+        ("dijkstra", SpAlgorithm::Dijkstra),
+    ] {
         let t0 = Instant::now();
         let mut out = Vec::with_capacity(input.len() / 2);
-        let stats = Compressor::new(&dict).with_algorithm(algo).compress_buffer(input, &mut out);
+        let stats = Compressor::new(&dict)
+            .with_algorithm(algo)
+            .compress_buffer(input, &mut out);
         let dt = t0.elapsed().as_secs_f64();
         println!(
             "{}",
@@ -81,7 +89,13 @@ fn main() {
     // ---- thread scaling ---------------------------------------------------
     println!("\norder-preserving parallel compression scaling");
     let widths = [8usize, 14, 10];
-    println!("{}", row(&["threads".into(), "throughput".into(), "speedup".into()], &widths));
+    println!(
+        "{}",
+        row(
+            &["threads".into(), "throughput".into(), "speedup".into()],
+            &widths
+        )
+    );
     let mut t1 = 0.0f64;
     for threads in [1usize, 2, 4, 8] {
         let t0 = Instant::now();

@@ -19,7 +19,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["strategy".into(), "ratio".into(), "train time".into(), "patterns".into()],
+            &[
+                "strategy".into(),
+                "ratio".into(),
+                "train time".into(),
+                "patterns".into()
+            ],
             &widths
         )
     );
@@ -29,7 +34,10 @@ fn main() {
         RankStrategy::FreqTimesLen,
         RankStrategy::CoverageRecount,
     ] {
-        let builder = DictBuilder { rank, ..Default::default() };
+        let builder = DictBuilder {
+            rank,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let dict = builder.train(deck.iter()).expect("training succeeds");
         let train_s = t0.elapsed().as_secs_f64();

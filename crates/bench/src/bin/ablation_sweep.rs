@@ -13,13 +13,22 @@ fn main() {
     let decks = Decks::generate(&cfg);
     let deck = &decks.mixed;
 
-    println!("Ablation: dictionary capacity sweeps (MIXED, {} lines)\n", deck.len());
+    println!(
+        "Ablation: dictionary capacity sweeps (MIXED, {} lines)\n",
+        deck.len()
+    );
 
     let widths = [12usize, 10, 12];
     println!("dictionary size T (Lmax = 8, SMILES-alphabet pre-population: 144 free codes)");
-    println!("{}", row(&["T".into(), "ratio".into(), "patterns".into()], &widths));
+    println!(
+        "{}",
+        row(&["T".into(), "ratio".into(), "patterns".into()], &widths)
+    );
     for t in [8usize, 16, 32, 64, 96, 128, 144] {
-        let builder = DictBuilder { dict_size: Some(t), ..Default::default() };
+        let builder = DictBuilder {
+            dict_size: Some(t),
+            ..Default::default()
+        };
         let dict = builder.train(deck.iter()).expect("train");
         let stats = compress_dataset(&dict, deck);
         println!(
@@ -37,9 +46,15 @@ fn main() {
     }
 
     println!("\nmaximum pattern length Lmax (T = full code space)");
-    println!("{}", row(&["Lmax".into(), "ratio".into(), "patterns".into()], &widths));
+    println!(
+        "{}",
+        row(&["Lmax".into(), "ratio".into(), "patterns".into()], &widths)
+    );
     for lmax in [2usize, 3, 4, 5, 6, 8, 10, 12, 15] {
-        let builder = DictBuilder { lmax, ..Default::default() };
+        let builder = DictBuilder {
+            lmax,
+            ..Default::default()
+        };
         let dict = builder.train(deck.iter()).expect("train");
         let stats = compress_dataset(&dict, deck);
         println!(

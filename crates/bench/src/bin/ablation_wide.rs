@@ -30,7 +30,9 @@ fn main() {
     // Reference: the paper's dictionary over the full one-byte code space
     // (222 codes, no pages reserved).
     let t0 = Instant::now();
-    let base_dict = DictBuilder::default().train(deck.iter()).expect("train base");
+    let base_dict = DictBuilder::default()
+        .train(deck.iter())
+        .expect("train base");
     let base_train = t0.elapsed();
     let mut zb = Vec::with_capacity(input.len() / 2);
     let base_stats = Compressor::new(&base_dict).compress_buffer(input, &mut zb);
@@ -39,7 +41,13 @@ fn main() {
     println!(
         "{}",
         row(
-            &["wide T".into(), "ratio".into(), "base".into(), "wide".into(), "train [s]".into()],
+            &[
+                "wide T".into(),
+                "ratio".into(),
+                "base".into(),
+                "wide".into(),
+                "train [s]".into()
+            ],
             &widths
         )
     );

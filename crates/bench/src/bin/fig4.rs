@@ -9,7 +9,7 @@
 
 use bench::{bar, emit_datum, Decks, ExpConfig};
 use textcomp::{bzip, fsst::Fsst, line_codec_ratio, shoco::ShocoModel, smaz::Smaz, LineCodec};
-use zsmiles_core::{Compressor, DictBuilder};
+use zsmiles_core::{BaseEngine, Compressor, DictBuilder, EngineCodec, WideDictBuilder, WideEngine};
 
 fn main() {
     let cfg = ExpConfig::from_args();
@@ -23,11 +23,32 @@ fn main() {
         payload
     );
 
-    // --- ZSMILES: dictionary trained on the same input (FSST-fair). -----
-    let dict = DictBuilder::default().train(decks.mixed.iter()).expect("train");
+    // --- ZSMILES: dictionary trained on the same input (FSST-fair), then
+    //     driven through the exact per-line interface (LineCodec) the
+    //     other short-string tools use, dictionary bytes charged the way
+    //     FSST's symbol table is.
+    let dict = DictBuilder::default()
+        .train(decks.mixed.iter())
+        .expect("train");
+    let base_engine = BaseEngine::new(&dict);
+    let zcodec = EngineCodec::new(&base_engine);
+    let (z_out, z_in) = line_codec_ratio(&zcodec, input);
+    let zsmiles_charged_ratio = z_out as f64 / z_in as f64;
     let mut zout = Vec::with_capacity(payload / 2);
     let zstats = Compressor::new(&dict).compress_buffer(input, &mut zout);
     let zsmiles_ratio = zstats.ratio();
+
+    // --- ZSMILES wide codes, same LineCodec interface. --------------------
+    let wide_dict = WideDictBuilder {
+        base: DictBuilder::default(),
+        wide_size: 512,
+    }
+    .train(decks.mixed.iter())
+    .expect("train wide");
+    let wide_engine = WideEngine::new(&wide_dict);
+    let wcodec = EngineCodec::new(&wide_engine);
+    let (w_out, w_in) = line_codec_ratio(&wcodec, input);
+    let zsmiles_wide_ratio = w_out as f64 / w_in as f64;
 
     // --- SHOCO: model trained on the input. ------------------------------
     let shoco = ShocoModel::train(input);
@@ -62,15 +83,45 @@ fn main() {
     let bz_of_z = bzip::compress(&zout);
     let combo_ratio = bz_of_z.len() as f64 / input.len() as f64;
 
-    let rows: [(&str, f64, &str); 8] = [
-        ("ZSMILES", zsmiles_ratio, "short-string, readable, random access"),
+    let rows: [(&str, f64, &str); 10] = [
+        (
+            "ZSMILES",
+            zsmiles_ratio,
+            "short-string, readable, random access",
+        ),
+        (
+            "ZSMILES+dict",
+            zsmiles_charged_ratio,
+            "same, dictionary bytes charged (FSST-fair)",
+        ),
+        (
+            "ZSMILES-wide",
+            zsmiles_wide_ratio,
+            "two-byte codes, dictionary charged (extension row)",
+        ),
         ("SHOCO", shoco_ratio, "short-string"),
         ("FSST", fsst_ratio, "short-string, random access"),
         ("Bzip2", bzip_ratio, "file-based, stateful"),
-        ("ZSMILES+Bzip2", combo_ratio, "file-based archive of ZSMILES output"),
-        ("LZ77+Huffman", lz_ratio, "file-based, stateful (extension row)"),
-        ("SMAZ-classic", smaz_classic_ratio, "short-string, English codebook (extension row)"),
-        ("SMAZ-trained", smaz_trained_ratio, "short-string, trained codebook (extension row)"),
+        (
+            "ZSMILES+Bzip2",
+            combo_ratio,
+            "file-based archive of ZSMILES output",
+        ),
+        (
+            "LZ77+Huffman",
+            lz_ratio,
+            "file-based, stateful (extension row)",
+        ),
+        (
+            "SMAZ-classic",
+            smaz_classic_ratio,
+            "short-string, English codebook (extension row)",
+        ),
+        (
+            "SMAZ-trained",
+            smaz_trained_ratio,
+            "short-string, trained codebook (extension row)",
+        ),
     ];
     for (name, ratio, class) in rows {
         println!("{name:>14}  {:.3}  |{}|  {class}", ratio, bar(ratio, 40));
@@ -108,13 +159,17 @@ fn verify_roundtrips(
     bz: &[u8],
     input: &[u8],
 ) {
-    // ZSMILES round trip (preprocessed form re-parses to same molecules).
-    let mut z = Vec::new();
-    let mut c = Compressor::new(dict);
+    // ZSMILES round trip (preprocessed form re-parses to same molecules),
+    // driven through the same dyn interface as the baselines.
     let line = decks.mixed.line(0);
-    c.compress_line(line, &mut z);
+    let base_engine = BaseEngine::new(dict);
+    let zcodec = EngineCodec::new(&base_engine);
+    let mut z = Vec::new();
+    (&zcodec as &dyn LineCodec).compress_line(line, &mut z);
     let mut back = Vec::new();
-    zsmiles_core::Decompressor::new(dict).decompress_line(&z, &mut back).unwrap();
+    (&zcodec as &dyn LineCodec)
+        .decompress_line(&z, &mut back)
+        .unwrap();
     assert_eq!(
         smiles::parser::parse(line).unwrap().signature(),
         smiles::parser::parse(&back).unwrap().signature()

@@ -44,9 +44,12 @@ fn main() {
     let mut deco_rows = Vec::new();
 
     for lmax in LMAX_VALUES {
-        let dict = DictBuilder { lmax, ..Default::default() }
-            .train(deck.iter())
-            .expect("training succeeds");
+        let dict = DictBuilder {
+            lmax,
+            ..Default::default()
+        }
+        .train(deck.iter())
+        .expect("training succeeds");
 
         // ---------- compression ----------
         let t0 = Instant::now();
@@ -68,7 +71,9 @@ fn main() {
         // ---------- decompression ----------
         let t0 = Instant::now();
         let mut back = Vec::with_capacity(input.len());
-        let dstats = Decompressor::new(&dict).decompress_buffer(&zout, &mut back).unwrap();
+        let dstats = Decompressor::new(&dict)
+            .decompress_buffer(&zout, &mut back)
+            .unwrap();
         let cpu_deco_s = t0.elapsed().as_secs_f64();
         let cpu_deco = EPYC_CORE_LIKE.pipeline_time(
             cpu_deco_s,
@@ -94,7 +99,15 @@ fn main() {
     println!("(a) compression — normalized to serial @ Lmax=15");
     println!(
         "{}",
-        row(&["Lmax".into(), "C++ (norm)".into(), "CUDA (norm)".into(), "speedup".into()], &widths)
+        row(
+            &[
+                "Lmax".into(),
+                "C++ (norm)".into(),
+                "CUDA (norm)".into(),
+                "speedup".into()
+            ],
+            &widths
+        )
     );
     for (lmax, cpu, gpu) in &comp_rows {
         let c = cpu.total_s() / comp_norm;
@@ -102,7 +115,12 @@ fn main() {
         println!(
             "{}",
             row(
-                &[lmax.to_string(), format!("{c:.3}"), format!("{g:.3}"), format!("{:.1}x", c / g)],
+                &[
+                    lmax.to_string(),
+                    format!("{c:.3}"),
+                    format!("{g:.3}"),
+                    format!("{:.1}x", c / g)
+                ],
                 &widths
             )
         );
@@ -113,7 +131,15 @@ fn main() {
     println!("\n(b) decompression — normalized to serial @ Lmax=15");
     println!(
         "{}",
-        row(&["Lmax".into(), "C++ (norm)".into(), "CUDA (norm)".into(), "speedup".into()], &widths)
+        row(
+            &[
+                "Lmax".into(),
+                "C++ (norm)".into(),
+                "CUDA (norm)".into(),
+                "speedup".into()
+            ],
+            &widths
+        )
     );
     for (lmax, cpu, gpu) in &deco_rows {
         let c = cpu.total_s() / deco_norm;
@@ -121,7 +147,12 @@ fn main() {
         println!(
             "{}",
             row(
-                &[lmax.to_string(), format!("{c:.3}"), format!("{g:.3}"), format!("{:.1}x", c / g)],
+                &[
+                    lmax.to_string(),
+                    format!("{c:.3}"),
+                    format!("{g:.3}"),
+                    format!("{:.1}x", c / g)
+                ],
                 &widths
             )
         );

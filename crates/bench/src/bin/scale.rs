@@ -19,7 +19,10 @@ fn main() {
 
     println!("Scale study: ratio stability under deck growth (shared dictionary)\n");
     let widths = [10usize, 14, 10];
-    println!("{}", row(&["lines".into(), "payload".into(), "ratio".into()], &widths));
+    println!(
+        "{}",
+        row(&["lines".into(), "payload".into(), "ratio".into()], &widths)
+    );
     let mut ratios = Vec::new();
     for &n in &[1_000usize, 5_000, 20_000, 80_000] {
         let deck = Dataset::generate_mixed(n, cfg.seed.wrapping_add(7));
@@ -69,7 +72,9 @@ while the virtual screening campaign compresses molecules at scale\n"
         .take(200_000)
         .collect();
     let mut out = Vec::new();
-    let stats = Compressor::new(&dict).with_preprocess(false).compress_buffer(&english, &mut out);
+    let stats = Compressor::new(&dict)
+        .with_preprocess(false)
+        .compress_buffer(&english, &mut out);
     println!(
         "\nnegative control — English text under the SMILES dictionary: ratio {:.3} \
          (vs {:.3} on SMILES): domain knowledge is where the win comes from",

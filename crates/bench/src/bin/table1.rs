@@ -24,7 +24,11 @@ fn main() {
     println!(
         "{}",
         row(
-            &["Pre-processing".into(), "Pre-population".into(), "Compression Ratio".into()],
+            &[
+                "Pre-processing".into(),
+                "Pre-population".into(),
+                "Compression Ratio".into()
+            ],
             &widths
         )
     );
@@ -41,7 +45,11 @@ fn main() {
 
     let mut results = Vec::new();
     for (preprocess, prepopulation) in combos {
-        let builder = DictBuilder { preprocess, prepopulation, ..Default::default() };
+        let builder = DictBuilder {
+            preprocess,
+            prepopulation,
+            ..Default::default()
+        };
         let dict = builder.train(sample.iter()).expect("training succeeds");
         let stats = compress_dataset(&dict, sample);
         let ratio = stats.ratio();
@@ -70,8 +78,11 @@ fn main() {
 
     // The two qualitative claims of Table I, checked on the spot.
     println!();
-    for pp in [Prepopulation::PrintableAscii, Prepopulation::SmilesAlphabet, Prepopulation::None]
-    {
+    for pp in [
+        Prepopulation::PrintableAscii,
+        Prepopulation::SmilesAlphabet,
+        Prepopulation::None,
+    ] {
         let with = results.iter().find(|r| r.0 && r.1 == pp).unwrap().2;
         let without = results.iter().find(|r| !r.0 && r.1 == pp).unwrap().2;
         println!(
@@ -79,7 +90,11 @@ fn main() {
             prepop_label(pp),
             without,
             with,
-            if with <= without { "improves, as in the paper" } else { "REGRESSION" }
+            if with <= without {
+                "improves, as in the paper"
+            } else {
+                "REGRESSION"
+            }
         );
     }
     let best = results

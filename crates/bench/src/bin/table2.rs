@@ -26,7 +26,9 @@ fn main() {
             let ds = decks.by_name(name);
             (
                 *name,
-                DictBuilder::default().train(ds.iter()).expect("training succeeds"),
+                DictBuilder::default()
+                    .train(ds.iter())
+                    .expect("training succeeds"),
             )
         })
         .collect();
@@ -53,6 +55,7 @@ fn main() {
 
     println!();
     // Claim 1: diagonal is best-in-column.
+    #[allow(clippy::needless_range_loop)] // j indexes rows and columns alike
     for j in 0..4 {
         let diag = matrix[j][j];
         let best = (0..4).map(|i| matrix[i][j]).fold(f64::INFINITY, f64::min);
@@ -72,14 +75,20 @@ fn main() {
     let avgs: Vec<f64> = (0..4)
         .map(|i| (0..4).map(|j| matrix[i][j]).sum::<f64>() / 4.0)
         .collect();
-    let worst = (0..4).max_by(|&a, &b| avgs[a].partial_cmp(&avgs[b]).unwrap()).unwrap();
-    let best = (0..4).min_by(|&a, &b| avgs[a].partial_cmp(&avgs[b]).unwrap()).unwrap();
+    let worst = (0..4)
+        .max_by(|&a, &b| avgs[a].partial_cmp(&avgs[b]).unwrap())
+        .unwrap();
+    let best = (0..4)
+        .min_by(|&a, &b| avgs[a].partial_cmp(&avgs[b]).unwrap())
+        .unwrap();
     println!(
         "\nworst transferring dictionary: {} (avg {:.3}; paper: GDB-17)",
-        Decks::NAMES[worst], avgs[worst]
+        Decks::NAMES[worst],
+        avgs[worst]
     );
     println!(
         "best average dictionary:       {} (avg {:.3}; paper: MIXED, 0.32)",
-        Decks::NAMES[best], avgs[best]
+        Decks::NAMES[best],
+        avgs[best]
     );
 }

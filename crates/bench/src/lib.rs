@@ -21,7 +21,10 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { lines: 20_000, seed: 0xC0FFEE }
+        ExpConfig {
+            lines: 20_000,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -66,11 +69,7 @@ impl Decks {
         Decks {
             gdb17: Dataset::generate(profiles::GDB17, cfg.lines, cfg.seed),
             mediate: Dataset::generate(profiles::MEDIATE, cfg.lines, cfg.seed.wrapping_add(1)),
-            exscalate: Dataset::generate(
-                profiles::EXSCALATE,
-                cfg.lines,
-                cfg.seed.wrapping_add(2),
-            ),
+            exscalate: Dataset::generate(profiles::EXSCALATE, cfg.lines, cfg.seed.wrapping_add(2)),
             // Distinct seed space so MIXED is not the union of the above
             // (matching the paper, where MIXED takes the first million of
             // each library while tests sample elsewhere).
@@ -110,7 +109,13 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
 /// An ASCII bar for figure-style output, scaled to `width` chars at 1.0.
 pub fn bar(value: f64, width: usize) -> String {
     let n = (value.clamp(0.0, 1.0) * width as f64).round() as usize;
-    format!("{:#<n$}{:.<rest$}", "", "", n = n, rest = width.saturating_sub(n))
+    format!(
+        "{:#<n$}{:.<rest$}",
+        "",
+        "",
+        n = n,
+        rest = width.saturating_sub(n)
+    )
 }
 
 /// Machine-readable result line (consumed when updating EXPERIMENTS.md).

@@ -152,16 +152,16 @@ pub fn fuse_aromatic_ring<R: Rng>(
 /// Functional groups the generator can bolt onto a free-valence atom.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FunctionalGroup {
-    Carboxyl,    // C(=O)O
-    Amide,       // C(=O)N
-    Methoxy,     // OC
-    Nitrile,     // C#N
-    Nitro,       // [N+](=O)[O-]
-    Sulfonyl,    // S(=O)(=O)C
+    Carboxyl,        // C(=O)O
+    Amide,           // C(=O)N
+    Methoxy,         // OC
+    Nitrile,         // C#N
+    Nitro,           // [N+](=O)[O-]
+    Sulfonyl,        // S(=O)(=O)C
     Trifluoromethyl, // C(F)(F)F
-    Hydroxyl,    // O
-    Amine,       // N
-    Ketone,      // C(=O)C
+    Hydroxyl,        // O
+    Amine,           // N
+    Ketone,          // C(=O)C
 }
 
 pub const ALL_GROUPS: [FunctionalGroup; 10] = [

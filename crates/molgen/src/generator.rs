@@ -32,7 +32,10 @@ impl Generator {
     pub fn new(profile: Profile, seed: u64) -> Self {
         let mut gen = Generator {
             profile,
-            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x5EED)),
+            rng: StdRng::seed_from_u64(
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x5EED),
+            ),
             write_opts: WriteOptions {
                 ring_alloc: RingAlloc::Sequential,
                 start: StartAtom::Terminal,
@@ -140,7 +143,11 @@ impl Generator {
         }
 
         // Keep attaching fragments until the target size is reached.
-        let mut rings_built = if self.scaffolds.is_empty() { 1.min(want_rings) } else { 0 };
+        let mut rings_built = if self.scaffolds.is_empty() {
+            1.min(want_rings)
+        } else {
+            0
+        };
         let mut guard = 0;
         while mol.atom_count() < target && guard < 200 {
             guard += 1;
@@ -252,7 +259,9 @@ fn ring_size<R: Rng>(rng: &mut R, aromatic: bool) -> usize {
             5
         }
     } else {
-        *[3usize, 4, 5, 5, 6, 6, 6, 7].get(rng.gen_range(0..8)).unwrap()
+        *[3usize, 4, 5, 5, 6, 6, 6, 7]
+            .get(rng.gen_range(0..8))
+            .unwrap()
     }
 }
 
@@ -261,9 +270,7 @@ fn pick_aromatic_bond<R: Rng>(mol: &Molecule, rng: &mut R) -> Option<(u32, u32)>
         .bonds()
         .iter()
         .filter(|b| {
-            b.is_aromatic(mol.atoms())
-                && free_valence(mol, b.a) >= 1
-                && free_valence(mol, b.b) >= 1
+            b.is_aromatic(mol.atoms()) && free_valence(mol, b.a) >= 1 && free_valence(mol, b.b) >= 1
         })
         .map(|b| (b.a, b.b))
         .collect();
@@ -275,13 +282,7 @@ fn pick_aromatic_bond<R: Rng>(mol: &Molecule, rng: &mut R) -> Option<(u32, u32)>
 }
 
 /// Grow a chain of `len` atoms from `from` (or as a fresh component).
-fn grow_chain<R: Rng>(
-    mol: &mut Molecule,
-    rng: &mut R,
-    p: &Profile,
-    from: Option<u32>,
-    len: usize,
-) {
+fn grow_chain<R: Rng>(mol: &mut Molecule, rng: &mut R, p: &Profile, from: Option<u32>, len: usize) {
     let mut prev = from;
     for _ in 0..len {
         // Stop before orphaning an atom: the previous one may have
@@ -306,13 +307,7 @@ fn grow_chain<R: Rng>(
     }
 }
 
-fn chain_bond<R: Rng>(
-    mol: &Molecule,
-    rng: &mut R,
-    p: &Profile,
-    a: u32,
-    b: u32,
-) -> Option<BondSym> {
+fn chain_bond<R: Rng>(mol: &Molecule, rng: &mut R, p: &Profile, a: u32, b: u32) -> Option<BondSym> {
     let fva = free_valence(mol, a);
     let fvb = free_valence(mol, b);
     if fva >= 3 && fvb >= 3 && rng.gen_bool(p.triple_bond_prob) {
@@ -356,7 +351,11 @@ fn decorate_chiral_centers<R: Rng>(mol: &mut Molecule, rng: &mut R, prob: f64) {
             _ => false,
         };
         if eligible && rng.gen_bool(prob) {
-            let chir = if rng.gen_bool(0.5) { Chirality::Ccw } else { Chirality::Cw };
+            let chir = if rng.gen_bool(0.5) {
+                Chirality::Ccw
+            } else {
+                Chirality::Cw
+            };
             replace_atom(
                 mol,
                 i,
@@ -457,13 +456,10 @@ fn decorate_stereo_bonds<R: Rng>(mol: &mut Molecule, rng: &mut R, prob: f64) {
         // Need a plain single bond on each side that is not itself part of
         // another stereo specification.
         let side = |mol: &Molecule, center: u32, exclude: u32| -> Option<u32> {
-            mol.adjacent(center)
-                .iter()
-                .copied()
-                .find(|&bi| {
-                    let bd = &mol.bonds()[bi as usize];
-                    bd.sym.is_none() && !bd.ring && bd.other(center) != exclude
-                })
+            mol.adjacent(center).iter().copied().find(|&bi| {
+                let bd = &mol.bonds()[bi as usize];
+                bd.sym.is_none() && !bd.ring && bd.other(center) != exclude
+            })
         };
         let (Some(ba), Some(bb)) = (side(mol, a, b), side(mol, b, a)) else {
             continue;
@@ -516,7 +512,11 @@ mod tests {
             for i in 0..300 {
                 let s = g.next_smiles();
                 full_check(&s).unwrap_or_else(|e| {
-                    panic!("{} molecule {i}: {e}: {}", profile.name, String::from_utf8_lossy(&s))
+                    panic!(
+                        "{} molecule {i}: {e}: {}",
+                        profile.name,
+                        String::from_utf8_lossy(&s)
+                    )
                 });
             }
         }
@@ -562,7 +562,10 @@ mod tests {
             saw_chiral |= s.contains('@');
             saw_ring |= s.contains('1');
         }
-        assert!(saw_chiral, "chirality should appear in 500 MEDIATE molecules");
+        assert!(
+            saw_chiral,
+            "chirality should appear in 500 MEDIATE molecules"
+        );
         assert!(saw_ring);
     }
 
@@ -576,7 +579,10 @@ mod tests {
                 dots += 1;
             }
         }
-        assert!(dots > 5, "~10% of EXSCALATE lines should be salts, saw {dots}/300");
+        assert!(
+            dots > 5,
+            "~10% of EXSCALATE lines should be salts, saw {dots}/300"
+        );
     }
 
     #[test]

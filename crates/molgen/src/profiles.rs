@@ -128,7 +128,13 @@ pub const EXSCALATE: Profile = Profile {
     isotope_prob: 0.01,
     salt_prob: 0.10,
     halogen_prob: 0.12,
-    palette: &[("C", 0.76), ("N", 0.10), ("O", 0.09), ("S", 0.04), ("P", 0.01)],
+    palette: &[
+        ("C", 0.76),
+        ("N", 0.10),
+        ("O", 0.09),
+        ("S", 0.04),
+        ("P", 0.01),
+    ],
     functional_group_prob: 0.35,
     scaffold_pool: 200,
 };
@@ -144,7 +150,11 @@ mod tests {
     fn palettes_are_normalized_enough() {
         for p in ALL_SOURCE_PROFILES {
             let total: f64 = p.palette.iter().map(|(_, w)| w).sum();
-            assert!((total - 1.0).abs() < 1e-9, "{} palette sums to {total}", p.name);
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{} palette sums to {total}",
+                p.name
+            );
         }
     }
 
@@ -174,6 +184,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // profile constants are the test subject
     fn profiles_are_distinct_along_key_axes() {
         // GDB-17 must be smaller and cleaner than the other two.
         assert!(GDB17.heavy_atoms.1 < MEDIATE.heavy_atoms.1);

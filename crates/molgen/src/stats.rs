@@ -171,7 +171,11 @@ mod tests {
         );
         // Decoration separation.
         assert_eq!(stats(&Dataset::generate(GDB17, n, 2)).salt_fraction, 0.0);
-        assert!(e.salt_fraction > 0.02, "EXSCALATE salts: {}", e.salt_fraction);
+        assert!(
+            e.salt_fraction > 0.02,
+            "EXSCALATE salts: {}",
+            e.salt_fraction
+        );
         // Alphabet separation: EXSCALATE uses more distinct bytes.
         assert!(e.alphabet_size > g.alphabet_size);
     }
@@ -181,7 +185,10 @@ mod tests {
         let ds = Dataset::generate(MEDIATE, 200, 3);
         let st = stats(&ds);
         assert!(st.entropy_bits <= (st.alphabet_size as f64).log2() + 1e-9);
-        assert!(st.entropy_bits > 2.0, "SMILES text should carry > 2 bits/byte");
+        assert!(
+            st.entropy_bits > 2.0,
+            "SMILES text should carry > 2 bits/byte"
+        );
     }
 
     #[test]

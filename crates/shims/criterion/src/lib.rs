@@ -1,0 +1,249 @@
+//! Hermetic stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the API subset its benches use: `criterion_group!` / `criterion_main!`,
+//! [`Criterion::benchmark_group`], per-group `measurement_time` /
+//! `warm_up_time` / `throughput` / `sample_size`, [`BenchmarkId`] and
+//! [`Bencher::iter`]. Statistics are intentionally simple — warm up, run
+//! timed samples, report the median and min with derived throughput — with
+//! none of the real crate's outlier analysis or HTML reports. Numbers are
+//! comparable run-to-run on an idle machine, which is what the paper-table
+//! harness needs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group(id.to_string());
+        g.bench_function("default", f);
+        g.finish();
+        self
+    }
+}
+
+/// Throughput annotation: per-sample work used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            mode: Mode::WarmUp,
+            budget: self.warm_up_time,
+        };
+        f(&mut b);
+        b.samples.clear();
+        b.mode = Mode::Measure {
+            max_samples: self.sample_size,
+        };
+        b.budget = self.measurement_time;
+        f(&mut b);
+        let mut samples = b.samples;
+        if samples.is_empty() {
+            println!("  {}/{:<28} (no samples)", self.name, id.id);
+            return self;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let rate = |d: Duration| match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mibs = n as f64 / d.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  {mibs:10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / d.as_secs_f64();
+                format!("  {eps:10.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "  {}/{:<28} median {:>12.3?}  min {:>12.3?}{}",
+            self.name,
+            id.id,
+            median,
+            min,
+            rate(median),
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    WarmUp,
+    Measure { max_samples: usize },
+}
+
+/// Passed to the closure; `iter` runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    mode: Mode,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let deadline = Instant::now() + self.budget;
+        match self.mode {
+            Mode::WarmUp => {
+                while Instant::now() < deadline {
+                    black_box(routine());
+                }
+            }
+            Mode::Measure { max_samples } => {
+                for _ in 0..max_samples {
+                    let t0 = Instant::now();
+                    black_box(routine());
+                    self.samples.push(t0.elapsed());
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Opaque value barrier (stable-Rust best effort).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.measurement_time(Duration::from_millis(20));
+        g.warm_up_time(Duration::from_millis(5));
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        let mut ran = 0u32;
+        g.bench_function(BenchmarkId::new("sum", 7), |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

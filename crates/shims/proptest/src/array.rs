@@ -1,0 +1,33 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `uniform32(element)` — a `[T; 32]` with independently sampled elements.
+pub fn uniform32<S: Strategy>(element: S) -> Uniform32<S> {
+    Uniform32 { element }
+}
+
+pub struct Uniform32<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for Uniform32<S> {
+    type Value = [S::Value; 32];
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; 32] {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform32_in_bounds() {
+        let mut rng = TestRng::from_seed(9);
+        let arr = uniform32(0u32..1000).sample(&mut rng);
+        assert_eq!(arr.len(), 32);
+        assert!(arr.iter().all(|&v| v < 1000));
+    }
+}

@@ -1,0 +1,124 @@
+//! Hermetic stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the API subset its property tests use: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map` / `prop_filter`, integer-range
+//! and `any::<T>()` strategies, [`collection::vec`], [`array::uniform32`],
+//! [`Just`], [`prop_oneof!`] and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the case number and the
+//!   per-test seed; re-running the test reproduces it exactly (the RNG is
+//!   seeded from the test name), which is what shrinking mostly buys.
+//! * **No persistence files.** Streams are deterministic, so there is no
+//!   regression corpus to save.
+//!
+//! Both trade debugging convenience for a zero-dependency build; the
+//! statistical coverage of N random cases per property is unchanged.
+
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything a test file needs with one glob import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// `prop_oneof![a, b, c]`: sample one of several same-valued strategies,
+/// chosen uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>> ),+
+        ])
+    };
+}
+
+/// The `proptest!` block: each `#[test] fn name(arg in strategy, ...)`
+/// becomes an ordinary test running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let ($($arg,)+) =
+                        ($( $crate::strategy::Strategy::sample(&($strat), &mut __rng) ,)+);
+                    let __run = || -> () { $body };
+                    if let Err(panic) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(__run),
+                    ) {
+                        eprintln!(
+                            "proptest: property '{}' failed at case {}/{} \
+                             (deterministic seed: test name)",
+                            stringify!($name), __case + 1, __cfg.cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}

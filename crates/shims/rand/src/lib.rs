@@ -1,0 +1,164 @@
+//! Hermetic stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the small API subset it actually uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] / [`Rng::gen_bool`],
+//! and [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ with a
+//! SplitMix64 seed expander — not the real `StdRng` (ChaCha12), but a
+//! high-quality deterministic PRNG with the same contract: one `u64` seed
+//! fully determines the stream.
+//!
+//! Streams are stable across platforms and releases; seeded tests in this
+//! workspace rely on that.
+
+pub mod rngs;
+pub mod seq;
+
+/// Sample a value uniformly from a range. Mirrors `rand::Rng`.
+pub trait Rng {
+    /// The raw generator step.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (`a..b` or `a..=b`). The two-parameter
+    /// shape mirrors the real crate so the value type is inferred from the
+    /// call site (e.g. a slice index forces `usize`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64));
+        f < p
+    }
+}
+
+/// Seeding interface. Mirrors `rand::SeedableRng` for the one constructor
+/// the workspace uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type uniform ranges can produce. Mirrors `rand`'s `SampleUniform`;
+/// the single blanket [`SampleRange`] impl below is what lets integer
+/// literals in `gen_range(0..4)` unify with the call site (e.g. `usize`
+/// from a slice index).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_in<R: Rng>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "cannot sample empty range");
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: Rng>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        assert!(lo < hi, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64));
+        lo + unit * (hi - lo)
+    }
+}
+
+/// A half-open or inclusive range that can be sampled for `T`. Mirrors
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_in(*self.start(), *self.end(), true, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use crate::seq::SliceRandom;
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
+    }
+}

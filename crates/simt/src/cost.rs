@@ -64,7 +64,9 @@ impl CostReport {
 
     pub fn merge(&mut self, other: &CostReport) {
         self.total.add(&other.total);
-        self.max_block_instructions = self.max_block_instructions.max(other.max_block_instructions);
+        self.max_block_instructions = self
+            .max_block_instructions
+            .max(other.max_block_instructions);
         self.blocks += other.blocks;
     }
 }
@@ -75,7 +77,11 @@ mod tests {
 
     #[test]
     fn counter_add() {
-        let mut a = CostCounter { instructions: 10, shuffles: 2, ..Default::default() };
+        let mut a = CostCounter {
+            instructions: 10,
+            shuffles: 2,
+            ..Default::default()
+        };
         let b = CostCounter {
             instructions: 5,
             load_transactions: 3,
@@ -92,15 +98,27 @@ mod tests {
     #[test]
     fn report_tracks_max_block() {
         let mut r = CostReport::default();
-        r.merge_block(&CostCounter { instructions: 10, ..Default::default() });
-        r.merge_block(&CostCounter { instructions: 50, ..Default::default() });
-        r.merge_block(&CostCounter { instructions: 20, ..Default::default() });
+        r.merge_block(&CostCounter {
+            instructions: 10,
+            ..Default::default()
+        });
+        r.merge_block(&CostCounter {
+            instructions: 50,
+            ..Default::default()
+        });
+        r.merge_block(&CostCounter {
+            instructions: 20,
+            ..Default::default()
+        });
         assert_eq!(r.blocks, 3);
         assert_eq!(r.total.instructions, 80);
         assert_eq!(r.max_block_instructions, 50);
 
         let mut r2 = CostReport::default();
-        r2.merge_block(&CostCounter { instructions: 70, ..Default::default() });
+        r2.merge_block(&CostCounter {
+            instructions: 70,
+            ..Default::default()
+        });
         r.merge(&r2);
         assert_eq!(r.blocks, 4);
         assert_eq!(r.max_block_instructions, 70);

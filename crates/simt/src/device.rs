@@ -72,8 +72,11 @@ pub struct StorageProfile {
 /// Marconi100's project/cold areas; per-stream GPFS throughput there is
 /// hundreds of MB/s, not the multi-GB/s aggregate figure — and this is
 /// the number that makes ZSMILES "memory-bound" end to end.
-pub const SCRATCH_FS: StorageProfile =
-    StorageProfile { name: "cold-storage", read_bw_gbs: 0.25, write_bw_gbs: 0.22 };
+pub const SCRATCH_FS: StorageProfile = StorageProfile {
+    name: "cold-storage",
+    read_bw_gbs: 0.25,
+    write_bw_gbs: 0.22,
+};
 
 /// Kernel-only time breakdown, seconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -130,11 +133,14 @@ impl DeviceProfile {
     pub fn kernel_time(&self, report: &CostReport) -> KernelTime {
         let issue_rate = self.sm_count as f64 * self.warp_ipc * self.clock_ghz * 1e9;
         let parallel_s = report.total.instructions as f64 / issue_rate;
-        let tail_s =
-            report.max_block_instructions as f64 / (self.warp_ipc * self.clock_ghz * 1e9);
+        let tail_s = report.max_block_instructions as f64 / (self.warp_ipc * self.clock_ghz * 1e9);
         let compute_s = parallel_s.max(tail_s);
         let memory_s = report.total.dram_bytes() as f64 / (self.mem_bw_gbs * 1e9);
-        KernelTime { compute_s, memory_s, launch_s: self.launch_overhead_us * 1e-6 }
+        KernelTime {
+            compute_s,
+            memory_s,
+            launch_s: self.launch_overhead_us * 1e-6,
+        }
     }
 
     /// Modeled end-to-end pipeline time: read `in_bytes` from storage,
@@ -217,7 +223,10 @@ mod tests {
     fn tail_block_bounds_compute() {
         // One monster block can't be split across SMs.
         let mut r = CostReport::default();
-        r.merge_block(&CostCounter { instructions: 1_000_000, ..Default::default() });
+        r.merge_block(&CostCounter {
+            instructions: 1_000_000,
+            ..Default::default()
+        });
         let kt = A100_LIKE.kernel_time(&r);
         let single_sm_s = 1_000_000.0 / (1.41e9);
         assert!((kt.compute_s - single_sm_s).abs() / single_sm_s < 1e-9);
@@ -227,7 +236,11 @@ mod tests {
     fn pipeline_io_dominates_small_kernels() {
         let r = report(1_000, 100, 100, 10);
         let pt = A100_LIKE.pipeline_time(&r, 1 << 30, 300 << 20, &SCRATCH_FS);
-        assert!(pt.io_fraction() > 0.9, "storage + PCIe dominate: {}", pt.io_fraction());
+        assert!(
+            pt.io_fraction() > 0.9,
+            "storage + PCIe dominate: {}",
+            pt.io_fraction()
+        );
         // 1 GiB at the profile's read bandwidth.
         let expect = (1u64 << 30) as f64 / (SCRATCH_FS.read_bw_gbs * 1e9);
         assert!((pt.read_s - expect).abs() < 1e-9);

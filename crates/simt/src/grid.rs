@@ -44,13 +44,13 @@ where
     for _ in 0..workers {
         slots.push(None);
     }
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..workers {
             let kernel = &kernel;
             let start = w * chunk;
             let end = ((w + 1) * chunk).min(blocks);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut report = CostReport::default();
                 let mut results = Vec::with_capacity(end.saturating_sub(start));
                 let mut ctx = BlockCtx::new();
@@ -65,8 +65,7 @@ where
         for (w, h) in handles.into_iter().enumerate() {
             slots[w] = Some(h.join().expect("kernel panicked"));
         }
-    })
-    .expect("scope join");
+    });
 
     let mut results = Vec::with_capacity(blocks);
     let mut report = CostReport::default();

@@ -33,8 +33,8 @@ pub const TRANSACTION_BYTES: usize = 32;
 pub use block::{BlockCtx, SharedMem};
 pub use cost::{CostCounter, CostReport};
 pub use device::{
-    CpuProfile, DeviceProfile, KernelTime, PipelineTime, StorageProfile, A100_LIKE,
-    EPYC_CORE_LIKE, SCRATCH_FS,
+    CpuProfile, DeviceProfile, KernelTime, PipelineTime, StorageProfile, A100_LIKE, EPYC_CORE_LIKE,
+    SCRATCH_FS,
 };
 pub use grid::launch;
 pub use warp::{Mask, WarpCtx, WarpVec};
@@ -51,9 +51,11 @@ mod tests {
         let (partials, report) = launch(128, 4, |ctx, b| {
             let base = (b * WARP_SIZE * 4) as u32;
             let offs = WarpVec::from_fn(|i| base + (i * 4) as u32);
-            let vals = ctx.warp.global_read::<u32>(&bytes, &offs, Mask::ALL, |buf, o| {
-                u32::from_le_bytes(buf[o..o + 4].try_into().unwrap())
-            });
+            let vals = ctx
+                .warp
+                .global_read::<u32>(&bytes, &offs, Mask::ALL, |buf, o| {
+                    u32::from_le_bytes(buf[o..o + 4].try_into().unwrap())
+                });
             ctx.warp.reduce_add(&vals, Mask::ALL)
         });
         let total: u64 = partials.iter().map(|&p| p as u64).sum();

@@ -103,7 +103,13 @@ impl WarpCtx {
         mut f: impl FnMut(T) -> U,
     ) -> WarpVec<U> {
         self.cost.instructions += 1;
-        WarpVec::from_fn(|i| if mask.lane(i) { f(a.lane(i)) } else { U::default() })
+        WarpVec::from_fn(|i| {
+            if mask.lane(i) {
+                f(a.lane(i))
+            } else {
+                U::default()
+            }
+        })
     }
 
     /// One lockstep ALU instruction over two input vectors.
@@ -116,7 +122,13 @@ impl WarpCtx {
         mut f: impl FnMut(A, B) -> U,
     ) -> WarpVec<U> {
         self.cost.instructions += 1;
-        WarpVec::from_fn(|i| if mask.lane(i) { f(a.lane(i), b.lane(i)) } else { U::default() })
+        WarpVec::from_fn(|i| {
+            if mask.lane(i) {
+                f(a.lane(i), b.lane(i))
+            } else {
+                U::default()
+            }
+        })
     }
 
     /// Predicate evaluation (one instruction) producing a mask — the
@@ -265,14 +277,21 @@ impl WarpCtx {
         }
     }
 
-    fn count_transactions(&mut self, offsets: &WarpVec<u32>, width: usize, mask: Mask, store: bool) {
+    fn count_transactions(
+        &mut self,
+        offsets: &WarpVec<u32>,
+        width: usize,
+        mask: Mask,
+        store: bool,
+    ) {
         // Distinct 32-byte sectors across all active lanes.
         let mut sectors: Vec<u64> = (0..WARP_SIZE)
             .filter(|&i| mask.lane(i))
             .flat_map(|i| {
                 let start = offsets.lane(i) as u64;
                 let end = start + width as u64;
-                (start / TRANSACTION_BYTES as u64)..=((end.max(start + 1) - 1) / TRANSACTION_BYTES as u64)
+                (start / TRANSACTION_BYTES as u64)
+                    ..=((end.max(start + 1) - 1) / TRANSACTION_BYTES as u64)
             })
             .collect();
         sectors.sort_unstable();
@@ -397,7 +416,13 @@ mod tests {
         let mut buf = vec![0u8; 64];
         let offs = WarpVec::from_fn(|i| i as u32);
         let vals = WarpVec::from_fn(|i| i as u8);
-        ctx.global_write(&mut buf, &offs, &vals, Mask::from_fn(|i| i < 8), |b, o, v| b[o] = v);
+        ctx.global_write(
+            &mut buf,
+            &offs,
+            &vals,
+            Mask::from_fn(|i| i < 8),
+            |b, o, v| b[o] = v,
+        );
         assert_eq!(&buf[..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
         assert_eq!(buf[8], 0);
         assert_eq!(ctx.cost.bytes_written, 8);

@@ -21,8 +21,8 @@ proptest! {
         let v = WarpVec(lanes);
         let scanned = ctx.inclusive_scan_add(&v, Mask::ALL);
         let mut acc = 0u32;
-        for i in 0..WARP_SIZE {
-            acc += lanes[i];
+        for (i, &lane) in lanes.iter().enumerate() {
+            acc += lane;
             prop_assert_eq!(scanned.lane(i), acc, "lane {}", i);
         }
     }
@@ -47,8 +47,8 @@ proptest! {
         let v = WarpVec(lanes);
         let mask = Mask(mask_bits);
         let m = ctx.ballot(&v, mask, |x| x >= cut);
-        for i in 0..WARP_SIZE {
-            prop_assert_eq!(m.lane(i), mask.lane(i) && lanes[i] >= cut, "lane {}", i);
+        for (i, &lane) in lanes.iter().enumerate() {
+            prop_assert_eq!(m.lane(i), mask.lane(i) && lane >= cut, "lane {}", i);
         }
     }
 

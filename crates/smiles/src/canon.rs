@@ -24,7 +24,11 @@ fn initial_invariant(mol: &Molecule, i: u32) -> u64 {
     let aromatic = a.aromatic() as u64;
     let degree = mol.adjacent(i).len() as u64;
     let (charge, hcount, isotope) = match a {
-        AtomKind::Bracket(b) => (b.charge as i64 + 16, b.hcount as u64, b.isotope.unwrap_or(0)),
+        AtomKind::Bracket(b) => (
+            b.charge as i64 + 16,
+            b.hcount as u64,
+            b.isotope.unwrap_or(0),
+        ),
         AtomKind::Bare(_) => (16, mol.implicit_hydrogens(i) as u64, 0),
     };
     let mut h = z;
@@ -114,8 +118,13 @@ pub fn canonical_smiles(mol: &Molecule) -> Vec<u8> {
         canon.add_bond(a, b, sym, false);
     }
 
-    let opts = WriteOptions { ring_alloc: RingAlloc::Reuse, start: StartAtom::First };
-    write(&canon, &opts).expect("canonical rewrite stays in ring-ID bounds").smiles
+    let opts = WriteOptions {
+        ring_alloc: RingAlloc::Reuse,
+        start: StartAtom::First,
+    };
+    write(&canon, &opts)
+        .expect("canonical rewrite stays in ring-ID bounds")
+        .smiles
 }
 
 fn strip_stereo(kind: &AtomKind) -> AtomKind {
@@ -180,7 +189,11 @@ mod tests {
 
     #[test]
     fn canonical_form_is_fixed_point() {
-        for s in ["COc1cc(C=O)ccc1O", "CC(C)Cc1ccc(cc1)C(C)C(=O)O", "C1CC2CCC2C1"] {
+        for s in [
+            "COc1cc(C=O)ccc1O",
+            "CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+            "C1CC2CCC2C1",
+        ] {
             let once = canon(s);
             assert_eq!(canon(&once), once, "{s}");
         }
@@ -202,7 +215,11 @@ mod tests {
     #[test]
     fn stereo_is_dropped_consistently() {
         assert_eq!(canon("C/C=C\\C"), canon("C/C=C/C"), "cis/trans collapse");
-        assert_eq!(canon("[C@H](C)(N)O"), canon("[C@@H](C)(N)O"), "parity collapse");
+        assert_eq!(
+            canon("[C@H](C)(N)O"),
+            canon("[C@@H](C)(N)O"),
+            "parity collapse"
+        );
     }
 
     #[test]
@@ -216,8 +233,14 @@ mod tests {
         // Same generator seed twice: canonical forms must match pairwise.
         use crate::writer::{RingAlloc, StartAtom, WriteOptions};
         let m = parse(b"CC(C)c1ccc(N)cc1").unwrap();
-        let w1 = write(&m, &WriteOptions { ring_alloc: RingAlloc::Sequential, start: StartAtom::Terminal })
-            .unwrap();
+        let w1 = write(
+            &m,
+            &WriteOptions {
+                ring_alloc: RingAlloc::Sequential,
+                start: StartAtom::Terminal,
+            },
+        )
+        .unwrap();
         let m2 = parse(&w1.smiles).unwrap();
         assert_eq!(canonical_smiles(&m), canonical_smiles(&m2));
     }

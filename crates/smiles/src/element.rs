@@ -19,8 +19,8 @@ pub const SYMBOLS: [&str; 118] = [
     "Sn", "Sb", "Te", "I", "Xe", "Cs", "Ba", "La", "Ce", "Pr", "Nd", "Pm", "Sm", "Eu", "Gd", "Tb",
     "Dy", "Ho", "Er", "Tm", "Yb", "Lu", "Hf", "Ta", "W", "Re", "Os", "Ir", "Pt", "Au", "Hg", "Tl",
     "Pb", "Bi", "Po", "At", "Rn", "Fr", "Ra", "Ac", "Th", "Pa", "U", "Np", "Pu", "Am", "Cm", "Bk",
-    "Cf", "Es", "Fm", "Md", "No", "Lr", "Rf", "Db", "Sg", "Bh", "Hs", "Mt", "Ds", "Rg", "Cn",
-    "Nh", "Fl", "Mc", "Lv", "Ts", "Og",
+    "Cf", "Es", "Fm", "Md", "No", "Lr", "Rf", "Db", "Sg", "Bh", "Hs", "Mt", "Ds", "Rg", "Cn", "Nh",
+    "Fl", "Mc", "Lv", "Ts", "Og",
 ];
 
 /// Standard atomic weights (CIAAW 2021 conventional values, u), indexed by
@@ -31,12 +31,12 @@ pub const ATOMIC_WEIGHTS: [f64; 118] = [
     26.982, 28.085, 30.974, 32.06, 35.45, 39.95, 39.098, 40.078, 44.956, 47.867, 50.942, 51.996,
     54.938, 55.845, 58.933, 58.693, 63.546, 65.38, 69.723, 72.630, 74.922, 78.971, 79.904, 83.798,
     85.468, 87.62, 88.906, 91.224, 92.906, 95.95, 97.0, 101.07, 102.91, 106.42, 107.87, 112.41,
-    114.82, 118.71, 121.76, 127.60, 126.90, 131.29, 132.91, 137.33, 138.91, 140.12, 140.91,
-    144.24, 145.0, 150.36, 151.96, 157.25, 158.93, 162.50, 164.93, 167.26, 168.93, 173.05,
-    174.97, 178.49, 180.95, 183.84, 186.21, 190.23, 192.22, 195.08, 196.97, 200.59, 204.38,
-    207.2, 208.98, 209.0, 210.0, 222.0, 223.0, 226.0, 227.0, 232.04, 231.04, 238.03, 237.0,
-    244.0, 243.0, 247.0, 247.0, 251.0, 252.0, 257.0, 258.0, 259.0, 262.0, 267.0, 270.0, 269.0,
-    270.0, 270.0, 278.0, 281.0, 281.0, 285.0, 286.0, 289.0, 289.0, 293.0, 293.0, 294.0,
+    114.82, 118.71, 121.76, 127.60, 126.90, 131.29, 132.91, 137.33, 138.91, 140.12, 140.91, 144.24,
+    145.0, 150.36, 151.96, 157.25, 158.93, 162.50, 164.93, 167.26, 168.93, 173.05, 174.97, 178.49,
+    180.95, 183.84, 186.21, 190.23, 192.22, 195.08, 196.97, 200.59, 204.38, 207.2, 208.98, 209.0,
+    210.0, 222.0, 223.0, 226.0, 227.0, 232.04, 231.04, 238.03, 237.0, 244.0, 243.0, 247.0, 247.0,
+    251.0, 252.0, 257.0, 258.0, 259.0, 262.0, 267.0, 270.0, 269.0, 270.0, 270.0, 278.0, 281.0,
+    281.0, 285.0, 286.0, 289.0, 289.0, 293.0, 293.0, 294.0,
 ];
 
 /// An element identified by atomic number, plus the `*` wildcard atom that
@@ -97,7 +97,7 @@ impl Element {
                 | Element::Z(9)   // F
                 | Element::Z(17)  // Cl
                 | Element::Z(35)  // Br
-                | Element::Z(53)  // I
+                | Element::Z(53) // I
         )
     }
 
@@ -108,8 +108,14 @@ impl Element {
     pub fn may_be_aromatic(&self) -> bool {
         matches!(
             self,
-            Element::Z(5) | Element::Z(6) | Element::Z(7) | Element::Z(8) | Element::Z(15)
-                | Element::Z(16) | Element::Z(33) | Element::Z(34)
+            Element::Z(5)
+                | Element::Z(6)
+                | Element::Z(7)
+                | Element::Z(8)
+                | Element::Z(15)
+                | Element::Z(16)
+                | Element::Z(33)
+                | Element::Z(34)
         )
     }
 
@@ -117,7 +123,11 @@ impl Element {
     pub fn bare_aromatic_allowed(&self) -> bool {
         matches!(
             self,
-            Element::Z(5) | Element::Z(6) | Element::Z(7) | Element::Z(8) | Element::Z(15)
+            Element::Z(5)
+                | Element::Z(6)
+                | Element::Z(7)
+                | Element::Z(8)
+                | Element::Z(15)
                 | Element::Z(16)
         )
     }
@@ -202,7 +212,11 @@ mod tests {
         for z in 1..=118u8 {
             let e = Element::Z(z);
             let sym = e.symbol();
-            assert_eq!(Element::from_symbol(sym.as_bytes()), Some(e), "symbol {sym}");
+            assert_eq!(
+                Element::from_symbol(sym.as_bytes()),
+                Some(e),
+                "symbol {sym}"
+            );
         }
     }
 
@@ -283,8 +297,17 @@ mod tests {
     #[test]
     fn default_valences_table() {
         assert_eq!(Element::from_symbol(b"C").unwrap().default_valences(), &[4]);
-        assert_eq!(Element::from_symbol(b"N").unwrap().default_valences(), &[3, 5]);
-        assert_eq!(Element::from_symbol(b"S").unwrap().default_valences(), &[2, 4, 6]);
-        assert_eq!(Element::from_symbol(b"Fe").unwrap().default_valences(), &[] as &[u8]);
+        assert_eq!(
+            Element::from_symbol(b"N").unwrap().default_valences(),
+            &[3, 5]
+        );
+        assert_eq!(
+            Element::from_symbol(b"S").unwrap().default_valences(),
+            &[2, 4, 6]
+        );
+        assert_eq!(
+            Element::from_symbol(b"Fe").unwrap().default_valences(),
+            &[] as &[u8]
+        );
     }
 }

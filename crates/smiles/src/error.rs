@@ -21,7 +21,10 @@ impl Span {
 
     /// A zero-width span at `pos`, used for "expected something here" errors.
     pub fn point(pos: usize) -> Self {
-        Span { start: pos, end: pos }
+        Span {
+            start: pos,
+            end: pos,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -116,7 +119,10 @@ impl fmt::Display for SmilesError {
             EmptyBracket { span } => write!(f, "bracket atom at {span} has no element symbol"),
             UnknownElement { span } => write!(f, "unknown element symbol at {span}"),
             BareAromaticNotAllowed { span } => {
-                write!(f, "aromatic symbol at {span} must be written inside brackets")
+                write!(
+                    f,
+                    "aromatic symbol at {span} must be written inside brackets"
+                )
             }
             MalformedPercentRing { at } => {
                 write!(f, "'%' at byte {at} must be followed by exactly two digits")
@@ -126,7 +132,10 @@ impl fmt::Display for SmilesError {
                 write!(f, "ring bond {id} at {span} closes onto the same atom")
             }
             RingBondMismatch { id, span } => {
-                write!(f, "ring bond {id} at {span} disagrees with its opening bond symbol")
+                write!(
+                    f,
+                    "ring bond {id} at {span} disagrees with its opening bond symbol"
+                )
             }
             UnclosedRing { id } => write!(f, "ring bond {id} is never closed"),
             DuplicateRingBond { id, span } => {

@@ -169,8 +169,15 @@ mod tests {
     #[test]
     fn known_masses() {
         assert!((mass("O") - 18.015).abs() < 0.01, "water {}", mass("O"));
-        assert!((mass("COc1cc(C=O)ccc1O") - 152.15).abs() < 0.05, "vanillin {}", mass("COc1cc(C=O)ccc1O"));
-        assert!((mass("CN1C=NC2=C1C(=O)N(C(=O)N2C)C") - 194.19).abs() < 0.05, "caffeine");
+        assert!(
+            (mass("COc1cc(C=O)ccc1O") - 152.15).abs() < 0.05,
+            "vanillin {}",
+            mass("COc1cc(C=O)ccc1O")
+        );
+        assert!(
+            (mass("CN1C=NC2=C1C(=O)N(C(=O)N2C)C") - 194.19).abs() < 0.05,
+            "caffeine"
+        );
     }
 
     #[test]

@@ -64,9 +64,7 @@ impl Bond {
     pub fn is_aromatic(&self, atoms: &[AtomKind]) -> bool {
         match self.sym {
             Some(BondSym::Aromatic) => true,
-            None => {
-                atoms[self.a as usize].aromatic() && atoms[self.b as usize].aromatic()
-            }
+            None => atoms[self.a as usize].aromatic() && atoms[self.b as usize].aromatic(),
             _ => false,
         }
     }
@@ -275,8 +273,14 @@ impl Molecule {
             .bonds
             .iter()
             .map(|b| {
-                let za = self.atoms[b.a as usize].element().atomic_number().unwrap_or(0) as u64;
-                let zb = self.atoms[b.b as usize].element().atomic_number().unwrap_or(0) as u64;
+                let za = self.atoms[b.a as usize]
+                    .element()
+                    .atomic_number()
+                    .unwrap_or(0) as u64;
+                let zb = self.atoms[b.b as usize]
+                    .element()
+                    .atomic_number()
+                    .unwrap_or(0) as u64;
                 let (lo, hi) = if za < zb { (za, zb) } else { (zb, za) };
                 (lo << 16) | (hi << 4) | b.order(&self.atoms) as u64
             })
@@ -297,11 +301,17 @@ mod tests {
     use crate::element::Element;
 
     fn carbon() -> AtomKind {
-        AtomKind::Bare(BareAtom { element: Element::from_symbol(b"C").unwrap(), aromatic: false })
+        AtomKind::Bare(BareAtom {
+            element: Element::from_symbol(b"C").unwrap(),
+            aromatic: false,
+        })
     }
 
     fn arom_carbon() -> AtomKind {
-        AtomKind::Bare(BareAtom { element: Element::from_symbol(b"C").unwrap(), aromatic: true })
+        AtomKind::Bare(BareAtom {
+            element: Element::from_symbol(b"C").unwrap(),
+            aromatic: true,
+        })
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl<'a> Lexer<'a> {
             }
             b'0'..=b'9' => {
                 self.pos += 1;
-                Token::Ring { id: (b - b'0') as u16, form: RingForm::Digit }
+                Token::Ring {
+                    id: (b - b'0') as u16,
+                    form: RingForm::Digit,
+                }
             }
             b'%' => {
                 let d1 = self.input.get(self.pos + 1).copied();
@@ -82,7 +85,10 @@ impl<'a> Lexer<'a> {
             }
             b'*' => {
                 self.pos += 1;
-                Token::Atom(BareAtom { element: Element::Wildcard, aromatic: false })
+                Token::Atom(BareAtom {
+                    element: Element::Wildcard,
+                    aromatic: false,
+                })
             }
             b'A'..=b'Z' => self.lex_bare_upper()?,
             b'b' | b'c' | b'n' | b'o' | b'p' | b's' => {
@@ -96,7 +102,10 @@ impl<'a> Lexer<'a> {
                 }
                 self.pos += 1;
                 let elem = Element::from_symbol(&[b.to_ascii_uppercase()]).expect("bcnops");
-                Token::Atom(BareAtom { element: elem, aromatic: true })
+                Token::Atom(BareAtom {
+                    element: elem,
+                    aromatic: true,
+                })
             }
             b'a' => {
                 if self.input.get(self.pos + 1) == Some(&b's') {
@@ -108,7 +117,10 @@ impl<'a> Lexer<'a> {
             }
             _ => return Err(SmilesError::UnexpectedByte { byte: b, at: start }),
         };
-        Ok(Some(Spanned { token, span: Span::new(start, self.pos) }))
+        Ok(Some(Spanned {
+            token,
+            span: Span::new(start, self.pos),
+        }))
     }
 
     /// Bare upper-case atom: one of the organic subset, honouring two-letter
@@ -122,19 +134,25 @@ impl<'a> Lexer<'a> {
         if (b0 == b'C' && self.input.get(self.pos + 1) == Some(&b'l'))
             || (b0 == b'B' && self.input.get(self.pos + 1) == Some(&b'r'))
         {
-            let e = Element::from_symbol(&self.input[self.pos..self.pos + 2])
-                .expect("Cl/Br in table");
+            let e =
+                Element::from_symbol(&self.input[self.pos..self.pos + 2]).expect("Cl/Br in table");
             self.pos += 2;
-            return Ok(Token::Atom(BareAtom { element: e, aromatic: false }));
+            return Ok(Token::Atom(BareAtom {
+                element: e,
+                aromatic: false,
+            }));
         }
         match Element::from_symbol(&[b0]) {
             Some(e) if e.in_organic_subset() => {
                 self.pos += 1;
-                Ok(Token::Atom(BareAtom { element: e, aromatic: false }))
+                Ok(Token::Atom(BareAtom {
+                    element: e,
+                    aromatic: false,
+                }))
             }
-            Some(_) | None => {
-                Err(SmilesError::UnknownElement { span: Span::new(start, start + 1) })
-            }
+            Some(_) | None => Err(SmilesError::UnknownElement {
+                span: Span::new(start, start + 1),
+            }),
         }
     }
 
@@ -174,10 +192,11 @@ impl<'a> Lexer<'a> {
         }
         // 'H' alone is hydrogen-the-element inside brackets ([H+], [2H]);
         // parse_bracket_symbol handles it because H is in the symbol table.
-        let (elem, used, aromatic) = parse_bracket_symbol(&self.input[self.pos..close])
-            .ok_or(SmilesError::UnknownElement {
+        let (elem, used, aromatic) = parse_bracket_symbol(&self.input[self.pos..close]).ok_or(
+            SmilesError::UnknownElement {
                 span: Span::new(self.pos, (self.pos + 2).min(close)),
-            })?;
+            },
+        )?;
         atom.element = elem;
         atom.aromatic = aromatic;
         self.pos += used;
@@ -266,7 +285,9 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
         }
         if v > u16::MAX as u32 {
-            return Err(SmilesError::NumberOverflow { span: Span::new(start, self.pos) });
+            return Err(SmilesError::NumberOverflow {
+                span: Span::new(start, self.pos),
+            });
         }
         Ok((v as u16, self.pos - start))
     }
@@ -298,7 +319,11 @@ mod tests {
     use super::*;
 
     fn kinds(line: &str) -> Vec<Token> {
-        tokenize(line.as_bytes()).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(line.as_bytes())
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     fn roundtrip(line: &str) -> String {
@@ -313,7 +338,13 @@ mod tests {
         assert_eq!(toks.len(), 16);
         assert!(matches!(toks[0], Token::Atom(a) if !a.aromatic && a.element.symbol() == "C"));
         assert!(matches!(toks[2], Token::Atom(a) if a.aromatic && a.element.symbol() == "C"));
-        assert!(matches!(toks[3], Token::Ring { id: 1, form: RingForm::Digit }));
+        assert!(matches!(
+            toks[3],
+            Token::Ring {
+                id: 1,
+                form: RingForm::Digit
+            }
+        ));
         assert!(matches!(toks[6], Token::BranchOpen));
         assert!(matches!(toks[8], Token::Bond(BondSym::Double)));
         assert!(matches!(toks[10], Token::BranchClose));
@@ -352,8 +383,20 @@ mod tests {
     #[test]
     fn percent_ring_ids() {
         let toks = kinds("C%10CC%10");
-        assert!(matches!(toks[1], Token::Ring { id: 10, form: RingForm::Percent }));
-        assert!(matches!(toks[4], Token::Ring { id: 10, form: RingForm::Percent }));
+        assert!(matches!(
+            toks[1],
+            Token::Ring {
+                id: 10,
+                form: RingForm::Percent
+            }
+        ));
+        assert!(matches!(
+            toks[4],
+            Token::Ring {
+                id: 10,
+                form: RingForm::Percent
+            }
+        ));
     }
 
     #[test]
@@ -378,7 +421,9 @@ mod tests {
     #[test]
     fn bracket_full_fields() {
         let toks = kinds("[13C@H2+2:7]");
-        let Token::Bracket(b) = toks[0] else { panic!("want bracket") };
+        let Token::Bracket(b) = toks[0] else {
+            panic!("want bracket")
+        };
         assert_eq!(b.isotope, Some(13));
         assert_eq!(b.element.symbol(), "C");
         assert_eq!(b.chirality, Chirality::Ccw);
@@ -421,30 +466,63 @@ mod tests {
 
     #[test]
     fn bracket_errors() {
-        assert!(matches!(tokenize(b"[CH4"), Err(SmilesError::UnterminatedBracket { at: 0 })));
-        assert!(matches!(tokenize(b"[]"), Err(SmilesError::EmptyBracket { .. })));
-        assert!(matches!(tokenize(b"[Xx]"), Err(SmilesError::UnknownElement { .. })));
-        assert!(matches!(tokenize(b"[C+16]"), Err(SmilesError::NumberOverflow { .. })));
-        assert!(matches!(tokenize(b"[CH99]"), Err(SmilesError::NumberOverflow { .. })));
+        assert!(matches!(
+            tokenize(b"[CH4"),
+            Err(SmilesError::UnterminatedBracket { at: 0 })
+        ));
+        assert!(matches!(
+            tokenize(b"[]"),
+            Err(SmilesError::EmptyBracket { .. })
+        ));
+        assert!(matches!(
+            tokenize(b"[Xx]"),
+            Err(SmilesError::UnknownElement { .. })
+        ));
+        assert!(matches!(
+            tokenize(b"[C+16]"),
+            Err(SmilesError::NumberOverflow { .. })
+        ));
+        assert!(matches!(
+            tokenize(b"[CH99]"),
+            Err(SmilesError::NumberOverflow { .. })
+        ));
     }
 
     #[test]
     fn bare_errors() {
         // Fe must be bracketed: F lexes, then 'e' cannot start a token.
-        assert!(matches!(tokenize(b"FeC"), Err(SmilesError::UnexpectedByte { byte: b'e', .. })));
+        assert!(matches!(
+            tokenize(b"FeC"),
+            Err(SmilesError::UnexpectedByte { byte: b'e', .. })
+        ));
         // se / as must be bracketed.
-        assert!(matches!(tokenize(b"se1ccc1"), Err(SmilesError::BareAromaticNotAllowed { .. })));
-        assert!(matches!(tokenize(b"asC"), Err(SmilesError::BareAromaticNotAllowed { .. })));
+        assert!(matches!(
+            tokenize(b"se1ccc1"),
+            Err(SmilesError::BareAromaticNotAllowed { .. })
+        ));
+        assert!(matches!(
+            tokenize(b"asC"),
+            Err(SmilesError::BareAromaticNotAllowed { .. })
+        ));
         // random junk
-        assert!(matches!(tokenize(b"C!C"), Err(SmilesError::UnexpectedByte { byte: b'!', at: 1 })));
+        assert!(matches!(
+            tokenize(b"C!C"),
+            Err(SmilesError::UnexpectedByte { byte: b'!', at: 1 })
+        ));
         // 'E' is not an element
-        assert!(matches!(tokenize(b"E"), Err(SmilesError::UnknownElement { .. })));
+        assert!(matches!(
+            tokenize(b"E"),
+            Err(SmilesError::UnknownElement { .. })
+        ));
     }
 
     #[test]
     fn bare_f_is_fluorine_not_prefix() {
         // "Fl" is NOT flerovium outside brackets: F lexes, 'l' errors.
-        assert!(matches!(tokenize(b"FlC"), Err(SmilesError::UnexpectedByte { byte: b'l', .. })));
+        assert!(matches!(
+            tokenize(b"FlC"),
+            Err(SmilesError::UnexpectedByte { byte: b'l', .. })
+        ));
         // Plain F is fine.
         let toks = kinds("FC");
         assert!(matches!(toks[0], Token::Atom(a) if a.element.symbol() == "F"));

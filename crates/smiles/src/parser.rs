@@ -88,16 +88,17 @@ pub fn parse_tokens(tokens: &[Spanned]) -> Result<Molecule, SmilesError> {
                         // Closing half.
                         open_ring_count -= 1;
                         if open.atom == cur {
-                            return Err(SmilesError::RingSelfBond { id: *id, span: st.span });
+                            return Err(SmilesError::RingSelfBond {
+                                id: *id,
+                                span: st.span,
+                            });
                         }
                         let close_bond = pending_bond.take().map(|(s, _)| s);
                         let sym = match (open.bond, close_bond) {
                             (Some(a), Some(b)) if a != b => {
                                 // Directional bonds may legitimately differ
                                 // (/ on one side, \ on the other).
-                                let dir = |s: BondSym| {
-                                    matches!(s, BondSym::Up | BondSym::Down)
-                                };
+                                let dir = |s: BondSym| matches!(s, BondSym::Up | BondSym::Down);
                                 if dir(a) && dir(b) {
                                     Some(a)
                                 } else {
@@ -137,9 +138,7 @@ pub fn parse_tokens(tokens: &[Spanned]) -> Result<Molecule, SmilesError> {
             Token::BranchClose => {
                 let (restore, open_at) = match stack.pop() {
                     Some(v) => v,
-                    None => {
-                        return Err(SmilesError::UnmatchedBranchClose { at: st.span.start })
-                    }
+                    None => return Err(SmilesError::UnmatchedBranchClose { at: st.span.start }),
                 };
                 if branch_just_opened {
                     return Err(SmilesError::EmptyBranch {
@@ -189,7 +188,9 @@ pub fn parse_tokens(tokens: &[Spanned]) -> Result<Molecule, SmilesError> {
     // last token.
     if let Some(last) = tokens.last() {
         if matches!(last.token, Token::Dot) {
-            return Err(SmilesError::MisplacedDot { at: last.span.start });
+            return Err(SmilesError::MisplacedDot {
+                at: last.span.start,
+            });
         }
     }
     Ok(mol)
@@ -248,7 +249,12 @@ mod tests {
         for s in [&b"C=1CCCCC1"[..], &b"C1CCCCC=1"[..]] {
             let m = parse(s).unwrap();
             let ring_bond = m.bonds().iter().find(|b| b.ring).unwrap();
-            assert_eq!(ring_bond.sym, Some(BondSym::Double), "{}", String::from_utf8_lossy(s));
+            assert_eq!(
+                ring_bond.sym,
+                Some(BondSym::Double),
+                "{}",
+                String::from_utf8_lossy(s)
+            );
         }
     }
 
@@ -298,12 +304,18 @@ mod tests {
 
     #[test]
     fn error_unclosed_ring() {
-        assert!(matches!(parse(b"C1CCC"), Err(SmilesError::UnclosedRing { id: 1 })));
+        assert!(matches!(
+            parse(b"C1CCC"),
+            Err(SmilesError::UnclosedRing { id: 1 })
+        ));
     }
 
     #[test]
     fn error_self_ring() {
-        assert!(matches!(parse(b"C11"), Err(SmilesError::RingSelfBond { id: 1, .. })));
+        assert!(matches!(
+            parse(b"C11"),
+            Err(SmilesError::RingSelfBond { id: 1, .. })
+        ));
     }
 
     #[test]
@@ -317,42 +329,90 @@ mod tests {
 
     #[test]
     fn error_branch_imbalance() {
-        assert!(matches!(parse(b"C(C"), Err(SmilesError::UnclosedBranch { at: 1 })));
-        assert!(matches!(parse(b"CC)"), Err(SmilesError::UnmatchedBranchClose { at: 2 })));
+        assert!(matches!(
+            parse(b"C(C"),
+            Err(SmilesError::UnclosedBranch { at: 1 })
+        ));
+        assert!(matches!(
+            parse(b"CC)"),
+            Err(SmilesError::UnmatchedBranchClose { at: 2 })
+        ));
     }
 
     #[test]
     fn error_empty_branch() {
-        assert!(matches!(parse(b"C()C"), Err(SmilesError::EmptyBranch { .. })));
+        assert!(matches!(
+            parse(b"C()C"),
+            Err(SmilesError::EmptyBranch { .. })
+        ));
     }
 
     #[test]
     fn error_branch_without_atom() {
-        assert!(matches!(parse(b"(C)C"), Err(SmilesError::BranchWithoutAtom { at: 0 })));
+        assert!(matches!(
+            parse(b"(C)C"),
+            Err(SmilesError::BranchWithoutAtom { at: 0 })
+        ));
     }
 
     #[test]
     fn error_dangling_bonds() {
-        assert!(matches!(parse(b"=CC"), Err(SmilesError::DanglingBond { at: 0 })));
-        assert!(matches!(parse(b"CC="), Err(SmilesError::DanglingBond { at: 2 })));
-        assert!(matches!(parse(b"C==C"), Err(SmilesError::DanglingBond { .. })));
-        assert!(matches!(parse(b"C=(C)"), Err(SmilesError::DanglingBond { .. })));
-        assert!(matches!(parse(b"C(C=)"), Err(SmilesError::DanglingBond { .. })));
-        assert!(matches!(parse(b"C=.C"), Err(SmilesError::DanglingBond { .. })));
+        assert!(matches!(
+            parse(b"=CC"),
+            Err(SmilesError::DanglingBond { at: 0 })
+        ));
+        assert!(matches!(
+            parse(b"CC="),
+            Err(SmilesError::DanglingBond { at: 2 })
+        ));
+        assert!(matches!(
+            parse(b"C==C"),
+            Err(SmilesError::DanglingBond { .. })
+        ));
+        assert!(matches!(
+            parse(b"C=(C)"),
+            Err(SmilesError::DanglingBond { .. })
+        ));
+        assert!(matches!(
+            parse(b"C(C=)"),
+            Err(SmilesError::DanglingBond { .. })
+        ));
+        assert!(matches!(
+            parse(b"C=.C"),
+            Err(SmilesError::DanglingBond { .. })
+        ));
     }
 
     #[test]
     fn error_misplaced_dots() {
-        assert!(matches!(parse(b".CC"), Err(SmilesError::MisplacedDot { at: 0 })));
-        assert!(matches!(parse(b"CC."), Err(SmilesError::MisplacedDot { .. })));
-        assert!(matches!(parse(b"C(.C)C"), Err(SmilesError::MisplacedDot { .. })));
-        assert!(matches!(parse(b"C..C"), Err(SmilesError::MisplacedDot { .. })));
+        assert!(matches!(
+            parse(b".CC"),
+            Err(SmilesError::MisplacedDot { at: 0 })
+        ));
+        assert!(matches!(
+            parse(b"CC."),
+            Err(SmilesError::MisplacedDot { .. })
+        ));
+        assert!(matches!(
+            parse(b"C(.C)C"),
+            Err(SmilesError::MisplacedDot { .. })
+        ));
+        assert!(matches!(
+            parse(b"C..C"),
+            Err(SmilesError::MisplacedDot { .. })
+        ));
     }
 
     #[test]
     fn error_ring_without_atom() {
-        assert!(matches!(parse(b"1CC1"), Err(SmilesError::RingWithoutAtom { at: 0 })));
-        assert!(matches!(parse(b"C.1CC1"), Err(SmilesError::RingWithoutAtom { .. })));
+        assert!(matches!(
+            parse(b"1CC1"),
+            Err(SmilesError::RingWithoutAtom { at: 0 })
+        ));
+        assert!(matches!(
+            parse(b"C.1CC1"),
+            Err(SmilesError::RingWithoutAtom { .. })
+        ));
     }
 
     #[test]
@@ -390,7 +450,11 @@ mod tests {
     #[test]
     fn explicit_single_between_aromatic_rings() {
         let m = parse(b"c1ccccc1-c1ccccc1").unwrap(); // biphenyl
-        let link = m.bonds().iter().find(|b| b.sym == Some(BondSym::Single)).unwrap();
+        let link = m
+            .bonds()
+            .iter()
+            .find(|b| b.sym == Some(BondSym::Single))
+            .unwrap();
         assert!(!link.is_aromatic(m.atoms()));
         assert_eq!(m.ring_count(), 2);
     }

@@ -69,7 +69,11 @@ impl Default for Preprocessor {
 
 impl Preprocessor {
     pub fn new() -> Self {
-        Preprocessor { pairs: Vec::new(), assigned: Vec::new(), open_slots: [-1; 100] }
+        Preprocessor {
+            pairs: Vec::new(),
+            assigned: Vec::new(),
+            open_slots: [-1; 100],
+        }
     }
 
     /// Renumber ring IDs in `line` (no trailing newline), appending the
@@ -187,9 +191,15 @@ impl Preprocessor {
         for ((start, end), id) in edits {
             out.extend_from_slice(&line[pos..start]);
             let tok = if id < 10 {
-                Token::Ring { id, form: RingForm::Digit }
+                Token::Ring {
+                    id,
+                    form: RingForm::Digit,
+                }
             } else {
-                Token::Ring { id, form: RingForm::Percent }
+                Token::Ring {
+                    id,
+                    form: RingForm::Percent,
+                }
             };
             tok.write_to(out);
             pos = end;
@@ -329,8 +339,10 @@ mod tests {
 
     #[test]
     fn postprocess_starts_at_one_outermost() {
-        assert_eq!(post("C0=CC=C(C=C0)C(=O)CC(=O)C0=CC=CC=C0"),
-                   "C1=CC=C(C=C1)C(=O)CC(=O)C1=CC=CC=C1");
+        assert_eq!(
+            post("C0=CC=C(C=C0)C(=O)CC(=O)C0=CC=CC=C0"),
+            "C1=CC=C(C=C1)C(=O)CC(=O)C1=CC=CC=C1"
+        );
         assert_eq!(post("C1CC0CCC0CC1"), "C1CC2CCC2CC1");
     }
 
@@ -383,7 +395,8 @@ mod tests {
             ("C1CC2CCC2CC1", "C1CC0CCC0CC1"),
         ] {
             out.clear();
-            p.process_into(input.as_bytes(), RingRenumber::Innermost, 0, &mut out).unwrap();
+            p.process_into(input.as_bytes(), RingRenumber::Innermost, 0, &mut out)
+                .unwrap();
             assert_eq!(std::str::from_utf8(&out).unwrap(), want, "{input}");
         }
     }

@@ -194,7 +194,10 @@ pub enum Token {
     Bond(BondSym),
     /// Ring-bond open-or-close marker. Whether it opens or closes is
     /// resolved by the parser (first occurrence opens, second closes).
-    Ring { id: u16, form: RingForm },
+    Ring {
+        id: u16,
+        form: RingForm,
+    },
     BranchOpen,
     BranchClose,
     Dot,
@@ -279,11 +282,20 @@ mod tests {
 
     #[test]
     fn bare_atom_serialization() {
-        let c = Token::Atom(BareAtom { element: Element::from_symbol(b"C").unwrap(), aromatic: false });
+        let c = Token::Atom(BareAtom {
+            element: Element::from_symbol(b"C").unwrap(),
+            aromatic: false,
+        });
         assert_eq!(to_string(c), "C");
-        let n = Token::Atom(BareAtom { element: Element::from_symbol(b"N").unwrap(), aromatic: true });
+        let n = Token::Atom(BareAtom {
+            element: Element::from_symbol(b"N").unwrap(),
+            aromatic: true,
+        });
         assert_eq!(to_string(n), "n");
-        let cl = Token::Atom(BareAtom { element: Element::from_symbol(b"Cl").unwrap(), aromatic: false });
+        let cl = Token::Atom(BareAtom {
+            element: Element::from_symbol(b"Cl").unwrap(),
+            aromatic: false,
+        });
         assert_eq!(to_string(cl), "Cl");
     }
 
@@ -339,9 +351,27 @@ mod tests {
 
     #[test]
     fn ring_token_forms() {
-        assert_eq!(to_string(Token::Ring { id: 3, form: RingForm::Digit }), "3");
-        assert_eq!(to_string(Token::Ring { id: 12, form: RingForm::Percent }), "%12");
-        assert_eq!(to_string(Token::Ring { id: 5, form: RingForm::Percent }), "%05");
+        assert_eq!(
+            to_string(Token::Ring {
+                id: 3,
+                form: RingForm::Digit
+            }),
+            "3"
+        );
+        assert_eq!(
+            to_string(Token::Ring {
+                id: 12,
+                form: RingForm::Percent
+            }),
+            "%12"
+        );
+        assert_eq!(
+            to_string(Token::Ring {
+                id: 5,
+                form: RingForm::Percent
+            }),
+            "%05"
+        );
     }
 
     #[test]
@@ -354,9 +384,17 @@ mod tests {
 
     #[test]
     fn is_atom_predicate() {
-        assert!(Token::Atom(BareAtom { element: Element::Wildcard, aromatic: false }).is_atom());
+        assert!(Token::Atom(BareAtom {
+            element: Element::Wildcard,
+            aromatic: false
+        })
+        .is_atom());
         assert!(Token::Bracket(BracketAtom::bare(Element::Z(26))).is_atom());
         assert!(!Token::Dot.is_atom());
-        assert!(!Token::Ring { id: 1, form: RingForm::Digit }.is_atom());
+        assert!(!Token::Ring {
+            id: 1,
+            form: RingForm::Digit
+        }
+        .is_atom());
     }
 }

@@ -87,9 +87,18 @@ mod tests {
 
     #[test]
     fn quick_rejects_imbalance() {
-        assert!(matches!(quick_check(b"C(C"), Err(SmilesError::UnclosedBranch { at: 1 })));
-        assert!(matches!(quick_check(b"CC)"), Err(SmilesError::UnmatchedBranchClose { .. })));
-        assert!(matches!(quick_check(b"C1CC"), Err(SmilesError::UnclosedRing { id: 1 })));
+        assert!(matches!(
+            quick_check(b"C(C"),
+            Err(SmilesError::UnclosedBranch { at: 1 })
+        ));
+        assert!(matches!(
+            quick_check(b"CC)"),
+            Err(SmilesError::UnmatchedBranchClose { .. })
+        ));
+        assert!(matches!(
+            quick_check(b"C1CC"),
+            Err(SmilesError::UnclosedRing { id: 1 })
+        ));
         assert!(matches!(quick_check(b""), Err(SmilesError::EmptyInput)));
         assert!(matches!(quick_check(b"=#"), Err(SmilesError::EmptyInput)));
     }

@@ -67,7 +67,10 @@ pub fn write(mol: &Molecule, opts: &WriteOptions) -> Result<Written, SmilesError
     let mut out = Vec::with_capacity(n * 2);
     let mut emit_order = Vec::with_capacity(n);
     if n == 0 {
-        return Ok(Written { smiles: out, emit_order });
+        return Ok(Written {
+            smiles: out,
+            emit_order,
+        });
     }
 
     let mut visited = vec![false; n];
@@ -76,11 +79,7 @@ pub fn write(mol: &Molecule, opts: &WriteOptions) -> Result<Written, SmilesError
     let mut ring_ids: Vec<Option<u16>> = vec![None; mol.bond_count()];
 
     let mut first_component = true;
-    loop {
-        let start = match pick_start(mol, &visited, opts.start) {
-            Some(s) => s,
-            None => break,
-        };
+    while let Some(start) = pick_start(mol, &visited, opts.start) {
         if !first_component {
             out.push(b'.');
         }
@@ -95,7 +94,10 @@ pub fn write(mol: &Molecule, opts: &WriteOptions) -> Result<Written, SmilesError
             &mut emit_order,
         )?;
     }
-    Ok(Written { smiles: out, emit_order })
+    Ok(Written {
+        smiles: out,
+        emit_order,
+    })
 }
 
 /// Convenience wrapper returning only the bytes.
@@ -145,7 +147,11 @@ struct RingIdAllocator {
 
 impl RingIdAllocator {
     fn new(policy: RingAlloc) -> Self {
-        RingIdAllocator { policy, next: 1, in_use: [false; 100] }
+        RingIdAllocator {
+            policy,
+            next: 1,
+            in_use: [false; 100],
+        }
     }
 
     fn open(&mut self) -> Result<u16, SmilesError> {
@@ -153,7 +159,9 @@ impl RingIdAllocator {
             RingAlloc::Sequential => {
                 let id = self.next;
                 if id > 99 {
-                    return Err(SmilesError::RingIdSpaceExhausted { concurrent: id as usize });
+                    return Err(SmilesError::RingIdSpaceExhausted {
+                        concurrent: id as usize,
+                    });
                 }
                 self.next += 1;
                 Ok(id)
@@ -180,7 +188,10 @@ impl RingIdAllocator {
 /// Emission plan entries for the iterative DFS.
 enum Plan {
     /// Emit atom (entering through bond index, u32::MAX for roots).
-    Atom { atom: u32, via: u32 },
+    Atom {
+        atom: u32,
+        via: u32,
+    },
     Open,
     Close,
 }
@@ -214,8 +225,7 @@ fn write_component(
             }
             let bi = adj[*next];
             *next += 1;
-            if bi == via || tree_parent[bi as usize] != u32::MAX || is_ring_edge[bi as usize]
-            {
+            if bi == via || tree_parent[bi as usize] != u32::MAX || is_ring_edge[bi as usize] {
                 continue;
             }
             let bond = &mol.bonds()[bi as usize];
@@ -232,7 +242,10 @@ fn write_component(
 
     // Phase B — emit in the same preorder, printing ring digits at both
     // endpoints of every ring edge (opened at the first-emitted endpoint).
-    let mut stack: Vec<Plan> = vec![Plan::Atom { atom: start, via: u32::MAX }];
+    let mut stack: Vec<Plan> = vec![Plan::Atom {
+        atom: start,
+        via: u32::MAX,
+    }];
     while let Some(step) = stack.pop() {
         match step {
             Plan::Open => out.push(b'('),
@@ -290,10 +303,16 @@ fn write_component(
                 for (pos, &bi) in children.iter().enumerate().rev() {
                     let child = mol.bonds()[bi as usize].other(atom);
                     if pos + 1 == k {
-                        stack.push(Plan::Atom { atom: child, via: bi });
+                        stack.push(Plan::Atom {
+                            atom: child,
+                            via: bi,
+                        });
                     } else {
                         stack.push(Plan::Close);
-                        stack.push(Plan::Atom { atom: child, via: bi });
+                        stack.push(Plan::Atom {
+                            atom: child,
+                            via: bi,
+                        });
                         stack.push(Plan::Open);
                     }
                 }
@@ -317,9 +336,15 @@ fn oriented_sym(bond: &crate::graph::Bond, entering: u32) -> Option<BondSym> {
 
 fn push_ring_digit(out: &mut Vec<u8>, id: u16) {
     let tok = if id < 10 {
-        Token::Ring { id, form: RingForm::Digit }
+        Token::Ring {
+            id,
+            form: RingForm::Digit,
+        }
     } else {
-        Token::Ring { id, form: RingForm::Percent }
+        Token::Ring {
+            id,
+            form: RingForm::Percent,
+        }
     };
     tok.write_to(out);
 }
@@ -335,11 +360,17 @@ mod tests {
     }
 
     fn seq() -> WriteOptions {
-        WriteOptions { ring_alloc: RingAlloc::Sequential, start: StartAtom::First }
+        WriteOptions {
+            ring_alloc: RingAlloc::Sequential,
+            start: StartAtom::First,
+        }
     }
 
     fn reuse() -> WriteOptions {
-        WriteOptions { ring_alloc: RingAlloc::Reuse, start: StartAtom::First }
+        WriteOptions {
+            ring_alloc: RingAlloc::Reuse,
+            start: StartAtom::First,
+        }
     }
 
     #[test]
@@ -402,7 +433,10 @@ mod tests {
             for (new_idx, &orig) in w.emit_order.iter().enumerate() {
                 perm[orig as usize] = new_idx as u32;
             }
-            assert!(mol.eq_under_permutation(&re, &perm), "graph preserved for {s}");
+            assert!(
+                mol.eq_under_permutation(&re, &perm),
+                "graph preserved for {s}"
+            );
         }
     }
 
@@ -431,7 +465,10 @@ mod tests {
         // Ring with a tail: CCc1ccccc1 parsed, starting Terminal must begin
         // at the chain end, not inside the ring.
         let mol = parse(b"c1ccccc1CC").unwrap();
-        let opts = WriteOptions { ring_alloc: RingAlloc::Sequential, start: StartAtom::Terminal };
+        let opts = WriteOptions {
+            ring_alloc: RingAlloc::Sequential,
+            start: StartAtom::Terminal,
+        };
         let w = write(&mol, &opts).unwrap();
         let s = String::from_utf8(w.smiles).unwrap();
         assert!(s.starts_with("CC"), "got {s}");
@@ -448,9 +485,9 @@ mod tests {
         // Build a molecule with 12 simultaneously-open rings: a long chain
         // where ring i opens at atom i and closes at atom 2n-i (nested).
         let mut m = Molecule::new();
+        use crate::element::Element;
         use crate::graph::AtomKind;
         use crate::token::BareAtom;
-        use crate::element::Element;
         let c = AtomKind::Bare(BareAtom {
             element: Element::from_symbol(b"C").unwrap(),
             aromatic: false,

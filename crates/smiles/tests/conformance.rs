@@ -13,29 +13,33 @@ fn accepts(cases: &[&str]) {
 
 fn rejects(cases: &[&str]) {
     for s in cases {
-        assert!(
-            full_check(s.as_bytes()).is_err(),
-            "should reject {s}"
-        );
+        assert!(full_check(s.as_bytes()).is_err(), "should reject {s}");
     }
 }
 
 #[test]
 fn organic_subset_atoms() {
     accepts(&[
-        "B", "C", "N", "O", "P", "S", "F", "Cl", "Br", "I", "*",
-        "BCNOPSF", "ClBr", "CI", // iodine, not lowercase L
+        "B", "C", "N", "O", "P", "S", "F", "Cl", "Br", "I", "*", "BCNOPSF", "ClBr",
+        "CI", // iodine, not lowercase L
     ]);
     rejects(&[
         "A", "E", "G", "J", "L", "M", "Q", "R", "T", "X", "Z", // not elements/bare
         "Fe", "Na", "Ca", "Si", // real elements that need brackets
-        "a", "e", "g",          // not aromatic-capable letters
+        "a", "e", "g", // not aromatic-capable letters
     ]);
 }
 
 #[test]
 fn aromatic_atoms() {
-    accepts(&["c1ccccc1", "n1ccccc1", "o1cccc1", "s1cccc1", "[nH]1cccc1", "[se]1cccc1"]);
+    accepts(&[
+        "c1ccccc1",
+        "n1ccccc1",
+        "o1cccc1",
+        "s1cccc1",
+        "[nH]1cccc1",
+        "[se]1cccc1",
+    ]);
     rejects(&["se1cccc1", "asc"]); // two-letter aromatics must be bracketed
     accepts(&["b"]); // lone aromatic boron is syntactically acceptable
 }
@@ -43,76 +47,89 @@ fn aromatic_atoms() {
 #[test]
 fn bracket_atoms() {
     accepts(&[
-        "[H]", "[H+]", "[2H]", "[238U]", "[Fe]", "[Fe+2]", "[Fe++]",
-        "[CH4]", "[C@H](N)(O)C", "[C@@H](N)(O)C", "[OH-]", "[O-2]",
-        "[13CH3]C", "[CH3:1][CH2:2]C", "[*+]", "[Au]",
+        "[H]",
+        "[H+]",
+        "[2H]",
+        "[238U]",
+        "[Fe]",
+        "[Fe+2]",
+        "[Fe++]",
+        "[CH4]",
+        "[C@H](N)(O)C",
+        "[C@@H](N)(O)C",
+        "[OH-]",
+        "[O-2]",
+        "[13CH3]C",
+        "[CH3:1][CH2:2]C",
+        "[*+]",
+        "[Au]",
     ]);
     rejects(&[
-        "[]", "[4]", "[+]",           // no element
-        "[Xx]", "[Zz]",               // unknown elements
-        "[C",                          // unterminated
-        "[C-16]", "[C+16]",           // charge magnitude
-        "[CH99]",                      // hcount magnitude
+        "[]", "[4]", "[+]", // no element
+        "[Xx]", "[Zz]", // unknown elements
+        "[C",   // unterminated
+        "[C-16]", "[C+16]", // charge magnitude
+        "[CH99]", // hcount magnitude
     ]);
 }
 
 #[test]
 fn bonds() {
     accepts(&[
-        "C-C", "C=C", "C#N", "C$C", "c:c", "C/C=C/C", "C/C=C\\C",
-        "CC(=O)C", "C=C=C", "C#CC#C",
+        "C-C", "C=C", "C#N", "C$C", "c:c", "C/C=C/C", "C/C=C\\C", "CC(=O)C", "C=C=C", "C#CC#C",
     ]);
-    rejects(&[
-        "C==C", "C=-C", "C=", "=C", "C(=)", "C.=C", "C=.C", "C=)C",
-    ]);
+    rejects(&["C==C", "C=-C", "C=", "=C", "C(=)", "C.=C", "C=.C", "C=)C"]);
 }
 
 #[test]
 fn branches() {
     accepts(&[
-        "CC(C)C", "CC(C)(C)C", "C(C(C(C)))C", "CC(=O)O", "C(Cl)(Br)(F)I",
+        "CC(C)C",
+        "CC(C)(C)C",
+        "C(C(C(C)))C",
+        "CC(=O)O",
+        "C(Cl)(Br)(F)I",
     ]);
-    rejects(&[
-        "C(", "C)", "(C)", "C()C", "C((C))C ", "CC)(",
-    ]);
+    rejects(&["C(", "C)", "(C)", "C()C", "C((C))C ", "CC)("]);
 }
 
 #[test]
 fn ring_bonds() {
     accepts(&[
-        "C1CCCCC1", "C1CC1", "c1ccccc1c1ccccc1", "C%10CCCCC%10",
-        "C12CC1C2",            // fused via two ring bonds (legal: distinct pairs)
-        "C=1CCCCC1", "C1CCCCC=1", "C=1CCCCC=1",
-        "C0CC0",               // ring ID zero is legal
-        "C%01CCCCC1",          // %01 pairs with 1
+        "C1CCCCC1",
+        "C1CC1",
+        "c1ccccc1c1ccccc1",
+        "C%10CCCCC%10",
+        "C12CC1C2", // fused via two ring bonds (legal: distinct pairs)
+        "C=1CCCCC1",
+        "C1CCCCC=1",
+        "C=1CCCCC=1",
+        "C0CC0",      // ring ID zero is legal
+        "C%01CCCCC1", // %01 pairs with 1
     ]);
     rejects(&[
-        "C1CC",      // unclosed
-        "C11",       // self-bond
-        "1CC1",      // digit before any atom
+        "C1CC",       // unclosed
+        "C11",        // self-bond
+        "1CC1",       // digit before any atom
         "C=1CCCCC-1", // conflicting bond symbols
-        "C%1CC",     // malformed percent
-        "C12C12",    // duplicate bond between same atom pair
+        "C%1CC",      // malformed percent
+        "C12C12",     // duplicate bond between same atom pair
     ]);
 }
 
 #[test]
 fn dots_and_components() {
-    accepts(&[
-        "[Na+].[Cl-]", "C.C.C", "c1ccccc1.c1ccccc1", "CCO.O.O",
-    ]);
-    rejects(&[
-        ".C", "C.", "C..C", "C(.C)C",
-    ]);
+    accepts(&["[Na+].[Cl-]", "C.C.C", "c1ccccc1.c1ccccc1", "CCO.O.O"]);
+    rejects(&[".C", "C.", "C..C", "C(.C)C"]);
 }
 
 #[test]
 fn stereo_markers() {
     accepts(&[
-        "N[C@@H](C)C(=O)O",     // L-alanine
+        "N[C@@H](C)C(=O)O", // L-alanine
         "N[C@H](C)C(=O)O",
-        "F/C=C/F",              // trans
-        "F/C=C\\F",             // cis
+        "F/C=C/F",  // trans
+        "F/C=C\\F", // cis
         "C(/F)=C/F",
     ]);
 }
@@ -121,18 +138,18 @@ fn stereo_markers() {
 fn real_molecules() {
     // A gallery of well-known drugs/compounds, all must parse.
     accepts(&[
-        "CC(=O)Oc1ccccc1C(=O)O",                        // aspirin
-        "CN1C=NC2=C1C(=O)N(C(=O)N2C)C",                 // caffeine
-        "CC(C)Cc1ccc(cc1)C(C)C(=O)O",                   // ibuprofen
-        "COc1cc(C=O)ccc1O",                             // vanillin
-        "C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",          // dibenzoylmethane
-        "c1ccc2c(c1)ccc3c2ccc4c3cccc4",                 // chrysene
-        "OC[C@@H](O)[C@@H](O)[C@H](O)[C@H](O)CO",       // mannitol-ish
-        "CN1CCC[C@H]1c1cccnc1",                         // nicotine
-        "Clc1ccccc1",                                   // chlorobenzene
-        "O=C(O)c1ccccc1O",                              // salicylic acid
-        "N#Cc1ccccc1",                                  // benzonitrile
-        "[O-][N+](=O)c1ccccc1",                         // nitrobenzene
+        "CC(=O)Oc1ccccc1C(=O)O",                  // aspirin
+        "CN1C=NC2=C1C(=O)N(C(=O)N2C)C",           // caffeine
+        "CC(C)Cc1ccc(cc1)C(C)C(=O)O",             // ibuprofen
+        "COc1cc(C=O)ccc1O",                       // vanillin
+        "C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",    // dibenzoylmethane
+        "c1ccc2c(c1)ccc3c2ccc4c3cccc4",           // chrysene
+        "OC[C@@H](O)[C@@H](O)[C@H](O)[C@H](O)CO", // mannitol-ish
+        "CN1CCC[C@H]1c1cccnc1",                   // nicotine
+        "Clc1ccccc1",                             // chlorobenzene
+        "O=C(O)c1ccccc1O",                        // salicylic acid
+        "N#Cc1ccccc1",                            // benzonitrile
+        "[O-][N+](=O)c1ccccc1",                   // nitrobenzene
     ]);
 }
 
@@ -178,8 +195,7 @@ fn quick_check_agrees_with_full_on_valid_input() {
 #[test]
 fn whitespace_and_garbage_rejected() {
     rejects(&[
-        "", " ", "C C", "C\tC", "CC ", " CC",
-        "C!C", "C?C", "C~C", "C^C", "C&C", "ε", "碳",
+        "", " ", "C C", "C\tC", "CC ", " CC", "C!C", "C?C", "C~C", "C^C", "C&C", "ε", "碳",
     ]);
 }
 
@@ -214,21 +230,21 @@ fn formula_conformance_battery() {
         ("C#C", "C2H2"),
         ("c1ccccc1", "C6H6"),
         ("Cc1ccccc1", "C7H8"),
-        ("c1ccc2ccccc2c1", "C10H8"),            // naphthalene
-        ("C1CCCCC1", "C6H12"),                   // cyclohexane
+        ("c1ccc2ccccc2c1", "C10H8"), // naphthalene
+        ("C1CCCCC1", "C6H12"),       // cyclohexane
         ("N#N", "N2"),
         ("O=C=O", "CO2"),
-        ("C(=O)(O)O", "CH2O3"),                  // carbonic acid
-        ("NC(=O)N", "CH4N2O"),                   // urea
-        ("OS(=O)(=O)O", "H2O4S"),                // sulfuric acid, no C: alphabetical
-        ("OP(=O)(O)O", "H3O4P"),                 // phosphoric acid
+        ("C(=O)(O)O", "CH2O3"),   // carbonic acid
+        ("NC(=O)N", "CH4N2O"),    // urea
+        ("OS(=O)(=O)O", "H2O4S"), // sulfuric acid, no C: alphabetical
+        ("OP(=O)(O)O", "H3O4P"),  // phosphoric acid
         ("C(Cl)(Cl)(Cl)Cl", "CCl4"),
         ("FC(F)(F)F", "CF4"),
-        ("CS(=O)C", "C2H6OS"),                   // DMSO
-        ("CCOC(=O)C", "C4H8O2"),                 // ethyl acetate
-        ("NCC(=O)O", "C2H5NO2"),                 // glycine
-        ("CN1CCC[C@H]1c1cccnc1", "C10H14N2"),    // nicotine
-        ("OCC1OC(O)C(O)C(O)C1O", "C6H12O6"),     // glucose (pyranose)
+        ("CS(=O)C", "C2H6OS"),                // DMSO
+        ("CCOC(=O)C", "C4H8O2"),              // ethyl acetate
+        ("NCC(=O)O", "C2H5NO2"),              // glycine
+        ("CN1CCC[C@H]1c1cccnc1", "C10H14N2"), // nicotine
+        ("OCC1OC(O)C(O)C(O)C1O", "C6H12O6"),  // glucose (pyranose)
     ] {
         let mol = parse(s.as_bytes()).unwrap();
         assert_eq!(smiles::molecular_formula(&mol), want, "{s}");

@@ -64,8 +64,7 @@ fn arb_molecule() -> impl Strategy<Value = Molecule> {
         for _ in 0..extra {
             let a = next(n) as u32;
             let b = next(n) as u32;
-            if a != b && !mol.has_bond_between(a, b) && free(&mol, a) >= 1 && free(&mol, b) >= 1
-            {
+            if a != b && !mol.has_bond_between(a, b) && free(&mol, a) >= 1 && free(&mol, b) >= 1 {
                 mol.add_bond(a, b, None, true);
             }
         }
@@ -73,8 +72,7 @@ fn arb_molecule() -> impl Strategy<Value = Molecule> {
         for _ in 0..next(3) {
             let a = next(n) as u32;
             let b = next(n) as u32;
-            if a != b && !mol.has_bond_between(a, b) && free(&mol, a) >= 2 && free(&mol, b) >= 2
-            {
+            if a != b && !mol.has_bond_between(a, b) && free(&mol, a) >= 2 && free(&mol, b) >= 2 {
                 mol.add_bond(a, b, Some(BondSym::Double), true);
             }
         }

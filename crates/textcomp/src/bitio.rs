@@ -114,7 +114,13 @@ mod tests {
     #[test]
     fn multi_bit_values_round_trip() {
         let mut w = BitWriter::new();
-        let values = [(0b101u32, 3u32), (0xFFFF, 16), (0, 1), (0b11001, 5), (12345, 20)];
+        let values = [
+            (0b101u32, 3u32),
+            (0xFFFF, 16),
+            (0, 1),
+            (0b11001, 5),
+            (12345, 20),
+        ];
         for &(v, n) in &values {
             w.write_bits(v, n);
         }

@@ -101,8 +101,7 @@ pub fn suffix_array(text: &[u16]) -> Vec<u32> {
         for w in 1..n {
             let prev = sa[w - 1];
             let cur = sa[w];
-            tmp[cur as usize] =
-                tmp[prev as usize] + if key(prev) < key(cur) { 1 } else { 0 };
+            tmp[cur as usize] = tmp[prev as usize] + if key(prev) < key(cur) { 1 } else { 0 };
         }
         rank.copy_from_slice(&tmp);
         if rank[sa[n - 1] as usize] as usize == n - 1 {
@@ -131,7 +130,13 @@ mod tests {
         let bwt = bwt_forward(b"banana");
         let printable: Vec<char> = bwt
             .iter()
-            .map(|&c| if c == SENTINEL { '$' } else { (c - 1) as u8 as char })
+            .map(|&c| {
+                if c == SENTINEL {
+                    '$'
+                } else {
+                    (c - 1) as u8 as char
+                }
+            })
             .collect();
         let s: String = printable.into_iter().collect();
         assert_eq!(s, "annb$aa");

@@ -40,7 +40,10 @@ impl Sym {
         debug_assert!(!b.is_empty() && b.len() <= MAX_SYMBOL_LEN);
         let mut buf = [0u8; 8];
         buf[..b.len()].copy_from_slice(b);
-        Sym { packed: u64::from_le_bytes(buf), len: b.len() as u8 }
+        Sym {
+            packed: u64::from_le_bytes(buf),
+            len: b.len() as u8,
+        }
     }
 
     fn bytes(&self) -> [u8; 8] {
@@ -61,7 +64,10 @@ impl Sym {
         let lb = (other.len as usize).min(MAX_SYMBOL_LEN - la);
         buf[..la].copy_from_slice(&a[..la]);
         buf[la..la + lb].copy_from_slice(&b[..lb]);
-        Sym { packed: u64::from_le_bytes(buf), len: (la + lb) as u8 }
+        Sym {
+            packed: u64::from_le_bytes(buf),
+            len: (la + lb) as u8,
+        }
     }
 }
 
@@ -95,7 +101,11 @@ impl Fsst {
             lookup.insert(*s, code as u8);
             max_len = max_len.max(s.len as usize);
         }
-        Fsst { symbols, lookup, max_len }
+        Fsst {
+            symbols,
+            lookup,
+            max_len,
+        }
     }
 
     /// One construction generation: encode the sample, count, re-select.
@@ -167,7 +177,11 @@ impl Fsst {
                 Some((c, l)) => (c as u16, l),
                 None => (256 + record[pos] as u16, 1),
             };
-            let idx = if code >= 256 { n + (code - 256) as usize } else { code as usize };
+            let idx = if code >= 256 {
+                n + (code - 256) as usize
+            } else {
+                code as usize
+            };
             count1[idx] += 1;
             // Like the VLDB paper: also count the bare first byte at this
             // position, so single-byte symbols stay alive as candidates and
@@ -203,7 +217,10 @@ impl Fsst {
     /// Symbol bytes in code order (diagnostics and tests).
     pub fn debug_symbols(&self) -> Vec<Vec<u8>> {
         let mut buf = [0u8; 8];
-        self.symbols.iter().map(|s| s.as_slice(&mut buf).to_vec()).collect()
+        self.symbols
+            .iter()
+            .map(|s| s.as_slice(&mut buf).to_vec())
+            .collect()
     }
 
     /// Number of installed symbols.
@@ -288,7 +305,11 @@ impl Fsst {
     /// Size of the serialized table (counted against the compression ratio
     /// in comparisons, like the VLDB paper does).
     pub fn serialized_size(&self) -> usize {
-        1 + self.symbols.iter().map(|s| 1 + s.len as usize).sum::<usize>()
+        1 + self
+            .symbols
+            .iter()
+            .map(|s| 1 + s.len as usize)
+            .sum::<usize>()
     }
 }
 
@@ -334,7 +355,11 @@ mod tests {
         let data = corpus();
         let t = Fsst::train(&data);
         assert!(t.len() > 10, "table has {} symbols", t.len());
-        assert!(t.max_len >= 4, "long symbols learned, max_len = {}", t.max_len);
+        assert!(
+            t.max_len >= 4,
+            "long symbols learned, max_len = {}",
+            t.max_len
+        );
     }
 
     #[test]
@@ -347,7 +372,10 @@ mod tests {
             let mut back = Vec::new();
             t.decompress_line(&z, &mut back).unwrap();
             assert_eq!(back, line);
-            assert!(z.len() <= line.len(), "compressed not larger on trained data");
+            assert!(
+                z.len() <= line.len(),
+                "compressed not larger on trained data"
+            );
         }
     }
 
@@ -417,14 +445,20 @@ mod tests {
         assert!(Fsst::from_bytes(&[]).is_err());
         assert!(Fsst::from_bytes(&[1]).is_err(), "truncated");
         assert!(Fsst::from_bytes(&[1, 0]).is_err(), "zero-length symbol");
-        assert!(Fsst::from_bytes(&[1, 9, 1, 2, 3, 4, 5, 6, 7, 8, 9]).is_err(), "too long");
+        assert!(
+            Fsst::from_bytes(&[1, 9, 1, 2, 3, 4, 5, 6, 7, 8, 9]).is_err(),
+            "too long"
+        );
     }
 
     #[test]
     fn decompress_errors() {
         let t = Fsst::from_syms(vec![Sym::from_bytes(b"ab")]);
         let mut out = Vec::new();
-        assert!(t.decompress_line(&[ESCAPE], &mut out).is_err(), "dangling escape");
+        assert!(
+            t.decompress_line(&[ESCAPE], &mut out).is_err(),
+            "dangling escape"
+        );
         assert!(t.decompress_line(&[7], &mut out).is_err(), "unknown code");
         out.clear();
         t.decompress_line(&[0, 0], &mut out).unwrap();

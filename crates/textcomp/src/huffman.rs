@@ -76,7 +76,11 @@ fn build_once(freqs: &[u64]) -> Vec<u8> {
     let mut heap = std::collections::BinaryHeap::with_capacity(alive.len());
     let mut order = 0u32;
     for &i in &alive {
-        heap.push(HeapItem { weight: freqs[i], order, node: i as u32 });
+        heap.push(HeapItem {
+            weight: freqs[i],
+            order,
+            node: i as u32,
+        });
         order += 1;
     }
     while heap.len() >= 2 {
@@ -130,7 +134,10 @@ pub struct HuffmanEncoder {
 
 impl HuffmanEncoder {
     pub fn new(lengths: &[u8]) -> Self {
-        HuffmanEncoder { codes: canonical_codes(lengths), lengths: lengths.to_vec() }
+        HuffmanEncoder {
+            codes: canonical_codes(lengths),
+            lengths: lengths.to_vec(),
+        }
     }
 
     /// Append the code for `sym`. Panics on a symbol with no code —
@@ -183,7 +190,13 @@ impl HuffmanDecoder {
             code = (code + count[len as usize]) << 1;
             index += count[len as usize];
         }
-        HuffmanDecoder { first_code, first_index, count, symbols, max_len }
+        HuffmanDecoder {
+            first_code,
+            first_index,
+            count,
+            symbols,
+            max_len,
+        }
     }
 
     /// Decode one symbol; `None` on truncated input or invalid code.

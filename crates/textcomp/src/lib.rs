@@ -155,8 +155,14 @@ mod tests {
         let fsst_ratio = f_out as f64 / f_in as f64;
         let shoco_ratio = s_out as f64 / s_in as f64;
         let bzip_ratio = bzip::compress(&data).len() as f64 / data.len() as f64;
-        assert!(bzip_ratio < fsst_ratio, "bzip {bzip_ratio} < fsst {fsst_ratio}");
-        assert!(fsst_ratio < shoco_ratio, "fsst {fsst_ratio} < shoco {shoco_ratio}");
+        assert!(
+            bzip_ratio < fsst_ratio,
+            "bzip {bzip_ratio} < fsst {fsst_ratio}"
+        );
+        assert!(
+            fsst_ratio < shoco_ratio,
+            "fsst {fsst_ratio} < shoco {shoco_ratio}"
+        );
         assert!(shoco_ratio < 1.0);
     }
 }

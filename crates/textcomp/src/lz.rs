@@ -29,8 +29,8 @@ const MAX_CHAIN: usize = 64;
 
 /// DEFLATE length buckets: base length per code 257+i.
 const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 const LENGTH_EXTRA: [u8; 29] = [
     0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
@@ -41,8 +41,8 @@ const DIST_BASE: [u16; 30] = [
     2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
 const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 /// Literal/length alphabet: 256 literals + EOB (256) + 29 length codes.
@@ -123,7 +123,10 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
             head[h] = i as u32;
         }
         if best_len >= MIN_MATCH {
-            tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
+            tokens.push(Token::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
             // Insert the skipped positions so later matches can reference
             // them (bounded work: matches are ≤ 258 long).
             let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
@@ -278,7 +281,8 @@ fn decompress_block(
                 let dextra = DIST_EXTRA[dsym];
                 let dist = DIST_BASE[dsym] as usize
                     + if dextra > 0 {
-                        bits.read_bits(dextra as u32).ok_or("truncated extra bits")? as usize
+                        bits.read_bits(dextra as u32)
+                            .ok_or("truncated extra bits")? as usize
                     } else {
                         0
                     };
@@ -369,8 +373,7 @@ mod tests {
         }
         let z = round_trip(&input);
         let lz_ratio = z.len() as f64 / input.len() as f64;
-        let bz_ratio =
-            crate::bzip::compress(&input).len() as f64 / input.len() as f64;
+        let bz_ratio = crate::bzip::compress(&input).len() as f64 / input.len() as f64;
         assert!(lz_ratio < 0.35, "lz {lz_ratio}");
         // bzip2's BWT usually wins on this text, as in the wider world.
         assert!(bz_ratio < lz_ratio + 0.05, "bz {bz_ratio} vs lz {lz_ratio}");

@@ -60,11 +60,7 @@ impl ShocoModel {
         // produced by a pack — and zero-frequency bytes only enter as
         // padding after every observed byte.
         let mut order: Vec<u8> = (0u8..=255).filter(|&b| b != b'\n').collect();
-        order.sort_unstable_by(|&a, &b| {
-            uni[b as usize]
-                .cmp(&uni[a as usize])
-                .then(a.cmp(&b))
-        });
+        order.sort_unstable_by(|&a, &b| uni[b as usize].cmp(&uni[a as usize]).then(a.cmp(&b)));
         let mut chrs = [0u8; N_CHRS];
         chrs.copy_from_slice(&order[..N_CHRS]);
 
@@ -87,7 +83,12 @@ impl ShocoModel {
                 successor_ids[id][s as usize] = sid as i8;
             }
         }
-        ShocoModel { chrs, chr_ids, successors, successor_ids }
+        ShocoModel {
+            chrs,
+            chr_ids,
+            successors,
+            successor_ids,
+        }
     }
 
     /// Longest encodable successor chain starting at `line[pos]`:
@@ -299,7 +300,10 @@ mod tests {
         }
         let ratio = out_bytes as f64 / in_bytes as f64;
         assert!(ratio < 0.9, "some packing must happen: {ratio}");
-        assert!(ratio > 0.35, "entropy coding can't beat dictionaries here: {ratio}");
+        assert!(
+            ratio > 0.35,
+            "entropy coding can't beat dictionaries here: {ratio}"
+        );
     }
 
     #[test]
@@ -336,10 +340,22 @@ mod tests {
     fn decompress_rejects_garbage() {
         let m = ShocoModel::train(&corpus());
         let mut out = Vec::new();
-        assert!(m.decompress_line(&[0xFF], &mut out).is_err(), "dangling escape");
-        assert!(m.decompress_line(&[0b1000_0000], &mut out).is_err(), "cut 2-byte pack");
-        assert!(m.decompress_line(&[0b1100_0000, 0, 0], &mut out).is_err(), "cut 4-byte pack");
-        assert!(m.decompress_line(&[0b1110_0000], &mut out).is_err(), "bad header");
+        assert!(
+            m.decompress_line(&[0xFF], &mut out).is_err(),
+            "dangling escape"
+        );
+        assert!(
+            m.decompress_line(&[0b1000_0000], &mut out).is_err(),
+            "cut 2-byte pack"
+        );
+        assert!(
+            m.decompress_line(&[0b1100_0000, 0, 0], &mut out).is_err(),
+            "cut 4-byte pack"
+        );
+        assert!(
+            m.decompress_line(&[0b1110_0000], &mut out).is_err(),
+            "bad header"
+        );
     }
 
     #[test]
@@ -349,7 +365,12 @@ mod tests {
         let m = ShocoModel::train(&b"cccccccccc\n".repeat(50));
         let mut z = Vec::new();
         m.compress_line(b"ccccccccc", &mut z);
-        assert_eq!(z.len(), 4, "9 chars in one 4-byte pack, got {} bytes", z.len());
+        assert_eq!(
+            z.len(),
+            4,
+            "9 chars in one 4-byte pack, got {} bytes",
+            z.len()
+        );
         let mut back = Vec::new();
         m.decompress_line(&z, &mut back).unwrap();
         assert_eq!(back, b"ccccccccc");

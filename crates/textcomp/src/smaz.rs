@@ -89,21 +89,21 @@ impl Smaz {
             " o", "d ", "on", " of", "re", "of ", "t ", ", ", "is", "u", "at", "   ", "n ", "or",
             "which", "f", "m", "as", "it", "that", "\n", "was", "en", "  ", " w", "es", " an",
             " i", "\r", "f ", "g", "p", "nd", " s", "nd ", "ed ", "w", "ed", "http://", "for",
-            "te", "ing", "y ", "The", " c", "ti", "r ", "his", "st", " in", "ar", "nt", ",",
-            " to", "y", "ng", " h", "with", "le", "al", "to ", "b", "ou", "be", "were", " b",
-            "se", "o ", "ent", "ha", "ng ", "their", "\"", "hi", "from", " f", "in ", "de",
-            "ion", "me", "v", ".", "ve", "all", "re ", "ri", "ro", "is ", "co", "f t", "are",
-            "ea", ". ", "her", " m", "er ", " p", "es ", "by", "they", "di", "ra", "ic", "not",
-            "s, ", "d t", "at ", "ce", "la", "h ", "ne", "as ", "tio", "on ", "n t", "io", "we",
-            " a ", "om", ", a", "s o", "ur", "li", "ll", "ch", "had", "this", "e t", "g ",
-            "e\r\n", " wh", "ere", " co", "e o", "a ", "us", " d", "ss", "\n\r\n", "\r\n\r",
-            "=\"", " be", " e", "s a", "ma", "one", "t t", "or ", "but", "el", "so", "l ",
-            "e s", "s,", "no", "ter", " wa", "iv", "ho", "e a", " r", "hat", "s t", "ns", "ch ",
-            "wh", "tr", "ut", "/", "have", "ly ", "ta", " ha", " on", "tha", "-", " l", "ati",
-            "en ", "pe", " re", "there", "ass", "si", " fo", "wa", "ec", "our", "who", "its",
-            "z", "fo", "rs", ">", "ot", "un", "<", "im", "th ", "nc", "ate", "><", "ver", "ad",
-            " we", "ly", "ee", " n", "id", " cl", "ac", "il", "</", "rt", " wi", "div", "e, ",
-            " it", "whi", " ma", "ge", "x", "e c", "men", ".com",
+            "te", "ing", "y ", "The", " c", "ti", "r ", "his", "st", " in", "ar", "nt", ",", " to",
+            "y", "ng", " h", "with", "le", "al", "to ", "b", "ou", "be", "were", " b", "se", "o ",
+            "ent", "ha", "ng ", "their", "\"", "hi", "from", " f", "in ", "de", "ion", "me", "v",
+            ".", "ve", "all", "re ", "ri", "ro", "is ", "co", "f t", "are", "ea", ". ", "her",
+            " m", "er ", " p", "es ", "by", "they", "di", "ra", "ic", "not", "s, ", "d t", "at ",
+            "ce", "la", "h ", "ne", "as ", "tio", "on ", "n t", "io", "we", " a ", "om", ", a",
+            "s o", "ur", "li", "ll", "ch", "had", "this", "e t", "g ", "e\r\n", " wh", "ere",
+            " co", "e o", "a ", "us", " d", "ss", "\n\r\n", "\r\n\r", "=\"", " be", " e", "s a",
+            "ma", "one", "t t", "or ", "but", "el", "so", "l ", "e s", "s,", "no", "ter", " wa",
+            "iv", "ho", "e a", " r", "hat", "s t", "ns", "ch ", "wh", "tr", "ut", "/", "have",
+            "ly ", "ta", " ha", " on", "tha", "-", " l", "ati", "en ", "pe", " re", "there", "ass",
+            "si", " fo", "wa", "ec", "our", "who", "its", "z", "fo", "rs", ">", "ot", "un", "<",
+            "im", "th ", "nc", "ate", "><", "ver", "ad", " we", "ly", "ee", " n", "id", " cl",
+            "ac", "il", "</", "rt", " wi", "div", "e, ", " it", "whi", " ma", "ge", "x", "e c",
+            "men", ".com",
         ];
         Smaz::from_fragments(CLASSIC.iter().map(|s| s.as_bytes()))
     }
@@ -267,7 +267,10 @@ mod tests {
 
     #[test]
     fn trained_beats_classic_on_smiles() {
-        let corpus: Vec<u8> = std::iter::repeat_n(b"COc1cc(C=O)ccc1O\nCC(C)Cc1ccc(cc1)C(C)C(=O)O\n".as_slice(), 100)
+        let corpus: Vec<u8> = std::iter::repeat_n(
+            b"COc1cc(C=O)ccc1O\nCC(C)Cc1ccc(cc1)C(C)C(=O)O\n".as_slice(),
+            100,
+        )
         .flatten()
         .copied()
         .collect();
@@ -277,7 +280,12 @@ mod tests {
         let (mut zt, mut zc) = (Vec::new(), Vec::new());
         trained.compress_line(line, &mut zt);
         classic.compress_line(line, &mut zc);
-        assert!(zt.len() < zc.len(), "trained {} < classic {}", zt.len(), zc.len());
+        assert!(
+            zt.len() < zc.len(),
+            "trained {} < classic {}",
+            zt.len(),
+            zc.len()
+        );
         let mut back = Vec::new();
         trained.decompress_line(&zt, &mut back).unwrap();
         assert_eq!(back, line);
@@ -315,7 +323,9 @@ mod tests {
         let mut out = Vec::new();
         assert!(smaz.decompress_line(&[ESC_ONE], &mut out).is_err());
         assert!(smaz.decompress_line(&[ESC_RUN], &mut out).is_err());
-        assert!(smaz.decompress_line(&[ESC_RUN, 10, 1, 2], &mut out).is_err());
+        assert!(smaz
+            .decompress_line(&[ESC_RUN, 10, 1, 2], &mut out)
+            .is_err());
     }
 
     #[test]

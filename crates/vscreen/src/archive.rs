@@ -1,36 +1,46 @@
-//! Cold-storage archives: a compressed deck plus its line-offset index.
+//! Cold-storage archives: a thin screening-workload view over the
+//! self-describing `.zsa` container ([`zsmiles_core::archive::Archive`]).
 //!
 //! The paper's random-access requirement, made concrete: compressed line
-//! *i* is ligand *i*, and a [`LineIndex`] turns that into O(1) byte-range
-//! reads — a query for k hits touches k compressed lines, not the archive.
+//! *i* is ligand *i*, and the container's embedded line index turns that
+//! into O(1) byte-range reads — a query for k hits touches k compressed
+//! lines, not the archive. Since the container also embeds the dictionary,
+//! an [`Archive`] is one value (and on disk, one file) rather than the
+//! deck/dictionary/sidecar triple earlier revisions juggled.
 
-use zsmiles_core::{CompressStats, Compressor, Dictionary, LineIndex, ZsmilesError};
+use std::path::Path;
+use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::{CompressStats, Dictionary, ZsmilesError};
 
-/// A compressed, indexed SMILES deck.
+/// A compressed, indexed, self-describing SMILES deck.
 #[derive(Debug, Clone)]
 pub struct Archive {
-    bytes: Vec<u8>,
-    index: LineIndex,
+    inner: zsmiles_core::Archive,
     stats: CompressStats,
 }
 
 impl Archive {
     /// Compress `deck_bytes` (newline-separated SMILES) with `dict` and
-    /// index the result.
+    /// index the result. The dictionary is embedded in the archive.
     pub fn build(dict: &Dictionary, deck_bytes: &[u8]) -> Archive {
-        let mut bytes = Vec::with_capacity(deck_bytes.len() / 2);
-        let stats = Compressor::new(dict).compress_buffer(deck_bytes, &mut bytes);
-        let index = LineIndex::build(&bytes);
-        Archive { bytes, index, stats }
+        Archive::build_any(AnyDictionary::Base(Box::new(dict.clone())), deck_bytes, 1)
+    }
+
+    /// [`Archive::build`] for either dictionary flavour, on `threads`
+    /// workers.
+    pub fn build_any(dict: AnyDictionary, deck_bytes: &[u8], threads: usize) -> Archive {
+        let inner = zsmiles_core::Archive::pack(dict, deck_bytes, threads);
+        let stats = *inner.stats().expect("freshly packed archives carry stats");
+        Archive { inner, stats }
     }
 
     /// Number of ligands stored.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.inner.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.inner.is_empty()
     }
 
     /// Compression ratio achieved (compressed / original payload).
@@ -43,20 +53,33 @@ impl Archive {
         &self.stats
     }
 
-    /// The raw archive bytes (what cold storage would hold).
+    /// The raw compressed payload (what cold storage holds beside the
+    /// container metadata).
     pub fn as_bytes(&self) -> &[u8] {
-        &self.bytes
+        self.inner.payload()
+    }
+
+    /// The underlying container.
+    pub fn container(&self) -> &zsmiles_core::Archive {
+        &self.inner
     }
 
     /// The compressed bytes of ligand `i` — the unit a random-access read
     /// transfers.
     pub fn compressed_line(&self, i: usize) -> &[u8] {
-        self.index.line(&self.bytes, i)
+        self.inner
+            .compressed_line(i)
+            .expect("ligand index out of range")
     }
 
-    /// Decompress ligand `i` back to SMILES.
-    pub fn fetch(&self, dict: &Dictionary, i: usize) -> Result<Vec<u8>, ZsmilesError> {
-        self.index.decompress_line_at(dict, &self.bytes, i)
+    /// Decompress ligand `i` back to SMILES using the embedded dictionary.
+    pub fn fetch(&self, i: usize) -> Result<Vec<u8>, ZsmilesError> {
+        self.inner.get(i)
+    }
+
+    /// Persist as a single `.zsa` file.
+    pub fn save(&self, path: &Path) -> Result<(), ZsmilesError> {
+        self.inner.save(path)
     }
 }
 
@@ -66,16 +89,16 @@ mod tests {
     use molgen::Dataset;
     use zsmiles_core::DictBuilder;
 
-    fn setup() -> (Dictionary, Dataset, Archive) {
+    fn setup() -> (Dataset, Archive) {
         let deck = Dataset::generate_mixed(300, 11);
         let dict = DictBuilder::default().train(deck.iter()).unwrap();
         let archive = Archive::build(&dict, deck.as_bytes());
-        (dict, deck, archive)
+        (deck, archive)
     }
 
     #[test]
     fn archive_preserves_line_count_and_compresses() {
-        let (_, deck, archive) = setup();
+        let (deck, archive) = setup();
         assert_eq!(archive.len(), deck.len());
         assert!(archive.ratio() < 0.7, "ratio {}", archive.ratio());
         assert!(!archive.is_empty());
@@ -83,9 +106,9 @@ mod tests {
 
     #[test]
     fn fetch_returns_the_right_molecule() {
-        let (dict, deck, archive) = setup();
+        let (deck, archive) = setup();
         for i in [0usize, 1, 7, 150, 299] {
-            let got = archive.fetch(&dict, i).unwrap();
+            let got = archive.fetch(i).unwrap();
             // Preprocessing renumbers ring IDs; compare molecules.
             assert_eq!(
                 smiles::parser::parse(&got).unwrap().signature(),
@@ -97,7 +120,7 @@ mod tests {
 
     #[test]
     fn random_access_touches_only_the_requested_lines() {
-        let (_, _, archive) = setup();
+        let (_, archive) = setup();
         let total: usize = archive.as_bytes().len();
         let touched: usize = [3usize, 42, 260]
             .iter()
@@ -116,5 +139,21 @@ mod tests {
         let archive = Archive::build(&dict, b"");
         assert!(archive.is_empty());
         assert_eq!(archive.len(), 0);
+    }
+
+    #[test]
+    fn archive_survives_a_disk_round_trip_as_one_file() {
+        let (deck, archive) = setup();
+        let path = std::env::temp_dir().join("vscreen_archive_test.zsa");
+        archive.save(&path).unwrap();
+        // Reopen with no dictionary or sidecar at hand: self-describing.
+        let reopened = zsmiles_core::Archive::open(&path).unwrap();
+        assert_eq!(reopened.len(), deck.len());
+        let got = reopened.get(42).unwrap();
+        assert_eq!(
+            smiles::parser::parse(&got).unwrap().signature(),
+            smiles::parser::parse(deck.line(42)).unwrap().signature()
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -11,7 +11,7 @@ use crate::archive::Archive;
 use crate::pocket::Pocket;
 use crate::score::ScoreTable;
 use molgen::Dataset;
-use zsmiles_core::{Dictionary, ZsmilesError};
+use zsmiles_core::ZsmilesError;
 
 /// Score an unparseable line poorly instead of failing the campaign: real
 /// decks contain the odd malformed row and a screen must not stop for it.
@@ -32,20 +32,22 @@ pub fn screen(deck: &Dataset, pocket: &Pocket) -> ScoreTable {
 /// to [`screen`] for any worker count.
 pub fn screen_parallel(deck: &Dataset, pocket: &Pocket, workers: usize) -> ScoreTable {
     let n = deck.len();
-    let workers = workers.max(1).min(n.max(1));
+    if n == 0 {
+        return ScoreTable::new(Vec::new());
+    }
+    let workers = workers.max(1).min(n);
     let mut scores = vec![0.0f64; n];
     let chunk = n.div_ceil(workers);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (w, out) in scores.chunks_mut(chunk).enumerate() {
             let start = w * chunk;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (k, slot) in out.iter_mut().enumerate() {
                     *slot = score_line(deck.line(start + k), pocket);
                 }
             });
         }
-    })
-    .expect("scoring workers do not panic");
+    });
     ScoreTable::new(scores)
 }
 
@@ -69,14 +71,17 @@ pub struct Hit {
 /// from the archive — k random-access reads, not a decompression pass.
 pub fn top_hits(
     archive: &Archive,
-    dict: &Dictionary,
     scores: &ScoreTable,
     k: usize,
 ) -> Result<Vec<Hit>, ZsmilesError> {
     let mut hits = Vec::with_capacity(k.min(scores.len()));
     for (index, score) in scores.top_k(k) {
-        let smiles = archive.fetch(dict, index)?;
-        hits.push(Hit { index, score, smiles });
+        let smiles = archive.fetch(index)?;
+        hits.push(Hit {
+            index,
+            score,
+            smiles,
+        });
     }
     Ok(hits)
 }
@@ -124,6 +129,14 @@ mod tests {
     }
 
     #[test]
+    fn empty_deck_screens_to_empty_table() {
+        let pocket = Pocket::from_seed(2);
+        let empty = Dataset::new();
+        assert_eq!(screen_parallel(&empty, &pocket, 4), screen(&empty, &pocket));
+        assert_eq!(screen_parallel(&empty, &pocket, 4).len(), 0);
+    }
+
+    #[test]
     fn unparseable_lines_sink_to_the_bottom() {
         let mut deck = Dataset::new();
         deck.push(b"COc1cc(C=O)ccc1O");
@@ -142,7 +155,7 @@ mod tests {
         let scores = screen(&deck, &pocket);
         let dict = DictBuilder::default().train(deck.iter()).unwrap();
         let archive = Archive::build(&dict, deck.as_bytes());
-        let hits = top_hits(&archive, &dict, &scores, 10).unwrap();
+        let hits = top_hits(&archive, &scores, 10).unwrap();
         assert_eq!(hits.len(), 10);
         // Best-first ordering, and every SMILES matches its deck line.
         for pair in hits.windows(2) {
@@ -151,7 +164,9 @@ mod tests {
         for h in &hits {
             assert_eq!(
                 smiles::parser::parse(&h.smiles).unwrap().signature(),
-                smiles::parser::parse(deck.line(h.index)).unwrap().signature()
+                smiles::parser::parse(deck.line(h.index))
+                    .unwrap()
+                    .signature()
             );
         }
     }
@@ -162,7 +177,7 @@ mod tests {
         let scores = screen(&deck, &pocket);
         let dict = DictBuilder::default().train(deck.iter()).unwrap();
         let archive = Archive::build(&dict, deck.as_bytes());
-        let hits = top_hits(&archive, &dict, &scores, deck.len() + 50).unwrap();
+        let hits = top_hits(&archive, &scores, deck.len() + 50).unwrap();
         assert_eq!(hits.len(), deck.len());
     }
 

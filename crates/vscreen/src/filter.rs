@@ -159,9 +159,9 @@ mod tests {
     fn deck_filter_keeps_drug_like_lines() {
         let mut deck = molgen::Dataset::new();
         deck.push(b"CC(=O)Oc1ccccc1C(=O)O"); // aspirin: pass
-        deck.push(b"not smiles");            // unparseable: fail closed
+        deck.push(b"not smiles"); // unparseable: fail closed
         deck.push(b"OCC(O)C(O)C(O)C(O)C(O)C(O)CO"); // too many donors
-        deck.push(b"CCO");                   // pass
+        deck.push(b"CCO"); // pass
         assert_eq!(ro5_filter(&deck), vec![0, 3]);
     }
 

@@ -28,7 +28,7 @@
 //!
 //! let dict = DictBuilder::default().train(deck.iter()).unwrap();
 //! let archive = Archive::build(&dict, deck.as_bytes());
-//! let hits = vscreen::top_hits(&archive, &dict, &scores, 5).unwrap();
+//! let hits = vscreen::top_hits(&archive, &scores, 5).unwrap();
 //! assert_eq!(hits.len(), 5);
 //! assert!(archive.ratio() < 1.0);
 //! ```

@@ -98,7 +98,10 @@ impl ScoreTable {
                 .ok_or_else(|| format!("row {ln}: missing tab"))?;
             let idx: usize = idx.parse().map_err(|_| format!("row {ln}: bad index"))?;
             if idx != scores.len() {
-                return Err(format!("row {ln}: expected index {}, got {idx}", scores.len()));
+                return Err(format!(
+                    "row {ln}: expected index {}, got {idx}",
+                    scores.len()
+                ));
             }
             let val: f64 = val.parse().map_err(|_| format!("row {ln}: bad score"))?;
             scores.push(val);
@@ -142,10 +145,22 @@ mod tests {
 
     #[test]
     fn tsv_rejects_malformed_rows() {
-        assert!(ScoreTable::read_tsv("0 1.5\n".as_bytes()).is_err(), "no tab");
-        assert!(ScoreTable::read_tsv("1\t1.5\n".as_bytes()).is_err(), "gap in indices");
-        assert!(ScoreTable::read_tsv("0\tbanana\n".as_bytes()).is_err(), "bad float");
-        assert!(ScoreTable::read_tsv("x\t1.5\n".as_bytes()).is_err(), "bad index");
+        assert!(
+            ScoreTable::read_tsv("0 1.5\n".as_bytes()).is_err(),
+            "no tab"
+        );
+        assert!(
+            ScoreTable::read_tsv("1\t1.5\n".as_bytes()).is_err(),
+            "gap in indices"
+        );
+        assert!(
+            ScoreTable::read_tsv("0\tbanana\n".as_bytes()).is_err(),
+            "bad float"
+        );
+        assert!(
+            ScoreTable::read_tsv("x\t1.5\n".as_bytes()).is_err(),
+            "bad index"
+        );
     }
 
     #[test]

@@ -40,7 +40,8 @@ impl Args {
     }
 
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag '{key}'"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag '{key}'"))
     }
 
     pub fn get_bool(&self, key: &str) -> bool {
@@ -50,14 +51,18 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("flag '{key}': bad number '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag '{key}': bad number '{v}'")),
         }
     }
 
     pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("flag '{key}': bad number '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag '{key}': bad number '{v}'")),
         }
     }
 }

@@ -5,32 +5,28 @@ use molgen::{profiles, stats, Dataset};
 use std::path::Path;
 use std::time::Instant;
 use zsmiles_core::dict::format as dict_format;
-use zsmiles_core::wide::{read_wide_dict, write_wide_dict};
-use zsmiles_core::{
-    compress_parallel, decompress_parallel, Decompressor, DictBuilder, Dictionary, LineIndex,
-    Prepopulation, SpAlgorithm, WideDecompressor, WideDictBuilder, WideDictionary,
-};
+use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::wide::write_wide_dict;
+use zsmiles_core::{Archive, Decompressor, DictBuilder, LineIndex, Prepopulation, WideDictBuilder};
 
-const USAGE: &str = "usage: zsmiles <gen|train|compress|decompress|get|screen|stats|inspect> [flags]
+const USAGE: &str =
+    "usage: zsmiles <gen|train|compress|decompress|pack|unpack|get|screen|stats|inspect> [flags]
   gen        --profile gdb17|mediate|exscalate|mixed -n N [--seed S] -o out.smi
   train      -i train.smi -o dict.dct [--lmin 2] [--lmax 8] [--dict-size N]
              [--prepopulation none|smiles-alphabet|printable-ascii] [--no-preprocess]
              [--wide N]     (N two-byte codes; writes the wide format)
   compress   -i in.smi -d dict.dct -o out.zsmi [--threads N] [--index]
   decompress -i in.zsmi -d dict.dct -o out.smi [--threads N] [--postprocess]
+  pack       -i in.smi -d dict.dct -o out.zsa [--threads N]
+             (single-file archive: dictionary + payload + line index + CRC)
+  unpack     -i in.zsa -o out.smi [--threads N]
   get        -i in.zsmi -d dict.dct --line K
+  get        --archive in.zsa --line K      (no dictionary or sidecar needed)
   screen     -i deck.smi [--pocket-seed S] [--top K] [--threads N] [--scores out.tsv]
   stats      -i file.smi
-  inspect    -d dict.dct [-i corpus.smi]
+  inspect    -d dict.dct [-i corpus.smi]   |   inspect --archive in.zsa
 Dictionary files are sniffed by magic: both the paper's one-byte format and
 the wide extension work everywhere a -d flag is accepted.";
-
-/// Either dictionary flavour, sniffed from the file magic. Boxed: the two
-/// payloads differ in size and the enum lives on one stack frame per run.
-enum AnyDict {
-    Base(Box<Dictionary>),
-    Wide(Box<WideDictionary>),
-}
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = argv.split_first() else {
@@ -42,6 +38,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "train" => cmd_train(&args),
         "compress" => cmd_compress(&args),
         "decompress" => cmd_decompress(&args),
+        "pack" => cmd_pack(&args),
+        "unpack" => cmd_unpack(&args),
         "get" => cmd_get(&args),
         "screen" => cmd_screen(&args),
         "stats" => cmd_stats(&args),
@@ -68,7 +66,12 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     };
     ds.save(Path::new(out)).map_err(|e| e.to_string())?;
     if !args.get_bool("--quiet") {
-        println!("wrote {} lines ({} bytes) to {}", ds.len(), ds.total_bytes(), out);
+        println!(
+            "wrote {} lines ({} bytes) to {}",
+            ds.len(),
+            ds.total_bytes(),
+            out
+        );
     }
     Ok(())
 }
@@ -78,22 +81,28 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let output = args.require("--output")?;
     let ds = Dataset::load(Path::new(input)).map_err(|e| e.to_string())?;
     let name = args.get("--prepopulation").unwrap_or("smiles-alphabet");
-    let prepopulation = Prepopulation::from_name(name)
-        .ok_or_else(|| format!("unknown prepopulation '{name}'"))?;
+    let prepopulation =
+        Prepopulation::from_name(name).ok_or_else(|| format!("unknown prepopulation '{name}'"))?;
     let builder = DictBuilder {
         lmin: args.get_usize("--lmin", 2)?,
         lmax: args.get_usize("--lmax", 8)?,
         prepopulation,
         preprocess: !args.get_bool("--no-preprocess"),
-        dict_size: args.get("--dict-size").map(|v| v.parse().unwrap_or(0)).filter(|&v| v > 0),
+        dict_size: args
+            .get("--dict-size")
+            .map(|v| v.parse().unwrap_or(0))
+            .filter(|&v| v > 0),
         ..Default::default()
     };
     let t0 = Instant::now();
     let wide = args.get_usize("--wide", 0)?;
     if wide > 0 {
-        let dict = WideDictBuilder { base: builder, wide_size: wide }
-            .train(ds.iter())
-            .map_err(|e| e.to_string())?;
+        let dict = WideDictBuilder {
+            base: builder,
+            wide_size: wide,
+        }
+        .train(ds.iter())
+        .map_err(|e| e.to_string())?;
         let f = std::fs::File::create(output).map_err(|e| e.to_string())?;
         write_wide_dict(&dict, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
         if !args.get_bool("--quiet") {
@@ -123,19 +132,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_dict(args: &Args) -> Result<AnyDict, String> {
+fn load_dict(args: &Args) -> Result<AnyDictionary, String> {
     let path = args.require("--dict")?;
-    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
-    let first_line = bytes.split(|&b| b == b'\n').next().unwrap_or(b"");
-    if first_line.starts_with(b"#zsmiles-wide-dict") {
-        Ok(AnyDict::Wide(Box::new(
-            read_wide_dict(&bytes[..]).map_err(|e| e.to_string())?,
-        )))
-    } else {
-        Ok(AnyDict::Base(Box::new(
-            dict_format::read_dict(&bytes[..]).map_err(|e| e.to_string())?,
-        )))
-    }
+    AnyDictionary::load(Path::new(path)).map_err(|e| e.to_string())
 }
 
 fn cmd_compress(args: &Args) -> Result<(), String> {
@@ -145,15 +144,13 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
     let threads = args.get_usize("--threads", 1)?;
     let data = std::fs::read(input).map_err(|e| e.to_string())?;
     let t0 = Instant::now();
-    let (out, cstats) = match &dict {
-        AnyDict::Base(d) => compress_parallel(d, &data, SpAlgorithm::BackwardDp, threads),
-        AnyDict::Wide(d) => zsmiles_core::compress_parallel_wide(d, &data, threads),
-    };
+    let (out, cstats) = dict.compress_parallel(&data, threads);
     let dt = t0.elapsed();
     std::fs::write(output, &out).map_err(|e| e.to_string())?;
     if args.get_bool("--index") {
         let idx = LineIndex::build(&out);
-        idx.save(Path::new(&format!("{output}.zsx"))).map_err(|e| e.to_string())?;
+        idx.save(Path::new(&format!("{output}.zsx")))
+            .map_err(|e| e.to_string())?;
     }
     if !args.get_bool("--quiet") {
         println!(
@@ -177,25 +174,21 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
     let data = std::fs::read(input).map_err(|e| e.to_string())?;
     let t0 = Instant::now();
     let out = match &dict {
-        AnyDict::Base(d) => {
-            if args.get_bool("--postprocess") {
-                // Post-processing path is line-by-line (serial; the renumber
-                // is cheap next to I/O).
-                let mut dc = Decompressor::new(d).with_postprocess(true);
-                let mut out = Vec::with_capacity(data.len() * 3);
-                dc.decompress_buffer(&data, &mut out).map_err(|e| e.to_string())?;
-                out
-            } else {
-                let (out, _) =
-                    decompress_parallel(d, &data, threads).map_err(|e| e.to_string())?;
-                out
-            }
+        AnyDictionary::Base(d) if args.get_bool("--postprocess") => {
+            // Post-processing path is line-by-line (serial; the renumber
+            // is cheap next to I/O).
+            let mut dc = Decompressor::new(d).with_postprocess(true);
+            let mut out = Vec::with_capacity(data.len() * 3);
+            dc.decompress_buffer(&data, &mut out)
+                .map_err(|e| e.to_string())?;
+            out
         }
-        AnyDict::Wide(d) => {
-            if args.get_bool("--postprocess") {
-                return Err("--postprocess is not supported with wide dictionaries".into());
-            }
-            let (out, _) = zsmiles_core::decompress_parallel_wide(d, &data, threads)
+        AnyDictionary::Wide(_) if args.get_bool("--postprocess") => {
+            return Err("--postprocess is not supported with wide dictionaries".into());
+        }
+        dict => {
+            let (out, _) = dict
+                .decompress_parallel(&data, threads)
                 .map_err(|e| e.to_string())?;
             out
         }
@@ -208,10 +201,67 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_pack(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let output = args.require("--output")?;
+    let dict = load_dict(args)?;
+    let threads = args.get_usize("--threads", 1)?;
+    let data = std::fs::read(input).map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    let archive = Archive::pack(dict, &data, threads);
+    archive.save(Path::new(output)).map_err(|e| e.to_string())?;
+    let dt = t0.elapsed();
+    if !args.get_bool("--quiet") {
+        let s = archive.stats().expect("pack carries stats");
+        let on_disk = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "packed {} lines, {} -> {} payload bytes (ratio {:.3}), {} bytes on disk \
+             ({} dictionary) in {:.2?}",
+            s.lines,
+            s.in_bytes,
+            s.out_bytes,
+            s.ratio(),
+            on_disk,
+            archive.flavor().name(),
+            dt,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_unpack(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let output = args.require("--output")?;
+    let threads = args.get_usize("--threads", 1)?;
+    let t0 = Instant::now();
+    let archive = Archive::open(Path::new(input)).map_err(|e| e.to_string())?;
+    let (out, dstats) = archive.unpack(threads).map_err(|e| e.to_string())?;
+    std::fs::write(output, &out).map_err(|e| e.to_string())?;
+    if !args.get_bool("--quiet") {
+        println!(
+            "unpacked {} lines, {} -> {} bytes in {:.2?}",
+            dstats.lines,
+            dstats.in_bytes,
+            dstats.out_bytes,
+            t0.elapsed()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_get(args: &Args) -> Result<(), String> {
+    let line_no = args.get_usize("--line", 0)?;
+
+    // Single-file path: everything needed is inside the container.
+    if let Some(path) = args.get("--archive") {
+        let archive = Archive::open(Path::new(path)).map_err(|e| e.to_string())?;
+        let smiles = archive.get(line_no).map_err(|e| e.to_string())?;
+        println!("{}", String::from_utf8_lossy(&smiles));
+        return Ok(());
+    }
+
     let input = args.require("--input")?;
     let dict = load_dict(args)?;
-    let line_no = args.get_usize("--line", 0)?;
     let data = std::fs::read(input).map_err(|e| e.to_string())?;
     // Use the sidecar if present, else index on the fly.
     let sidecar = format!("{input}.zsx");
@@ -221,28 +271,33 @@ fn cmd_get(args: &Args) -> Result<(), String> {
         LineIndex::build(&data)
     };
     if line_no >= idx.len() {
-        return Err(format!("line {line_no} out of range (file has {})", idx.len()));
+        return Err(format!(
+            "line {line_no} out of range (file has {})",
+            idx.len()
+        ));
     }
-    let smiles = match &dict {
-        AnyDict::Base(d) => {
-            idx.decompress_line_at(d, &data, line_no).map_err(|e| e.to_string())?
-        }
-        AnyDict::Wide(d) => {
-            let mut out = Vec::new();
-            WideDecompressor::new(d)
-                .decompress_line(idx.line(&data, line_no), &mut out)
-                .map_err(|e| e.to_string())?;
-            out
-        }
-    };
+    let mut smiles = Vec::new();
+    dict.decompress_line(idx.line(&data, line_no), &mut smiles)
+        .map_err(|e| e.to_string())?;
     println!("{}", String::from_utf8_lossy(&smiles));
     Ok(())
 }
 
 fn cmd_inspect(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("--archive") {
+        let archive = Archive::open(Path::new(path)).map_err(|e| e.to_string())?;
+        println!(
+            "archive: {} lines | {} payload bytes | {} dictionary | preprocess {}",
+            archive.len(),
+            archive.payload().len(),
+            archive.flavor().name(),
+            archive.dictionary().preprocessed(),
+        );
+        return Ok(());
+    }
     let dict = load_dict(args)?;
     match &dict {
-        AnyDict::Base(dict) => {
+        AnyDictionary::Base(dict) => {
             println!(
                 "dictionary: {} patterns + {} identity codes | prepopulation {} | \
                  preprocess {} | Lmin {} Lmax {} | longest pattern {}",
@@ -260,7 +315,7 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
                 print!("{}", report.summary(dict));
             }
         }
-        AnyDict::Wide(dict) => {
+        AnyDictionary::Wide(dict) => {
             println!(
                 "wide dictionary: {} one-byte + {} two-byte codes | prepopulation {} | \
                  preprocess {} | Lmin {} Lmax {} | longest pattern {}",
@@ -288,7 +343,9 @@ fn cmd_screen(args: &Args) -> Result<(), String> {
     let dt = t0.elapsed();
     if let Some(path) = args.get("--scores") {
         let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
-        scores.write_tsv(std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+        scores
+            .write_tsv(std::io::BufWriter::new(f))
+            .map_err(|e| e.to_string())?;
     }
     if !args.get_bool("--quiet") {
         println!(
@@ -319,7 +376,10 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> String {
-        std::env::temp_dir().join(name).to_string_lossy().into_owned()
+        std::env::temp_dir()
+            .join(name)
+            .to_string_lossy()
+            .into_owned()
     }
 
     fn argv(s: &[&str]) -> Vec<String> {
@@ -333,12 +393,35 @@ mod tests {
         let zsmi = tmp("zcli_deck.zsmi");
         let back = tmp("zcli_back.smi");
 
-        run(&argv(&["gen", "--profile", "gdb17", "-n", "300", "--seed", "9", "-o", &smi, "--quiet"]))
-            .unwrap();
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "gdb17",
+            "-n",
+            "300",
+            "--seed",
+            "9",
+            "-o",
+            &smi,
+            "--quiet",
+        ]))
+        .unwrap();
         run(&argv(&["train", "-i", &smi, "-o", &dct, "--quiet"])).unwrap();
-        run(&argv(&["compress", "-i", &smi, "-d", &dct, "-o", &zsmi, "--index", "--quiet"]))
-            .unwrap();
-        run(&argv(&["decompress", "-i", &zsmi, "-d", &dct, "-o", &back, "--quiet"])).unwrap();
+        run(&argv(&[
+            "compress", "-i", &smi, "-d", &dct, "-o", &zsmi, "--index", "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "decompress",
+            "-i",
+            &zsmi,
+            "-d",
+            &dct,
+            "-o",
+            &back,
+            "--quiet",
+        ]))
+        .unwrap();
 
         let original = Dataset::load(Path::new(&smi)).unwrap();
         let restored = Dataset::load(Path::new(&back)).unwrap();
@@ -369,12 +452,38 @@ mod tests {
         let zsmi = tmp("zcli_wide.zsmi");
         let back = tmp("zcli_wide_back.smi");
 
-        run(&argv(&["gen", "--profile", "mixed", "-n", "400", "--seed", "3", "-o", &smi, "--quiet"]))
-            .unwrap();
-        run(&argv(&["train", "-i", &smi, "-o", &dct, "--wide", "64", "--quiet"])).unwrap();
-        run(&argv(&["compress", "-i", &smi, "-d", &dct, "-o", &zsmi, "--index", "--quiet"]))
-            .unwrap();
-        run(&argv(&["decompress", "-i", &zsmi, "-d", &dct, "-o", &back, "--quiet"])).unwrap();
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "mixed",
+            "-n",
+            "400",
+            "--seed",
+            "3",
+            "-o",
+            &smi,
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "train", "-i", &smi, "-o", &dct, "--wide", "64", "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "compress", "-i", &smi, "-d", &dct, "-o", &zsmi, "--index", "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "decompress",
+            "-i",
+            &zsmi,
+            "-d",
+            &dct,
+            "-o",
+            &back,
+            "--quiet",
+        ]))
+        .unwrap();
 
         let original = Dataset::load(Path::new(&smi)).unwrap();
         let restored = Dataset::load(Path::new(&back)).unwrap();
@@ -393,7 +502,15 @@ mod tests {
         run(&argv(&["inspect", "-d", &dct])).unwrap();
         // Postprocess is a base-only feature; the wide path must refuse.
         assert!(run(&argv(&[
-            "decompress", "-i", &zsmi, "-d", &dct, "-o", &back, "--postprocess", "--quiet"
+            "decompress",
+            "-i",
+            &zsmi,
+            "-d",
+            &dct,
+            "-o",
+            &back,
+            "--postprocess",
+            "--quiet"
         ]))
         .is_err());
 
@@ -403,10 +520,122 @@ mod tests {
     }
 
     #[test]
+    fn pack_unpack_archive_round_trip() {
+        for (tag, wide) in [("base", false), ("wide", true)] {
+            let smi = tmp(&format!("zcli_pack_{tag}.smi"));
+            let dct = tmp(&format!("zcli_pack_{tag}.dct"));
+            let zsa = tmp(&format!("zcli_pack_{tag}.zsa"));
+            let back = tmp(&format!("zcli_pack_{tag}_back.smi"));
+
+            run(&argv(&[
+                "gen",
+                "--profile",
+                "mixed",
+                "-n",
+                "250",
+                "--seed",
+                "17",
+                "-o",
+                &smi,
+                "--quiet",
+            ]))
+            .unwrap();
+            let mut train = vec![
+                "train",
+                "-i",
+                &smi,
+                "-o",
+                &dct,
+                "--no-preprocess",
+                "--quiet",
+            ];
+            if wide {
+                train.extend(["--wide", "48"]);
+            }
+            run(&argv(&train)).unwrap();
+            run(&argv(&[
+                "pack",
+                "-i",
+                &smi,
+                "-d",
+                &dct,
+                "-o",
+                &zsa,
+                "--threads",
+                "3",
+                "--quiet",
+            ]))
+            .unwrap();
+            run(&argv(&["unpack", "-i", &zsa, "-o", &back, "--quiet"])).unwrap();
+
+            // Preprocess was off, so the round trip is byte-identical.
+            assert_eq!(
+                std::fs::read(&smi).unwrap(),
+                std::fs::read(&back).unwrap(),
+                "{tag}: unpack(pack(x)) == x"
+            );
+            // Random access needs only the single archive file.
+            run(&argv(&["get", "--archive", &zsa, "--line", "42"])).unwrap();
+            run(&argv(&["inspect", "--archive", &zsa])).unwrap();
+            // Out-of-range line is an error, not a panic.
+            assert!(run(&argv(&["get", "--archive", &zsa, "--line", "9999"])).is_err());
+
+            for f in [&smi, &dct, &zsa, &back] {
+                std::fs::remove_file(f).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_archive_is_rejected() {
+        let smi = tmp("zcli_corrupt.smi");
+        let dct = tmp("zcli_corrupt.dct");
+        let zsa = tmp("zcli_corrupt.zsa");
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "gdb17",
+            "-n",
+            "50",
+            "-o",
+            &smi,
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&["train", "-i", &smi, "-o", &dct, "--quiet"])).unwrap();
+        run(&argv(&[
+            "pack", "-i", &smi, "-d", &dct, "-o", &zsa, "--quiet",
+        ]))
+        .unwrap();
+        let mut blob = std::fs::read(&zsa).unwrap();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x40;
+        std::fs::write(&zsa, &blob).unwrap();
+        let err = run(&argv(&["get", "--archive", &zsa, "--line", "0"])).unwrap_err();
+        assert!(
+            err.contains("CRC"),
+            "corruption detected via CRC, got: {err}"
+        );
+        for f in [&smi, &dct, &zsa] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
     fn inspect_command() {
         let smi = tmp("zcli_inspect.smi");
         let dct = tmp("zcli_inspect.dct");
-        run(&argv(&["gen", "--profile", "mixed", "-n", "200", "-o", &smi, "--quiet"])).unwrap();
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "mixed",
+            "-n",
+            "200",
+            "-o",
+            &smi,
+            "--quiet",
+        ]))
+        .unwrap();
         run(&argv(&["train", "-i", &smi, "-o", &dct, "--quiet"])).unwrap();
         run(&argv(&["inspect", "-d", &dct, "-i", &smi])).unwrap();
         run(&argv(&["inspect", "-d", &dct])).unwrap();
@@ -417,7 +646,17 @@ mod tests {
     #[test]
     fn stats_command() {
         let smi = tmp("zcli_stats.smi");
-        run(&argv(&["gen", "--profile", "mixed", "-n", "50", "-o", &smi, "--quiet"])).unwrap();
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "mixed",
+            "-n",
+            "50",
+            "-o",
+            &smi,
+            "--quiet",
+        ]))
+        .unwrap();
         run(&argv(&["stats", "-i", &smi])).unwrap();
         std::fs::remove_file(&smi).ok();
     }
@@ -426,14 +665,31 @@ mod tests {
     fn screen_command_writes_scores() {
         let smi = tmp("zcli_screen.smi");
         let tsv = tmp("zcli_screen.tsv");
-        run(&argv(&["gen", "--profile", "mixed", "-n", "120", "-o", &smi, "--quiet"])).unwrap();
         run(&argv(&[
-            "screen", "-i", &smi, "--pocket-seed", "7", "--top", "3", "--scores", &tsv,
+            "gen",
+            "--profile",
+            "mixed",
+            "-n",
+            "120",
+            "-o",
+            &smi,
             "--quiet",
         ]))
         .unwrap();
-        let table =
-            vscreen::ScoreTable::read_tsv(std::fs::File::open(&tsv).unwrap()).unwrap();
+        run(&argv(&[
+            "screen",
+            "-i",
+            &smi,
+            "--pocket-seed",
+            "7",
+            "--top",
+            "3",
+            "--scores",
+            &tsv,
+            "--quiet",
+        ]))
+        .unwrap();
+        let table = vscreen::ScoreTable::read_tsv(std::fs::File::open(&tsv).unwrap()).unwrap();
         assert_eq!(table.len(), 120);
         // Deterministic: re-screening in process gives the same table.
         let ds = Dataset::load(Path::new(&smi)).unwrap();
@@ -446,7 +702,16 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         assert!(run(&argv(&["bogus"])).is_err());
-        assert!(run(&argv(&["gen", "--profile", "nope", "-o", "/tmp/x", "-n", "1"])).is_err());
+        assert!(run(&argv(&[
+            "gen",
+            "--profile",
+            "nope",
+            "-o",
+            "/tmp/x",
+            "-n",
+            "1"
+        ]))
+        .is_err());
         assert!(run(&argv(&["train", "-i", "/nonexistent", "-o", "/tmp/x"])).is_err());
         assert!(run(&[]).is_err());
         assert!(run(&argv(&["help"])).is_ok());
@@ -460,11 +725,28 @@ mod tests {
         let back = tmp("zcli_pp_back.smi");
         std::fs::write(&smi, "C1CC1C2CC2\n").unwrap();
         run(&argv(&["train", "-i", &smi, "-o", &dct, "--quiet"])).unwrap();
-        run(&argv(&["compress", "-i", &smi, "-d", &dct, "-o", &zsmi, "--quiet"])).unwrap();
-        run(&argv(&["decompress", "-i", &zsmi, "-d", &dct, "-o", &back, "--postprocess", "--quiet"]))
-            .unwrap();
+        run(&argv(&[
+            "compress", "-i", &smi, "-d", &dct, "-o", &zsmi, "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "decompress",
+            "-i",
+            &zsmi,
+            "-d",
+            &dct,
+            "-o",
+            &back,
+            "--postprocess",
+            "--quiet",
+        ]))
+        .unwrap();
         let restored = std::fs::read_to_string(&back).unwrap();
-        assert_eq!(restored.trim(), "C1CC1C1CC1", "conventional outermost-from-1 IDs");
+        assert_eq!(
+            restored.trim(),
+            "C1CC1C1CC1",
+            "conventional outermost-from-1 IDs"
+        );
         for f in [&smi, &dct, &zsmi, &back] {
             std::fs::remove_file(f).ok();
         }

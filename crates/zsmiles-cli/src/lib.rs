@@ -1,0 +1,8 @@
+//! `zsmiles` CLI as a library: argument parsing and subcommand
+//! implementations, exposed so integration tests can drive the exact code
+//! the binary runs.
+
+pub mod args;
+pub mod commands;
+
+pub use commands::run;

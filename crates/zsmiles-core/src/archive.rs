@@ -1,0 +1,456 @@
+//! The `.zsa` archive container: one self-describing file for the whole
+//! random-access story.
+//!
+//! The loose-file workflow needs three artifacts — the compressed deck
+//! (`.zsmi`), its dictionary (`.dct`), and a line-offset sidecar (`.zsx`).
+//! Losing any one of them costs either decodability or O(1) access. A
+//! `.zsa` file carries all three sections plus integrity metadata, the way
+//! FSST-style string codecs ship symbol table and payload as one unit:
+//!
+//! ```text
+//! offset 0         "ZSAR0001"                     magic
+//!        8         flavor tag (1 base, 2 wide)    which dictionary format
+//!        9..16     reserved (zero)
+//!        16        dict_len: u64 LE
+//!        24        payload_len: u64 LE
+//!        32        dictionary bytes               readable .dct text, either flavour
+//!        ...       payload bytes                  newline-separated compressed lines
+//!        ...       line index                     LineIndex wire format
+//!        ...       index_len: u64 LE
+//!        ...       crc32: u32 LE                  over every preceding byte
+//!        end-8     "ZSAREND1"                     trailer magic
+//! ```
+//!
+//! Properties preserved from the paper's design:
+//!
+//! * the **payload stays readable text** — `grep` through a `.zsa` still
+//!   hits compressed SMILES lines; only the index and the fixed-size
+//!   header/footer are binary;
+//! * **O(1) `get(line)`** without sidecars: the footer locates the index,
+//!   the index locates the line;
+//! * the **dictionary travels with the data**, so archives are
+//!   self-decoding on any machine, either code width, sniffed by tag.
+//!
+//! The CRC32 (reused from [`textcomp::crc32`], the same routine the
+//! bzip-like baseline uses per block) covers header, dictionary, payload
+//! and index, so truncation and bit rot are detected before any decode is
+//! attempted.
+
+use crate::compress::CompressStats;
+use crate::decompress::DecompressStats;
+use crate::engine::{AnyDictionary, DictFlavor};
+use crate::error::ZsmilesError;
+use crate::index::LineIndex;
+use std::io::Write;
+use std::path::Path;
+use textcomp::crc32::crc32;
+
+const MAGIC: &[u8; 8] = b"ZSAR0001";
+const TRAILER: &[u8; 8] = b"ZSAREND1";
+/// Fixed header: magic + flavor + reserved + dict_len + payload_len.
+const HEADER_LEN: usize = 8 + 1 + 7 + 8 + 8;
+/// Fixed footer: index_len + crc32 + trailer.
+const FOOTER_LEN: usize = 8 + 4 + 8;
+
+fn bad(reason: impl Into<String>) -> ZsmilesError {
+    ZsmilesError::ArchiveFormat {
+        reason: reason.into(),
+    }
+}
+
+/// A packed, indexed, self-describing SMILES archive.
+#[derive(Debug, Clone)]
+pub struct Archive {
+    dict: AnyDictionary,
+    payload: Vec<u8>,
+    index: LineIndex,
+    /// Compression accounting — known when the archive was packed in this
+    /// process, absent after [`Archive::open`] (the original size is not
+    /// stored in the container).
+    stats: Option<CompressStats>,
+}
+
+impl Archive {
+    /// Compress `deck` (newline-separated SMILES) with `dict` on
+    /// `threads` workers and index the result.
+    pub fn pack(dict: AnyDictionary, deck: &[u8], threads: usize) -> Archive {
+        let (payload, stats) = dict.compress_parallel(deck, threads);
+        let index = LineIndex::build(&payload);
+        Archive {
+            dict,
+            payload,
+            index,
+            stats: Some(stats),
+        }
+    }
+
+    /// Number of ligands stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Which dictionary flavour the archive embeds.
+    pub fn flavor(&self) -> DictFlavor {
+        self.dict.flavor()
+    }
+
+    /// The embedded dictionary.
+    pub fn dictionary(&self) -> &AnyDictionary {
+        &self.dict
+    }
+
+    /// The compressed payload (newline-separated, readable).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The line-offset index.
+    pub fn index(&self) -> &LineIndex {
+        &self.index
+    }
+
+    /// Compression accounting, if the archive was packed in this process.
+    pub fn stats(&self) -> Option<&CompressStats> {
+        self.stats.as_ref()
+    }
+
+    /// The compressed bytes of ligand `i` — the unit a random-access read
+    /// transfers.
+    pub fn compressed_line(&self, i: usize) -> Result<&[u8], ZsmilesError> {
+        if i >= self.index.len() {
+            return Err(ZsmilesError::LineOutOfRange {
+                line: i,
+                len: self.index.len(),
+            });
+        }
+        Ok(self.index.line(&self.payload, i))
+    }
+
+    /// Decompress ligand `i` — the paper's random-access read: one line is
+    /// touched, not the archive.
+    pub fn get(&self, i: usize) -> Result<Vec<u8>, ZsmilesError> {
+        let line = self.compressed_line(i)?;
+        let mut out = Vec::with_capacity(line.len() * 3);
+        self.dict.decompress_line(line, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decompress the whole deck on `threads` workers.
+    pub fn unpack(&self, threads: usize) -> Result<(Vec<u8>, DecompressStats), ZsmilesError> {
+        self.dict.decompress_parallel(&self.payload, threads)
+    }
+
+    // -- serialization ------------------------------------------------------
+
+    /// Serialize the container.
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let mut dict_bytes = Vec::new();
+        self.dict.write(&mut dict_bytes)?;
+        let mut index_bytes = Vec::new();
+        self.index.write_to(&mut index_bytes)?;
+
+        // CRC is computed over the byte stream as written, so build the
+        // prefix in memory. Archives are payload-dominated; the extra copy
+        // is one pass.
+        let mut buf = Vec::with_capacity(
+            HEADER_LEN + dict_bytes.len() + self.payload.len() + index_bytes.len() + FOOTER_LEN,
+        );
+        buf.extend_from_slice(MAGIC);
+        buf.push(self.dict.flavor().tag());
+        buf.extend_from_slice(&[0u8; 7]);
+        buf.extend_from_slice(&(dict_bytes.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&dict_bytes);
+        buf.extend_from_slice(&self.payload);
+        buf.extend_from_slice(&index_bytes);
+        buf.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(TRAILER);
+        w.write_all(&buf)
+    }
+
+    /// Parse a container, verifying trailer, CRC and section bounds before
+    /// touching any content.
+    pub fn read_from(bytes: &[u8]) -> Result<Archive, ZsmilesError> {
+        if bytes.len() < HEADER_LEN + FOOTER_LEN {
+            return Err(bad(format!(
+                "file too short for a .zsa container ({} bytes)",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(bad("bad magic: not a .zsa archive"));
+        }
+        if &bytes[bytes.len() - 8..] != TRAILER {
+            return Err(bad("bad trailer: archive truncated or not a .zsa file"));
+        }
+        let crc_at = bytes.len() - 12;
+        let stored_crc = u32::from_le_bytes(bytes[crc_at..crc_at + 4].try_into().unwrap());
+        let actual_crc = crc32(&bytes[..crc_at]);
+        if stored_crc != actual_crc {
+            return Err(bad(format!(
+                "CRC mismatch: stored {stored_crc:08x}, computed {actual_crc:08x} — archive corrupt"
+            )));
+        }
+
+        let flavor = DictFlavor::from_tag(bytes[8])
+            .ok_or_else(|| bad(format!("unknown dictionary flavor tag {}", bytes[8])))?;
+        let dict_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let payload_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+        let index_len_at = bytes.len() - FOOTER_LEN;
+        let index_len =
+            u64::from_le_bytes(bytes[index_len_at..index_len_at + 8].try_into().unwrap()) as usize;
+
+        let dict_start = HEADER_LEN;
+        let payload_start = dict_start
+            .checked_add(dict_len)
+            .ok_or_else(|| bad("dict_len overflow"))?;
+        let index_start = payload_start
+            .checked_add(payload_len)
+            .ok_or_else(|| bad("payload_len overflow"))?;
+        let index_end = index_start
+            .checked_add(index_len)
+            .ok_or_else(|| bad("index_len overflow"))?;
+        if index_end != index_len_at {
+            return Err(bad(format!(
+                "section sizes inconsistent: header says sections end at {index_end}, \
+                 footer starts at {index_len_at}"
+            )));
+        }
+
+        let dict = AnyDictionary::read(&bytes[dict_start..payload_start])?;
+        if dict.flavor() != flavor {
+            return Err(bad(format!(
+                "flavor tag says {} but embedded dictionary is {}",
+                flavor.name(),
+                dict.flavor().name()
+            )));
+        }
+        let payload = bytes[payload_start..index_start].to_vec();
+        let index = LineIndex::read_from(&bytes[index_start..index_end])?;
+        // The stored index must describe this exact payload — a foreign or
+        // buggy writer can produce a CRC-consistent container whose index
+        // points past the payload, which would turn get() into a slice
+        // panic. Rebuilding is one scan, cheap next to the CRC pass.
+        if index != LineIndex::build(&payload) {
+            return Err(bad("index does not match payload line structure"));
+        }
+        Ok(Archive {
+            dict,
+            payload,
+            index,
+            stats: None,
+        })
+    }
+
+    pub fn save(&self, path: &Path) -> Result<(), ZsmilesError> {
+        let f = std::fs::File::create(path)?;
+        self.write_to(std::io::BufWriter::new(f))?;
+        Ok(())
+    }
+
+    pub fn open(path: &Path) -> Result<Archive, ZsmilesError> {
+        let bytes = std::fs::read(path)?;
+        Archive::read_from(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::builder::DictBuilder;
+    use crate::wide::WideDictBuilder;
+
+    fn deck_lines() -> Vec<&'static [u8]> {
+        let lines: [&[u8]; 5] = [
+            b"COc1cc(C=O)ccc1O",
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+            b"CCN(CC)CC",
+            b"CC(=O)Oc1ccccc1C(=O)O",
+        ];
+        lines.iter().copied().cycle().take(100).collect()
+    }
+
+    fn deck_bytes() -> Vec<u8> {
+        deck_lines()
+            .iter()
+            .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+            .collect()
+    }
+
+    fn base_dict() -> AnyDictionary {
+        AnyDictionary::Base(Box::new(
+            DictBuilder {
+                min_count: 2,
+                preprocess: false,
+                ..Default::default()
+            }
+            .train(deck_lines())
+            .unwrap(),
+        ))
+    }
+
+    fn wide_dict() -> AnyDictionary {
+        AnyDictionary::Wide(Box::new(
+            WideDictBuilder {
+                base: DictBuilder {
+                    min_count: 2,
+                    preprocess: false,
+                    ..Default::default()
+                },
+                wide_size: 32,
+            }
+            .train(deck_lines())
+            .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn pack_serialize_open_round_trips_both_flavours() {
+        let deck = deck_bytes();
+        for dict in [base_dict(), wide_dict()] {
+            let flavor = dict.flavor();
+            let archive = Archive::pack(dict, &deck, 2);
+            assert_eq!(archive.len(), 100, "{flavor:?}");
+            assert!(archive.stats().unwrap().ratio() < 1.0);
+
+            let mut blob = Vec::new();
+            archive.write_to(&mut blob).unwrap();
+            let reopened = Archive::read_from(&blob).unwrap();
+            assert_eq!(reopened.len(), archive.len());
+            assert_eq!(reopened.flavor(), flavor);
+            assert_eq!(reopened.payload(), archive.payload());
+
+            // Random access on the reopened container.
+            for i in [0usize, 7, 42, 99] {
+                assert_eq!(
+                    reopened.get(i).unwrap(),
+                    deck_lines()[i],
+                    "{flavor:?} line {i}"
+                );
+            }
+            // Full unpack restores the deck byte-for-byte (preprocess off).
+            let (back, stats) = reopened.unpack(3).unwrap();
+            assert_eq!(back, deck);
+            assert_eq!(stats.lines, 100);
+        }
+    }
+
+    #[test]
+    fn payload_stays_readable_inside_the_container() {
+        let archive = Archive::pack(base_dict(), &deck_bytes(), 1);
+        let mut blob = Vec::new();
+        archive.write_to(&mut blob).unwrap();
+        // Every payload byte within the container remains displayable.
+        for &b in archive.payload() {
+            assert!(
+                b == b'\n' || b == b' ' || (0x21..=0x7E).contains(&b) || b >= 0x80,
+                "payload byte {b:#04x} not displayable"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_rejected_by_crc() {
+        let archive = Archive::pack(base_dict(), &deck_bytes(), 1);
+        let mut blob = Vec::new();
+        archive.write_to(&mut blob).unwrap();
+        // Flip one payload bit.
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x01;
+        let err = Archive::read_from(&blob).unwrap_err();
+        assert!(
+            matches!(&err, ZsmilesError::ArchiveFormat { reason } if reason.contains("CRC")),
+            "expected CRC error, got {err}"
+        );
+    }
+
+    #[test]
+    fn truncation_and_garbage_rejected() {
+        let archive = Archive::pack(base_dict(), &deck_bytes(), 1);
+        let mut blob = Vec::new();
+        archive.write_to(&mut blob).unwrap();
+        assert!(
+            Archive::read_from(&blob[..blob.len() - 1]).is_err(),
+            "truncated trailer"
+        );
+        assert!(Archive::read_from(&blob[..40]).is_err(), "truncated body");
+        assert!(Archive::read_from(b"ZSAR0001").is_err(), "header only");
+        assert!(Archive::read_from(b"not an archive at all, just text").is_err());
+        let mut wrong_magic = blob.clone();
+        wrong_magic[0] = b'X';
+        assert!(Archive::read_from(&wrong_magic).is_err());
+    }
+
+    #[test]
+    fn crc_consistent_but_lying_index_is_rejected() {
+        // A foreign writer can produce a container whose CRC is valid but
+        // whose index points past the payload; reading it must error, not
+        // arm a later slice panic in get().
+        let archive = Archive::pack(base_dict(), &deck_bytes(), 1);
+        let mut blob = Vec::new();
+        archive.write_to(&mut blob).unwrap();
+
+        // Locate the index section and bump its `total` field (bytes
+        // 16..24 of the section: magic(8) + count(8) + total(8)).
+        let footer = blob.len() - FOOTER_LEN;
+        let index_len = u64::from_le_bytes(blob[footer..footer + 8].try_into().unwrap()) as usize;
+        let index_start = footer - index_len;
+        let total_at = index_start + 16;
+        let total = u64::from_le_bytes(blob[total_at..total_at + 8].try_into().unwrap());
+        blob[total_at..total_at + 8].copy_from_slice(&(total + 50).to_le_bytes());
+        // Recompute the CRC the way a buggy-but-honest writer would.
+        let crc_at = blob.len() - 12;
+        let crc = crc32(&blob[..crc_at]);
+        blob[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+
+        let err = Archive::read_from(&blob).unwrap_err();
+        assert!(
+            matches!(&err, ZsmilesError::ArchiveFormat { reason }
+                if reason.contains("index does not match")),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn get_out_of_range_is_an_error() {
+        let archive = Archive::pack(base_dict(), &deck_bytes(), 1);
+        let err = archive.get(100).unwrap_err();
+        assert!(matches!(
+            err,
+            ZsmilesError::LineOutOfRange {
+                line: 100,
+                len: 100
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_deck_packs_and_reopens() {
+        let archive = Archive::pack(base_dict(), b"", 4);
+        assert!(archive.is_empty());
+        let mut blob = Vec::new();
+        archive.write_to(&mut blob).unwrap();
+        let reopened = Archive::read_from(&blob).unwrap();
+        assert_eq!(reopened.len(), 0);
+        assert!(reopened.get(0).is_err());
+    }
+
+    #[test]
+    fn file_save_open_round_trip() {
+        let deck = deck_bytes();
+        let archive = Archive::pack(wide_dict(), &deck, 2);
+        let path = std::env::temp_dir().join("zsmiles_test_archive.zsa");
+        archive.save(&path).unwrap();
+        let reopened = Archive::open(&path).unwrap();
+        assert_eq!(reopened.flavor(), DictFlavor::Wide);
+        assert_eq!(reopened.get(13).unwrap(), deck_lines()[13]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,10 +1,9 @@
 //! Line-oriented compression engine (paper Fig. 3, upper path:
 //! preprocess → compress → store).
 
-use crate::codec::LINE_SEP;
 use crate::dict::Dictionary;
+use crate::engine::{LineEncoder, PreprocessStage};
 use crate::sp::{encode_line, SpAlgorithm, SpScratch};
-use smiles::preprocess::{Preprocessor, RingRenumber};
 
 /// Accounting for one compression run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -42,13 +41,11 @@ impl CompressStats {
 pub struct Compressor<'d> {
     dict: &'d Dictionary,
     algo: SpAlgorithm,
-    /// Apply ring-ID renumbering before encoding. Defaults to whatever the
-    /// dictionary was trained with — mixing the two wastes ratio but is
-    /// never incorrect, so it is a tunable, not an invariant.
-    preprocess: bool,
+    /// The shared ring-ID preprocessing stage. Enabled by default to
+    /// whatever the dictionary was trained with — mixing the two wastes
+    /// ratio but is never incorrect, so it is a tunable, not an invariant.
+    preprocess: PreprocessStage,
     scratch: SpScratch,
-    ppbuf: Vec<u8>,
-    pp: Preprocessor,
 }
 
 impl<'d> Compressor<'d> {
@@ -56,10 +53,8 @@ impl<'d> Compressor<'d> {
         Compressor {
             dict,
             algo: SpAlgorithm::default(),
-            preprocess: dict.preprocessed(),
+            preprocess: PreprocessStage::new(dict.preprocessed()),
             scratch: SpScratch::new(),
-            ppbuf: Vec::new(),
-            pp: Preprocessor::new(),
         }
     }
 
@@ -69,7 +64,7 @@ impl<'d> Compressor<'d> {
     }
 
     pub fn with_preprocess(mut self, on: bool) -> Self {
-        self.preprocess = on;
+        self.preprocess.set_enabled(on);
         self
     }
 
@@ -80,18 +75,7 @@ impl<'d> Compressor<'d> {
     /// Compress one line (no newline), appending code bytes to `out`.
     /// Returns `(bytes_written, preprocess_failed)`.
     pub fn compress_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> (usize, bool) {
-        let (src, failed): (&[u8], bool) = if self.preprocess {
-            self.ppbuf.clear();
-            match self
-                .pp
-                .process_into(line, RingRenumber::Innermost, 0, &mut self.ppbuf)
-            {
-                Ok(()) => (&self.ppbuf, false),
-                Err(_) => (line, true), // compress invalid SMILES verbatim
-            }
-        } else {
-            (line, false)
-        };
+        let (src, failed) = self.preprocess.apply(line);
         let n = encode_line(self.dict.trie(), src, self.algo, &mut self.scratch, out);
         (n, failed)
     }
@@ -100,19 +84,13 @@ impl<'d> Compressor<'d> {
     /// newline-separated, same line count and order — the random-access
     /// property).
     pub fn compress_buffer(&mut self, input: &[u8], out: &mut Vec<u8>) -> CompressStats {
-        let mut stats = CompressStats::default();
-        for line in input.split(|&b| b == LINE_SEP) {
-            if line.is_empty() {
-                continue;
-            }
-            let (n, failed) = self.compress_line(line, out);
-            out.push(LINE_SEP);
-            stats.lines += 1;
-            stats.in_bytes += line.len();
-            stats.out_bytes += n;
-            stats.preprocess_failures += failed as usize;
-        }
-        stats
+        crate::engine::encode_buffer(self, input, out)
+    }
+}
+
+impl LineEncoder for Compressor<'_> {
+    fn encode_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> (usize, bool) {
+        self.compress_line(line, out)
     }
 }
 
@@ -146,9 +124,12 @@ mod tests {
     #[test]
     fn trained_dictionary_shrinks_repetitive_deck() {
         let deck: Vec<&[u8]> = vec![b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2"; 50];
-        let d = DictBuilder { min_count: 2, ..Default::default() }
-            .train(deck.iter().copied())
-            .unwrap();
+        let d = DictBuilder {
+            min_count: 2,
+            ..Default::default()
+        }
+        .train(deck.iter().copied())
+        .unwrap();
         let mut c = Compressor::new(&d);
         let input: Vec<u8> = deck
             .iter()
@@ -190,13 +171,27 @@ mod tests {
 
     #[test]
     fn stats_merge_and_ratio() {
-        let mut a = CompressStats { lines: 1, in_bytes: 100, out_bytes: 30, preprocess_failures: 0 };
-        let b = CompressStats { lines: 2, in_bytes: 100, out_bytes: 50, preprocess_failures: 1 };
+        let mut a = CompressStats {
+            lines: 1,
+            in_bytes: 100,
+            out_bytes: 30,
+            preprocess_failures: 0,
+        };
+        let b = CompressStats {
+            lines: 2,
+            in_bytes: 100,
+            out_bytes: 50,
+            preprocess_failures: 1,
+        };
         a.merge(&b);
         assert_eq!(a.lines, 3);
         assert_eq!(a.in_bytes, 200);
         assert!((a.ratio() - 0.4).abs() < 1e-12);
-        assert_eq!(CompressStats::default().ratio(), 1.0, "empty input: ratio 1");
+        assert_eq!(
+            CompressStats::default().ratio(),
+            1.0,
+            "empty input: ratio 1"
+        );
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! shortest-path search is the design: archives are written once and read
 //! many times.
 
-use crate::codec::{ESCAPE, LINE_SEP};
+use crate::codec::ESCAPE;
 use crate::dict::Dictionary;
+use crate::engine::LineDecoder;
 use crate::error::ZsmilesError;
 
 /// Accounting for one decompression run.
@@ -36,7 +37,11 @@ impl<'d> Decompressor<'d> {
         for (code, pat) in dict.all_entries() {
             table[code as usize] = Some(pat);
         }
-        Decompressor { table, postprocess: false, ppbuf: Vec::new() }
+        Decompressor {
+            table,
+            postprocess: false,
+            ppbuf: Vec::new(),
+        }
     }
 
     pub fn with_postprocess(mut self, on: bool) -> Self {
@@ -93,18 +98,13 @@ impl<'d> Decompressor<'d> {
         input: &[u8],
         out: &mut Vec<u8>,
     ) -> Result<DecompressStats, ZsmilesError> {
-        let mut stats = DecompressStats::default();
-        for line in input.split(|&b| b == LINE_SEP) {
-            if line.is_empty() {
-                continue;
-            }
-            let n = self.decompress_line(line, out)?;
-            out.push(LINE_SEP);
-            stats.lines += 1;
-            stats.in_bytes += line.len();
-            stats.out_bytes += n;
-        }
-        Ok(stats)
+        crate::engine::decode_buffer(self, input, out)
+    }
+}
+
+impl LineDecoder for Decompressor<'_> {
+    fn decode_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> Result<usize, ZsmilesError> {
+        self.decompress_line(line, out)
     }
 }
 
@@ -117,17 +117,24 @@ mod tests {
     use crate::dict::Dictionary;
 
     fn trained(corpus: &[&[u8]]) -> Dictionary {
-        DictBuilder { min_count: 2, ..Default::default() }
-            .train(corpus.iter().copied())
-            .unwrap()
+        DictBuilder {
+            min_count: 2,
+            ..Default::default()
+        }
+        .train(corpus.iter().copied())
+        .unwrap()
     }
 
     #[test]
     fn round_trip_without_preprocess() {
         let corpus: Vec<&[u8]> = vec![b"COc1cc(C=O)ccc1O"; 10];
-        let d = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
-            .train(corpus.iter().copied())
-            .unwrap();
+        let d = DictBuilder {
+            min_count: 2,
+            preprocess: false,
+            ..Default::default()
+        }
+        .train(corpus.iter().copied())
+        .unwrap();
         let mut c = Compressor::new(&d);
         let mut dc = Decompressor::new(&d);
         for line in [
@@ -140,7 +147,12 @@ mod tests {
             c.compress_line(line, &mut z);
             let mut back = Vec::new();
             dc.decompress_line(&z, &mut back).unwrap();
-            assert_eq!(back, line, "round trip of {}", String::from_utf8_lossy(line));
+            assert_eq!(
+                back,
+                line,
+                "round trip of {}",
+                String::from_utf8_lossy(line)
+            );
         }
     }
 
@@ -174,12 +186,19 @@ mod tests {
 
     #[test]
     fn buffer_round_trip_preserves_line_order() {
-        let corpus: Vec<&[u8]> =
-            [b"CCOC(=O)c1ccccc1".as_slice(), b"CC(C)Cc1ccc(cc1)C(C)C(=O)O", b"CCN(CC)CC"]
-                .repeat(5);
-        let d = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
-            .train(corpus.iter().copied())
-            .unwrap();
+        let corpus: Vec<&[u8]> = [
+            b"CCOC(=O)c1ccccc1".as_slice(),
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+            b"CCN(CC)CC",
+        ]
+        .repeat(5);
+        let d = DictBuilder {
+            min_count: 2,
+            preprocess: false,
+            ..Default::default()
+        }
+        .train(corpus.iter().copied())
+        .unwrap();
         let input: Vec<u8> = corpus
             .iter()
             .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
@@ -187,7 +206,9 @@ mod tests {
         let mut z = Vec::new();
         let cs = Compressor::new(&d).compress_buffer(&input, &mut z);
         let mut back = Vec::new();
-        let ds = Decompressor::new(&d).decompress_buffer(&z, &mut back).unwrap();
+        let ds = Decompressor::new(&d)
+            .decompress_buffer(&z, &mut back)
+            .unwrap();
         assert_eq!(back, input);
         assert_eq!(cs.lines, ds.lines);
         assert_eq!(cs.in_bytes, ds.out_bytes);
@@ -201,7 +222,10 @@ mod tests {
         let mut out = Vec::new();
         // 0x80 has no entry in an identity-only alphabet dictionary.
         let r = dc.decompress_line(&[b'C', 0x80], &mut out);
-        assert!(matches!(r, Err(ZsmilesError::UnknownCode { code: 0x80, at: 1 })));
+        assert!(matches!(
+            r,
+            Err(ZsmilesError::UnknownCode { code: 0x80, at: 1 })
+        ));
     }
 
     #[test]
@@ -227,9 +251,13 @@ mod tests {
         // Decompressing line k alone must work without touching other
         // lines — the property Bzip2 lacks.
         let corpus: Vec<&[u8]> = [b"CCOC(=O)c1ccccc1".as_slice(), b"CCN(CC)CC"].repeat(10);
-        let d = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
-            .train(corpus.iter().copied())
-            .unwrap();
+        let d = DictBuilder {
+            min_count: 2,
+            preprocess: false,
+            ..Default::default()
+        }
+        .train(corpus.iter().copied())
+        .unwrap();
         let mut z = Vec::new();
         let mut c = Compressor::new(&d);
         for line in &corpus {

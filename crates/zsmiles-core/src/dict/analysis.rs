@@ -74,7 +74,10 @@ impl DictReport {
         let _ = writeln!(
             s,
             "{} lines, {} -> {} bytes (ratio {:.3})",
-            self.lines, self.in_bytes, self.out_bytes, self.ratio()
+            self.lines,
+            self.in_bytes,
+            self.out_bytes,
+            self.ratio()
         );
         let _ = writeln!(
             s,
@@ -88,7 +91,12 @@ impl DictReport {
             }
         );
         let dead = self.dead_codes(dict);
-        let _ = writeln!(s, "dead patterns: {} of {}", dead.len(), dict.pattern_entries().count());
+        let _ = writeln!(
+            s,
+            "dead patterns: {} of {}",
+            dead.len(),
+            dict.pattern_entries().count()
+        );
         let _ = writeln!(s, "top entries by bytes covered:");
         for (code, pat, covered) in self.top_entries(dict, 10) {
             let printable: String = pat
@@ -128,8 +136,7 @@ pub fn analyze(dict: &Dictionary, corpus: &[u8]) -> DictReport {
                 i += 2;
             } else {
                 report.uses[b as usize] += 1;
-                report.covered[b as usize] +=
-                    dict.entry(b).map(|p| p.len() as u64).unwrap_or(0);
+                report.covered[b as usize] += dict.entry(b).map(|p| p.len() as u64).unwrap_or(0);
                 i += 1;
             }
         }
@@ -155,9 +162,13 @@ mod tests {
     #[test]
     fn attribution_accounts_every_byte() {
         let data = corpus();
-        let dict = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
-            .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
-            .unwrap();
+        let dict = DictBuilder {
+            min_count: 2,
+            preprocess: false,
+            ..Default::default()
+        }
+        .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
+        .unwrap();
         let report = analyze(&dict, &data);
         // covered input bytes + escaped bytes == in_bytes
         let covered: u64 = report.covered.iter().sum();
@@ -172,9 +183,13 @@ mod tests {
     #[test]
     fn pattern_coverage_dominates_on_trained_corpus() {
         let data = corpus();
-        let dict = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
-            .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
-            .unwrap();
+        let dict = DictBuilder {
+            min_count: 2,
+            preprocess: false,
+            ..Default::default()
+        }
+        .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
+        .unwrap();
         let report = analyze(&dict, &data);
         assert!(
             report.pattern_coverage(&dict) > 0.7,
@@ -196,9 +211,13 @@ mod tests {
     #[test]
     fn dead_codes_detected_on_foreign_corpus() {
         let data = corpus();
-        let dict = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
-            .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
-            .unwrap();
+        let dict = DictBuilder {
+            min_count: 2,
+            preprocess: false,
+            ..Default::default()
+        }
+        .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
+        .unwrap();
         // A corpus the dictionary has never seen and barely matches.
         let foreign = b"PPPPBBBBIIII\nPPPPBBBBIIII\n";
         let report = analyze(&dict, foreign);
@@ -208,9 +227,13 @@ mod tests {
     #[test]
     fn summary_renders() {
         let data = corpus();
-        let dict = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
-            .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
-            .unwrap();
+        let dict = DictBuilder {
+            min_count: 2,
+            preprocess: false,
+            ..Default::default()
+        }
+        .train(data.split(|&b| b == b'\n').filter(|l| !l.is_empty()))
+        .unwrap();
         let report = analyze(&dict, &data);
         let s = report.summary(&dict);
         assert!(s.contains("pattern coverage"));

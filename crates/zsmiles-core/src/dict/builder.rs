@@ -121,7 +121,10 @@ impl DictBuilder {
         I: IntoIterator<Item = &'a [u8]>,
     {
         if self.lmin < 1 || self.lmax < self.lmin || self.lmax > MAX_PATTERN_LEN {
-            return Err(ZsmilesError::BadLengthBounds { lmin: self.lmin, lmax: self.lmax });
+            return Err(ZsmilesError::BadLengthBounds {
+                lmin: self.lmin,
+                lmax: self.lmax,
+            });
         }
 
         // Materialize (and optionally pre-process) the training lines once;
@@ -151,12 +154,8 @@ impl DictBuilder {
             return Err(ZsmilesError::EmptyTrainingSet);
         }
 
-        let mut candidates = count_frequent_substrings(
-            &corpus,
-            self.lmin,
-            self.lmax,
-            self.min_count,
-        );
+        let mut candidates =
+            count_frequent_substrings(&corpus, self.lmin, self.lmax, self.min_count);
         if candidates.is_empty() {
             return Err(ZsmilesError::EmptyTrainingSet);
         }
@@ -538,10 +537,26 @@ mod tests {
         // "CCO" selected first (rank 3*len3=9 > others); "CC" and "CO" are
         // then fully contained (overlap = their length → rank 0).
         let cands = vec![
-            Candidate { pat: b"CCO".to_vec(), occ: 3, overlap: 0 },
-            Candidate { pat: b"CC".to_vec(), occ: 3, overlap: 0 },
-            Candidate { pat: b"CO".to_vec(), occ: 3, overlap: 0 },
-            Candidate { pat: b"NN".to_vec(), occ: 2, overlap: 0 },
+            Candidate {
+                pat: b"CCO".to_vec(),
+                occ: 3,
+                overlap: 0,
+            },
+            Candidate {
+                pat: b"CC".to_vec(),
+                occ: 3,
+                overlap: 0,
+            },
+            Candidate {
+                pat: b"CO".to_vec(),
+                occ: 3,
+                overlap: 0,
+            },
+            Candidate {
+                pat: b"NN".to_vec(),
+                occ: 2,
+                overlap: 0,
+            },
         ];
         let sel = select_paper_overlap(cands, 4);
         assert_eq!(sel[0], b"CCO");
@@ -552,8 +567,16 @@ mod tests {
     #[test]
     fn static_rank_keeps_duplicates() {
         let cands = vec![
-            Candidate { pat: b"CCO".to_vec(), occ: 3, overlap: 0 },
-            Candidate { pat: b"CC".to_vec(), occ: 3, overlap: 0 },
+            Candidate {
+                pat: b"CCO".to_vec(),
+                occ: 3,
+                overlap: 0,
+            },
+            Candidate {
+                pat: b"CC".to_vec(),
+                occ: 3,
+                overlap: 0,
+            },
         ];
         let sel = select_static(cands, 2);
         assert_eq!(sel.len(), 2, "freq×len does not suppress overlap");
@@ -574,7 +597,10 @@ mod tests {
     #[test]
     fn train_end_to_end() {
         let d = train(
-            &DictBuilder { min_count: 2, ..DictBuilder::default() },
+            &DictBuilder {
+                min_count: 2,
+                ..DictBuilder::default()
+            },
             &[
                 "COc1cc(C=O)ccc1O",
                 "COc1cc(C=O)ccc1O",
@@ -626,7 +652,10 @@ mod tests {
 
     #[test]
     fn all_unique_lines_with_high_min_count_errors() {
-        let b = DictBuilder { min_count: 100, ..DictBuilder::default() };
+        let b = DictBuilder {
+            min_count: 100,
+            ..DictBuilder::default()
+        };
         let ls = lines(&["CCO", "CNC"]);
         let r = b.train(ls.iter().map(|l| l.as_slice()));
         assert!(matches!(r, Err(ZsmilesError::EmptyTrainingSet)));
@@ -634,7 +663,11 @@ mod tests {
 
     #[test]
     fn dict_size_caps_selection() {
-        let b = DictBuilder { dict_size: Some(3), min_count: 2, ..DictBuilder::default() };
+        let b = DictBuilder {
+            dict_size: Some(3),
+            min_count: 2,
+            ..DictBuilder::default()
+        };
         let ls = lines(&["CCOCCNCCS", "CCOCCNCCS", "CCOCCNCCS"]);
         let d = b.train(ls.iter().map(|l| l.as_slice())).unwrap();
         assert!(d.pattern_entries().count() <= 3);
@@ -644,7 +677,12 @@ mod tests {
     fn strategies_produce_different_dictionaries() {
         let corpus: Vec<&str> = vec!["c1ccccc1CCNC(=O)CC"; 30];
         let mk = |rank| {
-            let b = DictBuilder { rank, min_count: 2, dict_size: Some(16), ..Default::default() };
+            let b = DictBuilder {
+                rank,
+                min_count: 2,
+                dict_size: Some(16),
+                ..Default::default()
+            };
             let ls = lines(&corpus);
             let d = b.train(ls.iter().map(|l| l.as_slice())).unwrap();
             let mut pats: Vec<Vec<u8>> = d.pattern_entries().map(|(_, p)| p.to_vec()).collect();
@@ -661,7 +699,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let corpus = ["COc1cc(C=O)ccc1O", "CC(C)Cc1ccc(cc1)C(C)C(=O)O"].repeat(10);
-        let b = DictBuilder { min_count: 2, ..DictBuilder::default() };
+        let b = DictBuilder {
+            min_count: 2,
+            ..DictBuilder::default()
+        };
         let ls = lines(&corpus);
         let d1 = b.train(ls.iter().map(|l| l.as_slice())).unwrap();
         let d2 = b.train(ls.iter().map(|l| l.as_slice())).unwrap();

@@ -122,10 +122,11 @@ pub fn read_dict<R: Read>(r: R) -> Result<Dictionary, ZsmilesError> {
             continue;
         }
         let (code_part, pat_part) =
-            line.split_once('\t').ok_or_else(|| ZsmilesError::DictFormat {
-                line: lineno,
-                reason: "missing tab separator".into(),
-            })?;
+            line.split_once('\t')
+                .ok_or_else(|| ZsmilesError::DictFormat {
+                    line: lineno,
+                    reason: "missing tab separator".into(),
+                })?;
         let code = unescape(code_part).map_err(|reason| ZsmilesError::DictFormat {
             line: lineno,
             reason,
@@ -149,7 +150,10 @@ pub fn read_dict<R: Read>(r: R) -> Result<Dictionary, ZsmilesError> {
         patterns.push(pat);
     }
     if !saw_magic {
-        return Err(ZsmilesError::DictFormat { line: 0, reason: "empty file".into() });
+        return Err(ZsmilesError::DictFormat {
+            line: 0,
+            reason: "empty file".into(),
+        });
     }
 
     // Codes are re-derived from pattern order, which `write_dict` preserves
@@ -208,8 +212,7 @@ pub(crate) fn unescape(s: &str) -> Result<Vec<u8>, String> {
                 let hex = s
                     .get(i + 2..i + 4)
                     .ok_or_else(|| "truncated \\x escape".to_string())?;
-                let v = u8::from_str_radix(hex, 16)
-                    .map_err(|_| format!("bad hex '{hex}'"))?;
+                let v = u8::from_str_radix(hex, 16).map_err(|_| format!("bad hex '{hex}'"))?;
                 out.push(v);
                 i += 4;
             }
@@ -261,9 +264,12 @@ mod tests {
     #[test]
     fn trained_dictionary_round_trips() {
         let corpus: Vec<&[u8]> = vec![b"COc1cc(C=O)ccc1O"; 10];
-        let d = DictBuilder { min_count: 2, ..Default::default() }
-            .train(corpus)
-            .unwrap();
+        let d = DictBuilder {
+            min_count: 2,
+            ..Default::default()
+        }
+        .train(corpus)
+        .unwrap();
         let text = to_string(&d);
         let back = read_dict(text.as_bytes()).unwrap();
         let a: Vec<_> = d.all_entries().map(|(c, p)| (c, p.to_vec())).collect();
@@ -321,8 +327,12 @@ mod tests {
         save(&d, &path).unwrap();
         let back = load(&path).unwrap();
         assert_eq!(
-            d.all_entries().map(|(c, p)| (c, p.to_vec())).collect::<Vec<_>>(),
-            back.all_entries().map(|(c, p)| (c, p.to_vec())).collect::<Vec<_>>()
+            d.all_entries()
+                .map(|(c, p)| (c, p.to_vec()))
+                .collect::<Vec<_>>(),
+            back.all_entries()
+                .map(|(c, p)| (c, p.to_vec()))
+                .collect::<Vec<_>>()
         );
         std::fs::remove_file(&path).ok();
     }

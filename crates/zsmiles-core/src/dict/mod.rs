@@ -72,10 +72,9 @@ impl Dictionary {
         free.reverse(); // pop() hands them out in forward order
 
         let mut installed = 0usize;
-        let mut requested = 0usize;
-        for pat in patterns {
+        for (seen, pat) in patterns.into_iter().enumerate() {
             let pat = pat.as_ref();
-            requested += 1;
+            let requested = seen + 1;
             debug_assert!(
                 !pat.is_empty() && pat.len() <= MAX_PATTERN_LEN,
                 "builder emits bounded patterns"
@@ -120,10 +119,8 @@ impl Dictionary {
     pub fn builtin() -> &'static Dictionary {
         static BUILTIN: std::sync::OnceLock<Dictionary> = std::sync::OnceLock::new();
         BUILTIN.get_or_init(|| {
-            super::dict::format::read_dict(
-                include_str!("../../assets/default.dct").as_bytes(),
-            )
-            .expect("embedded dictionary is valid")
+            super::dict::format::read_dict(include_str!("../../assets/default.dct").as_bytes())
+                .expect("embedded dictionary is valid")
         })
     }
 
@@ -281,14 +278,9 @@ mod tests {
 
     #[test]
     fn none_prepopulation_gives_all_codes_to_patterns() {
-        let d = Dictionary::from_patterns(
-            Prepopulation::None,
-            [b"C".as_slice(), b"CC"],
-            1,
-            8,
-            false,
-        )
-        .unwrap();
+        let d =
+            Dictionary::from_patterns(Prepopulation::None, [b"C".as_slice(), b"CC"], 1, 8, false)
+                .unwrap();
         assert_eq!(d.len(), 2);
         // '!' is 0x21, the first code in code-space order.
         assert_eq!(d.entry(b'!'), Some(&b"C"[..]));
@@ -298,7 +290,13 @@ mod tests {
     #[test]
     fn code_space_exhaustion_detected() {
         let too_many: Vec<Vec<u8>> = (0..223)
-            .map(|i| vec![b'a' + (i % 26) as u8, b'a' + ((i / 26) % 26) as u8, (i / 676) as u8 + b'a'])
+            .map(|i| {
+                vec![
+                    b'a' + (i % 26) as u8,
+                    b'a' + ((i / 26) % 26) as u8,
+                    (i / 676) as u8 + b'a',
+                ]
+            })
             .collect();
         let r = Dictionary::from_patterns(Prepopulation::None, &too_many, 2, 8, false);
         assert!(matches!(r, Err(ZsmilesError::CodeSpaceExhausted { .. })));
@@ -331,7 +329,10 @@ mod tests {
                 lmax,
                 false,
             );
-            assert!(matches!(r, Err(ZsmilesError::BadLengthBounds { .. })), "{lmin},{lmax}");
+            assert!(
+                matches!(r, Err(ZsmilesError::BadLengthBounds { .. })),
+                "{lmin},{lmax}"
+            );
         }
     }
 

@@ -21,6 +21,11 @@ pub enum ZsmilesError {
     TruncatedWideCode { at: usize },
     /// Dictionary file violations.
     DictFormat { line: usize, reason: String },
+    /// `.zsa` container violations (bad magic, CRC mismatch, inconsistent
+    /// section sizes).
+    ArchiveFormat { reason: String },
+    /// A random-access request past the end of an archive.
+    LineOutOfRange { line: usize, len: usize },
     /// The requested dictionary size exceeds the available code space.
     CodeSpaceExhausted { requested: usize, available: usize },
     /// An input line contains a byte the dictionary cannot express and
@@ -40,7 +45,10 @@ impl fmt::Display for ZsmilesError {
                 write!(f, "invalid substring length bounds [{lmin}, {lmax}]")
             }
             UnknownCode { code, at } => {
-                write!(f, "compressed stream references unassigned code 0x{code:02x} at byte {at}")
+                write!(
+                    f,
+                    "compressed stream references unassigned code 0x{code:02x} at byte {at}"
+                )
             }
             TruncatedEscape { at } => {
                 write!(f, "escape marker at byte {at} has no following literal")
@@ -51,8 +59,20 @@ impl fmt::Display for ZsmilesError {
             DictFormat { line, reason } => {
                 write!(f, "dictionary file line {line}: {reason}")
             }
-            CodeSpaceExhausted { requested, available } => {
-                write!(f, "dictionary wants {requested} codes but only {available} are free")
+            ArchiveFormat { reason } => {
+                write!(f, "archive container: {reason}")
+            }
+            LineOutOfRange { line, len } => {
+                write!(f, "line {line} out of range (archive has {len} lines)")
+            }
+            CodeSpaceExhausted {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "dictionary wants {requested} codes but only {available} are free"
+                )
             }
             Unencodable { byte, at } => {
                 write!(f, "byte 0x{byte:02x} at {at} has no dictionary entry")
@@ -85,9 +105,12 @@ mod tests {
         assert!(ZsmilesError::UnknownCode { code: 0x80, at: 3 }
             .to_string()
             .contains("0x80"));
-        assert!(ZsmilesError::CodeSpaceExhausted { requested: 300, available: 222 }
-            .to_string()
-            .contains("300"));
+        assert!(ZsmilesError::CodeSpaceExhausted {
+            requested: 300,
+            available: 222
+        }
+        .to_string()
+        .contains("300"));
         let e: ZsmilesError = smiles::SmilesError::EmptyInput.into();
         assert!(matches!(e, ZsmilesError::Preprocess(_)));
     }

@@ -5,12 +5,17 @@
 //! `Write` pair in bounded chunks, cutting at line boundaries, with
 //! optional multi-threading per chunk. The output is identical to the
 //! in-memory engines' (same per-line encoding; chunking cannot change it).
+//!
+//! The chunk loop is written once against [`Engine`]
+//! ([`compress_stream_engine`] / [`decompress_stream_engine`]); the
+//! dictionary-taking functions are thin wrappers for the one-byte codec.
 
-use crate::compress::{CompressStats, Compressor};
-use crate::decompress::{DecompressStats, Decompressor};
+use crate::compress::CompressStats;
+use crate::decompress::DecompressStats;
 use crate::dict::Dictionary;
+use crate::engine::{decode_buffer, encode_buffer, BaseEngine, Engine};
 use crate::error::ZsmilesError;
-use crate::parallel::{compress_parallel, decompress_parallel};
+use crate::parallel::{compress_parallel_engine, decompress_parallel_engine};
 use crate::sp::SpAlgorithm;
 use std::io::{BufRead, Write};
 
@@ -28,7 +33,11 @@ pub struct StreamOptions {
 
 impl Default for StreamOptions {
     fn default() -> Self {
-        StreamOptions { chunk_bytes: DEFAULT_CHUNK, threads: 1, algorithm: SpAlgorithm::default() }
+        StreamOptions {
+            chunk_bytes: DEFAULT_CHUNK,
+            threads: 1,
+            algorithm: SpAlgorithm::default(),
+        }
     }
 }
 
@@ -55,9 +64,9 @@ fn fill_chunk<R: BufRead>(
     Ok(!buf.is_empty())
 }
 
-/// Stream-compress `reader` into `writer`.
-pub fn compress_stream<R: BufRead, W: Write>(
-    dict: &Dictionary,
+/// Stream-compress `reader` into `writer` with any [`Engine`].
+pub fn compress_stream_engine<E: Engine, R: BufRead, W: Write>(
+    engine: &E,
     mut reader: R,
     mut writer: W,
     opts: &StreamOptions,
@@ -65,15 +74,15 @@ pub fn compress_stream<R: BufRead, W: Write>(
     let mut stats = CompressStats::default();
     let mut chunk = Vec::with_capacity(opts.chunk_bytes + 4096);
     let mut out = Vec::with_capacity(opts.chunk_bytes / 2);
-    let mut serial = Compressor::new(dict).with_algorithm(opts.algorithm);
+    let mut serial = engine.encoder();
     while fill_chunk(&mut reader, &mut chunk, opts.chunk_bytes)? {
         if opts.threads > 1 {
-            let (part, s) = compress_parallel(dict, &chunk, opts.algorithm, opts.threads);
+            let (part, s) = compress_parallel_engine(engine, &chunk, opts.threads);
             writer.write_all(&part)?;
             stats.merge(&s);
         } else {
             out.clear();
-            let s = serial.compress_buffer(&chunk, &mut out);
+            let s = encode_buffer(&mut serial, &chunk, &mut out);
             writer.write_all(&out)?;
             stats.merge(&s);
         }
@@ -82,9 +91,9 @@ pub fn compress_stream<R: BufRead, W: Write>(
     Ok(stats)
 }
 
-/// Stream-decompress `reader` into `writer`.
-pub fn decompress_stream<R: BufRead, W: Write>(
-    dict: &Dictionary,
+/// Stream-decompress `reader` into `writer` with any [`Engine`].
+pub fn decompress_stream_engine<E: Engine, R: BufRead, W: Write>(
+    engine: &E,
     mut reader: R,
     mut writer: W,
     opts: &StreamOptions,
@@ -92,17 +101,17 @@ pub fn decompress_stream<R: BufRead, W: Write>(
     let mut stats = DecompressStats::default();
     let mut chunk = Vec::with_capacity(opts.chunk_bytes + 4096);
     let mut out = Vec::with_capacity(opts.chunk_bytes * 3);
-    let mut serial = Decompressor::new(dict);
+    let mut serial = engine.decoder();
     while fill_chunk(&mut reader, &mut chunk, opts.chunk_bytes)? {
         if opts.threads > 1 {
-            let (part, s) = decompress_parallel(dict, &chunk, opts.threads)?;
+            let (part, s) = decompress_parallel_engine(engine, &chunk, opts.threads)?;
             writer.write_all(&part)?;
             stats.lines += s.lines;
             stats.in_bytes += s.in_bytes;
             stats.out_bytes += s.out_bytes;
         } else {
             out.clear();
-            let s = serial.decompress_buffer(&chunk, &mut out)?;
+            let s = decode_buffer(&mut serial, &chunk, &mut out)?;
             writer.write_all(&out)?;
             stats.lines += s.lines;
             stats.in_bytes += s.in_bytes;
@@ -113,20 +122,47 @@ pub fn decompress_stream<R: BufRead, W: Write>(
     Ok(stats)
 }
 
+/// [`compress_stream_engine`] with the one-byte codec.
+pub fn compress_stream<R: BufRead, W: Write>(
+    dict: &Dictionary,
+    reader: R,
+    writer: W,
+    opts: &StreamOptions,
+) -> Result<CompressStats, ZsmilesError> {
+    let engine = BaseEngine::new(dict).with_algorithm(opts.algorithm);
+    compress_stream_engine(&engine, reader, writer, opts)
+}
+
+/// [`decompress_stream_engine`] with the one-byte codec.
+pub fn decompress_stream<R: BufRead, W: Write>(
+    dict: &Dictionary,
+    reader: R,
+    writer: W,
+    opts: &StreamOptions,
+) -> Result<DecompressStats, ZsmilesError> {
+    decompress_stream_engine(&BaseEngine::new(dict), reader, writer, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compress::Compressor;
     use crate::dict::builder::DictBuilder;
     use std::io::BufReader;
 
     fn fixture() -> (Dictionary, Vec<u8>) {
-        let lines: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+        let lines: Vec<&[u8]> = [
+            b"COc1cc(C=O)ccc1O".as_slice(),
             b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
-            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O"]
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+        ]
         .repeat(200);
-        let dict = DictBuilder { min_count: 2, ..Default::default() }
-            .train(lines.iter().copied())
-            .unwrap();
+        let dict = DictBuilder {
+            min_count: 2,
+            ..Default::default()
+        }
+        .train(lines.iter().copied())
+        .unwrap();
         let input: Vec<u8> = lines
             .iter()
             .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
@@ -143,7 +179,10 @@ mod tests {
         // Tiny chunks force many boundaries.
         for chunk_bytes in [64usize, 1000, 1 << 20] {
             let mut streamed = Vec::new();
-            let opts = StreamOptions { chunk_bytes, ..Default::default() };
+            let opts = StreamOptions {
+                chunk_bytes,
+                ..Default::default()
+            };
             let stats = compress_stream(
                 &dict,
                 BufReader::new(input.as_slice()),
@@ -160,7 +199,11 @@ mod tests {
     fn streaming_round_trip_multithreaded() {
         let (dict, input) = fixture();
         let mut z = Vec::new();
-        let opts = StreamOptions { chunk_bytes: 4096, threads: 4, ..Default::default() };
+        let opts = StreamOptions {
+            chunk_bytes: 4096,
+            threads: 4,
+            ..Default::default()
+        };
         compress_stream(&dict, BufReader::new(input.as_slice()), &mut z, &opts).unwrap();
         let mut back = Vec::new();
         decompress_stream(&dict, BufReader::new(z.as_slice()), &mut back, &opts).unwrap();
@@ -169,7 +212,8 @@ mod tests {
         let mut expect = Vec::new();
         let mut pp = smiles::Preprocessor::new();
         for line in input.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
-            pp.process_into(line, smiles::RingRenumber::Innermost, 0, &mut expect).unwrap();
+            pp.process_into(line, smiles::RingRenumber::Innermost, 0, &mut expect)
+                .unwrap();
             expect.push(b'\n');
         }
         assert_eq!(back, expect);

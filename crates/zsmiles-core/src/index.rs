@@ -13,7 +13,12 @@ use crate::error::ZsmilesError;
 use std::io::{Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"ZSXIDX01";
+/// Version 1 wire format: no trailing-newline flag (readers must assume
+/// the buffer ended with a newline). Still accepted on read.
+const MAGIC_V1: &[u8; 8] = b"ZSXIDX01";
+/// Version 2 wire format: adds one flag byte recording whether the indexed
+/// buffer ended with a newline, so the last line's end is exact.
+const MAGIC_V2: &[u8; 8] = b"ZSXIDX02";
 
 /// Offsets of line starts in a newline-separated buffer.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -21,6 +26,10 @@ pub struct LineIndex {
     starts: Vec<u64>,
     /// Total buffer length, to bound the last line.
     total: u64,
+    /// Whether the indexed buffer ended with a newline. Without this the
+    /// last line's range cannot be computed exactly: trimming a newline
+    /// that is not there would drop the line's final real byte.
+    trailing_newline: bool,
 }
 
 impl LineIndex {
@@ -34,7 +43,11 @@ impl LineIndex {
             }
             at_line_start = b == b'\n';
         }
-        LineIndex { starts, total: buf.len() as u64 }
+        LineIndex {
+            starts,
+            total: buf.len() as u64,
+            trailing_newline: buf.last() == Some(&b'\n'),
+        }
     }
 
     /// Number of indexed lines.
@@ -54,12 +67,10 @@ impl LineIndex {
             .get(i + 1)
             .map(|&s| s as usize - 1)
             .unwrap_or_else(|| {
-                // Last line: trim one trailing newline if present.
-                let mut e = self.total as usize;
-                if e > start {
-                    e -= 1; // this may be the newline — verified by caller slice
-                }
-                e
+                // Last line: trim the trailing newline only if the buffer
+                // actually has one — otherwise the line runs to the end and
+                // an unconditional `- 1` would drop its final real byte.
+                (self.total as usize) - self.trailing_newline as usize
             });
         start..end
     }
@@ -88,22 +99,26 @@ impl LineIndex {
         Ok(out)
     }
 
-    /// Serialize as a `.zsx` sidecar.
+    /// Serialize as a `.zsx` sidecar (version 2 format).
     pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
-        w.write_all(MAGIC)?;
+        w.write_all(MAGIC_V2)?;
         w.write_all(&(self.starts.len() as u64).to_le_bytes())?;
         w.write_all(&self.total.to_le_bytes())?;
+        w.write_all(&[self.trailing_newline as u8])?;
         for &s in &self.starts {
             w.write_all(&s.to_le_bytes())?;
         }
         Ok(())
     }
 
-    /// Parse a `.zsx` sidecar.
+    /// Parse a `.zsx` sidecar (either version; v1 files carry no
+    /// trailing-newline flag and are assumed newline-terminated, which is
+    /// how they were always interpreted).
     pub fn read_from<R: Read>(mut r: R) -> Result<LineIndex, ZsmilesError> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
+        let v2 = &magic == MAGIC_V2;
+        if !v2 && &magic != MAGIC_V1 {
             return Err(ZsmilesError::DictFormat {
                 line: 0,
                 reason: "not a ZSX index file".into(),
@@ -114,21 +129,34 @@ impl LineIndex {
         let n = u64::from_le_bytes(n8) as usize;
         r.read_exact(&mut n8)?;
         let total = u64::from_le_bytes(n8);
+        let trailing_newline = if v2 {
+            let mut flag = [0u8; 1];
+            r.read_exact(&mut flag)?;
+            flag[0] != 0
+        } else {
+            true
+        };
         let mut starts = Vec::with_capacity(n);
-        let mut prev = 0u64;
+        let mut prev: Option<u64> = None;
         for _ in 0..n {
             r.read_exact(&mut n8)?;
             let v = u64::from_le_bytes(n8);
-            if v < prev || v >= total.max(1) {
+            // Strictly increasing: equal consecutive starts would yield a
+            // reversed (or underflowing) line_range downstream.
+            if prev.is_some_and(|p| v <= p) || v >= total.max(1) {
                 return Err(ZsmilesError::DictFormat {
                     line: 0,
                     reason: "corrupt index: offsets not monotonic".into(),
                 });
             }
             starts.push(v);
-            prev = v;
+            prev = Some(v);
         }
-        Ok(LineIndex { starts, total })
+        Ok(LineIndex {
+            starts,
+            total,
+            trailing_newline,
+        })
     }
 
     pub fn save(&self, path: &Path) -> Result<(), ZsmilesError> {
@@ -168,6 +196,80 @@ mod tests {
     }
 
     #[test]
+    fn line_range_is_exact_for_final_line_without_newline() {
+        // Regression: the old code unconditionally trimmed one byte off
+        // the last line, dropping its final real byte when the buffer did
+        // not end with a newline.
+        let buf = b"CCO\nCC";
+        let idx = LineIndex::build(buf);
+        assert_eq!(
+            idx.line_range(1),
+            4..6,
+            "no newline: range covers the whole tail"
+        );
+        assert_eq!(&buf[idx.line_range(1)], b"CC");
+
+        let buf_nl = b"CCO\nCC\n";
+        let idx_nl = LineIndex::build(buf_nl);
+        assert_eq!(idx_nl.line_range(1), 4..6, "newline: range excludes it");
+        assert_eq!(&buf_nl[idx_nl.line_range(1)], b"CC");
+
+        // Single line, both ways.
+        assert_eq!(LineIndex::build(b"N").line_range(0), 0..1);
+        assert_eq!(LineIndex::build(b"N\n").line_range(0), 0..1);
+    }
+
+    #[test]
+    fn v2_sidecar_preserves_trailing_newline_flag() {
+        for buf in [b"CCO\nCC".as_slice(), b"CCO\nCC\n"] {
+            let idx = LineIndex::build(buf);
+            let mut raw = Vec::new();
+            idx.write_to(&mut raw).unwrap();
+            let back = LineIndex::read_from(raw.as_slice()).unwrap();
+            assert_eq!(back, idx);
+            assert_eq!(back.line_range(1), idx.line_range(1));
+        }
+    }
+
+    #[test]
+    fn equal_consecutive_starts_rejected() {
+        // Regression: `v < prev` accepted duplicate offsets, arming a
+        // reversed line_range (start..start-1) that panics in line().
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC_V2);
+        raw.extend_from_slice(&2u64.to_le_bytes());
+        raw.extend_from_slice(&10u64.to_le_bytes());
+        raw.push(1);
+        raw.extend_from_slice(&4u64.to_le_bytes());
+        raw.extend_from_slice(&4u64.to_le_bytes()); // duplicate start
+        assert!(LineIndex::read_from(raw.as_slice()).is_err());
+
+        // Zero is a valid *first* start, and must stay accepted.
+        let mut ok = Vec::new();
+        ok.extend_from_slice(MAGIC_V2);
+        ok.extend_from_slice(&2u64.to_le_bytes());
+        ok.extend_from_slice(&10u64.to_le_bytes());
+        ok.push(1);
+        ok.extend_from_slice(&0u64.to_le_bytes());
+        ok.extend_from_slice(&4u64.to_le_bytes());
+        assert_eq!(LineIndex::read_from(ok.as_slice()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn v1_sidecar_still_reads() {
+        // A v1 file (no flag byte) for "CCO\nCC\n".
+        let mut raw = Vec::new();
+        raw.extend_from_slice(b"ZSXIDX01");
+        raw.extend_from_slice(&2u64.to_le_bytes()); // count
+        raw.extend_from_slice(&7u64.to_le_bytes()); // total
+        raw.extend_from_slice(&0u64.to_le_bytes());
+        raw.extend_from_slice(&4u64.to_le_bytes());
+        let idx = LineIndex::read_from(raw.as_slice()).unwrap();
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.line_range(1), 4..6, "v1 assumes newline-terminated");
+    }
+
+    #[test]
     fn empty_lines_skipped() {
         let buf = b"\n\nCCO\n\nCC\n\n";
         let idx = LineIndex::build(buf);
@@ -184,13 +286,19 @@ mod tests {
 
     #[test]
     fn random_access_into_compressed_archive() {
-        let lines: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+        let lines: Vec<&[u8]> = [
+            b"COc1cc(C=O)ccc1O".as_slice(),
             b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
-            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O"]
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+        ]
         .repeat(10);
-        let dict = DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
-            .train(lines.iter().copied())
-            .unwrap();
+        let dict = DictBuilder {
+            min_count: 2,
+            preprocess: false,
+            ..Default::default()
+        }
+        .train(lines.iter().copied())
+        .unwrap();
         let mut z = Vec::new();
         let mut c = Compressor::new(&dict);
         for l in &lines {
@@ -221,9 +329,10 @@ mod tests {
         assert!(LineIndex::read_from(&b"ZS"[..]).is_err());
         // Non-monotonic offsets.
         let mut raw = Vec::new();
-        raw.extend_from_slice(MAGIC);
+        raw.extend_from_slice(MAGIC_V2);
         raw.extend_from_slice(&2u64.to_le_bytes());
         raw.extend_from_slice(&100u64.to_le_bytes());
+        raw.push(1); // trailing-newline flag
         raw.extend_from_slice(&50u64.to_le_bytes());
         raw.extend_from_slice(&10u64.to_le_bytes());
         assert!(LineIndex::read_from(raw.as_slice()).is_err());

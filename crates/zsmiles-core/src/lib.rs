@@ -19,6 +19,27 @@
 //! .zsmi ── decompress (table lookup) ──► postprocess (optional) ──► .smi
 //! ```
 //!
+//! # Architecture: one engine interface, two code widths, one container
+//!
+//! Two codecs implement the pipeline: the paper's one-byte dictionary
+//! ([`dict::Dictionary`]) and the wide-code extension
+//! ([`wide::WideDictionary`], two-byte codes behind page prefixes). Both
+//! are driven through the [`engine::Engine`] trait, so every
+//! width-independent layer exists once:
+//!
+//! * [`engine`] — the `Engine` / `LineEncoder` / `LineDecoder` traits,
+//!   the shared buffer loops and preprocessing stage, run-time flavour
+//!   dispatch ([`engine::AnyDictionary`], sniffed from file magic), and a
+//!   [`textcomp::LineCodec`] adapter for the baseline-comparison harness;
+//! * [`parallel`] / [`fileio`] — span-parallel and streaming execution of
+//!   any engine;
+//! * [`archive`] — the `.zsa` container: magic + header, embedded
+//!   dictionary (either flavour), readable compressed payload, line-offset
+//!   index and CRC32 footer in one self-describing file with O(1)
+//!   `get(line)`;
+//! * [`index`] — the line-offset table, standalone (`.zsx` sidecar) or
+//!   embedded in a container.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -41,10 +62,12 @@
 //! assert_eq!(back, b"C0=CC=C(C=C0)C(=O)CC(=O)C0=CC=CC=C0");
 //! ```
 
+pub mod archive;
 pub mod codec;
 pub mod compress;
 pub mod decompress;
 pub mod dict;
+pub mod engine;
 pub mod error;
 pub mod fileio;
 pub mod index;
@@ -53,16 +76,25 @@ pub mod sp;
 pub mod trie;
 pub mod wide;
 
+pub use archive::Archive;
 pub use codec::{Prepopulation, ESCAPE, LINE_SEP};
 pub use compress::{CompressStats, Compressor};
 pub use decompress::{DecompressStats, Decompressor};
 pub use dict::builder::{DictBuilder, RankStrategy};
 pub use dict::Dictionary;
+pub use engine::{
+    AnyDictionary, BaseEngine, DictFlavor, Engine, EngineCodec, LineDecoder, LineEncoder,
+    WideEngine,
+};
 pub use error::ZsmilesError;
-pub use fileio::{compress_stream, decompress_stream, StreamOptions};
+pub use fileio::{
+    compress_stream, compress_stream_engine, decompress_stream, decompress_stream_engine,
+    StreamOptions,
+};
 pub use index::LineIndex;
 pub use parallel::{
-    compress_parallel, compress_parallel_wide, decompress_parallel, decompress_parallel_wide,
+    compress_parallel, compress_parallel_engine, compress_parallel_wide, decompress_parallel,
+    decompress_parallel_engine, decompress_parallel_wide,
 };
 pub use sp::SpAlgorithm;
 pub use wide::{WideCompressor, WideDecompressor, WideDictBuilder, WideDictionary};

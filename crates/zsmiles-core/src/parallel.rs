@@ -7,13 +7,19 @@
 //! each worker runs the ordinary serial engine with its own scratch, and the
 //! outputs are concatenated in span order — so the result is byte-identical
 //! to the serial engine's.
+//!
+//! The span machinery is written once against [`Engine`]
+//! ([`compress_parallel_engine`] / [`decompress_parallel_engine`]); the
+//! dictionary-taking functions below are thin wrappers that pick the
+//! engine.
 
-use crate::compress::{CompressStats, Compressor};
-use crate::decompress::{DecompressStats, Decompressor};
+use crate::compress::CompressStats;
+use crate::decompress::DecompressStats;
 use crate::dict::Dictionary;
+use crate::engine::{decode_buffer, encode_buffer, BaseEngine, Engine, WideEngine};
 use crate::error::ZsmilesError;
 use crate::sp::SpAlgorithm;
-use crate::wide::{WideCompressor, WideDecompressor, WideDictionary};
+use crate::wide::WideDictionary;
 
 /// Split `input` into at most `n` spans that end on line boundaries and
 /// have roughly equal byte counts.
@@ -36,193 +42,146 @@ fn byte_balanced_spans(input: &[u8], n: usize) -> Vec<&[u8]> {
     spans
 }
 
-/// Compress a newline-separated buffer on `threads` workers. Byte-identical
-/// to [`Compressor::compress_buffer`].
+/// Compress a newline-separated buffer on `threads` workers with any
+/// [`Engine`]. Byte-identical to the engine's serial buffer loop.
+pub fn compress_parallel_engine<E: Engine>(
+    engine: &E,
+    input: &[u8],
+    threads: usize,
+) -> (Vec<u8>, CompressStats) {
+    let spans = byte_balanced_spans(input, threads.max(1));
+    if spans.len() == 1 {
+        let mut out = Vec::with_capacity(input.len() / 2);
+        let stats = encode_buffer(&mut engine.encoder(), input, &mut out);
+        return (out, stats);
+    }
+    let mut results: Vec<(Vec<u8>, CompressStats)> = Vec::with_capacity(spans.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|span| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(span.len() / 2);
+                    let stats = encode_buffer(&mut engine.encoder(), span, &mut out);
+                    (out, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("compression workers do not panic"));
+        }
+    });
+
+    let mut out = Vec::with_capacity(results.iter().map(|(v, _)| v.len()).sum());
+    let mut stats = CompressStats::default();
+    for (part, s) in results {
+        out.extend_from_slice(&part);
+        stats.merge(&s);
+    }
+    (out, stats)
+}
+
+/// Decompress a newline-separated buffer on `threads` workers with any
+/// [`Engine`].
+pub fn decompress_parallel_engine<E: Engine>(
+    engine: &E,
+    input: &[u8],
+    threads: usize,
+) -> Result<(Vec<u8>, DecompressStats), ZsmilesError> {
+    let spans = byte_balanced_spans(input, threads.max(1));
+    if spans.len() == 1 {
+        let mut out = Vec::with_capacity(input.len() * 3);
+        let stats = decode_buffer(&mut engine.decoder(), input, &mut out)?;
+        return Ok((out, stats));
+    }
+    let mut results: Vec<Result<(Vec<u8>, DecompressStats), ZsmilesError>> =
+        Vec::with_capacity(spans.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|span| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(span.len() * 3);
+                    let stats = decode_buffer(&mut engine.decoder(), span, &mut out)?;
+                    Ok((out, stats))
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("decompression workers do not panic"));
+        }
+    });
+
+    let mut out = Vec::new();
+    let mut stats = DecompressStats::default();
+    for r in results {
+        let (part, s) = r?;
+        out.extend_from_slice(&part);
+        stats.lines += s.lines;
+        stats.in_bytes += s.in_bytes;
+        stats.out_bytes += s.out_bytes;
+    }
+    Ok((out, stats))
+}
+
+/// [`compress_parallel_engine`] with the one-byte codec.
 pub fn compress_parallel(
     dict: &Dictionary,
     input: &[u8],
     algo: SpAlgorithm,
     threads: usize,
 ) -> (Vec<u8>, CompressStats) {
-    let spans = byte_balanced_spans(input, threads.max(1));
-    if spans.len() == 1 {
-        let mut out = Vec::with_capacity(input.len() / 2);
-        let stats = Compressor::new(dict)
-            .with_algorithm(algo)
-            .compress_buffer(input, &mut out);
-        return (out, stats);
-    }
-    let mut results: Vec<(Vec<u8>, CompressStats)> = Vec::with_capacity(spans.len());
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = spans
-            .iter()
-            .map(|span| {
-                scope.spawn(move |_| {
-                    let mut out = Vec::with_capacity(span.len() / 2);
-                    let stats = Compressor::new(dict)
-                        .with_algorithm(algo)
-                        .compress_buffer(span, &mut out);
-                    (out, stats)
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("compression workers do not panic"));
-        }
-    })
-    .expect("scope itself cannot fail");
-
-    let mut out = Vec::with_capacity(results.iter().map(|(v, _)| v.len()).sum());
-    let mut stats = CompressStats::default();
-    for (part, s) in results {
-        out.extend_from_slice(&part);
-        stats.merge(&s);
-    }
-    (out, stats)
+    compress_parallel_engine(&BaseEngine::new(dict).with_algorithm(algo), input, threads)
 }
 
-/// Decompress a newline-separated buffer on `threads` workers.
+/// [`decompress_parallel_engine`] with the one-byte codec.
 pub fn decompress_parallel(
     dict: &Dictionary,
     input: &[u8],
     threads: usize,
 ) -> Result<(Vec<u8>, DecompressStats), ZsmilesError> {
-    let spans = byte_balanced_spans(input, threads.max(1));
-    if spans.len() == 1 {
-        let mut out = Vec::with_capacity(input.len() * 3);
-        let stats = Decompressor::new(dict).decompress_buffer(input, &mut out)?;
-        return Ok((out, stats));
-    }
-    let mut results: Vec<Result<(Vec<u8>, DecompressStats), ZsmilesError>> =
-        Vec::with_capacity(spans.len());
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = spans
-            .iter()
-            .map(|span| {
-                scope.spawn(move |_| {
-                    let mut out = Vec::with_capacity(span.len() * 3);
-                    let stats =
-                        Decompressor::new(dict).decompress_buffer(span, &mut out)?;
-                    Ok((out, stats))
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("decompression workers do not panic"));
-        }
-    })
-    .expect("scope itself cannot fail");
-
-    let mut out = Vec::new();
-    let mut stats = DecompressStats::default();
-    for r in results {
-        let (part, s) = r?;
-        out.extend_from_slice(&part);
-        stats.lines += s.lines;
-        stats.in_bytes += s.in_bytes;
-        stats.out_bytes += s.out_bytes;
-    }
-    Ok((out, stats))
+    decompress_parallel_engine(&BaseEngine::new(dict), input, threads)
 }
 
-/// [`compress_parallel`] for the wide-code extension. Byte-identical to
-/// [`WideCompressor::compress_buffer`].
+/// [`compress_parallel_engine`] with the wide-code extension.
 pub fn compress_parallel_wide(
     dict: &WideDictionary,
     input: &[u8],
     threads: usize,
 ) -> (Vec<u8>, CompressStats) {
-    let spans = byte_balanced_spans(input, threads.max(1));
-    if spans.len() == 1 {
-        let mut out = Vec::with_capacity(input.len() / 2);
-        let stats = WideCompressor::new(dict).compress_buffer(input, &mut out);
-        return (out, stats);
-    }
-    let mut results: Vec<(Vec<u8>, CompressStats)> = Vec::with_capacity(spans.len());
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = spans
-            .iter()
-            .map(|span| {
-                scope.spawn(move |_| {
-                    let mut out = Vec::with_capacity(span.len() / 2);
-                    let stats = WideCompressor::new(dict).compress_buffer(span, &mut out);
-                    (out, stats)
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("compression workers do not panic"));
-        }
-    })
-    .expect("scope itself cannot fail");
-
-    let mut out = Vec::with_capacity(results.iter().map(|(v, _)| v.len()).sum());
-    let mut stats = CompressStats::default();
-    for (part, s) in results {
-        out.extend_from_slice(&part);
-        stats.merge(&s);
-    }
-    (out, stats)
+    compress_parallel_engine(&WideEngine::new(dict), input, threads)
 }
 
-/// [`decompress_parallel`] for the wide-code extension.
+/// [`decompress_parallel_engine`] with the wide-code extension.
 pub fn decompress_parallel_wide(
     dict: &WideDictionary,
     input: &[u8],
     threads: usize,
 ) -> Result<(Vec<u8>, DecompressStats), ZsmilesError> {
-    let spans = byte_balanced_spans(input, threads.max(1));
-    if spans.len() == 1 {
-        let mut out = Vec::with_capacity(input.len() * 3);
-        let stats = WideDecompressor::new(dict).decompress_buffer(input, &mut out)?;
-        return Ok((out, stats));
-    }
-    let mut results: Vec<Result<(Vec<u8>, DecompressStats), ZsmilesError>> =
-        Vec::with_capacity(spans.len());
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = spans
-            .iter()
-            .map(|span| {
-                scope.spawn(move |_| {
-                    let mut out = Vec::with_capacity(span.len() * 3);
-                    let stats = WideDecompressor::new(dict).decompress_buffer(span, &mut out)?;
-                    Ok((out, stats))
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("decompression workers do not panic"));
-        }
-    })
-    .expect("scope itself cannot fail");
-
-    let mut out = Vec::new();
-    let mut stats = DecompressStats::default();
-    for r in results {
-        let (part, s) = r?;
-        out.extend_from_slice(&part);
-        stats.lines += s.lines;
-        stats.in_bytes += s.in_bytes;
-        stats.out_bytes += s.out_bytes;
-    }
-    Ok((out, stats))
+    decompress_parallel_engine(&WideEngine::new(dict), input, threads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compress::Compressor;
     use crate::dict::builder::DictBuilder;
-    use crate::wide::WideDictBuilder;
+    use crate::wide::{WideCompressor, WideDictBuilder};
 
     fn fixture() -> (Dictionary, Vec<u8>) {
-        let lines: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+        let lines: Vec<&[u8]> = [
+            b"COc1cc(C=O)ccc1O".as_slice(),
             b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
             b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
-            b"CCN(CC)CC"]
+            b"CCN(CC)CC",
+        ]
         .repeat(64);
-        let dict = DictBuilder { min_count: 2, ..Default::default() }
-            .train(lines.iter().copied())
-            .unwrap();
+        let dict = DictBuilder {
+            min_count: 2,
+            ..Default::default()
+        }
+        .train(lines.iter().copied())
+        .unwrap();
         let input: Vec<u8> = lines
             .iter()
             .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
@@ -251,8 +210,7 @@ mod tests {
         let mut serial = Vec::new();
         let s_stats = Compressor::new(&dict).compress_buffer(&input, &mut serial);
         for threads in [1, 2, 3, 4, 7] {
-            let (par, p_stats) =
-                compress_parallel(&dict, &input, SpAlgorithm::BackwardDp, threads);
+            let (par, p_stats) = compress_parallel(&dict, &input, SpAlgorithm::BackwardDp, threads);
             assert_eq!(par, serial, "threads={threads}");
             assert_eq!(p_stats, s_stats, "threads={threads}");
         }
@@ -294,13 +252,18 @@ mod tests {
 
     #[test]
     fn wide_parallel_identical_to_serial_and_round_trips() {
-        let lines: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+        let lines: Vec<&[u8]> = [
+            b"COc1cc(C=O)ccc1O".as_slice(),
             b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
             b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
-            b"CCN(CC)CC"]
+            b"CCN(CC)CC",
+        ]
         .repeat(64);
         let dict = WideDictBuilder {
-            base: DictBuilder { min_count: 2, ..Default::default() },
+            base: DictBuilder {
+                min_count: 2,
+                ..Default::default()
+            },
             wide_size: 32,
         }
         .train(lines.iter().copied())
@@ -335,7 +298,10 @@ mod tests {
     fn wide_parallel_error_propagates() {
         let lines: Vec<&[u8]> = [b"CCO".as_slice()].repeat(8);
         let dict = WideDictBuilder {
-            base: DictBuilder { min_count: 2, ..Default::default() },
+            base: DictBuilder {
+                min_count: 2,
+                ..Default::default()
+            },
             wide_size: 8,
         }
         .train(lines.iter().copied())

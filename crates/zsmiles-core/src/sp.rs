@@ -115,7 +115,10 @@ fn backward_dp(trie: &Trie, line: &[u8], s: &mut SpScratch) {
                         || (len as u8 == best.len && code < best.code)))
             {
                 best_cost = c;
-                best = Choice { code, len: len as u8 };
+                best = Choice {
+                    code,
+                    len: len as u8,
+                };
             }
         });
         s.dist[i] = best_cost;
@@ -161,7 +164,10 @@ fn dijkstra(trie: &Trie, line: &[u8], s: &mut SpScratch) {
                         || (len as u8 == best.len && code < best.code)))
             {
                 best_cost = c;
-                best = Choice { code, len: len as u8 };
+                best = Choice {
+                    code,
+                    len: len as u8,
+                };
             }
         });
         // Heap bookkeeping kept for fidelity with the paper's description;

@@ -107,7 +107,10 @@ impl Trie {
 
     fn alloc_node(&mut self) -> u32 {
         let idx = self.nodes.len() as u32;
-        self.nodes.push(Node { children: Vec::new(), code: None });
+        self.nodes.push(Node {
+            children: Vec::new(),
+            code: None,
+        });
         idx
     }
 

@@ -28,8 +28,8 @@ use crate::compress::CompressStats;
 use crate::decompress::DecompressStats;
 use crate::dict::builder::DictBuilder;
 use crate::dict::MAX_PATTERN_LEN;
+use crate::engine::{LineDecoder, LineEncoder, PreprocessStage};
 use crate::error::ZsmilesError;
-use smiles::preprocess::{Preprocessor, RingRenumber};
 use std::io::{BufRead, BufReader, Read, Write};
 
 /// The eight extended bytes reserved as wide-code page prefixes.
@@ -134,7 +134,11 @@ impl Trie16 {
             self.root[b0]
         };
         for &b in &pattern[1..] {
-            cur = match self.nodes[cur as usize].children.iter().find(|(cb, _)| *cb == b) {
+            cur = match self.nodes[cur as usize]
+                .children
+                .iter()
+                .find(|(cb, _)| *cb == b)
+            {
                 Some(&(_, child)) => child,
                 None => {
                     let idx = self.alloc();
@@ -150,7 +154,10 @@ impl Trie16 {
 
     fn alloc(&mut self) -> u32 {
         let idx = self.nodes.len() as u32;
-        self.nodes.push(Node16 { children: Vec::new(), code: None });
+        self.nodes.push(Node16 {
+            children: Vec::new(),
+            code: None,
+        });
         idx
     }
 
@@ -237,15 +244,13 @@ impl WideDictionary {
         free_base.reverse();
         // Wide slots in (page, sub) order.
         let mut wide_next = 0usize;
-        let mut pages: Vec<Vec<Option<Box<[u8]>>>> =
-            vec![vec![None; 256]; PAGE_BYTES.len()];
+        let mut pages: Vec<Vec<Option<Box<[u8]>>>> = vec![vec![None; 256]; PAGE_BYTES.len()];
         let subs: Vec<u8> = code_space().collect();
 
         let mut installed = 0usize;
-        let mut requested = 0usize;
-        for pat in patterns {
+        for (seen, pat) in patterns.into_iter().enumerate() {
             let pat = pat.as_ref();
-            requested += 1;
+            let requested = seen + 1;
             debug_assert!(!pat.is_empty() && pat.len() <= MAX_PATTERN_LEN);
             if pat.len() == 1 && base[pat[0] as usize].is_some() {
                 continue; // identity duplicate
@@ -354,11 +359,8 @@ impl WideDictionary {
     /// All entries in code-assignment order: base codes (code-space order),
     /// then wide codes (page-major). Yields `(emitted bytes, pattern)`.
     pub fn all_entries(&self) -> impl Iterator<Item = (Vec<u8>, &[u8])> + '_ {
-        let base = code_space().filter_map(move |c| {
-            self.base[c as usize]
-                .as_deref()
-                .map(move |p| (vec![c], p))
-        });
+        let base = code_space()
+            .filter_map(move |c| self.base[c as usize].as_deref().map(move |p| (vec![c], p)));
         let wide = (0..self.pages.len()).flat_map(move |pi| {
             code_space().filter_map(move |sub| {
                 self.pages[pi][sub as usize]
@@ -446,7 +448,10 @@ pub struct WideDictBuilder {
 
 impl Default for WideDictBuilder {
     fn default() -> Self {
-        WideDictBuilder { base: DictBuilder::default(), wide_size: 512 }
+        WideDictBuilder {
+            base: DictBuilder::default(),
+            wide_size: 512,
+        }
     }
 }
 
@@ -555,28 +560,25 @@ fn wide_encode_line(
 }
 
 /// A reusable compressor bound to one wide dictionary (mirrors
-/// [`crate::Compressor`]).
+/// [`crate::Compressor`]). The buffer loop and preprocessing stage are the
+/// shared [`crate::engine`] machinery; only the per-line DP is wide-specific.
 pub struct WideCompressor<'d> {
     dict: &'d WideDictionary,
-    preprocess: bool,
+    preprocess: PreprocessStage,
     scratch: WideScratch,
-    ppbuf: Vec<u8>,
-    pp: Preprocessor,
 }
 
 impl<'d> WideCompressor<'d> {
     pub fn new(dict: &'d WideDictionary) -> Self {
         WideCompressor {
             dict,
-            preprocess: dict.preprocessed(),
+            preprocess: PreprocessStage::new(dict.preprocessed()),
             scratch: WideScratch::default(),
-            ppbuf: Vec::new(),
-            pp: Preprocessor::new(),
         }
     }
 
     pub fn with_preprocess(mut self, on: bool) -> Self {
-        self.preprocess = on;
+        self.preprocess.set_enabled(on);
         self
     }
 
@@ -587,41 +589,26 @@ impl<'d> WideCompressor<'d> {
     /// Compress one line (no newline), appending to `out`. Returns
     /// `(bytes_written, preprocess_failed)`.
     pub fn compress_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> (usize, bool) {
-        let (src, failed): (&[u8], bool) = if self.preprocess {
-            self.ppbuf.clear();
-            match self
-                .pp
-                .process_into(line, RingRenumber::Innermost, 0, &mut self.ppbuf)
-            {
-                Ok(()) => (&self.ppbuf, false),
-                Err(_) => (line, true),
-            }
-        } else {
-            (line, false)
-        };
+        let (src, failed) = self.preprocess.apply(line);
         let n = wide_encode_line(self.dict, src, &mut self.scratch, out);
         (n, failed)
     }
 
     /// Compress a newline-separated buffer, preserving line count and order.
     pub fn compress_buffer(&mut self, input: &[u8], out: &mut Vec<u8>) -> CompressStats {
-        let mut stats = CompressStats::default();
-        for line in input.split(|&b| b == LINE_SEP) {
-            if line.is_empty() {
-                continue;
-            }
-            let (n, failed) = self.compress_line(line, out);
-            out.push(LINE_SEP);
-            stats.lines += 1;
-            stats.in_bytes += line.len();
-            stats.out_bytes += n;
-            stats.preprocess_failures += failed as usize;
-        }
-        stats
+        crate::engine::encode_buffer(self, input, out)
+    }
+}
+
+impl LineEncoder for WideCompressor<'_> {
+    fn encode_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> (usize, bool) {
+        self.compress_line(line, out)
     }
 }
 
 /// Decompressor for wide-code streams (mirrors [`crate::Decompressor`]).
+/// Only the per-byte dispatch (page prefixes) is wide-specific; the buffer
+/// loop is the shared [`crate::engine`] machinery.
 pub struct WideDecompressor<'d> {
     dict: &'d WideDictionary,
 }
@@ -631,8 +618,10 @@ impl<'d> WideDecompressor<'d> {
         WideDecompressor { dict }
     }
 
-    /// Decompress one line, appending to `out`.
-    pub fn decompress_line(&self, line: &[u8], out: &mut Vec<u8>) -> Result<(), ZsmilesError> {
+    /// Decompress one line, appending to `out`. Returns the number of
+    /// bytes appended.
+    pub fn decompress_line(&self, line: &[u8], out: &mut Vec<u8>) -> Result<usize, ZsmilesError> {
+        let start = out.len();
         let mut i = 0usize;
         while i < line.len() {
             let b = line[i];
@@ -649,7 +638,10 @@ impl<'d> WideDecompressor<'d> {
                 let pat = self
                     .dict
                     .wide_entry(page, sub)
-                    .ok_or(ZsmilesError::UnknownCode { code: sub, at: i + 1 })?;
+                    .ok_or(ZsmilesError::UnknownCode {
+                        code: sub,
+                        at: i + 1,
+                    })?;
                 out.extend_from_slice(pat);
                 i += 2;
             } else {
@@ -661,7 +653,7 @@ impl<'d> WideDecompressor<'d> {
                 i += 1;
             }
         }
-        Ok(())
+        Ok(out.len() - start)
     }
 
     /// Decompress a newline-separated buffer.
@@ -670,19 +662,19 @@ impl<'d> WideDecompressor<'d> {
         input: &[u8],
         out: &mut Vec<u8>,
     ) -> Result<DecompressStats, ZsmilesError> {
-        let mut stats = DecompressStats::default();
-        for line in input.split(|&b| b == LINE_SEP) {
-            if line.is_empty() {
-                continue;
-            }
-            let before = out.len();
-            self.decompress_line(line, out)?;
-            out.push(LINE_SEP);
-            stats.lines += 1;
-            stats.in_bytes += line.len();
-            stats.out_bytes += out.len() - 1 - before;
-        }
-        Ok(stats)
+        crate::engine::decode_buffer(&mut &*self, input, out)
+    }
+}
+
+impl LineDecoder for WideDecompressor<'_> {
+    fn decode_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> Result<usize, ZsmilesError> {
+        self.decompress_line(line, out)
+    }
+}
+
+impl LineDecoder for &WideDecompressor<'_> {
+    fn decode_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> Result<usize, ZsmilesError> {
+        self.decompress_line(line, out)
     }
 }
 
@@ -743,7 +735,10 @@ pub fn read_wide_dict<R: Read>(r: R) -> Result<WideDictionary, ZsmilesError> {
             let mut parts = rest.splitn(2, ' ');
             let key = parts.next().unwrap_or("");
             let value = parts.next().unwrap_or("").trim();
-            let bad = |reason: String| ZsmilesError::DictFormat { line: lineno, reason };
+            let bad = |reason: String| ZsmilesError::DictFormat {
+                line: lineno,
+                reason,
+            };
             match key {
                 "prepopulation" => {
                     prepopulation = Prepopulation::from_name(value)
@@ -755,10 +750,14 @@ pub fn read_wide_dict<R: Read>(r: R) -> Result<WideDictionary, ZsmilesError> {
                         .map_err(|_| bad(format!("bad bool '{value}'")))?;
                 }
                 "lmin" => {
-                    lmin = value.parse().map_err(|_| bad(format!("bad lmin '{value}'")))?;
+                    lmin = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad lmin '{value}'")))?;
                 }
                 "lmax" => {
-                    lmax = value.parse().map_err(|_| bad(format!("bad lmax '{value}'")))?;
+                    lmax = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad lmax '{value}'")))?;
                 }
                 "wide-size" => {
                     wide_size = value
@@ -769,12 +768,17 @@ pub fn read_wide_dict<R: Read>(r: R) -> Result<WideDictionary, ZsmilesError> {
             }
             continue;
         }
-        let (_, pat_part) = line.split_once('\t').ok_or_else(|| ZsmilesError::DictFormat {
-            line: lineno,
-            reason: "missing tab separator".into(),
-        })?;
-        let pat = super::dict::format::unescape(pat_part)
-            .map_err(|reason| ZsmilesError::DictFormat { line: lineno, reason })?;
+        let (_, pat_part) = line
+            .split_once('\t')
+            .ok_or_else(|| ZsmilesError::DictFormat {
+                line: lineno,
+                reason: "missing tab separator".into(),
+            })?;
+        let pat =
+            super::dict::format::unescape(pat_part).map_err(|reason| ZsmilesError::DictFormat {
+                line: lineno,
+                reason,
+            })?;
         if pat.is_empty() {
             return Err(ZsmilesError::DictFormat {
                 line: lineno,
@@ -808,7 +812,10 @@ mod tests {
 
     fn trained(wide_size: usize) -> WideDictionary {
         WideDictBuilder {
-            base: DictBuilder { min_count: 2, ..Default::default() },
+            base: DictBuilder {
+                min_count: 2,
+                ..Default::default()
+            },
             wide_size,
         }
         .train(deck())
@@ -818,12 +825,31 @@ mod tests {
     /// 729 distinct valid SMILES from a fragment product — diverse enough
     /// that training overflows the one-byte code space.
     fn diverse_deck() -> Vec<Vec<u8>> {
-        let a = ["CC", "CCO", "c1ccccc1", "N(C)C", "C(=O)O", "CN", "OC", "CS", "Cl"];
+        let a = [
+            "CC", "CCO", "c1ccccc1", "N(C)C", "C(=O)O", "CN", "OC", "CS", "Cl",
+        ];
         let b = [
-            "C(=O)N", "c1ccncc1", "CC(C)", "OCC", "N1CCOCC1", "C#N", "CCCC", "C(F)(F)F",
+            "C(=O)N",
+            "c1ccncc1",
+            "CC(C)",
+            "OCC",
+            "N1CCOCC1",
+            "C#N",
+            "CCCC",
+            "C(F)(F)F",
             "S(=O)(=O)C",
         ];
-        let c = ["O", "N", "CO", "c1ccc(Cl)cc1", "C(=O)OC", "CCN", "Br", "CCC", "F"];
+        let c = [
+            "O",
+            "N",
+            "CO",
+            "c1ccc(Cl)cc1",
+            "C(=O)OC",
+            "CCN",
+            "Br",
+            "CCC",
+            "F",
+        ];
         let mut v = Vec::new();
         for x in a {
             for y in b {
@@ -838,7 +864,10 @@ mod tests {
     fn trained_diverse(wide_size: usize) -> WideDictionary {
         let deck = diverse_deck();
         WideDictBuilder {
-            base: DictBuilder { min_count: 2, ..Default::default() },
+            base: DictBuilder {
+                min_count: 2,
+                ..Default::default()
+            },
             wide_size,
         }
         .train(deck.iter().map(|l| l.as_slice()))
@@ -873,7 +902,10 @@ mod tests {
     fn base_codes_never_use_page_bytes() {
         let d = trained(64);
         for &pb in &PAGE_BYTES {
-            assert!(d.base_entry(pb).is_none(), "page byte 0x{pb:02x} must stay free");
+            assert!(
+                d.base_entry(pb).is_none(),
+                "page byte 0x{pb:02x} must stay free"
+            );
         }
         d.validate().unwrap();
     }
@@ -903,7 +935,11 @@ mod tests {
     #[test]
     fn exact_round_trip_without_preprocess() {
         let d = WideDictBuilder {
-            base: DictBuilder { min_count: 2, preprocess: false, ..Default::default() },
+            base: DictBuilder {
+                min_count: 2,
+                preprocess: false,
+                ..Default::default()
+            },
             wide_size: 128,
         }
         .train(deck())
@@ -996,8 +1032,7 @@ mod tests {
         let mut pats = fill;
         pats.push(b"XY".to_vec()); // short: skipped
         pats.push(b"XYZ".to_vec()); // long enough: installed wide
-        let d = WideDictionary::from_patterns(Prepopulation::None, &pats, 2, 8, false, 16)
-            .unwrap();
+        let d = WideDictionary::from_patterns(Prepopulation::None, &pats, 2, 8, false, 16).unwrap();
         assert_eq!(d.wide_len(), 1);
         assert_eq!(d.wide_entry(0, 0x21), Some(&b"XYZ"[..]));
         d.validate().unwrap();
@@ -1054,8 +1089,7 @@ mod tests {
             })
             .collect();
         pats.push(b"XYZ".to_vec());
-        let d = WideDictionary::from_patterns(Prepopulation::None, &pats, 2, 8, false, 8)
-            .unwrap();
+        let d = WideDictionary::from_patterns(Prepopulation::None, &pats, 2, 8, false, 8).unwrap();
         assert_eq!(d.wide_len(), 1);
         let mut c = WideCompressor::new(&d).with_preprocess(false);
         let mut z = Vec::new();
@@ -1089,7 +1123,9 @@ mod tests {
             .with_preprocess(false)
             .compress_line(b"COc1cc(C=O)ccc1O", &mut z);
         let mut out = Vec::new();
-        WideDecompressor::new(&back).decompress_line(&z, &mut out).unwrap();
+        WideDecompressor::new(&back)
+            .decompress_line(&z, &mut out)
+            .unwrap();
         assert_eq!(out, b"COc1cc(C=O)ccc1O");
     }
 
@@ -1113,9 +1149,13 @@ mod tests {
             .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
             .collect();
         let mut z = Vec::new();
-        let cs = WideCompressor::new(&d).with_preprocess(false).compress_buffer(&input, &mut z);
+        let cs = WideCompressor::new(&d)
+            .with_preprocess(false)
+            .compress_buffer(&input, &mut z);
         let mut back = Vec::new();
-        let ds = WideDecompressor::new(&d).decompress_buffer(&z, &mut back).unwrap();
+        let ds = WideDecompressor::new(&d)
+            .decompress_buffer(&z, &mut back)
+            .unwrap();
         assert_eq!(back, input);
         assert_eq!(cs.lines, ds.lines);
         assert_eq!(cs.in_bytes, ds.out_bytes);

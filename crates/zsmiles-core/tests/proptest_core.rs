@@ -16,7 +16,10 @@ fn arb_pattern() -> impl Strategy<Value = Vec<u8>> {
 }
 
 fn arb_text() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(prop_oneof![Just(b'A'), Just(b'B'), Just(b'C'), Just(b'D')], 0..60)
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'B'), Just(b'C'), Just(b'D')],
+        0..60,
+    )
 }
 
 proptest! {

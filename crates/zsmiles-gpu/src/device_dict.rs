@@ -45,7 +45,15 @@ impl DeviceDict {
             expand_len[code as usize] = pat.len() as u8;
             expand_bytes[code as usize][..pat.len()].copy_from_slice(pat);
         }
-        DeviceDict { pattern_bytes, offsets, lens, codes, expand_len, expand_bytes, lmax }
+        DeviceDict {
+            pattern_bytes,
+            offsets,
+            lens,
+            codes,
+            expand_len,
+            expand_bytes,
+            lmax,
+        }
     }
 
     /// Number of entries.
@@ -80,9 +88,12 @@ mod tests {
 
     fn dict() -> Dictionary {
         let corpus: Vec<&[u8]> = vec![b"COc1cc(C=O)ccc1O"; 8];
-        DictBuilder { min_count: 2, ..Default::default() }
-            .train(corpus)
-            .unwrap()
+        DictBuilder {
+            min_count: 2,
+            ..Default::default()
+        }
+        .train(corpus)
+        .unwrap()
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub fn compress_block(ctx: &mut BlockCtx, dict: &DeviceDict, line: &[u8]) -> Vec
         let base = t * WARP_SIZE;
         let mask = Mask::from_fn(|i| base + i < n);
         let offs = WarpVec::from_fn(|i| (base + i).min(n - 1) as u32);
-        let bytes = ctx.warp.global_read::<u8>(line, &offs, mask, |buf, o| buf[o]);
+        let bytes = ctx
+            .warp
+            .global_read::<u8>(line, &offs, mask, |buf, o| buf[o]);
         for i in 0..WARP_SIZE {
             if mask.lane(i) {
                 staged[base + i] = bytes.lane(i);
@@ -147,8 +149,15 @@ pub fn compress_block(ctx: &mut BlockCtx, dict: &DeviceDict, line: &[u8]) -> Vec
         let base = t * WARP_SIZE;
         let mask = Mask::from_fn(|l| base + l < m);
         let offs = WarpVec::from_fn(|l| (base + l).min(m.saturating_sub(1)) as u32);
-        let vals = WarpVec::from_fn(|l| if base + l < m { staged_out[base + l] } else { 0 });
-        ctx.warp.global_write(&mut out, &offs, &vals, mask, |buf, o, v| buf[o] = v);
+        let vals = WarpVec::from_fn(|l| {
+            if base + l < m {
+                staged_out[base + l]
+            } else {
+                0
+            }
+        });
+        ctx.warp
+            .global_write(&mut out, &offs, &vals, mask, |buf, o, v| buf[o] = v);
     }
     out
 }
@@ -171,7 +180,9 @@ pub fn decompress_block(
         let base = t * WARP_SIZE;
         let mask = Mask::from_fn(|i| base + i < n);
         let offs = WarpVec::from_fn(|i| (base + i).min(n - 1) as u32);
-        let bytes = ctx.warp.global_read::<u8>(line, &offs, mask, |buf, o| buf[o]);
+        let bytes = ctx
+            .warp
+            .global_read::<u8>(line, &offs, mask, |buf, o| buf[o]);
         for i in 0..WARP_SIZE {
             if mask.lane(i) {
                 staged[base + i] = bytes.lane(i);
@@ -315,13 +326,19 @@ mod tests {
     use zsmiles_core::{Compressor, Decompressor, DictBuilder, Dictionary};
 
     fn dict() -> Dictionary {
-        let corpus: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+        let corpus: Vec<&[u8]> = [
+            b"COc1cc(C=O)ccc1O".as_slice(),
             b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
-            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O"]
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+        ]
         .repeat(8);
-        DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
-            .train(corpus)
-            .unwrap()
+        DictBuilder {
+            min_count: 2,
+            preprocess: false,
+            ..Default::default()
+        }
+        .train(corpus)
+        .unwrap()
     }
 
     #[test]
@@ -383,7 +400,9 @@ mod tests {
             assert_eq!(got, line);
             // And against the CPU decompressor for good measure.
             let mut want = Vec::new();
-            Decompressor::new(&d).decompress_line(&z, &mut want).unwrap();
+            Decompressor::new(&d)
+                .decompress_line(&z, &mut want)
+                .unwrap();
             assert_eq!(got, want);
         }
     }
@@ -409,9 +428,15 @@ mod tests {
         let d = dict();
         let dd = DeviceDict::from_dictionary(&d);
         let mut ctx = BlockCtx::new();
-        assert!(decompress_block(&mut ctx, &dd, &[ESCAPE]).is_err(), "dangling escape");
+        assert!(
+            decompress_block(&mut ctx, &dd, &[ESCAPE]).is_err(),
+            "dangling escape"
+        );
         ctx.reset();
-        assert!(decompress_block(&mut ctx, &dd, &[0x01]).is_err(), "bad code");
+        assert!(
+            decompress_block(&mut ctx, &dd, &[0x01]).is_err(),
+            "bad code"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct GpuOptions {
 
 impl Default for GpuOptions {
     fn default() -> Self {
-        GpuOptions { workers: 8, preprocess: None }
+        GpuOptions {
+            workers: 8,
+            preprocess: None,
+        }
     }
 }
 
@@ -76,7 +79,13 @@ pub fn compress(dict: &Dictionary, input: &[u8], opts: &GpuOptions) -> GpuRun {
         output.extend_from_slice(o);
         output.push(LINE_SEP);
     }
-    GpuRun { output, report, in_bytes, out_bytes, lines: outputs.len() as u64 }
+    GpuRun {
+        output,
+        report,
+        in_bytes,
+        out_bytes,
+        lines: outputs.len() as u64,
+    }
 }
 
 /// Decompress a newline-separated buffer on the simulated device.
@@ -86,7 +95,10 @@ pub fn decompress(
     opts: &GpuOptions,
 ) -> Result<GpuRun, ZsmilesError> {
     let dd = DeviceDict::from_dictionary(dict);
-    let lines: Vec<&[u8]> = input.split(|&b| b == LINE_SEP).filter(|l| !l.is_empty()).collect();
+    let lines: Vec<&[u8]> = input
+        .split(|&b| b == LINE_SEP)
+        .filter(|l| !l.is_empty())
+        .collect();
     let in_bytes: u64 = lines.iter().map(|l| l.len() as u64).sum();
 
     let (outputs, report) = launch(lines.len(), opts.workers, |ctx, b| {
@@ -110,7 +122,13 @@ pub fn decompress(
             }
         }
     }
-    Ok(GpuRun { output, report, in_bytes, out_bytes, lines: in_bytes })
+    Ok(GpuRun {
+        output,
+        report,
+        in_bytes,
+        out_bytes,
+        lines: in_bytes,
+    })
 }
 
 #[cfg(test)]
@@ -119,14 +137,19 @@ mod tests {
     use zsmiles_core::{compress_parallel, Compressor, DictBuilder, SpAlgorithm};
 
     fn fixture() -> (Dictionary, Vec<u8>) {
-        let lines: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+        let lines: Vec<&[u8]> = [
+            b"COc1cc(C=O)ccc1O".as_slice(),
             b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
             b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
-            b"CCN(CC)CC"]
+            b"CCN(CC)CC",
+        ]
         .repeat(16);
-        let dict = DictBuilder { min_count: 2, ..Default::default() }
-            .train(lines.iter().copied())
-            .unwrap();
+        let dict = DictBuilder {
+            min_count: 2,
+            ..Default::default()
+        }
+        .train(lines.iter().copied())
+        .unwrap();
         let input: Vec<u8> = lines
             .iter()
             .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
@@ -158,7 +181,8 @@ mod tests {
         let mut expect = Vec::new();
         let mut pp = Preprocessor::new();
         for line in input.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
-            pp.process_into(line, RingRenumber::Innermost, 0, &mut expect).unwrap();
+            pp.process_into(line, RingRenumber::Innermost, 0, &mut expect)
+                .unwrap();
             expect.push(b'\n');
         }
         assert_eq!(back.output, expect);
@@ -168,10 +192,27 @@ mod tests {
     #[test]
     fn deterministic_across_worker_counts() {
         let (dict, input) = fixture();
-        let a = compress(&dict, &input, &GpuOptions { workers: 1, preprocess: None });
-        let b = compress(&dict, &input, &GpuOptions { workers: 7, preprocess: None });
+        let a = compress(
+            &dict,
+            &input,
+            &GpuOptions {
+                workers: 1,
+                preprocess: None,
+            },
+        );
+        let b = compress(
+            &dict,
+            &input,
+            &GpuOptions {
+                workers: 7,
+                preprocess: None,
+            },
+        );
         assert_eq!(a.output, b.output);
-        assert_eq!(a.report, b.report, "cost accounting independent of host threads");
+        assert_eq!(
+            a.report, b.report,
+            "cost accounting independent of host threads"
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@ fn main() {
     let vendor_a = Dataset::generate(profiles::MEDIATE, 8_000, 100);
     let vendor_b = Dataset::generate(profiles::EXSCALATE, 8_000, 200);
     let reference = Dataset::generate_mixed(8_000, 300);
-    let dict = DictBuilder::default().train(reference.iter()).expect("train");
+    let dict = DictBuilder::default()
+        .train(reference.iter())
+        .expect("train");
 
     let mut archive_a = Vec::new();
     let sa = Compressor::new(&dict).compress_buffer(vendor_a.as_bytes(), &mut archive_a);
@@ -62,11 +64,17 @@ fn main() {
     for line in restored_ds.iter() {
         smiles::validate::full_check(line).expect("every curated molecule is valid SMILES");
     }
-    println!("verified: all {} curated molecules decompress to valid SMILES", idx_c.len());
+    println!(
+        "verified: all {} curated molecules decompress to valid SMILES",
+        idx_c.len()
+    );
 
     // --- The readable-output requirement, demonstrated. -------------------
     let sample = idx_c.line(&combined, 0);
-    let printable = sample.iter().filter(|&&b| b.is_ascii_graphic() || b >= 0x80).count();
+    let printable = sample
+        .iter()
+        .filter(|&&b| b.is_ascii_graphic() || b >= 0x80)
+        .count();
     println!(
         "\nfirst compressed line ({} bytes, {} displayable): {:?}",
         sample.len(),

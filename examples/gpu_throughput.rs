@@ -15,13 +15,20 @@ fn main() {
     let deck = Dataset::generate_mixed(3_000, 0x6F0);
     let dict = DictBuilder::default().train(deck.iter()).expect("train");
 
-    println!("deck: {} molecules, {} bytes\n", deck.len(), deck.total_bytes());
+    println!(
+        "deck: {} molecules, {} bytes\n",
+        deck.len(),
+        deck.total_bytes()
+    );
 
     // ---- compression kernel ----------------------------------------------
     let run = compress(&dict, deck.as_bytes(), &GpuOptions::default());
     let kt = A100_LIKE.kernel_time(&run.report);
     let pt = A100_LIKE.pipeline_time(&run.report, run.in_bytes, run.out_bytes, &SCRATCH_FS);
-    println!("compression kernel ({} blocks of one warp each):", run.report.blocks);
+    println!(
+        "compression kernel ({} blocks of one warp each):",
+        run.report.blocks
+    );
     println!(
         "  instructions {:>12}   shuffles {:>10}   ld/st transactions {}/{}",
         run.report.total.instructions,
@@ -33,7 +40,11 @@ fn main() {
         "  modeled kernel: compute {:.3} ms vs memory {:.3} ms -> {}",
         kt.compute_s * 1e3,
         kt.memory_s * 1e3,
-        if kt.is_memory_bound() { "memory-bound" } else { "compute-bound" }
+        if kt.is_memory_bound() {
+            "memory-bound"
+        } else {
+            "compute-bound"
+        }
     );
     print_pipeline("compression", &pt);
 
@@ -50,7 +61,11 @@ fn main() {
         "  modeled kernel: compute {:.3} ms vs memory {:.3} ms -> {}",
         dkt.compute_s * 1e3,
         dkt.memory_s * 1e3,
-        if dkt.is_memory_bound() { "memory-bound" } else { "compute-bound" }
+        if dkt.is_memory_bound() {
+            "memory-bound"
+        } else {
+            "compute-bound"
+        }
     );
     print_pipeline("decompression", &dpt);
 

@@ -20,7 +20,9 @@ fn main() {
 
     // 2. Train a dictionary with the paper's defaults (pre-processing on,
     //    SMILES-alphabet pre-population, Lmin=2, Lmax=8).
-    let dict = DictBuilder::default().train(deck.iter()).expect("training succeeds");
+    let dict = DictBuilder::default()
+        .train(deck.iter())
+        .expect("training succeeds");
     println!(
         "dictionary: {} multi-byte patterns + {} identity codes",
         dict.pattern_entries().count(),
@@ -39,7 +41,9 @@ fn main() {
 
     // 4. Random access: pull out molecule #4242 without touching the rest.
     let index = LineIndex::build(&compressed);
-    let one = index.decompress_line_at(&dict, &compressed, 4242).expect("decompress line");
+    let one = index
+        .decompress_line_at(&dict, &compressed, 4242)
+        .expect("decompress line");
     println!("molecule #4242: {}", String::from_utf8_lossy(&one));
     smiles::validate::full_check(&one).expect("valid SMILES");
 

@@ -74,8 +74,11 @@ fn main() {
 
     // 5. Per-target hit retrieval — k random-access reads each.
     for (t, (pocket, table)) in targets.iter().zip(&tables).enumerate() {
-        println!("\ntarget {t} (seed {:#x}) — top {TOP_K} hits:", pocket.seed());
-        let hits = top_hits(&archive, &dict, table, TOP_K).expect("fetch hits");
+        println!(
+            "\ntarget {t} (seed {:#x}) — top {TOP_K} hits:",
+            pocket.seed()
+        );
+        let hits = top_hits(&archive, table, TOP_K).expect("fetch hits");
         let mut bytes_touched = 0usize;
         for hit in &hits {
             bytes_touched += archive.compressed_line(hit.index).len();

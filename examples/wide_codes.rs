@@ -17,10 +17,16 @@ use zsmiles_core::{
 
 fn main() {
     let deck = Dataset::generate_mixed(20_000, 0x51DE);
-    println!("deck: {} ligands, {} bytes\n", deck.len(), deck.total_bytes());
+    println!(
+        "deck: {} ligands, {} bytes\n",
+        deck.len(),
+        deck.total_bytes()
+    );
 
     // The paper's dictionary: one-byte codes only.
-    let base = DictBuilder::default().train(deck.iter()).expect("train base");
+    let base = DictBuilder::default()
+        .train(deck.iter())
+        .expect("train base");
     let mut zb = Vec::new();
     let sb = Compressor::new(&base).compress_buffer(deck.as_bytes(), &mut zb);
     println!(
@@ -31,9 +37,12 @@ fn main() {
 
     // The widened dictionary: same Algorithm 1, more room.
     for wide_size in [256usize, 1024] {
-        let wide = WideDictBuilder { base: DictBuilder::default(), wide_size }
-            .train(deck.iter())
-            .expect("train wide");
+        let wide = WideDictBuilder {
+            base: DictBuilder::default(),
+            wide_size,
+        }
+        .train(deck.iter())
+        .expect("train wide");
         let mut zw = Vec::new();
         let sw = WideCompressor::new(&wide).compress_buffer(deck.as_bytes(), &mut zw);
         println!(
@@ -54,7 +63,8 @@ fn main() {
             assert_eq!(index.len(), deck.len());
             let dec = WideDecompressor::new(&wide);
             let mut one = Vec::new();
-            dec.decompress_line(index.line(&zw, 777), &mut one).expect("random access");
+            dec.decompress_line(index.line(&zw, 777), &mut one)
+                .expect("random access");
             println!(
                 "\nline 777 pulled from the wide archive ({} compressed bytes):\n  {}",
                 index.line(&zw, 777).len(),

@@ -1,0 +1,115 @@
+//! `.zsa` container properties: the single-file random-access story must
+//! hold for arbitrary decks, both engines, and survive corruption attempts.
+
+use proptest::prelude::*;
+use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::{Archive, DictBuilder, WideDictBuilder, ZsmilesError};
+
+/// Train either dictionary flavour on the deck (preprocess off, so round
+/// trips are byte-exact).
+fn dict_for(deck: &molgen::Dataset, wide_size: usize) -> AnyDictionary {
+    let base = DictBuilder {
+        min_count: 2,
+        preprocess: false,
+        ..Default::default()
+    };
+    if wide_size == 0 {
+        AnyDictionary::Base(Box::new(base.train(deck.iter()).unwrap()))
+    } else {
+        AnyDictionary::Wide(Box::new(
+            WideDictBuilder { base, wide_size }
+                .train(deck.iter())
+                .unwrap(),
+        ))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// pack → serialize → reopen → get(i) → unpack is byte-identical for
+    /// arbitrary generated decks, random probe lines, and both engines.
+    #[test]
+    fn zsa_round_trip_both_engines(
+        seed in 0u64..10_000,
+        lines in 1usize..60,
+        wide_size in prop_oneof![Just(0usize), Just(48usize)],
+        probe in 0usize..1_000,
+        threads in 1usize..5,
+    ) {
+        let deck = molgen::Dataset::generate_mixed(lines, seed);
+        let dict = dict_for(&deck, wide_size);
+        let archive = Archive::pack(dict, deck.as_bytes(), threads);
+        prop_assert_eq!(archive.len(), deck.len());
+
+        // Through the container bytes, as a file would travel.
+        let mut blob = Vec::new();
+        archive.write_to(&mut blob).unwrap();
+        let reopened = Archive::read_from(&blob).unwrap();
+
+        // Random access at an arbitrary in-range line.
+        let i = probe % deck.len();
+        prop_assert_eq!(reopened.get(i).unwrap(), deck.line(i).to_vec());
+
+        // Full unpack restores the deck byte-for-byte.
+        let (back, stats) = reopened.unpack(threads).unwrap();
+        prop_assert_eq!(back, deck.as_bytes().to_vec());
+        prop_assert_eq!(stats.lines, deck.len());
+    }
+
+    /// Any single corrupted byte in the body is caught by the CRC before
+    /// content is interpreted (trailer bytes fail the trailer check
+    /// instead — either way corruption never parses).
+    #[test]
+    fn zsa_single_byte_corruption_rejected(
+        seed in 0u64..5_000,
+        victim in 0usize..100_000,
+        flip in 1u8..=255,
+    ) {
+        let deck = molgen::Dataset::generate_mixed(20, seed);
+        let dict = dict_for(&deck, 0);
+        let archive = Archive::pack(dict, deck.as_bytes(), 1);
+        let mut blob = Vec::new();
+        archive.write_to(&mut blob).unwrap();
+
+        let at = victim % blob.len();
+        blob[at] ^= flip;
+        prop_assert!(
+            Archive::read_from(&blob).is_err(),
+            "flipping byte {} (of {}) must not parse", at, blob.len()
+        );
+    }
+}
+
+#[test]
+fn crc_error_is_reported_as_archive_format() {
+    let deck = molgen::Dataset::generate_mixed(30, 7);
+    let archive = Archive::pack(dict_for(&deck, 0), deck.as_bytes(), 1);
+    let mut blob = Vec::new();
+    archive.write_to(&mut blob).unwrap();
+    // Corrupt a payload byte (inside the CRC-covered region, after the
+    // header and dictionary).
+    let at = blob.len() - 64;
+    blob[at] ^= 0x10;
+    match Archive::read_from(&blob) {
+        Err(ZsmilesError::ArchiveFormat { reason }) => {
+            assert!(reason.contains("CRC"), "reason: {reason}");
+        }
+        other => panic!("expected ArchiveFormat CRC error, got {other:?}"),
+    }
+}
+
+#[test]
+fn zsa_is_self_describing_across_engines() {
+    // A reader with no out-of-band knowledge decodes archives of either
+    // flavour — the property the loose-file triple could not offer.
+    let deck = molgen::Dataset::generate_mixed(40, 99);
+    for wide_size in [0usize, 32] {
+        let archive = Archive::pack(dict_for(&deck, wide_size), deck.as_bytes(), 2);
+        let mut blob = Vec::new();
+        archive.write_to(&mut blob).unwrap();
+        let reopened = Archive::read_from(&blob).unwrap();
+        let (back, _) = reopened.unpack(1).unwrap();
+        assert_eq!(back, deck.as_bytes(), "wide_size={wide_size}");
+    }
+}

@@ -19,10 +19,16 @@ fn full_pipeline_preserves_molecules() {
     let mut z = Vec::new();
     let stats = Compressor::new(&dict).compress_buffer(ds.as_bytes(), &mut z);
     assert_eq!(stats.lines, ds.len());
-    assert!(stats.ratio() < 0.6, "compression actually happens: {}", stats.ratio());
+    assert!(
+        stats.ratio() < 0.6,
+        "compression actually happens: {}",
+        stats.ratio()
+    );
 
     let mut back = Vec::new();
-    Decompressor::new(&dict).decompress_buffer(&z, &mut back).unwrap();
+    Decompressor::new(&dict)
+        .decompress_buffer(&z, &mut back)
+        .unwrap();
     let restored = Dataset::from_bytes(&back);
     assert_eq!(restored.len(), ds.len());
     for (orig, rest) in ds.iter().zip(restored.iter()) {
@@ -73,7 +79,10 @@ fn shared_dictionary_compresses_foreign_datasets() {
     for (name, ds) in [
         ("gdb17", Dataset::generate(profiles::GDB17, 500, 999)),
         ("mediate", Dataset::generate(profiles::MEDIATE, 500, 998)),
-        ("exscalate", Dataset::generate(profiles::EXSCALATE, 500, 997)),
+        (
+            "exscalate",
+            Dataset::generate(profiles::EXSCALATE, 500, 997),
+        ),
     ] {
         let mut z = Vec::new();
         let stats = Compressor::new(&dict).compress_buffer(ds.as_bytes(), &mut z);
@@ -84,7 +93,9 @@ fn shared_dictionary_compresses_foreign_datasets() {
             stats.in_bytes
         );
         let mut back = Vec::new();
-        Decompressor::new(&dict).decompress_buffer(&z, &mut back).unwrap();
+        Decompressor::new(&dict)
+            .decompress_buffer(&z, &mut back)
+            .unwrap();
         assert_eq!(Dataset::from_bytes(&back).len(), ds.len(), "{name}");
     }
 }
@@ -105,7 +116,9 @@ fn dictionary_file_round_trip_preserves_compression() {
     assert_eq!(z1, z2, "reloaded dictionary compresses identically");
 
     let mut back = Vec::new();
-    Decompressor::new(&reloaded).decompress_buffer(&z1, &mut back).unwrap();
+    Decompressor::new(&reloaded)
+        .decompress_buffer(&z1, &mut back)
+        .unwrap();
     assert!(!back.is_empty());
 }
 
@@ -151,6 +164,79 @@ fn random_access_index_survives_serialization() {
 }
 
 #[test]
+fn cli_pack_get_unpack_single_file_workflow() {
+    // The container workflow end to end through the CLI code paths the
+    // binary runs: gen → train → pack → get --archive → unpack, with the
+    // .zsa file as the only artifact carried between steps.
+    let tmp = |name: &str| {
+        std::env::temp_dir()
+            .join(name)
+            .to_string_lossy()
+            .into_owned()
+    };
+    let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+    let smi = tmp("e2e_container.smi");
+    let dct = tmp("e2e_container.dct");
+    let zsa = tmp("e2e_container.zsa");
+    let back = tmp("e2e_container_back.smi");
+
+    zsmiles_cli::run(&argv(&[
+        "gen",
+        "--profile",
+        "mixed",
+        "-n",
+        "400",
+        "--seed",
+        "77",
+        "-o",
+        &smi,
+        "--quiet",
+    ]))
+    .unwrap();
+    zsmiles_cli::run(&argv(&[
+        "train",
+        "-i",
+        &smi,
+        "-o",
+        &dct,
+        "--no-preprocess",
+        "--quiet",
+    ]))
+    .unwrap();
+    zsmiles_cli::run(&argv(&[
+        "pack",
+        "-i",
+        &smi,
+        "-d",
+        &dct,
+        "-o",
+        &zsa,
+        "--threads",
+        "2",
+        "--quiet",
+    ]))
+    .unwrap();
+
+    // The archive alone answers random-access queries (K arbitrary).
+    zsmiles_cli::run(&argv(&["get", "--archive", &zsa, "--line", "123"])).unwrap();
+
+    // And unpacks byte-identically (preprocess off at train time).
+    zsmiles_cli::run(&argv(&["unpack", "-i", &zsa, "-o", &back, "--quiet"])).unwrap();
+    assert_eq!(std::fs::read(&smi).unwrap(), std::fs::read(&back).unwrap());
+
+    // Library-level agreement: the same .zsa opened via the API returns
+    // the same line the CLI printed.
+    let archive = zsmiles_core::Archive::open(std::path::Path::new(&zsa)).unwrap();
+    let original = Dataset::load(std::path::Path::new(&smi)).unwrap();
+    assert_eq!(archive.len(), original.len());
+    assert_eq!(archive.get(123).unwrap(), original.line(123));
+
+    for f in [&smi, &dct, &zsa, &back] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
 fn archives_cut_and_combine() {
     // The separability/shared-dictionary workflow: slice two archives,
     // splice them, decompress the splice.
@@ -173,7 +259,9 @@ fn archives_cut_and_combine() {
     spliced.extend_from_slice(&zb);
 
     let mut restored = Vec::new();
-    Decompressor::new(&dict).decompress_buffer(&spliced, &mut restored).unwrap();
+    Decompressor::new(&dict)
+        .decompress_buffer(&spliced, &mut restored)
+        .unwrap();
     let ds = Dataset::from_bytes(&restored);
     assert_eq!(ds.len(), ia.len().div_ceil(3) + b.len());
     for line in ds.iter() {

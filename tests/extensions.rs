@@ -7,9 +7,7 @@
 use molgen::Dataset;
 use textcomp::{line_codec_ratio, smaz::Smaz};
 use vscreen::{screen, screen_parallel, top_hits, Archive, Pocket, StorageModel};
-use zsmiles_core::{
-    Compressor, DictBuilder, WideCompressor, WideDecompressor, WideDictBuilder,
-};
+use zsmiles_core::{Compressor, DictBuilder, WideCompressor, WideDecompressor, WideDictBuilder};
 
 fn deck() -> Dataset {
     Dataset::generate_mixed(1_200, 0xE87)
@@ -19,10 +17,16 @@ fn deck() -> Dataset {
 fn wide_dictionary_beats_base_on_a_real_deck() {
     let ds = deck();
     let base = DictBuilder::default().train(ds.iter()).unwrap();
-    let wide = WideDictBuilder { base: DictBuilder::default(), wide_size: 512 }
-        .train(ds.iter())
-        .unwrap();
-    assert!(wide.wide_len() > 100, "deck is diverse enough to spill wide");
+    let wide = WideDictBuilder {
+        base: DictBuilder::default(),
+        wide_size: 512,
+    }
+    .train(ds.iter())
+    .unwrap();
+    assert!(
+        wide.wide_len() > 100,
+        "deck is diverse enough to spill wide"
+    );
 
     let mut zb = Vec::new();
     let sb = Compressor::new(&base).compress_buffer(ds.as_bytes(), &mut zb);
@@ -37,7 +41,9 @@ fn wide_dictionary_beats_base_on_a_real_deck() {
 
     // And the wide archive still round-trips molecule-for-molecule.
     let mut back = Vec::new();
-    WideDecompressor::new(&wide).decompress_buffer(&zw, &mut back).unwrap();
+    WideDecompressor::new(&wide)
+        .decompress_buffer(&zw, &mut back)
+        .unwrap();
     let restored = Dataset::from_bytes(&back);
     assert_eq!(restored.len(), ds.len());
     for (a, b) in ds.iter().zip(restored.iter()).step_by(83) {
@@ -51,9 +57,12 @@ fn wide_dictionary_beats_base_on_a_real_deck() {
 #[test]
 fn wide_output_remains_readable_and_separable() {
     let ds = deck();
-    let wide = WideDictBuilder { base: DictBuilder::default(), wide_size: 256 }
-        .train(ds.iter())
-        .unwrap();
+    let wide = WideDictBuilder {
+        base: DictBuilder::default(),
+        wide_size: 256,
+    }
+    .train(ds.iter())
+    .unwrap();
     let mut z = Vec::new();
     WideCompressor::new(&wide).compress_buffer(ds.as_bytes(), &mut z);
     for &b in &z {
@@ -99,7 +108,10 @@ fn smaz_ranks_where_the_paper_puts_codebook_tools() {
         trained_ratio < classic_ratio,
         "SMAZ-trained {trained_ratio} < SMAZ-classic {classic_ratio}"
     );
-    assert!(classic_ratio > 0.8, "English codebook is near-useless on SMILES");
+    assert!(
+        classic_ratio > 0.8,
+        "English codebook is near-useless on SMILES"
+    );
 }
 
 #[test]
@@ -113,7 +125,7 @@ fn campaign_on_a_wide_archive_equivalent() {
 
     let dict = DictBuilder::default().train(ds.iter()).unwrap();
     let archive = Archive::build(&dict, ds.as_bytes());
-    let hits = top_hits(&archive, &dict, &scores, 25).unwrap();
+    let hits = top_hits(&archive, &scores, 25).unwrap();
     assert_eq!(hits.len(), 25);
 
     // Every hit's SMILES is the molecule the scorer saw.
@@ -138,9 +150,12 @@ fn wide_and_base_archives_interoperate_per_line() {
     // own — the per-line separability the format guarantees.
     let ds = deck();
     let base = DictBuilder::default().train(ds.iter()).unwrap();
-    let wide = WideDictBuilder { base: DictBuilder::default(), wide_size: 128 }
-        .train(ds.iter())
-        .unwrap();
+    let wide = WideDictBuilder {
+        base: DictBuilder::default(),
+        wide_size: 128,
+    }
+    .train(ds.iter())
+    .unwrap();
 
     let mut zb = Vec::new();
     Compressor::new(&base).compress_buffer(ds.as_bytes(), &mut zb);

@@ -70,7 +70,10 @@ fn corrupted_dictionary_file_is_rejected_with_line_info() {
     lines.insert(6, "not-a-valid-entry");
     let broken = lines.join("\n");
     let r = dict_format::read_dict(broken.as_bytes());
-    assert!(matches!(r, Err(ZsmilesError::DictFormat { line: 7, .. })), "{r:?}");
+    assert!(
+        matches!(r, Err(ZsmilesError::DictFormat { line: 7, .. })),
+        "{r:?}"
+    );
 }
 
 #[test]
@@ -129,14 +132,18 @@ fn baseline_containers_detect_corruption() {
     for pos in (12..bz.len()).step_by(211) {
         let mut bad = bz.clone();
         bad[pos] ^= 0x08;
-        if let Ok(out) = textcomp::bzip::decompress(&bad) { assert_eq!(out, input, "undetected change must be a no-op") }
+        if let Ok(out) = textcomp::bzip::decompress(&bad) {
+            assert_eq!(out, input, "undetected change must be a no-op")
+        }
     }
 
     let lz = textcomp::lz::compress(&input);
     for pos in (12..lz.len()).step_by(211) {
         let mut bad = lz.clone();
         bad[pos] ^= 0x08;
-        if let Ok(out) = textcomp::lz::decompress(&bad) { assert_eq!(out, input, "undetected change must be a no-op") }
+        if let Ok(out) = textcomp::lz::decompress(&bad) {
+            assert_eq!(out, input, "undetected change must be a no-op")
+        }
     }
 }
 
@@ -146,10 +153,10 @@ fn hostile_lines_compress_without_panic() {
     let mut c = Compressor::new(&dict);
     let hostile: Vec<Vec<u8>> = vec![
         vec![],
-        vec![b' '; 100],                      // escape marker as content
+        vec![b' '; 100], // escape marker as content
         (0u8..=255).filter(|&b| b != b'\n').collect(),
         vec![0xFF; 300],
-        b"C1CC".to_vec(),                     // invalid SMILES (unclosed ring)
+        b"C1CC".to_vec(), // invalid SMILES (unclosed ring)
         b"((((((((".to_vec(),
         vec![b'%'; 50],
     ];
@@ -211,7 +218,10 @@ fn wide_dictionary_file_corruption_rejected() {
     lines.insert(7, "not-a-valid-entry");
     let broken = lines.join("\n");
     let r = zsmiles_core::wide::read_wide_dict(broken.as_bytes());
-    assert!(matches!(r, Err(ZsmilesError::DictFormat { line: 8, .. })), "{r:?}");
+    assert!(
+        matches!(r, Err(ZsmilesError::DictFormat { line: 8, .. })),
+        "{r:?}"
+    );
 
     // A base-format file must not parse as a wide dictionary.
     let (base_dict, _, _) = fixture();
@@ -265,7 +275,7 @@ fn oversized_lines_rejected_cleanly_by_gpu_kernel() {
     input.push(b'\n');
     let run = zsmiles_gpu::compress(&dict, &input, &zsmiles_gpu::GpuOptions::default());
     assert_eq!(run.lines, 1);
-    let back = zsmiles_gpu::decompress(&dict, &run.output, &zsmiles_gpu::GpuOptions::default())
-        .unwrap();
+    let back =
+        zsmiles_gpu::decompress(&dict, &run.output, &zsmiles_gpu::GpuOptions::default()).unwrap();
     assert_eq!(&back.output[..long_line.len()], long_line.as_slice());
 }

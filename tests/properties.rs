@@ -7,7 +7,10 @@ use zsmiles_core::{Compressor, Decompressor, DictBuilder, Dictionary, Prepopulat
 /// An arbitrary "line": any bytes except newline. The compressor must
 /// round-trip garbage too (real decks contain header lines, names, typos).
 fn arb_line() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>().prop_filter("no newline", |&b| b != b'\n'), 0..200)
+    proptest::collection::vec(
+        any::<u8>().prop_filter("no newline", |&b| b != b'\n'),
+        0..200,
+    )
 }
 
 /// An arbitrary SMILES-ish line over the SMILES alphabet (higher pattern
@@ -19,15 +22,21 @@ fn arb_smilesish() -> impl Strategy<Value = Vec<u8>> {
 }
 
 fn test_dict() -> Dictionary {
-    let corpus: Vec<&[u8]> = [b"COc1cc(C=O)ccc1O".as_slice(),
+    let corpus: Vec<&[u8]> = [
+        b"COc1cc(C=O)ccc1O".as_slice(),
         b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
         b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
         b"CCN(CC)CC",
-        b"c1ccc2ccccc2c1"]
+        b"c1ccc2ccccc2c1",
+    ]
     .repeat(10);
-    DictBuilder { min_count: 2, preprocess: false, ..Default::default() }
-        .train(corpus)
-        .unwrap()
+    DictBuilder {
+        min_count: 2,
+        preprocess: false,
+        ..Default::default()
+    }
+    .train(corpus)
+    .unwrap()
 }
 
 proptest! {
