@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for the redesigned read path: the paper's
+//! random-access workload (fetch k of n lines) through the in-memory
+//! [`Archive`] vs the out-of-core [`ArchiveReader`] over a real file,
+//! plus the batched `get_range` that campaigns use for hit retrieval.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use molgen::Dataset;
+use std::time::Duration;
+use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::{Archive, ArchiveReader, DictBuilder};
+
+const PROBES: usize = 1024;
+
+fn bench_random_access(c: &mut Criterion) {
+    let deck = Dataset::generate_mixed(20_000, 0xACCE55);
+    let dict = DictBuilder {
+        preprocess: false,
+        ..Default::default()
+    }
+    .train(deck.iter())
+    .expect("train");
+    let archive = Archive::pack(AnyDictionary::Base(Box::new(dict)), deck.as_bytes(), 4);
+    let path = std::env::temp_dir().join("zsmiles_bench_random_access.zsa");
+    archive.save(&path).expect("save archive");
+    let reader = ArchiveReader::open(&path).expect("open reader");
+    let n = archive.len();
+
+    let mut group = c.benchmark_group("random_access");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(PROBES as u64));
+
+    group.bench_function("archive_get_in_memory", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for k in 0..PROBES {
+                total += archive.get((k * 7919) % n).unwrap().len();
+            }
+            total
+        })
+    });
+
+    group.bench_function("reader_get_file_backed", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for k in 0..PROBES {
+                total += reader.get((k * 7919) % n).unwrap().len();
+            }
+            total
+        })
+    });
+
+    group.bench_function("reader_get_range_file_backed", |b| {
+        b.iter(|| {
+            reader
+                .get_range(1000..1000 + PROBES)
+                .unwrap()
+                .iter()
+                .map(Vec::len)
+                .sum::<usize>()
+        })
+    });
+
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_random_access);
+criterion_main!(benches);

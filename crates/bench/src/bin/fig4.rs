@@ -9,7 +9,8 @@
 
 use bench::{bar, emit_datum, Decks, ExpConfig};
 use textcomp::{bzip, fsst::Fsst, line_codec_ratio, shoco::ShocoModel, smaz::Smaz, LineCodec};
-use zsmiles_core::{BaseEngine, Compressor, DictBuilder, EngineCodec, WideDictBuilder, WideEngine};
+use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::{Compressor, DictBuilder, DynCodec, WideDictBuilder};
 
 fn main() {
     let cfg = ExpConfig::from_args();
@@ -26,12 +27,13 @@ fn main() {
     // --- ZSMILES: dictionary trained on the same input (FSST-fair), then
     //     driven through the exact per-line interface (LineCodec) the
     //     other short-string tools use, dictionary bytes charged the way
-    //     FSST's symbol table is.
+    //     FSST's symbol table is. Both flavours go through the dyn-safe
+    //     DynEngine facade -- the harness never matches on the flavour.
     let dict = DictBuilder::default()
         .train(decks.mixed.iter())
         .expect("train");
-    let base_engine = BaseEngine::new(&dict);
-    let zcodec = EngineCodec::new(&base_engine);
+    let any = AnyDictionary::Base(Box::new(dict.clone()));
+    let zcodec = DynCodec::new(any.as_dyn());
     let (z_out, z_in) = line_codec_ratio(&zcodec, input);
     let zsmiles_charged_ratio = z_out as f64 / z_in as f64;
     let mut zout = Vec::with_capacity(payload / 2);
@@ -45,8 +47,8 @@ fn main() {
     }
     .train(decks.mixed.iter())
     .expect("train wide");
-    let wide_engine = WideEngine::new(&wide_dict);
-    let wcodec = EngineCodec::new(&wide_engine);
+    let wide_any = AnyDictionary::Wide(Box::new(wide_dict));
+    let wcodec = DynCodec::new(wide_any.as_dyn());
     let (w_out, w_in) = line_codec_ratio(&wcodec, input);
     let zsmiles_wide_ratio = w_out as f64 / w_in as f64;
 
@@ -162,8 +164,8 @@ fn verify_roundtrips(
     // ZSMILES round trip (preprocessed form re-parses to same molecules),
     // driven through the same dyn interface as the baselines.
     let line = decks.mixed.line(0);
-    let base_engine = BaseEngine::new(dict);
-    let zcodec = EngineCodec::new(&base_engine);
+    let any = AnyDictionary::Base(Box::new(dict.clone()));
+    let zcodec = DynCodec::new(any.as_dyn());
     let mut z = Vec::new();
     (&zcodec as &dyn LineCodec).compress_line(line, &mut z);
     let mut back = Vec::new();

@@ -77,6 +77,18 @@ impl Archive {
         self.inner.get(i)
     }
 
+    /// Decompress a contiguous run of ligands — one decoder worker for
+    /// the whole batch instead of one per fetch.
+    pub fn fetch_range(&self, lines: std::ops::Range<usize>) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        self.inner.get_range(lines)
+    }
+
+    /// Decompress an arbitrary hit list (scored winners are rarely
+    /// contiguous), in the order given, with one decoder worker.
+    pub fn fetch_many(&self, indices: &[usize]) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        self.inner.get_many(indices)
+    }
+
     /// Persist as a single `.zsa` file.
     pub fn save(&self, path: &Path) -> Result<(), ZsmilesError> {
         self.inner.save(path)
@@ -130,6 +142,20 @@ mod tests {
             touched * 10 < total,
             "3 lines should be far less than the archive ({touched} vs {total})"
         );
+    }
+
+    #[test]
+    fn batched_fetches_match_singles() {
+        let (_, archive) = setup();
+        let singles: Vec<Vec<u8>> = (40..60).map(|i| archive.fetch(i).unwrap()).collect();
+        assert_eq!(archive.fetch_range(40..60).unwrap(), singles);
+        let scattered = [7usize, 299, 0, 150, 150];
+        let many = archive.fetch_many(&scattered).unwrap();
+        for (&i, got) in scattered.iter().zip(&many) {
+            assert_eq!(got, &archive.fetch(i).unwrap(), "index {i}");
+        }
+        assert!(archive.fetch_range(290..301).is_err());
+        assert!(archive.fetch_many(&[300]).is_err());
     }
 
     #[test]

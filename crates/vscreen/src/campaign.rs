@@ -69,21 +69,25 @@ pub struct Hit {
 
 /// Select the `k` best ligands from `scores` and fetch exactly those lines
 /// from the archive — k random-access reads, not a decompression pass.
+/// The fetch is batched ([`Archive::fetch_many`]): one decoder worker
+/// serves the whole hit list instead of being re-minted per hit.
 pub fn top_hits(
     archive: &Archive,
     scores: &ScoreTable,
     k: usize,
 ) -> Result<Vec<Hit>, ZsmilesError> {
-    let mut hits = Vec::with_capacity(k.min(scores.len()));
-    for (index, score) in scores.top_k(k) {
-        let smiles = archive.fetch(index)?;
-        hits.push(Hit {
+    let ranked = scores.top_k(k);
+    let indices: Vec<usize> = ranked.iter().map(|&(i, _)| i).collect();
+    let fetched = archive.fetch_many(&indices)?;
+    Ok(ranked
+        .into_iter()
+        .zip(fetched)
+        .map(|((index, score), smiles)| Hit {
             index,
             score,
             smiles,
-        });
-    }
-    Ok(hits)
+        })
+        .collect())
 }
 
 /// The paper's cold-storage arithmetic (§I: 72 TB on Marconi100), scaled

@@ -9,7 +9,14 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--postprocess", "--no-preprocess", "--index", "--quiet"];
+const BOOL_FLAGS: &[&str] = &[
+    "--postprocess",
+    "--no-preprocess",
+    "--index",
+    "--quiet",
+    "--verbose",
+    "--verify",
+];
 
 impl Args {
     pub fn parse(argv: &[String]) -> Result<Args, String> {

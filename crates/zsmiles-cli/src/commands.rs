@@ -7,7 +7,10 @@ use std::time::Instant;
 use zsmiles_core::dict::format as dict_format;
 use zsmiles_core::engine::AnyDictionary;
 use zsmiles_core::wide::write_wide_dict;
-use zsmiles_core::{Archive, Decompressor, DictBuilder, LineIndex, Prepopulation, WideDictBuilder};
+use zsmiles_core::{
+    Archive, ArchiveReader, CountingSource, Decompressor, DictBuilder, FileSource, LineIndex,
+    Prepopulation, WideDictBuilder,
+};
 
 const USAGE: &str =
     "usage: zsmiles <gen|train|compress|decompress|pack|unpack|get|screen|stats|inspect> [flags]
@@ -19,12 +22,16 @@ const USAGE: &str =
   decompress -i in.zsmi -d dict.dct -o out.smi [--threads N] [--postprocess]
   pack       -i in.smi -d dict.dct -o out.zsa [--threads N]
              (single-file archive: dictionary + payload + line index + CRC)
-  unpack     -i in.zsa -o out.smi [--threads N]
+  unpack     -i in.zsa -o out.smi [--threads N] [--verify]
   get        -i in.zsmi -d dict.dct --line K
-  get        --archive in.zsa --line K      (no dictionary or sidecar needed)
+  get        --archive in.zsa --line K [--verify]
+             (no dictionary or sidecar needed; reads only metadata + one line)
   screen     -i deck.smi [--pocket-seed S] [--top K] [--threads N] [--scores out.tsv]
   stats      -i file.smi
-  inspect    -d dict.dct [-i corpus.smi]   |   inspect --archive in.zsa
+  inspect    -d dict.dct [-i corpus.smi]
+  inspect    --archive in.zsa [--verbose] [--verify]
+Archive commands stream through the out-of-core reader: a multi-GB .zsa is
+never loaded into memory; pass --verify to force a full CRC pass first.
 Dictionary files are sniffed by magic: both the paper's one-byte format and
 the wide extension work everywhere a -d flag is accepted.";
 
@@ -234,9 +241,20 @@ fn cmd_unpack(args: &Args) -> Result<(), String> {
     let output = args.require("--output")?;
     let threads = args.get_usize("--threads", 1)?;
     let t0 = Instant::now();
-    let archive = Archive::open(Path::new(input)).map_err(|e| e.to_string())?;
-    let (out, dstats) = archive.unpack(threads).map_err(|e| e.to_string())?;
-    std::fs::write(output, &out).map_err(|e| e.to_string())?;
+    // Out-of-core: payload is read in bounded chunks straight from disk,
+    // so unpacking a multi-GB archive never holds it in memory.
+    let reader = ArchiveReader::open(Path::new(input)).map_err(|e| e.to_string())?;
+    if args.get_bool("--verify") {
+        reader.verify().map_err(|e| e.to_string())?;
+    }
+    let f = std::fs::File::create(output).map_err(|e| e.to_string())?;
+    let dstats = reader
+        .unpack_to(
+            std::io::BufWriter::new(f),
+            threads,
+            zsmiles_core::fileio::DEFAULT_CHUNK,
+        )
+        .map_err(|e| e.to_string())?;
     if !args.get_bool("--quiet") {
         println!(
             "unpacked {} lines, {} -> {} bytes in {:.2?}",
@@ -252,10 +270,17 @@ fn cmd_unpack(args: &Args) -> Result<(), String> {
 fn cmd_get(args: &Args) -> Result<(), String> {
     let line_no = args.get_usize("--line", 0)?;
 
-    // Single-file path: everything needed is inside the container.
+    // Single-file path: everything needed is inside the container, and
+    // the reader fetches only metadata plus that line's byte range — a
+    // one-line probe into a multi-GB archive never allocates the payload.
     if let Some(path) = args.get("--archive") {
-        let archive = Archive::open(Path::new(path)).map_err(|e| e.to_string())?;
-        let smiles = archive.get(line_no).map_err(|e| e.to_string())?;
+        let reader = ArchiveReader::open(Path::new(path)).map_err(|e| e.to_string())?;
+        if args.get_bool("--verify") {
+            // Opt-in integrity pass: one sequential CRC scan of the file.
+            // Without it a fetch touches only metadata + one line.
+            reader.verify().map_err(|e| e.to_string())?;
+        }
+        let smiles = reader.get(line_no).map_err(|e| e.to_string())?;
         println!("{}", String::from_utf8_lossy(&smiles));
         return Ok(());
     }
@@ -285,14 +310,31 @@ fn cmd_get(args: &Args) -> Result<(), String> {
 
 fn cmd_inspect(args: &Args) -> Result<(), String> {
     if let Some(path) = args.get("--archive") {
-        let archive = Archive::open(Path::new(path)).map_err(|e| e.to_string())?;
+        // Metered out-of-core open: the counting source records exactly
+        // what inspecting costs (metadata only, payload untouched).
+        let source =
+            CountingSource::new(FileSource::open(Path::new(path)).map_err(|e| e.to_string())?);
+        let file_bytes = zsmiles_core::ArchiveSource::len(&source);
+        let reader = ArchiveReader::from_source(source).map_err(|e| e.to_string())?;
+        if args.get_bool("--verify") {
+            reader.verify().map_err(|e| e.to_string())?;
+        }
         println!(
             "archive: {} lines | {} payload bytes | {} dictionary | preprocess {}",
-            archive.len(),
-            archive.payload().len(),
-            archive.flavor().name(),
-            archive.dictionary().preprocessed(),
+            reader.len(),
+            reader.payload_bytes(),
+            reader.flavor().name(),
+            reader.dictionary().preprocessed(),
         );
+        if args.get_bool("--verbose") {
+            println!(
+                "reads: {} bytes of {} transferred in {} read(s) ({} bytes of metadata)",
+                reader.source().bytes_read(),
+                file_bytes,
+                reader.source().reads(),
+                reader.metadata_bytes(),
+            );
+        }
         return Ok(());
     }
     let dict = load_dict(args)?;
@@ -576,7 +618,17 @@ mod tests {
             );
             // Random access needs only the single archive file.
             run(&argv(&["get", "--archive", &zsa, "--line", "42"])).unwrap();
+            run(&argv(&[
+                "get",
+                "--archive",
+                &zsa,
+                "--line",
+                "42",
+                "--verify",
+            ]))
+            .unwrap();
             run(&argv(&["inspect", "--archive", &zsa])).unwrap();
+            run(&argv(&["inspect", "--archive", &zsa, "--verbose"])).unwrap();
             // Out-of-range line is an error, not a panic.
             assert!(run(&argv(&["get", "--archive", &zsa, "--line", "9999"])).is_err());
 
@@ -611,11 +663,24 @@ mod tests {
         let mid = blob.len() / 2;
         blob[mid] ^= 0x40;
         std::fs::write(&zsa, &blob).unwrap();
-        let err = run(&argv(&["get", "--archive", &zsa, "--line", "0"])).unwrap_err();
+        // The out-of-core reader does not touch the payload unless asked;
+        // --verify forces the full CRC pass and must catch the flip.
+        let err = run(&argv(&[
+            "get",
+            "--archive",
+            &zsa,
+            "--line",
+            "0",
+            "--verify",
+        ]))
+        .unwrap_err();
         assert!(
             err.contains("CRC"),
             "corruption detected via CRC, got: {err}"
         );
+        // A truncated file fails structurally even without --verify.
+        std::fs::write(&zsa, &blob[..blob.len() - 5]).unwrap();
+        assert!(run(&argv(&["get", "--archive", &zsa, "--line", "0"])).is_err());
         for f in [&smi, &dct, &zsa] {
             std::fs::remove_file(f).ok();
         }

@@ -38,24 +38,98 @@
 
 use crate::compress::CompressStats;
 use crate::decompress::DecompressStats;
-use crate::engine::{AnyDictionary, DictFlavor};
+use crate::engine::{AnyDictionary, DictFlavor, DynEngine};
 use crate::error::ZsmilesError;
 use crate::index::LineIndex;
 use std::io::Write;
 use std::path::Path;
 use textcomp::crc32::crc32;
 
-const MAGIC: &[u8; 8] = b"ZSAR0001";
-const TRAILER: &[u8; 8] = b"ZSAREND1";
+pub(crate) const MAGIC: &[u8; 8] = b"ZSAR0001";
+pub(crate) const TRAILER: &[u8; 8] = b"ZSAREND1";
 /// Fixed header: magic + flavor + reserved + dict_len + payload_len.
-const HEADER_LEN: usize = 8 + 1 + 7 + 8 + 8;
+pub(crate) const HEADER_LEN: usize = 8 + 1 + 7 + 8 + 8;
 /// Fixed footer: index_len + crc32 + trailer.
-const FOOTER_LEN: usize = 8 + 4 + 8;
+pub(crate) const FOOTER_LEN: usize = 8 + 4 + 8;
 
-fn bad(reason: impl Into<String>) -> ZsmilesError {
+pub(crate) fn bad(reason: impl Into<String>) -> ZsmilesError {
     ZsmilesError::ArchiveFormat {
         reason: reason.into(),
     }
+}
+
+/// Byte layout of one container: where each section lives, parsed from
+/// the fixed-size header and footer alone. This is the shared ground
+/// between the in-memory [`Archive`] parser and the out-of-core
+/// [`crate::reader::ArchiveReader`], which must locate sections without
+/// touching the payload.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Layout {
+    pub flavor: DictFlavor,
+    pub dict_start: u64,
+    pub dict_len: u64,
+    pub payload_start: u64,
+    pub payload_len: u64,
+    pub index_start: u64,
+    pub index_len: u64,
+    pub stored_crc: u32,
+}
+
+/// Parse and cross-check the fixed-size header (`HEADER_LEN` bytes at
+/// offset 0) and footer (`FOOTER_LEN` bytes ending the file) of a
+/// container `total` bytes long.
+pub(crate) fn parse_layout(
+    header: &[u8],
+    footer: &[u8],
+    total: u64,
+) -> Result<Layout, ZsmilesError> {
+    debug_assert_eq!(header.len(), HEADER_LEN);
+    debug_assert_eq!(footer.len(), FOOTER_LEN);
+    if total < (HEADER_LEN + FOOTER_LEN) as u64 {
+        return Err(bad(format!(
+            "file too short for a .zsa container ({total} bytes)"
+        )));
+    }
+    if &header[..8] != MAGIC {
+        return Err(bad("bad magic: not a .zsa archive"));
+    }
+    if &footer[12..20] != TRAILER {
+        return Err(bad("bad trailer: archive truncated or not a .zsa file"));
+    }
+    let flavor = DictFlavor::from_tag(header[8])
+        .ok_or_else(|| bad(format!("unknown dictionary flavor tag {}", header[8])))?;
+    let dict_len = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    let index_len = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+    let stored_crc = u32::from_le_bytes(footer[8..12].try_into().unwrap());
+
+    let dict_start = HEADER_LEN as u64;
+    let payload_start = dict_start
+        .checked_add(dict_len)
+        .ok_or_else(|| bad("dict_len overflow"))?;
+    let index_start = payload_start
+        .checked_add(payload_len)
+        .ok_or_else(|| bad("payload_len overflow"))?;
+    let index_end = index_start
+        .checked_add(index_len)
+        .ok_or_else(|| bad("index_len overflow"))?;
+    let index_len_at = total - FOOTER_LEN as u64;
+    if index_end != index_len_at {
+        return Err(bad(format!(
+            "section sizes inconsistent: header says sections end at {index_end}, \
+             footer starts at {index_len_at}"
+        )));
+    }
+    Ok(Layout {
+        flavor,
+        dict_start,
+        dict_len,
+        payload_start,
+        payload_len,
+        index_start,
+        index_len,
+        stored_crc,
+    })
 }
 
 /// A packed, indexed, self-describing SMILES archive.
@@ -139,6 +213,41 @@ impl Archive {
         Ok(out)
     }
 
+    /// Decode a set of lines in the order given with one reused decoder —
+    /// the shared core of every batched fetch.
+    fn decode_lines<I>(&self, indices: I) -> Result<Vec<Vec<u8>>, ZsmilesError>
+    where
+        I: ExactSizeIterator<Item = usize>,
+    {
+        let mut dec = self.dict.boxed_decoder();
+        let mut out = Vec::with_capacity(indices.len());
+        for i in indices {
+            if i >= self.index.len() {
+                return Err(ZsmilesError::LineOutOfRange {
+                    line: i,
+                    len: self.index.len(),
+                });
+            }
+            let line = self.index.line(&self.payload, i);
+            let mut smiles = Vec::with_capacity(line.len() * 3);
+            dec.decode_line(line, &mut smiles)?;
+            out.push(smiles);
+        }
+        Ok(out)
+    }
+
+    /// Decompress a contiguous run of ligands with one reused decoder —
+    /// the batch-fetch unit screening campaigns pull after scoring.
+    pub fn get_range(&self, lines: std::ops::Range<usize>) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        self.decode_lines(lines)
+    }
+
+    /// Decompress an arbitrary set of ligands (hit lists are rarely
+    /// contiguous) with one reused decoder, in the order given.
+    pub fn get_many(&self, indices: &[usize]) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        self.decode_lines(indices.iter().copied())
+    }
+
     /// Decompress the whole deck on `threads` workers.
     pub fn unpack(&self, threads: usize) -> Result<(Vec<u8>, DecompressStats), ZsmilesError> {
         self.dict.decompress_parallel(&self.payload, threads)
@@ -189,6 +298,9 @@ impl Archive {
         if &bytes[bytes.len() - 8..] != TRAILER {
             return Err(bad("bad trailer: archive truncated or not a .zsa file"));
         }
+        // With all bytes in hand, verify the checksum before interpreting
+        // any section — the out-of-core reader cannot afford this pass and
+        // offers it separately as `ArchiveReader::verify`.
         let crc_at = bytes.len() - 12;
         let stored_crc = u32::from_le_bytes(bytes[crc_at..crc_at + 4].try_into().unwrap());
         let actual_crc = crc32(&bytes[..crc_at]);
@@ -198,36 +310,21 @@ impl Archive {
             )));
         }
 
-        let flavor = DictFlavor::from_tag(bytes[8])
-            .ok_or_else(|| bad(format!("unknown dictionary flavor tag {}", bytes[8])))?;
-        let dict_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
-        let payload_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
-        let index_len_at = bytes.len() - FOOTER_LEN;
-        let index_len =
-            u64::from_le_bytes(bytes[index_len_at..index_len_at + 8].try_into().unwrap()) as usize;
-
-        let dict_start = HEADER_LEN;
-        let payload_start = dict_start
-            .checked_add(dict_len)
-            .ok_or_else(|| bad("dict_len overflow"))?;
-        let index_start = payload_start
-            .checked_add(payload_len)
-            .ok_or_else(|| bad("payload_len overflow"))?;
-        let index_end = index_start
-            .checked_add(index_len)
-            .ok_or_else(|| bad("index_len overflow"))?;
-        if index_end != index_len_at {
-            return Err(bad(format!(
-                "section sizes inconsistent: header says sections end at {index_end}, \
-                 footer starts at {index_len_at}"
-            )));
-        }
+        let layout = parse_layout(
+            &bytes[..HEADER_LEN],
+            &bytes[bytes.len() - FOOTER_LEN..],
+            bytes.len() as u64,
+        )?;
+        let dict_start = layout.dict_start as usize;
+        let payload_start = layout.payload_start as usize;
+        let index_start = layout.index_start as usize;
+        let index_end = (layout.index_start + layout.index_len) as usize;
 
         let dict = AnyDictionary::read(&bytes[dict_start..payload_start])?;
-        if dict.flavor() != flavor {
+        if dict.flavor() != layout.flavor {
             return Err(bad(format!(
                 "flavor tag says {} but embedded dictionary is {}",
-                flavor.name(),
+                layout.flavor.name(),
                 dict.flavor().name()
             )));
         }

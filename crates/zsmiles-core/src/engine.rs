@@ -16,12 +16,17 @@
 //!   encoder/decoder workers (one per thread) and serializes its
 //!   dictionary;
 //! * [`BaseEngine`] / [`WideEngine`] — the two implementations;
+//! * [`DynEngine`] — the object-safe facade over [`Engine`]: boxed worker
+//!   minting (`Box<dyn LineEncoder>` / `Box<dyn LineDecoder>`) for every
+//!   layer that learns the flavour at run time, so those layers drive one
+//!   `&dyn DynEngine` instead of matching on [`DictFlavor`] per call site;
 //! * [`AnyDictionary`] — either dictionary flavour, sniffed from file
-//!   magic, with engine-dispatching conveniences for callers that decide
-//!   the flavour at run time (CLI, `.zsa` container);
-//! * [`EngineCodec`] — a [`textcomp::LineCodec`] adapter so the baseline
-//!   comparison harness (paper Fig. 4) drives ZSMILES engines through the
-//!   exact interface the FSST/SHOCO/SMAZ baselines use.
+//!   magic; it implements [`DynEngine`] directly, which makes it the
+//!   run-time dispatch point (CLI, `.zsa` container, out-of-core reader);
+//! * [`EngineCodec`] / [`DynCodec`] — [`textcomp::LineCodec`] adapters so
+//!   the baseline comparison harness (paper Fig. 4) drives ZSMILES
+//!   engines through the exact interface the FSST/SHOCO/SMAZ baselines
+//!   use, statically or via the dyn facade.
 
 use crate::compress::{CompressStats, Compressor};
 use crate::decompress::{DecompressStats, Decompressor};
@@ -369,6 +374,127 @@ impl Engine for WideEngine<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// DynEngine: the object-safe facade
+// ---------------------------------------------------------------------------
+
+/// The dyn-safe facade over [`Engine`].
+///
+/// [`Engine`] uses generic associated types for zero-cost worker minting,
+/// which makes it impossible to name as `dyn Engine`. Every layer that
+/// decides the code width at *run time* — the CLI, the `.zsa` container,
+/// the out-of-core [`crate::reader::ArchiveReader`], GPU dictionary
+/// staging, the baseline-comparison harness — used to re-match on
+/// [`DictFlavor`] at each call site instead. `DynEngine` erases the GATs
+/// behind boxed workers so those layers drive one object:
+///
+/// * every [`Engine`] is a `DynEngine` (blanket impl; workers get boxed);
+/// * [`AnyDictionary`] is a `DynEngine` *directly*, minting workers that
+///   borrow the dictionary itself — no intermediate engine value, which
+///   is what lets long-lived holders (readers, iterators) keep a boxed
+///   worker without self-referential lifetimes.
+///
+/// The boxed workers cost one vtable call per line; every per-line scratch
+/// buffer is still reused, so steady-state throughput is unchanged.
+pub trait DynEngine: Sync {
+    /// Display name (bench axis labels).
+    fn name(&self) -> &'static str;
+
+    /// Which dictionary flavour this engine speaks.
+    fn flavor(&self) -> DictFlavor;
+
+    /// Whether encoding applies ring-ID preprocessing.
+    fn preprocessed(&self) -> bool;
+
+    /// A fresh boxed compressor worker (one per thread).
+    fn boxed_encoder(&self) -> Box<dyn LineEncoder + '_>;
+
+    /// A fresh boxed decompressor worker (one per thread).
+    fn boxed_decoder(&self) -> Box<dyn LineDecoder + '_>;
+
+    /// Serialize the dictionary in its readable text format.
+    fn write_dict_dyn(&self, w: &mut dyn Write) -> std::io::Result<()>;
+
+    /// Serialized dictionary size in bytes.
+    fn dict_overhead(&self) -> usize {
+        let mut buf = Vec::new();
+        self.write_dict_dyn(&mut buf)
+            .expect("Vec write cannot fail");
+        buf.len()
+    }
+}
+
+/// Every statically-typed engine is also a dynamic one.
+impl<E: Engine> DynEngine for E {
+    fn name(&self) -> &'static str {
+        Engine::name(self)
+    }
+
+    fn flavor(&self) -> DictFlavor {
+        Engine::flavor(self)
+    }
+
+    fn preprocessed(&self) -> bool {
+        Engine::preprocessed(self)
+    }
+
+    fn boxed_encoder(&self) -> Box<dyn LineEncoder + '_> {
+        Box::new(self.encoder())
+    }
+
+    fn boxed_decoder(&self) -> Box<dyn LineDecoder + '_> {
+        Box::new(self.decoder())
+    }
+
+    fn write_dict_dyn(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        Engine::write_dict(self, w)
+    }
+}
+
+/// Drives any [`DynEngine`] through [`textcomp::LineCodec`], the uniform
+/// per-line interface of the baseline comparison harness — the fully
+/// dynamic sibling of [`EngineCodec`] for callers that learn the flavour
+/// at run time.
+pub struct DynCodec<'e> {
+    name: &'static str,
+    enc: RefCell<Box<dyn LineEncoder + 'e>>,
+    dec: RefCell<Box<dyn LineDecoder + 'e>>,
+    overhead: usize,
+}
+
+impl<'e> DynCodec<'e> {
+    pub fn new(engine: &'e dyn DynEngine) -> Self {
+        DynCodec {
+            name: engine.name(),
+            enc: RefCell::new(engine.boxed_encoder()),
+            dec: RefCell::new(engine.boxed_decoder()),
+            overhead: engine.dict_overhead(),
+        }
+    }
+}
+
+impl textcomp::LineCodec for DynCodec<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn compress_line(&self, line: &[u8], out: &mut Vec<u8>) {
+        self.enc.borrow_mut().encode_line(line, out);
+    }
+
+    fn decompress_line(&self, line: &[u8], out: &mut Vec<u8>) -> Result<(), String> {
+        self.dec
+            .borrow_mut()
+            .decode_line(line, out)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn overhead_bytes(&self) -> usize {
+        self.overhead
+    }
+}
+
+// ---------------------------------------------------------------------------
 // AnyDictionary: run-time flavour dispatch
 // ---------------------------------------------------------------------------
 
@@ -425,16 +551,14 @@ impl AnyDictionary {
         }
     }
 
+    /// View as the object-safe engine facade.
+    pub fn as_dyn(&self) -> &dyn DynEngine {
+        self
+    }
+
     /// Compress a newline-separated buffer on `threads` workers.
     pub fn compress_parallel(&self, input: &[u8], threads: usize) -> (Vec<u8>, CompressStats) {
-        match self {
-            AnyDictionary::Base(d) => {
-                crate::parallel::compress_parallel_engine(&BaseEngine::new(d), input, threads)
-            }
-            AnyDictionary::Wide(d) => {
-                crate::parallel::compress_parallel_engine(&WideEngine::new(d), input, threads)
-            }
-        }
+        crate::parallel::compress_parallel_dyn(self, input, threads)
     }
 
     /// Decompress a newline-separated buffer on `threads` workers.
@@ -443,22 +567,54 @@ impl AnyDictionary {
         input: &[u8],
         threads: usize,
     ) -> Result<(Vec<u8>, DecompressStats), ZsmilesError> {
-        match self {
-            AnyDictionary::Base(d) => {
-                crate::parallel::decompress_parallel_engine(&BaseEngine::new(d), input, threads)
-            }
-            AnyDictionary::Wide(d) => {
-                crate::parallel::decompress_parallel_engine(&WideEngine::new(d), input, threads)
-            }
-        }
+        crate::parallel::decompress_parallel_dyn(self, input, threads)
     }
 
     /// Decompress a single line (no newline), appending to `out`.
     pub fn decompress_line(&self, line: &[u8], out: &mut Vec<u8>) -> Result<usize, ZsmilesError> {
+        self.boxed_decoder().decode_line(line, out)
+    }
+}
+
+/// The run-time-flavoured dictionary *is* an engine: workers borrow the
+/// dictionary directly (not an intermediate engine value), so a reader or
+/// iterator can hold a boxed worker for as long as it holds the
+/// dictionary. This impl is the one place in the crate that matches on
+/// the flavour to mint workers.
+impl DynEngine for AnyDictionary {
+    fn name(&self) -> &'static str {
         match self {
-            AnyDictionary::Base(d) => BaseEngine::new(d).decoder().decode_line(line, out),
-            AnyDictionary::Wide(d) => WideEngine::new(d).decoder().decode_line(line, out),
+            AnyDictionary::Base(_) => "ZSMILES",
+            AnyDictionary::Wide(_) => "ZSMILES-wide",
         }
+    }
+
+    fn flavor(&self) -> DictFlavor {
+        AnyDictionary::flavor(self)
+    }
+
+    fn preprocessed(&self) -> bool {
+        AnyDictionary::preprocessed(self)
+    }
+
+    fn boxed_encoder(&self) -> Box<dyn LineEncoder + '_> {
+        match self {
+            // Worker defaults mirror BaseEngine::new / WideEngine::new:
+            // preprocessing follows the dictionary's training setting.
+            AnyDictionary::Base(d) => Box::new(Compressor::new(d)),
+            AnyDictionary::Wide(d) => Box::new(WideCompressor::new(d)),
+        }
+    }
+
+    fn boxed_decoder(&self) -> Box<dyn LineDecoder + '_> {
+        match self {
+            AnyDictionary::Base(d) => Box::new(Decompressor::new(d)),
+            AnyDictionary::Wide(d) => Box::new(WideDecompressor::new(d)),
+        }
+    }
+
+    fn write_dict_dyn(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        self.write(w)
     }
 }
 

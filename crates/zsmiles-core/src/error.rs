@@ -26,6 +26,15 @@ pub enum ZsmilesError {
     ArchiveFormat { reason: String },
     /// A random-access request past the end of an archive.
     LineOutOfRange { line: usize, len: usize },
+    /// A byte-range read past the end of an [`crate::source::ArchiveSource`].
+    SourceOutOfBounds {
+        offset: u64,
+        len: usize,
+        available: u64,
+    },
+    /// A requested operation is not implemented for the dictionary flavour
+    /// at hand (e.g. staging a wide dictionary onto the GPU layout).
+    Unsupported { what: String },
     /// The requested dictionary size exceeds the available code space.
     CodeSpaceExhausted { requested: usize, available: usize },
     /// An input line contains a byte the dictionary cannot express and
@@ -65,6 +74,18 @@ impl fmt::Display for ZsmilesError {
             LineOutOfRange { line, len } => {
                 write!(f, "line {line} out of range (archive has {len} lines)")
             }
+            SourceOutOfBounds {
+                offset,
+                len,
+                available,
+            } => {
+                write!(
+                    f,
+                    "read of {len} bytes at offset {offset} past end of source \
+                     ({available} bytes available)"
+                )
+            }
+            Unsupported { what } => write!(f, "unsupported: {what}"),
             CodeSpaceExhausted {
                 requested,
                 available,

@@ -6,16 +6,17 @@
 //! optional multi-threading per chunk. The output is identical to the
 //! in-memory engines' (same per-line encoding; chunking cannot change it).
 //!
-//! The chunk loop is written once against [`Engine`]
-//! ([`compress_stream_engine`] / [`decompress_stream_engine`]); the
-//! dictionary-taking functions are thin wrappers for the one-byte codec.
+//! The chunk loop is written once against the dyn-safe
+//! [`crate::engine::DynEngine`] facade ([`compress_stream_dyn`] /
+//! [`decompress_stream_dyn`]); the [`Engine`]-generic and
+//! dictionary-taking functions are thin wrappers.
 
 use crate::compress::CompressStats;
 use crate::decompress::DecompressStats;
 use crate::dict::Dictionary;
-use crate::engine::{decode_buffer, encode_buffer, BaseEngine, Engine};
+use crate::engine::{decode_buffer, encode_buffer, BaseEngine, DynEngine, Engine};
 use crate::error::ZsmilesError;
-use crate::parallel::{compress_parallel_engine, decompress_parallel_engine};
+use crate::parallel::{compress_parallel_dyn, decompress_parallel_dyn};
 use crate::sp::SpAlgorithm;
 use std::io::{BufRead, Write};
 
@@ -64,9 +65,10 @@ fn fill_chunk<R: BufRead>(
     Ok(!buf.is_empty())
 }
 
-/// Stream-compress `reader` into `writer` with any [`Engine`].
-pub fn compress_stream_engine<E: Engine, R: BufRead, W: Write>(
-    engine: &E,
+/// Stream-compress `reader` into `writer` with any [`DynEngine`] — the
+/// single copy of the chunk loop.
+pub fn compress_stream_dyn<R: BufRead, W: Write>(
+    engine: &dyn DynEngine,
     mut reader: R,
     mut writer: W,
     opts: &StreamOptions,
@@ -74,15 +76,15 @@ pub fn compress_stream_engine<E: Engine, R: BufRead, W: Write>(
     let mut stats = CompressStats::default();
     let mut chunk = Vec::with_capacity(opts.chunk_bytes + 4096);
     let mut out = Vec::with_capacity(opts.chunk_bytes / 2);
-    let mut serial = engine.encoder();
+    let mut serial = engine.boxed_encoder();
     while fill_chunk(&mut reader, &mut chunk, opts.chunk_bytes)? {
         if opts.threads > 1 {
-            let (part, s) = compress_parallel_engine(engine, &chunk, opts.threads);
+            let (part, s) = compress_parallel_dyn(engine, &chunk, opts.threads);
             writer.write_all(&part)?;
             stats.merge(&s);
         } else {
             out.clear();
-            let s = encode_buffer(&mut serial, &chunk, &mut out);
+            let s = encode_buffer(&mut *serial, &chunk, &mut out);
             writer.write_all(&out)?;
             stats.merge(&s);
         }
@@ -91,9 +93,9 @@ pub fn compress_stream_engine<E: Engine, R: BufRead, W: Write>(
     Ok(stats)
 }
 
-/// Stream-decompress `reader` into `writer` with any [`Engine`].
-pub fn decompress_stream_engine<E: Engine, R: BufRead, W: Write>(
-    engine: &E,
+/// Stream-decompress `reader` into `writer` with any [`DynEngine`].
+pub fn decompress_stream_dyn<R: BufRead, W: Write>(
+    engine: &dyn DynEngine,
     mut reader: R,
     mut writer: W,
     opts: &StreamOptions,
@@ -101,17 +103,17 @@ pub fn decompress_stream_engine<E: Engine, R: BufRead, W: Write>(
     let mut stats = DecompressStats::default();
     let mut chunk = Vec::with_capacity(opts.chunk_bytes + 4096);
     let mut out = Vec::with_capacity(opts.chunk_bytes * 3);
-    let mut serial = engine.decoder();
+    let mut serial = engine.boxed_decoder();
     while fill_chunk(&mut reader, &mut chunk, opts.chunk_bytes)? {
         if opts.threads > 1 {
-            let (part, s) = decompress_parallel_engine(engine, &chunk, opts.threads)?;
+            let (part, s) = decompress_parallel_dyn(engine, &chunk, opts.threads)?;
             writer.write_all(&part)?;
             stats.lines += s.lines;
             stats.in_bytes += s.in_bytes;
             stats.out_bytes += s.out_bytes;
         } else {
             out.clear();
-            let s = decode_buffer(&mut serial, &chunk, &mut out)?;
+            let s = decode_buffer(&mut *serial, &chunk, &mut out)?;
             writer.write_all(&out)?;
             stats.lines += s.lines;
             stats.in_bytes += s.in_bytes;
@@ -120,6 +122,26 @@ pub fn decompress_stream_engine<E: Engine, R: BufRead, W: Write>(
     }
     writer.flush()?;
     Ok(stats)
+}
+
+/// [`compress_stream_dyn`] for a statically-typed [`Engine`].
+pub fn compress_stream_engine<E: Engine, R: BufRead, W: Write>(
+    engine: &E,
+    reader: R,
+    writer: W,
+    opts: &StreamOptions,
+) -> Result<CompressStats, ZsmilesError> {
+    compress_stream_dyn(engine, reader, writer, opts)
+}
+
+/// [`decompress_stream_dyn`] for a statically-typed [`Engine`].
+pub fn decompress_stream_engine<E: Engine, R: BufRead, W: Write>(
+    engine: &E,
+    reader: R,
+    writer: W,
+    opts: &StreamOptions,
+) -> Result<DecompressStats, ZsmilesError> {
+    decompress_stream_dyn(engine, reader, writer, opts)
 }
 
 /// [`compress_stream_engine`] with the one-byte codec.

@@ -2,10 +2,18 @@
 //! buffers — the use case the whole design serves: domain experts sample a
 //! small subset of a huge archive without decompressing it.
 //!
-//! The index is a sidecar (`.zsx`): a small binary table of line-start
-//! offsets. The archive itself stays readable text; only the *optional*
-//! accelerator is binary (rebuilding it is a single scan, so it can always
-//! be regenerated from the archive).
+//! The index is a sidecar (`.zsx`): a small binary table of per-line
+//! `(start, end)` byte ranges. The archive itself stays readable text;
+//! only the *optional* accelerator is binary (rebuilding it is a single
+//! scan, so it can always be regenerated from the archive).
+//!
+//! Range ends are stored **exactly** (newline excluded), so
+//! [`LineIndex::line_range`] is authoritative on its own: a reader that
+//! has only the index — the out-of-core [`crate::reader::ArchiveReader`]
+//! path — can issue a byte-range read for precisely one line without ever
+//! scanning the buffer for the newline. Earlier wire versions derived
+//! interior ends from the next line's start, which overshot across blank
+//! lines and forced a defensive re-trim in `line()`.
 
 use crate::decompress::Decompressor;
 use crate::dict::Dictionary;
@@ -13,40 +21,69 @@ use crate::error::ZsmilesError;
 use std::io::{Read, Write};
 use std::path::Path;
 
-/// Version 1 wire format: no trailing-newline flag (readers must assume
-/// the buffer ended with a newline). Still accepted on read.
+/// Version 1 wire format: starts only, no trailing-newline flag (readers
+/// must assume the buffer ended with a newline). Still accepted on read.
 const MAGIC_V1: &[u8; 8] = b"ZSXIDX01";
-/// Version 2 wire format: adds one flag byte recording whether the indexed
-/// buffer ended with a newline, so the last line's end is exact.
+/// Version 2 wire format: starts plus one flag byte recording whether the
+/// indexed buffer ended with a newline. Still accepted on read.
 const MAGIC_V2: &[u8; 8] = b"ZSXIDX02";
+/// Version 3 wire format: exact `(start, end)` pairs per line, so every
+/// line's range — interior or final, blank neighbours or not — is stored
+/// rather than derived.
+const MAGIC_V3: &[u8; 8] = b"ZSXIDX03";
 
-/// Offsets of line starts in a newline-separated buffer.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// Exact byte ranges of non-empty lines in a newline-separated buffer.
+#[derive(Debug, Clone, Default)]
 pub struct LineIndex {
     starts: Vec<u64>,
-    /// Total buffer length, to bound the last line.
+    /// End (exclusive, newline excluded) of each line.
+    ends: Vec<u64>,
+    /// Total buffer length the index describes.
     total: u64,
-    /// Whether the indexed buffer ended with a newline. Without this the
-    /// last line's range cannot be computed exactly: trimming a newline
-    /// that is not there would drop the line's final real byte.
-    trailing_newline: bool,
+    /// Whether `ends` are exact (built by scan or read from a v3 file) or
+    /// derived from starts by a legacy v1/v2 reader. Derived ends can be
+    /// wrong for buffers with interior blank lines or a missing trailing
+    /// newline, so [`LineIndex::line`] keeps the old defensive re-trim
+    /// for them — and only for them.
+    exact_ends: bool,
 }
 
+/// Equality is over the described ranges, not over how they were learned:
+/// an index read from a legacy sidecar equals a freshly built one whenever
+/// they agree on every line's range.
+impl PartialEq for LineIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.starts == other.starts && self.ends == other.ends && self.total == other.total
+    }
+}
+
+impl Eq for LineIndex {}
+
 impl LineIndex {
-    /// Scan a buffer and index every non-empty line.
+    /// Scan a buffer and index every non-empty line with exact ends.
     pub fn build(buf: &[u8]) -> LineIndex {
         let mut starts = Vec::new();
-        let mut at_line_start = true;
+        let mut ends = Vec::new();
+        let mut in_line = false;
         for (i, &b) in buf.iter().enumerate() {
-            if at_line_start && b != b'\n' {
+            if b == b'\n' {
+                if in_line {
+                    ends.push(i as u64);
+                    in_line = false;
+                }
+            } else if !in_line {
                 starts.push(i as u64);
+                in_line = true;
             }
-            at_line_start = b == b'\n';
+        }
+        if in_line {
+            ends.push(buf.len() as u64);
         }
         LineIndex {
             starts,
+            ends,
             total: buf.len() as u64,
-            trailing_newline: buf.last() == Some(&b'\n'),
+            exact_ends: true,
         }
     }
 
@@ -59,28 +96,28 @@ impl LineIndex {
         self.starts.is_empty()
     }
 
-    /// Byte range of line `i` (newline excluded).
-    pub fn line_range(&self, i: usize) -> std::ops::Range<usize> {
-        let start = self.starts[i] as usize;
-        let end = self
-            .starts
-            .get(i + 1)
-            .map(|&s| s as usize - 1)
-            .unwrap_or_else(|| {
-                // Last line: trim the trailing newline only if the buffer
-                // actually has one — otherwise the line runs to the end and
-                // an unconditional `- 1` would drop its final real byte.
-                (self.total as usize) - self.trailing_newline as usize
-            });
-        start..end
+    /// Length in bytes of the buffer the index describes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
     }
 
-    /// Slice line `i` out of the buffer the index was built from.
+    /// Exact byte range of line `i` (newline excluded).
+    pub fn line_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.starts[i] as usize..self.ends[i] as usize
+    }
+
+    /// Slice line `i` out of the buffer the index was built from. With
+    /// exact ends (built, or read from a v3 file) this is a plain slice —
+    /// no newline scan. Indexes loaded from legacy v1/v2 sidecars carry
+    /// *derived* ends, which can disagree with the buffer (interior blank
+    /// lines, missing trailing newline), so they keep the historical
+    /// defensive re-trim.
     pub fn line<'a>(&self, buf: &'a [u8], i: usize) -> &'a [u8] {
         let r = self.line_range(i);
+        if self.exact_ends {
+            return &buf[r];
+        }
         let s = &buf[r.start..];
-        // Defensive: recompute the end from the actual newline so an index
-        // built on a buffer without a trailing newline still works.
         match s.iter().position(|&b| b == b'\n') {
             Some(n) => &s[..n],
             None => s,
@@ -99,37 +136,76 @@ impl LineIndex {
         Ok(out)
     }
 
-    /// Serialize as a `.zsx` sidecar (version 2 format).
+    /// Serialize as a `.zsx` sidecar (version 3 format: exact ranges).
     pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
-        w.write_all(MAGIC_V2)?;
+        w.write_all(MAGIC_V3)?;
         w.write_all(&(self.starts.len() as u64).to_le_bytes())?;
         w.write_all(&self.total.to_le_bytes())?;
-        w.write_all(&[self.trailing_newline as u8])?;
-        for &s in &self.starts {
+        for (&s, &e) in self.starts.iter().zip(&self.ends) {
             w.write_all(&s.to_le_bytes())?;
+            w.write_all(&e.to_le_bytes())?;
         }
         Ok(())
     }
 
-    /// Parse a `.zsx` sidecar (either version; v1 files carry no
-    /// trailing-newline flag and are assumed newline-terminated, which is
-    /// how they were always interpreted).
+    /// Parse a `.zsx` sidecar, any version.
+    ///
+    /// v1/v2 files carry only line starts; their ends are reconstructed
+    /// the way those formats were always interpreted (interior end = next
+    /// start minus one separator, final end from the trailing-newline
+    /// flag). That reconstruction is exact for buffers without interior
+    /// blank lines — the invariant every compressed payload satisfies.
     pub fn read_from<R: Read>(mut r: R) -> Result<LineIndex, ZsmilesError> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        let v2 = &magic == MAGIC_V2;
-        if !v2 && &magic != MAGIC_V1 {
-            return Err(ZsmilesError::DictFormat {
-                line: 0,
-                reason: "not a ZSX index file".into(),
-            });
-        }
+        let version = match &magic {
+            m if m == MAGIC_V3 => 3,
+            m if m == MAGIC_V2 => 2,
+            m if m == MAGIC_V1 => 1,
+            _ => {
+                return Err(ZsmilesError::DictFormat {
+                    line: 0,
+                    reason: "not a ZSX index file".into(),
+                })
+            }
+        };
         let mut n8 = [0u8; 8];
         r.read_exact(&mut n8)?;
         let n = u64::from_le_bytes(n8) as usize;
         r.read_exact(&mut n8)?;
         let total = u64::from_le_bytes(n8);
-        let trailing_newline = if v2 {
+
+        if version == 3 {
+            let mut starts = Vec::with_capacity(n);
+            let mut ends = Vec::with_capacity(n);
+            let mut prev_end = 0u64;
+            for i in 0..n {
+                r.read_exact(&mut n8)?;
+                let s = u64::from_le_bytes(n8);
+                r.read_exact(&mut n8)?;
+                let e = u64::from_le_bytes(n8);
+                // Ranges are non-empty, in-bounds, and strictly ordered
+                // with at least one separator byte between lines; anything
+                // else would arm a reversed or out-of-bounds slice.
+                if s >= e || e > total || (i > 0 && s <= prev_end) {
+                    return Err(ZsmilesError::DictFormat {
+                        line: 0,
+                        reason: "corrupt index: offsets not monotonic".into(),
+                    });
+                }
+                starts.push(s);
+                ends.push(e);
+                prev_end = e;
+            }
+            return Ok(LineIndex {
+                starts,
+                ends,
+                total,
+                exact_ends: true,
+            });
+        }
+
+        let trailing_newline = if version == 2 {
             let mut flag = [0u8; 1];
             r.read_exact(&mut flag)?;
             flag[0] != 0
@@ -152,10 +228,18 @@ impl LineIndex {
             starts.push(v);
             prev = Some(v);
         }
+        let mut ends = Vec::with_capacity(n);
+        for i in 0..n {
+            ends.push(match starts.get(i + 1) {
+                Some(&next) => next - 1,
+                None => total - trailing_newline as u64,
+            });
+        }
         Ok(LineIndex {
             starts,
+            ends,
             total,
-            trailing_newline,
+            exact_ends: false,
         })
     }
 
@@ -185,6 +269,7 @@ mod tests {
         assert_eq!(idx.line(buf, 0), b"CCO");
         assert_eq!(idx.line(buf, 1), b"c1ccccc1");
         assert_eq!(idx.line(buf, 2), b"N");
+        assert_eq!(idx.total_bytes(), buf.len() as u64);
     }
 
     #[test]
@@ -197,9 +282,9 @@ mod tests {
 
     #[test]
     fn line_range_is_exact_for_final_line_without_newline() {
-        // Regression: the old code unconditionally trimmed one byte off
-        // the last line, dropping its final real byte when the buffer did
-        // not end with a newline.
+        // Regression: old code unconditionally trimmed one byte off the
+        // last line, dropping its final real byte when the buffer did not
+        // end with a newline.
         let buf = b"CCO\nCC";
         let idx = LineIndex::build(buf);
         assert_eq!(
@@ -220,7 +305,28 @@ mod tests {
     }
 
     #[test]
-    fn v2_sidecar_preserves_trailing_newline_flag() {
+    fn line_range_is_exact_across_interior_blank_lines() {
+        // Regression (the ROADMAP open item this format closes): with
+        // derived ends, the range for a line followed by blank lines
+        // overshot into the separator run; line_range had to be defended
+        // by a newline re-scan in line().
+        let buf = b"CCO\n\n\nCC\n";
+        let idx = LineIndex::build(buf);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.line_range(0), 0..3, "no overshoot into blank run");
+        assert_eq!(&buf[idx.line_range(0)], b"CCO");
+        assert_eq!(idx.line_range(1), 6..8);
+
+        // And the exactness survives a wire round trip.
+        let mut raw = Vec::new();
+        idx.write_to(&mut raw).unwrap();
+        let back = LineIndex::read_from(raw.as_slice()).unwrap();
+        assert_eq!(back, idx);
+        assert_eq!(back.line_range(0), 0..3);
+    }
+
+    #[test]
+    fn v3_sidecar_round_trips_trailing_newline_or_not() {
         for buf in [b"CCO\nCC".as_slice(), b"CCO\nCC\n"] {
             let idx = LineIndex::build(buf);
             let mut raw = Vec::new();
@@ -232,7 +338,42 @@ mod tests {
     }
 
     #[test]
-    fn equal_consecutive_starts_rejected() {
+    fn v3_rejects_malformed_ranges() {
+        let head = |n: u64, total: u64| {
+            let mut raw = Vec::new();
+            raw.extend_from_slice(MAGIC_V3);
+            raw.extend_from_slice(&n.to_le_bytes());
+            raw.extend_from_slice(&total.to_le_bytes());
+            raw
+        };
+        // Empty range (start == end).
+        let mut raw = head(1, 10);
+        raw.extend_from_slice(&4u64.to_le_bytes());
+        raw.extend_from_slice(&4u64.to_le_bytes());
+        assert!(LineIndex::read_from(raw.as_slice()).is_err());
+        // End past total.
+        let mut raw = head(1, 10);
+        raw.extend_from_slice(&4u64.to_le_bytes());
+        raw.extend_from_slice(&11u64.to_le_bytes());
+        assert!(LineIndex::read_from(raw.as_slice()).is_err());
+        // Overlapping lines (second starts before first ends + separator).
+        let mut raw = head(2, 10);
+        raw.extend_from_slice(&0u64.to_le_bytes());
+        raw.extend_from_slice(&4u64.to_le_bytes());
+        raw.extend_from_slice(&4u64.to_le_bytes());
+        raw.extend_from_slice(&6u64.to_le_bytes());
+        assert!(LineIndex::read_from(raw.as_slice()).is_err());
+        // A well-formed pair parses.
+        let mut raw = head(2, 10);
+        raw.extend_from_slice(&0u64.to_le_bytes());
+        raw.extend_from_slice(&4u64.to_le_bytes());
+        raw.extend_from_slice(&5u64.to_le_bytes());
+        raw.extend_from_slice(&10u64.to_le_bytes());
+        assert_eq!(LineIndex::read_from(raw.as_slice()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn v2_equal_consecutive_starts_rejected() {
         // Regression: `v < prev` accepted duplicate offsets, arming a
         // reversed line_range (start..start-1) that panics in line().
         let mut raw = Vec::new();
@@ -256,10 +397,27 @@ mod tests {
     }
 
     #[test]
+    fn v2_sidecar_still_reads_with_derived_ends() {
+        // A v2 file (starts + flag) for "CCO\nCC\n".
+        let mut raw = Vec::new();
+        raw.extend_from_slice(MAGIC_V2);
+        raw.extend_from_slice(&2u64.to_le_bytes()); // count
+        raw.extend_from_slice(&7u64.to_le_bytes()); // total
+        raw.push(1); // trailing newline
+        raw.extend_from_slice(&0u64.to_le_bytes());
+        raw.extend_from_slice(&4u64.to_le_bytes());
+        let idx = LineIndex::read_from(raw.as_slice()).unwrap();
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.line_range(0), 0..3);
+        assert_eq!(idx.line_range(1), 4..6);
+        assert_eq!(idx, LineIndex::build(b"CCO\nCC\n"));
+    }
+
+    #[test]
     fn v1_sidecar_still_reads() {
         // A v1 file (no flag byte) for "CCO\nCC\n".
         let mut raw = Vec::new();
-        raw.extend_from_slice(b"ZSXIDX01");
+        raw.extend_from_slice(MAGIC_V1);
         raw.extend_from_slice(&2u64.to_le_bytes()); // count
         raw.extend_from_slice(&7u64.to_le_bytes()); // total
         raw.extend_from_slice(&0u64.to_le_bytes());
@@ -327,7 +485,7 @@ mod tests {
     fn sidecar_rejects_garbage() {
         assert!(LineIndex::read_from(&b"NOTANIDX"[..]).is_err());
         assert!(LineIndex::read_from(&b"ZS"[..]).is_err());
-        // Non-monotonic offsets.
+        // Non-monotonic offsets (v2 wire).
         let mut raw = Vec::new();
         raw.extend_from_slice(MAGIC_V2);
         raw.extend_from_slice(&2u64.to_le_bytes());

@@ -24,21 +24,33 @@
 //! Two codecs implement the pipeline: the paper's one-byte dictionary
 //! ([`dict::Dictionary`]) and the wide-code extension
 //! ([`wide::WideDictionary`], two-byte codes behind page prefixes). Both
-//! are driven through the [`engine::Engine`] trait, so every
-//! width-independent layer exists once:
+//! are driven through the [`engine::Engine`] trait — and, for every layer
+//! that learns the code width at run time, through its object-safe
+//! facade [`engine::DynEngine`] — so every width-independent layer
+//! exists once:
 //!
 //! * [`engine`] — the `Engine` / `LineEncoder` / `LineDecoder` traits,
-//!   the shared buffer loops and preprocessing stage, run-time flavour
-//!   dispatch ([`engine::AnyDictionary`], sniffed from file magic), and a
-//!   [`textcomp::LineCodec`] adapter for the baseline-comparison harness;
+//!   the dyn-safe [`engine::DynEngine`] facade (boxed worker minting;
+//!   [`engine::AnyDictionary`] implements it directly, which makes the
+//!   sniffed-at-run-time dictionary *the* engine object), the shared
+//!   buffer loops and preprocessing stage, and [`textcomp::LineCodec`]
+//!   adapters for the baseline-comparison harness;
 //! * [`parallel`] / [`fileio`] — span-parallel and streaming execution of
-//!   any engine;
+//!   any engine, static or dyn;
 //! * [`archive`] — the `.zsa` container: magic + header, embedded
 //!   dictionary (either flavour), readable compressed payload, line-offset
 //!   index and CRC32 footer in one self-describing file with O(1)
-//!   `get(line)`;
-//! * [`index`] — the line-offset table, standalone (`.zsx` sidecar) or
-//!   embedded in a container.
+//!   `get(line)`; [`Archive`] is the all-in-memory convenience view;
+//! * [`source`] / [`reader`] — the out-of-core read path:
+//!   [`source::ArchiveSource`] is a positioned-read byte container
+//!   ([`source::FileSource`], [`source::InMemorySource`], metering
+//!   [`source::CountingSource`]), and [`reader::ArchiveReader`] opens a
+//!   `.zsa` by seeking the footer, loads only header + dictionary +
+//!   index, and serves `get` / `get_range` / batched iteration by
+//!   reading exactly the payload byte ranges it needs — decks larger
+//!   than RAM are first-class;
+//! * [`index`] — the exact per-line byte-range table, standalone (`.zsx`
+//!   sidecar) or embedded in a container.
 //!
 //! # Quickstart
 //!
@@ -72,6 +84,8 @@ pub mod error;
 pub mod fileio;
 pub mod index;
 pub mod parallel;
+pub mod reader;
+pub mod source;
 pub mod sp;
 pub mod trie;
 pub mod wide;
@@ -83,18 +97,21 @@ pub use decompress::{DecompressStats, Decompressor};
 pub use dict::builder::{DictBuilder, RankStrategy};
 pub use dict::Dictionary;
 pub use engine::{
-    AnyDictionary, BaseEngine, DictFlavor, Engine, EngineCodec, LineDecoder, LineEncoder,
-    WideEngine,
+    AnyDictionary, BaseEngine, DictFlavor, DynCodec, DynEngine, Engine, EngineCodec, LineDecoder,
+    LineEncoder, WideEngine,
 };
 pub use error::ZsmilesError;
 pub use fileio::{
-    compress_stream, compress_stream_engine, decompress_stream, decompress_stream_engine,
-    StreamOptions,
+    compress_stream, compress_stream_dyn, compress_stream_engine, decompress_stream,
+    decompress_stream_dyn, decompress_stream_engine, StreamOptions,
 };
 pub use index::LineIndex;
 pub use parallel::{
-    compress_parallel, compress_parallel_engine, compress_parallel_wide, decompress_parallel,
-    decompress_parallel_engine, decompress_parallel_wide,
+    compress_parallel, compress_parallel_dyn, compress_parallel_engine, compress_parallel_wide,
+    decompress_parallel, decompress_parallel_dyn, decompress_parallel_engine,
+    decompress_parallel_wide,
 };
+pub use reader::ArchiveReader;
+pub use source::{ArchiveSource, CountingSource, FileSource, InMemorySource};
 pub use sp::SpAlgorithm;
 pub use wide::{WideCompressor, WideDecompressor, WideDictBuilder, WideDictionary};

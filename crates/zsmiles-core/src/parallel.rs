@@ -8,15 +8,16 @@
 //! outputs are concatenated in span order — so the result is byte-identical
 //! to the serial engine's.
 //!
-//! The span machinery is written once against [`Engine`]
-//! ([`compress_parallel_engine`] / [`decompress_parallel_engine`]); the
+//! The span machinery is written once against the object-safe
+//! [`DynEngine`] facade ([`compress_parallel_dyn`] /
+//! [`decompress_parallel_dyn`]); the [`Engine`]-generic and
 //! dictionary-taking functions below are thin wrappers that pick the
 //! engine.
 
 use crate::compress::CompressStats;
 use crate::decompress::DecompressStats;
 use crate::dict::Dictionary;
-use crate::engine::{decode_buffer, encode_buffer, BaseEngine, Engine, WideEngine};
+use crate::engine::{decode_buffer, encode_buffer, BaseEngine, DynEngine, Engine, WideEngine};
 use crate::error::ZsmilesError;
 use crate::sp::SpAlgorithm;
 use crate::wide::WideDictionary;
@@ -43,16 +44,20 @@ fn byte_balanced_spans(input: &[u8], n: usize) -> Vec<&[u8]> {
 }
 
 /// Compress a newline-separated buffer on `threads` workers with any
-/// [`Engine`]. Byte-identical to the engine's serial buffer loop.
-pub fn compress_parallel_engine<E: Engine>(
-    engine: &E,
+/// [`DynEngine`]. Byte-identical to the engine's serial buffer loop.
+///
+/// This is the one copy of the span machinery: each worker mints a boxed
+/// encoder (scratch is still per-thread and reused per line), so the only
+/// dynamic cost is one vtable call per line.
+pub fn compress_parallel_dyn(
+    engine: &dyn DynEngine,
     input: &[u8],
     threads: usize,
 ) -> (Vec<u8>, CompressStats) {
     let spans = byte_balanced_spans(input, threads.max(1));
     if spans.len() == 1 {
         let mut out = Vec::with_capacity(input.len() / 2);
-        let stats = encode_buffer(&mut engine.encoder(), input, &mut out);
+        let stats = encode_buffer(&mut *engine.boxed_encoder(), input, &mut out);
         return (out, stats);
     }
     let mut results: Vec<(Vec<u8>, CompressStats)> = Vec::with_capacity(spans.len());
@@ -62,7 +67,7 @@ pub fn compress_parallel_engine<E: Engine>(
             .map(|span| {
                 scope.spawn(move || {
                     let mut out = Vec::with_capacity(span.len() / 2);
-                    let stats = encode_buffer(&mut engine.encoder(), span, &mut out);
+                    let stats = encode_buffer(&mut *engine.boxed_encoder(), span, &mut out);
                     (out, stats)
                 })
             })
@@ -82,16 +87,16 @@ pub fn compress_parallel_engine<E: Engine>(
 }
 
 /// Decompress a newline-separated buffer on `threads` workers with any
-/// [`Engine`].
-pub fn decompress_parallel_engine<E: Engine>(
-    engine: &E,
+/// [`DynEngine`].
+pub fn decompress_parallel_dyn(
+    engine: &dyn DynEngine,
     input: &[u8],
     threads: usize,
 ) -> Result<(Vec<u8>, DecompressStats), ZsmilesError> {
     let spans = byte_balanced_spans(input, threads.max(1));
     if spans.len() == 1 {
         let mut out = Vec::with_capacity(input.len() * 3);
-        let stats = decode_buffer(&mut engine.decoder(), input, &mut out)?;
+        let stats = decode_buffer(&mut *engine.boxed_decoder(), input, &mut out)?;
         return Ok((out, stats));
     }
     let mut results: Vec<Result<(Vec<u8>, DecompressStats), ZsmilesError>> =
@@ -102,7 +107,7 @@ pub fn decompress_parallel_engine<E: Engine>(
             .map(|span| {
                 scope.spawn(move || {
                     let mut out = Vec::with_capacity(span.len() * 3);
-                    let stats = decode_buffer(&mut engine.decoder(), span, &mut out)?;
+                    let stats = decode_buffer(&mut *engine.boxed_decoder(), span, &mut out)?;
                     Ok((out, stats))
                 })
             })
@@ -122,6 +127,24 @@ pub fn decompress_parallel_engine<E: Engine>(
         stats.out_bytes += s.out_bytes;
     }
     Ok((out, stats))
+}
+
+/// [`compress_parallel_dyn`] for a statically-typed [`Engine`].
+pub fn compress_parallel_engine<E: Engine>(
+    engine: &E,
+    input: &[u8],
+    threads: usize,
+) -> (Vec<u8>, CompressStats) {
+    compress_parallel_dyn(engine, input, threads)
+}
+
+/// [`decompress_parallel_dyn`] for a statically-typed [`Engine`].
+pub fn decompress_parallel_engine<E: Engine>(
+    engine: &E,
+    input: &[u8],
+    threads: usize,
+) -> Result<(Vec<u8>, DecompressStats), ZsmilesError> {
+    decompress_parallel_dyn(engine, input, threads)
 }
 
 /// [`compress_parallel_engine`] with the one-byte codec.

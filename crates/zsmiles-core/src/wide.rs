@@ -21,7 +21,7 @@
 //!   any other code), so archives stay readable and grep-able;
 //! * `\n` and the space escape are untouched — lines stay separable, random
 //!   access works, and a [`WideDictionary`] with zero wide entries encodes
-//!   exactly like a base [`Dictionary`] shorn of eight codes.
+//!   exactly like a base [`crate::dict::Dictionary`] shorn of eight codes.
 
 use crate::codec::{code_space, is_code_byte, Prepopulation, ESCAPE, LINE_SEP};
 use crate::compress::CompressStats;

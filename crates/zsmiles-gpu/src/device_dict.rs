@@ -8,6 +8,8 @@
 //! expansion table for decompression.
 
 use zsmiles_core::dict::{Dictionary, MAX_PATTERN_LEN};
+use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::ZsmilesError;
 
 /// Flattened dictionary as it would live in device constant/global memory.
 #[derive(Debug, Clone)]
@@ -53,6 +55,25 @@ impl DeviceDict {
             expand_len,
             expand_bytes,
             lmax,
+        }
+    }
+
+    /// Stage a run-time-flavoured dictionary for device upload — the GPU
+    /// layer's entry point for archives and CLI-loaded dictionaries,
+    /// sharing [`AnyDictionary`]'s single flavour dispatch instead of
+    /// keeping a private copy of the match. Wide dictionaries do not fit
+    /// the kernels' 256-slot one-byte expansion table, so staging one is
+    /// reported as unsupported rather than mis-laid-out.
+    pub fn stage(dict: &AnyDictionary) -> Result<DeviceDict, ZsmilesError> {
+        match dict {
+            AnyDictionary::Base(d) => Ok(DeviceDict::from_dictionary(d)),
+            AnyDictionary::Wide(_) => Err(ZsmilesError::Unsupported {
+                what: format!(
+                    "device staging for the {} dictionary flavour \
+                     (kernels use a 256-slot one-byte expansion table)",
+                    dict.flavor().name()
+                ),
+            }),
         }
     }
 

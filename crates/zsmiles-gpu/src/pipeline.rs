@@ -10,6 +10,7 @@ use crate::device_dict::DeviceDict;
 use crate::kernels::{compress_block, decompress_block};
 use simt::{launch, CostReport};
 use smiles::preprocess::{Preprocessor, RingRenumber};
+use zsmiles_core::engine::{AnyDictionary, DynEngine};
 use zsmiles_core::{Dictionary, ZsmilesError, LINE_SEP};
 
 /// Launch configuration.
@@ -51,7 +52,24 @@ pub struct GpuRun {
 pub fn compress(dict: &Dictionary, input: &[u8], opts: &GpuOptions) -> GpuRun {
     let dd = DeviceDict::from_dictionary(dict);
     let preprocess = opts.preprocess.unwrap_or(dict.preprocessed());
+    run_compress(&dd, preprocess, input, opts)
+}
 
+/// [`compress`] for a run-time-flavoured dictionary (e.g. straight from a
+/// `.zsa` container): staging goes through [`DeviceDict::stage`] and the
+/// preprocessing default through the [`DynEngine`] facade, so this layer
+/// holds no flavour match of its own.
+pub fn compress_any(
+    dict: &AnyDictionary,
+    input: &[u8],
+    opts: &GpuOptions,
+) -> Result<GpuRun, ZsmilesError> {
+    let dd = DeviceDict::stage(dict)?;
+    let preprocess = opts.preprocess.unwrap_or(DynEngine::preprocessed(dict));
+    Ok(run_compress(&dd, preprocess, input, opts))
+}
+
+fn run_compress(dd: &DeviceDict, preprocess: bool, input: &[u8], opts: &GpuOptions) -> GpuRun {
     // Host-side preprocessing pass (cheap, line-local).
     let mut lines: Vec<Vec<u8>> = Vec::new();
     let mut pp = Preprocessor::new();
@@ -69,7 +87,7 @@ pub fn compress(dict: &Dictionary, input: &[u8], opts: &GpuOptions) -> GpuRun {
 
     let in_bytes: u64 = lines.iter().map(|l| l.len() as u64).sum();
     let (outputs, report) = launch(lines.len(), opts.workers, |ctx, b| {
-        compress_block(ctx, &dd, &lines[b])
+        compress_block(ctx, dd, &lines[b])
     });
 
     let mut output = Vec::with_capacity(input.len());
@@ -95,6 +113,24 @@ pub fn decompress(
     opts: &GpuOptions,
 ) -> Result<GpuRun, ZsmilesError> {
     let dd = DeviceDict::from_dictionary(dict);
+    run_decompress(&dd, input, opts)
+}
+
+/// [`decompress`] for a run-time-flavoured dictionary.
+pub fn decompress_any(
+    dict: &AnyDictionary,
+    input: &[u8],
+    opts: &GpuOptions,
+) -> Result<GpuRun, ZsmilesError> {
+    let dd = DeviceDict::stage(dict)?;
+    run_decompress(&dd, input, opts)
+}
+
+fn run_decompress(
+    dd: &DeviceDict,
+    input: &[u8],
+    opts: &GpuOptions,
+) -> Result<GpuRun, ZsmilesError> {
     let lines: Vec<&[u8]> = input
         .split(|&b| b == LINE_SEP)
         .filter(|l| !l.is_empty())
@@ -102,7 +138,7 @@ pub fn decompress(
     let in_bytes: u64 = lines.iter().map(|l| l.len() as u64).sum();
 
     let (outputs, report) = launch(lines.len(), opts.workers, |ctx, b| {
-        decompress_block(ctx, &dd, lines[b])
+        decompress_block(ctx, dd, lines[b])
     });
 
     let mut output = Vec::with_capacity(input.len() * 3);
@@ -233,5 +269,39 @@ mod tests {
         let (dict, _) = fixture();
         let r = decompress(&dict, b"\x01\x02\n", &GpuOptions::default());
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn any_dictionary_staging_matches_concrete_path() {
+        let (dict, input) = fixture();
+        let any = AnyDictionary::Base(Box::new(dict.clone()));
+        let via_any = compress_any(&any, &input, &GpuOptions::default()).unwrap();
+        let via_concrete = compress(&dict, &input, &GpuOptions::default());
+        assert_eq!(via_any.output, via_concrete.output);
+        assert_eq!(via_any.report, via_concrete.report);
+        let back = decompress_any(&any, &via_any.output, &GpuOptions::default()).unwrap();
+        assert_eq!(back.out_bytes, via_any.in_bytes);
+    }
+
+    #[test]
+    fn wide_staging_is_rejected_not_mislaid() {
+        let (_, input) = fixture();
+        let lines: Vec<&[u8]> = input
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .collect();
+        let wide = zsmiles_core::WideDictBuilder {
+            base: zsmiles_core::DictBuilder {
+                min_count: 2,
+                ..Default::default()
+            },
+            wide_size: 16,
+        }
+        .train(lines.iter().copied())
+        .unwrap();
+        let any = AnyDictionary::Wide(Box::new(wide));
+        let err = compress_any(&any, &input, &GpuOptions::default()).unwrap_err();
+        assert!(matches!(err, ZsmilesError::Unsupported { .. }), "{err}");
+        assert!(DeviceDict::stage(&any).is_err());
     }
 }

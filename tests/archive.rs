@@ -1,9 +1,12 @@
 //! `.zsa` container properties: the single-file random-access story must
-//! hold for arbitrary decks, both engines, and survive corruption attempts.
+//! hold for arbitrary decks, both engines, and survive corruption attempts
+//! — through the in-memory [`Archive`] and, byte-identically, through the
+//! out-of-core [`ArchiveReader`] over a real file.
 
 use proptest::prelude::*;
-use zsmiles_core::engine::AnyDictionary;
-use zsmiles_core::{Archive, DictBuilder, WideDictBuilder, ZsmilesError};
+use zsmiles_core::engine::{AnyDictionary, DynEngine};
+use zsmiles_core::source::{ArchiveSource, CountingSource, FileSource, InMemorySource};
+use zsmiles_core::{Archive, ArchiveReader, DictBuilder, WideDictBuilder, ZsmilesError};
 
 /// Train either dictionary flavour on the deck (preprocess off, so round
 /// trips are byte-exact).
@@ -79,6 +82,185 @@ proptest! {
             "flipping byte {} (of {}) must not parse", at, blob.len()
         );
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The out-of-core reader over a real file returns byte-identical
+    /// lines to the in-memory `Archive::get`, for both engine flavours,
+    /// single fetches and batched ranges alike.
+    #[test]
+    fn file_backed_reader_matches_in_memory_archive(
+        seed in 0u64..10_000,
+        lines in 1usize..60,
+        wide_size in prop_oneof![Just(0usize), Just(48usize)],
+        probe in 0usize..1_000,
+    ) {
+        let deck = molgen::Dataset::generate_mixed(lines, seed);
+        let dict = dict_for(&deck, wide_size);
+        let archive = Archive::pack(dict, deck.as_bytes(), 2);
+
+        let path = std::env::temp_dir().join(format!(
+            "zsa_reader_prop_{}_{seed}_{lines}_{wide_size}.zsa",
+            std::process::id()
+        ));
+        archive.save(&path).unwrap();
+        let reader = ArchiveReader::open(&path).unwrap();
+
+        prop_assert_eq!(reader.len(), archive.len());
+        prop_assert_eq!(reader.flavor(), archive.flavor());
+        reader.verify().unwrap();
+
+        let i = probe % deck.len();
+        prop_assert_eq!(reader.get(i).unwrap(), archive.get(i).unwrap());
+        prop_assert_eq!(
+            reader.compressed_line(i).unwrap(),
+            archive.compressed_line(i).unwrap().to_vec()
+        );
+
+        // A batched range and a full batched iteration both match.
+        let hi = (i + 7).min(deck.len());
+        prop_assert_eq!(reader.get_range(i..hi).unwrap(), archive.get_range(i..hi).unwrap());
+        let streamed: Result<Vec<Vec<u8>>, _> = reader.lines_batched(97).collect();
+        let streamed = streamed.unwrap();
+        prop_assert_eq!(streamed.len(), deck.len());
+        prop_assert_eq!(streamed[i].as_slice(), deck.line(i));
+
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The acceptance property of the read-path redesign: `get(line)` on a
+/// metered source transfers the metadata once at open, then exactly one
+/// positioned read of exactly that line's byte range — never the payload.
+#[test]
+fn counting_source_proves_get_touches_only_metadata_and_one_line() {
+    let deck = molgen::Dataset::generate_mixed(500, 41);
+    for wide_size in [0usize, 32] {
+        let archive = Archive::pack(dict_for(&deck, wide_size), deck.as_bytes(), 2);
+        let mut blob = Vec::new();
+        archive.write_to(&mut blob).unwrap();
+        let file_len = blob.len() as u64;
+
+        let src = CountingSource::new(InMemorySource::new(blob));
+        let reader = ArchiveReader::from_source(src).unwrap();
+        assert_eq!(
+            reader.source().bytes_read(),
+            reader.metadata_bytes(),
+            "open transfers header + footer + dictionary + index, nothing else"
+        );
+        assert!(
+            reader.metadata_bytes() + reader.payload_bytes() <= file_len,
+            "payload is not part of the open transfer"
+        );
+
+        reader.source().reset();
+        let line = 123usize;
+        let line_bytes = reader.index().line_range(line).len() as u64;
+        let got = reader.get(line).unwrap();
+        assert_eq!(got, deck.line(line), "wide={wide_size}");
+        assert_eq!(reader.source().reads(), 1, "one positioned read per get");
+        assert_eq!(
+            reader.source().bytes_read(),
+            line_bytes,
+            "the transfer is exactly the line's compressed range"
+        );
+        assert!(
+            line_bytes < reader.payload_bytes(),
+            "a single line is a strict subset of the payload"
+        );
+    }
+}
+
+/// `Box<dyn>` workers minted through the `DynEngine` facade produce
+/// byte-identical streams to the concrete engines, both flavours.
+#[test]
+fn dyn_engine_boxed_workers_match_concrete_engines() {
+    let deck = molgen::Dataset::generate_mixed(200, 77);
+    for wide_size in [0usize, 48] {
+        let dict = dict_for(&deck, wide_size);
+
+        // Concrete path: the statically-dispatched parallel engine.
+        let (concrete, cstats) = match &dict {
+            AnyDictionary::Base(d) => zsmiles_core::compress_parallel_engine(
+                &zsmiles_core::BaseEngine::new(d),
+                deck.as_bytes(),
+                3,
+            ),
+            AnyDictionary::Wide(d) => zsmiles_core::compress_parallel_engine(
+                &zsmiles_core::WideEngine::new(d),
+                deck.as_bytes(),
+                3,
+            ),
+        };
+
+        // Dyn path: Box<dyn LineEncoder> workers behind &dyn DynEngine.
+        let engine: &dyn DynEngine = dict.as_dyn();
+        let (dynamic, dstats) = zsmiles_core::compress_parallel_dyn(engine, deck.as_bytes(), 3);
+        assert_eq!(dynamic, concrete, "wide={wide_size}");
+        assert_eq!(dstats.lines, cstats.lines);
+
+        // And the dyn decode round-trips to the original deck.
+        let (back, _) = zsmiles_core::decompress_parallel_dyn(engine, &dynamic, 2).unwrap();
+        assert_eq!(back, deck.as_bytes(), "wide={wide_size}");
+
+        // Serial boxed workers too: encode+decode one line at a time.
+        let mut enc = engine.boxed_encoder();
+        let mut dec = engine.boxed_decoder();
+        for i in [0usize, 42, 199] {
+            let mut z = Vec::new();
+            enc.encode_line(deck.line(i), &mut z);
+            let mut out = Vec::new();
+            dec.decode_line(&z, &mut out).unwrap();
+            assert_eq!(out, deck.line(i), "wide={wide_size} line {i}");
+        }
+    }
+}
+
+/// Reader failure modes: truncated footer, zero-line archives, and
+/// reads past the end of the source are errors, never panics.
+#[test]
+fn reader_error_cases() {
+    let deck = molgen::Dataset::generate_mixed(20, 5);
+    let archive = Archive::pack(dict_for(&deck, 0), deck.as_bytes(), 1);
+    let mut blob = Vec::new();
+    archive.write_to(&mut blob).unwrap();
+
+    // Truncated footer: every truncation of the trailer region fails.
+    for cut in 1..24 {
+        assert!(
+            ArchiveReader::from_source(&blob[..blob.len() - cut]).is_err(),
+            "cut={cut}"
+        );
+    }
+
+    // Zero-line archive opens, reports empty, errors on any fetch.
+    let empty = Archive::pack(dict_for(&deck, 0), b"", 1);
+    let mut eblob = Vec::new();
+    empty.write_to(&mut eblob).unwrap();
+    let reader = ArchiveReader::from_source(eblob.as_slice()).unwrap();
+    assert_eq!(reader.len(), 0);
+    assert!(matches!(
+        reader.get(0).unwrap_err(),
+        ZsmilesError::LineOutOfRange { line: 0, len: 0 }
+    ));
+    assert!(reader.get_range(0..1).is_err());
+
+    // Read past EOF at the source level is a typed error.
+    let path = std::env::temp_dir().join(format!("zsa_eof_{}.zsa", std::process::id()));
+    archive.save(&path).unwrap();
+    let src = FileSource::open(&path).unwrap();
+    let len = src.len();
+    assert!(matches!(
+        src.read_range(len, 1).unwrap_err(),
+        ZsmilesError::SourceOutOfBounds { .. }
+    ));
+    assert!(matches!(
+        src.read_range(len - 3, 8).unwrap_err(),
+        ZsmilesError::SourceOutOfBounds { .. }
+    ));
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
