@@ -1,0 +1,250 @@
+//! Throughput harness: the recorded trajectory every perf PR appends to.
+//!
+//! Times the paper's Fig. 3 fast path end to end on a seeded molgen deck —
+//! serial encode through *both* matchers (the flat `DenseAutomaton` hot
+//! path and the node-`Trie` reference, measured in the same run so the
+//! speedup is an observation, not a claim), worker-pool parallel encode
+//! and decode, serial decode, and `ArchiveReader` random `get()` against
+//! a real on-disk `.zsa` — and writes the numbers (MB/s and ns/op) as
+//! JSON.
+//!
+//! ```text
+//! cargo run --release -p bench --bin throughput -- \
+//!     [--lines 50000] [--seed 12648430] [--threads N] [--reps 3] \
+//!     [--gets 20000] [--out BENCH_3.json]
+//! ```
+//!
+//! Every measurement is best-of-`reps` wall time (per-rep byte counts are
+//! identical by construction, so best-of is the least-noise estimator).
+//! The run also *asserts* the identities the numbers depend on: both
+//! matchers emit byte-identical streams, parallel output equals serial
+//! output on the base and wide flavours, and decode restores the deck.
+
+use molgen::Dataset;
+use std::time::Instant;
+use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::{
+    compress_parallel_dyn, decompress_parallel_dyn, ArchiveReader, Compressor, Decompressor,
+    DictBuilder, MatcherKind, WideDictBuilder,
+};
+
+struct Opts {
+    lines: usize,
+    seed: u64,
+    threads: usize,
+    reps: usize,
+    gets: usize,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut o = Opts {
+        lines: 50_000,
+        seed: 0xC0FFEE,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        reps: 3,
+        gets: 20_000,
+        out: "BENCH_3.json".to_string(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let val = argv.get(i + 1);
+        match argv[i].as_str() {
+            "--lines" => o.lines = val.and_then(|v| v.parse().ok()).unwrap_or(o.lines),
+            "--seed" => o.seed = val.and_then(|v| v.parse().ok()).unwrap_or(o.seed),
+            "--threads" => o.threads = val.and_then(|v| v.parse().ok()).unwrap_or(o.threads),
+            "--reps" => o.reps = val.and_then(|v| v.parse().ok()).unwrap_or(o.reps),
+            "--gets" => o.gets = val.and_then(|v| v.parse().ok()).unwrap_or(o.gets),
+            "--out" => o.out = val.cloned().unwrap_or(o.out),
+            _ => {
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    o.reps = o.reps.max(1);
+    o
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One measurement: throughput relative to `bytes` payload over `lines`.
+struct Rate {
+    mb_per_s: f64,
+    ns_per_line: f64,
+}
+
+fn rate(bytes: usize, lines: usize, secs: f64) -> Rate {
+    Rate {
+        mb_per_s: bytes as f64 / 1e6 / secs,
+        ns_per_line: secs * 1e9 / lines.max(1) as f64,
+    }
+}
+
+fn json_rate(name: &str, r: &Rate) -> String {
+    format!(
+        "  \"{name}\": {{ \"mb_per_s\": {:.2}, \"ns_per_line\": {:.1} }}",
+        r.mb_per_s, r.ns_per_line
+    )
+}
+
+fn main() {
+    let o = parse_opts();
+    eprintln!(
+        "throughput: {} lines, seed {:#x}, {} threads, best of {} rep(s)",
+        o.lines, o.seed, o.threads, o.reps
+    );
+
+    let deck = Dataset::generate_mixed(o.lines, o.seed);
+    let input = deck.as_bytes().to_vec();
+    let payload: usize = deck.payload_bytes();
+
+    // Preprocessing off: the harness times the codec (matcher walk + DP +
+    // emit / table expand), not the SMILES ring renumberer.
+    let dict = DictBuilder {
+        preprocess: false,
+        ..Default::default()
+    }
+    .train(deck.iter())
+    .expect("training the base dictionary");
+    let wide = WideDictBuilder {
+        base: DictBuilder {
+            preprocess: false,
+            ..Default::default()
+        },
+        wide_size: 64,
+    }
+    .train(deck.iter())
+    .expect("training the wide dictionary");
+
+    // ---- identity assertions the measurements rely on --------------------
+    let mut z_dense = Vec::new();
+    let stats = Compressor::new(&dict).compress_buffer(&input, &mut z_dense);
+    let mut z_node = Vec::new();
+    Compressor::new(&dict)
+        .with_matcher(MatcherKind::NodeTrie)
+        .compress_buffer(&input, &mut z_node);
+    assert_eq!(z_dense, z_node, "dense automaton ≠ node trie output");
+
+    let any = AnyDictionary::Base(Box::new(dict.clone()));
+    let (z_par, _) = compress_parallel_dyn(&any, &input, o.threads);
+    assert_eq!(z_par, z_dense, "parallel ≠ serial (base)");
+
+    let any_wide = AnyDictionary::Wide(Box::new(wide));
+    let mut zw_serial = Vec::new();
+    {
+        let mut enc = zsmiles_core::WideCompressor::new(match &any_wide {
+            AnyDictionary::Wide(w) => w,
+            _ => unreachable!(),
+        });
+        enc.compress_buffer(&input, &mut zw_serial);
+    }
+    let (zw_par, _) = compress_parallel_dyn(&any_wide, &input, o.threads);
+    assert_eq!(zw_par, zw_serial, "parallel ≠ serial (wide)");
+
+    let mut back = Vec::new();
+    Decompressor::new(&dict)
+        .decompress_buffer(&z_dense, &mut back)
+        .expect("decode");
+    assert_eq!(back, input, "decode does not restore the deck");
+
+    // ---- measurements ----------------------------------------------------
+    let mut out_buf = Vec::with_capacity(z_dense.len() + 16);
+    let enc_node = time_best(o.reps, || {
+        out_buf.clear();
+        Compressor::new(&dict)
+            .with_matcher(MatcherKind::NodeTrie)
+            .compress_buffer(&input, &mut out_buf);
+    });
+    let enc_dense = time_best(o.reps, || {
+        out_buf.clear();
+        Compressor::new(&dict).compress_buffer(&input, &mut out_buf);
+    });
+    let enc_par = time_best(o.reps, || {
+        let _ = compress_parallel_dyn(&any, &input, o.threads);
+    });
+    let mut back_buf = Vec::with_capacity(input.len() + 16);
+    let dec_serial = time_best(o.reps, || {
+        back_buf.clear();
+        Decompressor::new(&dict)
+            .decompress_buffer(&z_dense, &mut back_buf)
+            .expect("decode");
+    });
+    let dec_par = time_best(o.reps, || {
+        let _ = decompress_parallel_dyn(&any, &z_dense, o.threads).expect("decode");
+    });
+
+    // Random access against a real file through the out-of-core reader.
+    let zsa = std::env::temp_dir().join(format!("zsmiles_throughput_{}.zsa", std::process::id()));
+    zsmiles_core::Archive::pack(any.clone(), &input, o.threads)
+        .save(&zsa)
+        .expect("packing the archive");
+    let reader = ArchiveReader::open(&zsa).expect("opening the archive");
+    // Seeded xorshift so the access pattern is reproducible.
+    let mut state = o.seed | 1;
+    let mut order = Vec::with_capacity(o.gets);
+    for _ in 0..o.gets {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        order.push((state % deck.len().max(1) as u64) as usize);
+    }
+    let get_secs = time_best(o.reps, || {
+        for &i in &order {
+            let line = reader.get(i).expect("random get");
+            std::hint::black_box(&line);
+        }
+    });
+    drop(reader);
+    std::fs::remove_file(&zsa).ok();
+
+    let r_node = rate(payload, o.lines, enc_node);
+    let r_dense = rate(payload, o.lines, enc_dense);
+    let r_par = rate(payload, o.lines, enc_par);
+    let r_dec = rate(payload, o.lines, dec_serial);
+    let r_dec_par = rate(payload, o.lines, dec_par);
+    let get_ns = get_secs * 1e9 / o.gets.max(1) as f64;
+    let speedup = enc_node / enc_dense;
+
+    let json = format!
+    (
+        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 3,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"encode_speedup_dense_vs_node_trie\": {:.3}\n}}\n",
+        o.lines,
+        o.seed,
+        payload,
+        z_dense.len(),
+        stats.ratio(),
+        o.threads,
+        o.reps,
+        json_rate("serial_encode_node_trie", &r_node),
+        json_rate("serial_encode", &r_dense),
+        json_rate("parallel_encode", &r_par),
+        json_rate("serial_decode", &r_dec),
+        json_rate("parallel_decode", &r_dec_par),
+        get_ns,
+        o.gets,
+        speedup,
+    );
+    std::fs::write(&o.out, &json).expect("writing the result file");
+    print!("{json}");
+    eprintln!(
+        "encode {:.1} MB/s (node trie {:.1} MB/s, {:.2}x), parallel {:.1} MB/s; decode {:.1} MB/s; get {:.0} ns/op -> {}",
+        r_dense.mb_per_s, r_node.mb_per_s, speedup, r_par.mb_per_s, r_dec.mb_per_s, get_ns, o.out
+    );
+    if speedup < 1.5 {
+        eprintln!("WARNING: dense-automaton speedup below the 1.5x floor");
+    }
+}

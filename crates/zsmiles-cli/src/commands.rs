@@ -8,8 +8,8 @@ use zsmiles_core::dict::format as dict_format;
 use zsmiles_core::engine::AnyDictionary;
 use zsmiles_core::wide::write_wide_dict;
 use zsmiles_core::{
-    Archive, ArchiveReader, CountingSource, Decompressor, DictBuilder, FileSource, LineIndex,
-    Prepopulation, WideDictBuilder,
+    Archive, ArchiveReader, CachedSource, CountingSource, Decompressor, DictBuilder, FileSource,
+    LineIndex, Prepopulation, WideDictBuilder,
 };
 
 const USAGE: &str =
@@ -24,8 +24,10 @@ const USAGE: &str =
              (single-file archive: dictionary + payload + line index + CRC)
   unpack     -i in.zsa -o out.smi [--threads N] [--verify]
   get        -i in.zsmi -d dict.dct --line K
-  get        --archive in.zsa --line K [--verify]
-             (no dictionary or sidecar needed; reads only metadata + one line)
+  get        --archive in.zsa --line K [--count N] [--verify] [--verbose]
+             (no dictionary or sidecar needed; reads only metadata + the
+              lines asked for; --count N prints N consecutive lines through
+              a block read-ahead cache, --verbose reports its hit rate)
   screen     -i deck.smi [--pocket-seed S] [--top K] [--threads N] [--scores out.tsv]
   stats      -i file.smi
   inspect    -d dict.dct [-i corpus.smi]
@@ -271,17 +273,42 @@ fn cmd_get(args: &Args) -> Result<(), String> {
     let line_no = args.get_usize("--line", 0)?;
 
     // Single-file path: everything needed is inside the container, and
-    // the reader fetches only metadata plus that line's byte range — a
-    // one-line probe into a multi-GB archive never allocates the payload.
+    // the reader fetches only metadata plus the requested byte ranges — a
+    // probe into a multi-GB archive never allocates the payload. The
+    // block cache turns a `--count` loop of per-line fetches into one
+    // read-ahead transfer per block.
     if let Some(path) = args.get("--archive") {
-        let reader = ArchiveReader::open(Path::new(path)).map_err(|e| e.to_string())?;
+        let source =
+            CachedSource::new(FileSource::open(Path::new(path)).map_err(|e| e.to_string())?);
+        let reader = ArchiveReader::from_source(source).map_err(|e| e.to_string())?;
         if args.get_bool("--verify") {
             // Opt-in integrity pass: one sequential CRC scan of the file.
-            // Without it a fetch touches only metadata + one line.
+            // Without it a fetch touches only metadata + the lines read.
             reader.verify().map_err(|e| e.to_string())?;
         }
-        let smiles = reader.get(line_no).map_err(|e| e.to_string())?;
-        println!("{}", String::from_utf8_lossy(&smiles));
+        let count = args.get_usize("--count", 1)?.max(1);
+        // Snapshot after open/verify so the report covers line fetches
+        // only, not the metadata reads (or the CRC scan).
+        let (hits0, misses0) = (reader.source().hits(), reader.source().misses());
+        let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
+        use std::io::Write;
+        for k in 0..count {
+            let i = line_no
+                .checked_add(k)
+                .ok_or_else(|| "line number overflows".to_string())?;
+            let smiles = reader.get(i).map_err(|e| e.to_string())?;
+            writeln!(stdout, "{}", String::from_utf8_lossy(&smiles)).map_err(|e| e.to_string())?;
+        }
+        stdout.flush().map_err(|e| e.to_string())?;
+        if args.get_bool("--verbose") {
+            let src = reader.source();
+            eprintln!(
+                "cache: {} hits, {} misses over {} line fetch(es)",
+                src.hits() - hits0,
+                src.misses() - misses0,
+                count,
+            );
+        }
         return Ok(());
     }
 
@@ -618,6 +645,29 @@ mod tests {
             );
             // Random access needs only the single archive file.
             run(&argv(&["get", "--archive", &zsa, "--line", "42"])).unwrap();
+            // A consecutive-line loop through the read-ahead cache.
+            run(&argv(&[
+                "get",
+                "--archive",
+                &zsa,
+                "--line",
+                "40",
+                "--count",
+                "20",
+                "--verbose",
+            ]))
+            .unwrap();
+            // The loop must not run past the end of the deck.
+            assert!(run(&argv(&[
+                "get",
+                "--archive",
+                &zsa,
+                "--line",
+                "245",
+                "--count",
+                "10",
+            ]))
+            .is_err());
             run(&argv(&[
                 "get",
                 "--archive",

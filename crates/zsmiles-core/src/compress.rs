@@ -5,6 +5,19 @@ use crate::dict::Dictionary;
 use crate::engine::{LineEncoder, PreprocessStage};
 use crate::sp::{encode_line, SpAlgorithm, SpScratch};
 
+/// Which pattern-matching structure the encoder walks. Both produce
+/// byte-identical output; the dense automaton is the default hot path and
+/// the node trie remains selectable so the throughput harness can measure
+/// the two in one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatcherKind {
+    /// Flat `state × 256` tables ([`crate::trie::DenseAutomaton`]).
+    #[default]
+    DenseAutomaton,
+    /// The pointer-linked build-time [`crate::trie::Trie`].
+    NodeTrie,
+}
+
 /// Accounting for one compression run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CompressStats {
@@ -41,6 +54,7 @@ impl CompressStats {
 pub struct Compressor<'d> {
     dict: &'d Dictionary,
     algo: SpAlgorithm,
+    matcher: MatcherKind,
     /// The shared ring-ID preprocessing stage. Enabled by default to
     /// whatever the dictionary was trained with — mixing the two wastes
     /// ratio but is never incorrect, so it is a tunable, not an invariant.
@@ -53,6 +67,7 @@ impl<'d> Compressor<'d> {
         Compressor {
             dict,
             algo: SpAlgorithm::default(),
+            matcher: MatcherKind::default(),
             preprocess: PreprocessStage::new(dict.preprocessed()),
             scratch: SpScratch::new(),
         }
@@ -60,6 +75,11 @@ impl<'d> Compressor<'d> {
 
     pub fn with_algorithm(mut self, algo: SpAlgorithm) -> Self {
         self.algo = algo;
+        self
+    }
+
+    pub fn with_matcher(mut self, matcher: MatcherKind) -> Self {
+        self.matcher = matcher;
         self
     }
 
@@ -76,7 +96,18 @@ impl<'d> Compressor<'d> {
     /// Returns `(bytes_written, preprocess_failed)`.
     pub fn compress_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> (usize, bool) {
         let (src, failed) = self.preprocess.apply(line);
-        let n = encode_line(self.dict.trie(), src, self.algo, &mut self.scratch, out);
+        let n = match self.matcher {
+            MatcherKind::DenseAutomaton => encode_line(
+                self.dict.automaton(),
+                src,
+                self.algo,
+                &mut self.scratch,
+                out,
+            ),
+            MatcherKind::NodeTrie => {
+                encode_line(self.dict.trie(), src, self.algo, &mut self.scratch, out)
+            }
+        };
         (n, failed)
     }
 
@@ -145,6 +176,34 @@ mod tests {
         );
         // Line structure preserved.
         assert_eq!(out.iter().filter(|&&b| b == b'\n').count(), 50);
+    }
+
+    #[test]
+    fn matcher_kinds_compress_identically() {
+        let deck: Vec<&[u8]> = [
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2".as_slice(),
+            b"COc1cc(C=O)ccc1O",
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+        ]
+        .repeat(8);
+        let d = DictBuilder {
+            min_count: 2,
+            ..Default::default()
+        }
+        .train(deck.iter().copied())
+        .unwrap();
+        let input: Vec<u8> = deck
+            .iter()
+            .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+            .collect();
+        let mut dense = Vec::new();
+        let s1 = Compressor::new(&d).compress_buffer(&input, &mut dense);
+        let mut node = Vec::new();
+        let s2 = Compressor::new(&d)
+            .with_matcher(MatcherKind::NodeTrie)
+            .compress_buffer(&input, &mut node);
+        assert_eq!(dense, node, "automaton and node trie emit the same bytes");
+        assert_eq!(s1, s2);
     }
 
     #[test]

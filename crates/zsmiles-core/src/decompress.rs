@@ -20,10 +20,71 @@ pub struct DecompressStats {
     pub out_bytes: usize,
 }
 
+/// Packed-span sentinel for "code has no entry".
+const ABSENT: u32 = u32::MAX;
+
+/// The flat expansion table the decode hot loop reads.
+///
+/// All pattern bytes live back-to-back in one arena; per code a single
+/// packed word `(offset << 8) | len` locates the expansion. Compared to
+/// the previous `[Option<&[u8]>; 256]` this removes the per-lookup
+/// `Option` discriminant test and the pointer chase into 222 separately
+/// boxed patterns — every expansion is a slice of one contiguous,
+/// cache-resident buffer (≤ 222 × 16 bytes, under 4 KiB). Built once per
+/// [`Dictionary`] and shared by every [`Decompressor`] worker.
+#[derive(Debug, Clone)]
+pub struct DecodeTable {
+    /// Every pattern's bytes, concatenated in code order.
+    arena: Box<[u8]>,
+    /// `spans[code]` = `(arena offset << 8) | pattern length`, or
+    /// [`ABSENT`]. Offsets fit 24 bits (the arena is ≤ 3 552 bytes) and
+    /// lengths fit 8 ([`crate::dict::MAX_PATTERN_LEN`] is 16).
+    spans: [u32; 256],
+}
+
+impl DecodeTable {
+    /// Build from `(code, pattern)` entries.
+    ///
+    /// # Panics
+    ///
+    /// If a pattern is longer than 255 bytes or the arena would exceed
+    /// the 24-bit offset field — impossible for dictionary-shaped input
+    /// (≤ 256 patterns of ≤ [`crate::dict::MAX_PATTERN_LEN`] bytes), and
+    /// a corrupt packed word must never be built silently.
+    pub fn build<'a, I: IntoIterator<Item = (u8, &'a [u8])>>(entries: I) -> DecodeTable {
+        let mut arena = Vec::new();
+        let mut spans = [ABSENT; 256];
+        for (code, pat) in entries {
+            assert!(pat.len() <= 0xFF, "pattern length fits the packed word");
+            assert!(arena.len() < (1 << 24), "arena offset fits the packed word");
+            let packed = ((arena.len() as u32) << 8) | pat.len() as u32;
+            assert!(packed != ABSENT, "packed word collides with the sentinel");
+            spans[code as usize] = packed;
+            arena.extend_from_slice(pat);
+        }
+        DecodeTable {
+            arena: arena.into_boxed_slice(),
+            spans,
+        }
+    }
+
+    /// The pattern `code` expands to, if any.
+    #[inline]
+    pub fn expansion(&self, code: u8) -> Option<&[u8]> {
+        let packed = self.spans[code as usize];
+        if packed == ABSENT {
+            None
+        } else {
+            let off = (packed >> 8) as usize;
+            Some(&self.arena[off..off + (packed & 0xFF) as usize])
+        }
+    }
+}
+
 /// A reusable decompressor bound to one dictionary.
 pub struct Decompressor<'d> {
-    /// Flat expansion table: `table[code]` = pattern bytes.
-    table: [Option<&'d [u8]>; 256],
+    /// The dictionary's shared arena-backed expansion table.
+    table: &'d DecodeTable,
     /// Re-number ring IDs to the conventional exporter style after
     /// expansion (Fig. 3's optional post-process). Off by default: the
     /// archived pre-processed form is already valid SMILES.
@@ -33,12 +94,8 @@ pub struct Decompressor<'d> {
 
 impl<'d> Decompressor<'d> {
     pub fn new(dict: &'d Dictionary) -> Self {
-        let mut table: [Option<&'d [u8]>; 256] = [None; 256];
-        for (code, pat) in dict.all_entries() {
-            table[code as usize] = Some(pat);
-        }
         Decompressor {
-            table,
+            table: dict.decode_table(),
             postprocess: false,
             ppbuf: Vec::new(),
         }
@@ -50,6 +107,12 @@ impl<'d> Decompressor<'d> {
     }
 
     /// Decompress one line (no newline), appending to `out`.
+    ///
+    /// Bulk expansion in two sweeps: the first validates the whole line
+    /// and sums the expanded size, the second reserves once and copies
+    /// with no error paths — so the copy loop carries no bounds/realloc
+    /// bookkeeping and a bad line is rejected before any output bytes are
+    /// produced.
     pub fn decompress_line(
         &mut self,
         line: &[u8],
@@ -59,24 +122,43 @@ impl<'d> Decompressor<'d> {
         if self.postprocess {
             self.ppbuf.clear();
         }
-        // Expand into `out` directly unless post-processing needs a
-        // staging buffer.
+        // Sweep 1: validate + size.
+        let mut total = 0usize;
+        let mut i = 0;
+        while i < line.len() {
+            let b = line[i];
+            if b == ESCAPE {
+                if i + 1 >= line.len() {
+                    return Err(ZsmilesError::TruncatedEscape { at: i });
+                }
+                total += 1;
+                i += 2;
+            } else {
+                let packed = self.table.spans[b as usize];
+                if packed == ABSENT {
+                    return Err(ZsmilesError::UnknownCode { code: b, at: i });
+                }
+                total += (packed & 0xFF) as usize;
+                i += 1;
+            }
+        }
+        // Sweep 2: expand into `out` directly unless post-processing
+        // needs a staging buffer.
         let target_is_out = !self.postprocess;
         {
             let target: &mut Vec<u8> = if target_is_out { out } else { &mut self.ppbuf };
+            target.reserve(total);
             let mut i = 0;
             while i < line.len() {
                 let b = line[i];
                 if b == ESCAPE {
-                    let lit = line
-                        .get(i + 1)
-                        .ok_or(ZsmilesError::TruncatedEscape { at: i })?;
-                    target.push(*lit);
+                    target.push(line[i + 1]);
                     i += 2;
                 } else {
-                    let pat = self.table[b as usize]
-                        .ok_or(ZsmilesError::UnknownCode { code: b, at: i })?;
-                    target.extend_from_slice(pat);
+                    let packed = self.table.spans[b as usize];
+                    let off = (packed >> 8) as usize;
+                    target
+                        .extend_from_slice(&self.table.arena[off..off + (packed & 0xFF) as usize]);
                     i += 1;
                 }
             }
@@ -123,6 +205,23 @@ mod tests {
         }
         .train(corpus.iter().copied())
         .unwrap()
+    }
+
+    #[test]
+    fn decode_table_packs_all_entries() {
+        let d = Dictionary::identity_only(Prepopulation::SmilesAlphabet);
+        let t = d.decode_table();
+        for (code, pat) in d.all_entries() {
+            assert_eq!(t.expansion(code), Some(pat));
+        }
+        assert_eq!(t.expansion(0x80), None);
+        // Standalone build from arbitrary entries, including the longest
+        // allowed pattern.
+        let long = [b'x'; 16];
+        let t = DecodeTable::build([(0x21u8, b"CC".as_slice()), (0xF0, &long)]);
+        assert_eq!(t.expansion(0x21), Some(b"CC".as_slice()));
+        assert_eq!(t.expansion(0xF0), Some(&long[..]));
+        assert_eq!(t.expansion(0x22), None);
     }
 
     #[test]

@@ -12,8 +12,9 @@ pub mod builder;
 pub mod format;
 
 use crate::codec::{code_space, is_code_byte, Prepopulation};
+use crate::decompress::DecodeTable;
 use crate::error::ZsmilesError;
-use crate::trie::Trie;
+use crate::trie::{DenseAutomaton, Trie};
 
 /// Longest pattern length the format supports. Bounded so the trie and the
 /// GPU kernels can use fixed-size scratch; the paper's sweeps stop at 16.
@@ -35,6 +36,14 @@ pub struct Dictionary {
     /// compressed with this dictionary should do the same.
     preprocessed: bool,
     trie: Trie,
+    /// The flat table-driven matcher the encode hot path walks, compiled
+    /// from `trie` on first use. Lazy (and shared across clones) because
+    /// its tables run to a few MiB and decode-only paths — `unpack`, the
+    /// out-of-core reader — never walk it.
+    automaton: std::sync::Arc<std::sync::OnceLock<DenseAutomaton>>,
+    /// The arena-backed expansion table the decode hot path reads (a few
+    /// KiB; built eagerly).
+    decode: DecodeTable,
 }
 
 impl Dictionary {
@@ -102,6 +111,12 @@ impl Dictionary {
                 trie.insert(pat, code as u8);
             }
         }
+        let decode = DecodeTable::build(
+            entries
+                .iter()
+                .enumerate()
+                .filter_map(|(c, e)| e.as_deref().map(|p| (c as u8, p))),
+        );
         Ok(Dictionary {
             entries,
             identity: identity_flags,
@@ -110,6 +125,8 @@ impl Dictionary {
             lmax,
             preprocessed,
             trie,
+            automaton: std::sync::Arc::new(std::sync::OnceLock::new()),
+            decode,
         })
     }
 
@@ -143,9 +160,24 @@ impl Dictionary {
         self.entries[code as usize].as_deref()
     }
 
-    /// The matching trie.
+    /// The matching trie (the build-time / reference structure).
     pub fn trie(&self) -> &Trie {
         &self.trie
+    }
+
+    /// The flat table-driven matcher the encode hot path walks — compiled
+    /// from [`Dictionary::trie`] on first call (then cached, shared by
+    /// clones), byte-identical matches, branch-light loads (see
+    /// [`DenseAutomaton`] for the layout trade-off).
+    pub fn automaton(&self) -> &DenseAutomaton {
+        self.automaton
+            .get_or_init(|| DenseAutomaton::compile(&self.trie))
+    }
+
+    /// The arena-backed expansion table shared by every
+    /// [`crate::Decompressor`] worker on this dictionary.
+    pub fn decode_table(&self) -> &DecodeTable {
+        &self.decode
     }
 
     /// Total entries (identity + patterns).

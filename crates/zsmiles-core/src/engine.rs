@@ -394,7 +394,11 @@ impl Engine for WideEngine<'_> {
 ///   worker without self-referential lifetimes.
 ///
 /// The boxed workers cost one vtable call per line; every per-line scratch
-/// buffer is still reused, so steady-state throughput is unchanged.
+/// buffer is still reused, so steady-state throughput is unchanged. The
+/// parallel entry points ([`crate::parallel::compress_parallel_dyn`] /
+/// [`crate::parallel::decompress_parallel_dyn`]) mint one boxed worker per
+/// [`crate::parallel::WorkerPool`] job and reuse it across every span that
+/// job claims — worker minting is a per-call cost, never a per-span one.
 pub trait DynEngine: Sync {
     /// Display name (bench axis labels).
     fn name(&self) -> &'static str;
@@ -556,7 +560,8 @@ impl AnyDictionary {
         self
     }
 
-    /// Compress a newline-separated buffer on `threads` workers.
+    /// Compress a newline-separated buffer on `threads` workers of the
+    /// persistent process-wide [`crate::parallel::WorkerPool`].
     pub fn compress_parallel(&self, input: &[u8], threads: usize) -> (Vec<u8>, CompressStats) {
         crate::parallel::compress_parallel_dyn(self, input, threads)
     }

@@ -35,8 +35,9 @@
 //!   sniffed-at-run-time dictionary *the* engine object), the shared
 //!   buffer loops and preprocessing stage, and [`textcomp::LineCodec`]
 //!   adapters for the baseline-comparison harness;
-//! * [`parallel`] / [`fileio`] — span-parallel and streaming execution of
-//!   any engine, static or dyn;
+//! * [`parallel`] / [`fileio`] — span-parallel execution of any engine,
+//!   static or dyn, on a persistent [`parallel::WorkerPool`] (no OS
+//!   threads spawned per call), and streaming chunk I/O on top of it;
 //! * [`archive`] — the `.zsa` container: magic + header, embedded
 //!   dictionary (either flavour), readable compressed payload, line-offset
 //!   index and CRC32 footer in one self-describing file with O(1)
@@ -92,8 +93,8 @@ pub mod wide;
 
 pub use archive::Archive;
 pub use codec::{Prepopulation, ESCAPE, LINE_SEP};
-pub use compress::{CompressStats, Compressor};
-pub use decompress::{DecompressStats, Decompressor};
+pub use compress::{CompressStats, Compressor, MatcherKind};
+pub use decompress::{DecodeTable, DecompressStats, Decompressor};
 pub use dict::builder::{DictBuilder, RankStrategy};
 pub use dict::Dictionary;
 pub use engine::{
@@ -109,9 +110,10 @@ pub use index::LineIndex;
 pub use parallel::{
     compress_parallel, compress_parallel_dyn, compress_parallel_engine, compress_parallel_wide,
     decompress_parallel, decompress_parallel_dyn, decompress_parallel_engine,
-    decompress_parallel_wide,
+    decompress_parallel_wide, WorkerPool,
 };
 pub use reader::ArchiveReader;
-pub use source::{ArchiveSource, CountingSource, FileSource, InMemorySource};
+pub use source::{ArchiveSource, CachedSource, CountingSource, FileSource, InMemorySource};
 pub use sp::SpAlgorithm;
+pub use trie::{DenseAutomaton, Matcher, Trie};
 pub use wide::{WideCompressor, WideDecompressor, WideDictBuilder, WideDictionary};

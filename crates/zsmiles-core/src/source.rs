@@ -174,6 +174,100 @@ impl ArchiveSource for FileSource {
     }
 }
 
+/// Default readahead block for [`CachedSource`] (256 KiB — a few thousand
+/// compressed lines per transfer).
+pub const DEFAULT_CACHE_BLOCK: usize = 256 << 10;
+
+/// A single-block readahead cache over any source.
+///
+/// Random-access loops over a `.zsa` — a campaign fetching a run of hits,
+/// the CLI printing `--count` consecutive lines — issue many small
+/// `read_at`s that land near each other. `CachedSource` turns them into
+/// one block-sized transfer: a miss reads `block` bytes starting at the
+/// requested offset (forward readahead) and keeps them; subsequent reads
+/// inside the cached block are served from memory. Requests at or above
+/// the block size bypass the cache entirely, so batched iteration does
+/// not thrash it.
+///
+/// Hit/miss counters are atomic and the block sits behind a mutex, so a
+/// shared cached source stays usable from concurrent readers (they
+/// serialize on the block — this is a readahead for loop-shaped access,
+/// not a shared page cache; that is the ROADMAP's mmap-backed source).
+#[derive(Debug)]
+pub struct CachedSource<S> {
+    inner: S,
+    block_size: usize,
+    /// `(offset, bytes)` of the resident block, if any.
+    block: std::sync::Mutex<Option<(u64, Vec<u8>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<S: ArchiveSource> CachedSource<S> {
+    pub fn new(inner: S) -> Self {
+        CachedSource::with_block_size(inner, DEFAULT_CACHE_BLOCK)
+    }
+
+    pub fn with_block_size(inner: S, block_size: usize) -> Self {
+        CachedSource {
+            inner,
+            block_size: block_size.max(1),
+            block: std::sync::Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Reads served from the resident block.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Reads that went to the inner source (block fills and bypasses).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: ArchiveSource> ArchiveSource for CachedSource<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), ZsmilesError> {
+        check_bounds(self.inner.len(), offset, buf.len())?;
+        if buf.len() >= self.block_size {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return self.inner.read_at(offset, buf);
+        }
+        let mut block = self.block.lock().expect("cache lock poisoned");
+        if let Some((start, bytes)) = block.as_ref() {
+            if offset >= *start && offset + buf.len() as u64 <= *start + bytes.len() as u64 {
+                let at = (offset - *start) as usize;
+                buf.copy_from_slice(&bytes[at..at + buf.len()]);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        // Miss: fill one block starting at the requested offset (clamped
+        // to EOF; bounds were checked, so it always covers the request).
+        let fill = (self.inner.len() - offset).min(self.block_size as u64) as usize;
+        let bytes = self.inner.read_range(offset, fill)?;
+        buf.copy_from_slice(&bytes[..buf.len()]);
+        *block = Some((offset, bytes));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
 /// Wraps any source and counts traffic. Counters are atomic, so a shared
 /// counting source observes all concurrent readers.
 #[derive(Debug, Default)]
@@ -277,6 +371,37 @@ mod tests {
             ZsmilesError::SourceOutOfBounds { .. }
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cached_source_serves_repeat_and_readahead_reads_from_memory() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let src = CachedSource::with_block_size(
+            CountingSource::new(InMemorySource::new(data.clone())),
+            64,
+        );
+        // First read fills a 64-byte block at offset 100.
+        assert_eq!(src.read_range(100, 10).unwrap(), &data[100..110]);
+        assert_eq!((src.hits(), src.misses()), (0, 1));
+        assert_eq!(src.inner().reads(), 1);
+        // Forward readahead: the next 50 bytes are already resident.
+        assert_eq!(src.read_range(110, 50).unwrap(), &data[110..160]);
+        assert_eq!(src.read_range(100, 10).unwrap(), &data[100..110]);
+        assert_eq!((src.hits(), src.misses()), (2, 1));
+        assert_eq!(src.inner().reads(), 1, "no further inner transfer");
+        // Outside the block: one new fill.
+        assert_eq!(src.read_range(500, 4).unwrap(), &data[500..504]);
+        assert_eq!((src.hits(), src.misses()), (2, 2));
+        // Block-sized and larger requests bypass the cache.
+        assert_eq!(src.read_range(0, 64).unwrap(), &data[..64]);
+        assert_eq!((src.hits(), src.misses()), (2, 3));
+        // Near EOF the fill clamps instead of erroring.
+        assert_eq!(src.read_range(990, 10).unwrap(), &data[990..]);
+        // Out-of-bounds requests still fail identically.
+        assert!(matches!(
+            src.read_range(995, 10).unwrap_err(),
+            ZsmilesError::SourceOutOfBounds { .. }
+        ));
     }
 
     #[test]

@@ -18,9 +18,7 @@
 //! which is what makes CPU/GPU outputs comparable bit-for-bit.
 
 use crate::codec::ESCAPE;
-use crate::trie::Trie;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::trie::Matcher;
 
 /// Which shortest-path engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,7 +26,8 @@ pub enum SpAlgorithm {
     /// Backward dynamic program over the position DAG (default).
     #[default]
     BackwardDp,
-    /// Binary-heap Dijkstra, as described in the paper.
+    /// The paper's Dijkstra, minus the heap its position DAG never needs
+    /// (see the comment in the implementation).
     Dijkstra,
 }
 
@@ -46,7 +45,6 @@ const ESCAPE_CHOICE: Choice = Choice { code: 0, len: 0 };
 pub struct SpScratch {
     dist: Vec<u32>,
     choice: Vec<Choice>,
-    heap: BinaryHeap<Reverse<(u32, u32)>>,
 }
 
 impl SpScratch {
@@ -59,14 +57,15 @@ impl SpScratch {
         self.dist.resize(n + 1, u32::MAX);
         self.choice.clear();
         self.choice.resize(n + 1, ESCAPE_CHOICE);
-        self.heap.clear();
     }
 }
 
-/// Encode `line` with `trie`, appending code bytes to `out`.
-/// Returns the path cost (= number of appended bytes).
-pub fn encode_line(
-    trie: &Trie,
+/// Encode `line` against `matcher` (the dictionary's [`Matcher`] — the
+/// flat [`crate::trie::DenseAutomaton`] on the hot path, or the node
+/// [`crate::trie::Trie`] as the reference), appending code bytes to
+/// `out`. Returns the path cost (= number of appended bytes).
+pub fn encode_line<M: Matcher>(
+    matcher: &M,
     line: &[u8],
     algo: SpAlgorithm,
     scratch: &mut SpScratch,
@@ -76,25 +75,30 @@ pub fn encode_line(
         return 0;
     }
     match algo {
-        SpAlgorithm::BackwardDp => backward_dp(trie, line, scratch),
-        SpAlgorithm::Dijkstra => dijkstra(trie, line, scratch),
+        SpAlgorithm::BackwardDp => backward_dp(matcher, line, scratch),
+        SpAlgorithm::Dijkstra => dijkstra(matcher, line, scratch),
     }
     emit(line, scratch, out)
 }
 
 /// Cost of the optimal encoding without emitting it.
-pub fn encode_cost(trie: &Trie, line: &[u8], algo: SpAlgorithm, scratch: &mut SpScratch) -> usize {
+pub fn encode_cost<M: Matcher>(
+    matcher: &M,
+    line: &[u8],
+    algo: SpAlgorithm,
+    scratch: &mut SpScratch,
+) -> usize {
     if line.is_empty() {
         return 0;
     }
     match algo {
-        SpAlgorithm::BackwardDp => backward_dp(trie, line, scratch),
-        SpAlgorithm::Dijkstra => dijkstra(trie, line, scratch),
+        SpAlgorithm::BackwardDp => backward_dp(matcher, line, scratch),
+        SpAlgorithm::Dijkstra => dijkstra(matcher, line, scratch),
     }
     scratch.dist[0] as usize
 }
 
-fn backward_dp(trie: &Trie, line: &[u8], s: &mut SpScratch) {
+fn backward_dp<M: Matcher>(matcher: &M, line: &[u8], s: &mut SpScratch) {
     let n = line.len();
     s.reset(n);
     s.dist[n] = 0;
@@ -102,7 +106,7 @@ fn backward_dp(trie: &Trie, line: &[u8], s: &mut SpScratch) {
         // Escape fallback is always available.
         let mut best_cost = 2 + s.dist[i + 1];
         let mut best = ESCAPE_CHOICE;
-        trie.matches_at(line, i, |code, len| {
+        matcher.matches_at(line, i, |code, len| {
             let c = 1 + s.dist[i + len];
             // Ties: prefer code over escape (strict < keeps the first
             // assignment only when cheaper, so compare against escape with
@@ -126,26 +130,20 @@ fn backward_dp(trie: &Trie, line: &[u8], s: &mut SpScratch) {
     }
 }
 
-fn dijkstra(trie: &Trie, line: &[u8], s: &mut SpScratch) {
+fn dijkstra<M: Matcher>(matcher: &M, line: &[u8], s: &mut SpScratch) {
     let n = line.len();
     s.reset(n);
     // For identical tie-breaking with the DP we run Dijkstra *backward*:
     // settle nodes from n toward 0, relaxing reverse edges, which makes the
     // per-node decision identical to the DP's.
     s.dist[n] = 0;
-    s.heap.push(Reverse((0, n as u32)));
-    // Precompute, for each end position, the matches that end there? That
-    // would need a suffix-oriented trie. Instead, relax *forward* from each
-    // settled source the paper's way, but process sources in descending
-    // position so each node's final choice considers all its outgoing
-    // edges before being settled — equivalent to the DP on this DAG.
-    //
-    // Concretely: the graph is a DAG with edges i → j, j > i. Shortest
-    // distance-to-sink of node i depends only on nodes > i. We settle
-    // positions n, n-1, …, 0; at each node we relax its outgoing edges
-    // using already-settled successors. The heap orders by (distance,
-    // position) but every node is pushed exactly once, when first reached;
-    // the DAG structure guarantees successors are settled first.
+    // The paper describes a binary-heap Dijkstra, but on this graph the
+    // heap is unnecessary: every edge points forward (i → j, j > i), so
+    // the graph is a DAG over positions and the settle order is simply
+    // n, n-1, …, 0 — each node's distance-to-sink depends only on
+    // already-settled successors. A heap would pop nodes in exactly that
+    // order while costing O(n log n) pushes, so no heap is kept; what
+    // remains of "Dijkstra" is the settle-and-relax structure.
     for i in (0..n).rev() {
         let mut best_cost = u32::MAX;
         let mut best = ESCAPE_CHOICE;
@@ -155,7 +153,7 @@ fn dijkstra(trie: &Trie, line: &[u8], s: &mut SpScratch) {
             best_cost = c;
             best = ESCAPE_CHOICE;
         }
-        trie.matches_at(line, i, |code, len| {
+        matcher.matches_at(line, i, |code, len| {
             let c = 1u32.saturating_add(s.dist[i + len]);
             if c < best_cost
                 || (c == best_cost
@@ -170,9 +168,6 @@ fn dijkstra(trie: &Trie, line: &[u8], s: &mut SpScratch) {
                 };
             }
         });
-        // Heap bookkeeping kept for fidelity with the paper's description;
-        // on a position DAG it never reorders anything.
-        s.heap.push(Reverse((best_cost, i as u32)));
         s.dist[i] = best_cost;
         s.choice[i] = best;
     }
@@ -198,6 +193,7 @@ fn emit(line: &[u8], s: &SpScratch, out: &mut Vec<u8>) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trie::{DenseAutomaton, Trie};
 
     fn trie(patterns: &[(&[u8], u8)]) -> Trie {
         let mut t = Trie::new();
@@ -307,6 +303,39 @@ mod tests {
         assert_eq!(out, vec![3, 1]);
         let (out2, _) = encode(&t, b"AAAA", SpAlgorithm::Dijkstra);
         assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn dense_automaton_encodes_identically_to_node_trie() {
+        let t = trie(&[
+            (b"C", b'C'),
+            (b"c", b'c'),
+            (b"1", b'1'),
+            (b"O", b'O'),
+            (b"CC", 0x80),
+            (b"c1ccccc1", 0x81),
+            (b"C(=O)", 0x82),
+            (b"cc", 0x83),
+        ]);
+        let auto = DenseAutomaton::compile(&t);
+        let mut s1 = SpScratch::new();
+        let mut s2 = SpScratch::new();
+        for algo in [SpAlgorithm::BackwardDp, SpAlgorithm::Dijkstra] {
+            for line in [
+                b"COc1cc(C=O)ccc1O".as_slice(),
+                b"c1ccccc1",
+                b"CCCCCCCC",
+                b"XYZ",
+                b"",
+            ] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                let ca = encode_line(&t, line, algo, &mut s1, &mut a);
+                let cb = encode_line(&auto, line, algo, &mut s2, &mut b);
+                assert_eq!(ca, cb, "{algo:?} cost on {}", String::from_utf8_lossy(line));
+                assert_eq!(a, b, "{algo:?} bytes on {}", String::from_utf8_lossy(line));
+            }
+        }
     }
 
     #[test]

@@ -1,14 +1,32 @@
-//! Flat-arena byte trie for multi-pattern matching (paper §IV-D1: "the
-//! dictionary D is represented by a trie to do pattern matching").
+//! Multi-pattern matching for the encoder (paper §IV-D1: "the dictionary D
+//! is represented by a trie to do pattern matching").
 //!
-//! Layout choices follow the access pattern: the root level is consulted
-//! once per input position, so it gets a direct 256-entry table; deeper
-//! nodes are rare (patterns are ≤16 bytes and there are ≤222 of them), so
-//! they store sorted child lists searched linearly — the lists are tiny and
-//! a linear scan beats binary search at these sizes.
+//! Two structures share the job:
+//!
+//! * [`Trie`] — the pointer-linked build-time structure. Cheap to mutate
+//!   (dictionary training inserts and re-inserts patterns), compact, but
+//!   every step of a match walk scans a sorted child list.
+//! * [`DenseAutomaton`] — the flat run-time structure the hot encode loop
+//!   walks, compiled from a finished [`Trie`]. One `state × 256` transition
+//!   table plus a packed per-state `(code, depth)` accept word turn each
+//!   step of [`DenseAutomaton::matches_at`] into two array loads and a
+//!   compare — no child-list scan, no `Option` unwrapping.
+//!
+//! Both implement [`Matcher`], the interface [`crate::sp`] encodes
+//! against, and are pinned byte-identical by property tests.
 
 /// Node index sentinel.
 const NONE: u32 = u32::MAX;
+
+/// The interface the shortest-path encoder walks: report every dictionary
+/// pattern matching at `input[start..]`, shortest first. Implemented by
+/// the build-time [`Trie`] and the flat [`DenseAutomaton`]; generic (not
+/// dyn) so the per-position call inlines into the DP loop.
+pub trait Matcher {
+    /// Visit every pattern match starting at `input[start]`, shortest
+    /// first: `visit(code, length)`.
+    fn matches_at<F: FnMut(u8, usize)>(&self, input: &[u8], start: usize, visit: F);
+}
 
 #[derive(Debug, Clone)]
 struct Node {
@@ -187,6 +205,194 @@ impl Trie {
     }
 }
 
+impl Matcher for Trie {
+    #[inline]
+    fn matches_at<F: FnMut(u8, usize)>(&self, input: &[u8], start: usize, visit: F) {
+        Trie::matches_at(self, input, start, visit)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DenseAutomaton
+// ---------------------------------------------------------------------------
+
+/// Dead state: every transition out of it loops back to it, so a walk
+/// tests one sentinel instead of an `Option`.
+const DEAD: u32 = 0;
+/// Start state of every match walk.
+const ROOT: u32 = 1;
+/// Accept-word sentinel for "no pattern ends in this state".
+const NO_ACCEPT: u32 = u32::MAX;
+
+/// A flat table-driven matcher compiled from a finished [`Trie`].
+///
+/// # Layout
+///
+/// * `next` — a dense `state × 256 → state` transition table. One load per
+///   consumed input byte; a missing edge lands in the dead state
+///   (state 0), whose row points back at itself.
+/// * `accept` — one packed word per state: `(depth << 8) | code` if a
+///   pattern ends in that state, a sentinel otherwise. Because every
+///   state sits at a fixed distance from the root, a single word per state
+///   carries the whole `(code, depth)` accept record.
+///
+/// # Trade-off vs the node trie
+///
+/// The trie stores each node's children as a sorted `Vec<(u8, u32)>` —
+/// compact (a few KiB) but every step of a match is a linear child scan
+/// plus a pointer chase into a separately allocated list. The automaton
+/// spends 1 KiB of transition row per state (~1–3 MiB for a full
+/// 222-pattern dictionary) to make each step two indexed loads into two
+/// flat arrays with no data-dependent branches beyond the dead-state
+/// exit. The backward DP in [`crate::sp`] consults the matcher once per
+/// input position per line, so this is the single hottest loop in the
+/// encoder; the memory is paid once per loaded dictionary. Dictionaries
+/// are built with the mutable [`Trie`] and compiled once via
+/// [`DenseAutomaton::compile`]; the trie remains available for
+/// introspection and as the reference implementation the property tests
+/// pin the automaton against.
+#[derive(Debug, Clone)]
+pub struct DenseAutomaton {
+    /// `next[state << 8 | byte]` = successor state (row-major by state).
+    next: Box<[u32]>,
+    /// `accept[state]` = `(depth << 8) | code`, or [`NO_ACCEPT`].
+    accept: Box<[u32]>,
+    max_depth: usize,
+    pattern_count: usize,
+}
+
+impl DenseAutomaton {
+    /// Compile `trie` into flat tables. The trie is not consumed; it stays
+    /// the build-time structure.
+    pub fn compile(trie: &Trie) -> DenseAutomaton {
+        // States 0 (dead) and 1 (root). The dead row is all zeros, which
+        // is exactly "every transition loops to dead".
+        let mut next = vec![DEAD; 2 * 256];
+        let mut accept = vec![NO_ACCEPT; 2];
+        let alloc = |next: &mut Vec<u32>, accept: &mut Vec<u32>| -> u32 {
+            let s = accept.len() as u32;
+            next.extend(std::iter::repeat_n(DEAD, 256));
+            accept.push(NO_ACCEPT);
+            s
+        };
+        // Breadth-first over the trie so states are allocated level by
+        // level: (state, trie node, depth of that node's path).
+        let mut queue: std::collections::VecDeque<(u32, u32, u32)> =
+            std::collections::VecDeque::new();
+        for b in 0..256usize {
+            let node = trie.root[b];
+            if node == NONE && trie.root_code[b].is_none() {
+                continue;
+            }
+            let s = alloc(&mut next, &mut accept);
+            next[(ROOT as usize) << 8 | b] = s;
+            if let Some(code) = trie.root_code[b] {
+                accept[s as usize] = (1 << 8) | code as u32;
+            }
+            if node != NONE {
+                queue.push_back((s, node, 1));
+            }
+        }
+        while let Some((s, node, depth)) = queue.pop_front() {
+            for &(b, child) in &trie.nodes[node as usize].children {
+                let cs = alloc(&mut next, &mut accept);
+                next[(s as usize) << 8 | b as usize] = cs;
+                if let Some(code) = trie.nodes[child as usize].code {
+                    accept[cs as usize] = ((depth + 1) << 8) | code as u32;
+                }
+                queue.push_back((cs, child, depth + 1));
+            }
+        }
+        DenseAutomaton {
+            next: next.into_boxed_slice(),
+            accept: accept.into_boxed_slice(),
+            max_depth: trie.max_depth(),
+            pattern_count: trie.len(),
+        }
+    }
+
+    /// Number of patterns the source trie held.
+    pub fn len(&self) -> usize {
+        self.pattern_count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pattern_count == 0
+    }
+
+    /// Length of the longest pattern.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Number of automaton states, dead and root included.
+    pub fn states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Visit every pattern match starting at `input[start]`, shortest
+    /// first: `visit(code, length)`. The hot-path walk: two flat loads per
+    /// consumed byte, exiting on the dead state (reached after at most
+    /// `max_depth + 1` steps).
+    #[inline]
+    pub fn matches_at<F: FnMut(u8, usize)>(&self, input: &[u8], start: usize, mut visit: F) {
+        let mut state = ROOT as usize;
+        for &b in &input[start..] {
+            state = self.next[state << 8 | b as usize] as usize;
+            if state == DEAD as usize {
+                return;
+            }
+            let acc = self.accept[state];
+            if acc != NO_ACCEPT {
+                visit((acc & 0xFF) as u8, (acc >> 8) as usize);
+            }
+        }
+    }
+
+    /// The longest match at `input[start]`, if any: `(code, length)`.
+    pub fn longest_match_at(&self, input: &[u8], start: usize) -> Option<(u8, usize)> {
+        let mut best = None;
+        self.matches_at(input, start, |code, len| best = Some((code, len)));
+        best
+    }
+
+    /// Exact lookup of one pattern.
+    pub fn get(&self, pattern: &[u8]) -> Option<u8> {
+        if pattern.is_empty() {
+            return None;
+        }
+        let mut state = ROOT as usize;
+        for &b in pattern {
+            state = self.next[state << 8 | b as usize] as usize;
+            if state == DEAD as usize {
+                return None;
+            }
+        }
+        let acc = self.accept[state];
+        // Only a full-length accept counts (depth equals the path length
+        // by construction, so presence is sufficient).
+        if acc == NO_ACCEPT {
+            None
+        } else {
+            Some((acc & 0xFF) as u8)
+        }
+    }
+
+    /// Approximate heap usage in bytes (for capacity planning in docs).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.next.len() * std::mem::size_of::<u32>()
+            + self.accept.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl Matcher for DenseAutomaton {
+    #[inline]
+    fn matches_at<F: FnMut(u8, usize)>(&self, input: &[u8], start: usize, visit: F) {
+        DenseAutomaton::matches_at(self, input, start, visit)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +498,94 @@ mod tests {
         assert_eq!(t.get(b"CC"), None, "interior node has no code");
         assert_eq!(t.get(b"CCOC"), None);
         assert_eq!(t.get(b""), None);
+    }
+
+    fn collect_auto(a: &DenseAutomaton, input: &[u8], start: usize) -> Vec<(u8, usize)> {
+        let mut v = Vec::new();
+        a.matches_at(input, start, |c, l| v.push((c, l)));
+        v
+    }
+
+    #[test]
+    fn automaton_matches_trie_on_fixtures() {
+        let mut t = Trie::new();
+        for (p, c) in [
+            (b"C".as_slice(), 10u8),
+            (b"CC", 11),
+            (b"CCO", 12),
+            (b"c1cc", 1),
+            (b"ccc", 2),
+            (b"cc", 3),
+            (b"O", 20),
+        ] {
+            t.insert(p, c);
+        }
+        let a = DenseAutomaton::compile(&t);
+        assert_eq!(a.len(), t.len());
+        assert_eq!(a.max_depth(), t.max_depth());
+        for input in [
+            b"CCOC".as_slice(),
+            b"c1ccccc1",
+            b"CCC",
+            b"XYZ",
+            b"",
+            b"OCCOc1cc",
+        ] {
+            for start in 0..input.len() {
+                assert_eq!(
+                    collect_auto(&a, input, start),
+                    collect_matches(&t, input, start),
+                    "input {:?} start {start}",
+                    String::from_utf8_lossy(input)
+                );
+                assert_eq!(
+                    a.longest_match_at(input, start),
+                    t.longest_match_at(input, start)
+                );
+            }
+        }
+        for pat in [b"C".as_slice(), b"CC", b"CCO", b"CCOC", b"cc", b"X", b""] {
+            assert_eq!(a.get(pat), t.get(pat), "{:?}", String::from_utf8_lossy(pat));
+        }
+    }
+
+    #[test]
+    fn empty_automaton_matches_nothing() {
+        let a = DenseAutomaton::compile(&Trie::new());
+        assert!(a.is_empty());
+        assert_eq!(a.states(), 2, "just dead + root");
+        assert_eq!(collect_auto(&a, b"CCO", 0), vec![]);
+        assert_eq!(a.longest_match_at(b"CCO", 0), None);
+        assert_eq!(a.get(b"C"), None);
+    }
+
+    #[test]
+    fn automaton_handles_high_bytes_and_deep_chains() {
+        let mut t = Trie::new();
+        t.insert(&[0x80, 0xFF], 7);
+        t.insert(&[0xFF], 8);
+        let a = DenseAutomaton::compile(&t);
+        assert_eq!(collect_auto(&a, &[0x80, 0xFF, 0x80], 0), vec![(7, 2)]);
+        assert_eq!(collect_auto(&a, &[0xFF], 0), vec![(8, 1)]);
+        assert_eq!(a.get(&[0x80, 0xFF]), Some(7));
+        assert_eq!(a.get(&[0x80]), None, "interior state does not accept");
+    }
+
+    #[test]
+    fn automaton_state_count_and_memory_are_bounded() {
+        // The realistic maximum: 222 patterns up to 16 bytes.
+        let mut t = Trie::new();
+        for i in 0..222usize {
+            let len = 2 + (i % 15);
+            let pat: Vec<u8> = (0..len).map(|j| b'A' + ((i + j) % 26) as u8).collect();
+            t.insert(&pat, (i % 200) as u8);
+        }
+        let a = DenseAutomaton::compile(&t);
+        // One state per distinct prefix, plus dead and root.
+        assert!(a.states() < 4000, "{} states", a.states());
+        // The flat tables trade memory for branch-light loads; stays in
+        // the low megabytes even at the format ceiling.
+        assert!(a.memory_bytes() < 8 << 20, "{} bytes", a.memory_bytes());
     }
 
     #[test]

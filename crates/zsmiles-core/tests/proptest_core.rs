@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use zsmiles_core::dict::format;
-use zsmiles_core::sp::{encode_cost, SpScratch};
-use zsmiles_core::trie::Trie;
+use zsmiles_core::sp::{encode_cost, encode_line, SpScratch};
+use zsmiles_core::trie::{DenseAutomaton, Trie};
 use zsmiles_core::wide::{WideCompressor, WideDecompressor, WideDictionary};
 use zsmiles_core::{Dictionary, LineIndex, Prepopulation, SpAlgorithm};
 
@@ -211,6 +211,94 @@ proptest! {
             .with_preprocess(false)
             .compress_line(&line, &mut zw);
         prop_assert_eq!(zw.len(), zb.len(), "same patterns, same optimum");
+    }
+
+    /// The dense automaton reports byte-for-byte the matches of the node
+    /// trie it was compiled from, and the encoder therefore emits
+    /// byte-identical streams through either matcher.
+    #[test]
+    fn dense_automaton_identical_to_node_trie(
+        patterns in proptest::collection::vec(arb_pattern(), 1..24),
+        text in arb_text(),
+    ) {
+        let mut unique: Vec<Vec<u8>> = Vec::new();
+        for p in patterns {
+            if !unique.contains(&p) {
+                unique.push(p);
+            }
+        }
+        let mut trie = Trie::new();
+        for (i, p) in unique.iter().enumerate() {
+            trie.insert(p, (i % 200) as u8);
+        }
+        let auto = DenseAutomaton::compile(&trie);
+        prop_assert_eq!(auto.len(), trie.len());
+        prop_assert_eq!(auto.max_depth(), trie.max_depth());
+        for start in 0..text.len() {
+            let mut got: Vec<(u8, usize)> = Vec::new();
+            auto.matches_at(&text, start, |c, l| got.push((c, l)));
+            let mut want: Vec<(u8, usize)> = Vec::new();
+            trie.matches_at(&text, start, |c, l| want.push((c, l)));
+            prop_assert_eq!(got, want, "start {}", start);
+            prop_assert_eq!(
+                auto.longest_match_at(&text, start),
+                trie.longest_match_at(&text, start),
+                "start {}", start
+            );
+        }
+        for p in &unique {
+            prop_assert_eq!(auto.get(p), trie.get(p));
+        }
+        // Encoder byte-identity through both matchers, both algorithms.
+        for algo in [SpAlgorithm::BackwardDp, SpAlgorithm::Dijkstra] {
+            let mut s1 = SpScratch::new();
+            let mut s2 = SpScratch::new();
+            let mut via_trie = Vec::new();
+            let mut via_auto = Vec::new();
+            let ct = encode_line(&trie, &text, algo, &mut s1, &mut via_trie);
+            let ca = encode_line(&auto, &text, algo, &mut s2, &mut via_auto);
+            prop_assert_eq!(ct, ca, "{:?} cost", algo);
+            prop_assert_eq!(&via_trie, &via_auto, "{:?} bytes", algo);
+        }
+    }
+
+    /// Worker-pool parallel compress/decompress is byte-identical to the
+    /// serial engine across odd thread counts, including inputs with
+    /// interior blank lines (which the buffer loops skip).
+    #[test]
+    fn parallel_identical_to_serial_any_thread_count(
+        raw_lines in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![Just(b'A'), Just(b'B'), Just(b'C'), Just(b'D')], 0..20),
+            0..40),
+    ) {
+        let dict = Dictionary::from_patterns(
+            Prepopulation::SmilesAlphabet,
+            [b"AB".as_slice(), b"ABC", b"CCA", b"DD", b"BCD"],
+            1, 16, false,
+        ).unwrap();
+        // Empty inner vecs become interior blank lines.
+        let mut input = Vec::new();
+        for l in &raw_lines {
+            input.extend_from_slice(l);
+            input.push(b'\n');
+        }
+        let mut serial_z = Vec::new();
+        let s_stats = zsmiles_core::Compressor::new(&dict)
+            .compress_buffer(&input, &mut serial_z);
+        let mut serial_back = Vec::new();
+        let d_stats = zsmiles_core::Decompressor::new(&dict)
+            .decompress_buffer(&serial_z, &mut serial_back).unwrap();
+        for threads in [1usize, 3, 7] {
+            let (par_z, pc) = zsmiles_core::compress_parallel(
+                &dict, &input, SpAlgorithm::BackwardDp, threads);
+            prop_assert_eq!(&par_z, &serial_z, "compress threads={}", threads);
+            prop_assert_eq!(pc, s_stats, "compress stats threads={}", threads);
+            let (par_back, pd) = zsmiles_core::decompress_parallel(
+                &dict, &serial_z, threads).unwrap();
+            prop_assert_eq!(&par_back, &serial_back, "decompress threads={}", threads);
+            prop_assert_eq!(pd, d_stats, "decompress stats threads={}", threads);
+        }
     }
 
     /// LineIndex finds exactly the lines a split() does.
