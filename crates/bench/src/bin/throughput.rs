@@ -4,14 +4,15 @@
 //! serial encode through *both* matchers (the flat `DenseAutomaton` hot
 //! path and the node-`Trie` reference, measured in the same run so the
 //! speedup is an observation, not a claim), worker-pool parallel encode
-//! and decode, serial decode, and `ArchiveReader` random `get()` against
-//! a real on-disk `.zsa` — and writes the numbers (MB/s and ns/op) as
-//! JSON.
+//! and decode, serial decode, streaming pack through the out-of-core
+//! `ArchiveWriter` (single-file and sharded, against real files), and
+//! `ArchiveReader` random `get()` against a real on-disk `.zsa` — and
+//! writes the numbers (MB/s and ns/op) as JSON.
 //!
 //! ```text
 //! cargo run --release -p bench --bin throughput -- \
 //!     [--lines 50000] [--seed 12648430] [--threads N] [--reps 3] \
-//!     [--gets 20000] [--out BENCH_3.json]
+//!     [--gets 20000] [--out BENCH_4.json]
 //! ```
 //!
 //! Every measurement is best-of-`reps` wall time (per-rep byte counts are
@@ -24,8 +25,9 @@ use molgen::Dataset;
 use std::time::Instant;
 use zsmiles_core::engine::AnyDictionary;
 use zsmiles_core::{
-    compress_parallel_dyn, decompress_parallel_dyn, ArchiveReader, Compressor, Decompressor,
-    DictBuilder, MatcherKind, WideDictBuilder,
+    compress_parallel_dyn, decompress_parallel_dyn, ArchiveReader, ArchiveWriter, Compressor,
+    Decompressor, DictBuilder, FileSink, MatcherKind, ShardPolicy, ShardedReader, ShardedWriter,
+    WideDictBuilder, WriterOptions,
 };
 
 struct Opts {
@@ -47,7 +49,7 @@ fn parse_opts() -> Opts {
             .unwrap_or(4),
         reps: 3,
         gets: 20_000,
-        out: "BENCH_3.json".to_string(),
+        out: "BENCH_4.json".to_string(),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -187,6 +189,62 @@ fn main() {
         let _ = decompress_parallel_dyn(&any, &z_dense, o.threads).expect("decode");
     });
 
+    // Streaming pack through the out-of-core writer, single-file and
+    // sharded, against real files — the end-to-end "deck to container"
+    // rate (compress + index + write), what a pack job actually sustains.
+    let tmp = std::env::temp_dir().join(format!("zsmiles_throughput_pack_{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("creating the pack scratch dir");
+    let single_path = tmp.join("deck.zsa");
+    let pack_single = time_best(o.reps, || {
+        let sink = FileSink::create(&single_path).expect("creating the pack sink");
+        let mut w = ArchiveWriter::with_options(
+            sink,
+            any.clone(),
+            WriterOptions {
+                threads: o.threads,
+                ..Default::default()
+            },
+        )
+        .expect("starting the streaming writer");
+        w.write(&input).expect("streaming the deck");
+        let (_, info) = w.finish().expect("finalizing the container");
+        assert_eq!(info.lines, o.lines, "streamed pack stores every line");
+    });
+    let manifest_path = tmp.join("deck.zsm");
+    let shard_lines = (o.lines / 8).max(1) as u64;
+    let pack_sharded = time_best(o.reps, || {
+        let mut w = ShardedWriter::create(
+            &manifest_path,
+            any.clone(),
+            ShardPolicy::by_lines(shard_lines),
+            WriterOptions {
+                threads: o.threads,
+                ..Default::default()
+            },
+        )
+        .expect("starting the sharded writer");
+        w.write(&input).expect("streaming the deck");
+        let info = w.finish().expect("finalizing the shards");
+        assert_eq!(
+            info.lines as usize, o.lines,
+            "sharded pack stores every line"
+        );
+    });
+    // The sharded layout must read back identically to the single file.
+    {
+        let single = ArchiveReader::open(&single_path).expect("opening the single pack");
+        let sharded = ShardedReader::open(&manifest_path).expect("opening the manifest");
+        assert_eq!(single.len(), sharded.len());
+        for i in [0usize, o.lines / 2, o.lines - 1] {
+            assert_eq!(
+                single.get(i).expect("single get"),
+                sharded.get(i).expect("sharded get"),
+                "sharded ≠ single at line {i}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+
     // Random access against a real file through the out-of-core reader.
     let zsa = std::env::temp_dir().join(format!("zsmiles_throughput_{}.zsa", std::process::id()));
     zsmiles_core::Archive::pack(any.clone(), &input, o.threads)
@@ -216,12 +274,14 @@ fn main() {
     let r_par = rate(payload, o.lines, enc_par);
     let r_dec = rate(payload, o.lines, dec_serial);
     let r_dec_par = rate(payload, o.lines, dec_par);
+    let r_pack_single = rate(payload, o.lines, pack_single);
+    let r_pack_sharded = rate(payload, o.lines, pack_sharded);
     let get_ns = get_secs * 1e9 / o.gets.max(1) as f64;
     let speedup = enc_node / enc_dense;
 
     let json = format!
     (
-        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 3,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"encode_speedup_dense_vs_node_trie\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 4,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \"shard_lines\": {},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"encode_speedup_dense_vs_node_trie\": {:.3}\n}}\n",
         o.lines,
         o.seed,
         payload,
@@ -234,6 +294,9 @@ fn main() {
         json_rate("parallel_encode", &r_par),
         json_rate("serial_decode", &r_dec),
         json_rate("parallel_decode", &r_dec_par),
+        json_rate("streaming_pack_single", &r_pack_single),
+        json_rate("streaming_pack_sharded", &r_pack_sharded),
+        shard_lines,
         get_ns,
         o.gets,
         speedup,
@@ -241,8 +304,9 @@ fn main() {
     std::fs::write(&o.out, &json).expect("writing the result file");
     print!("{json}");
     eprintln!(
-        "encode {:.1} MB/s (node trie {:.1} MB/s, {:.2}x), parallel {:.1} MB/s; decode {:.1} MB/s; get {:.0} ns/op -> {}",
-        r_dense.mb_per_s, r_node.mb_per_s, speedup, r_par.mb_per_s, r_dec.mb_per_s, get_ns, o.out
+        "encode {:.1} MB/s (node trie {:.1} MB/s, {:.2}x), parallel {:.1} MB/s; decode {:.1} MB/s; pack {:.1} MB/s single / {:.1} MB/s sharded; get {:.0} ns/op -> {}",
+        r_dense.mb_per_s, r_node.mb_per_s, speedup, r_par.mb_per_s, r_dec.mb_per_s,
+        r_pack_single.mb_per_s, r_pack_sharded.mb_per_s, get_ns, o.out
     );
     if speedup < 1.5 {
         eprintln!("WARNING: dense-automaton speedup below the 1.5x floor");

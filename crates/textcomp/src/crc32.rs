@@ -60,6 +60,73 @@ pub fn crc32(data: &[u8]) -> u32 {
     c.finish()
 }
 
+/// `mat * vec` over GF(2): each set bit of `vec` selects a row to XOR.
+fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+fn gf2_matrix_square(square: &mut [u32; 32], mat: &[u32; 32]) {
+    for n in 0..32 {
+        square[n] = gf2_matrix_times(mat, mat[n]);
+    }
+}
+
+/// `crc32(A ‖ B)` from `crc32(A)`, `crc32(B)` and `len(B)` — without the
+/// bytes of either part.
+///
+/// CRC-32 is linear over GF(2), so appending `len2` bytes to a stream
+/// transforms its CRC by a fixed matrix (the "advance one zero byte"
+/// operator raised to the `len2`-th power, built here by repeated
+/// squaring). This is what lets an archive writer stream everything
+/// *after* a fixed-size header, patch the header once the payload length
+/// is known, and still produce the exact whole-file checksum: combine the
+/// 48-byte header's CRC with the streamed tail's.
+pub fn crc32_combine(mut crc1: u32, crc2: u32, mut len2: u64) -> u32 {
+    if len2 == 0 {
+        return crc1;
+    }
+    let mut even = [0u32; 32];
+    let mut odd = [0u32; 32];
+    // Operator for advancing the CRC register past one zero bit.
+    odd[0] = POLY;
+    let mut row = 1u32;
+    for cell in odd.iter_mut().skip(1) {
+        *cell = row;
+        row <<= 1;
+    }
+    // Square twice: odd now advances past one zero *byte*.
+    gf2_matrix_square(&mut even, &odd);
+    gf2_matrix_square(&mut odd, &even);
+    loop {
+        gf2_matrix_square(&mut even, &odd);
+        if len2 & 1 != 0 {
+            crc1 = gf2_matrix_times(&even, crc1);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+        gf2_matrix_square(&mut odd, &even);
+        if len2 & 1 != 0 {
+            crc1 = gf2_matrix_times(&odd, crc1);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+    }
+    crc1 ^ crc2
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +151,34 @@ mod tests {
         c.update(&data[10..30]);
         c.update(&data[30..]);
         assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn combine_matches_concatenation() {
+        let a: &[u8] = b"COc1cc(C=O)ccc1O";
+        let b: &[u8] = b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2";
+        for split in [0usize, 1, 7, a.len()] {
+            let (x, y) = (&a[..split], &a[split..]);
+            assert_eq!(
+                crc32_combine(crc32(x), crc32(y), y.len() as u64),
+                crc32(a),
+                "split={split}"
+            );
+        }
+        let joined: Vec<u8> = a.iter().chain(b).copied().collect();
+        assert_eq!(
+            crc32_combine(crc32(a), crc32(b), b.len() as u64),
+            crc32(&joined)
+        );
+        // Empty suffix is the identity; long zero-heavy suffixes work too.
+        assert_eq!(crc32_combine(crc32(a), crc32(b""), 0), crc32(a));
+        let zeros = vec![0u8; 100_000];
+        let mut with_zeros = a.to_vec();
+        with_zeros.extend_from_slice(&zeros);
+        assert_eq!(
+            crc32_combine(crc32(a), crc32(&zeros), zeros.len() as u64),
+            crc32(&with_zeros)
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! deck/dictionary/sidecar triple earlier revisions juggled.
 
 use std::path::Path;
-use zsmiles_core::engine::AnyDictionary;
-use zsmiles_core::{CompressStats, Dictionary, ZsmilesError};
+use zsmiles_core::engine::{AnyDictionary, DictFlavor};
+use zsmiles_core::{CompressStats, DeckReader, Dictionary, ZsmilesError};
 
 /// A compressed, indexed, self-describing SMILES deck.
 #[derive(Debug, Clone)]
@@ -95,6 +95,72 @@ impl Archive {
     }
 }
 
+/// A cold-storage deck opened *on disk*: the out-of-core view a campaign
+/// uses once the library no longer fits in memory. Works against either
+/// archive layout — a single `.zsa` file or a `.zsm` shard manifest —
+/// via [`DeckReader`]'s magic sniff, so the sampling workflow
+/// ([`crate::top_hits_cold`]) is layout-blind.
+#[derive(Debug)]
+pub struct ColdArchive {
+    reader: DeckReader,
+}
+
+impl ColdArchive {
+    /// Open a `.zsa` archive or a `.zsm` shard manifest. Only metadata is
+    /// read; the payload stays on disk.
+    pub fn open(path: &Path) -> Result<ColdArchive, ZsmilesError> {
+        Ok(ColdArchive {
+            reader: DeckReader::open(path)?,
+        })
+    }
+
+    /// Number of ligands stored.
+    pub fn len(&self) -> usize {
+        self.reader.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.reader.is_empty()
+    }
+
+    /// Which dictionary flavour the deck embeds.
+    pub fn flavor(&self) -> DictFlavor {
+        self.reader.flavor()
+    }
+
+    /// Number of `.zsa` files behind the deck (1 for the single layout).
+    pub fn shard_count(&self) -> usize {
+        self.reader.shard_count()
+    }
+
+    /// The underlying layout-dispatching reader.
+    pub fn reader(&self) -> &DeckReader {
+        &self.reader
+    }
+
+    /// Decompress ligand `i`: one positioned read in the owning file.
+    pub fn fetch(&self, i: usize) -> Result<Vec<u8>, ZsmilesError> {
+        self.reader.get(i)
+    }
+
+    /// Decompress a contiguous run of ligands — batched reads, one
+    /// decoder worker per file touched.
+    pub fn fetch_range(&self, lines: std::ops::Range<usize>) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        self.reader.get_range(lines)
+    }
+
+    /// Decompress an arbitrary hit list in the order given.
+    pub fn fetch_many(&self, indices: &[usize]) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        self.reader.get_many(indices)
+    }
+
+    /// Verify every container CRC end to end (one sequential pass per
+    /// file, bounded memory).
+    pub fn verify(&self) -> Result<(), ZsmilesError> {
+        self.reader.verify()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +231,62 @@ mod tests {
         let archive = Archive::build(&dict, b"");
         assert!(archive.is_empty());
         assert_eq!(archive.len(), 0);
+    }
+
+    #[test]
+    fn cold_archive_is_layout_blind() {
+        let deck = Dataset::generate_mixed(300, 19);
+        let dict = DictBuilder {
+            preprocess: false,
+            ..Default::default()
+        }
+        .train(deck.iter())
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("vscreen_cold_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // One deck, both layouts.
+        let single_path = dir.join("deck.zsa");
+        Archive::build(&dict, deck.as_bytes())
+            .save(&single_path)
+            .unwrap();
+        let manifest_path = dir.join("deck.zsm");
+        let mut w = zsmiles_core::ShardedWriter::create(
+            &manifest_path,
+            AnyDictionary::Base(Box::new(dict.clone())),
+            zsmiles_core::ShardPolicy::by_lines(80),
+            zsmiles_core::WriterOptions::default(),
+        )
+        .unwrap();
+        w.write(deck.as_bytes()).unwrap();
+        let info = w.finish().unwrap();
+        assert_eq!(info.shards.len(), 4);
+
+        let single = ColdArchive::open(&single_path).unwrap();
+        let sharded = ColdArchive::open(&manifest_path).unwrap();
+        assert_eq!(single.shard_count(), 1);
+        assert_eq!(sharded.shard_count(), 4);
+        assert_eq!(single.len(), sharded.len());
+        for i in [0usize, 79, 80, 299] {
+            assert_eq!(single.fetch(i).unwrap(), sharded.fetch(i).unwrap());
+            assert_eq!(single.fetch(i).unwrap(), deck.line(i));
+        }
+        assert_eq!(
+            single.fetch_range(70..90).unwrap(),
+            sharded.fetch_range(70..90).unwrap()
+        );
+        single.verify().unwrap();
+        sharded.verify().unwrap();
+
+        // The hit-sampling workflow runs identically over either layout.
+        let scores = crate::screen(&deck, &crate::Pocket::from_seed(3));
+        let hot = crate::top_hits(&Archive::build(&dict, deck.as_bytes()), &scores, 7).unwrap();
+        let a = crate::top_hits_cold(&single, &scores, 7).unwrap();
+        let b = crate::top_hits_cold(&sharded, &scores, 7).unwrap();
+        assert_eq!(a, hot);
+        assert_eq!(b, hot);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -90,6 +90,28 @@ pub fn top_hits(
         .collect())
 }
 
+/// [`top_hits`] against a deck that lives *on disk* — single `.zsa` or
+/// sharded `.zsm`, sniffed at open: k hit fetches touch k compressed
+/// lines in whichever shard owns them, never the deck.
+pub fn top_hits_cold(
+    deck: &crate::archive::ColdArchive,
+    scores: &ScoreTable,
+    k: usize,
+) -> Result<Vec<Hit>, ZsmilesError> {
+    let ranked = scores.top_k(k);
+    let indices: Vec<usize> = ranked.iter().map(|&(i, _)| i).collect();
+    let fetched = deck.fetch_many(&indices)?;
+    Ok(ranked
+        .into_iter()
+        .zip(fetched)
+        .map(|((index, score), smiles)| Hit {
+            index,
+            score,
+            smiles,
+        })
+        .collect())
+}
+
 /// The paper's cold-storage arithmetic (§I: 72 TB on Marconi100), scaled
 /// by a measured compression ratio.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -39,8 +39,8 @@ pub mod filter;
 pub mod pocket;
 pub mod score;
 
-pub use archive::Archive;
-pub use campaign::{screen, screen_parallel, top_hits, Hit, StorageModel};
+pub use archive::{Archive, ColdArchive};
+pub use campaign::{screen, screen_parallel, top_hits, top_hits_cold, Hit, StorageModel};
 pub use filter::{ro5_filter, Ro5Profile};
 pub use pocket::Pocket;
 pub use score::ScoreTable;

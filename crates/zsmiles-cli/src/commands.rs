@@ -6,10 +6,11 @@ use std::path::Path;
 use std::time::Instant;
 use zsmiles_core::dict::format as dict_format;
 use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::shard::{is_manifest, ShardPolicy, ShardedReader, ShardedWriter};
 use zsmiles_core::wide::write_wide_dict;
 use zsmiles_core::{
-    Archive, ArchiveReader, CachedSource, CountingSource, Decompressor, DictBuilder, FileSource,
-    LineIndex, Prepopulation, WideDictBuilder,
+    ArchiveReader, ArchiveWriter, CachedSource, CountingSource, Decompressor, DictBuilder,
+    FileSink, FileSource, LineIndex, Prepopulation, WideDictBuilder, WriterOptions,
 };
 
 const USAGE: &str =
@@ -21,19 +22,25 @@ const USAGE: &str =
   compress   -i in.smi -d dict.dct -o out.zsmi [--threads N] [--index]
   decompress -i in.zsmi -d dict.dct -o out.smi [--threads N] [--postprocess]
   pack       -i in.smi -d dict.dct -o out.zsa [--threads N]
-             (single-file archive: dictionary + payload + line index + CRC)
-  unpack     -i in.zsa -o out.smi [--threads N] [--verify]
+             [--shard-lines N | --shard-bytes N]
+             (streams the input — '-' reads stdin — through the out-of-core
+              writer in bounded memory; with a shard budget, -o names a .zsm
+              manifest and shards land beside it as <stem>.NNNNN.zsa)
+  unpack     -i in.zsa|in.zsm -o out.smi [--threads N] [--verify]
   get        -i in.zsmi -d dict.dct --line K
-  get        --archive in.zsa --line K [--count N] [--verify] [--verbose]
+  get        --archive in.zsa|in.zsm --line K [--count N] [--verify] [--verbose]
              (no dictionary or sidecar needed; reads only metadata + the
               lines asked for; --count N prints N consecutive lines through
               a block read-ahead cache, --verbose reports its hit rate)
   screen     -i deck.smi [--pocket-seed S] [--top K] [--threads N] [--scores out.tsv]
   stats      -i file.smi
   inspect    -d dict.dct [-i corpus.smi]
-  inspect    --archive in.zsa [--verbose] [--verify]
-Archive commands stream through the out-of-core reader: a multi-GB .zsa is
-never loaded into memory; pass --verify to force a full CRC pass first.
+  inspect    --archive in.zsa|in.zsm [--verbose] [--verify]
+Archive commands stream through the out-of-core reader and writer: a
+multi-GB deck is never loaded into memory, packing or reading; pass
+--verify to force a full CRC pass first. Wherever an archive path is
+accepted, a .zsm shard manifest works too (sniffed by magic, lines
+numbered globally across shards).
 Dictionary files are sniffed by magic: both the paper's one-byte format and
 the wide extension work everywhere a -d flag is accepted.";
 
@@ -210,29 +217,108 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Open the deck to pack (a file, or stdin for `-`). Opened *before* the
+/// output is created, so a bad input path never truncates an existing
+/// archive.
+fn open_input(input: &str) -> Result<Box<dyn std::io::Read>, String> {
+    if input == "-" {
+        Ok(Box::new(std::io::stdin().lock()))
+    } else {
+        Ok(Box::new(
+            std::fs::File::open(input).map_err(|e| e.to_string())?,
+        ))
+    }
+}
+
+/// Pump an opened input into `write` in bounded chunks — pack never holds
+/// the deck.
+fn stream_input(
+    mut reader: Box<dyn std::io::Read>,
+    mut write: impl FnMut(&[u8]) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut buf = vec![0u8; 1 << 20];
+    loop {
+        let n = reader.read(&mut buf).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Ok(());
+        }
+        write(&buf[..n])?;
+    }
+}
+
+/// Whether two CLI paths name the same existing file (both must resolve;
+/// a not-yet-existing output cannot clash).
+fn same_file(a: &str, b: &str) -> bool {
+    match (std::fs::canonicalize(a), std::fs::canonicalize(b)) {
+        (Ok(x), Ok(y)) => x == y,
+        _ => false,
+    }
+}
+
 fn cmd_pack(args: &Args) -> Result<(), String> {
     let input = args.require("--input")?;
     let output = args.require("--output")?;
+    if input != "-" && same_file(input, output) {
+        return Err(format!(
+            "refusing to pack '{input}' onto itself: input and output are the same file"
+        ));
+    }
+    let reader = open_input(input)?;
     let dict = load_dict(args)?;
-    let threads = args.get_usize("--threads", 1)?;
-    let data = std::fs::read(input).map_err(|e| e.to_string())?;
+    let flavor = dict.flavor();
+    let opts = WriterOptions {
+        threads: args.get_usize("--threads", 1)?,
+        ..Default::default()
+    };
+    let shard_lines = args.get_u64("--shard-lines", 0)?;
+    let shard_bytes = args.get_u64("--shard-bytes", 0)?;
     let t0 = Instant::now();
-    let archive = Archive::pack(dict, &data, threads);
-    archive.save(Path::new(output)).map_err(|e| e.to_string())?;
-    let dt = t0.elapsed();
+
+    // Sharded layout: -o names the .zsm manifest, shards land beside it.
+    if shard_lines > 0 || shard_bytes > 0 {
+        let policy = ShardPolicy {
+            max_lines: (shard_lines > 0).then_some(shard_lines),
+            max_bytes: (shard_bytes > 0).then_some(shard_bytes),
+        };
+        let mut w = ShardedWriter::create(Path::new(output), dict, policy, opts)
+            .map_err(|e| e.to_string())?;
+        stream_input(reader, |chunk| w.write(chunk).map_err(|e| e.to_string()))?;
+        let info = w.finish().map_err(|e| e.to_string())?;
+        if !args.get_bool("--quiet") {
+            let on_disk: u64 = info.shards.iter().map(|s| s.file_bytes).sum();
+            println!(
+                "packed {} lines, {} -> {} payload bytes (ratio {:.3}) into {} shard(s), \
+                 {} bytes on disk ({} dictionary) in {:.2?}",
+                info.stats.lines,
+                info.stats.in_bytes,
+                info.stats.out_bytes,
+                info.stats.ratio(),
+                info.shards.len(),
+                on_disk,
+                flavor.name(),
+                t0.elapsed(),
+            );
+        }
+        return Ok(());
+    }
+
+    // Single-file layout, still streaming: bounded memory however large
+    // the deck is.
+    let sink = FileSink::create(Path::new(output)).map_err(|e| e.to_string())?;
+    let mut w = ArchiveWriter::with_options(sink, dict, opts).map_err(|e| e.to_string())?;
+    stream_input(reader, |chunk| w.write(chunk).map_err(|e| e.to_string()))?;
+    let (_, info) = w.finish().map_err(|e| e.to_string())?;
     if !args.get_bool("--quiet") {
-        let s = archive.stats().expect("pack carries stats");
-        let on_disk = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
         println!(
             "packed {} lines, {} -> {} payload bytes (ratio {:.3}), {} bytes on disk \
              ({} dictionary) in {:.2?}",
-            s.lines,
-            s.in_bytes,
-            s.out_bytes,
-            s.ratio(),
-            on_disk,
-            archive.flavor().name(),
-            dt,
+            info.stats.lines,
+            info.stats.in_bytes,
+            info.stats.out_bytes,
+            info.stats.ratio(),
+            info.container_bytes,
+            flavor.name(),
+            t0.elapsed(),
         );
     }
     Ok(())
@@ -244,8 +330,9 @@ fn cmd_unpack(args: &Args) -> Result<(), String> {
     let threads = args.get_usize("--threads", 1)?;
     let t0 = Instant::now();
     // Out-of-core: payload is read in bounded chunks straight from disk,
-    // so unpacking a multi-GB archive never holds it in memory.
-    let reader = ArchiveReader::open(Path::new(input)).map_err(|e| e.to_string())?;
+    // so unpacking a multi-GB archive never holds it in memory. A .zsm
+    // manifest streams shard by shard through the same call.
+    let reader = zsmiles_core::DeckReader::open(Path::new(input)).map_err(|e| e.to_string())?;
     if args.get_bool("--verify") {
         reader.verify().map_err(|e| e.to_string())?;
     }
@@ -271,6 +358,37 @@ fn cmd_unpack(args: &Args) -> Result<(), String> {
 
 fn cmd_get(args: &Args) -> Result<(), String> {
     let line_no = args.get_usize("--line", 0)?;
+
+    // Sharded layout: the manifest routes global line numbers across
+    // shards; only the owning shard's metadata + line ranges are read.
+    if let Some(path) = args.get("--archive") {
+        if is_manifest(Path::new(path)).map_err(|e| e.to_string())? {
+            let reader = ShardedReader::open(Path::new(path)).map_err(|e| e.to_string())?;
+            if args.get_bool("--verify") {
+                reader.verify().map_err(|e| e.to_string())?;
+            }
+            let count = args.get_usize("--count", 1)?.max(1);
+            let end = line_no
+                .checked_add(count)
+                .ok_or_else(|| "line number overflows".to_string())?;
+            let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
+            use std::io::Write;
+            // A consecutive run is a batched per-shard range fetch.
+            for smiles in reader.get_range(line_no..end).map_err(|e| e.to_string())? {
+                writeln!(stdout, "{}", String::from_utf8_lossy(&smiles))
+                    .map_err(|e| e.to_string())?;
+            }
+            stdout.flush().map_err(|e| e.to_string())?;
+            if args.get_bool("--verbose") {
+                eprintln!(
+                    "sharded deck: {} lines across {} shard(s)",
+                    reader.len(),
+                    reader.shard_count(),
+                );
+            }
+            return Ok(());
+        }
+    }
 
     // Single-file path: everything needed is inside the container, and
     // the reader fetches only metadata plus the requested byte ranges — a
@@ -337,6 +455,41 @@ fn cmd_get(args: &Args) -> Result<(), String> {
 
 fn cmd_inspect(args: &Args) -> Result<(), String> {
     if let Some(path) = args.get("--archive") {
+        if is_manifest(Path::new(path)).map_err(|e| e.to_string())? {
+            let reader = ShardedReader::open(Path::new(path)).map_err(|e| e.to_string())?;
+            if args.get_bool("--verify") {
+                reader.verify().map_err(|e| e.to_string())?;
+            }
+            println!(
+                "sharded archive: {} lines | {} payload bytes | {} shard(s) | {} dictionary \
+                 | preprocess {}",
+                reader.len(),
+                reader.payload_bytes(),
+                reader.shard_count(),
+                reader.flavor().name(),
+                reader.dictionary().preprocessed(),
+            );
+            if args.get_bool("--verbose") {
+                println!(
+                    "  {:<24} {:>10} {:>12} {:>9}",
+                    "shard", "lines", "bytes", "crc32"
+                );
+                for s in reader.manifest().shards() {
+                    println!(
+                        "  {:<24} {:>10} {:>12} {:>9}",
+                        s.file,
+                        s.lines,
+                        s.file_bytes,
+                        format!("{:08x}", s.crc32),
+                    );
+                }
+                println!(
+                    "  open transferred {} metadata bytes, payload untouched",
+                    reader.metadata_bytes(),
+                );
+            }
+            return Ok(());
+        }
         // Metered out-of-core open: the counting source records exactly
         // what inspecting costs (metadata only, payload untouched).
         let source =
@@ -686,6 +839,167 @@ mod tests {
                 std::fs::remove_file(f).ok();
             }
         }
+    }
+
+    #[test]
+    fn sharded_pack_round_trip_through_the_manifest() {
+        let dir = std::env::temp_dir().join(format!("zcli_shard_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let smi = p("deck.smi");
+        let dct = p("deck.dct");
+        let zsm = p("deck.zsm");
+        let zsa = p("single.zsa");
+        let back = p("back.smi");
+
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "mixed",
+            "-n",
+            "500",
+            "--seed",
+            "23",
+            "-o",
+            &smi,
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "train",
+            "-i",
+            &smi,
+            "-o",
+            &dct,
+            "--no-preprocess",
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "pack",
+            "-i",
+            &smi,
+            "-d",
+            &dct,
+            "-o",
+            &zsm,
+            "--shard-lines",
+            "150",
+            "--threads",
+            "2",
+            "--quiet",
+        ]))
+        .unwrap();
+        // 500 lines at 150/shard = 4 shard files beside the manifest.
+        assert!(std::fs::read_to_string(&zsm)
+            .unwrap()
+            .starts_with("#zsmiles-shards"));
+        for k in 0..4 {
+            assert!(dir.join(format!("deck.{k:05}.zsa")).exists(), "shard {k}");
+        }
+
+        // get across a shard boundary, with --count spanning two shards.
+        run(&argv(&["get", "--archive", &zsm, "--line", "149"])).unwrap();
+        run(&argv(&[
+            "get",
+            "--archive",
+            &zsm,
+            "--line",
+            "145",
+            "--count",
+            "10",
+            "--verbose",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "get",
+            "--archive",
+            &zsm,
+            "--line",
+            "0",
+            "--verify",
+        ]))
+        .unwrap();
+        assert!(run(&argv(&["get", "--archive", &zsm, "--line", "500"])).is_err());
+        assert!(run(&argv(&[
+            "get",
+            "--archive",
+            &zsm,
+            "--line",
+            "495",
+            "--count",
+            "10",
+        ]))
+        .is_err());
+        run(&argv(&["inspect", "--archive", &zsm, "--verbose"])).unwrap();
+
+        // Byte-identical unpack, and identical to the single-file layout.
+        run(&argv(&[
+            "unpack", "-i", &zsm, "-o", &back, "--verify", "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(std::fs::read(&smi).unwrap(), std::fs::read(&back).unwrap());
+        run(&argv(&[
+            "pack", "-i", &smi, "-d", &dct, "-o", &zsa, "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&["unpack", "-i", &zsa, "-o", &back, "--quiet"])).unwrap();
+        assert_eq!(std::fs::read(&smi).unwrap(), std::fs::read(&back).unwrap());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pack_preserves_existing_output_on_bad_input_and_refuses_self_pack() {
+        let dir = std::env::temp_dir().join(format!("zcli_packsafe_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let smi = p("deck.smi");
+        let dct = p("deck.dct");
+        let zsa = p("deck.zsa");
+
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "gdb17",
+            "-n",
+            "80",
+            "-o",
+            &smi,
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&["train", "-i", &smi, "-o", &dct, "--quiet"])).unwrap();
+        run(&argv(&[
+            "pack", "-i", &smi, "-d", &dct, "-o", &zsa, "--quiet",
+        ]))
+        .unwrap();
+        let archive_bytes = std::fs::read(&zsa).unwrap();
+
+        // A bad input path must not touch the existing archive.
+        let missing = p("nope.smi");
+        assert!(run(&argv(&[
+            "pack", "-i", &missing, "-d", &dct, "-o", &zsa, "--quiet"
+        ]))
+        .is_err());
+        assert_eq!(
+            std::fs::read(&zsa).unwrap(),
+            archive_bytes,
+            "failed pack left the previous archive intact"
+        );
+
+        // Packing a file onto itself is refused before any truncation.
+        let err = run(&argv(&[
+            "pack", "-i", &smi, "-d", &dct, "-o", &smi, "--quiet",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("same file"), "got: {err}");
+        assert!(
+            std::fs::metadata(&smi).unwrap().len() > 0,
+            "input survived the refused self-pack"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -132,6 +132,38 @@ pub(crate) fn parse_layout(
     })
 }
 
+/// An [`std::io::Write`] adapter that hashes and counts everything it
+/// forwards — how [`Archive::write_to`] keeps the CRC streaming while
+/// writing sections straight through.
+struct CrcCountWriter<W: Write> {
+    inner: W,
+    crc: textcomp::crc32::Crc32,
+    written: u64,
+}
+
+impl<W: Write> CrcCountWriter<W> {
+    fn new(inner: W) -> Self {
+        CrcCountWriter {
+            inner,
+            crc: textcomp::crc32::Crc32::new(),
+            written: 0,
+        }
+    }
+}
+
+impl<W: Write> Write for CrcCountWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// A packed, indexed, self-describing SMILES archive.
 #[derive(Debug, Clone)]
 pub struct Archive {
@@ -255,32 +287,35 @@ impl Archive {
 
     // -- serialization ------------------------------------------------------
 
-    /// Serialize the container.
-    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+    /// Serialize the container, streaming each section straight to `w`.
+    ///
+    /// The CRC covers the bytes exactly as written, tracked by a hashing
+    /// writer wrapper — no staging copy of the container is ever built
+    /// (archives are payload-dominated, so the old assemble-then-write
+    /// path doubled peak memory for nothing).
+    pub fn write_to<W: Write>(&self, w: W) -> std::io::Result<()> {
+        // Only the dictionary is pre-serialized: its length is a header
+        // field, and dictionaries are kilobytes next to payloads.
         let mut dict_bytes = Vec::new();
         self.dict.write(&mut dict_bytes)?;
-        let mut index_bytes = Vec::new();
-        self.index.write_to(&mut index_bytes)?;
 
-        // CRC is computed over the byte stream as written, so build the
-        // prefix in memory. Archives are payload-dominated; the extra copy
-        // is one pass.
-        let mut buf = Vec::with_capacity(
-            HEADER_LEN + dict_bytes.len() + self.payload.len() + index_bytes.len() + FOOTER_LEN,
-        );
-        buf.extend_from_slice(MAGIC);
-        buf.push(self.dict.flavor().tag());
-        buf.extend_from_slice(&[0u8; 7]);
-        buf.extend_from_slice(&(dict_bytes.len() as u64).to_le_bytes());
-        buf.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
-        buf.extend_from_slice(&dict_bytes);
-        buf.extend_from_slice(&self.payload);
-        buf.extend_from_slice(&index_bytes);
-        buf.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
-        let crc = crc32(&buf);
-        buf.extend_from_slice(&crc.to_le_bytes());
-        buf.extend_from_slice(TRAILER);
-        w.write_all(&buf)
+        let mut cw = CrcCountWriter::new(w);
+        cw.write_all(MAGIC)?;
+        cw.write_all(&[self.dict.flavor().tag()])?;
+        cw.write_all(&[0u8; 7])?;
+        cw.write_all(&(dict_bytes.len() as u64).to_le_bytes())?;
+        cw.write_all(&(self.payload.len() as u64).to_le_bytes())?;
+        cw.write_all(&dict_bytes)?;
+        cw.write_all(&self.payload)?;
+        let before_index = cw.written;
+        self.index.write_to(&mut cw)?;
+        let index_len = cw.written - before_index;
+        cw.write_all(&index_len.to_le_bytes())?;
+        let crc = cw.crc.finish();
+        let mut w = cw.inner;
+        w.write_all(&crc.to_le_bytes())?;
+        w.write_all(TRAILER)?;
+        w.flush()
     }
 
     /// Parse a container, verifying trailer, CRC and section bounds before

@@ -24,6 +24,9 @@ pub enum ZsmilesError {
     /// `.zsa` container violations (bad magic, CRC mismatch, inconsistent
     /// section sizes).
     ArchiveFormat { reason: String },
+    /// `.zsm` shard-manifest violations (bad magic, inconsistent shard
+    /// table, shard files that do not match their manifest entry).
+    ManifestFormat { reason: String },
     /// A random-access request past the end of an archive.
     LineOutOfRange { line: usize, len: usize },
     /// A byte-range read past the end of an [`crate::source::ArchiveSource`].
@@ -70,6 +73,9 @@ impl fmt::Display for ZsmilesError {
             }
             ArchiveFormat { reason } => {
                 write!(f, "archive container: {reason}")
+            }
+            ManifestFormat { reason } => {
+                write!(f, "shard manifest: {reason}")
             }
             LineOutOfRange { line, len } => {
                 write!(f, "line {line} out of range (archive has {len} lines)")

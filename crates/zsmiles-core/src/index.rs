@@ -87,6 +87,45 @@ impl LineIndex {
         }
     }
 
+    /// Extend the index with one more scanned chunk of the buffer it
+    /// describes — the incremental form of [`LineIndex::build`] for
+    /// writers that stream the payload and never hold it whole
+    /// ([`crate::writer::ArchiveWriter`]). Chunks must arrive in order
+    /// and **end on a line boundary** (the last byte is a newline, or the
+    /// chunk is the final one): a line may not straddle two calls.
+    ///
+    /// Building `LineIndex::build(a ‖ b)` and
+    /// `{ i.append_scan(a); i.append_scan(b) }` agree whenever `a` ends
+    /// with a newline — the invariant every compressed chunk satisfies
+    /// (the encoder terminates every line it emits).
+    pub fn append_scan(&mut self, chunk: &[u8]) {
+        debug_assert!(
+            self.exact_ends || self.is_empty(),
+            "cannot append to an index with derived (legacy v1/v2) ends"
+        );
+        self.exact_ends = true;
+        let base = self.total;
+        let mut in_line = false;
+        let mut start = 0u64;
+        for (i, &b) in chunk.iter().enumerate() {
+            if b == b'\n' {
+                if in_line {
+                    self.starts.push(base + start);
+                    self.ends.push(base + i as u64);
+                    in_line = false;
+                }
+            } else if !in_line {
+                start = i as u64;
+                in_line = true;
+            }
+        }
+        if in_line {
+            self.starts.push(base + start);
+            self.ends.push(base + chunk.len() as u64);
+        }
+        self.total += chunk.len() as u64;
+    }
+
     /// Number of indexed lines.
     pub fn len(&self) -> usize {
         self.starts.len()
@@ -270,6 +309,33 @@ mod tests {
         assert_eq!(idx.line(buf, 1), b"c1ccccc1");
         assert_eq!(idx.line(buf, 2), b"N");
         assert_eq!(idx.total_bytes(), buf.len() as u64);
+    }
+
+    #[test]
+    fn append_scan_matches_whole_buffer_build() {
+        let buf = b"CCO\n\n\nc1ccccc1\nN\nCC(C)O\n";
+        let whole = LineIndex::build(buf);
+        // Every split into line-aligned chunks agrees with the one-shot
+        // scan, including empty chunks and blank-line-only chunks.
+        let cuts: &[&[usize]] = &[&[], &[4], &[4, 5, 6], &[15], &[4, 15, 17], &[24]];
+        for cut in cuts {
+            let mut idx = LineIndex::default();
+            let mut prev = 0;
+            for &c in cut.iter() {
+                idx.append_scan(&buf[prev..c]);
+                prev = c;
+            }
+            idx.append_scan(&buf[prev..]);
+            assert_eq!(idx, whole, "cuts={cut:?}");
+            assert_eq!(idx.total_bytes(), whole.total_bytes());
+            assert_eq!(idx.line(buf, 1), b"c1ccccc1");
+        }
+        // A final chunk without a trailing newline closes the last line.
+        let tail = b"CCO\nCC";
+        let mut idx = LineIndex::default();
+        idx.append_scan(&tail[..4]);
+        idx.append_scan(&tail[4..]);
+        assert_eq!(idx, LineIndex::build(tail));
     }
 
     #[test]

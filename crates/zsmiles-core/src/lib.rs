@@ -50,6 +50,18 @@
 //!   index, and serves `get` / `get_range` / batched iteration by
 //!   reading exactly the payload byte ranges it needs — decks larger
 //!   than RAM are first-class;
+//! * [`sink`] / [`writer`] — the out-of-core write path, mirroring the
+//!   read path: [`sink::ArchiveSink`] is an append-plus-one-patch byte
+//!   consumer ([`sink::FileSink`], [`sink::InMemorySink`], metering
+//!   [`sink::CountingSink`]) and [`writer::ArchiveWriter`] accepts raw
+//!   deck bytes incrementally, compresses bounded batches on the
+//!   persistent worker pool, grows the line index in place, and
+//!   finalizes header/CRC/footer without ever materializing the payload;
+//! * [`shard`] — sharded multi-file archives: a readable `.zsm` manifest
+//!   plus N complete `.zsa` shards ([`shard::ShardedWriter`] cuts by
+//!   line/byte budget, [`shard::ShardedReader`] routes global line
+//!   numbers across shards, [`shard::DeckReader`] dispatches either
+//!   layout behind one read surface);
 //! * [`index`] — the exact per-line byte-range table, standalone (`.zsx`
 //!   sidecar) or embedded in a container.
 //!
@@ -86,10 +98,13 @@ pub mod fileio;
 pub mod index;
 pub mod parallel;
 pub mod reader;
+pub mod shard;
+pub mod sink;
 pub mod source;
 pub mod sp;
 pub mod trie;
 pub mod wide;
+pub mod writer;
 
 pub use archive::Archive;
 pub use codec::{Prepopulation, ESCAPE, LINE_SEP};
@@ -113,7 +128,13 @@ pub use parallel::{
     decompress_parallel_wide, WorkerPool,
 };
 pub use reader::ArchiveReader;
+pub use shard::{
+    DeckReader, ShardManifest, ShardMeta, ShardPolicy, ShardedPackInfo, ShardedReader,
+    ShardedWriter,
+};
+pub use sink::{ArchiveSink, CountingSink, FileSink, InMemorySink};
 pub use source::{ArchiveSource, CachedSource, CountingSource, FileSource, InMemorySource};
 pub use sp::SpAlgorithm;
 pub use trie::{DenseAutomaton, Matcher, Trie};
 pub use wide::{WideCompressor, WideDecompressor, WideDictBuilder, WideDictionary};
+pub use writer::{ArchiveWriter, PackInfo, WriterOptions};

@@ -152,6 +152,13 @@ impl<S: ArchiveSource> ArchiveReader<S> {
         self.metadata_bytes
     }
 
+    /// The CRC32 stored in the container's footer. Structural identity a
+    /// shard manifest can cross-check without reading any payload
+    /// (verifying the checksum is [`ArchiveReader::verify`]).
+    pub fn container_crc(&self) -> u32 {
+        self.stored_crc
+    }
+
     /// The underlying source.
     pub fn source(&self) -> &S {
         &self.source
@@ -210,6 +217,22 @@ impl<S: ArchiveSource> ArchiveReader<S> {
             let line = &span[r.start - span_start..r.end - span_start];
             let mut smiles = Vec::with_capacity(line.len() * 3);
             dec.decode_line(line, &mut smiles)?;
+            out.push(smiles);
+        }
+        Ok(out)
+    }
+
+    /// Decompress an arbitrary set of ligands (hit lists are rarely
+    /// contiguous), in the order given, with one reused decoder — one
+    /// positioned read per requested line.
+    pub fn get_many(&self, indices: &[usize]) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        let mut dec = self.dict.boxed_decoder();
+        let mut out = Vec::with_capacity(indices.len());
+        for &i in indices {
+            self.check_line(i)?;
+            let line = self.read_span(self.index.line_range(i))?;
+            let mut smiles = Vec::with_capacity(line.len() * 3);
+            dec.decode_line(&line, &mut smiles)?;
             out.push(smiles);
         }
         Ok(out)

@@ -1,0 +1,1270 @@
+//! Sharded `.zsa` archives: one `.zsm` manifest plus N ordinary
+//! single-file shards, read through one reader facade.
+//!
+//! Billion-line screening decks outgrow a single file long before they
+//! outgrow a single *format* — object stores cap object sizes, parallel
+//! filesystems want striping units, and re-packing a 72 TB campaign into
+//! one container serializes what is an embarrassingly splittable job. A
+//! sharded archive keeps every paper property (readable payload, O(1)
+//! line access, embedded dictionary) by construction: each shard **is** a
+//! complete, self-describing `.zsa`, and the manifest is a small readable
+//! text file that orders them and records per-shard line counts, byte
+//! sizes and CRCs:
+//!
+//! ```text
+//! #zsmiles-shards v1
+//! flavor base
+//! lines 100000
+//! shard deck.00000.zsa 10000 184062 9ab3f2e1
+//! shard deck.00001.zsa 10000 183990 4710c022
+//! ...
+//! ```
+//!
+//! * [`ShardedWriter`] streams raw deck bytes exactly like
+//!   [`crate::writer::ArchiveWriter`] (it drives one per shard), cutting
+//!   shards by a [`ShardPolicy`] line or byte budget.
+//! * [`ShardedReader`] opens the manifest, cross-checks every shard
+//!   against its manifest entry (flavor, line count, file size, stored
+//!   CRC, identical embedded dictionary) *without touching any payload*,
+//!   and serves the [`crate::reader::ArchiveReader`] read surface —
+//!   `get` / `get_range` / `get_many` / batched [`ShardedReader::lines`]
+//!   / streaming [`ShardedReader::unpack_to`] — by routing global line
+//!   numbers across shards with a binary search on the manifest's
+//!   cumulative line table.
+//! * [`DeckReader`] is the run-time dispatch: point it at a `.zsa` or a
+//!   `.zsm` and every caller (CLI, screening code) works unchanged
+//!   against either layout.
+//!
+//! Line numbering is global and identical to a single-file pack of the
+//! same deck: shard cuts happen between lines, per-line encoding is
+//! context-free, and every shard embeds the same dictionary — so a
+//! sharded pack is line-for-line byte-identical to the single-file pack,
+//! a property the proptest suite pins down at random budgets.
+
+use crate::compress::CompressStats;
+use crate::engine::{AnyDictionary, DictFlavor, DynEngine, LineDecoder};
+use crate::error::ZsmilesError;
+use crate::reader::{ArchiveReader, LineIter, DEFAULT_BATCH_BYTES};
+use crate::sink::FileSink;
+use crate::source::{ArchiveSource, FileSource};
+use crate::writer::{ArchiveWriter, WriterOptions};
+use std::io::{Read, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// First line of every `.zsm` manifest.
+pub const MANIFEST_MAGIC: &str = "#zsmiles-shards v1";
+
+fn bad(reason: impl Into<String>) -> ZsmilesError {
+    ZsmilesError::ManifestFormat {
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// One shard's row in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Shard file name, relative to the manifest's directory (a plain
+    /// file name — no path separators).
+    pub file: String,
+    /// Ligand lines the shard stores.
+    pub lines: u64,
+    /// Total container bytes of the shard file.
+    pub file_bytes: u64,
+    /// The shard container's stored CRC32 (its footer value).
+    pub crc32: u32,
+}
+
+/// The parsed shard table of a `.zsm` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    flavor: DictFlavor,
+    total_lines: u64,
+    shards: Vec<ShardMeta>,
+}
+
+impl ShardManifest {
+    pub fn new(flavor: DictFlavor, shards: Vec<ShardMeta>) -> ShardManifest {
+        let total_lines = shards.iter().map(|s| s.lines).sum();
+        ShardManifest {
+            flavor,
+            total_lines,
+            shards,
+        }
+    }
+
+    pub fn flavor(&self) -> DictFlavor {
+        self.flavor
+    }
+
+    /// Total ligand lines across all shards.
+    pub fn total_lines(&self) -> u64 {
+        self.total_lines
+    }
+
+    pub fn shards(&self) -> &[ShardMeta] {
+        &self.shards
+    }
+
+    /// Serialize in the readable `.zsm` text format.
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "{MANIFEST_MAGIC}")?;
+        writeln!(w, "flavor {}", self.flavor.name())?;
+        writeln!(w, "lines {}", self.total_lines)?;
+        for s in &self.shards {
+            writeln!(
+                w,
+                "shard {} {} {} {:08x}",
+                s.file, s.lines, s.file_bytes, s.crc32
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Parse a `.zsm` manifest.
+    pub fn read_from(bytes: &[u8]) -> Result<ShardManifest, ZsmilesError> {
+        let text = std::str::from_utf8(bytes).map_err(|_| bad("manifest is not UTF-8 text"))?;
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(MANIFEST_MAGIC) {
+            return Err(bad("not a .zsm shard manifest"));
+        }
+        let mut flavor = None;
+        let mut declared_lines = None;
+        let mut shards = Vec::new();
+        for (no, raw) in lines.enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut f = line.split_whitespace();
+            match f.next() {
+                Some("flavor") => {
+                    flavor = Some(match f.next() {
+                        Some("base") => DictFlavor::Base,
+                        Some("wide") => DictFlavor::Wide,
+                        other => {
+                            return Err(bad(format!("line {}: unknown flavor {other:?}", no + 2)))
+                        }
+                    });
+                }
+                Some("lines") => {
+                    declared_lines = Some(
+                        f.next()
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .ok_or_else(|| bad(format!("line {}: bad line count", no + 2)))?,
+                    );
+                }
+                Some("shard") => {
+                    let file = f
+                        .next()
+                        .ok_or_else(|| bad(format!("line {}: shard needs a file", no + 2)))?;
+                    if file.contains(['/', '\\']) || file == ".." {
+                        return Err(bad(format!(
+                            "line {}: shard file must be a plain name, got '{file}'",
+                            no + 2
+                        )));
+                    }
+                    let mut num = |what: &str| {
+                        f.next()
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .ok_or_else(|| bad(format!("line {}: bad {what}", no + 2)))
+                    };
+                    let lines = num("shard line count")?;
+                    let file_bytes = num("shard byte size")?;
+                    let crc32 = f
+                        .next()
+                        .and_then(|v| u32::from_str_radix(v, 16).ok())
+                        .ok_or_else(|| bad(format!("line {}: bad shard crc", no + 2)))?;
+                    shards.push(ShardMeta {
+                        file: file.to_string(),
+                        lines,
+                        file_bytes,
+                        crc32,
+                    });
+                }
+                Some(other) => {
+                    return Err(bad(format!("line {}: unknown field '{other}'", no + 2)))
+                }
+                None => unreachable!("blank lines are skipped"),
+            }
+        }
+        let flavor = flavor.ok_or_else(|| bad("manifest missing 'flavor'"))?;
+        if shards.is_empty() {
+            return Err(bad("manifest lists no shards"));
+        }
+        let manifest = ShardManifest::new(flavor, shards);
+        if let Some(declared) = declared_lines {
+            if declared != manifest.total_lines {
+                return Err(bad(format!(
+                    "manifest says {} lines but shard table sums to {}",
+                    declared, manifest.total_lines
+                )));
+            }
+        }
+        Ok(manifest)
+    }
+
+    pub fn save(&self, path: &Path) -> Result<(), ZsmilesError> {
+        let f = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(f);
+        self.write_to(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    pub fn load(path: &Path) -> Result<ShardManifest, ZsmilesError> {
+        let bytes = std::fs::read(path)?;
+        ShardManifest::read_from(&bytes)
+    }
+}
+
+/// Whether `path` starts with the `.zsm` manifest magic — the sniff
+/// [`DeckReader::open`] uses to dispatch between layouts.
+pub fn is_manifest(path: &Path) -> Result<bool, ZsmilesError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut head = [0u8; MANIFEST_MAGIC.len()];
+    let mut got = 0;
+    while got < head.len() {
+        let n = f.read(&mut head[got..])?;
+        if n == 0 {
+            return Ok(false);
+        }
+        got += n;
+    }
+    Ok(head == *MANIFEST_MAGIC.as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Sharded writing
+// ---------------------------------------------------------------------------
+
+/// When to cut a new shard. At least one budget must be set; a cut
+/// happens before the first line that would exceed it, so `by_lines(n)`
+/// shards carry exactly `n` lines each (except the last) and
+/// `by_bytes(n)` shards stay at or under `n` raw input bytes — with one
+/// unavoidable exception: a single line larger than the byte budget
+/// still forms its own (over-budget) shard, because the line is the
+/// codec unit and cannot be split.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardPolicy {
+    /// Maximum ligand lines per shard.
+    pub max_lines: Option<u64>,
+    /// Maximum raw input bytes per shard (line bytes + newline; the shard
+    /// file is smaller after compression).
+    pub max_bytes: Option<u64>,
+}
+
+impl ShardPolicy {
+    pub fn by_lines(max_lines: u64) -> ShardPolicy {
+        ShardPolicy {
+            max_lines: Some(max_lines),
+            max_bytes: None,
+        }
+    }
+
+    pub fn by_bytes(max_bytes: u64) -> ShardPolicy {
+        ShardPolicy {
+            max_lines: None,
+            max_bytes: Some(max_bytes),
+        }
+    }
+
+    fn validate(&self) -> Result<(), ZsmilesError> {
+        match (self.max_lines, self.max_bytes) {
+            (None, None) | (Some(0), None) | (None, Some(0)) | (Some(0), Some(0)) => {
+                Err(bad("shard policy needs a positive line or byte budget"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Would adding one more line of `next_line_bytes` raw bytes (newline
+    /// included) to a shard already holding `lines` lines / `raw_bytes`
+    /// input bytes overshoot a budget? Predictive, so byte budgets are a
+    /// hard cap, not a low-water mark.
+    fn would_exceed(&self, lines: u64, raw_bytes: u64, next_line_bytes: u64) -> bool {
+        self.max_lines.is_some_and(|n| lines + 1 > n)
+            || self
+                .max_bytes
+                .is_some_and(|n| raw_bytes + next_line_bytes > n)
+    }
+}
+
+/// What a finished sharded pack reports.
+#[derive(Debug, Clone)]
+pub struct ShardedPackInfo {
+    /// Where the manifest was written.
+    pub manifest_path: PathBuf,
+    /// The manifest's shard table, in order.
+    pub shards: Vec<ShardMeta>,
+    /// Total ligand lines across shards.
+    pub lines: u64,
+    /// Compression accounting across every shard.
+    pub stats: CompressStats,
+    /// High-water mark of payload bytes buffered by any shard's writer.
+    pub peak_buffered_bytes: usize,
+}
+
+/// Streams a deck into a manifest plus N `.zsa` shard files, cutting by a
+/// [`ShardPolicy`]. Same input surface as
+/// [`crate::writer::ArchiveWriter`]: arbitrary byte slices, lines
+/// reassembled across calls, bounded memory throughout.
+#[derive(Debug)]
+pub struct ShardedWriter {
+    manifest_path: PathBuf,
+    dir: PathBuf,
+    stem: String,
+    dict: AnyDictionary,
+    policy: ShardPolicy,
+    opts: WriterOptions,
+    current: Option<ArchiveWriter<FileSink>>,
+    cur_name: String,
+    cur_lines: u64,
+    cur_raw_bytes: u64,
+    shards: Vec<ShardMeta>,
+    /// Partial final line carried between `write` calls.
+    carry: Vec<u8>,
+    stats: CompressStats,
+    peak_buffered: usize,
+}
+
+impl ShardedWriter {
+    /// Start a sharded pack. `manifest_path` names the `.zsm` file;
+    /// shards land beside it as `<stem>.00000.zsa`, `<stem>.00001.zsa`, …
+    pub fn create(
+        manifest_path: &Path,
+        dict: AnyDictionary,
+        policy: ShardPolicy,
+        opts: WriterOptions,
+    ) -> Result<ShardedWriter, ZsmilesError> {
+        policy.validate()?;
+        let dir = manifest_path
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        let stem = manifest_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "deck".to_string());
+        let mut w = ShardedWriter {
+            manifest_path: manifest_path.to_path_buf(),
+            dir,
+            stem,
+            dict,
+            policy,
+            opts,
+            current: None,
+            cur_name: String::new(),
+            cur_lines: 0,
+            cur_raw_bytes: 0,
+            shards: Vec::new(),
+            carry: Vec::new(),
+            stats: CompressStats::default(),
+            peak_buffered: 0,
+        };
+        w.open_shard()?;
+        Ok(w)
+    }
+
+    /// Shards completed so far (the one being written is not counted).
+    pub fn shards_completed(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn open_shard(&mut self) -> Result<(), ZsmilesError> {
+        self.cur_name = format!("{}.{:05}.zsa", self.stem, self.shards.len());
+        let sink = FileSink::create(&self.dir.join(&self.cur_name))?;
+        self.current = Some(ArchiveWriter::with_options(
+            sink,
+            self.dict.clone(),
+            self.opts,
+        )?);
+        self.cur_lines = 0;
+        self.cur_raw_bytes = 0;
+        Ok(())
+    }
+
+    /// Finish the shard in progress and record its manifest row.
+    fn seal_shard(&mut self) -> Result<(), ZsmilesError> {
+        let w = self.current.take().expect("a shard is always open");
+        let (_, info) = w.finish()?;
+        self.stats.merge(&info.stats);
+        self.peak_buffered = self.peak_buffered.max(info.peak_buffered_bytes);
+        debug_assert_eq!(info.lines as u64, self.cur_lines, "fed lines all landed");
+        self.shards.push(ShardMeta {
+            file: std::mem::take(&mut self.cur_name),
+            lines: info.lines as u64,
+            file_bytes: info.container_bytes,
+            crc32: info.crc32,
+        });
+        Ok(())
+    }
+
+    /// Route one complete line (no newline) to the current shard, cutting
+    /// first if the policy budget is full. Blank lines are skipped — they
+    /// produce no archive line in any layout.
+    fn feed(&mut self, line: &[u8]) -> Result<(), ZsmilesError> {
+        if line.is_empty() {
+            return Ok(());
+        }
+        if self.cur_lines > 0
+            && self
+                .policy
+                .would_exceed(self.cur_lines, self.cur_raw_bytes, line.len() as u64 + 1)
+        {
+            self.seal_shard()?;
+            self.open_shard()?;
+        }
+        self.current
+            .as_mut()
+            .expect("a shard is always open")
+            .write_line(line)?;
+        self.cur_lines += 1;
+        self.cur_raw_bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Accept raw deck bytes (newline-separated SMILES, lines may
+    /// straddle calls).
+    pub fn write(&mut self, bytes: &[u8]) -> Result<(), ZsmilesError> {
+        let mut rest = bytes;
+        if !self.carry.is_empty() {
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(p) => {
+                    self.carry.extend_from_slice(&rest[..p]);
+                    let line = std::mem::take(&mut self.carry);
+                    self.feed(&line)?;
+                    rest = &rest[p + 1..];
+                }
+                None => {
+                    self.carry.extend_from_slice(rest);
+                    return Ok(());
+                }
+            }
+        }
+        while let Some(p) = rest.iter().position(|&b| b == b'\n') {
+            self.feed(&rest[..p])?;
+            rest = &rest[p + 1..];
+        }
+        self.carry.extend_from_slice(rest);
+        Ok(())
+    }
+
+    /// Accept one line (no embedded newline).
+    pub fn write_line(&mut self, line: &[u8]) -> Result<(), ZsmilesError> {
+        debug_assert!(
+            self.carry.is_empty(),
+            "mixing write and write_line mid-line"
+        );
+        self.feed(line)
+    }
+
+    /// Seal the last shard, write the manifest, and report the pack.
+    pub fn finish(mut self) -> Result<ShardedPackInfo, ZsmilesError> {
+        if !self.carry.is_empty() {
+            let line = std::mem::take(&mut self.carry);
+            self.feed(&line)?;
+        }
+        // Always seal — an empty deck still yields one (empty) shard, so
+        // the manifest has a dictionary to point at.
+        self.seal_shard()?;
+        let manifest = ShardManifest::new(self.dict.flavor(), self.shards);
+        manifest.save(&self.manifest_path)?;
+        Ok(ShardedPackInfo {
+            manifest_path: self.manifest_path,
+            lines: manifest.total_lines(),
+            shards: manifest.shards().to_vec(),
+            stats: self.stats,
+            peak_buffered_bytes: self.peak_buffered,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded reading
+// ---------------------------------------------------------------------------
+
+/// A sharded archive opened for random access: the manifest plus one
+/// out-of-core [`ArchiveReader`] per shard (metadata only — no payload is
+/// resident). Global line numbers route across shards by binary search on
+/// the cumulative line table.
+#[derive(Debug)]
+pub struct ShardedReader {
+    manifest: ShardManifest,
+    readers: Vec<ArchiveReader<FileSource>>,
+    /// `starts[k]` = global line number of shard `k`'s first line.
+    starts: Vec<u64>,
+    total: usize,
+}
+
+impl ShardedReader {
+    /// Open a `.zsm` manifest and every shard it lists, cross-checking
+    /// each shard's flavor, line count, file size, stored CRC and
+    /// embedded dictionary against the manifest — all from metadata; no
+    /// payload byte is read.
+    pub fn open(manifest_path: &Path) -> Result<ShardedReader, ZsmilesError> {
+        let manifest = ShardManifest::load(manifest_path)?;
+        let dir = manifest_path
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        let mut readers = Vec::with_capacity(manifest.shards().len());
+        let mut starts = Vec::with_capacity(manifest.shards().len());
+        let mut at = 0u64;
+        let mut first_dict: Option<Vec<u8>> = None;
+        for meta in manifest.shards() {
+            let reader = ArchiveReader::open(&dir.join(&meta.file))?;
+            if reader.flavor() != manifest.flavor() {
+                return Err(bad(format!(
+                    "shard {}: flavor {} does not match manifest {}",
+                    meta.file,
+                    reader.flavor().name(),
+                    manifest.flavor().name()
+                )));
+            }
+            if reader.len() as u64 != meta.lines {
+                return Err(bad(format!(
+                    "shard {}: stores {} lines, manifest says {}",
+                    meta.file,
+                    reader.len(),
+                    meta.lines
+                )));
+            }
+            if reader.source().len() != meta.file_bytes {
+                return Err(bad(format!(
+                    "shard {}: {} bytes on disk, manifest says {}",
+                    meta.file,
+                    reader.source().len(),
+                    meta.file_bytes
+                )));
+            }
+            if reader.container_crc() != meta.crc32 {
+                return Err(bad(format!(
+                    "shard {}: container crc {:08x}, manifest says {:08x}",
+                    meta.file,
+                    reader.container_crc(),
+                    meta.crc32
+                )));
+            }
+            let mut dict_bytes = Vec::new();
+            reader.dictionary().write(&mut dict_bytes)?;
+            match &first_dict {
+                None => first_dict = Some(dict_bytes),
+                Some(first) if *first != dict_bytes => {
+                    return Err(bad(format!(
+                        "shard {}: embedded dictionary differs from shard {}",
+                        meta.file,
+                        manifest.shards()[0].file
+                    )))
+                }
+                Some(_) => {}
+            }
+            starts.push(at);
+            at += meta.lines;
+            readers.push(reader);
+        }
+        Ok(ShardedReader {
+            total: at as usize,
+            manifest,
+            readers,
+            starts,
+        })
+    }
+
+    /// Total ligand lines across all shards.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Which dictionary flavour the shards embed.
+    pub fn flavor(&self) -> DictFlavor {
+        self.manifest.flavor()
+    }
+
+    /// The embedded dictionary (identical in every shard; checked at
+    /// open).
+    pub fn dictionary(&self) -> &AnyDictionary {
+        self.readers[0].dictionary()
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// The per-shard readers, in manifest order.
+    pub fn shard_readers(&self) -> &[ArchiveReader<FileSource>] {
+        &self.readers
+    }
+
+    /// Compressed payload bytes across all shards (not resident).
+    pub fn payload_bytes(&self) -> u64 {
+        self.readers.iter().map(|r| r.payload_bytes()).sum()
+    }
+
+    /// Metadata bytes transferred at open, across all shards.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.readers.iter().map(|r| r.metadata_bytes()).sum()
+    }
+
+    fn check_line(&self, i: usize) -> Result<(), ZsmilesError> {
+        if i >= self.total {
+            return Err(ZsmilesError::LineOutOfRange {
+                line: i,
+                len: self.total,
+            });
+        }
+        Ok(())
+    }
+
+    /// Which shard holds global line `i`, and the line's shard-local
+    /// index. O(log #shards); empty shards are skipped by construction
+    /// (their cumulative start equals their successor's).
+    fn locate(&self, i: usize) -> (usize, usize) {
+        let s = self.starts.partition_point(|&st| st <= i as u64) - 1;
+        (s, i - self.starts[s] as usize)
+    }
+
+    /// The compressed bytes of global ligand `i` — one positioned read in
+    /// one shard.
+    pub fn compressed_line(&self, i: usize) -> Result<Vec<u8>, ZsmilesError> {
+        self.check_line(i)?;
+        let (s, local) = self.locate(i);
+        self.readers[s].compressed_line(local)
+    }
+
+    /// Decompress global ligand `i` — the paper's random-access read,
+    /// routed to the owning shard.
+    pub fn get(&self, i: usize) -> Result<Vec<u8>, ZsmilesError> {
+        self.check_line(i)?;
+        let (s, local) = self.locate(i);
+        self.readers[s].get(local)
+    }
+
+    /// Decompress a contiguous run of global ligands: one batched
+    /// [`ArchiveReader::get_range`] per shard the run crosses.
+    pub fn get_range(&self, lines: Range<usize>) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        if lines.end > self.total {
+            return Err(ZsmilesError::LineOutOfRange {
+                line: lines.end.saturating_sub(1),
+                len: self.total,
+            });
+        }
+        let mut out = Vec::with_capacity(lines.len());
+        let mut i = lines.start;
+        while i < lines.end {
+            let (s, local) = self.locate(i);
+            let take = (self.readers[s].len() - local).min(lines.end - i);
+            out.extend(self.readers[s].get_range(local..local + take)?);
+            i += take;
+        }
+        Ok(out)
+    }
+
+    /// Decompress an arbitrary set of global ligands in the order given,
+    /// reusing one decoder per shard touched.
+    pub fn get_many(&self, indices: &[usize]) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        let mut decoders: Vec<Option<Box<dyn LineDecoder + '_>>> =
+            (0..self.readers.len()).map(|_| None).collect();
+        let mut out = Vec::with_capacity(indices.len());
+        for &i in indices {
+            self.check_line(i)?;
+            let (s, local) = self.locate(i);
+            let line = self.readers[s].compressed_line(local)?;
+            let dec =
+                decoders[s].get_or_insert_with(|| self.readers[s].dictionary().boxed_decoder());
+            let mut smiles = Vec::with_capacity(line.len() * 3);
+            dec.decode_line(&line, &mut smiles)?;
+            out.push(smiles);
+        }
+        Ok(out)
+    }
+
+    /// Iterate every ligand in global order, shard by shard, reading each
+    /// shard's payload in batches of
+    /// [`crate::reader::DEFAULT_BATCH_BYTES`].
+    pub fn lines(&self) -> ShardedLines<'_> {
+        self.lines_batched(DEFAULT_BATCH_BYTES)
+    }
+
+    /// [`ShardedReader::lines`] with an explicit per-batch byte budget.
+    pub fn lines_batched(&self, batch_bytes: usize) -> ShardedLines<'_> {
+        ShardedLines {
+            reader: self,
+            shard: 0,
+            inner: None,
+            batch_bytes,
+        }
+    }
+
+    /// Stream-decompress every shard in order into `w` — constant memory
+    /// in the archive size, same contract as
+    /// [`ArchiveReader::unpack_to`].
+    pub fn unpack_to<W: Write>(
+        &self,
+        mut w: W,
+        threads: usize,
+        chunk_bytes: usize,
+    ) -> Result<crate::decompress::DecompressStats, ZsmilesError> {
+        let mut stats = crate::decompress::DecompressStats::default();
+        for r in &self.readers {
+            let s = r.unpack_to(&mut w, threads, chunk_bytes)?;
+            stats.lines += s.lines;
+            stats.in_bytes += s.in_bytes;
+            stats.out_bytes += s.out_bytes;
+        }
+        w.flush()?;
+        Ok(stats)
+    }
+
+    /// Verify every shard's CRC32 end to end, streaming each in bounded
+    /// memory.
+    pub fn verify(&self) -> Result<(), ZsmilesError> {
+        for r in &self.readers {
+            r.verify()?;
+        }
+        Ok(())
+    }
+}
+
+/// Batched in-order iterator over every decoded line of a sharded
+/// archive: each shard's [`LineIter`] in manifest order.
+pub struct ShardedLines<'r> {
+    reader: &'r ShardedReader,
+    shard: usize,
+    inner: Option<LineIter<'r, FileSource>>,
+    batch_bytes: usize,
+}
+
+impl Iterator for ShardedLines<'_> {
+    type Item = Result<Vec<u8>, ZsmilesError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(it) = self.inner.as_mut() {
+                if let Some(item) = it.next() {
+                    return Some(item);
+                }
+                self.inner = None;
+            }
+            if self.shard >= self.reader.readers.len() {
+                return None;
+            }
+            self.inner = Some(self.reader.readers[self.shard].lines_batched(self.batch_bytes));
+            self.shard += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layout dispatch
+// ---------------------------------------------------------------------------
+
+/// Either archive layout behind one read surface: a single `.zsa` file or
+/// a `.zsm` manifest with shards, sniffed from the file's first bytes.
+/// Every consumer that accepts "an archive path" (the CLI's `get` /
+/// `unpack` / `inspect`, screening hit fetches) opens through this and
+/// works unchanged against both.
+#[derive(Debug)]
+pub enum DeckReader {
+    Single(Box<ArchiveReader<FileSource>>),
+    Sharded(Box<ShardedReader>),
+}
+
+impl DeckReader {
+    /// Open `path` as whichever layout it is.
+    pub fn open(path: &Path) -> Result<DeckReader, ZsmilesError> {
+        if is_manifest(path)? {
+            Ok(DeckReader::Sharded(Box::new(ShardedReader::open(path)?)))
+        } else {
+            Ok(DeckReader::Single(Box::new(ArchiveReader::open(path)?)))
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            DeckReader::Single(r) => r.len(),
+            DeckReader::Sharded(r) => r.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn flavor(&self) -> DictFlavor {
+        match self {
+            DeckReader::Single(r) => r.flavor(),
+            DeckReader::Sharded(r) => r.flavor(),
+        }
+    }
+
+    pub fn dictionary(&self) -> &AnyDictionary {
+        match self {
+            DeckReader::Single(r) => r.dictionary(),
+            DeckReader::Sharded(r) => r.dictionary(),
+        }
+    }
+
+    /// Number of `.zsa` files behind this deck (1 for the single layout).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            DeckReader::Single(_) => 1,
+            DeckReader::Sharded(r) => r.shard_count(),
+        }
+    }
+
+    /// Compressed payload bytes (not resident).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            DeckReader::Single(r) => r.payload_bytes(),
+            DeckReader::Sharded(r) => r.payload_bytes(),
+        }
+    }
+
+    /// Metadata bytes transferred at open.
+    pub fn metadata_bytes(&self) -> u64 {
+        match self {
+            DeckReader::Single(r) => r.metadata_bytes(),
+            DeckReader::Sharded(r) => r.metadata_bytes(),
+        }
+    }
+
+    pub fn get(&self, i: usize) -> Result<Vec<u8>, ZsmilesError> {
+        match self {
+            DeckReader::Single(r) => r.get(i),
+            DeckReader::Sharded(r) => r.get(i),
+        }
+    }
+
+    pub fn compressed_line(&self, i: usize) -> Result<Vec<u8>, ZsmilesError> {
+        match self {
+            DeckReader::Single(r) => r.compressed_line(i),
+            DeckReader::Sharded(r) => r.compressed_line(i),
+        }
+    }
+
+    pub fn get_range(&self, lines: Range<usize>) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        match self {
+            DeckReader::Single(r) => r.get_range(lines),
+            DeckReader::Sharded(r) => r.get_range(lines),
+        }
+    }
+
+    pub fn get_many(&self, indices: &[usize]) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        match self {
+            DeckReader::Single(r) => r.get_many(indices),
+            DeckReader::Sharded(r) => r.get_many(indices),
+        }
+    }
+
+    pub fn unpack_to<W: Write>(
+        &self,
+        w: W,
+        threads: usize,
+        chunk_bytes: usize,
+    ) -> Result<crate::decompress::DecompressStats, ZsmilesError> {
+        match self {
+            DeckReader::Single(r) => r.unpack_to(w, threads, chunk_bytes),
+            DeckReader::Sharded(r) => r.unpack_to(w, threads, chunk_bytes),
+        }
+    }
+
+    pub fn verify(&self) -> Result<(), ZsmilesError> {
+        match self {
+            DeckReader::Single(r) => r.verify(),
+            DeckReader::Sharded(r) => r.verify(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::Archive;
+    use crate::dict::builder::DictBuilder;
+    use crate::wide::WideDictBuilder;
+
+    fn deck_lines() -> Vec<&'static [u8]> {
+        let lines: [&[u8]; 5] = [
+            b"COc1cc(C=O)ccc1O",
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+            b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+            b"CCN(CC)CC",
+            b"CC(=O)Oc1ccccc1C(=O)O",
+        ];
+        lines.iter().copied().cycle().take(120).collect()
+    }
+
+    fn deck_bytes() -> Vec<u8> {
+        deck_lines()
+            .iter()
+            .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+            .collect()
+    }
+
+    fn dict(wide: bool) -> AnyDictionary {
+        let base = DictBuilder {
+            min_count: 2,
+            preprocess: false,
+            ..Default::default()
+        };
+        if wide {
+            AnyDictionary::Wide(Box::new(
+                WideDictBuilder {
+                    base,
+                    wide_size: 32,
+                }
+                .train(deck_lines())
+                .unwrap(),
+            ))
+        } else {
+            AnyDictionary::Base(Box::new(base.train(deck_lines()).unwrap()))
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("zsmiles_shard_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn pack_sharded(dir: &Path, wide: bool, policy: ShardPolicy) -> ShardedPackInfo {
+        let mut w = ShardedWriter::create(
+            &dir.join("deck.zsm"),
+            dict(wide),
+            policy,
+            WriterOptions {
+                threads: 2,
+                batch_bytes: 128,
+            },
+        )
+        .unwrap();
+        // Awkward slicing on purpose: lines straddle write calls.
+        for chunk in deck_bytes().chunks(7) {
+            w.write(chunk).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn manifest_text_round_trips() {
+        let m = ShardManifest::new(
+            DictFlavor::Wide,
+            vec![
+                ShardMeta {
+                    file: "deck.00000.zsa".into(),
+                    lines: 10,
+                    file_bytes: 1234,
+                    crc32: 0x9AB3F2E1,
+                },
+                ShardMeta {
+                    file: "deck.00001.zsa".into(),
+                    lines: 3,
+                    file_bytes: 987,
+                    crc32: 0x0000_0001,
+                },
+            ],
+        );
+        let mut raw = Vec::new();
+        m.write_to(&mut raw).unwrap();
+        let text = String::from_utf8(raw.clone()).unwrap();
+        assert!(text.starts_with(MANIFEST_MAGIC), "readable text manifest");
+        assert!(text.contains("lines 13"));
+        let back = ShardManifest::read_from(&raw).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.total_lines(), 13);
+    }
+
+    #[test]
+    fn manifest_rejects_garbage_and_inconsistency() {
+        assert!(ShardManifest::read_from(b"not a manifest").is_err());
+        assert!(ShardManifest::read_from(b"#zsmiles-shards v1\nflavor base\n").is_err());
+        assert!(ShardManifest::read_from(
+            b"#zsmiles-shards v1\nflavor purple\nshard a.zsa 1 2 03\n"
+        )
+        .is_err());
+        // Declared total disagrees with the shard table.
+        assert!(ShardManifest::read_from(
+            b"#zsmiles-shards v1\nflavor base\nlines 5\nshard a.zsa 1 2 03\n"
+        )
+        .is_err());
+        // Path traversal in shard names is rejected.
+        assert!(ShardManifest::read_from(
+            b"#zsmiles-shards v1\nflavor base\nshard ../evil.zsa 1 2 03\n"
+        )
+        .is_err());
+        // Comments and blank lines are fine.
+        let ok = ShardManifest::read_from(
+            b"#zsmiles-shards v1\n# comment\n\nflavor base\nshard a.zsa 1 2 0000aaff\n",
+        )
+        .unwrap();
+        assert_eq!(ok.shards().len(), 1);
+        assert_eq!(ok.shards()[0].crc32, 0xAAFF);
+    }
+
+    #[test]
+    fn sharded_pack_matches_single_file_pack_line_for_line() {
+        for wide in [false, true] {
+            let dir = tmpdir(if wide { "idw" } else { "idb" });
+            let info = pack_sharded(&dir, wide, ShardPolicy::by_lines(50));
+            assert_eq!(info.lines, 120);
+            assert_eq!(info.shards.len(), 3, "120 lines at 50/shard");
+            assert_eq!(info.shards[0].lines, 50);
+            assert_eq!(info.shards[2].lines, 20);
+
+            let single = Archive::pack(dict(wide), &deck_bytes(), 2);
+            let reader = ShardedReader::open(&dir.join("deck.zsm")).unwrap();
+            assert_eq!(reader.len(), single.len());
+            assert_eq!(reader.flavor(), single.flavor());
+            reader.verify().unwrap();
+            for i in [0usize, 49, 50, 51, 99, 100, 119] {
+                assert_eq!(
+                    reader.get(i).unwrap(),
+                    single.get(i).unwrap(),
+                    "wide={wide} line {i}"
+                );
+                assert_eq!(
+                    reader.compressed_line(i).unwrap(),
+                    single.compressed_line(i).unwrap(),
+                    "wide={wide} line {i}"
+                );
+            }
+            // Ranges and hit lists spanning shard boundaries.
+            assert_eq!(
+                reader.get_range(45..105).unwrap(),
+                single.get_range(45..105).unwrap()
+            );
+            let hits = [99usize, 0, 50, 119, 50];
+            assert_eq!(
+                reader.get_many(&hits).unwrap(),
+                single.get_many(&hits).unwrap()
+            );
+            // Full iteration and streaming unpack.
+            let streamed: Result<Vec<Vec<u8>>, _> = reader.lines_batched(64).collect();
+            assert_eq!(streamed.unwrap(), deck_lines());
+            let mut out = Vec::new();
+            reader.unpack_to(&mut out, 2, 1000).unwrap();
+            assert_eq!(out, deck_bytes());
+
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn byte_budget_policy_cuts_and_boundary_on_last_line_is_clean() {
+        let dir = tmpdir("bytes");
+        let info = pack_sharded(&dir, false, ShardPolicy::by_bytes(700));
+        assert!(info.shards.len() > 1, "700-byte budget forces cuts");
+        let reader = ShardedReader::open(&dir.join("deck.zsm")).unwrap();
+        assert_eq!(reader.len(), 120);
+        // The byte budget is a hard cap: every shard's raw input (line
+        // bytes + newlines) stays at or under it — no line in the deck
+        // exceeds the budget on its own, so no overshoot is excusable.
+        let mut line = 0usize;
+        for meta in reader.manifest().shards() {
+            let raw: u64 = (line..line + meta.lines as usize)
+                .map(|i| deck_lines()[i].len() as u64 + 1)
+                .sum();
+            assert!(
+                raw <= 700,
+                "shard {} holds {} raw bytes > 700",
+                meta.file,
+                raw
+            );
+            line += meta.lines as usize;
+        }
+        std::fs::remove_dir_all(&dir).ok();
+
+        // A single line larger than the budget still forms its own shard.
+        let dir = tmpdir("oversize");
+        let mut w = ShardedWriter::create(
+            &dir.join("deck.zsm"),
+            dict(false),
+            ShardPolicy::by_bytes(10),
+            WriterOptions::default(),
+        )
+        .unwrap();
+        w.write(b"CCO\nC1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2\nCCN(CC)CC\n")
+            .unwrap();
+        let info = w.finish().unwrap();
+        assert_eq!(info.lines, 3);
+        assert_eq!(
+            info.shards.len(),
+            3,
+            "each line over/at budget gets its own shard"
+        );
+        let reader = ShardedReader::open(&dir.join("deck.zsm")).unwrap();
+        assert_eq!(
+            reader.get(1).unwrap(),
+            b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2".to_vec()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        // A budget that divides the deck exactly: no trailing empty shard.
+        let dir = tmpdir("exact");
+        let info = pack_sharded(&dir, false, ShardPolicy::by_lines(60));
+        assert_eq!(info.shards.len(), 2);
+        assert_eq!(info.shards[1].lines, 60);
+        let reader = ShardedReader::open(&dir.join("deck.zsm")).unwrap();
+        assert_eq!(reader.get(119).unwrap(), deck_lines()[119]);
+        assert!(matches!(
+            reader.get(120).unwrap_err(),
+            ZsmilesError::LineOutOfRange {
+                line: 120,
+                len: 120
+            }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_deck_shards_to_one_empty_shard() {
+        let dir = tmpdir("empty");
+        let w = ShardedWriter::create(
+            &dir.join("deck.zsm"),
+            dict(false),
+            ShardPolicy::by_lines(10),
+            WriterOptions::default(),
+        )
+        .unwrap();
+        let info = w.finish().unwrap();
+        assert_eq!(info.lines, 0);
+        assert_eq!(info.shards.len(), 1);
+        let reader = ShardedReader::open(&dir.join("deck.zsm")).unwrap();
+        assert!(reader.is_empty());
+        assert!(reader.get(0).is_err());
+        assert_eq!(reader.lines().count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn policy_needs_a_budget() {
+        let dir = tmpdir("policy");
+        for policy in [
+            ShardPolicy::default(),
+            ShardPolicy::by_lines(0),
+            ShardPolicy::by_bytes(0),
+        ] {
+            assert!(ShardedWriter::create(
+                &dir.join("deck.zsm"),
+                dict(false),
+                policy,
+                WriterOptions::default(),
+            )
+            .is_err());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_cross_checks_shards_against_the_manifest() {
+        let dir = tmpdir("xcheck");
+        pack_sharded(&dir, false, ShardPolicy::by_lines(40));
+        let manifest_path = dir.join("deck.zsm");
+
+        // A tampered line count is refused.
+        let text = std::fs::read_to_string(&manifest_path).unwrap();
+        let tampered = text.replace("lines 120", "lines 121").replacen(
+            "deck.00000.zsa 40",
+            "deck.00000.zsa 41",
+            1,
+        );
+        std::fs::write(&manifest_path, &tampered).unwrap();
+        assert!(matches!(
+            ShardedReader::open(&manifest_path).unwrap_err(),
+            ZsmilesError::ManifestFormat { .. }
+        ));
+        std::fs::write(&manifest_path, &text).unwrap();
+
+        // A tampered CRC is refused (without reading any payload).
+        let swapped = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("shard deck.00001") {
+                    let mut parts: Vec<&str> = l.split_whitespace().collect();
+                    parts[4] = "00000000";
+                    parts.join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&manifest_path, swapped).unwrap();
+        assert!(matches!(
+            ShardedReader::open(&manifest_path).unwrap_err(),
+            ZsmilesError::ManifestFormat { .. }
+        ));
+        std::fs::write(&manifest_path, &text).unwrap();
+
+        // A missing shard file is an I/O error.
+        let shard0 = dir.join("deck.00000.zsa");
+        let bytes = std::fs::read(&shard0).unwrap();
+        std::fs::remove_file(&shard0).unwrap();
+        assert!(ShardedReader::open(&manifest_path).is_err());
+        std::fs::write(&shard0, &bytes).unwrap();
+        ShardedReader::open(&manifest_path).unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deck_reader_dispatches_both_layouts() {
+        let dir = tmpdir("dispatch");
+        // Sharded.
+        pack_sharded(&dir, false, ShardPolicy::by_lines(33));
+        let sharded = DeckReader::open(&dir.join("deck.zsm")).unwrap();
+        assert!(matches!(sharded, DeckReader::Sharded(_)));
+        assert_eq!(sharded.shard_count(), 4);
+        // Single file of the same deck.
+        let single_path = dir.join("deck.zsa");
+        Archive::pack(dict(false), &deck_bytes(), 1)
+            .save(&single_path)
+            .unwrap();
+        let single = DeckReader::open(&single_path).unwrap();
+        assert!(matches!(single, DeckReader::Single(_)));
+        assert_eq!(single.shard_count(), 1);
+
+        assert_eq!(sharded.len(), single.len());
+        assert_eq!(sharded.flavor(), single.flavor());
+        for i in [0usize, 33, 66, 119] {
+            assert_eq!(sharded.get(i).unwrap(), single.get(i).unwrap(), "line {i}");
+        }
+        assert_eq!(
+            sharded.get_range(30..40).unwrap(),
+            single.get_range(30..40).unwrap()
+        );
+        assert_eq!(
+            sharded.get_many(&[119, 0, 34]).unwrap(),
+            single.get_many(&[119, 0, 34]).unwrap()
+        );
+        let mut a = Vec::new();
+        sharded.unpack_to(&mut a, 2, 4096).unwrap();
+        let mut b = Vec::new();
+        single.unpack_to(&mut b, 2, 4096).unwrap();
+        assert_eq!(a, b);
+        sharded.verify().unwrap();
+        single.verify().unwrap();
+
+        // Neither layout: a typed error, not a panic.
+        let junk = dir.join("junk.bin");
+        std::fs::write(&junk, b"neither layout at all").unwrap();
+        assert!(DeckReader::open(&junk).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,290 @@
+//! Byte sinks for out-of-core archive writing — the write-side mirror of
+//! [`crate::source`].
+//!
+//! The read path pays off because [`crate::source::ArchiveSource`] only
+//! transfers the ranges a reader asks for. The write path needs the dual
+//! contract: [`ArchiveSink`] is an append-mostly byte consumer that a
+//! [`crate::writer::ArchiveWriter`] can stream compressed spans into
+//! without ever materializing the container — plus one positioned-write
+//! escape hatch, `write_at`, for the single place the `.zsa` format needs
+//! it (the fixed-size header at offset 0 carries `payload_len`, which a
+//! streaming writer only knows at finalize; it writes a placeholder up
+//! front and patches it once).
+//!
+//! Implementations:
+//!
+//! * [`FileSink`] — a file on disk; appends are ordinary buffered-free
+//!   sequential writes, the header patch is positioned I/O (`pwrite` on
+//!   unix, a seek-and-restore fallback elsewhere).
+//! * [`InMemorySink`] — an owned `Vec<u8>`, for tests and in-process
+//!   container assembly.
+//! * [`CountingSink`] — a transparent wrapper that meters appends,
+//!   bytes and patches; it is how the test suite *proves* the streaming
+//!   writer's memory stays bounded while the container grows unbounded.
+
+use crate::error::ZsmilesError;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// An append-oriented byte container an [`crate::writer::ArchiveWriter`]
+/// streams a `.zsa` into. `position()` is the append cursor (= bytes
+/// written so far); `write_at` may only touch bytes *before* it, so a
+/// sink never needs to model holes.
+pub trait ArchiveSink {
+    /// Append `buf` at the current position.
+    fn append(&mut self, buf: &[u8]) -> Result<(), ZsmilesError>;
+
+    /// Overwrite `buf.len()` bytes at `offset`. The whole range must lie
+    /// inside the already-written region — this is a patch primitive
+    /// (header fixup), not random-access writing.
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<(), ZsmilesError>;
+
+    /// Bytes appended so far (the offset the next `append` lands at).
+    fn position(&self) -> u64;
+
+    /// Flush buffered bytes to the underlying medium.
+    fn flush(&mut self) -> Result<(), ZsmilesError>;
+}
+
+/// Shared patch-range check so out-of-range patches fail identically
+/// everywhere.
+fn check_patch(written: u64, offset: u64, len: usize) -> Result<(), ZsmilesError> {
+    match offset.checked_add(len as u64) {
+        Some(end) if end <= written => Ok(()),
+        _ => Err(ZsmilesError::SourceOutOfBounds {
+            offset,
+            len,
+            available: written,
+        }),
+    }
+}
+
+/// An owned in-memory container image being assembled.
+#[derive(Debug, Clone, Default)]
+pub struct InMemorySink {
+    bytes: Vec<u8>,
+}
+
+impl InMemorySink {
+    pub fn new() -> Self {
+        InMemorySink::default()
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl ArchiveSink for InMemorySink {
+    fn append(&mut self, buf: &[u8]) -> Result<(), ZsmilesError> {
+        self.bytes.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<(), ZsmilesError> {
+        check_patch(self.bytes.len() as u64, offset, buf.len())?;
+        let at = offset as usize;
+        self.bytes[at..at + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn position(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn flush(&mut self) -> Result<(), ZsmilesError> {
+        Ok(())
+    }
+}
+
+/// A `.zsa` file being written on disk. Appends advance the file cursor;
+/// the header patch uses positioned I/O so it never disturbs it.
+#[derive(Debug)]
+pub struct FileSink {
+    file: File,
+    written: u64,
+}
+
+impl FileSink {
+    /// Create (truncate) `path` for writing.
+    pub fn create(path: &Path) -> Result<FileSink, ZsmilesError> {
+        Ok(FileSink {
+            file: File::create(path)?,
+            written: 0,
+        })
+    }
+
+    pub fn into_file(self) -> File {
+        self.file
+    }
+}
+
+impl ArchiveSink for FileSink {
+    fn append(&mut self, buf: &[u8]) -> Result<(), ZsmilesError> {
+        self.file.write_all(buf)?;
+        self.written += buf.len() as u64;
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<(), ZsmilesError> {
+        check_patch(self.written, offset, buf.len())?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(buf, offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom};
+            self.file.seek(SeekFrom::Start(offset))?;
+            self.file.write_all(buf)?;
+            self.file.seek(SeekFrom::Start(self.written))?;
+        }
+        Ok(())
+    }
+
+    fn position(&self) -> u64 {
+        self.written
+    }
+
+    fn flush(&mut self) -> Result<(), ZsmilesError> {
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+/// Wraps any sink and counts traffic: appends, bytes appended, patches.
+#[derive(Debug, Default)]
+pub struct CountingSink<K> {
+    inner: K,
+    appends: u64,
+    bytes: u64,
+    patches: u64,
+}
+
+impl<K> CountingSink<K> {
+    pub fn new(inner: K) -> Self {
+        CountingSink {
+            inner,
+            appends: 0,
+            bytes: 0,
+            patches: 0,
+        }
+    }
+
+    /// Number of `append` calls so far.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Total bytes appended so far.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of `write_at` patches so far.
+    pub fn patches(&self) -> u64 {
+        self.patches
+    }
+
+    pub fn inner(&self) -> &K {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> K {
+        self.inner
+    }
+}
+
+impl<K: ArchiveSink> ArchiveSink for CountingSink<K> {
+    fn append(&mut self, buf: &[u8]) -> Result<(), ZsmilesError> {
+        self.inner.append(buf)?;
+        self.appends += 1;
+        self.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<(), ZsmilesError> {
+        self.inner.write_at(offset, buf)?;
+        self.patches += 1;
+        Ok(())
+    }
+
+    fn position(&self) -> u64 {
+        self.inner.position()
+    }
+
+    fn flush(&mut self) -> Result<(), ZsmilesError> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_sink_appends_and_patches() {
+        let mut sink = InMemorySink::new();
+        assert_eq!(sink.position(), 0);
+        sink.append(b"________").unwrap();
+        sink.append(b"payload").unwrap();
+        assert_eq!(sink.position(), 15);
+        sink.write_at(0, b"HEADER!!").unwrap();
+        sink.flush().unwrap();
+        assert_eq!(sink.bytes(), b"HEADER!!payload");
+        assert_eq!(sink.into_bytes(), b"HEADER!!payload");
+    }
+
+    #[test]
+    fn patches_outside_the_written_region_are_errors() {
+        let mut sink = InMemorySink::new();
+        sink.append(b"0123456789").unwrap();
+        for (offset, len) in [(8u64, 3usize), (10, 1), (u64::MAX, 1)] {
+            let err = sink.write_at(offset, &vec![0u8; len]).unwrap_err();
+            assert!(
+                matches!(err, ZsmilesError::SourceOutOfBounds { .. }),
+                "offset={offset} len={len}: {err}"
+            );
+        }
+        // Patch ending exactly at the cursor is fine.
+        sink.write_at(8, b"XY").unwrap();
+        assert_eq!(&sink.bytes()[8..], b"XY");
+    }
+
+    #[test]
+    fn file_sink_round_trips_through_disk() {
+        let path =
+            std::env::temp_dir().join(format!("zsmiles_test_sink_{}.bin", std::process::id()));
+        let mut sink = FileSink::create(&path).unwrap();
+        sink.append(b"????").unwrap();
+        sink.append(b"tail").unwrap();
+        sink.write_at(0, b"head").unwrap();
+        assert_eq!(sink.position(), 8);
+        assert!(sink.write_at(6, b"xxx").is_err(), "patch past cursor");
+        sink.append(b"more").unwrap();
+        sink.flush().unwrap();
+        drop(sink);
+        assert_eq!(std::fs::read(&path).unwrap(), b"headtailmore");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn counting_sink_meters_traffic() {
+        let mut sink = CountingSink::new(InMemorySink::new());
+        sink.append(b"abc").unwrap();
+        sink.append(b"de").unwrap();
+        sink.write_at(1, b"X").unwrap();
+        assert_eq!(
+            (sink.appends(), sink.bytes_appended(), sink.patches()),
+            (2, 5, 1)
+        );
+        assert_eq!(sink.position(), 5);
+        assert_eq!(sink.into_inner().into_bytes(), b"aXcde");
+    }
+}

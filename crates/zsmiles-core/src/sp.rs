@@ -40,7 +40,25 @@ struct Choice {
 
 const ESCAPE_CHOICE: Choice = Choice { code: 0, len: 0 };
 
-/// Reusable scratch buffers; compressing a deck allocates once.
+/// Retired scratch allocations parked per thread, so re-minting an
+/// encoder on the same thread reuses warmed buffers instead of growing
+/// fresh ones. The encoder object itself cannot outlive its dictionary
+/// borrow, so this is what "reusing minted encoders across parallel
+/// calls" soundly means: the persistent [`crate::parallel::WorkerPool`]
+/// threads keep their scratch hot, and every
+/// `compress_parallel_dyn` call — e.g. each batch an
+/// [`crate::writer::ArchiveWriter`] submits — re-mints into recycled
+/// capacity at the cost of a thread-local pop.
+const SCRATCH_STASH_CAP: usize = 8;
+
+thread_local! {
+    static SCRATCH_STASH: std::cell::RefCell<Vec<(Vec<u32>, Vec<Choice>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Reusable scratch buffers; compressing a deck allocates once, and the
+/// allocations are recycled through a capped thread-local stash when the
+/// compressor is dropped.
 #[derive(Debug, Default)]
 pub struct SpScratch {
     dist: Vec<u32>,
@@ -49,7 +67,10 @@ pub struct SpScratch {
 
 impl SpScratch {
     pub fn new() -> Self {
-        SpScratch::default()
+        SCRATCH_STASH
+            .with(|s| s.borrow_mut().pop())
+            .map(|(dist, choice)| SpScratch { dist, choice })
+            .unwrap_or_default()
     }
 
     fn reset(&mut self, n: usize) {
@@ -57,6 +78,25 @@ impl SpScratch {
         self.dist.resize(n + 1, u32::MAX);
         self.choice.clear();
         self.choice.resize(n + 1, ESCAPE_CHOICE);
+    }
+}
+
+impl Drop for SpScratch {
+    fn drop(&mut self) {
+        if self.dist.capacity() == 0 && self.choice.capacity() == 0 {
+            return;
+        }
+        let entry = (
+            std::mem::take(&mut self.dist),
+            std::mem::take(&mut self.choice),
+        );
+        // The cap keeps pathological mint/drop churn from hoarding memory.
+        SCRATCH_STASH.with(|s| {
+            let mut stash = s.borrow_mut();
+            if stash.len() < SCRATCH_STASH_CAP {
+                stash.push(entry);
+            }
+        });
     }
 }
 
@@ -217,6 +257,37 @@ mod tests {
         let (out, cost) = encode(&t, b"", SpAlgorithm::BackwardDp);
         assert!(out.is_empty());
         assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn dropped_scratch_capacity_is_recycled_on_the_same_thread() {
+        // Warm a scratch on a fresh thread (the shared test thread may
+        // already hold stash entries), drop it, and re-mint: the new
+        // scratch must inherit the warmed capacity without allocating.
+        std::thread::spawn(|| {
+            let mut s = SpScratch::new();
+            s.reset(5_000);
+            let warmed = s.dist.capacity();
+            assert!(warmed >= 5_001);
+            drop(s);
+            let s2 = SpScratch::new();
+            assert!(
+                s2.dist.capacity() >= warmed && s2.choice.capacity() >= 5_001,
+                "re-mint reuses the retired buffers"
+            );
+            // The stash caps out instead of hoarding.
+            let many: Vec<SpScratch> = (0..2 * SCRATCH_STASH_CAP)
+                .map(|_| {
+                    let mut s = SpScratch::new();
+                    s.reset(16);
+                    s
+                })
+                .collect();
+            drop(many);
+            SCRATCH_STASH.with(|st| assert!(st.borrow().len() <= SCRATCH_STASH_CAP));
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

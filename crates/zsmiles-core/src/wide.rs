@@ -495,11 +495,49 @@ struct WideChoice {
 
 const WIDE_ESCAPE: WideChoice = WideChoice { id: 0, len: 0 };
 
-/// Reusable DP scratch.
+/// Retired wide-DP scratch parked per thread — the same encoder-reuse
+/// story as `sp::SpScratch`: worker-pool threads persist, so re-minting a
+/// [`WideCompressor`] per parallel call pops warmed buffers instead of
+/// growing fresh ones.
+const WIDE_STASH_CAP: usize = 8;
+
+thread_local! {
+    static WIDE_STASH: std::cell::RefCell<Vec<(Vec<u32>, Vec<WideChoice>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Reusable DP scratch, recycled through a thread-local stash on drop.
 #[derive(Debug, Default)]
 pub struct WideScratch {
     dist: Vec<u32>,
     choice: Vec<WideChoice>,
+}
+
+impl WideScratch {
+    fn recycled() -> Self {
+        WIDE_STASH
+            .with(|s| s.borrow_mut().pop())
+            .map(|(dist, choice)| WideScratch { dist, choice })
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for WideScratch {
+    fn drop(&mut self) {
+        if self.dist.capacity() == 0 && self.choice.capacity() == 0 {
+            return;
+        }
+        let entry = (
+            std::mem::take(&mut self.dist),
+            std::mem::take(&mut self.choice),
+        );
+        WIDE_STASH.with(|s| {
+            let mut stash = s.borrow_mut();
+            if stash.len() < WIDE_STASH_CAP {
+                stash.push(entry);
+            }
+        });
+    }
 }
 
 /// Encode one line against a wide dictionary: backward DP over the position
@@ -573,7 +611,7 @@ impl<'d> WideCompressor<'d> {
         WideCompressor {
             dict,
             preprocess: PreprocessStage::new(dict.preprocessed()),
-            scratch: WideScratch::default(),
+            scratch: WideScratch::recycled(),
         }
     }
 

@@ -1,0 +1,275 @@
+//! The out-of-core write path, end to end: streaming `ArchiveWriter`
+//! memory bounds, and sharded `.zsm` archives that are line-for-line
+//! byte-identical to single-file packs — the acceptance properties of the
+//! write-side redesign.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::{
+    Archive, ArchiveReader, ArchiveWriter, CountingSink, DeckReader, DictBuilder, InMemorySink,
+    ShardPolicy, ShardedReader, ShardedWriter, WideDictBuilder, WriterOptions,
+};
+
+fn dict_for(deck: &molgen::Dataset, wide_size: usize) -> AnyDictionary {
+    let base = DictBuilder {
+        min_count: 2,
+        preprocess: false,
+        ..Default::default()
+    };
+    if wide_size == 0 {
+        AnyDictionary::Base(Box::new(base.train(deck.iter()).unwrap()))
+    } else {
+        AnyDictionary::Wide(Box::new(
+            WideDictBuilder { base, wide_size }
+                .train(deck.iter())
+                .unwrap(),
+        ))
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zsmiles_it_shard_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Inject a blank line after every `every`-th line (0 = none): sharding
+/// must agree with the single-file layout about skipped blanks.
+fn with_blank_lines(deck: &[u8], every: usize) -> Vec<u8> {
+    if every == 0 {
+        return deck.to_vec();
+    }
+    let mut out = Vec::with_capacity(deck.len() + deck.len() / every + 2);
+    for (i, line) in deck.split(|&b| b == b'\n').enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        out.extend_from_slice(line);
+        out.push(b'\n');
+        if (i + 1) % every == 0 {
+            out.push(b'\n');
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A sharded pack at an arbitrary shard budget is line-for-line
+    /// byte-identical to a single-file pack of the same deck, for both
+    /// dictionary flavours, with interior blank lines in the input, and
+    /// including budgets that land a shard boundary exactly on the last
+    /// line (`lines % budget == 0` is inside the sampled space).
+    #[test]
+    fn sharded_pack_identical_to_single_file_pack(
+        seed in 0u64..10_000,
+        lines in 1usize..50,
+        wide_size in prop_oneof![Just(0usize), Just(32usize)],
+        budget_lines in 1u64..25,
+        by_bytes in prop_oneof![Just(false), Just(true)],
+        blank_every in 0usize..5,
+    ) {
+        let deck = molgen::Dataset::generate_mixed(lines, seed);
+        let input = with_blank_lines(deck.as_bytes(), blank_every);
+        let dict = dict_for(&deck, wide_size);
+
+        // Reference: the in-memory single-file pack.
+        let single = Archive::pack(dict.clone(), &input, 2);
+        prop_assert_eq!(single.len(), deck.len());
+
+        // Sharded pack at the sampled budget.
+        let dir = tmpdir(&format!("prop_{seed}_{lines}_{wide_size}_{budget_lines}_{blank_every}"));
+        let policy = if by_bytes {
+            // A byte budget in the same ballpark as the line budget.
+            ShardPolicy::by_bytes(budget_lines * 24)
+        } else {
+            ShardPolicy::by_lines(budget_lines)
+        };
+        let mut w = ShardedWriter::create(
+            &dir.join("deck.zsm"),
+            dict,
+            policy,
+            WriterOptions { threads: 2, batch_bytes: 96 },
+        ).unwrap();
+        for chunk in input.chunks(13) {
+            w.write(chunk).unwrap();
+        }
+        let info = w.finish().unwrap();
+        prop_assert_eq!(info.lines as usize, deck.len());
+        if !by_bytes && (deck.len() as u64).is_multiple_of(budget_lines) {
+            // Boundary exactly on the last line: no trailing empty shard.
+            prop_assert_eq!(
+                info.shards.len() as u64,
+                (deck.len() as u64 / budget_lines).max(1)
+            );
+        }
+
+        let sharded = ShardedReader::open(&dir.join("deck.zsm")).unwrap();
+        prop_assert_eq!(sharded.len(), single.len());
+        prop_assert_eq!(sharded.flavor(), single.flavor());
+        for i in 0..deck.len() {
+            prop_assert_eq!(
+                sharded.compressed_line(i).unwrap(),
+                single.compressed_line(i).unwrap().to_vec(),
+                "line {} compressed bytes", i
+            );
+            prop_assert_eq!(sharded.get(i).unwrap(), single.get(i).unwrap(), "line {}", i);
+        }
+        // Batched surfaces agree too.
+        let mid = deck.len() / 2;
+        prop_assert_eq!(
+            sharded.get_range(mid..deck.len()).unwrap(),
+            single.get_range(mid..deck.len()).unwrap()
+        );
+        let mut out = Vec::new();
+        sharded.unpack_to(&mut out, 2, 512).unwrap();
+        let (expect, _) = single.unpack(1).unwrap();
+        prop_assert_eq!(out, expect);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The acceptance property of the write-path redesign: a deck of ≥100k
+/// lines streams through the writer while the writer's buffered payload
+/// stays under a fixed bound — and the resulting sharded manifest reads
+/// byte-identically to the single-file pack of the same deck.
+#[test]
+fn writer_packs_100k_lines_in_bounded_memory_and_shards_match_single_file() {
+    // ~2.3 MB of deck: far more than the writer's 64 KiB batch budget.
+    let patterns: [&[u8]; 6] = [
+        b"COc1cc(C=O)ccc1O",
+        b"C1=CC=C(C=C1)C(=O)CC(=O)C2=CC=CC=C2",
+        b"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+        b"CCN(CC)CC",
+        b"CC(=O)Oc1ccccc1C(=O)O",
+        b"c1ccc2c(c1)cccc2N",
+    ];
+    const LINES: usize = 100_000;
+    let mut input = Vec::new();
+    let mut expected_lines: Vec<&[u8]> = Vec::with_capacity(LINES);
+    for i in 0..LINES {
+        let line = patterns[i % patterns.len()];
+        input.extend_from_slice(line);
+        input.push(b'\n');
+        expected_lines.push(line);
+        if i % 97 == 0 {
+            input.push(b'\n'); // interior blank lines, skipped everywhere
+        }
+    }
+    let dict = {
+        let base = DictBuilder {
+            min_count: 2,
+            preprocess: false,
+            ..Default::default()
+        };
+        AnyDictionary::Base(Box::new(
+            base.train(patterns.iter().copied().cycle().take(64))
+                .unwrap(),
+        ))
+    };
+
+    // Single-file pack through a metering sink with a 64 KiB batch
+    // budget: the deck (and container) are megabytes, the writer's
+    // buffering must stay under a fixed 4x-budget bound.
+    const BATCH: usize = 64 << 10;
+    let mut w = ArchiveWriter::with_options(
+        CountingSink::new(InMemorySink::new()),
+        dict.clone(),
+        WriterOptions {
+            threads: 2,
+            batch_bytes: BATCH,
+        },
+    )
+    .unwrap();
+    for chunk in input.chunks(50_000) {
+        w.write(chunk).unwrap();
+    }
+    let (sink, info) = w.finish().unwrap();
+    assert_eq!(info.lines, LINES);
+    assert!(
+        info.payload_bytes as usize > 4 * BATCH,
+        "the deck is larger than the writer's memory budget ({} payload bytes)",
+        info.payload_bytes
+    );
+    assert!(
+        info.peak_buffered_bytes <= 4 * BATCH,
+        "peak buffered payload {} exceeds the fixed bound {}",
+        info.peak_buffered_bytes,
+        4 * BATCH
+    );
+    assert!(
+        sink.appends() > 10,
+        "payload streamed out across many spans"
+    );
+    assert_eq!(sink.patches(), 1, "one header patch at finalize");
+    let single_bytes = sink.into_inner().into_bytes();
+    assert_eq!(single_bytes.len() as u64, info.container_bytes);
+
+    // The metered streaming pack equals the in-memory pack byte-for-byte.
+    let reference = Archive::pack(dict.clone(), &input, 2);
+    let mut reference_bytes = Vec::new();
+    reference.write_to(&mut reference_bytes).unwrap();
+    assert_eq!(single_bytes, reference_bytes);
+
+    // Sharded pack of the same deck: 10k lines per shard.
+    let dir = tmpdir("acceptance");
+    let mut sw = ShardedWriter::create(
+        &dir.join("deck.zsm"),
+        dict,
+        ShardPolicy::by_lines(10_000),
+        WriterOptions {
+            threads: 2,
+            batch_bytes: BATCH,
+        },
+    )
+    .unwrap();
+    for chunk in input.chunks(50_000) {
+        sw.write(chunk).unwrap();
+    }
+    let sinfo = sw.finish().unwrap();
+    assert_eq!(sinfo.lines as usize, LINES);
+    assert_eq!(sinfo.shards.len(), 10);
+    assert!(sinfo.peak_buffered_bytes <= 4 * BATCH);
+
+    // ShardedReader vs ArchiveReader over the single-file pack:
+    // byte-identical gets (across shard boundaries) and unpacks.
+    let single = ArchiveReader::from_source(single_bytes.as_slice()).unwrap();
+    let sharded = ShardedReader::open(&dir.join("deck.zsm")).unwrap();
+    assert_eq!(sharded.len(), single.len());
+    for i in [0usize, 9_999, 10_000, 10_001, 49_999, 50_000, 99_999] {
+        assert_eq!(sharded.get(i).unwrap(), single.get(i).unwrap(), "line {i}");
+        assert_eq!(sharded.get(i).unwrap(), expected_lines[i], "line {i}");
+        assert_eq!(
+            sharded.compressed_line(i).unwrap(),
+            single.compressed_line(i).unwrap(),
+            "line {i}"
+        );
+    }
+    assert_eq!(
+        sharded.get_range(9_990..10_010).unwrap(),
+        single.get_range(9_990..10_010).unwrap()
+    );
+    let mut a = Vec::new();
+    sharded.unpack_to(&mut a, 2, 1 << 20).unwrap();
+    let mut b = Vec::new();
+    single.unpack_to(&mut b, 2, 1 << 20).unwrap();
+    assert_eq!(a, b, "sharded unpack == single-file unpack");
+
+    // And both equal the deck minus its blank lines.
+    let expect: Vec<u8> = expected_lines
+        .iter()
+        .flat_map(|l| l.iter().copied().chain(std::iter::once(b'\n')))
+        .collect();
+    assert_eq!(a, expect);
+
+    // The layout dispatch serves the same deck from either file.
+    let via_manifest = DeckReader::open(&dir.join("deck.zsm")).unwrap();
+    assert_eq!(via_manifest.len(), LINES);
+    assert_eq!(via_manifest.shard_count(), 10);
+    assert_eq!(via_manifest.get(10_000).unwrap(), expected_lines[10_000]);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
