@@ -3,31 +3,37 @@
 //! Times the paper's Fig. 3 fast path end to end on a seeded molgen deck —
 //! serial encode through *both* matchers (the flat `DenseAutomaton` hot
 //! path and the node-`Trie` reference, measured in the same run so the
-//! speedup is an observation, not a claim), worker-pool parallel encode
-//! and decode, serial decode, streaming pack through the out-of-core
-//! `ArchiveWriter` (single-file and sharded, against real files), and
-//! `ArchiveReader` random `get()` against a real on-disk `.zsa` — and
-//! writes the numbers (MB/s and ns/op) as JSON.
+//! speedup is an observation, not a claim — on the base *and* wide
+//! flavours), worker-pool parallel encode and decode, serial decode,
+//! streaming pack through the out-of-core `ArchiveWriter` (single-file
+//! and sharded, against real files), and `ArchiveReader` random `get()`
+//! against a real on-disk `.zsa` — and writes the numbers (MB/s and
+//! ns/op) as JSON. It also records the *dictionary fitting* story: the
+//! compression ratio of the shipped `default.dct` on this deck next to a
+//! dictionary trained on the deck itself through `train::BaseBuilder`
+//! (cost-guided selection on a seeded reservoir sample), asserting the
+//! trained dictionary never loses on its own corpus.
 //!
 //! ```text
 //! cargo run --release -p bench --bin throughput -- \
 //!     [--lines 50000] [--seed 12648430] [--threads N] [--reps 3] \
-//!     [--gets 20000] [--out BENCH_4.json]
+//!     [--gets 20000] [--out BENCH_5.json]
 //! ```
 //!
 //! Every measurement is best-of-`reps` wall time (per-rep byte counts are
 //! identical by construction, so best-of is the least-noise estimator).
 //! The run also *asserts* the identities the numbers depend on: both
-//! matchers emit byte-identical streams, parallel output equals serial
-//! output on the base and wide flavours, and decode restores the deck.
+//! matchers emit byte-identical streams on both flavours, parallel output
+//! equals serial output, and decode restores the deck.
 
 use molgen::Dataset;
 use std::time::Instant;
 use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::train::{BaseBuilder, DictBuilder as _, TrainCorpus};
 use zsmiles_core::{
     compress_parallel_dyn, decompress_parallel_dyn, ArchiveReader, ArchiveWriter, Compressor,
-    Decompressor, DictBuilder, FileSink, MatcherKind, ShardPolicy, ShardedReader, ShardedWriter,
-    WideDictBuilder, WriterOptions,
+    Decompressor, DictBuilder, Dictionary, FileSink, MatcherKind, ShardPolicy, ShardedReader,
+    ShardedWriter, TrainOptions, WideCompressor, WideDictBuilder, WriterOptions,
 };
 
 struct Opts {
@@ -49,7 +55,7 @@ fn parse_opts() -> Opts {
             .unwrap_or(4),
         reps: 3,
         gets: 20_000,
-        out: "BENCH_4.json".to_string(),
+        out: "BENCH_5.json".to_string(),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -157,6 +163,19 @@ fn main() {
     let (zw_par, _) = compress_parallel_dyn(&any_wide, &input, o.threads);
     assert_eq!(zw_par, zw_serial, "parallel ≠ serial (wide)");
 
+    // The wide flavour walks its own dense automaton now; the node trie
+    // stays the reference it is pinned against.
+    let mut zw_node = Vec::new();
+    {
+        let AnyDictionary::Wide(w) = &any_wide else {
+            unreachable!()
+        };
+        WideCompressor::new(w)
+            .with_matcher(MatcherKind::NodeTrie)
+            .compress_buffer(&input, &mut zw_node);
+    }
+    assert_eq!(zw_node, zw_serial, "wide dense automaton ≠ node trie");
+
     let mut back = Vec::new();
     Decompressor::new(&dict)
         .decompress_buffer(&z_dense, &mut back)
@@ -177,6 +196,22 @@ fn main() {
     });
     let enc_par = time_best(o.reps, || {
         let _ = compress_parallel_dyn(&any, &input, o.threads);
+    });
+    let wide_enc_dense = time_best(o.reps, || {
+        let AnyDictionary::Wide(w) = &any_wide else {
+            unreachable!()
+        };
+        out_buf.clear();
+        WideCompressor::new(w).compress_buffer(&input, &mut out_buf);
+    });
+    let wide_enc_node = time_best(o.reps, || {
+        let AnyDictionary::Wide(w) = &any_wide else {
+            unreachable!()
+        };
+        out_buf.clear();
+        WideCompressor::new(w)
+            .with_matcher(MatcherKind::NodeTrie)
+            .compress_buffer(&input, &mut out_buf);
     });
     let mut back_buf = Vec::with_capacity(input.len() + 16);
     let dec_serial = time_best(o.reps, || {
@@ -245,6 +280,40 @@ fn main() {
     }
     std::fs::remove_dir_all(&tmp).ok();
 
+    // ---- dictionary fitting: shipped default vs trained-on-deck ----------
+    // The paper's shared-dictionary story says one `.dct` serves any deck;
+    // the train subsystem's story is that fitting it to *this* deck can
+    // only help. Record both ratios (same deck, each dictionary with its
+    // own preprocessing setting) and hold the trained one to it.
+    let t_train = Instant::now();
+    let sample = TrainCorpus::sample(&input[..], 2048, o.seed).expect("sampling the deck");
+    let trained_any = BaseBuilder {
+        opts: TrainOptions {
+            sample_lines: 2048,
+            seed: o.seed,
+            ..TrainOptions::default()
+        },
+    }
+    .train(&sample)
+    .expect("training on the deck")
+    .into_dictionary()
+    .expect("base model");
+    let train_secs = t_train.elapsed().as_secs_f64();
+    let AnyDictionary::Base(trained_dict) = &trained_any else {
+        unreachable!()
+    };
+    let mut z_default = Vec::new();
+    let default_stats =
+        Compressor::new(Dictionary::builtin()).compress_buffer(&input, &mut z_default);
+    let mut z_trained = Vec::new();
+    let trained_stats = Compressor::new(trained_dict).compress_buffer(&input, &mut z_trained);
+    assert!(
+        trained_stats.ratio() <= default_stats.ratio() + 1e-9,
+        "trained dictionary ({:.4}) must not lose to default.dct ({:.4}) on its own corpus",
+        trained_stats.ratio(),
+        default_stats.ratio()
+    );
+
     // Random access against a real file through the out-of-core reader.
     let zsa = std::env::temp_dir().join(format!("zsmiles_throughput_{}.zsa", std::process::id()));
     zsmiles_core::Archive::pack(any.clone(), &input, o.threads)
@@ -272,16 +341,19 @@ fn main() {
     let r_node = rate(payload, o.lines, enc_node);
     let r_dense = rate(payload, o.lines, enc_dense);
     let r_par = rate(payload, o.lines, enc_par);
+    let r_wide_node = rate(payload, o.lines, wide_enc_node);
+    let r_wide_dense = rate(payload, o.lines, wide_enc_dense);
     let r_dec = rate(payload, o.lines, dec_serial);
     let r_dec_par = rate(payload, o.lines, dec_par);
     let r_pack_single = rate(payload, o.lines, pack_single);
     let r_pack_sharded = rate(payload, o.lines, pack_sharded);
     let get_ns = get_secs * 1e9 / o.gets.max(1) as f64;
     let speedup = enc_node / enc_dense;
+    let wide_speedup = wide_enc_node / wide_enc_dense;
 
     let json = format!
     (
-        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 4,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \"shard_lines\": {},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"encode_speedup_dense_vs_node_trie\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 5,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \"shard_lines\": {},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"encode_speedup_dense_vs_node_trie\": {:.3},\n  \"wide_encode_speedup_dense_vs_node_trie\": {:.3},\n  \"dict_fitting\": {{ \"ratio_default_dict\": {:.4}, \"ratio_trained_dict\": {:.4}, \"train_sample_lines\": {}, \"train_secs\": {:.3} }}\n}}\n",
         o.lines,
         o.seed,
         payload,
@@ -292,6 +364,8 @@ fn main() {
         json_rate("serial_encode_node_trie", &r_node),
         json_rate("serial_encode", &r_dense),
         json_rate("parallel_encode", &r_par),
+        json_rate("wide_serial_encode_node_trie", &r_wide_node),
+        json_rate("wide_serial_encode", &r_wide_dense),
         json_rate("serial_decode", &r_dec),
         json_rate("parallel_decode", &r_dec_par),
         json_rate("streaming_pack_single", &r_pack_single),
@@ -300,13 +374,19 @@ fn main() {
         get_ns,
         o.gets,
         speedup,
+        wide_speedup,
+        default_stats.ratio(),
+        trained_stats.ratio(),
+        sample.len(),
+        train_secs,
     );
     std::fs::write(&o.out, &json).expect("writing the result file");
     print!("{json}");
     eprintln!(
-        "encode {:.1} MB/s (node trie {:.1} MB/s, {:.2}x), parallel {:.1} MB/s; decode {:.1} MB/s; pack {:.1} MB/s single / {:.1} MB/s sharded; get {:.0} ns/op -> {}",
-        r_dense.mb_per_s, r_node.mb_per_s, speedup, r_par.mb_per_s, r_dec.mb_per_s,
-        r_pack_single.mb_per_s, r_pack_sharded.mb_per_s, get_ns, o.out
+        "encode {:.1} MB/s (node trie {:.1} MB/s, {:.2}x), wide {:.1} MB/s ({:.2}x), parallel {:.1} MB/s; decode {:.1} MB/s; pack {:.1} MB/s single / {:.1} MB/s sharded; get {:.0} ns/op; ratio default {:.4} vs trained {:.4} -> {}",
+        r_dense.mb_per_s, r_node.mb_per_s, speedup, r_wide_dense.mb_per_s, wide_speedup,
+        r_par.mb_per_s, r_dec.mb_per_s, r_pack_single.mb_per_s, r_pack_sharded.mb_per_s, get_ns,
+        default_stats.ratio(), trained_stats.ratio(), o.out
     );
     if speedup < 1.5 {
         eprintln!("WARNING: dense-automaton speedup below the 1.5x floor");

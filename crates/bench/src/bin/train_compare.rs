@@ -1,0 +1,96 @@
+//! Train-and-compare: every codec the workspace can train, fitted to ONE
+//! corpus in ONE run through the `zsmiles_core::train::DictBuilder` trait
+//! — both ZSMILES flavours next to the trainable `textcomp` baselines
+//! (FSST, SMAZ-style), each compressing the deck it just trained on
+//! through the uniform `textcomp::LineCodec` interface with its side-band
+//! table bytes charged.
+//!
+//! ```text
+//! cargo run --release -p bench --bin train_compare -- \
+//!     [--lines 20000] [--seed 12648430] [--sample-lines 2048]
+//! ```
+
+use molgen::Dataset;
+use std::time::Instant;
+use zsmiles_core::train::{
+    BaseBuilder, DictBuilder, FsstBuilder, SmazBuilder, TrainCorpus, WideBuilder,
+};
+use zsmiles_core::{Selection, TrainOptions};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut lines = 20_000usize;
+    let mut seed = 0xC0FFEEu64;
+    let mut sample_lines = 2_048usize;
+    let mut i = 0;
+    while i < argv.len() {
+        let val = argv.get(i + 1);
+        match argv[i].as_str() {
+            "--lines" => lines = val.and_then(|v| v.parse().ok()).unwrap_or(lines),
+            "--seed" => seed = val.and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--sample-lines" => {
+                sample_lines = val.and_then(|v| v.parse().ok()).unwrap_or(sample_lines)
+            }
+            _ => {
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+
+    let deck = Dataset::generate_mixed(lines, seed);
+    let input = deck.as_bytes();
+    let payload = deck.payload_bytes();
+    let corpus =
+        TrainCorpus::sample(input, sample_lines, seed).expect("sampling an in-memory deck");
+    println!(
+        "train-and-compare on MIXED ({} lines, {} payload bytes; trained on a {}-line sample, seed {seed:#x})\n",
+        deck.len(),
+        payload,
+        corpus.len(),
+    );
+
+    let opts = || TrainOptions {
+        preprocess: false, // ratio the codecs, not the ring renumberer
+        sample_lines,
+        seed,
+        ..TrainOptions::default()
+    };
+    let builders: Vec<Box<dyn DictBuilder>> = vec![
+        Box::new(BaseBuilder { opts: opts() }),
+        Box::new(BaseBuilder {
+            opts: TrainOptions {
+                selection: Selection::PaperRank(Default::default()),
+                ..opts()
+            },
+        }),
+        Box::new(WideBuilder {
+            opts: opts(),
+            wide_size: 512,
+        }),
+        Box::new(FsstBuilder::default()),
+        Box::new(SmazBuilder::default()),
+    ];
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>10}",
+        "codec", "train ms", "table bytes", "ratio", "+table"
+    );
+    for (k, builder) in builders.iter().enumerate() {
+        let t0 = Instant::now();
+        let model = builder.train(&corpus).expect("training");
+        let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let codec = model.line_codec();
+        let (out, inp) = textcomp::line_codec_ratio(codec.as_ref(), input);
+        let overhead = codec.overhead_bytes();
+        let ratio = (out - overhead) as f64 / inp as f64;
+        let charged = out as f64 / inp as f64;
+        let label = match (k, builder.name()) {
+            (1, _) => "base (paper rank)".to_string(),
+            (_, name) => format!("{name} ({})", model.name()),
+        };
+        println!("{label:<22} {train_ms:>10.1} {overhead:>12} {ratio:>10.4} {charged:>10.4}");
+    }
+    println!("\n(lower is better; '+table' charges the serialized dictionary/symbol table)");
+}

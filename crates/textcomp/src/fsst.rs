@@ -86,10 +86,17 @@ impl Fsst {
     /// Build a table from a training sample (typically the data itself or
     /// a prefix — the table is input-dependent by design).
     pub fn train(data: &[u8]) -> Fsst {
+        Fsst::train_with(data, MAX_SYMBOLS)
+    }
+
+    /// [`Fsst::train`] with an explicit symbol budget (≤ [`MAX_SYMBOLS`]),
+    /// so corpus-driven training harnesses can sweep table sizes.
+    pub fn train_with(data: &[u8], max_symbols: usize) -> Fsst {
+        let max_symbols = max_symbols.min(MAX_SYMBOLS);
         let sample = &data[..data.len().min(SAMPLE_BYTES)];
         let mut table = Fsst::from_syms(Vec::new());
         for _gen in 0..GENERATIONS {
-            table = table.next_generation(sample);
+            table = table.next_generation(sample, max_symbols);
         }
         table
     }
@@ -113,7 +120,7 @@ impl Fsst {
     /// symbols never span two strings — FSST compresses strings
     /// independently, and a symbol containing a separator would never
     /// match.
-    fn next_generation(&self, sample: &[u8]) -> Fsst {
+    fn next_generation(&self, sample: &[u8], max_symbols: usize) -> Fsst {
         // Codes: 0..n = table symbols, 256 + b = escaped byte b.
         let n = self.symbols.len();
         let mut count1 = vec![0u64; n + 512];
@@ -158,7 +165,7 @@ impl Fsst {
                 .then(b.0.len.cmp(&a.0.len))
                 .then(a.0.packed.cmp(&b.0.packed))
         });
-        ranked.truncate(MAX_SYMBOLS);
+        ranked.truncate(max_symbols);
         Fsst::from_syms(ranked.into_iter().map(|(s, _)| s).collect())
     }
 

@@ -113,6 +113,14 @@ impl Smaz {
     /// `freq × (len − 1)` with single bytes ranked by frequency alone
     /// (they save the escape byte), keep the top [`MAX_ENTRIES`].
     pub fn train(corpus: &[u8]) -> Smaz {
+        Smaz::train_with(corpus, MAX_ENTRIES)
+    }
+
+    /// [`Smaz::train`] with an explicit codebook budget (≤
+    /// [`MAX_ENTRIES`]), so corpus-driven training harnesses can sweep
+    /// codebook sizes.
+    pub fn train_with(corpus: &[u8], max_entries: usize) -> Smaz {
+        let max_entries = max_entries.min(MAX_ENTRIES);
         let mut counts: HashMap<&[u8], u64> = HashMap::new();
         for line in corpus.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
             for start in 0..line.len() {
@@ -133,7 +141,7 @@ impl Smaz {
             };
             gain(b).cmp(&gain(a)).then_with(|| a.0.cmp(b.0))
         });
-        Smaz::from_fragments(ranked.into_iter().take(MAX_ENTRIES).map(|(f, _)| f))
+        Smaz::from_fragments(ranked.into_iter().take(max_entries).map(|(f, _)| f))
     }
 
     /// Number of codebook entries.

@@ -16,6 +16,8 @@ const BOOL_FLAGS: &[&str] = &[
     "--quiet",
     "--verbose",
     "--verify",
+    "--train",
+    "--dict-stats",
 ];
 
 impl Args {

@@ -4,28 +4,36 @@ use crate::args::Args;
 use molgen::{profiles, stats, Dataset};
 use std::path::Path;
 use std::time::Instant;
-use zsmiles_core::dict::format as dict_format;
 use zsmiles_core::engine::AnyDictionary;
 use zsmiles_core::shard::{is_manifest, ShardPolicy, ShardedReader, ShardedWriter};
-use zsmiles_core::wide::write_wide_dict;
+use zsmiles_core::train::{BaseBuilder, DictBuilder as _, TrainCorpus, WideBuilder};
 use zsmiles_core::{
-    ArchiveReader, ArchiveWriter, CachedSource, CountingSource, Decompressor, DictBuilder,
-    FileSink, FileSource, LineIndex, Prepopulation, WideDictBuilder, WriterOptions,
+    ArchiveReader, ArchiveWriter, CachedSource, CountingSource, Decompressor, FileSink, FileSource,
+    LineIndex, Prepopulation, RankStrategy, Selection, TrainOptions, WriterOptions,
 };
 
 const USAGE: &str =
     "usage: zsmiles <gen|train|compress|decompress|pack|unpack|get|screen|stats|inspect> [flags]
   gen        --profile gdb17|mediate|exscalate|mixed -n N [--seed S] -o out.smi
-  train      -i train.smi -o dict.dct [--lmin 2] [--lmax 8] [--dict-size N]
+  train      -i train.smi|- -o dict.dct [--flavor base|wide] [--wide N]
+             [--max-symbols N] [--sample-lines N] [--seed S]
+             [--select cost|paper] [--lmin 2] [--lmax 12] [--min-count 4]
              [--prepopulation none|smiles-alphabet|printable-ascii] [--no-preprocess]
-             [--wide N]     (N two-byte codes; writes the wide format)
+             (streams the corpus — '-' reads stdin — through seeded
+              reservoir sampling, selects patterns by the actual
+              shortest-path encode cost, and writes the magic-tagged .dct;
+              --select paper keeps the paper's Algorithm-1 ranking;
+              --wide N implies --flavor wide with N two-byte codes)
   compress   -i in.smi -d dict.dct -o out.zsmi [--threads N] [--index]
   decompress -i in.zsmi -d dict.dct -o out.smi [--threads N] [--postprocess]
-  pack       -i in.smi -d dict.dct -o out.zsa [--threads N]
+  pack       -i in.smi (-d dict.dct | --train) -o out.zsa [--threads N]
              [--shard-lines N | --shard-bytes N]
+             [--dict-out fitted.dct and the train flags above, with --train]
              (streams the input — '-' reads stdin — through the out-of-core
               writer in bounded memory; with a shard budget, -o names a .zsm
-              manifest and shards land beside it as <stem>.NNNNN.zsa)
+              manifest and shards land beside it as <stem>.NNNNN.zsa;
+              --train first fits the embedded dictionary to the deck being
+              packed, so the input must be a re-readable file, not stdin)
   unpack     -i in.zsa|in.zsm -o out.smi [--threads N] [--verify]
   get        -i in.zsmi -d dict.dct --line K
   get        --archive in.zsa|in.zsm --line K [--count N] [--verify] [--verbose]
@@ -34,7 +42,10 @@ const USAGE: &str =
               a block read-ahead cache, --verbose reports its hit rate)
   screen     -i deck.smi [--pocket-seed S] [--top K] [--threads N] [--scores out.tsv]
   stats      -i file.smi
-  inspect    -d dict.dct [-i corpus.smi]
+  inspect    -d dict.dct [-i corpus.smi] [--dict-stats]
+             (--dict-stats adds the symbol count, a pattern length
+              histogram and — with -i — per-symbol hit coverage measured
+              over the sample deck, for either flavour)
   inspect    --archive in.zsa|in.zsm [--verbose] [--verify]
 Archive commands stream through the out-of-core reader and writer: a
 multi-GB deck is never loaded into memory, packing or reading; pass
@@ -92,55 +103,108 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: &Args) -> Result<(), String> {
-    let input = args.require("--input")?;
-    let output = args.require("--output")?;
-    let ds = Dataset::load(Path::new(input)).map_err(|e| e.to_string())?;
+/// Training configuration shared by `train` and `pack --train`.
+fn train_options(args: &Args) -> Result<TrainOptions, String> {
     let name = args.get("--prepopulation").unwrap_or("smiles-alphabet");
     let prepopulation =
         Prepopulation::from_name(name).ok_or_else(|| format!("unknown prepopulation '{name}'"))?;
-    let builder = DictBuilder {
-        lmin: args.get_usize("--lmin", 2)?,
-        lmax: args.get_usize("--lmax", 8)?,
+    let defaults = TrainOptions::default();
+    let selection = match args.get("--select").unwrap_or("cost") {
+        "cost" => Selection::CostGuided,
+        "paper" => Selection::PaperRank(RankStrategy::PaperOverlap),
+        other => return Err(format!("unknown selection '{other}' (cost|paper)")),
+    };
+    // `--dict-size` stays accepted as the historical spelling of
+    // `--max-symbols`.
+    let max_symbols = args
+        .get("--max-symbols")
+        .or_else(|| args.get("--dict-size"))
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("bad symbol budget '{v}'"))
+        })
+        .transpose()?
+        .filter(|&v| v > 0);
+    Ok(TrainOptions {
+        lmin: args.get_usize("--lmin", defaults.lmin)?,
+        lmax: args.get_usize("--lmax", defaults.lmax)?,
         prepopulation,
         preprocess: !args.get_bool("--no-preprocess"),
-        dict_size: args
-            .get("--dict-size")
-            .map(|v| v.parse().unwrap_or(0))
-            .filter(|&v| v > 0),
-        ..Default::default()
+        max_symbols,
+        min_count: args.get_usize("--min-count", defaults.min_count as usize)? as u32,
+        sample_lines: args.get_usize("--sample-lines", defaults.sample_lines)?,
+        seed: args.get_u64("--seed", defaults.seed)?,
+        selection,
+        ..defaults
+    })
+}
+
+/// Stream the training corpus — a file or stdin (`-`) — through seeded
+/// reservoir sampling. Memory is bounded by `--sample-lines`, never the
+/// deck.
+fn sample_corpus(input: &str, opts: &TrainOptions) -> Result<TrainCorpus, String> {
+    let corpus = if input == "-" {
+        TrainCorpus::sample(std::io::stdin().lock(), opts.sample_lines, opts.seed)
+    } else {
+        let f = std::fs::File::open(input).map_err(|e| e.to_string())?;
+        TrainCorpus::sample(std::io::BufReader::new(f), opts.sample_lines, opts.seed)
     };
-    let t0 = Instant::now();
+    corpus.map_err(|e| e.to_string())
+}
+
+/// Train a dictionary of the requested flavour on a sampled corpus.
+fn train_dictionary(args: &Args, corpus: &TrainCorpus) -> Result<AnyDictionary, String> {
+    let opts = train_options(args)?;
     let wide = args.get_usize("--wide", 0)?;
-    if wide > 0 {
-        let dict = WideDictBuilder {
-            base: builder,
-            wide_size: wide,
+    let flavor = args
+        .get("--flavor")
+        .unwrap_or(if wide > 0 { "wide" } else { "base" });
+    let model = match flavor {
+        "base" => BaseBuilder { opts }.train(corpus),
+        "wide" => WideBuilder {
+            opts,
+            wide_size: if wide > 0 { wide } else { 512 },
         }
-        .train(ds.iter())
-        .map_err(|e| e.to_string())?;
-        let f = std::fs::File::create(output).map_err(|e| e.to_string())?;
-        write_wide_dict(&dict, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
-        if !args.get_bool("--quiet") {
-            println!(
-                "trained {} one-byte + {} two-byte codes from {} lines in {:.2?} -> {}",
-                dict.base_len(),
-                dict.wide_len(),
-                ds.len(),
-                t0.elapsed(),
-                output
-            );
-        }
-        return Ok(());
+        .train(corpus),
+        other => return Err(format!("unknown flavor '{other}' (base|wide)")),
     }
-    let dict = builder.train(ds.iter()).map_err(|e| e.to_string())?;
-    dict_format::save(&dict, Path::new(output)).map_err(|e| e.to_string())?;
+    .map_err(|e| e.to_string())?;
+    Ok(model
+        .into_dictionary()
+        .expect("ZSMILES builders produce dictionaries"))
+}
+
+fn describe_dict(dict: &AnyDictionary) -> String {
+    match dict {
+        AnyDictionary::Base(d) => format!(
+            "{} patterns (+{} identity codes)",
+            d.pattern_entries().count(),
+            d.prepopulation().identity_bytes().len()
+        ),
+        AnyDictionary::Wide(d) => format!(
+            "{} one-byte + {} two-byte codes",
+            d.base_len(),
+            d.wide_len()
+        ),
+    }
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let output = args.require("--output")?;
+    let opts = train_options(args)?;
+    let t0 = Instant::now();
+    let corpus = sample_corpus(input, &opts)?;
+    let dict = train_dictionary(args, &corpus)?;
+    dict.save(Path::new(output)).map_err(|e| e.to_string())?;
     if !args.get_bool("--quiet") {
         println!(
-            "trained {} patterns (+{} identity codes) from {} lines in {:.2?} -> {}",
-            dict.pattern_entries().count(),
-            dict.prepopulation().identity_bytes().len(),
-            ds.len(),
+            "trained {} from {} of {} lines ({} selection, seed {}) in {:.2?} -> {}",
+            describe_dict(&dict),
+            corpus.len(),
+            corpus.seen_lines(),
+            opts.selection.name(),
+            opts.seed,
             t0.elapsed(),
             output
         );
@@ -263,8 +327,42 @@ fn cmd_pack(args: &Args) -> Result<(), String> {
             "refusing to pack '{input}' onto itself: input and output are the same file"
         ));
     }
+    // --train fits the embedded dictionary to the deck being packed: one
+    // sampling pass over the input, then the normal streaming pack. Two
+    // passes need a re-readable input, so stdin is refused.
+    let dict = if args.get_bool("--train") {
+        if input == "-" {
+            return Err(
+                "--train reads the input twice (sample, then pack); pipe the deck to a file \
+                 or pass a path instead of '-'"
+                    .into(),
+            );
+        }
+        if args.get("--dict").is_some() {
+            return Err("--train and --dict are mutually exclusive: \
+                        the trained dictionary is the one embedded"
+                .into());
+        }
+        let opts = train_options(args)?;
+        let corpus = sample_corpus(input, &opts)?;
+        let dict = train_dictionary(args, &corpus)?;
+        if let Some(path) = args.get("--dict-out") {
+            dict.save(Path::new(path)).map_err(|e| e.to_string())?;
+        }
+        if !args.get_bool("--quiet") {
+            println!(
+                "fitted {} to the deck ({} of {} lines sampled, seed {})",
+                describe_dict(&dict),
+                corpus.len(),
+                corpus.seen_lines(),
+                opts.seed,
+            );
+        }
+        dict
+    } else {
+        load_dict(args)?
+    };
     let reader = open_input(input)?;
-    let dict = load_dict(args)?;
     let flavor = dict.flavor();
     let opts = WriterOptions {
         threads: args.get_usize("--threads", 1)?,
@@ -532,9 +630,11 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
                 dict.max_pattern_len(),
             );
             if let Some(input) = args.get("--input") {
-                let data = std::fs::read(input).map_err(|e| e.to_string())?;
-                let report = zsmiles_core::dict::analysis::analyze(dict, &data);
-                print!("{}", report.summary(dict));
+                if !args.get_bool("--dict-stats") {
+                    let data = std::fs::read(input).map_err(|e| e.to_string())?;
+                    let report = zsmiles_core::dict::analysis::analyze(dict, &data);
+                    print!("{}", report.summary(dict));
+                }
             }
         }
         AnyDictionary::Wide(dict) => {
@@ -550,6 +650,59 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
                 dict.max_pattern_len(),
             );
         }
+    }
+    if args.get_bool("--dict-stats") {
+        print_dict_stats(args, &dict)?;
+    }
+    Ok(())
+}
+
+/// The `--dict-stats` block: symbol count, pattern length histogram, and
+/// (given `-i sample.smi`) per-symbol hit coverage over the sample deck.
+/// Works for either flavour.
+fn print_dict_stats(args: &Args, dict: &AnyDictionary) -> Result<(), String> {
+    use zsmiles_core::dict::analysis;
+    let stats = analysis::dict_stats(dict);
+    println!(
+        "symbols: {} ({} identity + {} patterns) | longest pattern {}",
+        stats.symbols(),
+        stats.identity,
+        stats.patterns,
+        stats.max_len,
+    );
+    println!("pattern length histogram:");
+    let peak = stats.histogram_rows().map(|(_, n)| n).max().unwrap_or(1);
+    for (len, n) in stats.histogram_rows() {
+        let bar = "#".repeat((n * 40).div_ceil(peak.max(1)));
+        println!("  len {len:>2} {n:>5}  {bar}");
+    }
+    let Some(input) = args.get("--input") else {
+        return Ok(());
+    };
+    let data = std::fs::read(input).map_err(|e| e.to_string())?;
+    let cov = analysis::coverage(dict, &data).map_err(|e| e.to_string())?;
+    println!(
+        "coverage over {input}: {} lines, {} -> {} bytes (ratio {:.3}), {} escapes",
+        cov.lines,
+        cov.in_bytes,
+        cov.out_bytes,
+        cov.ratio(),
+        cov.escapes,
+    );
+    println!(
+        "patterns used: {} of {} ({} dead on this deck)",
+        cov.total_patterns - cov.dead_patterns,
+        cov.total_patterns,
+        cov.dead_patterns,
+    );
+    println!("top symbols by input bytes covered:");
+    for (code, pat, uses, covered) in cov.hits.iter().take(10) {
+        let code_hex: String = code.iter().map(|b| format!("{b:02x}")).collect();
+        let printable: String = pat
+            .iter()
+            .map(|&b| if b.is_ascii_graphic() { b as char } else { '?' })
+            .collect();
+        println!("  0x{code_hex:<4} {printable:<16} {uses:>9} uses {covered:>11} B");
     }
     Ok(())
 }
@@ -998,6 +1151,149 @@ mod tests {
             std::fs::metadata(&smi).unwrap().len() > 0,
             "input survived the refused self-pack"
         );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_samples_caps_and_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("zcli_train_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let smi = p("deck.smi");
+        let d1 = p("a.dct");
+        let d2 = p("b.dct");
+        let dw = p("w.dct");
+        let dp = p("paper.dct");
+
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "mixed",
+            "-n",
+            "600",
+            "--seed",
+            "5",
+            "-o",
+            &smi,
+            "--quiet",
+        ]))
+        .unwrap();
+        // Reservoir-sampled, budget-capped training; fixed seed twice
+        // writes byte-identical dictionaries.
+        for d in [&d1, &d2] {
+            run(&argv(&[
+                "train",
+                "-i",
+                &smi,
+                "-o",
+                d,
+                "--sample-lines",
+                "200",
+                "--seed",
+                "11",
+                "--max-symbols",
+                "40",
+                "--quiet",
+            ]))
+            .unwrap();
+        }
+        assert_eq!(
+            std::fs::read(&d1).unwrap(),
+            std::fs::read(&d2).unwrap(),
+            "fixed seed => identical dictionary"
+        );
+        let dict = AnyDictionary::load(Path::new(&d1)).unwrap();
+        let AnyDictionary::Base(base) = &dict else {
+            panic!("base flavour expected")
+        };
+        assert!(base.pattern_entries().count() <= 40);
+
+        // Wide flavour through the same subsystem.
+        run(&argv(&[
+            "train", "-i", &smi, "-o", &dw, "--flavor", "wide", "--wide", "32", "--quiet",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            AnyDictionary::load(Path::new(&dw)).unwrap(),
+            AnyDictionary::Wide(_)
+        ));
+
+        // The paper's Algorithm-1 ranking stays selectable.
+        run(&argv(&[
+            "train", "-i", &smi, "-o", &dp, "--select", "paper", "--quiet",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            AnyDictionary::load(Path::new(&dp)).unwrap(),
+            AnyDictionary::Base(_)
+        ));
+        assert!(run(&argv(&[
+            "train", "-i", &smi, "-o", &dp, "--select", "bogus", "--quiet",
+        ]))
+        .is_err());
+
+        // The stats surface renders for both flavours, with and without a
+        // sample deck.
+        run(&argv(&["inspect", "-d", &d1, "--dict-stats", "-i", &smi])).unwrap();
+        run(&argv(&["inspect", "-d", &dw, "--dict-stats"])).unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pack_train_fits_the_embedded_dictionary() {
+        let dir = std::env::temp_dir().join(format!("zcli_packtrain_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let smi = p("deck.smi");
+        let zsa = p("deck.zsa");
+        let fitted = p("fitted.dct");
+        let back = p("back.smi");
+
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "mixed",
+            "-n",
+            "400",
+            "--seed",
+            "31",
+            "-o",
+            &smi,
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "pack",
+            "-i",
+            &smi,
+            "-o",
+            &zsa,
+            "--train",
+            "--no-preprocess",
+            "--dict-out",
+            &fitted,
+            "--quiet",
+        ]))
+        .unwrap();
+        // The fitted dictionary was saved and is loadable.
+        let dict = AnyDictionary::load(Path::new(&fitted)).unwrap();
+        assert!(!dict.preprocessed());
+        // The archive embeds the same trained dictionary and round-trips.
+        run(&argv(&["unpack", "-i", &zsa, "-o", &back, "--quiet"])).unwrap();
+        assert_eq!(std::fs::read(&smi).unwrap(), std::fs::read(&back).unwrap());
+        run(&argv(&["get", "--archive", &zsa, "--line", "123"])).unwrap();
+
+        // stdin cannot be read twice; --dict conflicts with --train.
+        assert!(run(&argv(&[
+            "pack", "-i", "-", "-o", &zsa, "--train", "--quiet",
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "pack", "-i", &smi, "-o", &zsa, "--train", "-d", &fitted, "--quiet",
+        ]))
+        .is_err());
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -129,27 +129,7 @@ impl DictBuilder {
 
         // Materialize (and optionally pre-process) the training lines once;
         // level-wise counting needs multiple passes.
-        let mut corpus: Vec<u8> = Vec::new();
-        let mut pp = Preprocessor::new();
-        let mut n_lines = 0usize;
-        for line in lines {
-            if self.preprocess {
-                let before = corpus.len();
-                if pp
-                    .process_into(line, RingRenumber::Innermost, 0, &mut corpus)
-                    .is_err()
-                {
-                    // Invalid SMILES still deserve compression; train on the
-                    // raw bytes.
-                    corpus.truncate(before);
-                    corpus.extend_from_slice(line);
-                }
-            } else {
-                corpus.extend_from_slice(line);
-            }
-            corpus.push(b'\n');
-            n_lines += 1;
-        }
+        let (corpus, n_lines) = materialize_corpus(lines, self.preprocess);
         if n_lines == 0 {
             return Err(ZsmilesError::EmptyTrainingSet);
         }
@@ -179,6 +159,53 @@ impl DictBuilder {
             }
         })
     }
+}
+
+/// Concatenate (and optionally ring-ID pre-process) training lines into
+/// one newline-separated buffer, the canonical counting input. Shared by
+/// the paper's Algorithm 1 here and the cost-guided [`crate::train`]
+/// subsystem. Returns `(buffer, line count)`.
+pub(crate) fn materialize_corpus<'a, I>(lines: I, preprocess: bool) -> (Vec<u8>, usize)
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut corpus: Vec<u8> = Vec::new();
+    let mut pp = Preprocessor::new();
+    let mut n_lines = 0usize;
+    for line in lines {
+        if preprocess {
+            let before = corpus.len();
+            if pp
+                .process_into(line, RingRenumber::Innermost, 0, &mut corpus)
+                .is_err()
+            {
+                // Invalid SMILES still deserve compression; train on the
+                // raw bytes.
+                corpus.truncate(before);
+                corpus.extend_from_slice(line);
+            }
+        } else {
+            corpus.extend_from_slice(line);
+        }
+        corpus.push(b'\n');
+        n_lines += 1;
+    }
+    (corpus, n_lines)
+}
+
+/// Exact frequent-substring harvesting for the [`crate::train`]
+/// subsystem: `(pattern, occurrences)` pairs over a newline-separated
+/// corpus, Apriori-pruned like Algorithm 1's counting phase.
+pub(crate) fn harvest_candidates(
+    corpus: &[u8],
+    lmin: usize,
+    lmax: usize,
+    min_count: u32,
+) -> Vec<(Vec<u8>, u32)> {
+    count_frequent_substrings(corpus, lmin, lmax, min_count)
+        .into_iter()
+        .map(|c| (c.pat, c.occ))
+        .collect()
 }
 
 /// A substring candidate during selection.

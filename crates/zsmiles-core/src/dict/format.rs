@@ -28,20 +28,171 @@ use std::path::Path;
 
 const MAGIC: &str = "#zsmiles-dict v1";
 
+/// Header fields shared by the base and wide dictionary text formats —
+/// the one canonical parse both [`read_dict`] and
+/// [`crate::wide::read_wide_dict`] go through. Defaults match the values
+/// a header-less file is read with.
+#[derive(Debug, Clone)]
+pub(crate) struct DictHeader {
+    pub prepopulation: Prepopulation,
+    pub preprocess: bool,
+    pub lmin: usize,
+    pub lmax: usize,
+    /// Wide format only (`#wide-size`); the base parser treats the key as
+    /// a forward-compatible unknown.
+    pub wide_size: usize,
+}
+
+impl Default for DictHeader {
+    fn default() -> Self {
+        DictHeader {
+            prepopulation: Prepopulation::SmilesAlphabet,
+            preprocess: true,
+            lmin: 2,
+            lmax: 8,
+            wide_size: 0,
+        }
+    }
+}
+
+/// Write the shared header block: magic line plus the `#key value` fields
+/// both formats carry (`wide_size` adds the wide-only `#wide-size`).
+pub(crate) fn write_header<W: Write>(
+    w: &mut W,
+    magic: &str,
+    prepopulation: Prepopulation,
+    preprocess: bool,
+    lmin: usize,
+    lmax: usize,
+    wide_size: Option<usize>,
+) -> std::io::Result<()> {
+    writeln!(w, "{magic}")?;
+    writeln!(w, "#prepopulation {}", prepopulation.name())?;
+    writeln!(w, "#preprocess {preprocess}")?;
+    writeln!(w, "#lmin {lmin}")?;
+    writeln!(w, "#lmax {lmax}")?;
+    if let Some(n) = wide_size {
+        writeln!(w, "#wide-size {n}")?;
+    }
+    Ok(())
+}
+
+/// Write one `code\tpattern` entry line, escaped to pure ASCII.
+pub(crate) fn write_entry<W: Write>(w: &mut W, code: &[u8], pat: &[u8]) -> std::io::Result<()> {
+    let mut line = Vec::with_capacity(pat.len() * 4 + code.len() * 4 + 8);
+    escape_into(code, &mut line);
+    line.push(b'\t');
+    escape_into(pat, &mut line);
+    line.push(b'\n');
+    w.write_all(&line)
+}
+
+/// Parse a dictionary text document: the `magic` line, the shared header
+/// fields, and the ordered pattern list (codes are re-derived from
+/// pattern order by the installers, which the writers preserve). `wide`
+/// selects the wide dialect: two-byte codes in the code column and the
+/// `#wide-size` header (otherwise both stay a one-byte check and a
+/// forward-compatible unknown key, exactly as before the formats shared
+/// this parser).
+pub(crate) fn parse_dict_text<R: Read>(
+    r: R,
+    magic: &str,
+    wide: bool,
+) -> Result<(DictHeader, Vec<Vec<u8>>), ZsmilesError> {
+    let reader = BufReader::new(r);
+    let mut header = DictHeader::default();
+    let mut patterns: Vec<Vec<u8>> = Vec::new();
+    let mut saw_magic = false;
+
+    for (ln, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = ln + 1;
+        let bad = |reason: String| ZsmilesError::DictFormat {
+            line: lineno,
+            reason,
+        };
+        if ln == 0 {
+            if line.trim() != magic {
+                return Err(bad(format!("expected magic '{magic}'")));
+            }
+            saw_magic = true;
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut parts = rest.splitn(2, ' ');
+            let key = parts.next().unwrap_or("");
+            let value = parts.next().unwrap_or("").trim();
+            match key {
+                "prepopulation" => {
+                    header.prepopulation = Prepopulation::from_name(value)
+                        .ok_or_else(|| bad(format!("unknown prepopulation '{value}'")))?;
+                }
+                "preprocess" => {
+                    header.preprocess = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad bool '{value}'")))?;
+                }
+                "lmin" => {
+                    header.lmin = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad lmin '{value}'")))?;
+                }
+                "lmax" => {
+                    header.lmax = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad lmax '{value}'")))?;
+                }
+                "wide-size" if wide => {
+                    header.wide_size = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad wide-size '{value}'")))?;
+                }
+                _ => {} // unknown headers are forward-compatible no-ops
+            }
+            continue;
+        }
+        let (code_part, pat_part) = line
+            .split_once('\t')
+            .ok_or_else(|| bad("missing tab separator".into()))?;
+        let code = unescape(code_part).map_err(bad)?;
+        let max_code = if wide { 2 } else { 1 };
+        if code.is_empty() || code.len() > max_code {
+            return Err(bad(format!(
+                "code must be 1..={max_code} byte(s), got {}",
+                code.len()
+            )));
+        }
+        let pat = unescape(pat_part).map_err(bad)?;
+        if pat.is_empty() {
+            return Err(bad("empty pattern".into()));
+        }
+        patterns.push(pat);
+    }
+    if !saw_magic {
+        return Err(ZsmilesError::DictFormat {
+            line: 0,
+            reason: "empty file".into(),
+        });
+    }
+    Ok((header, patterns))
+}
+
 /// Serialize to the text format.
 pub fn write_dict<W: Write>(dict: &Dictionary, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "{MAGIC}")?;
-    writeln!(w, "#prepopulation {}", dict.prepopulation().name())?;
-    writeln!(w, "#preprocess {}", dict.preprocessed())?;
-    writeln!(w, "#lmin {}", dict.lmin())?;
-    writeln!(w, "#lmax {}", dict.lmax())?;
+    write_header(
+        &mut w,
+        MAGIC,
+        dict.prepopulation(),
+        dict.preprocessed(),
+        dict.lmin(),
+        dict.lmax(),
+        None,
+    )?;
     for (code, pat) in dict.pattern_entries() {
-        let mut line = Vec::with_capacity(pat.len() * 4 + 8);
-        escape_into(&[code], &mut line);
-        line.push(b'\t');
-        escape_into(pat, &mut line);
-        line.push(b'\n');
-        w.write_all(&line)?;
+        write_entry(&mut w, &[code], pat)?;
     }
     Ok(())
 }
@@ -62,103 +213,10 @@ pub fn save(dict: &Dictionary, path: &Path) -> Result<(), ZsmilesError> {
 
 /// Parse the text format.
 pub fn read_dict<R: Read>(r: R) -> Result<Dictionary, ZsmilesError> {
-    let reader = BufReader::new(r);
-    let mut prepopulation = Prepopulation::SmilesAlphabet;
-    let mut preprocess = true;
-    let mut lmin = 2usize;
-    let mut lmax = 8usize;
-    let mut patterns: Vec<Vec<u8>> = Vec::new();
-    let mut saw_magic = false;
-
-    for (ln, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = ln + 1;
-        if ln == 0 {
-            if line.trim() != MAGIC {
-                return Err(ZsmilesError::DictFormat {
-                    line: lineno,
-                    reason: format!("expected magic '{MAGIC}'"),
-                });
-            }
-            saw_magic = true;
-            continue;
-        }
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix('#') {
-            let mut parts = rest.splitn(2, ' ');
-            let key = parts.next().unwrap_or("");
-            let value = parts.next().unwrap_or("").trim();
-            match key {
-                "prepopulation" => {
-                    prepopulation = Prepopulation::from_name(value).ok_or_else(|| {
-                        ZsmilesError::DictFormat {
-                            line: lineno,
-                            reason: format!("unknown prepopulation '{value}'"),
-                        }
-                    })?;
-                }
-                "preprocess" => {
-                    preprocess = value.parse().map_err(|_| ZsmilesError::DictFormat {
-                        line: lineno,
-                        reason: format!("bad bool '{value}'"),
-                    })?;
-                }
-                "lmin" => {
-                    lmin = value.parse().map_err(|_| ZsmilesError::DictFormat {
-                        line: lineno,
-                        reason: format!("bad lmin '{value}'"),
-                    })?;
-                }
-                "lmax" => {
-                    lmax = value.parse().map_err(|_| ZsmilesError::DictFormat {
-                        line: lineno,
-                        reason: format!("bad lmax '{value}'"),
-                    })?;
-                }
-                _ => {} // unknown headers are forward-compatible no-ops
-            }
-            continue;
-        }
-        let (code_part, pat_part) =
-            line.split_once('\t')
-                .ok_or_else(|| ZsmilesError::DictFormat {
-                    line: lineno,
-                    reason: "missing tab separator".into(),
-                })?;
-        let code = unescape(code_part).map_err(|reason| ZsmilesError::DictFormat {
-            line: lineno,
-            reason,
-        })?;
-        if code.len() != 1 {
-            return Err(ZsmilesError::DictFormat {
-                line: lineno,
-                reason: format!("code must be one byte, got {}", code.len()),
-            });
-        }
-        let pat = unescape(pat_part).map_err(|reason| ZsmilesError::DictFormat {
-            line: lineno,
-            reason,
-        })?;
-        if pat.is_empty() {
-            return Err(ZsmilesError::DictFormat {
-                line: lineno,
-                reason: "empty pattern".into(),
-            });
-        }
-        patterns.push(pat);
-    }
-    if !saw_magic {
-        return Err(ZsmilesError::DictFormat {
-            line: 0,
-            reason: "empty file".into(),
-        });
-    }
-
+    let (h, patterns) = parse_dict_text(r, MAGIC, false)?;
     // Codes are re-derived from pattern order, which `write_dict` preserves
     // (pattern_entries iterates in code order = assignment order).
-    let dict = Dictionary::from_patterns(prepopulation, patterns, lmin, lmax, preprocess)?;
+    let dict = Dictionary::from_patterns(h.prepopulation, patterns, h.lmin, h.lmax, h.preprocess)?;
     dict.validate()?;
     Ok(dict)
 }

@@ -555,6 +555,18 @@ impl AnyDictionary {
         }
     }
 
+    /// Save to a `.dct` file in the magic-tagged text format of the
+    /// underlying flavour — the inverse of [`AnyDictionary::load`], so
+    /// trained and loaded dictionaries share one save/load surface.
+    pub fn save(&self, path: &Path) -> Result<(), ZsmilesError> {
+        let f = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(f);
+        self.write(&mut w)?;
+        use std::io::Write as _;
+        w.flush()?;
+        Ok(())
+    }
+
     /// View as the object-safe engine facade.
     pub fn as_dyn(&self) -> &dyn DynEngine {
         self

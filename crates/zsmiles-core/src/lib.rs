@@ -63,7 +63,17 @@
 //!   numbers across shards, [`shard::DeckReader`] dispatches either
 //!   layout behind one read surface);
 //! * [`index`] — the exact per-line byte-range table, standalone (`.zsx`
-//!   sidecar) or embedded in a container.
+//!   sidecar) or embedded in a container;
+//! * [`train`] — corpus-driven dictionary training behind one
+//!   [`train::DictBuilder`] trait: seeded reservoir sampling
+//!   ([`train::TrainCorpus`]), Apriori substring harvesting, and greedy
+//!   selection scored by the *actual* shortest-path encode cost
+//!   ([`sp::encode_cost`]); [`train::BaseBuilder`] /
+//!   [`train::WideBuilder`] produce [`engine::AnyDictionary`] values
+//!   that flow through every layer above unchanged, and
+//!   [`train::FsstBuilder`] / [`train::SmazBuilder`] train the
+//!   `textcomp` baselines' tables on the same corpus for one-run
+//!   comparisons.
 //!
 //! # Quickstart
 //!
@@ -102,6 +112,7 @@ pub mod shard;
 pub mod sink;
 pub mod source;
 pub mod sp;
+pub mod train;
 pub mod trie;
 pub mod wide;
 pub mod writer;
@@ -135,6 +146,14 @@ pub use shard::{
 pub use sink::{ArchiveSink, CountingSink, FileSink, InMemorySink};
 pub use source::{ArchiveSource, CachedSource, CountingSource, FileSource, InMemorySource};
 pub use sp::SpAlgorithm;
-pub use trie::{DenseAutomaton, Matcher, Trie};
+// The `train::DictBuilder` *trait* is deliberately not re-exported at the
+// root: `zsmiles_core::DictBuilder` keeps naming the paper's Algorithm-1
+// configuration struct, and the trait is reached as
+// `zsmiles_core::train::DictBuilder`.
+pub use train::{
+    BaseBuilder, FsstBuilder, Selection, SmazBuilder, TrainCorpus, TrainOptions, TrainedModel,
+    WideBuilder,
+};
+pub use trie::{CodePayload, DenseAutomaton, Matcher, Trie};
 pub use wide::{WideCompressor, WideDecompressor, WideDictBuilder, WideDictionary};
 pub use writer::{ArchiveWriter, PackInfo, WriterOptions};

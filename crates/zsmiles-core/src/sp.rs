@@ -104,7 +104,7 @@ impl Drop for SpScratch {
 /// flat [`crate::trie::DenseAutomaton`] on the hot path, or the node
 /// [`crate::trie::Trie`] as the reference), appending code bytes to
 /// `out`. Returns the path cost (= number of appended bytes).
-pub fn encode_line<M: Matcher>(
+pub fn encode_line<M: Matcher<Code = u8>>(
     matcher: &M,
     line: &[u8],
     algo: SpAlgorithm,
@@ -122,7 +122,7 @@ pub fn encode_line<M: Matcher>(
 }
 
 /// Cost of the optimal encoding without emitting it.
-pub fn encode_cost<M: Matcher>(
+pub fn encode_cost<M: Matcher<Code = u8>>(
     matcher: &M,
     line: &[u8],
     algo: SpAlgorithm,
@@ -138,7 +138,7 @@ pub fn encode_cost<M: Matcher>(
     scratch.dist[0] as usize
 }
 
-fn backward_dp<M: Matcher>(matcher: &M, line: &[u8], s: &mut SpScratch) {
+fn backward_dp<M: Matcher<Code = u8>>(matcher: &M, line: &[u8], s: &mut SpScratch) {
     let n = line.len();
     s.reset(n);
     s.dist[n] = 0;
@@ -170,7 +170,7 @@ fn backward_dp<M: Matcher>(matcher: &M, line: &[u8], s: &mut SpScratch) {
     }
 }
 
-fn dijkstra<M: Matcher>(matcher: &M, line: &[u8], s: &mut SpScratch) {
+fn dijkstra<M: Matcher<Code = u8>>(matcher: &M, line: &[u8], s: &mut SpScratch) {
     let n = line.len();
     s.reset(n);
     // For identical tie-breaking with the DP we run Dijkstra *backward*:

@@ -12,50 +12,96 @@
 //!   step of [`DenseAutomaton::matches_at`] into two array loads and a
 //!   compare — no child-list scan, no `Option` unwrapping.
 //!
-//! Both implement [`Matcher`], the interface [`crate::sp`] encodes
-//! against, and are pinned byte-identical by property tests.
+//! Both are generic over the [`CodePayload`] a match reports: the one-byte
+//! codec stores `u8` code bytes, the wide extension stores its dense
+//! `u16` code ids ([`crate::wide`]) — same structures, same walk, one
+//! implementation. Both implement [`Matcher`], the interface the
+//! shortest-path encoders ([`crate::sp`], the wide DP) walk, and are
+//! pinned byte-identical by property tests.
 
 /// Node index sentinel.
 const NONE: u32 = u32::MAX;
 
-/// The interface the shortest-path encoder walks: report every dictionary
+/// A payload a pattern match reports, packable into a dense per-state
+/// accept word together with the match depth. The base codec's payload is
+/// the code byte itself (`u8`); the wide extension's is its dense 16-bit
+/// code id.
+pub trait CodePayload: Copy + Eq + Ord + std::fmt::Debug {
+    /// Pack `(self, depth)` into one accept word. `depth` is a pattern
+    /// length, bounded by [`crate::dict::MAX_PATTERN_LEN`], so both
+    /// implementations fit a `u32` with room to spare (and stay clear of
+    /// the `u32::MAX` no-accept sentinel).
+    fn pack_accept(self, depth: u32) -> u32;
+    /// Inverse of [`CodePayload::pack_accept`]: `(payload, depth)`.
+    fn unpack_accept(word: u32) -> (Self, usize);
+}
+
+impl CodePayload for u8 {
+    #[inline]
+    fn pack_accept(self, depth: u32) -> u32 {
+        (depth << 8) | self as u32
+    }
+    #[inline]
+    fn unpack_accept(word: u32) -> (Self, usize) {
+        ((word & 0xFF) as u8, (word >> 8) as usize)
+    }
+}
+
+impl CodePayload for u16 {
+    #[inline]
+    fn pack_accept(self, depth: u32) -> u32 {
+        (depth << 16) | self as u32
+    }
+    #[inline]
+    fn unpack_accept(word: u32) -> (Self, usize) {
+        ((word & 0xFFFF) as u16, (word >> 16) as usize)
+    }
+}
+
+/// The interface the shortest-path encoders walk: report every dictionary
 /// pattern matching at `input[start..]`, shortest first. Implemented by
-/// the build-time [`Trie`] and the flat [`DenseAutomaton`]; generic (not
-/// dyn) so the per-position call inlines into the DP loop.
+/// the build-time [`Trie`] and the flat [`DenseAutomaton`] at either
+/// payload width; generic (not dyn) so the per-position call inlines into
+/// the DP loop.
 pub trait Matcher {
+    /// What a match reports: the base codec's `u8` code byte, or the wide
+    /// extension's dense `u16` code id.
+    type Code: CodePayload;
+
     /// Visit every pattern match starting at `input[start]`, shortest
     /// first: `visit(code, length)`.
-    fn matches_at<F: FnMut(u8, usize)>(&self, input: &[u8], start: usize, visit: F);
+    fn matches_at<F: FnMut(Self::Code, usize)>(&self, input: &[u8], start: usize, visit: F);
 }
 
 #[derive(Debug, Clone)]
-struct Node {
+struct Node<C> {
     /// Sorted (byte, child) pairs.
     children: Vec<(u8, u32)>,
     /// Code emitted if a pattern ends here.
-    code: Option<u8>,
+    code: Option<C>,
 }
 
-/// Multi-pattern matcher over byte strings.
+/// Multi-pattern matcher over byte strings, generic over the payload a
+/// match reports (`u8` base code bytes by default).
 #[derive(Debug, Clone)]
-pub struct Trie {
+pub struct Trie<C: CodePayload = u8> {
     /// Root children: direct byte-indexed table.
     root: [u32; 256],
     /// Codes for single-byte patterns, kept out of `nodes` so the hot
     /// single-char path is one load.
-    root_code: [Option<u8>; 256],
-    nodes: Vec<Node>,
+    root_code: [Option<C>; 256],
+    nodes: Vec<Node<C>>,
     max_depth: usize,
     pattern_count: usize,
 }
 
-impl Default for Trie {
+impl<C: CodePayload> Default for Trie<C> {
     fn default() -> Self {
         Trie::new()
     }
 }
 
-impl Trie {
+impl<C: CodePayload> Trie<C> {
     pub fn new() -> Self {
         Trie {
             root: [NONE; 256],
@@ -82,7 +128,7 @@ impl Trie {
 
     /// Insert `pattern` with its output `code`. Re-inserting a pattern
     /// replaces its code.
-    pub fn insert(&mut self, pattern: &[u8], code: u8) {
+    pub fn insert(&mut self, pattern: &[u8], code: C) {
         assert!(!pattern.is_empty(), "empty patterns are not meaningful");
         self.max_depth = self.max_depth.max(pattern.len());
         if pattern.len() == 1 {
@@ -135,7 +181,7 @@ impl Trie {
     /// Visit every pattern match starting at `input[start]`, shortest
     /// first: `visit(code, length)`.
     #[inline]
-    pub fn matches_at<F: FnMut(u8, usize)>(&self, input: &[u8], start: usize, mut visit: F) {
+    pub fn matches_at<F: FnMut(C, usize)>(&self, input: &[u8], start: usize, mut visit: F) {
         let first = input[start] as usize;
         if let Some(code) = self.root_code[first] {
             visit(code, 1);
@@ -160,14 +206,14 @@ impl Trie {
     }
 
     /// The longest match at `input[start]`, if any: `(code, length)`.
-    pub fn longest_match_at(&self, input: &[u8], start: usize) -> Option<(u8, usize)> {
+    pub fn longest_match_at(&self, input: &[u8], start: usize) -> Option<(C, usize)> {
         let mut best = None;
         self.matches_at(input, start, |code, len| best = Some((code, len)));
         best
     }
 
     /// Exact lookup of one pattern.
-    pub fn get(&self, pattern: &[u8]) -> Option<u8> {
+    pub fn get(&self, pattern: &[u8]) -> Option<C> {
         if pattern.is_empty() {
             return None;
         }
@@ -196,7 +242,7 @@ impl Trie {
     /// Approximate heap usage in bytes (for capacity planning in docs).
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.nodes.len() * std::mem::size_of::<Node>()
+            + self.nodes.len() * std::mem::size_of::<Node<C>>()
             + self
                 .nodes
                 .iter()
@@ -205,9 +251,11 @@ impl Trie {
     }
 }
 
-impl Matcher for Trie {
+impl<C: CodePayload> Matcher for Trie<C> {
+    type Code = C;
+
     #[inline]
-    fn matches_at<F: FnMut(u8, usize)>(&self, input: &[u8], start: usize, visit: F) {
+    fn matches_at<F: FnMut(C, usize)>(&self, input: &[u8], start: usize, visit: F) {
         Trie::matches_at(self, input, start, visit)
     }
 }
@@ -231,10 +279,10 @@ const NO_ACCEPT: u32 = u32::MAX;
 /// * `next` — a dense `state × 256 → state` transition table. One load per
 ///   consumed input byte; a missing edge lands in the dead state
 ///   (state 0), whose row points back at itself.
-/// * `accept` — one packed word per state: `(depth << 8) | code` if a
-///   pattern ends in that state, a sentinel otherwise. Because every
-///   state sits at a fixed distance from the root, a single word per state
-///   carries the whole `(code, depth)` accept record.
+/// * `accept` — one packed word per state: the [`CodePayload`] accept
+///   record `(code, depth)` if a pattern ends in that state, a sentinel
+///   otherwise. Because every state sits at a fixed distance from the
+///   root, a single word per state carries the whole record.
 ///
 /// # Trade-off vs the node trie
 ///
@@ -242,29 +290,30 @@ const NO_ACCEPT: u32 = u32::MAX;
 /// compact (a few KiB) but every step of a match is a linear child scan
 /// plus a pointer chase into a separately allocated list. The automaton
 /// spends 1 KiB of transition row per state (~1–3 MiB for a full
-/// 222-pattern dictionary) to make each step two indexed loads into two
-/// flat arrays with no data-dependent branches beyond the dead-state
-/// exit. The backward DP in [`crate::sp`] consults the matcher once per
-/// input position per line, so this is the single hottest loop in the
-/// encoder; the memory is paid once per loaded dictionary. Dictionaries
-/// are built with the mutable [`Trie`] and compiled once via
-/// [`DenseAutomaton::compile`]; the trie remains available for
-/// introspection and as the reference implementation the property tests
-/// pin the automaton against.
+/// 222-pattern base dictionary, up to the low tens of MiB for a maximal
+/// wide one) to make each step two indexed loads into two flat arrays
+/// with no data-dependent branches beyond the dead-state exit. The
+/// shortest-path DPs consult the matcher once per input position per
+/// line, so this is the single hottest loop in either encoder; the memory
+/// is paid once per loaded dictionary. Dictionaries are built with the
+/// mutable [`Trie`] and compiled once via [`DenseAutomaton::compile`];
+/// the trie remains available for introspection and as the reference
+/// implementation the property tests pin the automaton against.
 #[derive(Debug, Clone)]
-pub struct DenseAutomaton {
+pub struct DenseAutomaton<C: CodePayload = u8> {
     /// `next[state << 8 | byte]` = successor state (row-major by state).
     next: Box<[u32]>,
-    /// `accept[state]` = `(depth << 8) | code`, or [`NO_ACCEPT`].
+    /// `accept[state]` = [`CodePayload::pack_accept`], or [`NO_ACCEPT`].
     accept: Box<[u32]>,
     max_depth: usize,
     pattern_count: usize,
+    _payload: std::marker::PhantomData<C>,
 }
 
-impl DenseAutomaton {
+impl<C: CodePayload> DenseAutomaton<C> {
     /// Compile `trie` into flat tables. The trie is not consumed; it stays
     /// the build-time structure.
-    pub fn compile(trie: &Trie) -> DenseAutomaton {
+    pub fn compile(trie: &Trie<C>) -> DenseAutomaton<C> {
         // States 0 (dead) and 1 (root). The dead row is all zeros, which
         // is exactly "every transition loops to dead".
         let mut next = vec![DEAD; 2 * 256];
@@ -287,7 +336,7 @@ impl DenseAutomaton {
             let s = alloc(&mut next, &mut accept);
             next[(ROOT as usize) << 8 | b] = s;
             if let Some(code) = trie.root_code[b] {
-                accept[s as usize] = (1 << 8) | code as u32;
+                accept[s as usize] = code.pack_accept(1);
             }
             if node != NONE {
                 queue.push_back((s, node, 1));
@@ -298,7 +347,7 @@ impl DenseAutomaton {
                 let cs = alloc(&mut next, &mut accept);
                 next[(s as usize) << 8 | b as usize] = cs;
                 if let Some(code) = trie.nodes[child as usize].code {
-                    accept[cs as usize] = ((depth + 1) << 8) | code as u32;
+                    accept[cs as usize] = code.pack_accept(depth + 1);
                 }
                 queue.push_back((cs, child, depth + 1));
             }
@@ -308,6 +357,7 @@ impl DenseAutomaton {
             accept: accept.into_boxed_slice(),
             max_depth: trie.max_depth(),
             pattern_count: trie.len(),
+            _payload: std::marker::PhantomData,
         }
     }
 
@@ -335,7 +385,7 @@ impl DenseAutomaton {
     /// consumed byte, exiting on the dead state (reached after at most
     /// `max_depth + 1` steps).
     #[inline]
-    pub fn matches_at<F: FnMut(u8, usize)>(&self, input: &[u8], start: usize, mut visit: F) {
+    pub fn matches_at<F: FnMut(C, usize)>(&self, input: &[u8], start: usize, mut visit: F) {
         let mut state = ROOT as usize;
         for &b in &input[start..] {
             state = self.next[state << 8 | b as usize] as usize;
@@ -344,20 +394,21 @@ impl DenseAutomaton {
             }
             let acc = self.accept[state];
             if acc != NO_ACCEPT {
-                visit((acc & 0xFF) as u8, (acc >> 8) as usize);
+                let (code, depth) = C::unpack_accept(acc);
+                visit(code, depth);
             }
         }
     }
 
     /// The longest match at `input[start]`, if any: `(code, length)`.
-    pub fn longest_match_at(&self, input: &[u8], start: usize) -> Option<(u8, usize)> {
+    pub fn longest_match_at(&self, input: &[u8], start: usize) -> Option<(C, usize)> {
         let mut best = None;
         self.matches_at(input, start, |code, len| best = Some((code, len)));
         best
     }
 
     /// Exact lookup of one pattern.
-    pub fn get(&self, pattern: &[u8]) -> Option<u8> {
+    pub fn get(&self, pattern: &[u8]) -> Option<C> {
         if pattern.is_empty() {
             return None;
         }
@@ -374,7 +425,7 @@ impl DenseAutomaton {
         if acc == NO_ACCEPT {
             None
         } else {
-            Some((acc & 0xFF) as u8)
+            Some(C::unpack_accept(acc).0)
         }
     }
 
@@ -386,9 +437,11 @@ impl DenseAutomaton {
     }
 }
 
-impl Matcher for DenseAutomaton {
+impl<C: CodePayload> Matcher for DenseAutomaton<C> {
+    type Code = C;
+
     #[inline]
-    fn matches_at<F: FnMut(u8, usize)>(&self, input: &[u8], start: usize, visit: F) {
+    fn matches_at<F: FnMut(C, usize)>(&self, input: &[u8], start: usize, visit: F) {
         DenseAutomaton::matches_at(self, input, start, visit)
     }
 }
@@ -404,8 +457,22 @@ mod tests {
     }
 
     #[test]
+    fn accept_word_packing_round_trips() {
+        for (code, depth) in [(0u8, 1usize), (0xFF, 16), (b'C', 7)] {
+            let w = code.pack_accept(depth as u32);
+            assert_ne!(w, NO_ACCEPT);
+            assert_eq!(u8::unpack_accept(w), (code, depth));
+        }
+        for (code, depth) in [(0u16, 1usize), (0xFFFF, 16), (256 + 7 * 256 + 0x42, 3)] {
+            let w = code.pack_accept(depth as u32);
+            assert_ne!(w, NO_ACCEPT);
+            assert_eq!(u16::unpack_accept(w), (code, depth));
+        }
+    }
+
+    #[test]
     fn empty_trie_matches_nothing() {
-        let t = Trie::new();
+        let t: Trie = Trie::new();
         assert!(t.is_empty());
         assert_eq!(collect_matches(&t, b"CCO", 0), vec![]);
         assert_eq!(t.longest_match_at(b"CCO", 0), None);
@@ -413,7 +480,7 @@ mod tests {
 
     #[test]
     fn single_byte_patterns() {
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         t.insert(b"C", 1);
         t.insert(b"O", 2);
         assert_eq!(t.len(), 2);
@@ -425,7 +492,7 @@ mod tests {
 
     #[test]
     fn nested_prefix_patterns_all_reported() {
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         t.insert(b"C", 10);
         t.insert(b"CC", 11);
         t.insert(b"CCO", 12);
@@ -438,7 +505,7 @@ mod tests {
 
     #[test]
     fn match_stops_at_input_end() {
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         t.insert(b"CCCC", 9);
         t.insert(b"CC", 8);
         let m = collect_matches(&t, b"CCC", 0);
@@ -447,7 +514,7 @@ mod tests {
 
     #[test]
     fn overlapping_patterns_at_different_starts() {
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         t.insert(b"c1cc", 1);
         t.insert(b"ccc", 2);
         t.insert(b"cc", 3);
@@ -458,7 +525,7 @@ mod tests {
 
     #[test]
     fn reinsert_replaces_code_without_double_count() {
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         t.insert(b"CC", 1);
         t.insert(b"CC", 2);
         assert_eq!(t.len(), 1);
@@ -471,7 +538,7 @@ mod tests {
 
     #[test]
     fn max_depth_tracks_longest() {
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         assert_eq!(t.max_depth(), 0);
         t.insert(b"CC", 0);
         assert_eq!(t.max_depth(), 2);
@@ -485,7 +552,7 @@ mod tests {
     fn high_bytes_work_as_pattern_content() {
         // Patterns may contain any byte (dictionaries are trained on raw
         // lines; escape handling is the compressor's job, not the trie's).
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         t.insert(&[0x80, 0xFF], 7);
         assert_eq!(t.get(&[0x80, 0xFF]), Some(7));
         assert_eq!(collect_matches(&t, &[0x80, 0xFF, 0x80], 0), vec![(7, 2)]);
@@ -493,7 +560,7 @@ mod tests {
 
     #[test]
     fn get_partial_path_is_none() {
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         t.insert(b"CCO", 5);
         assert_eq!(t.get(b"CC"), None, "interior node has no code");
         assert_eq!(t.get(b"CCOC"), None);
@@ -508,7 +575,7 @@ mod tests {
 
     #[test]
     fn automaton_matches_trie_on_fixtures() {
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         for (p, c) in [
             (b"C".as_slice(), 10u8),
             (b"CC", 11),
@@ -550,8 +617,37 @@ mod tests {
     }
 
     #[test]
+    fn wide_payload_automaton_matches_trie() {
+        // Same walk, u16 payloads — the wide extension's code ids exceed
+        // a byte, which is the whole reason the structures are generic.
+        let mut t: Trie<u16> = Trie::new();
+        for (p, c) in [
+            (b"C".as_slice(), 67u16),
+            (b"CC", 300),
+            (b"CCO", 2000),
+            (b"c1cc", 256 + 511),
+            (b"cc", 999),
+        ] {
+            t.insert(p, c);
+        }
+        let a = DenseAutomaton::compile(&t);
+        assert_eq!(a.len(), t.len());
+        for input in [b"CCOC".as_slice(), b"c1ccccc1", b"XYZ", b""] {
+            for start in 0..input.len() {
+                let mut vt = Vec::new();
+                t.matches_at(input, start, |c, l| vt.push((c, l)));
+                let mut va = Vec::new();
+                a.matches_at(input, start, |c, l| va.push((c, l)));
+                assert_eq!(va, vt, "start {start}");
+            }
+        }
+        assert_eq!(a.get(b"CCO"), Some(2000));
+        assert_eq!(a.get(b"CCOX"), None);
+    }
+
+    #[test]
     fn empty_automaton_matches_nothing() {
-        let a = DenseAutomaton::compile(&Trie::new());
+        let a = DenseAutomaton::compile(&Trie::<u8>::new());
         assert!(a.is_empty());
         assert_eq!(a.states(), 2, "just dead + root");
         assert_eq!(collect_auto(&a, b"CCO", 0), vec![]);
@@ -561,7 +657,7 @@ mod tests {
 
     #[test]
     fn automaton_handles_high_bytes_and_deep_chains() {
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         t.insert(&[0x80, 0xFF], 7);
         t.insert(&[0xFF], 8);
         let a = DenseAutomaton::compile(&t);
@@ -574,7 +670,7 @@ mod tests {
     #[test]
     fn automaton_state_count_and_memory_are_bounded() {
         // The realistic maximum: 222 patterns up to 16 bytes.
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         for i in 0..222usize {
             let len = 2 + (i % 15);
             let pat: Vec<u8> = (0..len).map(|j| b'A' + ((i + j) % 26) as u8).collect();
@@ -591,7 +687,7 @@ mod tests {
     #[test]
     fn dense_dictionary_scales() {
         // 222 patterns of length up to 16 — the realistic maximum.
-        let mut t = Trie::new();
+        let mut t: Trie = Trie::new();
         for i in 0..222usize {
             let len = 2 + (i % 15);
             let pat: Vec<u8> = (0..len).map(|j| b'A' + ((i + j) % 26) as u8).collect();

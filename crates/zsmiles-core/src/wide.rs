@@ -24,13 +24,14 @@
 //!   exactly like a base [`crate::dict::Dictionary`] shorn of eight codes.
 
 use crate::codec::{code_space, is_code_byte, Prepopulation, ESCAPE, LINE_SEP};
-use crate::compress::CompressStats;
+use crate::compress::{CompressStats, MatcherKind};
 use crate::decompress::DecompressStats;
 use crate::dict::builder::DictBuilder;
 use crate::dict::MAX_PATTERN_LEN;
 use crate::engine::{LineDecoder, LineEncoder, PreprocessStage};
 use crate::error::ZsmilesError;
-use std::io::{BufRead, BufReader, Read, Write};
+use crate::trie::{DenseAutomaton, Matcher, Trie};
+use std::io::{Read, Write};
 
 /// The eight extended bytes reserved as wide-code page prefixes.
 pub const PAGE_BYTES: [u8; 8] = [0xF8, 0xF9, 0xFA, 0xFB, 0xFC, 0xFD, 0xFE, 0xFF];
@@ -62,7 +63,7 @@ pub const MIN_WIDE_PATTERN_LEN: usize = 3;
 /// Dense identifier for either code width, as stored in the matcher:
 /// `id < 256` is the base code byte itself; otherwise
 /// `id - 256 = page_index × 256 + sub_byte`.
-type CodeId = u16;
+pub type CodeId = u16;
 
 #[inline]
 fn base_id(code: u8) -> CodeId {
@@ -86,109 +87,6 @@ fn emit_bytes(id: CodeId) -> ([u8; 2], usize) {
 }
 
 // ---------------------------------------------------------------------------
-// A trie with 16-bit payloads
-// ---------------------------------------------------------------------------
-
-/// Flat-arena byte trie mapping patterns to [`CodeId`]s. Same layout as
-/// [`crate::trie::Trie`]; only the payload width differs (base + wide codes
-/// overflow a `u8`).
-#[derive(Debug, Clone)]
-struct Trie16 {
-    root: Vec<u32>,
-    root_code: Vec<Option<CodeId>>,
-    nodes: Vec<Node16>,
-    max_depth: usize,
-}
-
-#[derive(Debug, Clone)]
-struct Node16 {
-    children: Vec<(u8, u32)>,
-    code: Option<CodeId>,
-}
-
-const NONE32: u32 = u32::MAX;
-
-impl Trie16 {
-    fn new() -> Self {
-        Trie16 {
-            root: vec![NONE32; 256],
-            root_code: vec![None; 256],
-            nodes: Vec::new(),
-            max_depth: 0,
-        }
-    }
-
-    fn insert(&mut self, pattern: &[u8], code: CodeId) {
-        debug_assert!(!pattern.is_empty());
-        self.max_depth = self.max_depth.max(pattern.len());
-        if pattern.len() == 1 {
-            self.root_code[pattern[0] as usize] = Some(code);
-            return;
-        }
-        let b0 = pattern[0] as usize;
-        let mut cur = if self.root[b0] == NONE32 {
-            let idx = self.alloc();
-            self.root[b0] = idx;
-            idx
-        } else {
-            self.root[b0]
-        };
-        for &b in &pattern[1..] {
-            cur = match self.nodes[cur as usize]
-                .children
-                .iter()
-                .find(|(cb, _)| *cb == b)
-            {
-                Some(&(_, child)) => child,
-                None => {
-                    let idx = self.alloc();
-                    let node = &mut self.nodes[cur as usize];
-                    let pos = node.children.partition_point(|(cb, _)| *cb < b);
-                    node.children.insert(pos, (b, idx));
-                    idx
-                }
-            };
-        }
-        self.nodes[cur as usize].code = Some(code);
-    }
-
-    fn alloc(&mut self) -> u32 {
-        let idx = self.nodes.len() as u32;
-        self.nodes.push(Node16 {
-            children: Vec::new(),
-            code: None,
-        });
-        idx
-    }
-
-    /// Visit every pattern match starting at `input[start]`, shortest
-    /// first: `visit(code_id, length)`.
-    #[inline]
-    fn matches_at<F: FnMut(CodeId, usize)>(&self, input: &[u8], start: usize, mut visit: F) {
-        let first = input[start] as usize;
-        if let Some(code) = self.root_code[first] {
-            visit(code, 1);
-        }
-        let mut cur = self.root[first];
-        let mut depth = 1;
-        while cur != NONE32 && start + depth < input.len() {
-            let b = input[start + depth];
-            let node = &self.nodes[cur as usize];
-            match node.children.iter().find(|(cb, _)| *cb == b) {
-                Some(&(_, child)) => {
-                    depth += 1;
-                    if let Some(code) = self.nodes[child as usize].code {
-                        visit(code, depth);
-                    }
-                    cur = child;
-                }
-                None => break,
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // WideDictionary
 // ---------------------------------------------------------------------------
 
@@ -206,7 +104,14 @@ pub struct WideDictionary {
     lmin: usize,
     lmax: usize,
     preprocessed: bool,
-    trie: Trie16,
+    /// Pattern → [`CodeId`] matcher — the shared [`crate::trie::Trie`] at
+    /// the 16-bit payload width (base and wide ids overflow a `u8`).
+    trie: Trie<CodeId>,
+    /// The flat table-driven matcher the wide encode hot path walks,
+    /// compiled from `trie` on first use. Lazy (and shared across clones)
+    /// for the same reason as [`crate::dict::Dictionary`]: the tables run
+    /// to megabytes and decode-only paths never walk them.
+    automaton: std::sync::Arc<std::sync::OnceLock<DenseAutomaton<CodeId>>>,
 }
 
 impl WideDictionary {
@@ -276,7 +181,7 @@ impl WideDictionary {
             installed += 1;
         }
 
-        let mut trie = Trie16::new();
+        let mut trie: Trie<CodeId> = Trie::new();
         for (code, entry) in base.iter().enumerate() {
             if let Some(pat) = entry {
                 trie.insert(pat, base_id(code as u8));
@@ -298,6 +203,7 @@ impl WideDictionary {
             lmax,
             preprocessed,
             trie,
+            automaton: std::sync::Arc::new(std::sync::OnceLock::new()),
         })
     }
 
@@ -353,7 +259,22 @@ impl WideDictionary {
 
     /// Longest installed pattern.
     pub fn max_pattern_len(&self) -> usize {
-        self.trie.max_depth
+        self.trie.max_depth()
+    }
+
+    /// The matching trie (the build-time / reference structure), at the
+    /// 16-bit payload width.
+    pub fn trie(&self) -> &Trie<CodeId> {
+        &self.trie
+    }
+
+    /// The flat table-driven matcher the wide encode hot path walks —
+    /// compiled from [`WideDictionary::trie`] on first call (then cached,
+    /// shared by clones), byte-identical matches, branch-light loads (see
+    /// [`DenseAutomaton`] for the layout trade-off).
+    pub fn automaton(&self) -> &DenseAutomaton<CodeId> {
+        self.automaton
+            .get_or_init(|| DenseAutomaton::compile(&self.trie))
     }
 
     /// All entries in code-assignment order: base codes (code-space order),
@@ -540,13 +461,15 @@ impl Drop for WideScratch {
     }
 }
 
-/// Encode one line against a wide dictionary: backward DP over the position
+/// Encode one line against a wide matcher: backward DP over the position
 /// DAG with per-edge costs (1 for base codes, 2 for wide codes and
 /// escapes). Ties prefer any code over an escape, then cheaper emission,
 /// then longer patterns, then smaller ids — deterministic like
-/// [`crate::sp`].
-fn wide_encode_line(
-    dict: &WideDictionary,
+/// [`crate::sp`]. Generic over [`Matcher`] exactly like the base DP: the
+/// flat [`DenseAutomaton`] is the hot path, the node [`Trie`] the
+/// reference both are pinned against.
+fn wide_encode_line<M: Matcher<Code = CodeId>>(
+    matcher: &M,
     line: &[u8],
     scratch: &mut WideScratch,
     out: &mut Vec<u8>,
@@ -564,7 +487,7 @@ fn wide_encode_line(
         let mut best_cost = 2 + scratch.dist[i + 1];
         let mut best = WIDE_ESCAPE;
         let (dist, choice) = (&mut scratch.dist, &mut scratch.choice);
-        dict.trie.matches_at(line, i, |id, len| {
+        matcher.matches_at(line, i, |id, len| {
             let (_, width) = emit_bytes(id);
             let c = width as u32 + dist[i + len];
             let better = c < best_cost
@@ -602,6 +525,7 @@ fn wide_encode_line(
 /// shared [`crate::engine`] machinery; only the per-line DP is wide-specific.
 pub struct WideCompressor<'d> {
     dict: &'d WideDictionary,
+    matcher: MatcherKind,
     preprocess: PreprocessStage,
     scratch: WideScratch,
 }
@@ -610,6 +534,7 @@ impl<'d> WideCompressor<'d> {
     pub fn new(dict: &'d WideDictionary) -> Self {
         WideCompressor {
             dict,
+            matcher: MatcherKind::default(),
             preprocess: PreprocessStage::new(dict.preprocessed()),
             scratch: WideScratch::recycled(),
         }
@@ -617,6 +542,14 @@ impl<'d> WideCompressor<'d> {
 
     pub fn with_preprocess(mut self, on: bool) -> Self {
         self.preprocess.set_enabled(on);
+        self
+    }
+
+    /// Select the matching structure the DP walks (both emit identical
+    /// bytes; the node trie stays selectable so the throughput harness
+    /// can measure the two in one run, mirroring [`crate::Compressor`]).
+    pub fn with_matcher(mut self, matcher: MatcherKind) -> Self {
+        self.matcher = matcher;
         self
     }
 
@@ -628,7 +561,12 @@ impl<'d> WideCompressor<'d> {
     /// `(bytes_written, preprocess_failed)`.
     pub fn compress_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> (usize, bool) {
         let (src, failed) = self.preprocess.apply(line);
-        let n = wide_encode_line(self.dict, src, &mut self.scratch, out);
+        let n = match self.matcher {
+            MatcherKind::DenseAutomaton => {
+                wide_encode_line(self.dict.automaton(), src, &mut self.scratch, out)
+            }
+            MatcherKind::NodeTrie => wide_encode_line(&self.dict.trie, src, &mut self.scratch, out),
+        };
         (n, failed)
     }
 
@@ -724,110 +662,38 @@ const WIDE_MAGIC: &str = "#zsmiles-wide-dict v1";
 
 /// Serialize a wide dictionary to the readable text format: the `.dct`
 /// layout with a wide magic, a `#wide-size` header, and one- or two-byte
-/// codes in the code column.
+/// codes in the code column. Header block and entry escaping are the
+/// shared [`crate::dict::format`] machinery — the two formats differ only
+/// in magic and code width.
 pub fn write_wide_dict<W: Write>(dict: &WideDictionary, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "{WIDE_MAGIC}")?;
-    writeln!(w, "#prepopulation {}", dict.prepopulation().name())?;
-    writeln!(w, "#preprocess {}", dict.preprocessed())?;
-    writeln!(w, "#lmin {}", dict.lmin())?;
-    writeln!(w, "#lmax {}", dict.lmax())?;
-    writeln!(w, "#wide-size {}", dict.wide_len())?;
+    super::dict::format::write_header(
+        &mut w,
+        WIDE_MAGIC,
+        dict.prepopulation(),
+        dict.preprocessed(),
+        dict.lmin(),
+        dict.lmax(),
+        Some(dict.wide_len()),
+    )?;
     for (code, pat) in dict.pattern_entries() {
-        let mut line = Vec::with_capacity(pat.len() * 4 + 12);
-        super::dict::format::escape_into(&code, &mut line);
-        line.push(b'\t');
-        super::dict::format::escape_into(pat, &mut line);
-        line.push(b'\n');
-        w.write_all(&line)?;
+        super::dict::format::write_entry(&mut w, &code, pat)?;
     }
     Ok(())
 }
 
-/// Parse the wide text format. Codes are re-derived from pattern order
-/// (which [`write_wide_dict`] preserves), exactly like the base format.
+/// Parse the wide text format through the shared dictionary-text parser.
+/// Codes are re-derived from pattern order (which [`write_wide_dict`]
+/// preserves), exactly like the base format.
 pub fn read_wide_dict<R: Read>(r: R) -> Result<WideDictionary, ZsmilesError> {
-    let reader = BufReader::new(r);
-    let mut prepopulation = Prepopulation::SmilesAlphabet;
-    let mut preprocess = true;
-    let mut lmin = 2usize;
-    let mut lmax = 8usize;
-    let mut wide_size = 0usize;
-    let mut patterns: Vec<Vec<u8>> = Vec::new();
-
-    for (ln, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = ln + 1;
-        if ln == 0 {
-            if line.trim() != WIDE_MAGIC {
-                return Err(ZsmilesError::DictFormat {
-                    line: lineno,
-                    reason: format!("expected magic '{WIDE_MAGIC}'"),
-                });
-            }
-            continue;
-        }
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix('#') {
-            let mut parts = rest.splitn(2, ' ');
-            let key = parts.next().unwrap_or("");
-            let value = parts.next().unwrap_or("").trim();
-            let bad = |reason: String| ZsmilesError::DictFormat {
-                line: lineno,
-                reason,
-            };
-            match key {
-                "prepopulation" => {
-                    prepopulation = Prepopulation::from_name(value)
-                        .ok_or_else(|| bad(format!("unknown prepopulation '{value}'")))?;
-                }
-                "preprocess" => {
-                    preprocess = value
-                        .parse()
-                        .map_err(|_| bad(format!("bad bool '{value}'")))?;
-                }
-                "lmin" => {
-                    lmin = value
-                        .parse()
-                        .map_err(|_| bad(format!("bad lmin '{value}'")))?;
-                }
-                "lmax" => {
-                    lmax = value
-                        .parse()
-                        .map_err(|_| bad(format!("bad lmax '{value}'")))?;
-                }
-                "wide-size" => {
-                    wide_size = value
-                        .parse()
-                        .map_err(|_| bad(format!("bad wide-size '{value}'")))?;
-                }
-                _ => {}
-            }
-            continue;
-        }
-        let (_, pat_part) = line
-            .split_once('\t')
-            .ok_or_else(|| ZsmilesError::DictFormat {
-                line: lineno,
-                reason: "missing tab separator".into(),
-            })?;
-        let pat =
-            super::dict::format::unescape(pat_part).map_err(|reason| ZsmilesError::DictFormat {
-                line: lineno,
-                reason,
-            })?;
-        if pat.is_empty() {
-            return Err(ZsmilesError::DictFormat {
-                line: lineno,
-                reason: "empty pattern".into(),
-            });
-        }
-        patterns.push(pat);
-    }
-
-    let dict =
-        WideDictionary::from_patterns(prepopulation, patterns, lmin, lmax, preprocess, wide_size)?;
+    let (h, patterns) = super::dict::format::parse_dict_text(r, WIDE_MAGIC, true)?;
+    let dict = WideDictionary::from_patterns(
+        h.prepopulation,
+        patterns,
+        h.lmin,
+        h.lmax,
+        h.preprocess,
+        h.wide_size,
+    )?;
     dict.validate()?;
     Ok(dict)
 }
@@ -1138,6 +1004,33 @@ mod tests {
         let mut z2 = Vec::new();
         let (n2, _) = c.compress_line(b"qaa0", &mut z2);
         assert_eq!(n2, 1);
+    }
+
+    #[test]
+    fn dense_automaton_matches_node_trie_byte_for_byte() {
+        // The wide hot path walks the flat automaton; the node trie is the
+        // reference. Both must emit identical streams — same pin the base
+        // codec carries, here across one- and two-byte codes.
+        let deck = diverse_deck();
+        let d = trained_diverse(256);
+        assert!(d.wide_len() > 0, "training should spill into wide codes");
+        let auto = d.automaton();
+        assert_eq!(auto.len(), d.trie().len());
+        assert_eq!(auto.max_depth(), d.trie().max_depth());
+        let mut dense = WideCompressor::new(&d).with_preprocess(false);
+        let mut node = WideCompressor::new(&d)
+            .with_preprocess(false)
+            .with_matcher(MatcherKind::NodeTrie);
+        for line in deck.iter().take(200) {
+            let mut za = Vec::new();
+            let mut zt = Vec::new();
+            dense.compress_line(line, &mut za);
+            node.compress_line(line, &mut zt);
+            assert_eq!(za, zt, "line {:?}", String::from_utf8_lossy(line));
+        }
+        // The automaton is compiled once and shared across clones.
+        let clone = d.clone();
+        assert!(std::ptr::eq(clone.automaton(), d.automaton()));
     }
 
     #[test]

@@ -262,6 +262,50 @@ proptest! {
         }
     }
 
+    /// The wide flavour's dense automaton is pinned against its node trie
+    /// exactly like the base one: identical matches at the 16-bit payload
+    /// width, and byte-identical streams out of the wide DP through
+    /// either matcher.
+    #[test]
+    fn wide_dense_automaton_identical_to_node_trie(
+        patterns in proptest::collection::vec(arb_pattern(), 1..24),
+        text in arb_text(),
+    ) {
+        let mut unique: Vec<Vec<u8>> = Vec::new();
+        for p in patterns {
+            if !unique.contains(&p) {
+                unique.push(p);
+            }
+        }
+        let dict = WideDictionary::from_patterns(
+            Prepopulation::SmilesAlphabet, &unique, 1, 16, false, 1776).unwrap();
+        let trie = dict.trie();
+        let auto = dict.automaton();
+        prop_assert_eq!(auto.len(), trie.len());
+        prop_assert_eq!(auto.max_depth(), trie.max_depth());
+        for start in 0..text.len() {
+            let mut got: Vec<(u16, usize)> = Vec::new();
+            auto.matches_at(&text, start, |c, l| got.push((c, l)));
+            let mut want: Vec<(u16, usize)> = Vec::new();
+            trie.matches_at(&text, start, |c, l| want.push((c, l)));
+            prop_assert_eq!(got, want, "start {}", start);
+        }
+        let mut via_auto = Vec::new();
+        WideCompressor::new(&dict)
+            .with_preprocess(false)
+            .compress_line(&text, &mut via_auto);
+        let mut via_trie = Vec::new();
+        WideCompressor::new(&dict)
+            .with_preprocess(false)
+            .with_matcher(zsmiles_core::MatcherKind::NodeTrie)
+            .compress_line(&text, &mut via_trie);
+        prop_assert_eq!(&via_auto, &via_trie, "wide DP bytes");
+        // And the stream still decodes.
+        let mut back = Vec::new();
+        WideDecompressor::new(&dict).decompress_line(&via_auto, &mut back).unwrap();
+        prop_assert_eq!(&back, &text);
+    }
+
     /// Worker-pool parallel compress/decompress is byte-identical to the
     /// serial engine across odd thread counts, including inputs with
     /// interior blank lines (which the buffer loops skip).
