@@ -5,10 +5,12 @@
 //! path and the node-`Trie` reference, measured in the same run so the
 //! speedup is an observation, not a claim — on the base *and* wide
 //! flavours), worker-pool parallel encode and decode, serial decode,
-//! streaming pack through the out-of-core `ArchiveWriter` (single-file
-//! and sharded, against real files), and `ArchiveReader` random `get()`
-//! against a real on-disk `.zsa` — and writes the numbers (MB/s and
-//! ns/op) as JSON. It also records the *dictionary fitting* story: the
+//! streaming pack through the out-of-core `ArchiveWriter` (single-file,
+//! sharded-serial, and sharded-parallel — cross-shard jobs on the worker
+//! pool, byte-identical to the serial pack, against real files), and
+//! random `get()` against a real on-disk `.zsa` through all three read
+//! paths: plain file I/O, zero-copy `MmapSource`, and the shared sharded
+//! `BlockCache` — and writes the numbers (MB/s and ns/op) as JSON. It also records the *dictionary fitting* story: the
 //! compression ratio of the shipped `default.dct` on this deck next to a
 //! dictionary trained on the deck itself through `train::BaseBuilder`
 //! (cost-guided selection on a seeded reservoir sample), asserting the
@@ -17,23 +19,27 @@
 //! ```text
 //! cargo run --release -p bench --bin throughput -- \
 //!     [--lines 50000] [--seed 12648430] [--threads N] [--reps 3] \
-//!     [--gets 20000] [--out BENCH_5.json]
+//!     [--gets 20000] [--out BENCH_6.json]
 //! ```
 //!
 //! Every measurement is best-of-`reps` wall time (per-rep byte counts are
 //! identical by construction, so best-of is the least-noise estimator).
 //! The run also *asserts* the identities the numbers depend on: both
 //! matchers emit byte-identical streams on both flavours, parallel output
-//! equals serial output, and decode restores the deck.
+//! equals serial output, decode restores the deck, mmap-backed and
+//! cache-backed reads return exactly the file-backed bytes, and the
+//! parallel sharded pack's files are byte-identical to the serial pack's.
 
 use molgen::Dataset;
+use std::sync::Arc;
 use std::time::Instant;
 use zsmiles_core::engine::AnyDictionary;
 use zsmiles_core::train::{BaseBuilder, DictBuilder as _, TrainCorpus};
 use zsmiles_core::{
-    compress_parallel_dyn, decompress_parallel_dyn, ArchiveReader, ArchiveWriter, Compressor,
-    Decompressor, DictBuilder, Dictionary, FileSink, MatcherKind, ShardPolicy, ShardedReader,
-    ShardedWriter, TrainOptions, WideCompressor, WideDictBuilder, WriterOptions,
+    compress_parallel_dyn, decompress_parallel_dyn, ArchiveReader, ArchiveWriter, BlockCache,
+    CachedSource, Compressor, Decompressor, DictBuilder, Dictionary, FileSink, FileSource,
+    MatcherKind, MmapSource, ShardPolicy, ShardedReader, ShardedWriter, TrainOptions,
+    WideCompressor, WideDictBuilder, WriterOptions,
 };
 
 struct Opts {
@@ -55,7 +61,7 @@ fn parse_opts() -> Opts {
             .unwrap_or(4),
         reps: 3,
         gets: 20_000,
-        out: "BENCH_5.json".to_string(),
+        out: "BENCH_6.json".to_string(),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -245,15 +251,23 @@ fn main() {
         let (_, info) = w.finish().expect("finalizing the container");
         assert_eq!(info.lines, o.lines, "streamed pack stores every line");
     });
-    let manifest_path = tmp.join("deck.zsm");
+    // Sharded pack, serial (threads = 1 streams one shard at a time) and
+    // parallel (cross-shard jobs on the worker pool) — each into its own
+    // directory so the outputs can be compared file-for-file.
     let shard_lines = (o.lines / 8).max(1) as u64;
-    let pack_sharded = time_best(o.reps, || {
+    let serial_dir = tmp.join("serial");
+    let par_dir = tmp.join("par");
+    std::fs::create_dir_all(&serial_dir).expect("creating the serial shard dir");
+    std::fs::create_dir_all(&par_dir).expect("creating the parallel shard dir");
+    let manifest_path = serial_dir.join("deck.zsm");
+    let par_manifest_path = par_dir.join("deck.zsm");
+    let pack_shards = |manifest: &std::path::Path, threads: usize| {
         let mut w = ShardedWriter::create(
-            &manifest_path,
+            manifest,
             any.clone(),
             ShardPolicy::by_lines(shard_lines),
             WriterOptions {
-                threads: o.threads,
+                threads,
                 ..Default::default()
             },
         )
@@ -264,7 +278,32 @@ fn main() {
             info.lines as usize, o.lines,
             "sharded pack stores every line"
         );
+        info
+    };
+    let par_threads = o.threads.max(4);
+    let pack_sharded = time_best(o.reps, || {
+        pack_shards(&manifest_path, 1);
     });
+    let mut par_info = None;
+    let pack_sharded_par = time_best(o.reps, || {
+        par_info = Some(pack_shards(&par_manifest_path, par_threads));
+    });
+    let par_info = par_info.expect("at least one parallel rep ran");
+    // The parallel pack is byte-identical to the serial pack: same
+    // manifest, same shard files, bit for bit.
+    assert_eq!(
+        std::fs::read(&manifest_path).expect("serial manifest"),
+        std::fs::read(&par_manifest_path).expect("parallel manifest"),
+        "parallel sharded manifest ≠ serial"
+    );
+    for shard in &par_info.shards {
+        assert_eq!(
+            std::fs::read(serial_dir.join(&shard.file)).expect("serial shard"),
+            std::fs::read(par_dir.join(&shard.file)).expect("parallel shard"),
+            "parallel shard {} ≠ serial",
+            shard.file
+        );
+    }
     // The sharded layout must read back identically to the single file.
     {
         let single = ArchiveReader::open(&single_path).expect("opening the single pack");
@@ -335,6 +374,56 @@ fn main() {
             std::hint::black_box(&line);
         }
     });
+
+    // The same access pattern through the zero-copy mmap read path. On
+    // platforms without the mmap binding this transparently measures the
+    // file-backed fallback (bytes_mapped reports 0 there).
+    let mmap_reader = ArchiveReader::from_source(MmapSource::open(&zsa).expect("mapping the file"))
+        .expect("opening the mapped archive");
+    for &i in order.iter().take(512) {
+        assert_eq!(
+            mmap_reader.get(i).expect("mmap get"),
+            reader.get(i).expect("file get"),
+            "mmap read ≠ file read at line {i}"
+        );
+    }
+    let mmap_get_secs = time_best(o.reps, || {
+        for &i in &order {
+            let line = mmap_reader.get(i).expect("mmap random get");
+            std::hint::black_box(&line);
+        }
+    });
+    let bytes_mapped = mmap_reader.source().bytes_mapped();
+    drop(mmap_reader);
+
+    // And through the shared sharded block cache (a private pool so the
+    // hit/miss numbers are this run's alone). After the first sweep the
+    // archive is resident, so the steady-state rate is mostly hits.
+    let cache = Arc::new(BlockCache::new(64 << 10, 32 << 20));
+    let cached_reader = ArchiveReader::from_source(CachedSource::with_cache(
+        FileSource::open(&zsa).expect("reopening the archive"),
+        Arc::clone(&cache),
+    ))
+    .expect("opening the cached archive");
+    for &i in order.iter().take(512) {
+        assert_eq!(
+            cached_reader.get(i).expect("cached get"),
+            reader.get(i).expect("file get"),
+            "cached read ≠ file read at line {i}"
+        );
+    }
+    let cached_get_secs = time_best(o.reps, || {
+        for &i in &order {
+            let line = cached_reader.get(i).expect("cached random get");
+            std::hint::black_box(&line);
+        }
+    });
+    let (cache_hits, cache_misses) = (
+        cached_reader.source().hits(),
+        cached_reader.source().misses(),
+    );
+    let cache_hit_rate = cache.stats().hit_rate().unwrap_or(0.0);
+    drop(cached_reader);
     drop(reader);
     std::fs::remove_file(&zsa).ok();
 
@@ -347,13 +436,16 @@ fn main() {
     let r_dec_par = rate(payload, o.lines, dec_par);
     let r_pack_single = rate(payload, o.lines, pack_single);
     let r_pack_sharded = rate(payload, o.lines, pack_sharded);
+    let r_pack_sharded_par = rate(payload, o.lines, pack_sharded_par);
     let get_ns = get_secs * 1e9 / o.gets.max(1) as f64;
+    let mmap_get_ns = mmap_get_secs * 1e9 / o.gets.max(1) as f64;
+    let cached_get_ns = cached_get_secs * 1e9 / o.gets.max(1) as f64;
     let speedup = enc_node / enc_dense;
     let wide_speedup = wide_enc_node / wide_enc_dense;
 
     let json = format!
     (
-        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 5,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \"shard_lines\": {},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"encode_speedup_dense_vs_node_trie\": {:.3},\n  \"wide_encode_speedup_dense_vs_node_trie\": {:.3},\n  \"dict_fitting\": {{ \"ratio_default_dict\": {:.4}, \"ratio_trained_dict\": {:.4}, \"train_sample_lines\": {}, \"train_secs\": {:.3} }}\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 6,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \"parallel_pack_threads\": {},\n  \"shard_lines\": {},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"mmap_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"bytes_mapped\": {} }},\n  \"cached_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"hits\": {}, \"misses\": {}, \"pool_hit_rate\": {:.4} }},\n  \"encode_speedup_dense_vs_node_trie\": {:.3},\n  \"wide_encode_speedup_dense_vs_node_trie\": {:.3},\n  \"dict_fitting\": {{ \"ratio_default_dict\": {:.4}, \"ratio_trained_dict\": {:.4}, \"train_sample_lines\": {}, \"train_secs\": {:.3} }}\n}}\n",
         o.lines,
         o.seed,
         payload,
@@ -370,9 +462,19 @@ fn main() {
         json_rate("parallel_decode", &r_dec_par),
         json_rate("streaming_pack_single", &r_pack_single),
         json_rate("streaming_pack_sharded", &r_pack_sharded),
+        json_rate("streaming_pack_sharded_parallel", &r_pack_sharded_par),
+        par_threads,
         shard_lines,
         get_ns,
         o.gets,
+        mmap_get_ns,
+        o.gets,
+        bytes_mapped,
+        cached_get_ns,
+        o.gets,
+        cache_hits,
+        cache_misses,
+        cache_hit_rate,
         speedup,
         wide_speedup,
         default_stats.ratio(),
@@ -383,9 +485,10 @@ fn main() {
     std::fs::write(&o.out, &json).expect("writing the result file");
     print!("{json}");
     eprintln!(
-        "encode {:.1} MB/s (node trie {:.1} MB/s, {:.2}x), wide {:.1} MB/s ({:.2}x), parallel {:.1} MB/s; decode {:.1} MB/s; pack {:.1} MB/s single / {:.1} MB/s sharded; get {:.0} ns/op; ratio default {:.4} vs trained {:.4} -> {}",
+        "encode {:.1} MB/s (node trie {:.1} MB/s, {:.2}x), wide {:.1} MB/s ({:.2}x), parallel {:.1} MB/s; decode {:.1} MB/s; pack {:.1} MB/s single / {:.1} MB/s sharded / {:.1} MB/s sharded-parallel; get {:.0} ns/op file, {:.0} ns/op mmap, {:.0} ns/op cached ({:.1}% pool hits); ratio default {:.4} vs trained {:.4} -> {}",
         r_dense.mb_per_s, r_node.mb_per_s, speedup, r_wide_dense.mb_per_s, wide_speedup,
-        r_par.mb_per_s, r_dec.mb_per_s, r_pack_single.mb_per_s, r_pack_sharded.mb_per_s, get_ns,
+        r_par.mb_per_s, r_dec.mb_per_s, r_pack_single.mb_per_s, r_pack_sharded.mb_per_s,
+        r_pack_sharded_par.mb_per_s, get_ns, mmap_get_ns, cached_get_ns, cache_hit_rate * 100.0,
         default_stats.ratio(), trained_stats.ratio(), o.out
     );
     if speedup < 1.5 {

@@ -8,7 +8,7 @@ use zsmiles_core::engine::AnyDictionary;
 use zsmiles_core::shard::{is_manifest, ShardPolicy, ShardedReader, ShardedWriter};
 use zsmiles_core::train::{BaseBuilder, DictBuilder as _, TrainCorpus, WideBuilder};
 use zsmiles_core::{
-    ArchiveReader, ArchiveWriter, CachedSource, CountingSource, Decompressor, FileSink, FileSource,
+    ArchiveReader, ArchiveWriter, BlockCache, CountingSource, Decompressor, FileSink, FileSource,
     LineIndex, Prepopulation, RankStrategy, Selection, TrainOptions, WriterOptions,
 };
 
@@ -31,15 +31,18 @@ const USAGE: &str =
              [--dict-out fitted.dct and the train flags above, with --train]
              (streams the input — '-' reads stdin — through the out-of-core
               writer in bounded memory; with a shard budget, -o names a .zsm
-              manifest and shards land beside it as <stem>.NNNNN.zsa;
+              manifest and shards land beside it as <stem>.NNNNN.zsa, and
+              --threads N compresses N complete shards concurrently with
+              byte-identical output;
               --train first fits the embedded dictionary to the deck being
               packed, so the input must be a re-readable file, not stdin)
-  unpack     -i in.zsa|in.zsm -o out.smi [--threads N] [--verify]
+  unpack     -i in.zsa|in.zsm -o out.smi [--threads N] [--verify] [--verbose]
   get        -i in.zsmi -d dict.dct --line K
   get        --archive in.zsa|in.zsm --line K [--count N] [--verify] [--verbose]
              (no dictionary or sidecar needed; reads only metadata + the
-              lines asked for; --count N prints N consecutive lines through
-              a block read-ahead cache, --verbose reports its hit rate)
+              lines asked for; archives are mmapped where the platform
+              allows, else read through the shared block cache — --verbose
+              reports bytes mapped, or the cache hit rate and evictions)
   screen     -i deck.smi [--pocket-seed S] [--top K] [--threads N] [--scores out.tsv]
   stats      -i file.smi
   inspect    -d dict.dct [-i corpus.smi] [--dict-stats]
@@ -451,7 +454,37 @@ fn cmd_unpack(args: &Args) -> Result<(), String> {
             t0.elapsed()
         );
     }
+    if args.get_bool("--verbose") {
+        eprintln!(
+            "{}",
+            read_path_report(reader.bytes_mapped(), reader.cache_counters())
+        );
+    }
     Ok(())
+}
+
+/// One-line `--verbose` description of how an archive's bytes were
+/// served: an mmap (zero-copy, nothing to cache) or positioned file I/O
+/// through the shared block cache, with this workload's hit/miss split
+/// and the pool's eviction pressure.
+fn read_path_report(bytes_mapped: u64, counters: Option<(u64, u64)>) -> String {
+    match counters {
+        None => format!("read path: mmap, {bytes_mapped} bytes mapped (zero-copy, no block cache)"),
+        Some((hits, misses)) => {
+            let total = hits + misses;
+            let rate = if total > 0 {
+                100.0 * hits as f64 / total as f64
+            } else {
+                0.0
+            };
+            let pool = BlockCache::global().stats();
+            format!(
+                "read path: cached file I/O, {hits} hit(s) / {misses} miss(es) ({rate:.1}% hit \
+                 rate) | shared pool: {} block(s) resident, {} eviction(s)",
+                pool.resident_blocks, pool.evictions
+            )
+        }
+    }
 }
 
 fn cmd_get(args: &Args) -> Result<(), String> {
@@ -483,6 +516,10 @@ fn cmd_get(args: &Args) -> Result<(), String> {
                     reader.len(),
                     reader.shard_count(),
                 );
+                eprintln!(
+                    "{}",
+                    read_path_report(reader.bytes_mapped(), reader.cache_counters())
+                );
             }
             return Ok(());
         }
@@ -491,12 +528,12 @@ fn cmd_get(args: &Args) -> Result<(), String> {
     // Single-file path: everything needed is inside the container, and
     // the reader fetches only metadata plus the requested byte ranges — a
     // probe into a multi-GB archive never allocates the payload. The
-    // block cache turns a `--count` loop of per-line fetches into one
-    // read-ahead transfer per block.
+    // archive is mmapped where the platform allows (each fetch is a
+    // zero-syscall copy from the mapping); otherwise positioned reads go
+    // through the shared block cache, which turns a `--count` loop of
+    // per-line fetches into one block transfer per neighbourhood.
     if let Some(path) = args.get("--archive") {
-        let source =
-            CachedSource::new(FileSource::open(Path::new(path)).map_err(|e| e.to_string())?);
-        let reader = ArchiveReader::from_source(source).map_err(|e| e.to_string())?;
+        let reader = ArchiveReader::open_auto(Path::new(path)).map_err(|e| e.to_string())?;
         if args.get_bool("--verify") {
             // Opt-in integrity pass: one sequential CRC scan of the file.
             // Without it a fetch touches only metadata + the lines read.
@@ -505,7 +542,7 @@ fn cmd_get(args: &Args) -> Result<(), String> {
         let count = args.get_usize("--count", 1)?.max(1);
         // Snapshot after open/verify so the report covers line fetches
         // only, not the metadata reads (or the CRC scan).
-        let (hits0, misses0) = (reader.source().hits(), reader.source().misses());
+        let base = reader.source().cache_counters();
         let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
         use std::io::Write;
         for k in 0..count {
@@ -517,12 +554,13 @@ fn cmd_get(args: &Args) -> Result<(), String> {
         }
         stdout.flush().map_err(|e| e.to_string())?;
         if args.get_bool("--verbose") {
-            let src = reader.source();
+            let fetched = match (base, reader.source().cache_counters()) {
+                (Some((h0, m0)), Some((h, m))) => Some((h - h0, m - m0)),
+                _ => None,
+            };
             eprintln!(
-                "cache: {} hits, {} misses over {} line fetch(es)",
-                src.hits() - hits0,
-                src.misses() - misses0,
-                count,
+                "{} over {count} line fetch(es)",
+                read_path_report(reader.source().bytes_mapped(), fetched)
             );
         }
         return Ok(());

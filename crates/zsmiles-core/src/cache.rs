@@ -1,0 +1,359 @@
+//! A process-wide sharded LRU block cache for archive sources.
+//!
+//! The single-slot readahead that `CachedSource` used through PR 5 kept
+//! exactly one block behind one mutex: a second reader with a different
+//! access pattern evicted the first reader's block on every fetch, so
+//! concurrent `get()` loops degenerated to uncached I/O. [`BlockCache`]
+//! replaces it with the shape an archive query service needs:
+//!
+//! * blocks are **aligned** (`offset / block_size`) and keyed by
+//!   `(archive_id, block)`, so any number of sources — and any number of
+//!   threads per source — share one pool of resident bytes;
+//! * the key space is split across [`SHARD_COUNT`] internal shards, each
+//!   behind its own mutex, so concurrent readers rarely contend on the
+//!   same lock;
+//! * eviction is LRU per shard under a global block budget, with the
+//!   decision counters ([`BlockCacheStats`]) exposed for the CLI's
+//!   `--verbose` reports and the bench harness;
+//! * block loads happen **outside** the shard lock: a miss never blocks
+//!   other readers on the loader's I/O (two racing loads of the same
+//!   block both succeed; one insert wins — blocks are immutable, so the
+//!   race is benign).
+//!
+//! One process-global instance ([`BlockCache::global`]) backs every
+//! [`crate::source::CachedSource`] by default; private instances (for
+//! tests, or per-tenant budgets in a service) are ordinary values.
+
+use crate::error::ZsmilesError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of independently locked shards. A small power of two: enough
+/// that 8 hammering readers rarely collide, small enough that the
+/// per-shard LRU scans stay trivial.
+pub const SHARD_COUNT: usize = 8;
+
+/// Default total budget for the process-global cache (resident block
+/// bytes, across all archives).
+pub const DEFAULT_CACHE_CAPACITY: usize = 32 << 20;
+
+/// Snapshot of a cache's counters and residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Lookups served from a resident block.
+    pub hits: u64,
+    /// Lookups that had to load the block from the inner source.
+    pub misses: u64,
+    /// Blocks dropped to stay inside the budget.
+    pub evictions: u64,
+    /// Blocks resident right now.
+    pub resident_blocks: u64,
+    /// Bytes resident right now.
+    pub resident_bytes: u64,
+}
+
+impl BlockCacheStats {
+    /// Hit rate in `[0, 1]`; `None` before any lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+struct Entry {
+    bytes: Arc<Vec<u8>>,
+    /// Logical LRU timestamp (per-shard clock at last touch).
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<(u64, u64), Entry>,
+    clock: u64,
+    resident_bytes: u64,
+}
+
+/// The sharded LRU block cache. See the module docs for the design.
+pub struct BlockCache {
+    block_size: usize,
+    /// Per-shard budget, in blocks (the global budget split evenly).
+    shard_capacity: usize,
+    shards: [Mutex<Shard>; SHARD_COUNT],
+    next_archive_id: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("block_size", &self.block_size)
+            .field("shard_capacity", &self.shard_capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// A cache holding aligned blocks of `block_size` bytes, keeping at
+    /// most ~`capacity_bytes` resident (rounded up so each shard holds at
+    /// least one block — a cache that cannot cache would be a bug trap).
+    pub fn new(block_size: usize, capacity_bytes: usize) -> BlockCache {
+        let block_size = block_size.max(1);
+        let total_blocks = capacity_bytes.div_ceil(block_size).max(SHARD_COUNT);
+        BlockCache {
+            block_size,
+            shard_capacity: (total_blocks / SHARD_COUNT).max(1),
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            next_archive_id: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-global instance every [`crate::source::CachedSource`]
+    /// shares by default: [`crate::source::DEFAULT_CACHE_BLOCK`]-sized
+    /// blocks under a [`DEFAULT_CACHE_CAPACITY`] budget.
+    pub fn global() -> &'static Arc<BlockCache> {
+        static GLOBAL: OnceLock<Arc<BlockCache>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            Arc::new(BlockCache::new(
+                crate::source::DEFAULT_CACHE_BLOCK,
+                DEFAULT_CACHE_CAPACITY,
+            ))
+        })
+    }
+
+    /// Aligned block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Mint a fresh archive id. Ids namespace block keys, so two sources
+    /// over different files can never alias each other's bytes.
+    pub fn register_archive(&self) -> u64 {
+        self.next_archive_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn shard_for(&self, archive: u64, block: u64) -> &Mutex<Shard> {
+        // Fibonacci hashing over the combined key; high bits select the
+        // shard so consecutive blocks of one archive spread out.
+        let h = (archive ^ block.rotate_left(32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 61) as usize % SHARD_COUNT]
+    }
+
+    /// Fetch block `block` of archive `archive`, loading it with `load`
+    /// on a miss. Returns the resident bytes and whether this was a hit.
+    ///
+    /// The loader runs outside the shard lock; a failed load caches
+    /// nothing (the next lookup retries).
+    pub fn get_or_load(
+        &self,
+        archive: u64,
+        block: u64,
+        load: impl FnOnce() -> Result<Vec<u8>, ZsmilesError>,
+    ) -> Result<(Arc<Vec<u8>>, bool), ZsmilesError> {
+        let key = (archive, block);
+        let shard = self.shard_for(archive, block);
+        {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            s.clock += 1;
+            let stamp = s.clock;
+            if let Some(e) = s.map.get_mut(&key) {
+                e.stamp = stamp;
+                let bytes = Arc::clone(&e.bytes);
+                drop(s);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((bytes, true));
+            }
+        }
+        let bytes = Arc::new(load()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut s = shard.lock().expect("cache shard poisoned");
+        s.clock += 1;
+        let stamp = s.clock;
+        // A racing loader may have inserted the same block meanwhile;
+        // keep the resident copy and drop ours (identical contents).
+        if let Some(e) = s.map.get_mut(&key) {
+            e.stamp = stamp;
+            return Ok((Arc::clone(&e.bytes), false));
+        }
+        while s.map.len() >= self.shard_capacity {
+            let victim = s
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("non-empty shard has an LRU victim");
+            if let Some(e) = s.map.remove(&victim) {
+                s.resident_bytes -= e.bytes.len() as u64;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        s.resident_bytes += bytes.len() as u64;
+        s.map.insert(
+            key,
+            Entry {
+                bytes: Arc::clone(&bytes),
+                stamp,
+            },
+        );
+        Ok((bytes, false))
+    }
+
+    /// Drop every resident block of `archive` (called when a source is
+    /// dropped, so a long-lived process does not pin dead archives until
+    /// eviction gets around to them).
+    pub fn forget_archive(&self, archive: u64) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            let dead: Vec<(u64, u64)> = s
+                .map
+                .keys()
+                .filter(|(a, _)| *a == archive)
+                .copied()
+                .collect();
+            for key in dead {
+                if let Some(e) = s.map.remove(&key) {
+                    s.resident_bytes -= e.bytes.len() as u64;
+                }
+            }
+        }
+    }
+
+    /// Counter + residency snapshot. Counters are monotonic for the
+    /// cache's lifetime; CLI reports diff them around a workload.
+    pub fn stats(&self) -> BlockCacheStats {
+        let (mut blocks, mut bytes) = (0u64, 0u64);
+        for shard in &self.shards {
+            let s = shard.lock().expect("cache shard poisoned");
+            blocks += s.map.len() as u64;
+            bytes += s.resident_bytes;
+        }
+        BlockCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_blocks: blocks,
+            resident_bytes: bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load_ok(tag: u8, len: usize) -> impl FnOnce() -> Result<Vec<u8>, ZsmilesError> {
+        move || Ok(vec![tag; len])
+    }
+
+    #[test]
+    fn hit_miss_and_archive_namespacing() {
+        let cache = BlockCache::new(16, 16 * SHARD_COUNT * 4);
+        let (a, b) = (cache.register_archive(), cache.register_archive());
+        assert_ne!(a, b);
+
+        let (bytes, hit) = cache.get_or_load(a, 0, load_ok(1, 16)).unwrap();
+        assert!(!hit);
+        assert_eq!(*bytes, vec![1; 16]);
+        let (bytes, hit) = cache.get_or_load(a, 0, || panic!("resident")).unwrap();
+        assert!(hit);
+        assert_eq!(*bytes, vec![1; 16]);
+
+        // Same block number, different archive: distinct entry.
+        let (bytes, hit) = cache.get_or_load(b, 0, load_ok(2, 16)).unwrap();
+        assert!(!hit);
+        assert_eq!(*bytes, vec![2; 16]);
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.resident_blocks, 2);
+        assert_eq!(stats.resident_bytes, 32);
+        assert_eq!(stats.hit_rate(), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_counts() {
+        // One block per shard: any two blocks landing in one shard evict.
+        let cache = BlockCache::new(8, 8 * SHARD_COUNT);
+        let a = cache.register_archive();
+        // Fill far past the global budget of SHARD_COUNT blocks.
+        for block in 0..(SHARD_COUNT as u64 * 4) {
+            cache
+                .get_or_load(a, block, load_ok(block as u8, 8))
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.resident_blocks <= SHARD_COUNT as u64,
+            "budget respected: {stats:?}"
+        );
+        assert_eq!(
+            stats.evictions,
+            stats.misses - stats.resident_blocks,
+            "every over-budget insert evicted exactly one block: {stats:?}"
+        );
+        // The most recently inserted block is its shard's survivor.
+        let last = SHARD_COUNT as u64 * 4 - 1;
+        let (_, hit) = cache.get_or_load(a, last, load_ok(last as u8, 8)).unwrap();
+        assert!(hit, "most recently inserted block survives");
+    }
+
+    #[test]
+    fn forget_archive_releases_residency() {
+        let cache = BlockCache::new(8, 1 << 20);
+        let (a, b) = (cache.register_archive(), cache.register_archive());
+        for block in 0..10 {
+            cache.get_or_load(a, block, load_ok(0, 8)).unwrap();
+            cache.get_or_load(b, block, load_ok(1, 8)).unwrap();
+        }
+        assert_eq!(cache.stats().resident_blocks, 20);
+        cache.forget_archive(a);
+        let stats = cache.stats();
+        assert_eq!(stats.resident_blocks, 10);
+        assert_eq!(stats.resident_bytes, 80);
+        // `b`'s blocks are untouched.
+        let (_, hit) = cache.get_or_load(b, 0, || panic!("resident")).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn failed_loads_cache_nothing_and_retry() {
+        let cache = BlockCache::new(8, 1 << 20);
+        let a = cache.register_archive();
+        let err = cache
+            .get_or_load(a, 0, || Err(ZsmilesError::Io("transient".into())))
+            .unwrap_err();
+        assert!(matches!(err, ZsmilesError::Io(_)));
+        let (bytes, hit) = cache.get_or_load(a, 0, load_ok(7, 8)).unwrap();
+        assert!(!hit, "error was not cached");
+        assert_eq!(*bytes, vec![7; 8]);
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_cache() {
+        let cache = Arc::new(BlockCache::new(64, 1 << 20));
+        let a = cache.register_archive();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for round in 0..200u64 {
+                        let block = round % 16;
+                        let (bytes, _) = cache
+                            .get_or_load(a, block, load_ok(block as u8, 64))
+                            .unwrap();
+                        assert_eq!(*bytes, vec![block as u8; 64]);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 200);
+        assert_eq!(stats.resident_blocks, 16);
+    }
+}

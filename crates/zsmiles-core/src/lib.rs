@@ -42,10 +42,14 @@
 //!   dictionary (either flavour), readable compressed payload, line-offset
 //!   index and CRC32 footer in one self-describing file with O(1)
 //!   `get(line)`; [`Archive`] is the all-in-memory convenience view;
-//! * [`source`] / [`reader`] — the out-of-core read path:
+//! * [`source`] / [`cache`] / [`reader`] — the out-of-core read path:
 //!   [`source::ArchiveSource`] is a positioned-read byte container
-//!   ([`source::FileSource`], [`source::InMemorySource`], metering
-//!   [`source::CountingSource`]), and [`reader::ArchiveReader`] opens a
+//!   ([`source::FileSource`], zero-syscall [`source::MmapSource`],
+//!   [`source::InMemorySource`], metering [`source::CountingSource`],
+//!   and [`source::CachedSource`] — a thin adapter over the process-wide
+//!   sharded LRU [`cache::BlockCache`] that concurrent readers share;
+//!   [`source::AutoSource`] picks mmap or cached file I/O per platform),
+//!   and [`reader::ArchiveReader`] opens a
 //!   `.zsa` by seeking the footer, loads only header + dictionary +
 //!   index, and serves `get` / `get_range` / batched iteration by
 //!   reading exactly the payload byte ranges it needs — decks larger
@@ -98,6 +102,7 @@
 //! ```
 
 pub mod archive;
+pub mod cache;
 pub mod codec;
 pub mod compress;
 pub mod decompress;
@@ -118,6 +123,7 @@ pub mod wide;
 pub mod writer;
 
 pub use archive::Archive;
+pub use cache::{BlockCache, BlockCacheStats};
 pub use codec::{Prepopulation, ESCAPE, LINE_SEP};
 pub use compress::{CompressStats, Compressor, MatcherKind};
 pub use decompress::{DecodeTable, DecompressStats, Decompressor};
@@ -144,7 +150,9 @@ pub use shard::{
     ShardedWriter,
 };
 pub use sink::{ArchiveSink, CountingSink, FileSink, InMemorySink};
-pub use source::{ArchiveSource, CachedSource, CountingSource, FileSource, InMemorySource};
+pub use source::{
+    ArchiveSource, AutoSource, CachedSource, CountingSource, FileSource, InMemorySource, MmapSource,
+};
 pub use sp::SpAlgorithm;
 // The `train::DictBuilder` *trait* is deliberately not re-exported at the
 // root: `zsmiles_core::DictBuilder` keeps naming the paper's Algorithm-1

@@ -39,7 +39,7 @@ use crate::decompress::DecompressStats;
 use crate::engine::{AnyDictionary, DictFlavor, DynEngine, LineDecoder};
 use crate::error::ZsmilesError;
 use crate::index::LineIndex;
-use crate::source::{ArchiveSource, FileSource};
+use crate::source::{ArchiveSource, AutoSource, FileSource};
 use std::io::Write;
 use std::ops::Range;
 use std::path::Path;
@@ -61,10 +61,21 @@ pub struct ArchiveReader<S: ArchiveSource> {
 }
 
 impl ArchiveReader<FileSource> {
-    /// Open a `.zsa` file for out-of-core random access. Reads header,
-    /// footer, dictionary and line index; the payload stays on disk.
+    /// Open a `.zsa` file for out-of-core random access with plain
+    /// positioned I/O. Reads header, footer, dictionary and line index;
+    /// the payload stays on disk.
     pub fn open(path: &Path) -> Result<ArchiveReader<FileSource>, ZsmilesError> {
         ArchiveReader::from_source(FileSource::open(path)?)
+    }
+}
+
+impl ArchiveReader<AutoSource> {
+    /// Open a `.zsa` file behind the platform's best read path: a
+    /// zero-syscall mmap where available, shared-block-cache positioned
+    /// I/O otherwise (see [`AutoSource`]). This is what
+    /// [`crate::shard::DeckReader::open`] uses.
+    pub fn open_auto(path: &Path) -> Result<ArchiveReader<AutoSource>, ZsmilesError> {
+        ArchiveReader::from_source(AutoSource::open(path)?)
     }
 }
 

@@ -22,7 +22,12 @@
 //!
 //! * [`ShardedWriter`] streams raw deck bytes exactly like
 //!   [`crate::writer::ArchiveWriter`] (it drives one per shard), cutting
-//!   shards by a [`ShardPolicy`] line or byte budget.
+//!   shards by a [`ShardPolicy`] line or byte budget. With
+//!   [`WriterOptions::threads`] > 1 it compresses that many complete
+//!   shards **concurrently** on the persistent
+//!   [`crate::parallel::WorkerPool`] — shard cuts are decided by the
+//!   policy alone and manifest rows are stitched in shard order, so the
+//!   output stays byte-identical to a serial pack.
 //! * [`ShardedReader`] opens the manifest, cross-checks every shard
 //!   against its manifest entry (flavor, line count, file size, stored
 //!   CRC, identical embedded dictionary) *without touching any payload*,
@@ -44,10 +49,11 @@
 use crate::compress::CompressStats;
 use crate::engine::{AnyDictionary, DictFlavor, DynEngine, LineDecoder};
 use crate::error::ZsmilesError;
+use crate::parallel::WorkerPool;
 use crate::reader::{ArchiveReader, LineIter, DEFAULT_BATCH_BYTES};
 use crate::sink::FileSink;
-use crate::source::{ArchiveSource, FileSource};
-use crate::writer::{ArchiveWriter, WriterOptions};
+use crate::source::{ArchiveSource, AutoSource};
+use crate::writer::{ArchiveWriter, PackInfo, WriterOptions};
 use std::io::{Read, Write};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
@@ -305,14 +311,67 @@ pub struct ShardedPackInfo {
     pub lines: u64,
     /// Compression accounting across every shard.
     pub stats: CompressStats,
-    /// High-water mark of payload bytes buffered by any shard's writer.
+    /// High-water mark of buffered bytes: payload staged by any shard's
+    /// writer, or (cross-shard parallel mode) raw shard input held for
+    /// the jobs in flight.
     pub peak_buffered_bytes: usize,
+}
+
+/// Position of the first `b'\n'` in `hay` — SWAR, eight bytes per probe
+/// (the classic zero-byte trick on `word ^ NL`), so the shard writer's
+/// line splitting runs at memory speed instead of byte-at-a-time.
+#[inline]
+fn find_newline(hay: &[u8]) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    const NL: u64 = 0x0A0A_0A0A_0A0A_0A0A;
+    let mut i = 0usize;
+    while i + 8 <= hay.len() {
+        let word = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte probe"));
+        let x = word ^ NL;
+        let found = x.wrapping_sub(LO) & !x & HI;
+        if found != 0 {
+            return Some(i + (found.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&b| b == b'\n').map(|p| i + p)
+}
+
+/// A complete raw shard cut by the policy, waiting for a worker to
+/// compress it (cross-shard parallel mode only).
+#[derive(Debug)]
+struct PendingShard {
+    name: String,
+    raw: Vec<u8>,
+    lines: u64,
 }
 
 /// Streams a deck into a manifest plus N `.zsa` shard files, cutting by a
 /// [`ShardPolicy`]. Same input surface as
 /// [`crate::writer::ArchiveWriter`]: arbitrary byte slices, lines
-/// reassembled across calls, bounded memory throughout.
+/// reassembled across calls.
+///
+/// # Cross-shard parallelism
+///
+/// With [`WriterOptions::threads`] == 1 the writer streams each shard
+/// through one `ArchiveWriter` at a time in bounded memory. With
+/// `threads` = N > 1 it instead stages up to N complete raw shards and
+/// compresses them **concurrently** as jobs on the persistent
+/// [`WorkerPool`] — each job drives its own independent `ArchiveWriter`
+/// (single-threaded inside, since pool jobs must not re-enter the pool)
+/// over its own shard file. Shard cut points are decided by the policy on
+/// the raw lines, identically in both modes, and manifest rows are
+/// stitched in shard order — so the files and manifest are byte-identical
+/// to a serial pack.
+///
+/// Staged raw bytes respect the same 4 × [`WriterOptions::batch_bytes`]
+/// budget as the serial writer: once the staged shards plus the shard
+/// being cut would exceed it, the staged batch is flushed early — so
+/// parallelism degrades gracefully to pipelined packing rather than
+/// growing memory with the thread count. (A single shard whose raw bytes
+/// exceed the whole budget is still staged whole; the floor of this mode
+/// is one complete shard in memory.)
 #[derive(Debug)]
 pub struct ShardedWriter {
     manifest_path: PathBuf,
@@ -321,8 +380,22 @@ pub struct ShardedWriter {
     dict: AnyDictionary,
     policy: ShardPolicy,
     opts: WriterOptions,
+    /// Cross-shard jobs in flight at once; 1 = serial streaming mode.
+    workers: usize,
+    /// Serial mode: the shard being streamed.
     current: Option<ArchiveWriter<FileSink>>,
     cur_name: String,
+    /// Parallel mode: raw bytes of the shard being cut.
+    cur_raw: Vec<u8>,
+    /// Parallel mode: complete shards staged for the next flush.
+    pending: Vec<PendingShard>,
+    /// Parallel mode: total raw bytes across `pending`.
+    staged_bytes: usize,
+    /// Parallel mode: retired raw buffers, reused so steady-state packing
+    /// allocates no new shard-sized buffers.
+    spare_raw: Vec<Vec<u8>>,
+    /// Next shard file number (shards are named in cut order).
+    shard_no: usize,
     cur_lines: u64,
     cur_raw_bytes: u64,
     shards: Vec<ShardMeta>,
@@ -358,8 +431,14 @@ impl ShardedWriter {
             dict,
             policy,
             opts,
+            workers: opts.threads.max(1),
             current: None,
             cur_name: String::new(),
+            cur_raw: Vec::new(),
+            pending: Vec::new(),
+            staged_bytes: 0,
+            spare_raw: Vec::new(),
+            shard_no: 0,
             cur_lines: 0,
             cur_raw_bytes: 0,
             shards: Vec::new(),
@@ -367,17 +446,26 @@ impl ShardedWriter {
             stats: CompressStats::default(),
             peak_buffered: 0,
         };
-        w.open_shard()?;
+        if w.workers == 1 {
+            w.open_shard()?;
+        }
         Ok(w)
     }
 
-    /// Shards completed so far (the one being written is not counted).
+    /// Shards completed so far (shards being written or staged for a
+    /// parallel flush are not counted).
     pub fn shards_completed(&self) -> usize {
         self.shards.len()
     }
 
+    fn next_shard_name(&mut self) -> String {
+        let name = format!("{}.{:05}.zsa", self.stem, self.shard_no);
+        self.shard_no += 1;
+        name
+    }
+
     fn open_shard(&mut self) -> Result<(), ZsmilesError> {
-        self.cur_name = format!("{}.{:05}.zsa", self.stem, self.shards.len());
+        self.cur_name = self.next_shard_name();
         let sink = FileSink::create(&self.dir.join(&self.cur_name))?;
         self.current = Some(ArchiveWriter::with_options(
             sink,
@@ -389,7 +477,8 @@ impl ShardedWriter {
         Ok(())
     }
 
-    /// Finish the shard in progress and record its manifest row.
+    /// Finish the shard in progress and record its manifest row (serial
+    /// mode).
     fn seal_shard(&mut self) -> Result<(), ZsmilesError> {
         let w = self.current.take().expect("a shard is always open");
         let (_, info) = w.finish()?;
@@ -405,6 +494,88 @@ impl ShardedWriter {
         Ok(())
     }
 
+    /// The writer's raw-staging budget: the same 4 × batch-bytes bound
+    /// the serial streaming path promises.
+    fn stage_budget(&self) -> usize {
+        self.opts.batch_bytes.saturating_mul(4).max(1)
+    }
+
+    /// Move the raw shard being cut onto the staging queue, flushing a
+    /// full batch of jobs to the pool (parallel mode).
+    fn stage_shard(&mut self) -> Result<(), ZsmilesError> {
+        let name = self.next_shard_name();
+        let mut fresh = self.spare_raw.pop().unwrap_or_default();
+        fresh.clear();
+        let raw = std::mem::replace(&mut self.cur_raw, fresh);
+        self.staged_bytes += raw.len();
+        self.peak_buffered = self.peak_buffered.max(self.staged_bytes);
+        self.pending.push(PendingShard {
+            name,
+            raw,
+            lines: self.cur_lines,
+        });
+        self.cur_lines = 0;
+        self.cur_raw_bytes = 0;
+        if self.pending.len() >= self.workers || self.staged_bytes >= self.stage_budget() {
+            self.flush_pending()?;
+        }
+        Ok(())
+    }
+
+    /// Compress every staged shard concurrently on the global
+    /// [`WorkerPool`], then stitch manifest rows in shard order.
+    fn flush_pending(&mut self) -> Result<(), ZsmilesError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.pending);
+        self.staged_bytes = 0;
+        let mut slots: Vec<Option<Result<PackInfo, ZsmilesError>>> =
+            batch.iter().map(|_| None).collect();
+        let pool = WorkerPool::global();
+        if pool.workers() == 1 || batch.len() == 1 {
+            // A one-worker pool (or a one-shard batch) adds nothing but a
+            // cross-thread round trip — pack inline on the caller.
+            for (shard, slot) in batch.iter().zip(slots.iter_mut()) {
+                *slot = Some(pack_one_shard(
+                    &self.dir.join(&shard.name),
+                    self.dict.clone(),
+                    &shard.raw,
+                    self.opts.batch_bytes,
+                ));
+            }
+        } else {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = batch
+                .iter()
+                .zip(slots.iter_mut())
+                .map(|(shard, slot)| {
+                    let dict = self.dict.clone();
+                    let path = self.dir.join(&shard.name);
+                    let batch_bytes = self.opts.batch_bytes;
+                    let raw: &[u8] = &shard.raw;
+                    Box::new(move || {
+                        *slot = Some(pack_one_shard(&path, dict, raw, batch_bytes));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scoped_run(jobs);
+        }
+        for (shard, slot) in batch.iter().zip(slots) {
+            let info = slot.expect("every pool job writes its slot")?;
+            debug_assert_eq!(info.lines as u64, shard.lines, "staged lines all landed");
+            self.stats.merge(&info.stats);
+            self.peak_buffered = self.peak_buffered.max(info.peak_buffered_bytes);
+            self.shards.push(ShardMeta {
+                file: shard.name.clone(),
+                lines: info.lines as u64,
+                file_bytes: info.container_bytes,
+                crc32: info.crc32,
+            });
+        }
+        self.spare_raw.extend(batch.into_iter().map(|p| p.raw));
+        Ok(())
+    }
+
     /// Route one complete line (no newline) to the current shard, cutting
     /// first if the policy budget is full. Blank lines are skipped — they
     /// produce no archive line in any layout.
@@ -412,20 +583,86 @@ impl ShardedWriter {
         if line.is_empty() {
             return Ok(());
         }
-        if self.cur_lines > 0
+        let cut = self.cur_lines > 0
             && self
                 .policy
-                .would_exceed(self.cur_lines, self.cur_raw_bytes, line.len() as u64 + 1)
-        {
-            self.seal_shard()?;
-            self.open_shard()?;
+                .would_exceed(self.cur_lines, self.cur_raw_bytes, line.len() as u64 + 1);
+        if self.workers > 1 {
+            if cut {
+                self.stage_shard()?;
+            }
+            // Keep the memory contract while a new shard accumulates: if
+            // staged raw plus the shard being cut would leave the budget,
+            // compress the staged batch now instead of waiting for a full
+            // batch of `workers` shards.
+            if !self.pending.is_empty()
+                && self.staged_bytes + self.cur_raw.len() + line.len() + 1 > self.stage_budget()
+            {
+                self.flush_pending()?;
+            }
+            self.cur_raw.extend_from_slice(line);
+            self.cur_raw.push(b'\n');
+        } else {
+            if cut {
+                self.seal_shard()?;
+                self.open_shard()?;
+            }
+            self.current
+                .as_mut()
+                .expect("a shard is always open")
+                .write_line(line)?;
         }
-        self.current
-            .as_mut()
-            .expect("a shard is always open")
-            .write_line(line)?;
         self.cur_lines += 1;
         self.cur_raw_bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Parallel-mode bulk ingestion. `chunk` is whole lines — every line
+    /// newline-terminated. Runs the same per-line policy accounting and
+    /// cut/blank decisions as [`Self::feed`] (so the output is
+    /// byte-identical), but copies maximal spans of kept lines into the
+    /// raw shard with one `memcpy` each instead of two small appends per
+    /// line — the difference between the staged path losing to the serial
+    /// streaming path and beating it.
+    fn feed_bulk(&mut self, chunk: &[u8]) -> Result<(), ZsmilesError> {
+        let mut span_start = 0usize;
+        let mut pos = 0usize;
+        while pos < chunk.len() {
+            let line_len =
+                find_newline(&chunk[pos..]).expect("feed_bulk takes newline-terminated lines");
+            if line_len == 0 {
+                // Blank line: keep the span before it, drop the newline.
+                self.cur_raw.extend_from_slice(&chunk[span_start..pos]);
+                span_start = pos + 1;
+            } else {
+                if self.cur_lines > 0
+                    && self.policy.would_exceed(
+                        self.cur_lines,
+                        self.cur_raw_bytes,
+                        line_len as u64 + 1,
+                    )
+                {
+                    self.cur_raw.extend_from_slice(&chunk[span_start..pos]);
+                    span_start = pos;
+                    if !self.pending.is_empty()
+                        && self.staged_bytes + self.cur_raw.len() > self.stage_budget()
+                    {
+                        self.flush_pending()?;
+                    }
+                    self.stage_shard()?;
+                }
+                self.cur_lines += 1;
+                self.cur_raw_bytes += line_len as u64 + 1;
+            }
+            pos += line_len + 1;
+        }
+        self.cur_raw.extend_from_slice(&chunk[span_start..]);
+        // Memory contract, once per chunk: staged raw plus the shard
+        // being cut must not sit past the budget between `write` calls.
+        if !self.pending.is_empty() && self.staged_bytes + self.cur_raw.len() > self.stage_budget()
+        {
+            self.flush_pending()?;
+        }
         Ok(())
     }
 
@@ -434,7 +671,7 @@ impl ShardedWriter {
     pub fn write(&mut self, bytes: &[u8]) -> Result<(), ZsmilesError> {
         let mut rest = bytes;
         if !self.carry.is_empty() {
-            match rest.iter().position(|&b| b == b'\n') {
+            match find_newline(rest) {
                 Some(p) => {
                     self.carry.extend_from_slice(&rest[..p]);
                     let line = std::mem::take(&mut self.carry);
@@ -447,7 +684,13 @@ impl ShardedWriter {
                 }
             }
         }
-        while let Some(p) = rest.iter().position(|&b| b == b'\n') {
+        if self.workers > 1 {
+            let end = rest.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+            self.feed_bulk(&rest[..end])?;
+            self.carry.extend_from_slice(&rest[end..]);
+            return Ok(());
+        }
+        while let Some(p) = find_newline(rest) {
             self.feed(&rest[..p])?;
             rest = &rest[p + 1..];
         }
@@ -472,7 +715,14 @@ impl ShardedWriter {
         }
         // Always seal — an empty deck still yields one (empty) shard, so
         // the manifest has a dictionary to point at.
-        self.seal_shard()?;
+        if self.workers > 1 {
+            if self.cur_lines > 0 || self.shard_no == 0 {
+                self.stage_shard()?;
+            }
+            self.flush_pending()?;
+        } else {
+            self.seal_shard()?;
+        }
         let manifest = ShardManifest::new(self.dict.flavor(), self.shards);
         manifest.save(&self.manifest_path)?;
         Ok(ShardedPackInfo {
@@ -483,6 +733,32 @@ impl ShardedWriter {
             peak_buffered_bytes: self.peak_buffered,
         })
     }
+}
+
+/// Compress one staged raw shard into its own `.zsa` file. Runs as a
+/// [`WorkerPool`] job, so the inner writer is single-threaded — pool jobs
+/// must not call back into the pool (see the pool's deadlock contract);
+/// the parallelism here is *across* shards. `ArchiveWriter` output does
+/// not depend on its thread count, so the file is byte-identical to the
+/// serial path's.
+fn pack_one_shard(
+    path: &Path,
+    dict: AnyDictionary,
+    raw: &[u8],
+    batch_bytes: usize,
+) -> Result<PackInfo, ZsmilesError> {
+    let sink = FileSink::create(path)?;
+    let mut w = ArchiveWriter::with_options(
+        sink,
+        dict,
+        WriterOptions {
+            threads: 1,
+            batch_bytes,
+        },
+    )?;
+    w.write(raw)?;
+    let (_, info) = w.finish()?;
+    Ok(info)
 }
 
 // ---------------------------------------------------------------------------
@@ -496,7 +772,7 @@ impl ShardedWriter {
 #[derive(Debug)]
 pub struct ShardedReader {
     manifest: ShardManifest,
-    readers: Vec<ArchiveReader<FileSource>>,
+    readers: Vec<ArchiveReader<AutoSource>>,
     /// `starts[k]` = global line number of shard `k`'s first line.
     starts: Vec<u64>,
     total: usize,
@@ -518,7 +794,7 @@ impl ShardedReader {
         let mut at = 0u64;
         let mut first_dict: Option<Vec<u8>> = None;
         for meta in manifest.shards() {
-            let reader = ArchiveReader::open(&dir.join(&meta.file))?;
+            let reader = ArchiveReader::open_auto(&dir.join(&meta.file))?;
             if reader.flavor() != manifest.flavor() {
                 return Err(bad(format!(
                     "shard {}: flavor {} does not match manifest {}",
@@ -607,8 +883,23 @@ impl ShardedReader {
     }
 
     /// The per-shard readers, in manifest order.
-    pub fn shard_readers(&self) -> &[ArchiveReader<FileSource>] {
+    pub fn shard_readers(&self) -> &[ArchiveReader<AutoSource>] {
         &self.readers
+    }
+
+    /// Bytes of address space mapped across all shards (0 when the
+    /// platform fell back to cached file I/O).
+    pub fn bytes_mapped(&self) -> u64 {
+        self.readers.iter().map(|r| r.source().bytes_mapped()).sum()
+    }
+
+    /// Aggregate `(hits, misses)` of the shards' sources against the
+    /// shared block cache; `None` when every shard is mmap-backed.
+    pub fn cache_counters(&self) -> Option<(u64, u64)> {
+        self.readers
+            .iter()
+            .filter_map(|r| r.source().cache_counters())
+            .reduce(|(h, m), (h2, m2)| (h + h2, m + m2))
     }
 
     /// Compressed payload bytes across all shards (not resident).
@@ -746,7 +1037,7 @@ impl ShardedReader {
 pub struct ShardedLines<'r> {
     reader: &'r ShardedReader,
     shard: usize,
-    inner: Option<LineIter<'r, FileSource>>,
+    inner: Option<LineIter<'r, AutoSource>>,
     batch_bytes: usize,
 }
 
@@ -781,17 +1072,39 @@ impl Iterator for ShardedLines<'_> {
 /// works unchanged against both.
 #[derive(Debug)]
 pub enum DeckReader {
-    Single(Box<ArchiveReader<FileSource>>),
+    Single(Box<ArchiveReader<AutoSource>>),
     Sharded(Box<ShardedReader>),
 }
 
 impl DeckReader {
-    /// Open `path` as whichever layout it is.
+    /// Open `path` as whichever layout it is. Archive files are served
+    /// through [`AutoSource`]: a zero-syscall mmap where the platform has
+    /// one, shared-block-cache positioned I/O otherwise.
     pub fn open(path: &Path) -> Result<DeckReader, ZsmilesError> {
         if is_manifest(path)? {
             Ok(DeckReader::Sharded(Box::new(ShardedReader::open(path)?)))
         } else {
-            Ok(DeckReader::Single(Box::new(ArchiveReader::open(path)?)))
+            Ok(DeckReader::Single(Box::new(ArchiveReader::open_auto(
+                path,
+            )?)))
+        }
+    }
+
+    /// Bytes of address space mapped across the deck's files (0 when the
+    /// platform fell back to cached file I/O).
+    pub fn bytes_mapped(&self) -> u64 {
+        match self {
+            DeckReader::Single(r) => r.source().bytes_mapped(),
+            DeckReader::Sharded(r) => r.bytes_mapped(),
+        }
+    }
+
+    /// Aggregate `(hits, misses)` against the shared block cache;
+    /// `None` when every file is mmap-backed.
+    pub fn cache_counters(&self) -> Option<(u64, u64)> {
+        match self {
+            DeckReader::Single(r) => r.source().cache_counters(),
+            DeckReader::Sharded(r) => r.cache_counters(),
         }
     }
 
@@ -1130,6 +1443,73 @@ mod tests {
             }
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_cross_shard_pack_is_byte_identical_to_serial() {
+        let serial_dir = tmpdir("par_ref");
+        let serial = pack_sharded(&serial_dir, false, ShardPolicy::by_lines(17));
+        for threads in [3usize, 7] {
+            let dir = tmpdir(&format!("par_{threads}"));
+            let mut w = ShardedWriter::create(
+                &dir.join("deck.zsm"),
+                dict(false),
+                ShardPolicy::by_lines(17),
+                WriterOptions {
+                    threads,
+                    batch_bytes: 128,
+                },
+            )
+            .unwrap();
+            for chunk in deck_bytes().chunks(7) {
+                w.write(chunk).unwrap();
+            }
+            let info = w.finish().unwrap();
+            assert_eq!(info.lines, serial.lines);
+            assert_eq!(info.shards, serial.shards, "threads={threads}");
+            assert_eq!(
+                std::fs::read(dir.join("deck.zsm")).unwrap(),
+                std::fs::read(serial_dir.join("deck.zsm")).unwrap(),
+                "threads={threads}: manifests identical"
+            );
+            for meta in &info.shards {
+                assert_eq!(
+                    std::fs::read(dir.join(&meta.file)).unwrap(),
+                    std::fs::read(serial_dir.join(&meta.file)).unwrap(),
+                    "threads={threads}: shard {} identical",
+                    meta.file
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        // Note: `pack_sharded` uses threads=2, i.e. the parallel path; pin
+        // the true serial reference too.
+        let dir1 = tmpdir("par_t1");
+        let mut w = ShardedWriter::create(
+            &dir1.join("deck.zsm"),
+            dict(false),
+            ShardPolicy::by_lines(17),
+            WriterOptions {
+                threads: 1,
+                batch_bytes: 128,
+            },
+        )
+        .unwrap();
+        for chunk in deck_bytes().chunks(7) {
+            w.write(chunk).unwrap();
+        }
+        let info1 = w.finish().unwrap();
+        assert_eq!(info1.shards, serial.shards);
+        for meta in &info1.shards {
+            assert_eq!(
+                std::fs::read(dir1.join(&meta.file)).unwrap(),
+                std::fs::read(serial_dir.join(&meta.file)).unwrap(),
+                "serial streaming shard {} identical to parallel",
+                meta.file
+            );
+        }
+        std::fs::remove_dir_all(&dir1).ok();
+        std::fs::remove_dir_all(&serial_dir).ok();
     }
 
     #[test]

@@ -12,6 +12,17 @@
 //! * [`FileSource`] — a `.zsa` file on disk, read with positioned I/O
 //!   (`pread` on unix; a seek-guarded fallback elsewhere). No part of the
 //!   payload is resident beyond the ranges a caller asks for.
+//! * [`MmapSource`] — the same file mapped read-only into the address
+//!   space with direct `mmap(2)` bindings (no crates): `read_at` becomes
+//!   a bounds-checked memcpy with no syscall per fetch, and the kernel's
+//!   page cache is the only residency. Falls back to [`FileSource`]
+//!   behaviour on platforms without the bindings.
+//! * [`CachedSource`] — a thin per-source adapter over the process-wide
+//!   sharded LRU [`crate::cache::BlockCache`]: aligned blocks keyed
+//!   `(archive_id, block)`, shared safely by concurrent readers.
+//! * [`AutoSource`] — the policy in one place: mmap when the platform
+//!   has it, cached positioned I/O otherwise. [`crate::shard::DeckReader`]
+//!   opens archives through it by default.
 //! * [`InMemorySource`] — an owned byte buffer, for archives already in
 //!   memory. `&[u8]` implements the trait too, for zero-copy views.
 //! * [`CountingSource`] — a transparent wrapper that counts read calls
@@ -19,10 +30,13 @@
 //!   touches only metadata plus one line's range, and how the CLI reports
 //!   bytes-read in `inspect --archive` verbose mode.
 
+use crate::cache::BlockCache;
 use crate::error::ZsmilesError;
 use std::fs::File;
+use std::mem::ManuallyDrop;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A random-access byte container an [`crate::reader::ArchiveReader`] can
 /// serve line fetches from. Object-safe; all access is through `&self` so
@@ -174,66 +188,297 @@ impl ArchiveSource for FileSource {
     }
 }
 
-/// Default readahead block for [`CachedSource`] (256 KiB — a few thousand
-/// compressed lines per transfer).
+/// Raw `mmap(2)`/`munmap(2)` bindings. Declared directly (the workspace
+/// is hermetic — no `libc` crate); the constants below are identical on
+/// every 64-bit unix this crate targets (Linux, macOS, the BSDs).
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod mmap_sys {
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_SHARED: c_int = 1;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A `.zsa` file mapped read-only into the address space.
+///
+/// `read_at` becomes a bounds-checked `memcpy` from the mapping — no
+/// syscall per fetch, no user-space residency beyond what the kernel's
+/// page cache already keeps — which is what turns `get(line)` from a
+/// `pread` round trip into a few hundred nanoseconds. The mapping is
+/// `PROT_READ`/`MAP_SHARED` over the whole file and is unmapped on drop.
+///
+/// **Immutability contract:** `.zsa` archives are finalized files; the
+/// reader stack never maps a file that is still being written. Truncating
+/// a mapped archive out from under a reader is undefined at the OS level
+/// (`SIGBUS` on fault) exactly as it is for every mmap consumer — the
+/// same operational rule as for `pread` readers, enforced one level
+/// harder.
+///
+/// On platforms without the bindings (non-unix, or 32-bit targets where
+/// the raw `off_t` ABI is not uniform) `MmapSource` transparently falls
+/// back to positioned file I/O; [`MmapSource::is_mapped`] reports which
+/// mode is live so callers can surface it.
+#[cfg(all(unix, target_pointer_width = "64"))]
+#[derive(Debug)]
+pub struct MmapSource {
+    /// Base of the mapping; null for empty files (nothing to map).
+    ptr: *mut std::ffi::c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only and private to this value for writes
+// (there are none); concurrent `read_at` calls only ever read the
+// immutable mapped bytes.
+#[cfg(all(unix, target_pointer_width = "64"))]
+unsafe impl Send for MmapSource {}
+#[cfg(all(unix, target_pointer_width = "64"))]
+unsafe impl Sync for MmapSource {}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+impl MmapSource {
+    pub fn open(path: &Path) -> Result<MmapSource, ZsmilesError> {
+        MmapSource::from_file(&File::open(path)?)
+    }
+
+    /// Map an already-open file. The file handle is not retained — the
+    /// mapping outlives it by POSIX semantics.
+    pub fn from_file(file: &File) -> Result<MmapSource, ZsmilesError> {
+        use std::os::unix::io::AsRawFd;
+        let len64 = file.metadata()?.len();
+        let len = usize::try_from(len64)
+            .map_err(|_| ZsmilesError::Io(format!("file too large to map: {len64} bytes")))?;
+        if len == 0 {
+            return Ok(MmapSource {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: null addr + PROT_READ + MAP_SHARED over a real fd is
+        // the plain read-only whole-file mapping; failure is reported as
+        // MAP_FAILED (-1) with errno set, checked below.
+        let ptr = unsafe {
+            mmap_sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                mmap_sys::PROT_READ,
+                mmap_sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr.is_null() || ptr as usize == usize::MAX {
+            return Err(ZsmilesError::Io(format!(
+                "mmap failed: {}",
+                std::io::Error::last_os_error()
+            )));
+        }
+        Ok(MmapSource { ptr, len })
+    }
+
+    /// Whether reads are actually served from a mapping (always true on
+    /// this platform; the fallback build reports false).
+    pub fn is_mapped(&self) -> bool {
+        true
+    }
+
+    /// Bytes of address space the mapping covers.
+    pub fn bytes_mapped(&self) -> u64 {
+        self.len as u64
+    }
+
+    /// Zero-copy view of the whole archive image.
+    pub fn as_bytes(&self) -> &[u8] {
+        if self.ptr.is_null() {
+            &[]
+        } else {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until `munmap` in `Drop`, and never written.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+impl Drop for MmapSource {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() {
+            // SAFETY: `ptr`/`len` are the exact mapping from `from_file`;
+            // unmapping a valid mapping cannot fail in a way we could
+            // recover from in a destructor, so the result is ignored.
+            unsafe {
+                mmap_sys::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+impl ArchiveSource for MmapSource {
+    fn len(&self) -> u64 {
+        self.len as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), ZsmilesError> {
+        check_bounds(self.len as u64, offset, buf.len())?;
+        let at = offset as usize;
+        buf.copy_from_slice(&self.as_bytes()[at..at + buf.len()]);
+        Ok(())
+    }
+}
+
+/// Fallback `MmapSource` for platforms without the raw bindings:
+/// positioned file I/O with the same API, so callers compile unchanged.
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+#[derive(Debug)]
+pub struct MmapSource {
+    inner: FileSource,
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+impl MmapSource {
+    pub fn open(path: &Path) -> Result<MmapSource, ZsmilesError> {
+        Ok(MmapSource {
+            inner: FileSource::open(path)?,
+        })
+    }
+
+    pub fn from_file(file: &File) -> Result<MmapSource, ZsmilesError> {
+        Ok(MmapSource {
+            inner: FileSource::from_file(file.try_clone()?)?,
+        })
+    }
+
+    pub fn is_mapped(&self) -> bool {
+        false
+    }
+
+    pub fn bytes_mapped(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+impl ArchiveSource for MmapSource {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), ZsmilesError> {
+        self.inner.read_at(offset, buf)
+    }
+}
+
+/// Default aligned-block size for [`CachedSource`] (256 KiB — a few
+/// thousand compressed lines per transfer).
 pub const DEFAULT_CACHE_BLOCK: usize = 256 << 10;
 
-/// A single-block readahead cache over any source.
+/// A thin per-source adapter over the shared sharded LRU
+/// [`BlockCache`].
 ///
 /// Random-access loops over a `.zsa` — a campaign fetching a run of hits,
 /// the CLI printing `--count` consecutive lines — issue many small
-/// `read_at`s that land near each other. `CachedSource` turns them into
-/// one block-sized transfer: a miss reads `block` bytes starting at the
-/// requested offset (forward readahead) and keeps them; subsequent reads
-/// inside the cached block are served from memory. Requests at or above
+/// `read_at`s that land near each other. `CachedSource` maps them onto
+/// aligned blocks in a [`BlockCache`]: a miss loads one whole block from
+/// the inner source; neighbouring reads then hit resident bytes. By
+/// default every `CachedSource` in the process shares
+/// [`BlockCache::global`] — concurrent readers over one archive (or
+/// many) populate and reuse a single pool, each under its own
+/// `archive_id` so blocks never alias across files. Requests at or above
 /// the block size bypass the cache entirely, so batched iteration does
 /// not thrash it.
 ///
-/// Hit/miss counters are atomic and the block sits behind a mutex, so a
-/// shared cached source stays usable from concurrent readers (they
-/// serialize on the block — this is a readahead for loop-shaped access,
-/// not a shared page cache; that is the ROADMAP's mmap-backed source).
+/// The per-source hit/miss counters report this source's traffic only;
+/// [`BlockCache::stats`] aggregates the pool. Dropping a `CachedSource`
+/// forgets its blocks, so short-lived sources do not pin budget.
 #[derive(Debug)]
 pub struct CachedSource<S> {
-    inner: S,
-    block_size: usize,
-    /// `(offset, bytes)` of the resident block, if any.
-    block: std::sync::Mutex<Option<(u64, Vec<u8>)>>,
+    inner: ManuallyDrop<S>,
+    cache: Arc<BlockCache>,
+    archive_id: u64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl<S: ArchiveSource> CachedSource<S> {
+    /// Adapter over the process-global [`BlockCache::global`] pool.
     pub fn new(inner: S) -> Self {
-        CachedSource::with_block_size(inner, DEFAULT_CACHE_BLOCK)
+        CachedSource::with_cache(inner, Arc::clone(BlockCache::global()))
     }
 
-    pub fn with_block_size(inner: S, block_size: usize) -> Self {
+    /// Adapter over a specific (possibly private) cache.
+    pub fn with_cache(inner: S, cache: Arc<BlockCache>) -> Self {
+        let archive_id = cache.register_archive();
         CachedSource {
-            inner,
-            block_size: block_size.max(1),
-            block: std::sync::Mutex::new(None),
+            inner: ManuallyDrop::new(inner),
+            cache,
+            archive_id,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// Reads served from the resident block.
+    /// Adapter over a fresh private cache with the given block size (a
+    /// few dozen blocks of budget) — for tests and tools that want
+    /// deterministic residency instead of the shared pool.
+    pub fn with_block_size(inner: S, block_size: usize) -> Self {
+        let block_size = block_size.max(1);
+        CachedSource::with_cache(
+            inner,
+            Arc::new(BlockCache::new(
+                block_size,
+                block_size.saturating_mul(4 * crate::cache::SHARD_COUNT),
+            )),
+        )
+    }
+
+    /// Reads (per covering block) served from resident bytes.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Reads that went to the inner source (block fills and bypasses).
+    /// Reads (per covering block) that loaded from the inner source,
+    /// plus block-sized bypasses.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The cache this source populates.
+    pub fn cache(&self) -> &Arc<BlockCache> {
+        &self.cache
     }
 
     pub fn inner(&self) -> &S {
         &self.inner
     }
 
-    pub fn into_inner(self) -> S {
-        self.inner
+    pub fn into_inner(mut self) -> S {
+        self.cache.forget_archive(self.archive_id);
+        // SAFETY: `inner` is taken exactly once; `self` is forgotten
+        // immediately after so `Drop` never sees the hollowed-out value.
+        let inner = unsafe { ManuallyDrop::take(&mut self.inner) };
+        std::mem::forget(self);
+        inner
+    }
+}
+
+impl<S> Drop for CachedSource<S> {
+    fn drop(&mut self) {
+        self.cache.forget_archive(self.archive_id);
+        // SAFETY: `Drop` runs at most once, and `into_inner` forgets
+        // `self` before this could run a second time on a taken value.
+        unsafe { ManuallyDrop::drop(&mut self.inner) }
     }
 }
 
@@ -243,28 +488,116 @@ impl<S: ArchiveSource> ArchiveSource for CachedSource<S> {
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), ZsmilesError> {
-        check_bounds(self.inner.len(), offset, buf.len())?;
-        if buf.len() >= self.block_size {
+        let available = self.inner.len();
+        check_bounds(available, offset, buf.len())?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let bs = self.cache.block_size() as u64;
+        if buf.len() as u64 >= bs {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return self.inner.read_at(offset, buf);
         }
-        let mut block = self.block.lock().expect("cache lock poisoned");
-        if let Some((start, bytes)) = block.as_ref() {
-            if offset >= *start && offset + buf.len() as u64 <= *start + bytes.len() as u64 {
-                let at = (offset - *start) as usize;
-                buf.copy_from_slice(&bytes[at..at + buf.len()]);
+        let first = offset / bs;
+        let last = (offset + buf.len() as u64 - 1) / bs;
+        let mut filled = 0usize;
+        for block in first..=last {
+            let block_start = block * bs;
+            let block_len = bs.min(available - block_start) as usize;
+            let (bytes, hit) = self.cache.get_or_load(self.archive_id, block, || {
+                self.inner.read_range(block_start, block_len)
+            })?;
+            if hit {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            let at = (offset + filled as u64 - block_start) as usize;
+            let take = (buf.len() - filled).min(bytes.len() - at);
+            buf[filled..filled + take].copy_from_slice(&bytes[at..at + take]);
+            filled += take;
+        }
+        debug_assert_eq!(filled, buf.len(), "covering blocks fill the request");
+        Ok(())
+    }
+}
+
+/// The default way to open an archive file for reading: mmap where the
+/// platform supports it, shared-cache positioned I/O everywhere else
+/// (including filesystems where `mmap` itself fails at run time).
+///
+/// [`crate::shard::DeckReader::open`] and
+/// [`crate::reader::ArchiveReader::open_auto`] build on this; the CLI
+/// surfaces which mode is live via [`AutoSource::bytes_mapped`] and
+/// [`AutoSource::cache_counters`] in `--verbose` reports.
+#[derive(Debug)]
+pub enum AutoSource {
+    /// Zero-syscall reads from a live mapping.
+    Mmap(MmapSource),
+    /// Positioned I/O through the shared block cache.
+    Cached(CachedSource<FileSource>),
+}
+
+impl AutoSource {
+    pub fn open(path: &Path) -> Result<AutoSource, ZsmilesError> {
+        if let Ok(m) = MmapSource::open(path) {
+            if m.is_mapped() {
+                return Ok(AutoSource::Mmap(m));
             }
         }
-        // Miss: fill one block starting at the requested offset (clamped
-        // to EOF; bounds were checked, so it always covers the request).
-        let fill = (self.inner.len() - offset).min(self.block_size as u64) as usize;
-        let bytes = self.inner.read_range(offset, fill)?;
-        buf.copy_from_slice(&bytes[..buf.len()]);
-        *block = Some((offset, bytes));
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        // mmap unavailable (platform or filesystem): cached file I/O.
+        Ok(AutoSource::Cached(CachedSource::new(FileSource::open(
+            path,
+        )?)))
+    }
+
+    /// Force the cached-file path (benchmarks and tests that want to
+    /// exercise the block cache on a platform where mmap would win).
+    pub fn open_cached(path: &Path) -> Result<AutoSource, ZsmilesError> {
+        Ok(AutoSource::Cached(CachedSource::new(FileSource::open(
+            path,
+        )?)))
+    }
+
+    /// `"mmap"` or `"cached-file"` — for human-readable reports.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            AutoSource::Mmap(_) => "mmap",
+            AutoSource::Cached(_) => "cached-file",
+        }
+    }
+
+    /// Bytes of address space mapped (0 for the cached-file mode).
+    pub fn bytes_mapped(&self) -> u64 {
+        match self {
+            AutoSource::Mmap(m) => m.bytes_mapped(),
+            AutoSource::Cached(_) => 0,
+        }
+    }
+
+    /// This source's `(hits, misses)` against the shared block cache
+    /// (`None` in mmap mode — there is no cache in the path).
+    pub fn cache_counters(&self) -> Option<(u64, u64)> {
+        match self {
+            AutoSource::Mmap(_) => None,
+            AutoSource::Cached(c) => Some((c.hits(), c.misses())),
+        }
+    }
+}
+
+impl ArchiveSource for AutoSource {
+    fn len(&self) -> u64 {
+        match self {
+            AutoSource::Mmap(m) => m.len(),
+            AutoSource::Cached(c) => c.len(),
+        }
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), ZsmilesError> {
+        match self {
+            AutoSource::Mmap(m) => m.read_at(offset, buf),
+            AutoSource::Cached(c) => c.read_at(offset, buf),
+        }
     }
 }
 
@@ -374,34 +707,121 @@ mod tests {
     }
 
     #[test]
-    fn cached_source_serves_repeat_and_readahead_reads_from_memory() {
+    fn mmap_source_matches_file_source_and_error_parity() {
+        let path = std::env::temp_dir().join("zsmiles_test_mmap.bin");
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096 + 17).collect();
+        std::fs::write(&path, &data).unwrap();
+        let mapped = MmapSource::open(&path).unwrap();
+        let file = FileSource::open(&path).unwrap();
+        assert_eq!(mapped.len(), file.len());
+        for (offset, len) in [(0u64, 1usize), (17, 100), (4095, 2), (4096, 17), (4113, 0)] {
+            assert_eq!(
+                mapped.read_range(offset, len).unwrap(),
+                file.read_range(offset, len).unwrap(),
+                "offset={offset} len={len}"
+            );
+        }
+        // Past-EOF requests fail with the same error shape.
+        for (offset, len) in [(4113u64, 1usize), (u64::MAX, 1), (4000, 1000)] {
+            assert!(matches!(
+                mapped.read_range(offset, len).unwrap_err(),
+                ZsmilesError::SourceOutOfBounds { .. }
+            ));
+        }
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            assert!(mapped.is_mapped());
+            assert_eq!(mapped.bytes_mapped(), data.len() as u64);
+            assert_eq!(mapped.as_bytes(), &data[..]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_source_handles_empty_files() {
+        let path = std::env::temp_dir().join("zsmiles_test_mmap_empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let mapped = MmapSource::open(&path).unwrap();
+        assert_eq!(mapped.len(), 0);
+        assert!(mapped.is_empty());
+        assert_eq!(mapped.read_range(0, 0).unwrap(), b"");
+        assert!(mapped.read_range(0, 1).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cached_source_serves_aligned_blocks_from_memory() {
         let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
         let src = CachedSource::with_block_size(
             CountingSource::new(InMemorySource::new(data.clone())),
             64,
         );
-        // First read fills a 64-byte block at offset 100.
+        // First read loads the covering 64-byte block (offset 64..128).
         assert_eq!(src.read_range(100, 10).unwrap(), &data[100..110]);
         assert_eq!((src.hits(), src.misses()), (0, 1));
         assert_eq!(src.inner().reads(), 1);
-        // Forward readahead: the next 50 bytes are already resident.
+        // A read spanning blocks 1..=2 hits block 1, loads block 2.
         assert_eq!(src.read_range(110, 50).unwrap(), &data[110..160]);
+        assert_eq!((src.hits(), src.misses()), (1, 2));
+        // Fully resident rereads transfer nothing.
         assert_eq!(src.read_range(100, 10).unwrap(), &data[100..110]);
-        assert_eq!((src.hits(), src.misses()), (2, 1));
-        assert_eq!(src.inner().reads(), 1, "no further inner transfer");
-        // Outside the block: one new fill.
+        assert_eq!(src.read_range(130, 20).unwrap(), &data[130..150]);
+        assert_eq!((src.hits(), src.misses()), (3, 2));
+        assert_eq!(src.inner().reads(), 2, "no further inner transfer");
+        // A distant block: one new fill.
         assert_eq!(src.read_range(500, 4).unwrap(), &data[500..504]);
-        assert_eq!((src.hits(), src.misses()), (2, 2));
+        assert_eq!((src.hits(), src.misses()), (3, 3));
         // Block-sized and larger requests bypass the cache.
         assert_eq!(src.read_range(0, 64).unwrap(), &data[..64]);
-        assert_eq!((src.hits(), src.misses()), (2, 3));
-        // Near EOF the fill clamps instead of erroring.
+        assert_eq!((src.hits(), src.misses()), (3, 4));
+        // The trailing block is clamped to EOF instead of erroring.
         assert_eq!(src.read_range(990, 10).unwrap(), &data[990..]);
         // Out-of-bounds requests still fail identically.
         assert!(matches!(
             src.read_range(995, 10).unwrap_err(),
             ZsmilesError::SourceOutOfBounds { .. }
         ));
+    }
+
+    #[test]
+    fn cached_sources_share_one_pool_without_aliasing() {
+        let cache = Arc::new(BlockCache::new(32, 1 << 16));
+        let a = CachedSource::with_cache(InMemorySource::new(vec![b'a'; 256]), Arc::clone(&cache));
+        let b = CachedSource::with_cache(InMemorySource::new(vec![b'b'; 256]), Arc::clone(&cache));
+        assert_eq!(a.read_range(0, 8).unwrap(), vec![b'a'; 8]);
+        assert_eq!(b.read_range(0, 8).unwrap(), vec![b'b'; 8]);
+        assert_eq!(cache.stats().resident_blocks, 2, "same block id, two keys");
+        // Dropping a source releases its residency in the shared pool.
+        drop(a);
+        assert_eq!(cache.stats().resident_blocks, 1);
+        assert_eq!(b.read_range(0, 8).unwrap(), vec![b'b'; 8]);
+        assert_eq!((b.hits(), b.misses()), (1, 1));
+        let inner = b.into_inner();
+        assert_eq!(cache.stats().resident_blocks, 0);
+        assert_eq!(inner.bytes().len(), 256);
+    }
+
+    #[test]
+    fn auto_source_opens_and_reports_mode() {
+        let path = std::env::temp_dir().join("zsmiles_test_auto.bin");
+        std::fs::write(&path, b"0123456789").unwrap();
+        let auto = AutoSource::open(&path).unwrap();
+        assert_eq!(auto.len(), 10);
+        assert_eq!(auto.read_range(3, 4).unwrap(), b"3456");
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            assert_eq!(auto.mode(), "mmap");
+            assert_eq!(auto.bytes_mapped(), 10);
+            assert!(auto.cache_counters().is_none());
+        }
+        let cached = AutoSource::open_cached(&path).unwrap();
+        assert_eq!(cached.mode(), "cached-file");
+        assert_eq!(cached.bytes_mapped(), 0);
+        assert_eq!(cached.read_range(3, 4).unwrap(), b"3456");
+        assert_eq!(cached.read_range(5, 4).unwrap(), b"5678");
+        let (hits, misses) = cached.cache_counters().unwrap();
+        assert_eq!((hits, misses), (1, 1));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

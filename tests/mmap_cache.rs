@@ -1,0 +1,197 @@
+//! The saturated read path, end to end: `MmapSource` must be
+//! byte-identical (and error-identical) to `FileSource` for both
+//! dictionary flavours, and the shared sharded `BlockCache` must serve
+//! concurrent readers the exact same bytes it was loaded with — the
+//! acceptance properties of the zero-copy / shared-cache redesign.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::source::{ArchiveSource, CachedSource, FileSource, MmapSource};
+use zsmiles_core::{Archive, ArchiveReader, BlockCache, DictBuilder, WideDictBuilder};
+
+/// Train either dictionary flavour on the deck (preprocess off, so round
+/// trips are byte-exact).
+fn dict_for(deck: &molgen::Dataset, wide_size: usize) -> AnyDictionary {
+    let base = DictBuilder {
+        min_count: 2,
+        preprocess: false,
+        ..Default::default()
+    };
+    if wide_size == 0 {
+        AnyDictionary::Base(Box::new(base.train(deck.iter()).unwrap()))
+    } else {
+        AnyDictionary::Wide(Box::new(
+            WideDictBuilder { base, wide_size }
+                .train(deck.iter())
+                .unwrap(),
+        ))
+    }
+}
+
+fn tmpfile(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("zsmiles_it_mmap_{tag}_{}.zsa", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A reader over `MmapSource` returns byte-identical lines, ranges
+    /// and batched iterations to a reader over `FileSource`, for both
+    /// engine flavours and arbitrary generated decks.
+    #[test]
+    fn mmap_reader_matches_file_reader(
+        seed in 0u64..10_000,
+        lines in 1usize..60,
+        wide_size in prop_oneof![Just(0usize), Just(48usize)],
+        probe in 0usize..1_000,
+    ) {
+        let deck = molgen::Dataset::generate_mixed(lines, seed);
+        let archive = Archive::pack(dict_for(&deck, wide_size), deck.as_bytes(), 2);
+        let path = tmpfile(&format!("prop_{seed}_{lines}_{wide_size}"));
+        archive.save(&path).unwrap();
+
+        let mapped = ArchiveReader::from_source(MmapSource::open(&path).unwrap()).unwrap();
+        let file = ArchiveReader::open(&path).unwrap();
+
+        prop_assert_eq!(mapped.len(), file.len());
+        prop_assert_eq!(mapped.flavor(), file.flavor());
+        mapped.verify().unwrap();
+
+        let i = probe % deck.len();
+        prop_assert_eq!(mapped.get(i).unwrap(), file.get(i).unwrap());
+        prop_assert_eq!(
+            mapped.compressed_line(i).unwrap(),
+            file.compressed_line(i).unwrap()
+        );
+        let hi = (i + 7).min(deck.len());
+        prop_assert_eq!(
+            mapped.get_range(i..hi).unwrap(),
+            file.get_range(i..hi).unwrap()
+        );
+        let streamed: Result<Vec<Vec<u8>>, _> = mapped.lines_batched(97).collect();
+        let streamed = streamed.unwrap();
+        prop_assert_eq!(streamed.len(), deck.len());
+        prop_assert_eq!(streamed[i].as_slice(), deck.line(i));
+
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Error parity: every failure `FileSource` reports, `MmapSource` reports
+/// too — truncated footers never parse through either source, and reads
+/// past EOF are the same typed error, for both dictionary flavours.
+#[test]
+fn mmap_and_file_sources_agree_on_error_cases() {
+    let deck = molgen::Dataset::generate_mixed(20, 5);
+    for wide_size in [0usize, 32] {
+        let archive = Archive::pack(dict_for(&deck, wide_size), deck.as_bytes(), 1);
+        let mut blob = Vec::new();
+        archive.write_to(&mut blob).unwrap();
+
+        // Truncated footer: every truncation of the trailer region fails
+        // identically through the mapped and the file-backed source.
+        for cut in 1..24 {
+            let path = tmpfile(&format!("trunc_{wide_size}_{cut}"));
+            std::fs::write(&path, &blob[..blob.len() - cut]).unwrap();
+            let via_mmap = ArchiveReader::from_source(MmapSource::open(&path).unwrap());
+            let via_file = ArchiveReader::open(&path);
+            assert!(via_mmap.is_err(), "wide={wide_size} cut={cut} (mmap)");
+            assert!(via_file.is_err(), "wide={wide_size} cut={cut} (file)");
+            std::fs::remove_file(&path).ok();
+        }
+
+        // Read past EOF is the same typed error from both sources.
+        let path = tmpfile(&format!("eof_{wide_size}"));
+        std::fs::write(&path, &blob).unwrap();
+        let mapped = MmapSource::open(&path).unwrap();
+        let file = FileSource::open(&path).unwrap();
+        assert_eq!(mapped.len(), file.len());
+        let len = mapped.len();
+        for (offset, want) in [(len, 1usize), (len - 3, 8), (len + 10, 4)] {
+            let me = mapped.read_range(offset, want).unwrap_err();
+            let fe = file.read_range(offset, want).unwrap_err();
+            assert!(
+                matches!(me, zsmiles_core::ZsmilesError::SourceOutOfBounds { .. }),
+                "mmap offset={offset} want={want}: {me:?}"
+            );
+            assert!(
+                matches!(fe, zsmiles_core::ZsmilesError::SourceOutOfBounds { .. }),
+                "file offset={offset} want={want}: {fe:?}"
+            );
+            assert_eq!(
+                me.to_string(),
+                fe.to_string(),
+                "offset={offset} want={want}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The shared-cache stress test: eight threads hammer one undersized
+/// `BlockCache` through cached readers — every fetched line must be
+/// byte-identical to the deck under heavy eviction and cross-thread
+/// block sharing.
+#[test]
+fn eight_threads_hammer_one_shared_cache_with_byte_identity() {
+    let deck = molgen::Dataset::generate_mixed(400, 2024);
+    let archive = Archive::pack(dict_for(&deck, 32), deck.as_bytes(), 2);
+    let path = tmpfile("stress");
+    archive.save(&path).unwrap();
+
+    // Tiny blocks and a capacity far below the archive size, so the
+    // threads continuously evict each other's blocks.
+    let cache = Arc::new(BlockCache::new(512, 4 << 10));
+    let reader = ArchiveReader::from_source(CachedSource::with_cache(
+        FileSource::open(&path).unwrap(),
+        Arc::clone(&cache),
+    ))
+    .unwrap();
+    let lines = reader.len();
+    assert_eq!(lines, deck.len());
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 3;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let reader = &reader;
+            let deck = &deck;
+            scope.spawn(move || {
+                // Each thread walks the deck at a different stride so the
+                // access patterns interleave instead of marching in step.
+                let stride = 2 * t + 1;
+                for round in 0..ROUNDS {
+                    for k in 0..lines {
+                        let i = (k * stride + round + t) % lines;
+                        let got = reader.get(i).unwrap();
+                        assert_eq!(got, deck.line(i), "thread {t} round {round} line {i}");
+                    }
+                }
+            });
+        }
+    });
+
+    // Every fetch went through the shared cache, rereads hit, and the
+    // undersized pool really did evict.
+    let (hits, misses) = (reader.source().hits(), reader.source().misses());
+    assert!(hits > 0, "rereads must hit the shared cache");
+    assert!(misses > 0, "cold blocks must miss");
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits, hits,
+        "every cache hit flowed through this source"
+    );
+    assert!(
+        stats.misses <= misses,
+        "per-source misses additionally count block-sized bypasses"
+    );
+    assert!(stats.evictions > 0, "the undersized pool must evict");
+    assert!(
+        stats.resident_bytes <= 4 << 10,
+        "residency stays within capacity"
+    );
+
+    std::fs::remove_file(&path).ok();
+}

@@ -273,3 +273,86 @@ fn writer_packs_100k_lines_in_bounded_memory_and_shards_match_single_file() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Every file a sharded pack produces, as `(name, bytes)` in name order.
+fn dir_snapshot(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The acceptance property of cross-shard parallel packing: `--threads N`
+/// must be invisible in the output. Serial (threads=1) and parallel
+/// (threads=3, threads=7) packs of the same deck — with interior blank
+/// lines and both dictionary flavours — produce byte-identical manifests
+/// and byte-identical shard files.
+#[test]
+fn parallel_sharded_pack_is_byte_identical_to_serial_across_thread_counts() {
+    let deck = molgen::Dataset::generate_mixed(61, 314);
+    let input = with_blank_lines(deck.as_bytes(), 4);
+
+    for wide_size in [0usize, 32] {
+        let dict = dict_for(&deck, wide_size);
+        let mut snapshots = Vec::new();
+        for threads in [1usize, 3, 7] {
+            let dir = tmpdir(&format!("par_{wide_size}_{threads}"));
+            let mut w = ShardedWriter::create(
+                &dir.join("deck.zsm"),
+                dict.clone(),
+                ShardPolicy::by_lines(17),
+                WriterOptions {
+                    threads,
+                    batch_bytes: 96,
+                },
+            )
+            .unwrap();
+            // Awkward chunk granularity: writes split lines mid-byte.
+            for chunk in input.chunks(13) {
+                w.write(chunk).unwrap();
+            }
+            let info = w.finish().unwrap();
+            assert_eq!(info.lines as usize, deck.len(), "threads={threads}");
+
+            // The pack still reads back line-for-line before comparison.
+            let reader = ShardedReader::open(&dir.join("deck.zsm")).unwrap();
+            assert_eq!(reader.len(), deck.len());
+            for i in [0usize, 16, 17, deck.len() - 1] {
+                assert_eq!(
+                    reader.get(i).unwrap(),
+                    deck.line(i),
+                    "wide={wide_size} threads={threads} line {i}"
+                );
+            }
+            drop(reader);
+
+            snapshots.push((threads, dir_snapshot(&dir)));
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        let (_, serial) = &snapshots[0];
+        assert!(serial.len() > 2, "the deck must cut into multiple shards");
+        for (threads, parallel) in &snapshots[1..] {
+            assert_eq!(
+                serial.len(),
+                parallel.len(),
+                "wide={wide_size} threads={threads}: same file set"
+            );
+            for ((sn, sb), (pn, pb)) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(sn, pn, "wide={wide_size} threads={threads}: file names");
+                assert_eq!(
+                    sb, pb,
+                    "wide={wide_size} threads={threads}: {sn} bytes differ"
+                );
+            }
+        }
+    }
+}
