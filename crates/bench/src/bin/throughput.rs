@@ -10,7 +10,10 @@
 //! pool, byte-identical to the serial pack, against real files), and
 //! random `get()` against a real on-disk `.zsa` through all three read
 //! paths: plain file I/O, zero-copy `MmapSource`, and the shared sharded
-//! `BlockCache` — and writes the numbers (MB/s and ns/op) as JSON. It also records the *dictionary fitting* story: the
+//! `BlockCache` — plus the *served* read path: a live `zsmiles-serve`
+//! process on a loopback TCP socket, random gets from 1 / 8 / 64
+//! concurrent clients with throughput and p50/p99 tail latency per
+//! level — and writes the numbers (MB/s and ns/op) as JSON. It also records the *dictionary fitting* story: the
 //! compression ratio of the shipped `default.dct` on this deck next to a
 //! dictionary trained on the deck itself through `train::BaseBuilder`
 //! (cost-guided selection on a seeded reservoir sample), asserting the
@@ -19,7 +22,7 @@
 //! ```text
 //! cargo run --release -p bench --bin throughput -- \
 //!     [--lines 50000] [--seed 12648430] [--threads N] [--reps 3] \
-//!     [--gets 20000] [--out BENCH_6.json]
+//!     [--gets 20000] [--out BENCH_7.json]
 //! ```
 //!
 //! Every measurement is best-of-`reps` wall time (per-rep byte counts are
@@ -34,6 +37,7 @@ use molgen::Dataset;
 use std::sync::Arc;
 use std::time::Instant;
 use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::serve::{QueryClient, ServeOptions, Server};
 use zsmiles_core::train::{BaseBuilder, DictBuilder as _, TrainCorpus};
 use zsmiles_core::{
     compress_parallel_dyn, decompress_parallel_dyn, ArchiveReader, ArchiveWriter, BlockCache,
@@ -61,7 +65,7 @@ fn parse_opts() -> Opts {
             .unwrap_or(4),
         reps: 3,
         gets: 20_000,
-        out: "BENCH_6.json".to_string(),
+        out: "BENCH_7.json".to_string(),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -424,6 +428,97 @@ fn main() {
     );
     let cache_hit_rate = cache.stats().hit_rate().unwrap_or(0.0);
     drop(cached_reader);
+
+    // ---- concurrent serving: random gets over loopback TCP ---------------
+    // The same access pattern through a live `zsmiles-serve` process:
+    // throughput and tail latency at 1 / 8 / 64 concurrent clients, each
+    // client on its own connection (the server runs a thread per
+    // connection). Every level splits the same total op budget, so the
+    // rows compare aggregate service rates at equal work.
+    let serve_rows = {
+        let handle = Server::start(
+            &zsa,
+            "127.0.0.1:0",
+            ServeOptions {
+                max_connections: 128,
+                ..Default::default()
+            },
+        )
+        .expect("starting the query server");
+        let addr = handle.addr();
+        // Byte-identity spot check: served reads are direct reads.
+        {
+            let mut c = QueryClient::connect(addr).expect("connecting the check client");
+            for &i in order.iter().take(256) {
+                assert_eq!(
+                    c.get(i as u64).expect("served get"),
+                    reader.get(i).expect("file get"),
+                    "served read ≠ direct read at line {i}"
+                );
+            }
+        }
+        let mut rows = Vec::new();
+        for &clients in &[1usize, 8, 64] {
+            let per_client = (o.gets / clients).max(1);
+            let total_ops = per_client * clients;
+            let mut best_wall = f64::INFINITY;
+            let mut latencies: Vec<u64> = Vec::new();
+            for _ in 0..o.reps {
+                let t0 = Instant::now();
+                let mut rep_lat: Vec<u64> = Vec::with_capacity(total_ops);
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = (0..clients)
+                        .map(|w| {
+                            let order = &order;
+                            scope.spawn(move || {
+                                let mut c =
+                                    QueryClient::connect(addr).expect("bench client connect");
+                                let mut lat = Vec::with_capacity(per_client);
+                                for k in 0..per_client {
+                                    let i = order[(w * per_client + k) % order.len()];
+                                    let t = Instant::now();
+                                    let line = c.get(i as u64).expect("served random get");
+                                    lat.push(t.elapsed().as_nanos() as u64);
+                                    std::hint::black_box(&line);
+                                }
+                                lat
+                            })
+                        })
+                        .collect();
+                    for w in workers {
+                        rep_lat.extend(w.join().expect("bench client thread"));
+                    }
+                });
+                let wall = t0.elapsed().as_secs_f64();
+                if wall < best_wall {
+                    best_wall = wall;
+                    latencies = rep_lat;
+                }
+            }
+            latencies.sort_unstable();
+            let pct = |p: usize| latencies[(latencies.len() - 1) * p / 100];
+            rows.push((
+                clients,
+                total_ops,
+                total_ops as f64 / best_wall,
+                pct(50),
+                pct(99),
+            ));
+        }
+        handle.shutdown();
+        rows
+    };
+    let serve_json = serve_rows
+        .iter()
+        .map(|(clients, ops, ops_per_s, p50, p99)| {
+            format!(
+                "    {{ \"clients\": {clients}, \"ops\": {ops}, \"ops_per_s\": {ops_per_s:.0}, \
+                 \"p50_ns\": {p50}, \"p99_ns\": {p99} }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     drop(reader);
     std::fs::remove_file(&zsa).ok();
 
@@ -445,7 +540,7 @@ fn main() {
 
     let json = format!
     (
-        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 6,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \"parallel_pack_threads\": {},\n  \"shard_lines\": {},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"mmap_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"bytes_mapped\": {} }},\n  \"cached_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"hits\": {}, \"misses\": {}, \"pool_hit_rate\": {:.4} }},\n  \"encode_speedup_dense_vs_node_trie\": {:.3},\n  \"wide_encode_speedup_dense_vs_node_trie\": {:.3},\n  \"dict_fitting\": {{ \"ratio_default_dict\": {:.4}, \"ratio_trained_dict\": {:.4}, \"train_sample_lines\": {}, \"train_secs\": {:.3} }}\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 7,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \"parallel_pack_threads\": {},\n  \"shard_lines\": {},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"mmap_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"bytes_mapped\": {} }},\n  \"cached_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"hits\": {}, \"misses\": {}, \"pool_hit_rate\": {:.4} }},\n  \"concurrent_serve\": [\n{}\n  ],\n  \"encode_speedup_dense_vs_node_trie\": {:.3},\n  \"wide_encode_speedup_dense_vs_node_trie\": {:.3},\n  \"dict_fitting\": {{ \"ratio_default_dict\": {:.4}, \"ratio_trained_dict\": {:.4}, \"train_sample_lines\": {}, \"train_secs\": {:.3} }}\n}}\n",
         o.lines,
         o.seed,
         payload,
@@ -475,6 +570,7 @@ fn main() {
         cache_hits,
         cache_misses,
         cache_hit_rate,
+        serve_json,
         speedup,
         wide_speedup,
         default_stats.ratio(),
@@ -491,6 +587,11 @@ fn main() {
         r_pack_sharded_par.mb_per_s, get_ns, mmap_get_ns, cached_get_ns, cache_hit_rate * 100.0,
         default_stats.ratio(), trained_stats.ratio(), o.out
     );
+    for (clients, _, ops_per_s, p50, p99) in &serve_rows {
+        eprintln!(
+            "serve: {clients:>2} client(s) -> {ops_per_s:.0} ops/s, p50 {p50} ns, p99 {p99} ns"
+        );
+    }
     if speedup < 1.5 {
         eprintln!("WARNING: dense-automaton speedup below the 1.5x floor");
     }

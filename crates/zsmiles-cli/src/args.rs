@@ -18,6 +18,8 @@ const BOOL_FLAGS: &[&str] = &[
     "--verify",
     "--train",
     "--dict-stats",
+    "--stats",
+    "--shutdown",
 ];
 
 impl Args {

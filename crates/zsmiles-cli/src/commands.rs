@@ -5,6 +5,7 @@ use molgen::{profiles, stats, Dataset};
 use std::path::Path;
 use std::time::Instant;
 use zsmiles_core::engine::AnyDictionary;
+use zsmiles_core::serve::{QueryClient, ServeOptions, Server};
 use zsmiles_core::shard::{is_manifest, ShardPolicy, ShardedReader, ShardedWriter};
 use zsmiles_core::train::{BaseBuilder, DictBuilder as _, TrainCorpus, WideBuilder};
 use zsmiles_core::{
@@ -13,7 +14,7 @@ use zsmiles_core::{
 };
 
 const USAGE: &str =
-    "usage: zsmiles <gen|train|compress|decompress|pack|unpack|get|screen|stats|inspect> [flags]
+    "usage: zsmiles <gen|train|compress|decompress|pack|unpack|get|serve|query|screen|stats|inspect> [flags]
   gen        --profile gdb17|mediate|exscalate|mixed -n N [--seed S] -o out.smi
   train      -i train.smi|- -o dict.dct [--flavor base|wide] [--wide N]
              [--max-symbols N] [--sample-lines N] [--seed S]
@@ -27,7 +28,7 @@ const USAGE: &str =
   compress   -i in.smi -d dict.dct -o out.zsmi [--threads N] [--index]
   decompress -i in.zsmi -d dict.dct -o out.smi [--threads N] [--postprocess]
   pack       -i in.smi (-d dict.dct | --train) -o out.zsa [--threads N]
-             [--shard-lines N | --shard-bytes N]
+             [--shard-lines N | --shard-bytes N] [--generation G]
              [--dict-out fitted.dct and the train flags above, with --train]
              (streams the input — '-' reads stdin — through the out-of-core
               writer in bounded memory; with a shard budget, -o names a .zsm
@@ -35,7 +36,10 @@ const USAGE: &str =
               --threads N compresses N complete shards concurrently with
               byte-identical output;
               --train first fits the embedded dictionary to the deck being
-              packed, so the input must be a re-readable file, not stdin)
+              packed, so the input must be a re-readable file, not stdin;
+              --generation G stamps a dataset generation onto the .zsm
+              manifest — the serve command's flip requires each new deck
+              to be newer than the one it replaces)
   unpack     -i in.zsa|in.zsm -o out.smi [--threads N] [--verify] [--verbose]
   get        -i in.zsmi -d dict.dct --line K
   get        --archive in.zsa|in.zsm --line K [--count N] [--verify] [--verbose]
@@ -43,6 +47,16 @@ const USAGE: &str =
               lines asked for; archives are mmapped where the platform
               allows, else read through the shared block cache — --verbose
               reports bytes mapped, or the cache hit rate and evictions)
+  serve      --archive in.zsa|in.zsm [--addr HOST:PORT] [--max-conns N]
+             (holds the deck open and answers concurrent get/get_range/
+              get_many/stats clients over a length-prefixed binary TCP
+              protocol; --addr defaults to 127.0.0.1:0 — an ephemeral
+              port, printed on startup; a wire flip atomically swaps to a
+              new dataset generation and a wire shutdown stops serving)
+  query      --addr HOST:PORT (--line K [--count N] | --many i,j,k
+             | --stats | --flip newdeck.zsm | --shutdown)
+             (one request against a running serve process; --flip names a
+              server-local archive path)
   screen     -i deck.smi [--pocket-seed S] [--top K] [--threads N] [--scores out.tsv]
   stats      -i file.smi
   inspect    -d dict.dct [-i corpus.smi] [--dict-stats]
@@ -71,6 +85,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "pack" => cmd_pack(&args),
         "unpack" => cmd_unpack(&args),
         "get" => cmd_get(&args),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
         "screen" => cmd_screen(&args),
         "stats" => cmd_stats(&args),
         "inspect" => cmd_inspect(&args),
@@ -373,6 +389,14 @@ fn cmd_pack(args: &Args) -> Result<(), String> {
     };
     let shard_lines = args.get_u64("--shard-lines", 0)?;
     let shard_bytes = args.get_u64("--shard-bytes", 0)?;
+    let generation = args.get_u64("--generation", 0)?;
+    if generation > 0 && shard_lines == 0 && shard_bytes == 0 {
+        return Err(
+            "--generation is stored on the .zsm manifest; add a --shard-lines or \
+             --shard-bytes budget (single .zsa files carry no generation row)"
+                .into(),
+        );
+    }
     let t0 = Instant::now();
 
     // Sharded layout: -o names the .zsm manifest, shards land beside it.
@@ -383,6 +407,7 @@ fn cmd_pack(args: &Args) -> Result<(), String> {
         };
         let mut w = ShardedWriter::create(Path::new(output), dict, policy, opts)
             .map_err(|e| e.to_string())?;
+        w.set_generation(generation);
         stream_input(reader, |chunk| w.write(chunk).map_err(|e| e.to_string()))?;
         let info = w.finish().map_err(|e| e.to_string())?;
         if !args.get_bool("--quiet") {
@@ -743,6 +768,89 @@ fn print_dict_stats(args: &Args, dict: &AnyDictionary) -> Result<(), String> {
         println!("  0x{code_hex:<4} {printable:<16} {uses:>9} uses {covered:>11} B");
     }
     Ok(())
+}
+
+/// `serve`: hold a deck open and answer wire clients until a wire
+/// shutdown arrives. The bound address is printed (and flushed) first so
+/// callers that requested an ephemeral port can read it from stdout.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let path = args.require("--archive")?;
+    let addr = args.get("--addr").unwrap_or("127.0.0.1:0");
+    let opts = ServeOptions {
+        max_connections: args.get_usize("--max-conns", 64)?,
+        ..Default::default()
+    };
+    let handle = Server::start(Path::new(path), addr, opts).map_err(|e| e.to_string())?;
+    println!(
+        "serving {path} ({} lines, generation {}) on {}",
+        handle.stats().lines,
+        handle.generation(),
+        handle.addr()
+    );
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    handle.wait();
+    if !args.get_bool("--quiet") {
+        println!("server stopped");
+    }
+    Ok(())
+}
+
+/// `query`: one request against a running `serve` process.
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let addr = args.require("--addr")?;
+    let mut client = QueryClient::connect(addr).map_err(|e| e.to_string())?;
+    if args.get_bool("--stats") {
+        let s = client.stats().map_err(|e| e.to_string())?;
+        println!(
+            "generation {} | {} lines | {} shard(s) | {} request(s) served | {} flip(s) | \
+             {} active connection(s) | {} retired block(s)",
+            s.generation,
+            s.lines,
+            s.shards,
+            s.requests,
+            s.flips,
+            s.active_connections,
+            s.retired_blocks,
+        );
+        return Ok(());
+    }
+    if let Some(path) = args.get("--flip") {
+        let generation = client.flip(path).map_err(|e| e.to_string())?;
+        println!("flipped to generation {generation}");
+        return Ok(());
+    }
+    if args.get_bool("--shutdown") {
+        client.shutdown().map_err(|e| e.to_string())?;
+        if !args.get_bool("--quiet") {
+            println!("server shutting down");
+        }
+        return Ok(());
+    }
+    let lines = if let Some(list) = args.get("--many") {
+        let wanted: Vec<u64> = list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("--many: bad line number '{s}'"))
+            })
+            .collect::<Result<_, String>>()?;
+        client.get_many(&wanted).map_err(|e| e.to_string())?
+    } else {
+        let line = args.get_u64("--line", 0)?;
+        let count = args.get_u64("--count", 1)?.max(1);
+        let end = line
+            .checked_add(count)
+            .ok_or_else(|| "line number overflows".to_string())?;
+        client.get_range(line, end).map_err(|e| e.to_string())?
+    };
+    let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
+    use std::io::Write;
+    for smiles in lines {
+        writeln!(stdout, "{}", String::from_utf8_lossy(&smiles)).map_err(|e| e.to_string())?;
+    }
+    stdout.flush().map_err(|e| e.to_string())
 }
 
 fn cmd_screen(args: &Args) -> Result<(), String> {
@@ -1136,6 +1244,111 @@ mod tests {
         .unwrap();
         run(&argv(&["unpack", "-i", &zsa, "-o", &back, "--quiet"])).unwrap();
         assert_eq!(std::fs::read(&smi).unwrap(), std::fs::read(&back).unwrap());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_query_over_tcp() {
+        let dir = std::env::temp_dir().join(format!("zcli_serve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let smi = p("deck.smi");
+        let dct = p("deck.dct");
+        let zsm = p("deck.zsm");
+        let next = p("next.zsm");
+
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "mixed",
+            "-n",
+            "300",
+            "--seed",
+            "41",
+            "-o",
+            &smi,
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "train",
+            "-i",
+            &smi,
+            "-o",
+            &dct,
+            "--no-preprocess",
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "pack",
+            "-i",
+            &smi,
+            "-d",
+            &dct,
+            "-o",
+            &zsm,
+            "--shard-lines",
+            "100",
+            "--quiet",
+        ]))
+        .unwrap();
+        // A generation-stamped deck to flip to (v2 manifest).
+        run(&argv(&[
+            "pack",
+            "-i",
+            &smi,
+            "-d",
+            &dct,
+            "-o",
+            &next,
+            "--shard-lines",
+            "100",
+            "--generation",
+            "7",
+            "--quiet",
+        ]))
+        .unwrap();
+        // --generation without a shard budget is refused (nothing to
+        // stamp it on).
+        assert!(run(&argv(&[
+            "pack",
+            "-i",
+            &smi,
+            "-d",
+            &dct,
+            "-o",
+            &p("x.zsa"),
+            "--generation",
+            "3",
+            "--quiet",
+        ]))
+        .is_err());
+
+        let handle = Server::start(
+            Path::new(&zsm),
+            "127.0.0.1:0",
+            zsmiles_core::ServeOptions::default(),
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+        run(&argv(&[
+            "query", "--addr", &addr, "--line", "5", "--count", "3",
+        ]))
+        .unwrap();
+        run(&argv(&["query", "--addr", &addr, "--many", "0, 99, 299"])).unwrap();
+        run(&argv(&["query", "--addr", &addr, "--stats"])).unwrap();
+        // Flip to the generation-7 deck, then read through it.
+        run(&argv(&["query", "--addr", &addr, "--flip", &next])).unwrap();
+        assert_eq!(handle.generation(), 7);
+        run(&argv(&["query", "--addr", &addr, "--line", "0"])).unwrap();
+        // Flipping back to the unstamped deck assigns generation 8.
+        run(&argv(&["query", "--addr", &addr, "--flip", &zsm])).unwrap();
+        assert_eq!(handle.generation(), 8);
+        // A line past the end is a typed error, not a hang.
+        assert!(run(&argv(&["query", "--addr", &addr, "--line", "300"])).is_err());
+        run(&argv(&["query", "--addr", &addr, "--shutdown", "--quiet"])).unwrap();
 
         std::fs::remove_dir_all(&dir).ok();
     }

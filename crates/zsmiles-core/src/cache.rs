@@ -47,6 +47,10 @@ pub struct BlockCacheStats {
     pub misses: u64,
     /// Blocks dropped to stay inside the budget.
     pub evictions: u64,
+    /// Blocks dropped because their archive was retired
+    /// ([`BlockCache::forget_archive`]) — a dataset generation flip, a
+    /// source going out of scope.
+    pub retired: u64,
     /// Blocks resident right now.
     pub resident_blocks: u64,
     /// Bytes resident right now.
@@ -84,6 +88,7 @@ pub struct BlockCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    retired: AtomicU64,
 }
 
 impl std::fmt::Debug for BlockCache {
@@ -111,6 +116,7 @@ impl BlockCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
         }
     }
 
@@ -204,10 +210,15 @@ impl BlockCache {
         Ok((bytes, false))
     }
 
-    /// Drop every resident block of `archive` (called when a source is
-    /// dropped, so a long-lived process does not pin dead archives until
-    /// eviction gets around to them).
-    pub fn forget_archive(&self, archive: u64) {
+    /// Retire `archive`: drop every one of its resident blocks and
+    /// return how many left the pool. Called when a source is dropped —
+    /// or when a serving process flips to a new dataset generation — so
+    /// a long-lived process does not pin dead archives until eviction
+    /// gets around to them. Retired blocks are counted separately from
+    /// budget evictions ([`BlockCacheStats::retired`]); calling this
+    /// again for the same archive is a harmless no-op that returns 0.
+    pub fn forget_archive(&self, archive: u64) -> u64 {
+        let mut dropped = 0u64;
         for shard in &self.shards {
             let mut s = shard.lock().expect("cache shard poisoned");
             let dead: Vec<(u64, u64)> = s
@@ -219,9 +230,14 @@ impl BlockCache {
             for key in dead {
                 if let Some(e) = s.map.remove(&key) {
                     s.resident_bytes -= e.bytes.len() as u64;
+                    dropped += 1;
                 }
             }
         }
+        if dropped > 0 {
+            self.retired.fetch_add(dropped, Ordering::Relaxed);
+        }
+        dropped
     }
 
     /// Counter + residency snapshot. Counters are monotonic for the
@@ -237,6 +253,7 @@ impl BlockCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            retired: self.retired.load(Ordering::Relaxed),
             resident_blocks: blocks,
             resident_bytes: bytes,
         }
@@ -312,13 +329,23 @@ mod tests {
             cache.get_or_load(b, block, load_ok(1, 8)).unwrap();
         }
         assert_eq!(cache.stats().resident_blocks, 20);
-        cache.forget_archive(a);
+        assert_eq!(cache.forget_archive(a), 10, "every block of `a` left");
         let stats = cache.stats();
         assert_eq!(stats.resident_blocks, 10);
         assert_eq!(stats.resident_bytes, 80);
+        // Retirement is counted apart from budget evictions: nothing here
+        // was dropped for space.
+        assert_eq!(stats.retired, 10);
+        assert_eq!(stats.evictions, 0);
         // `b`'s blocks are untouched.
         let (_, hit) = cache.get_or_load(b, 0, || panic!("resident")).unwrap();
         assert!(hit);
+        // A retired archive's blocks are genuinely gone: the next lookup
+        // must reload, and retiring again is a counted-as-zero no-op.
+        assert_eq!(cache.forget_archive(a), 0);
+        let (_, hit) = cache.get_or_load(a, 0, load_ok(0, 8)).unwrap();
+        assert!(!hit, "retired block reloads from the source");
+        assert_eq!(cache.stats().retired, 10, "no-op retire adds nothing");
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum ZsmilesError {
     /// An input line contains a byte the dictionary cannot express and
     /// escaping is disabled.
     Unencodable { byte: u8, at: usize },
+    /// Wire-protocol violations on the serving path (bad frame length,
+    /// unknown opcode, malformed body, server-reported failure).
+    Protocol { reason: String },
     /// I/O error (stringified: io::Error is not Clone/PartialEq).
     Io(String),
 }
@@ -104,6 +107,7 @@ impl fmt::Display for ZsmilesError {
             Unencodable { byte, at } => {
                 write!(f, "byte 0x{byte:02x} at {at} has no dictionary entry")
             }
+            Protocol { reason } => write!(f, "wire protocol: {reason}"),
             Io(msg) => write!(f, "I/O: {msg}"),
         }
     }

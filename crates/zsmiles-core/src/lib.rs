@@ -61,6 +61,13 @@
 //!   deck bytes incrementally, compresses bounded batches on the
 //!   persistent worker pool, grows the line index in place, and
 //!   finalizes header/CRC/footer without ever materializing the payload;
+//! * [`serve`] — the long-lived query service: a TCP server holding
+//!   [`shard::DeckReader`]s open and answering `get` / `get_range` /
+//!   `get_many` / `stats` from many concurrent clients over a
+//!   length-prefixed binary protocol, with atomic *generation flips* —
+//!   the served deck swaps to a new dataset generation in one pointer
+//!   exchange, in-flight requests drain on the old one, and the retired
+//!   deck's blocks are forgotten from the block cache;
 //! * [`shard`] — sharded multi-file archives: a readable `.zsm` manifest
 //!   plus N complete `.zsa` shards ([`shard::ShardedWriter`] cuts by
 //!   line/byte budget, [`shard::ShardedReader`] routes global line
@@ -113,6 +120,7 @@ pub mod fileio;
 pub mod index;
 pub mod parallel;
 pub mod reader;
+pub mod serve;
 pub mod shard;
 pub mod sink;
 pub mod source;
@@ -145,8 +153,9 @@ pub use parallel::{
     decompress_parallel_wide, WorkerPool,
 };
 pub use reader::ArchiveReader;
+pub use serve::{QueryClient, ServeHandle, ServeOptions, ServeStats, Server};
 pub use shard::{
-    DeckReader, ShardManifest, ShardMeta, ShardPolicy, ShardedPackInfo, ShardedReader,
+    DeckOptions, DeckReader, ShardManifest, ShardMeta, ShardPolicy, ShardedPackInfo, ShardedReader,
     ShardedWriter,
 };
 pub use sink::{ArchiveSink, CountingSink, FileSink, InMemorySink};

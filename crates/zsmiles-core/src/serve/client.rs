@@ -1,0 +1,101 @@
+//! Blocking client for the `zsmiles-serve` wire protocol — what the CLI
+//! `query` subcommand and the bench harness drive.
+
+use super::protocol::{read_frame, FrameRead, Request, Response, ServeStats, MAX_RESPONSE_FRAME};
+use crate::error::ZsmilesError;
+use std::net::{TcpStream, ToSocketAddrs};
+
+fn protocol(reason: impl Into<String>) -> ZsmilesError {
+    ZsmilesError::Protocol {
+        reason: reason.into(),
+    }
+}
+
+/// One connection to a running server. Requests are strictly
+/// sequential per connection (one frame out, one frame back); open more
+/// clients for concurrency — the server runs a thread per connection.
+pub struct QueryClient {
+    stream: TcpStream,
+}
+
+impl QueryClient {
+    /// Connect to a server at `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<QueryClient, ZsmilesError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(QueryClient { stream })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ZsmilesError> {
+        use std::io::Write;
+        self.stream.write_all(&req.encode())?;
+        match read_frame(&mut self.stream, MAX_RESPONSE_FRAME)? {
+            FrameRead::Frame(body) => Response::decode(&body),
+            FrameRead::Eof => Err(protocol("server closed the connection mid-request")),
+            FrameRead::TimedOut => Err(protocol("server went silent mid-request")),
+        }
+    }
+
+    /// Surface a server-side `Error` response as the typed error it is.
+    fn reject(resp: Response, expected: &str) -> ZsmilesError {
+        match resp {
+            Response::Error { code, message } => {
+                protocol(format!("server error ({code:?}): {message}"))
+            }
+            other => protocol(format!("expected {expected}, got {other:?}")),
+        }
+    }
+
+    fn expect_lines(resp: Response) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        match resp {
+            Response::Lines(lines) => Ok(lines),
+            other => Err(QueryClient::reject(other, "a lines response")),
+        }
+    }
+
+    /// Decompress one global line.
+    pub fn get(&mut self, line: u64) -> Result<Vec<u8>, ZsmilesError> {
+        let mut lines = QueryClient::expect_lines(self.roundtrip(&Request::Get { line })?)?;
+        match lines.len() {
+            1 => Ok(lines.pop().unwrap()),
+            n => Err(protocol(format!("get returned {n} lines, expected 1"))),
+        }
+    }
+
+    /// Decompress the contiguous run `start..end`.
+    pub fn get_range(&mut self, start: u64, end: u64) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        QueryClient::expect_lines(self.roundtrip(&Request::GetRange { start, end })?)
+    }
+
+    /// Decompress an arbitrary set of lines, answered in request order.
+    pub fn get_many(&mut self, lines: &[u64]) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        QueryClient::expect_lines(self.roundtrip(&Request::GetMany {
+            lines: lines.to_vec(),
+        })?)
+    }
+
+    /// Server counters and the generation currently being served.
+    pub fn stats(&mut self) -> Result<ServeStats, ZsmilesError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(QueryClient::reject(other, "a stats response")),
+        }
+    }
+
+    /// Ask the server to atomically flip to the archive at the
+    /// server-local `path`. Returns the generation now being served.
+    pub fn flip(&mut self, path: &str) -> Result<u64, ZsmilesError> {
+        match self.roundtrip(&Request::Flip { path: path.into() })? {
+            Response::Flipped { generation } => Ok(generation),
+            other => Err(QueryClient::reject(other, "a flipped response")),
+        }
+    }
+
+    /// Ask the server to stop once in-flight connections drain.
+    pub fn shutdown(&mut self) -> Result<(), ZsmilesError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(QueryClient::reject(other, "a bye response")),
+        }
+    }
+}

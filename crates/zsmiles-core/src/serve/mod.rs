@@ -1,0 +1,46 @@
+//! `zsmiles-serve`: a concurrent query service over compressed decks.
+//!
+//! Virtual screening at campaign scale is a *query-serving* problem, not
+//! a storage problem: many workers want random access into the same
+//! compressed deck at once. This module is the long-lived process that
+//! answers them — it holds [`crate::shard::DeckReader`]s open over
+//! `.zsa` / `.zsm` decks and serves `get` / `get_range` / `get_many` /
+//! `stats` requests from many simultaneous clients over a small
+//! length-prefixed binary protocol on TCP. No async runtime, no new
+//! crates: one accept thread plus one OS thread per connection, sharing
+//! the deck through `Arc` snapshots.
+//!
+//! # Layers
+//!
+//! * [`protocol`] — the wire format: `u32` little-endian length prefix,
+//!   one opcode byte, a fixed-layout body. [`protocol::Request`] /
+//!   [`protocol::Response`] encode and decode strictly — a malformed,
+//!   truncated or oversized frame is a typed
+//!   [`crate::ZsmilesError::Protocol`] error, never a panic or a hang.
+//! * [`server`] — [`server::Server::start`] binds a listener and returns
+//!   a [`server::ServeHandle`]; each connection snapshots the current
+//!   generation per request and answers from it.
+//! * [`client`] — [`client::QueryClient`], the blocking client the CLI
+//!   `query` subcommand and the bench harness drive.
+//!
+//! # Generation flips
+//!
+//! The server's deck is a *generation*: the `.zsm` manifest's optional
+//! `generation` row (v2 manifests; v1 reads as generation 0). A `flip`
+//! request atomically replaces the served deck — the new deck opens
+//! *before* the swap, the swap itself is one `RwLock` write, and every
+//! request that already snapshotted the old generation drains on it
+//! unharmed. When the last in-flight reference drops, the retired deck's
+//! blocks are forgotten from its [`crate::cache::BlockCache`]
+//! ([`crate::shard::DeckReader::retire_cached_blocks`]) so a flipped-away
+//! dataset stops competing for cache budget. A flip that declares a
+//! generation not newer than the current one is rejected; a deck that
+//! declares none (generation 0) is assigned `current + 1`.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::QueryClient;
+pub use protocol::{ErrorCode, Request, Response, ServeStats, MAX_REQUEST_FRAME};
+pub use server::{ServeHandle, ServeOptions, Server};

@@ -1,0 +1,428 @@
+//! The serving process: one accept thread, one OS thread per connection,
+//! generation snapshots shared through `Arc`.
+//!
+//! Concurrency model: the current deck lives behind
+//! `RwLock<Arc<Generation>>`. Every request clones the `Arc` (a read
+//! lock held for nanoseconds) and answers entirely from that snapshot,
+//! so a flip mid-request is invisible — the request drains on the
+//! generation it started with. The flip itself opens and validates the
+//! *new* deck before taking the write lock, so the swap is one pointer
+//! exchange and no request ever observes a half-open deck. When the last
+//! snapshot of a retired generation drops, its `Drop` impl forgets the
+//! deck's blocks from the block cache and adds the count to the server's
+//! `retired_blocks` stat.
+
+use super::protocol::{
+    read_frame, ErrorCode, FrameRead, Request, Response, ServeStats, MAX_BATCH_LINES,
+    MAX_REQUEST_FRAME,
+};
+use crate::cache::BlockCache;
+use crate::error::ZsmilesError;
+use crate::shard::{DeckOptions, DeckReader};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often an idle connection thread wakes to check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// How long shutdown waits for in-flight connections to drain.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Serving knobs. `Default` is a 64-connection cap, the protocol's 1 MiB
+/// request-frame cap, and the platform-default read path per file.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Most simultaneous connections; excess connects are answered with
+    /// a typed `Busy` error and closed.
+    pub max_connections: usize,
+    /// Largest request frame accepted (bytes).
+    pub max_request_frame: usize,
+    /// Force every deck file through cached positioned I/O on this
+    /// cache (instead of mmap-or-cache per platform). Generation
+    /// retirement then deterministically releases blocks here — tests
+    /// and cache-budget-conscious deployments use this.
+    pub cache: Option<Arc<BlockCache>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max_connections: 64,
+            max_request_frame: MAX_REQUEST_FRAME,
+            cache: None,
+        }
+    }
+}
+
+/// One dataset generation: an open deck plus its generation number.
+/// Dropping the last reference retires the deck's cached blocks and
+/// reports how many into the server's `retired_blocks` counter.
+struct Generation {
+    number: u64,
+    deck: DeckReader,
+    retired_sink: Arc<AtomicU64>,
+}
+
+impl Drop for Generation {
+    fn drop(&mut self) {
+        let n = self.deck.retire_cached_blocks();
+        if n > 0 {
+            self.retired_sink.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+struct Shared {
+    current: RwLock<Arc<Generation>>,
+    addr: SocketAddr,
+    deck_options: DeckOptions,
+    max_connections: usize,
+    max_request_frame: usize,
+    requests: AtomicU64,
+    flips: AtomicU64,
+    active: AtomicU32,
+    retired_blocks: Arc<AtomicU64>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn snapshot(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the accept loop out of its blocking accept().
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+    }
+
+    /// Atomically replace the served deck with the archive at `path`.
+    /// The new deck opens (and is fully validated) before the write lock
+    /// is taken; the swap is one pointer exchange. Returns the
+    /// generation now being served.
+    fn do_flip(&self, path: &Path) -> Result<u64, ZsmilesError> {
+        let deck = DeckReader::open_with(path, &self.deck_options)?;
+        let declared = deck.generation();
+        let mut cur = self.current.write().unwrap_or_else(PoisonError::into_inner);
+        let next = if declared == 0 {
+            cur.number + 1
+        } else if declared > cur.number {
+            declared
+        } else {
+            return Err(ZsmilesError::Protocol {
+                reason: format!(
+                    "flip rejected: archive declares generation {declared}, \
+                     not newer than current generation {}",
+                    cur.number
+                ),
+            });
+        };
+        let old = std::mem::replace(
+            &mut *cur,
+            Arc::new(Generation {
+                number: next,
+                deck,
+                retired_sink: Arc::clone(&self.retired_blocks),
+            }),
+        );
+        drop(cur);
+        // In-flight requests may still hold snapshots of `old`; the last
+        // one out runs Generation::drop and retires the cached blocks.
+        drop(old);
+        self.flips.fetch_add(1, Ordering::Relaxed);
+        Ok(next)
+    }
+
+    fn stats_snapshot(&self) -> ServeStats {
+        let gen = self.snapshot();
+        ServeStats {
+            generation: gen.number,
+            lines: gen.deck.len() as u64,
+            shards: gen.deck.shard_count() as u32,
+            requests: self.requests.load(Ordering::Relaxed),
+            flips: self.flips.load(Ordering::Relaxed),
+            active_connections: self.active.load(Ordering::Relaxed),
+            retired_blocks: self.retired_blocks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Answer one decoded request (everything but `Shutdown`, which the
+    /// connection loop handles so it can break afterwards).
+    fn answer(&self, req: Request) -> Response {
+        let gen = self.snapshot();
+        match req {
+            Request::Get { line } => match gen.deck.get(line as usize) {
+                Ok(l) => Response::Lines(vec![l]),
+                Err(e) => error_response(e),
+            },
+            Request::GetRange { start, end } => {
+                if end < start {
+                    return Response::Error {
+                        code: ErrorCode::BadFrame,
+                        message: format!("range end {end} before start {start}"),
+                    };
+                }
+                if end - start > MAX_BATCH_LINES as u64 {
+                    return Response::Error {
+                        code: ErrorCode::BadFrame,
+                        message: format!(
+                            "range of {} lines exceeds the {MAX_BATCH_LINES}-line cap",
+                            end - start
+                        ),
+                    };
+                }
+                match gen.deck.get_range(start as usize..end as usize) {
+                    Ok(lines) => Response::Lines(lines),
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::GetMany { lines } => {
+                let idx: Vec<usize> = lines.iter().map(|&l| l as usize).collect();
+                match gen.deck.get_many(&idx) {
+                    Ok(lines) => Response::Lines(lines),
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::Stats => Response::Stats(self.stats_snapshot()),
+            Request::Flip { path } => match self.do_flip(Path::new(&path)) {
+                Ok(generation) => Response::Flipped { generation },
+                Err(e) => Response::Error {
+                    code: ErrorCode::FlipRejected,
+                    message: e.to_string(),
+                },
+            },
+            Request::Shutdown => Response::Bye,
+        }
+    }
+}
+
+fn error_response(e: ZsmilesError) -> Response {
+    let code = match &e {
+        ZsmilesError::LineOutOfRange { .. } => ErrorCode::OutOfRange,
+        ZsmilesError::Protocol { .. } => ErrorCode::BadFrame,
+        _ => ErrorCode::Internal,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    stream.write_all(&resp.encode())
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let body = match read_frame(&mut stream, shared.max_request_frame) {
+            Ok(FrameRead::Frame(b)) => b,
+            Ok(FrameRead::Eof) => break,
+            Ok(FrameRead::TimedOut) => continue,
+            Err(ZsmilesError::Protocol { reason }) => {
+                // The frame boundary is lost (oversized/truncated/stalled
+                // frame): answer with a typed error, then close.
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::BadFrame,
+                        message: reason,
+                    },
+                );
+                break;
+            }
+            Err(_) => break,
+        };
+        let req = match Request::decode(&body) {
+            Ok(r) => r,
+            Err(e) => {
+                // The frame boundary held — only the body was malformed —
+                // so the connection stays usable.
+                if write_response(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::BadFrame,
+                        message: e.to_string(),
+                    },
+                )
+                .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        if matches!(req, Request::Shutdown) {
+            let _ = write_response(&mut stream, &Response::Bye);
+            shared.begin_shutdown();
+            break;
+        }
+        let resp = shared.answer(req);
+        if write_response(&mut stream, &resp).is_err() {
+            break;
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let prev = shared.active.fetch_add(1, Ordering::SeqCst);
+        if prev as usize >= shared.max_connections {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            let mut s = stream;
+            let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = write_response(
+                &mut s,
+                &Response::Error {
+                    code: ErrorCode::Busy,
+                    message: format!(
+                        "server at its {}-connection capacity",
+                        shared.max_connections
+                    ),
+                },
+            );
+            continue;
+        }
+        let shared2 = Arc::clone(&shared);
+        let spawned = thread::Builder::new()
+            .name("zsmiles-serve-conn".into())
+            .spawn(move || {
+                handle_connection(stream, &shared2);
+                shared2.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    // Shutdown: give in-flight connections a bounded window to drain
+    // (their poll loops notice the flag within one POLL_TICK).
+    let deadline = Instant::now() + DRAIN_DEADLINE;
+    while shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Namespace for starting a serving process; see [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Open the deck at `deck_path` (either layout; see
+    /// [`DeckReader::open`]), bind `addr` (use port 0 for an ephemeral
+    /// port) and start serving. Returns a [`ServeHandle`] immediately;
+    /// serving happens on background threads.
+    pub fn start<A: ToSocketAddrs>(
+        deck_path: &Path,
+        addr: A,
+        options: ServeOptions,
+    ) -> Result<ServeHandle, ZsmilesError> {
+        let deck_options = DeckOptions {
+            cache: options.cache.clone(),
+        };
+        let deck = DeckReader::open_with(deck_path, &deck_options)?;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let retired_blocks = Arc::new(AtomicU64::new(0));
+        let generation = Generation {
+            number: deck.generation(),
+            deck,
+            retired_sink: Arc::clone(&retired_blocks),
+        };
+        let shared = Arc::new(Shared {
+            current: RwLock::new(Arc::new(generation)),
+            addr,
+            deck_options,
+            max_connections: options.max_connections,
+            max_request_frame: options.max_request_frame,
+            requests: AtomicU64::new(0),
+            flips: AtomicU64::new(0),
+            active: AtomicU32::new(0),
+            retired_blocks,
+            shutdown: AtomicBool::new(false),
+        });
+        let shared2 = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name("zsmiles-serve-accept".into())
+            .spawn(move || accept_loop(listener, shared2))
+            .map_err(|e| ZsmilesError::Io(e.to_string()))?;
+        Ok(ServeHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down; call
+/// [`ServeHandle::wait`] to instead block until a wire `shutdown`
+/// request stops it.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.shared.snapshot().number
+    }
+
+    /// Current server counters, same data as the wire `stats` request.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats_snapshot()
+    }
+
+    /// Atomically flip to the archive at `path` from the server side
+    /// (the wire `flip` request does the same). Returns the new
+    /// generation number.
+    pub fn flip(&self, path: &Path) -> Result<u64, ZsmilesError> {
+        self.shared.do_flip(path)
+    }
+
+    /// Ask the server to stop; in-flight connections drain within the
+    /// poll tick. Does not block — follow with [`ServeHandle::wait`].
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Block until the server stops (a wire `shutdown` request, or
+    /// [`ServeHandle::shutdown`] from another thread).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        if let Some(h) = self.accept.take() {
+            self.shared.begin_shutdown();
+            let _ = h.join();
+        }
+    }
+}

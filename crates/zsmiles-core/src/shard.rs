@@ -46,6 +46,7 @@
 //! sharded pack is line-for-line byte-identical to the single-file pack,
 //! a property the proptest suite pins down at random budgets.
 
+use crate::cache::BlockCache;
 use crate::compress::CompressStats;
 use crate::engine::{AnyDictionary, DictFlavor, DynEngine, LineDecoder};
 use crate::error::ZsmilesError;
@@ -57,9 +58,43 @@ use crate::writer::{ArchiveWriter, PackInfo, WriterOptions};
 use std::io::{Read, Write};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// First line of every `.zsm` manifest.
+/// How to open a deck for reading. The default picks the platform's best
+/// read path per file (mmap where available, shared-block-cache positioned
+/// I/O otherwise). Supplying a `cache` forces every file through cached
+/// positioned I/O on that specific [`BlockCache`] — the serving layer uses
+/// this so a retired generation's blocks can be dropped deterministically
+/// ([`DeckReader::retire_cached_blocks`]) without touching the global
+/// cache other readers share.
+#[derive(Debug, Clone, Default)]
+pub struct DeckOptions {
+    /// When set, open every archive file through [`crate::source::CachedSource`]
+    /// on this cache instead of the platform default.
+    pub cache: Option<Arc<BlockCache>>,
+}
+
+impl DeckOptions {
+    fn open_source(&self, path: &Path) -> Result<AutoSource, ZsmilesError> {
+        match &self.cache {
+            Some(cache) => AutoSource::open_cached_with(path, Arc::clone(cache)),
+            None => AutoSource::open(path),
+        }
+    }
+}
+
+/// First line of a v1 `.zsm` manifest (the PR 4 format).
 pub const MANIFEST_MAGIC: &str = "#zsmiles-shards v1";
+
+/// First line of a v2 `.zsm` manifest: v1 plus the optional `generation`
+/// row. The writer only bumps to v2 when a generation is actually set, so
+/// decks without one stay byte-identical to the historical format and
+/// old readers keep working on them.
+pub const MANIFEST_MAGIC_V2: &str = "#zsmiles-shards v2";
+
+/// The magic prefix shared by every manifest version — what
+/// [`is_manifest`] sniffs.
+const MANIFEST_MAGIC_PREFIX: &str = "#zsmiles-shards v";
 
 fn bad(reason: impl Into<String>) -> ZsmilesError {
     ZsmilesError::ManifestFormat {
@@ -90,6 +125,9 @@ pub struct ShardMeta {
 pub struct ShardManifest {
     flavor: DictFlavor,
     total_lines: u64,
+    /// Dataset generation (epoch) this manifest describes; 0 for decks
+    /// that never set one (every v1 manifest reads as generation 0).
+    generation: u64,
     shards: Vec<ShardMeta>,
 }
 
@@ -99,12 +137,25 @@ impl ShardManifest {
         ShardManifest {
             flavor,
             total_lines,
+            generation: 0,
             shards,
         }
     }
 
+    /// Stamp a dataset generation onto the manifest (builder style).
+    /// A nonzero generation bumps the serialized format to v2.
+    pub fn with_generation(mut self, generation: u64) -> ShardManifest {
+        self.generation = generation;
+        self
+    }
+
     pub fn flavor(&self) -> DictFlavor {
         self.flavor
+    }
+
+    /// The dataset generation this manifest declares (0 = none declared).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Total ligand lines across all shards.
@@ -116,11 +167,20 @@ impl ShardManifest {
         &self.shards
     }
 
-    /// Serialize in the readable `.zsm` text format.
+    /// Serialize in the readable `.zsm` text format: v1 when no
+    /// generation is set (byte-identical to the historical format), v2
+    /// with a `generation` row otherwise.
     pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
-        writeln!(w, "{MANIFEST_MAGIC}")?;
+        if self.generation == 0 {
+            writeln!(w, "{MANIFEST_MAGIC}")?;
+        } else {
+            writeln!(w, "{MANIFEST_MAGIC_V2}")?;
+        }
         writeln!(w, "flavor {}", self.flavor.name())?;
         writeln!(w, "lines {}", self.total_lines)?;
+        if self.generation != 0 {
+            writeln!(w, "generation {}", self.generation)?;
+        }
         for s in &self.shards {
             writeln!(
                 w,
@@ -131,15 +191,26 @@ impl ShardManifest {
         Ok(())
     }
 
-    /// Parse a `.zsm` manifest.
+    /// Parse a `.zsm` manifest, either version. Strict per version: a
+    /// `generation` row in a v1 manifest is a format error (v1 readers
+    /// never knew the field, so a v1 file carrying it is corrupt or
+    /// mislabelled), and an unknown version is refused outright.
     pub fn read_from(bytes: &[u8]) -> Result<ShardManifest, ZsmilesError> {
         let text = std::str::from_utf8(bytes).map_err(|_| bad("manifest is not UTF-8 text"))?;
         let mut lines = text.lines();
-        if lines.next().map(str::trim) != Some(MANIFEST_MAGIC) {
-            return Err(bad("not a .zsm shard manifest"));
-        }
+        let version = match lines.next().map(str::trim) {
+            Some(magic) if magic == MANIFEST_MAGIC => 1,
+            Some(magic) if magic == MANIFEST_MAGIC_V2 => 2,
+            Some(magic) if magic.starts_with(MANIFEST_MAGIC_PREFIX) => {
+                return Err(bad(format!(
+                    "unsupported manifest version '{magic}' (this build reads v1 and v2)"
+                )))
+            }
+            _ => return Err(bad("not a .zsm shard manifest")),
+        };
         let mut flavor = None;
         let mut declared_lines = None;
+        let mut generation = None;
         let mut shards = Vec::new();
         for (no, raw) in lines.enumerate() {
             let line = raw.trim();
@@ -162,6 +233,22 @@ impl ShardManifest {
                         f.next()
                             .and_then(|v| v.parse::<u64>().ok())
                             .ok_or_else(|| bad(format!("line {}: bad line count", no + 2)))?,
+                    );
+                }
+                Some("generation") => {
+                    if version < 2 {
+                        return Err(bad(format!(
+                            "line {}: 'generation' is a v2 field in a v1 manifest",
+                            no + 2
+                        )));
+                    }
+                    if generation.is_some() {
+                        return Err(bad(format!("line {}: duplicate 'generation'", no + 2)));
+                    }
+                    generation = Some(
+                        f.next()
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .ok_or_else(|| bad(format!("line {}: bad generation", no + 2)))?,
                     );
                 }
                 Some("shard") => {
@@ -202,7 +289,7 @@ impl ShardManifest {
         if shards.is_empty() {
             return Err(bad("manifest lists no shards"));
         }
-        let manifest = ShardManifest::new(flavor, shards);
+        let manifest = ShardManifest::new(flavor, shards).with_generation(generation.unwrap_or(0));
         if let Some(declared) = declared_lines {
             if declared != manifest.total_lines {
                 return Err(bad(format!(
@@ -228,11 +315,11 @@ impl ShardManifest {
     }
 }
 
-/// Whether `path` starts with the `.zsm` manifest magic — the sniff
-/// [`DeckReader::open`] uses to dispatch between layouts.
+/// Whether `path` starts with the `.zsm` manifest magic (any version) —
+/// the sniff [`DeckReader::open`] uses to dispatch between layouts.
 pub fn is_manifest(path: &Path) -> Result<bool, ZsmilesError> {
     let mut f = std::fs::File::open(path)?;
-    let mut head = [0u8; MANIFEST_MAGIC.len()];
+    let mut head = [0u8; MANIFEST_MAGIC_PREFIX.len()];
     let mut got = 0;
     while got < head.len() {
         let n = f.read(&mut head[got..])?;
@@ -241,7 +328,7 @@ pub fn is_manifest(path: &Path) -> Result<bool, ZsmilesError> {
         }
         got += n;
     }
-    Ok(head == *MANIFEST_MAGIC.as_bytes())
+    Ok(head == *MANIFEST_MAGIC_PREFIX.as_bytes())
 }
 
 // ---------------------------------------------------------------------------
@@ -403,6 +490,9 @@ pub struct ShardedWriter {
     carry: Vec<u8>,
     stats: CompressStats,
     peak_buffered: usize,
+    /// Dataset generation stamped onto the manifest (0 = none; see
+    /// [`ShardManifest::with_generation`]).
+    generation: u64,
 }
 
 impl ShardedWriter {
@@ -445,11 +535,19 @@ impl ShardedWriter {
             carry: Vec::new(),
             stats: CompressStats::default(),
             peak_buffered: 0,
+            generation: 0,
         };
         if w.workers == 1 {
             w.open_shard()?;
         }
         Ok(w)
+    }
+
+    /// Stamp a dataset generation onto the manifest this pack will write.
+    /// Zero (the default) keeps the historical v1 format; nonzero bumps
+    /// the manifest to v2 with a `generation` row.
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     /// Shards completed so far (shards being written or staged for a
@@ -723,7 +821,8 @@ impl ShardedWriter {
         } else {
             self.seal_shard()?;
         }
-        let manifest = ShardManifest::new(self.dict.flavor(), self.shards);
+        let manifest =
+            ShardManifest::new(self.dict.flavor(), self.shards).with_generation(self.generation);
         manifest.save(&self.manifest_path)?;
         Ok(ShardedPackInfo {
             manifest_path: self.manifest_path,
@@ -784,6 +883,15 @@ impl ShardedReader {
     /// embedded dictionary against the manifest — all from metadata; no
     /// payload byte is read.
     pub fn open(manifest_path: &Path) -> Result<ShardedReader, ZsmilesError> {
+        ShardedReader::open_with(manifest_path, &DeckOptions::default())
+    }
+
+    /// [`ShardedReader::open`] with explicit [`DeckOptions`] (e.g. a
+    /// private [`BlockCache`] for deterministic retirement).
+    pub fn open_with(
+        manifest_path: &Path,
+        options: &DeckOptions,
+    ) -> Result<ShardedReader, ZsmilesError> {
         let manifest = ShardManifest::load(manifest_path)?;
         let dir = manifest_path
             .parent()
@@ -794,7 +902,7 @@ impl ShardedReader {
         let mut at = 0u64;
         let mut first_dict: Option<Vec<u8>> = None;
         for meta in manifest.shards() {
-            let reader = ArchiveReader::open_auto(&dir.join(&meta.file))?;
+            let reader = ArchiveReader::from_source(options.open_source(&dir.join(&meta.file))?)?;
             if reader.flavor() != manifest.flavor() {
                 return Err(bad(format!(
                     "shard {}: flavor {} does not match manifest {}",
@@ -875,6 +983,23 @@ impl ShardedReader {
     /// The parsed manifest.
     pub fn manifest(&self) -> &ShardManifest {
         &self.manifest
+    }
+
+    /// The dataset generation stamped on the manifest (0 for v1
+    /// manifests, which predate the row).
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation()
+    }
+
+    /// Drop every block this deck's shards hold in their block cache
+    /// (when cache-backed; a no-op for mmap). Returns how many blocks
+    /// were released. The serving layer calls this when a generation is
+    /// retired so the flipped-away deck stops competing for cache budget.
+    pub fn retire_cached_blocks(&self) -> u64 {
+        self.readers
+            .iter()
+            .map(|r| r.source().retire_cached_blocks())
+            .sum()
     }
 
     /// Number of shards.
@@ -1081,12 +1206,40 @@ impl DeckReader {
     /// through [`AutoSource`]: a zero-syscall mmap where the platform has
     /// one, shared-block-cache positioned I/O otherwise.
     pub fn open(path: &Path) -> Result<DeckReader, ZsmilesError> {
+        DeckReader::open_with(path, &DeckOptions::default())
+    }
+
+    /// [`DeckReader::open`] with explicit [`DeckOptions`] (e.g. a private
+    /// [`BlockCache`] so a retiring generation's blocks can be dropped
+    /// deterministically).
+    pub fn open_with(path: &Path, options: &DeckOptions) -> Result<DeckReader, ZsmilesError> {
         if is_manifest(path)? {
-            Ok(DeckReader::Sharded(Box::new(ShardedReader::open(path)?)))
-        } else {
-            Ok(DeckReader::Single(Box::new(ArchiveReader::open_auto(
-                path,
+            Ok(DeckReader::Sharded(Box::new(ShardedReader::open_with(
+                path, options,
             )?)))
+        } else {
+            Ok(DeckReader::Single(Box::new(ArchiveReader::from_source(
+                options.open_source(path)?,
+            )?)))
+        }
+    }
+
+    /// The dataset generation this deck declares: the manifest's
+    /// `generation` row for sharded decks, 0 for single-file archives
+    /// and v1 manifests (which have no such row).
+    pub fn generation(&self) -> u64 {
+        match self {
+            DeckReader::Single(_) => 0,
+            DeckReader::Sharded(r) => r.generation(),
+        }
+    }
+
+    /// Drop every block this deck holds in its block cache (no-op for
+    /// mmap-backed files); returns how many blocks were released.
+    pub fn retire_cached_blocks(&self) -> u64 {
+        match self {
+            DeckReader::Single(r) => r.source().retire_cached_blocks(),
+            DeckReader::Sharded(r) => r.retire_cached_blocks(),
         }
     }
 
@@ -1328,6 +1481,83 @@ mod tests {
         .unwrap();
         assert_eq!(ok.shards().len(), 1);
         assert_eq!(ok.shards()[0].crc32, 0xAAFF);
+    }
+
+    #[test]
+    fn manifest_generation_round_trips_as_v2() {
+        let shards = vec![ShardMeta {
+            file: "deck.00000.zsa".into(),
+            lines: 4,
+            file_bytes: 99,
+            crc32: 0xDEAD,
+        }];
+        // Generation 0 stays byte-identical to the historical v1 format.
+        let v1 = ShardManifest::new(DictFlavor::Base, shards.clone());
+        let mut raw = Vec::new();
+        v1.write_to(&mut raw).unwrap();
+        let text = String::from_utf8(raw.clone()).unwrap();
+        assert!(text.starts_with(MANIFEST_MAGIC), "v1 magic kept");
+        assert!(!text.contains("generation"), "no generation row at 0");
+        assert_eq!(ShardManifest::read_from(&raw).unwrap().generation(), 0);
+
+        // A nonzero generation bumps the magic to v2 and round-trips.
+        let v2 = ShardManifest::new(DictFlavor::Base, shards).with_generation(7);
+        let mut raw = Vec::new();
+        v2.write_to(&mut raw).unwrap();
+        let text = String::from_utf8(raw.clone()).unwrap();
+        assert!(text.starts_with(MANIFEST_MAGIC_V2), "v2 magic");
+        assert!(text.contains("generation 7"));
+        let back = ShardManifest::read_from(&raw).unwrap();
+        assert_eq!(back, v2);
+        assert_eq!(back.generation(), 7);
+    }
+
+    #[test]
+    fn manifest_version_gate_is_strict() {
+        // `generation` in a v1 manifest is an error, not silently read.
+        assert!(ShardManifest::read_from(
+            b"#zsmiles-shards v1\nflavor base\ngeneration 3\nshard a.zsa 1 2 03\n"
+        )
+        .is_err());
+        // An unknown future version is refused up front.
+        assert!(
+            ShardManifest::read_from(b"#zsmiles-shards v9\nflavor base\nshard a.zsa 1 2 03\n")
+                .is_err()
+        );
+        // Duplicate and malformed generation rows are refused.
+        assert!(ShardManifest::read_from(
+            b"#zsmiles-shards v2\nflavor base\ngeneration 1\ngeneration 2\nshard a.zsa 1 2 03\n"
+        )
+        .is_err());
+        assert!(ShardManifest::read_from(
+            b"#zsmiles-shards v2\nflavor base\ngeneration x\nshard a.zsa 1 2 03\n"
+        )
+        .is_err());
+        // A v2 manifest without the optional row reads as generation 0.
+        let ok = ShardManifest::read_from(b"#zsmiles-shards v2\nflavor base\nshard a.zsa 1 2 03\n")
+            .unwrap();
+        assert_eq!(ok.generation(), 0);
+    }
+
+    #[test]
+    fn sharded_writer_stamps_generation_through_to_readers() {
+        let dir = tmpdir("gen");
+        let mut w = ShardedWriter::create(
+            &dir.join("deck.zsm"),
+            dict(false),
+            ShardPolicy::by_lines(50),
+            WriterOptions::default(),
+        )
+        .unwrap();
+        w.set_generation(42);
+        w.write(&deck_bytes()).unwrap();
+        w.finish().unwrap();
+
+        let sharded = ShardedReader::open(&dir.join("deck.zsm")).unwrap();
+        assert_eq!(sharded.generation(), 42);
+        let deck = DeckReader::open(&dir.join("deck.zsm")).unwrap();
+        assert_eq!(deck.generation(), 42);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

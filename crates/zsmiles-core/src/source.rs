@@ -459,6 +459,16 @@ impl<S: ArchiveSource> CachedSource<S> {
         &self.cache
     }
 
+    /// Retire this source's blocks from the pool *now*, without waiting
+    /// for drop — the hook a serving process uses when it flips to a new
+    /// dataset generation and wants the old archive's budget back
+    /// immediately. Returns how many resident blocks left the pool; the
+    /// eventual drop re-forgets harmlessly (0). The source stays usable:
+    /// later reads simply reload.
+    pub fn retire(&self) -> u64 {
+        self.cache.forget_archive(self.archive_id)
+    }
+
     pub fn inner(&self) -> &S {
         &self.inner
     }
@@ -559,6 +569,19 @@ impl AutoSource {
         )?)))
     }
 
+    /// Force the cached-file path against a specific (possibly private)
+    /// pool — a serving process giving each tenant its own budget, or a
+    /// test that wants deterministic residency.
+    pub fn open_cached_with(
+        path: &Path,
+        cache: Arc<BlockCache>,
+    ) -> Result<AutoSource, ZsmilesError> {
+        Ok(AutoSource::Cached(CachedSource::with_cache(
+            FileSource::open(path)?,
+            cache,
+        )))
+    }
+
     /// `"mmap"` or `"cached-file"` — for human-readable reports.
     pub fn mode(&self) -> &'static str {
         match self {
@@ -581,6 +604,16 @@ impl AutoSource {
         match self {
             AutoSource::Mmap(_) => None,
             AutoSource::Cached(c) => Some((c.hits(), c.misses())),
+        }
+    }
+
+    /// Retire this source's blocks from its pool now (see
+    /// [`CachedSource::retire`]); 0 in mmap mode, where no cache holds
+    /// anything on the archive's behalf.
+    pub fn retire_cached_blocks(&self) -> u64 {
+        match self {
+            AutoSource::Mmap(_) => 0,
+            AutoSource::Cached(c) => c.retire(),
         }
     }
 }
