@@ -13,7 +13,12 @@
 //! `BlockCache` — plus the *served* read path: a live `zsmiles-serve`
 //! process on a loopback TCP socket, random gets from 1 / 8 / 64
 //! concurrent clients with throughput and p50/p99 tail latency per
-//! level — and writes the numbers (MB/s and ns/op) as JSON. It also records the *dictionary fitting* story: the
+//! level — plus the robustness paths: the `check` deep verify (open +
+//! CRC + full decode of every shard) as an MB/s rate, and the served
+//! random-get rate with one shard quarantined (degraded mode) next to
+//! the healthy rate on the same surviving lines, so degraded dispatch
+//! overhead is a measured number — and writes the numbers (MB/s and
+//! ns/op) as JSON. It also records the *dictionary fitting* story: the
 //! compression ratio of the shipped `default.dct` on this deck next to a
 //! dictionary trained on the deck itself through `train::BaseBuilder`
 //! (cost-guided selection on a seeded reservoir sample), asserting the
@@ -22,7 +27,7 @@
 //! ```text
 //! cargo run --release -p bench --bin throughput -- \
 //!     [--lines 50000] [--seed 12648430] [--threads N] [--reps 3] \
-//!     [--gets 20000] [--out BENCH_7.json]
+//!     [--gets 20000] [--out BENCH_8.json]
 //! ```
 //!
 //! Every measurement is best-of-`reps` wall time (per-rep byte counts are
@@ -65,7 +70,7 @@ fn parse_opts() -> Opts {
             .unwrap_or(4),
         reps: 3,
         gets: 20_000,
-        out: "BENCH_7.json".to_string(),
+        out: "BENCH_8.json".to_string(),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -321,7 +326,6 @@ fn main() {
             );
         }
     }
-    std::fs::remove_dir_all(&tmp).ok();
 
     // ---- dictionary fitting: shipped default vs trained-on-deck ----------
     // The paper's shared-dictionary story says one `.dct` serves any deck;
@@ -508,6 +512,72 @@ fn main() {
         handle.shutdown();
         rows
     };
+
+    // ---- deep verify: the fsck walk as a rate -----------------------------
+    // What `zsmiles check` performs per shard: open, CRC sweep, and a
+    // full decode of every line — the cost of trusting a deck again.
+    let verify_secs = time_best(o.reps, || {
+        let report = zsmiles_core::check_deck(&manifest_path).expect("checking the deck");
+        assert!(report.is_ok(), "bench deck is sound");
+    });
+    let r_verify = rate(payload, o.lines, verify_secs);
+
+    // ---- degraded-mode dispatch overhead ----------------------------------
+    // Quarantine the last shard of the serial sharded deck and re-measure
+    // the single-client served random-get rate on the *surviving* lines,
+    // against the healthy rate on the same lines: the ratio is the cost
+    // of the degraded routing (the quarantined-shard bounds check plus
+    // the Option indirection), not of the missing data.
+    let shards = &par_info.shards;
+    assert!(
+        shards.len() >= 2,
+        "degraded bench needs at least two shards"
+    );
+    let cut = o.lines - shards.last().expect("last shard").lines as usize;
+    let survivors: Vec<usize> = order.iter().copied().filter(|&i| i < cut).collect();
+    let run_gets = |addr: std::net::SocketAddr, survivors: &[usize]| {
+        let mut c = QueryClient::connect(addr).expect("degraded bench client");
+        let secs = time_best(o.reps, || {
+            for &i in survivors {
+                let line = c.get(i as u64).expect("served get on a healthy shard");
+                std::hint::black_box(&line);
+            }
+        });
+        survivors.len() as f64 / secs
+    };
+    let handle = Server::start(&manifest_path, "127.0.0.1:0", ServeOptions::default())
+        .expect("starting the healthy server");
+    let healthy_ops_per_s = run_gets(handle.addr(), &survivors);
+    handle.shutdown();
+    let last_file = serial_dir.join(&shards.last().expect("last shard").file);
+    std::fs::rename(&last_file, last_file.with_extension("zsa.quarantined"))
+        .expect("quarantining the last shard");
+    let handle = Server::start(
+        &manifest_path,
+        "127.0.0.1:0",
+        ServeOptions {
+            degraded: true,
+            ..Default::default()
+        },
+    )
+    .expect("starting the degraded server");
+    {
+        let mut c = QueryClient::connect(handle.addr()).expect("degraded probe client");
+        let h = c.health().expect("health probe");
+        assert!(
+            !h.ok && h.quarantined_shards == 1,
+            "the deck serves degraded"
+        );
+        assert!(
+            c.get((o.lines - 1) as u64).is_err(),
+            "a quarantined line is a typed error"
+        );
+    }
+    let degraded_ops_per_s = run_gets(handle.addr(), &survivors);
+    handle.shutdown();
+    let degraded_overhead = healthy_ops_per_s / degraded_ops_per_s;
+    std::fs::remove_dir_all(&tmp).ok();
+
     let serve_json = serve_rows
         .iter()
         .map(|(clients, ops, ops_per_s, p50, p99)| {
@@ -540,7 +610,7 @@ fn main() {
 
     let json = format!
     (
-        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 7,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \"parallel_pack_threads\": {},\n  \"shard_lines\": {},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"mmap_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"bytes_mapped\": {} }},\n  \"cached_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"hits\": {}, \"misses\": {}, \"pool_hit_rate\": {:.4} }},\n  \"concurrent_serve\": [\n{}\n  ],\n  \"encode_speedup_dense_vs_node_trie\": {:.3},\n  \"wide_encode_speedup_dense_vs_node_trie\": {:.3},\n  \"dict_fitting\": {{ \"ratio_default_dict\": {:.4}, \"ratio_trained_dict\": {:.4}, \"train_sample_lines\": {}, \"train_secs\": {:.3} }}\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 8,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \"parallel_pack_threads\": {},\n  \"shard_lines\": {},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"mmap_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"bytes_mapped\": {} }},\n  \"cached_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"hits\": {}, \"misses\": {}, \"pool_hit_rate\": {:.4} }},\n  \"concurrent_serve\": [\n{}\n  ],\n  \"served_degraded\": {{ \"healthy_ops_per_s\": {:.0}, \"degraded_ops_per_s\": {:.0}, \"overhead\": {:.3}, \"survivor_ops\": {} }},\n  \"encode_speedup_dense_vs_node_trie\": {:.3},\n  \"wide_encode_speedup_dense_vs_node_trie\": {:.3},\n  \"dict_fitting\": {{ \"ratio_default_dict\": {:.4}, \"ratio_trained_dict\": {:.4}, \"train_sample_lines\": {}, \"train_secs\": {:.3} }}\n}}\n",
         o.lines,
         o.seed,
         payload,
@@ -558,6 +628,7 @@ fn main() {
         json_rate("streaming_pack_single", &r_pack_single),
         json_rate("streaming_pack_sharded", &r_pack_sharded),
         json_rate("streaming_pack_sharded_parallel", &r_pack_sharded_par),
+        json_rate("deep_verify", &r_verify),
         par_threads,
         shard_lines,
         get_ns,
@@ -571,6 +642,10 @@ fn main() {
         cache_misses,
         cache_hit_rate,
         serve_json,
+        healthy_ops_per_s,
+        degraded_ops_per_s,
+        degraded_overhead,
+        survivors.len(),
         speedup,
         wide_speedup,
         default_stats.ratio(),
@@ -592,6 +667,12 @@ fn main() {
             "serve: {clients:>2} client(s) -> {ops_per_s:.0} ops/s, p50 {p50} ns, p99 {p99} ns"
         );
     }
+    eprintln!(
+        "deep verify {:.1} MB/s; degraded serve {degraded_ops_per_s:.0} ops/s vs healthy \
+         {healthy_ops_per_s:.0} ops/s ({degraded_overhead:.3}x overhead, {} survivor gets)",
+        r_verify.mb_per_s,
+        survivors.len()
+    );
     if speedup < 1.5 {
         eprintln!("WARNING: dense-automaton speedup below the 1.5x floor");
     }

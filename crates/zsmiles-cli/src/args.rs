@@ -20,6 +20,10 @@ const BOOL_FLAGS: &[&str] = &[
     "--dict-stats",
     "--stats",
     "--shutdown",
+    "--repair",
+    "--quarantine",
+    "--health",
+    "--degraded",
 ];
 
 impl Args {

@@ -9,12 +9,13 @@ use zsmiles_core::serve::{QueryClient, ServeOptions, Server};
 use zsmiles_core::shard::{is_manifest, ShardPolicy, ShardedReader, ShardedWriter};
 use zsmiles_core::train::{BaseBuilder, DictBuilder as _, TrainCorpus, WideBuilder};
 use zsmiles_core::{
-    ArchiveReader, ArchiveWriter, BlockCache, CountingSource, Decompressor, FileSink, FileSource,
-    LineIndex, Prepopulation, RankStrategy, Selection, TrainOptions, WriterOptions,
+    check_deck, quarantine_shards, repair_deck, ArchiveReader, ArchiveWriter, AtomicFileSink,
+    BlockCache, CountingSource, Decompressor, FileSource, LineIndex, Prepopulation, RankStrategy,
+    Selection, TrainOptions, WriterOptions,
 };
 
 const USAGE: &str =
-    "usage: zsmiles <gen|train|compress|decompress|pack|unpack|get|serve|query|screen|stats|inspect> [flags]
+    "usage: zsmiles <gen|train|compress|decompress|pack|unpack|check|get|serve|query|screen|stats|inspect> [flags]
   gen        --profile gdb17|mediate|exscalate|mixed -n N [--seed S] -o out.smi
   train      -i train.smi|- -o dict.dct [--flavor base|wide] [--wide N]
              [--max-symbols N] [--sample-lines N] [--seed S]
@@ -41,22 +42,34 @@ const USAGE: &str =
               manifest — the serve command's flip requires each new deck
               to be newer than the one it replaces)
   unpack     -i in.zsa|in.zsm -o out.smi [--threads N] [--verify] [--verbose]
+  check      --archive in.zsa|in.zsm [--repair] [--quarantine]
+             (deep-verifies every container — header, dictionary, index,
+              streaming CRC, a decode of every line, and each shard's
+              manifest row — and prints a JSON report naming each finding;
+              exits nonzero while any shard stays bad. --repair rewrites
+              stale manifest rows from internally-sound shard files
+              (metadata only, never invents payload); --quarantine moves
+              damaged shards aside to <name>.quarantined so `serve
+              --degraded` keeps answering for the rest of the deck)
   get        -i in.zsmi -d dict.dct --line K
   get        --archive in.zsa|in.zsm --line K [--count N] [--verify] [--verbose]
              (no dictionary or sidecar needed; reads only metadata + the
               lines asked for; archives are mmapped where the platform
               allows, else read through the shared block cache — --verbose
               reports bytes mapped, or the cache hit rate and evictions)
-  serve      --archive in.zsa|in.zsm [--addr HOST:PORT] [--max-conns N]
+  serve      --archive in.zsa|in.zsm [--addr HOST:PORT] [--max-conns N] [--degraded]
              (holds the deck open and answers concurrent get/get_range/
               get_many/stats clients over a length-prefixed binary TCP
               protocol; --addr defaults to 127.0.0.1:0 — an ephemeral
               port, printed on startup; a wire flip atomically swaps to a
-              new dataset generation and a wire shutdown stops serving)
+              new dataset generation and a wire shutdown stops serving;
+              --degraded tolerates quarantined shards — the rest of the
+              deck serves and health reports degraded)
   query      --addr HOST:PORT (--line K [--count N] | --many i,j,k
-             | --stats | --flip newdeck.zsm | --shutdown)
+             | --stats | --health | --flip newdeck.zsm | --shutdown)
              (one request against a running serve process; --flip names a
-              server-local archive path)
+              server-local archive path; --health exits nonzero when the
+              served deck is degraded — a ready-made readiness probe)
   screen     -i deck.smi [--pocket-seed S] [--top K] [--threads N] [--scores out.tsv]
   stats      -i file.smi
   inspect    -d dict.dct [-i corpus.smi] [--dict-stats]
@@ -84,6 +97,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "decompress" => cmd_decompress(&args),
         "pack" => cmd_pack(&args),
         "unpack" => cmd_unpack(&args),
+        "check" => cmd_check(&args),
         "get" => cmd_get(&args),
         "serve" => cmd_serve(&args),
         "query" => cmd_query(&args),
@@ -429,11 +443,14 @@ fn cmd_pack(args: &Args) -> Result<(), String> {
     }
 
     // Single-file layout, still streaming: bounded memory however large
-    // the deck is.
-    let sink = FileSink::create(Path::new(output)).map_err(|e| e.to_string())?;
+    // the deck is. The archive builds under a temp name and is renamed
+    // into place only after a durable finish — a killed pack leaves the
+    // previous output (or nothing), never a half-written container.
+    let sink = AtomicFileSink::create(Path::new(output)).map_err(|e| e.to_string())?;
     let mut w = ArchiveWriter::with_options(sink, dict, opts).map_err(|e| e.to_string())?;
     stream_input(reader, |chunk| w.write(chunk).map_err(|e| e.to_string()))?;
-    let (_, info) = w.finish().map_err(|e| e.to_string())?;
+    let (sink, info) = w.finish().map_err(|e| e.to_string())?;
+    sink.commit().map_err(|e| e.to_string())?;
     if !args.get_bool("--quiet") {
         println!(
             "packed {} lines, {} -> {} payload bytes (ratio {:.3}), {} bytes on disk \
@@ -488,6 +505,42 @@ fn cmd_unpack(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `check`: deep-verify a deck, print the machine-readable report, and
+/// optionally repair manifest metadata or quarantine damaged shards.
+/// Exits nonzero while any shard stays bad, so orchestration can gate on
+/// the exit code alone.
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let path = Path::new(args.require("--archive")?);
+    let mut report = check_deck(path).map_err(|e| e.to_string())?;
+    if args.get_bool("--repair") && !report.is_ok() {
+        let outcome = repair_deck(path, &report).map_err(|e| e.to_string())?;
+        for file in &outcome.rows_rewritten {
+            eprintln!("repaired: manifest row for {file} rewritten from the shard file");
+        }
+        for file in &outcome.unrepairable {
+            eprintln!("unrepairable: {file} has payload damage (quarantine or re-pack)");
+        }
+        if !outcome.rows_rewritten.is_empty() {
+            report = check_deck(path).map_err(|e| e.to_string())?;
+        }
+    }
+    if args.get_bool("--quarantine") && !report.is_ok() {
+        for file in quarantine_shards(path, &report).map_err(|e| e.to_string())? {
+            eprintln!("quarantined: {file} -> {file}.quarantined");
+        }
+    }
+    println!("{}", report.to_json());
+    if report.is_ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} shard(s) failed verification",
+            report.bad_count(),
+            report.shards.len()
+        ))
+    }
+}
+
 /// One-line `--verbose` description of how an archive's bytes were
 /// served: an mmap (zero-copy, nothing to cache) or positioned file I/O
 /// through the shared block cache, with this workload's hit/miss split
@@ -505,8 +558,8 @@ fn read_path_report(bytes_mapped: u64, counters: Option<(u64, u64)>) -> String {
             let pool = BlockCache::global().stats();
             format!(
                 "read path: cached file I/O, {hits} hit(s) / {misses} miss(es) ({rate:.1}% hit \
-                 rate) | shared pool: {} block(s) resident, {} eviction(s)",
-                pool.resident_blocks, pool.evictions
+                 rate) | shared pool: {} block(s) resident, {} eviction(s), {} failed load(s)",
+                pool.resident_blocks, pool.evictions, pool.load_failures
             )
         }
     }
@@ -778,14 +831,24 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let addr = args.get("--addr").unwrap_or("127.0.0.1:0");
     let opts = ServeOptions {
         max_connections: args.get_usize("--max-conns", 64)?,
+        degraded: args.get_bool("--degraded"),
         ..Default::default()
     };
     let handle = Server::start(Path::new(path), addr, opts).map_err(|e| e.to_string())?;
+    let health = handle.health();
     println!(
-        "serving {path} ({} lines, generation {}) on {}",
+        "serving {path} ({} lines, generation {}) on {}{}",
         handle.stats().lines,
         handle.generation(),
-        handle.addr()
+        handle.addr(),
+        if health.ok {
+            String::new()
+        } else {
+            format!(
+                " [degraded: {} of {} shard(s) quarantined, {} line(s) unavailable]",
+                health.quarantined_shards, health.total_shards, health.unavailable_lines
+            )
+        }
     );
     use std::io::Write;
     std::io::stdout().flush().ok();
@@ -814,6 +877,27 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             s.retired_blocks,
         );
         return Ok(());
+    }
+    if args.get_bool("--health") {
+        let h = client.health().map_err(|e| e.to_string())?;
+        println!(
+            "{} | generation {} | {} shard(s), {} quarantined | {} line(s) unavailable",
+            if h.ok { "ok" } else { "degraded" },
+            h.generation,
+            h.total_shards,
+            h.quarantined_shards,
+            h.unavailable_lines,
+        );
+        // A degraded deck is a nonzero exit so readiness probes can
+        // just run `query --health`.
+        return if h.ok {
+            Ok(())
+        } else {
+            Err(format!(
+                "deck is degraded: {} shard(s) quarantined",
+                h.quarantined_shards
+            ))
+        };
     }
     if let Some(path) = args.get("--flip") {
         let generation = client.flip(path).map_err(|e| e.to_string())?;
@@ -1402,6 +1486,107 @@ mod tests {
             std::fs::metadata(&smi).unwrap().len() > 0,
             "input survived the refused self-pack"
         );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_quarantine_and_degraded_serve_round_trip() {
+        let dir = std::env::temp_dir().join(format!("zcli_check_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let smi = p("deck.smi");
+        let dct = p("deck.dct");
+        let zsm = p("deck.zsm");
+        let good = p("good.zsm");
+
+        run(&argv(&[
+            "gen",
+            "--profile",
+            "mixed",
+            "-n",
+            "300",
+            "--seed",
+            "17",
+            "-o",
+            &smi,
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "train",
+            "-i",
+            &smi,
+            "-o",
+            &dct,
+            "--no-preprocess",
+            "--quiet",
+        ]))
+        .unwrap();
+        for (deck, generation) in [(&zsm, "1"), (&good, "9")] {
+            run(&argv(&[
+                "pack",
+                "-i",
+                &smi,
+                "-d",
+                &dct,
+                "-o",
+                deck,
+                "--shard-lines",
+                "100",
+                "--generation",
+                generation,
+                "--quiet",
+            ]))
+            .unwrap();
+        }
+
+        // A clean deck checks ok.
+        run(&argv(&["check", "--archive", &zsm])).unwrap();
+
+        // Corrupt the middle shard's payload; check must fail and name it.
+        let victim = dir.join("deck.00001.zsa");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&victim, &bytes).unwrap();
+        let err = run(&argv(&["check", "--archive", &zsm])).unwrap_err();
+        assert!(err.contains("1 of 3"), "got: {err}");
+
+        // Quarantine the damage; a strict open now refuses the deck
+        // (shard file gone), degraded serving carries on without it.
+        assert!(run(&argv(&["check", "--archive", &zsm, "--quarantine"])).is_err());
+        assert!(dir.join("deck.00001.zsa.quarantined").exists());
+        assert!(Server::start(
+            Path::new(&zsm),
+            "127.0.0.1:0",
+            zsmiles_core::ServeOptions::default()
+        )
+        .is_err());
+        let handle = Server::start(
+            Path::new(&zsm),
+            "127.0.0.1:0",
+            zsmiles_core::ServeOptions {
+                degraded: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+        // Health reports degraded (nonzero exit for probes).
+        assert!(run(&argv(&["query", "--addr", &addr, "--health"])).is_err());
+        // Healthy-shard lines still answer; quarantined lines are typed
+        // errors, not hangs.
+        run(&argv(&["query", "--addr", &addr, "--line", "5"])).unwrap();
+        run(&argv(&["query", "--addr", &addr, "--line", "250"])).unwrap();
+        let err = run(&argv(&["query", "--addr", &addr, "--line", "150"])).unwrap_err();
+        assert!(err.contains("Unavailable"), "got: {err}");
+
+        // Flip to the repaired generation restores full health.
+        run(&argv(&["query", "--addr", &addr, "--flip", &good])).unwrap();
+        run(&argv(&["query", "--addr", &addr, "--health"])).unwrap();
+        run(&argv(&["query", "--addr", &addr, "--line", "150"])).unwrap();
+        run(&argv(&["query", "--addr", &addr, "--shutdown", "--quiet"])).unwrap();
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -51,6 +51,10 @@ pub struct BlockCacheStats {
     /// ([`BlockCache::forget_archive`]) — a dataset generation flip, a
     /// source going out of scope.
     pub retired: u64,
+    /// Load closures that returned an error (I/O failures, corrupt
+    /// media): nothing was cached, the caller saw the error, and the
+    /// next lookup retried.
+    pub load_failures: u64,
     /// Blocks resident right now.
     pub resident_blocks: u64,
     /// Bytes resident right now.
@@ -89,6 +93,7 @@ pub struct BlockCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     retired: AtomicU64,
+    load_failures: AtomicU64,
 }
 
 impl std::fmt::Debug for BlockCache {
@@ -117,6 +122,7 @@ impl BlockCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             retired: AtomicU64::new(0),
+            load_failures: AtomicU64::new(0),
         }
     }
 
@@ -176,7 +182,9 @@ impl BlockCache {
                 return Ok((bytes, true));
             }
         }
-        let bytes = Arc::new(load()?);
+        let bytes = Arc::new(load().inspect_err(|_| {
+            self.load_failures.fetch_add(1, Ordering::Relaxed);
+        })?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut s = shard.lock().expect("cache shard poisoned");
         s.clock += 1;
@@ -254,6 +262,7 @@ impl BlockCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             retired: self.retired.load(Ordering::Relaxed),
+            load_failures: self.load_failures.load(Ordering::Relaxed),
             resident_blocks: blocks,
             resident_bytes: bytes,
         }
@@ -356,9 +365,13 @@ mod tests {
             .get_or_load(a, 0, || Err(ZsmilesError::Io("transient".into())))
             .unwrap_err();
         assert!(matches!(err, ZsmilesError::Io(_)));
+        assert_eq!(cache.stats().load_failures, 1, "failure is counted");
         let (bytes, hit) = cache.get_or_load(a, 0, load_ok(7, 8)).unwrap();
         assert!(!hit, "error was not cached");
         assert_eq!(*bytes, vec![7; 8]);
+        let stats = cache.stats();
+        assert_eq!(stats.load_failures, 1, "the retry's success adds nothing");
+        assert_eq!(stats.misses, 1, "failed loads are not misses");
     }
 
     #[test]

@@ -84,10 +84,14 @@ impl Dictionary {
         for (seen, pat) in patterns.into_iter().enumerate() {
             let pat = pat.as_ref();
             let requested = seen + 1;
-            debug_assert!(
-                !pat.is_empty() && pat.len() <= MAX_PATTERN_LEN,
-                "builder emits bounded patterns"
-            );
+            // Deserialized dictionaries can carry corrupted patterns —
+            // refuse typed, don't assert.
+            if pat.is_empty() || pat.len() > MAX_PATTERN_LEN {
+                return Err(ZsmilesError::DictFormat {
+                    line: requested,
+                    reason: format!("pattern has length {} (1..={MAX_PATTERN_LEN})", pat.len()),
+                });
+            }
             // Single-byte identity duplicates add nothing.
             if pat.len() == 1 && entries[pat[0] as usize].is_some() {
                 continue;

@@ -46,6 +46,10 @@ pub enum ZsmilesError {
     /// Wire-protocol violations on the serving path (bad frame length,
     /// unknown opcode, malformed body, server-reported failure).
     Protocol { reason: String },
+    /// A line was routed to a shard that a degraded-mode open has
+    /// quarantined (failed its integrity cross-checks or would not
+    /// open). The rest of the deck keeps serving.
+    ShardUnavailable { shard: String, line: usize },
     /// I/O error (stringified: io::Error is not Clone/PartialEq).
     Io(String),
 }
@@ -108,6 +112,12 @@ impl fmt::Display for ZsmilesError {
                 write!(f, "byte 0x{byte:02x} at {at} has no dictionary entry")
             }
             Protocol { reason } => write!(f, "wire protocol: {reason}"),
+            ShardUnavailable { shard, line } => {
+                write!(
+                    f,
+                    "line {line} is on quarantined shard '{shard}' (deck is degraded)"
+                )
+            }
             Io(msg) => write!(f, "I/O: {msg}"),
         }
     }

@@ -1,0 +1,429 @@
+//! Deterministic fault injection for the storage stack.
+//!
+//! A corruption-hardening claim is only as strong as the faults it was
+//! tested against. This module supplies seeded, reproducible fault
+//! wrappers for both halves of the out-of-core I/O contract:
+//!
+//! * [`FaultySource`] wraps any [`ArchiveSource`] and can flip a
+//!   pseudo-random bit of a read, silently zero the tail of a read (a
+//!   short read the kernel never reported), inject an `io::Error` at the
+//!   Nth operation, or present a truncated view of the container.
+//! * [`FaultySink`] wraps any [`ArchiveSink`] and can fail the Nth
+//!   operation outright, tear a write (a prefix reaches the medium, then
+//!   the error), or flip a bit on the way down — the moves a dying disk
+//!   or a `kill -9` mid-pack actually makes.
+//!
+//! Everything is driven by a caller-supplied seed and an operation
+//! counter, never by wall-clock or global randomness: a failing test
+//! names the exact `(seed, op)` pair that broke the stack, and re-runs
+//! reproduce it. The wrappers are test infrastructure, but they live in
+//! the library (not `#[cfg(test)]`) so integration tests, the bench
+//! harness and downstream crates can all drive the same faults.
+
+use crate::error::ZsmilesError;
+use crate::sink::ArchiveSink;
+use crate::source::ArchiveSource;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happens when the fault plan's operation index comes up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation fails with an injected I/O error. Models `EIO`,
+    /// `ENOSPC`, a yanked network mount — and, on a sink, the moment a
+    /// pack process is killed (nothing after the failing op happens).
+    Error,
+    /// The operation "succeeds" but one seeded-pseudo-random bit of the
+    /// bytes involved is flipped. Models silent media corruption.
+    FlipBit,
+    /// A short transfer the caller is not told about: a source fills
+    /// only a prefix of the buffer (tail left zeroed), a sink persists
+    /// only a prefix of the append and then reports the error. Models
+    /// torn writes and lying reads.
+    Short,
+}
+
+/// A fault scheduled at one operation index (0-based, counted across
+/// the wrapper's lifetime).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    pub at_op: u64,
+    pub fault: Fault,
+}
+
+/// SplitMix64 — the same stateless mixer the train subsystem seeds its
+/// reservoir with. `(seed, op)` in, decorrelated bits out.
+fn mix(seed: u64, op: u64) -> u64 {
+    let mut z = seed ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn injected(op: u64, what: &str) -> ZsmilesError {
+    ZsmilesError::Io(format!("injected fault at op {op}: {what}"))
+}
+
+/// Flip one seeded bit of `buf` in place; returns the byte index hit.
+fn flip_one_bit(seed: u64, op: u64, buf: &mut [u8]) -> Option<usize> {
+    if buf.is_empty() {
+        return None;
+    }
+    let r = mix(seed, op);
+    let bit = (r as usize) % (buf.len() * 8);
+    buf[bit / 8] ^= 1 << (bit % 8);
+    Some(bit / 8)
+}
+
+/// Seeded prefix length for a `Short` fault: at least one byte missing,
+/// at least zero delivered.
+fn short_prefix(seed: u64, op: u64, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    (mix(seed, !op) as usize) % len
+}
+
+/// An [`ArchiveSource`] that misbehaves on schedule.
+///
+/// Operation indices count `read_at` calls only (`len()` is free: a
+/// `stat` never fails interestingly). Truncation is a standing view, not
+/// a scheduled op: `truncated(n)` caps `len()` and bounds-checks reads
+/// against the cap, exactly like a file that lost its tail.
+#[derive(Debug)]
+pub struct FaultySource<S> {
+    inner: S,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    truncate_to: Option<u64>,
+    ops: AtomicU64,
+}
+
+impl<S: ArchiveSource> FaultySource<S> {
+    /// A transparent wrapper: no faults until one is scheduled.
+    pub fn new(inner: S, seed: u64) -> FaultySource<S> {
+        FaultySource {
+            inner,
+            seed,
+            plan: None,
+            truncate_to: None,
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Schedule `fault` for the `at_op`-th `read_at` call.
+    pub fn with_fault(mut self, at_op: u64, fault: Fault) -> FaultySource<S> {
+        self.plan = Some(FaultPlan { at_op, fault });
+        self
+    }
+
+    /// Present the container as if it ended at byte `len` (reads beyond
+    /// the cut fail with the same typed error a really-truncated file
+    /// produces).
+    pub fn truncated(mut self, len: u64) -> FaultySource<S> {
+        self.truncate_to = Some(len);
+        self
+    }
+
+    /// `read_at` calls observed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: ArchiveSource> ArchiveSource for FaultySource<S> {
+    fn len(&self) -> u64 {
+        match self.truncate_to {
+            Some(cap) => self.inner.len().min(cap),
+            None => self.inner.len(),
+        }
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), ZsmilesError> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let available = self.len();
+        match offset.checked_add(buf.len() as u64) {
+            Some(end) if end <= available => {}
+            _ => {
+                return Err(ZsmilesError::SourceOutOfBounds {
+                    offset,
+                    len: buf.len(),
+                    available,
+                })
+            }
+        }
+        let scheduled = self.plan.filter(|p| p.at_op == op).map(|p| p.fault);
+        if scheduled == Some(Fault::Error) {
+            return Err(injected(op, "read_at refused"));
+        }
+        self.inner.read_at(offset, buf)?;
+        match scheduled {
+            Some(Fault::FlipBit) => {
+                flip_one_bit(self.seed, op, buf);
+            }
+            Some(Fault::Short) => {
+                let keep = short_prefix(self.seed, op, buf.len());
+                for b in &mut buf[keep..] {
+                    *b = 0;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// An [`ArchiveSink`] that misbehaves on schedule.
+///
+/// Operation indices count every `append`, `write_at` and `flush` call,
+/// in order — so sweeping `at_op` over `0..total_ops` simulates killing
+/// a pack at every distinct point in its I/O schedule. After an
+/// injected [`Fault::Error`] the sink goes dead: every later op fails
+/// too, the way a killed process never writes again.
+#[derive(Debug)]
+pub struct FaultySink<K> {
+    inner: K,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    ops: u64,
+    dead: bool,
+}
+
+impl<K: ArchiveSink> FaultySink<K> {
+    pub fn new(inner: K, seed: u64) -> FaultySink<K> {
+        FaultySink {
+            inner,
+            seed,
+            plan: None,
+            ops: 0,
+            dead: false,
+        }
+    }
+
+    /// Schedule `fault` for the `at_op`-th sink operation.
+    pub fn with_fault(mut self, at_op: u64, fault: Fault) -> FaultySink<K> {
+        self.plan = Some(FaultPlan { at_op, fault });
+        self
+    }
+
+    /// Sink operations observed so far (append + write_at + flush).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whether an injected error has permanently killed the sink.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    pub fn inner(&self) -> &K {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> K {
+        self.inner
+    }
+
+    /// Count the op; return the fault due now, if any. An `Error` fault
+    /// (or any op after one) reports `Fault::Error`.
+    fn tick(&mut self) -> Option<Fault> {
+        let op = self.ops;
+        self.ops += 1;
+        if self.dead {
+            return Some(Fault::Error);
+        }
+        let due = self.plan.filter(|p| p.at_op == op).map(|p| p.fault);
+        if due == Some(Fault::Error) {
+            self.dead = true;
+        }
+        due
+    }
+}
+
+impl<K: ArchiveSink> ArchiveSink for FaultySink<K> {
+    fn append(&mut self, buf: &[u8]) -> Result<(), ZsmilesError> {
+        let op = self.ops;
+        match self.tick() {
+            Some(Fault::Error) => Err(injected(op, "append refused")),
+            Some(Fault::FlipBit) => {
+                let mut bent = buf.to_vec();
+                flip_one_bit(self.seed, op, &mut bent);
+                self.inner.append(&bent)
+            }
+            Some(Fault::Short) => {
+                let keep = short_prefix(self.seed, op, buf.len());
+                self.inner.append(&buf[..keep])?;
+                self.dead = true;
+                Err(injected(op, "append torn mid-write"))
+            }
+            None => self.inner.append(buf),
+        }
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<(), ZsmilesError> {
+        let op = self.ops;
+        match self.tick() {
+            Some(Fault::Error) => Err(injected(op, "write_at refused")),
+            Some(Fault::FlipBit) => {
+                let mut bent = buf.to_vec();
+                flip_one_bit(self.seed, op, &mut bent);
+                self.inner.write_at(offset, &bent)
+            }
+            Some(Fault::Short) => {
+                let keep = short_prefix(self.seed, op, buf.len());
+                self.inner.write_at(offset, &buf[..keep])?;
+                self.dead = true;
+                Err(injected(op, "write_at torn mid-write"))
+            }
+            None => self.inner.write_at(offset, buf),
+        }
+    }
+
+    fn position(&self) -> u64 {
+        self.inner.position()
+    }
+
+    fn flush(&mut self) -> Result<(), ZsmilesError> {
+        let op = self.ops;
+        match self.tick() {
+            Some(Fault::Error) => Err(injected(op, "flush refused")),
+            _ => self.inner.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::InMemorySink;
+    use crate::source::InMemorySource;
+
+    fn payload() -> Vec<u8> {
+        (0u8..=255).cycle().take(1000).collect()
+    }
+
+    #[test]
+    fn transparent_until_scheduled() {
+        let src = FaultySource::new(InMemorySource::new(payload()), 7);
+        let mut buf = [0u8; 16];
+        src.read_at(10, &mut buf).unwrap();
+        assert_eq!(&buf[..], &payload()[10..26]);
+        assert_eq!(src.ops(), 1);
+    }
+
+    #[test]
+    fn bit_flip_is_deterministic_and_single_bit() {
+        let read = |seed| {
+            let src = FaultySource::new(InMemorySource::new(payload()), seed)
+                .with_fault(0, Fault::FlipBit);
+            let mut buf = [0u8; 64];
+            src.read_at(0, &mut buf).unwrap();
+            buf
+        };
+        let a = read(41);
+        let b = read(41);
+        assert_eq!(a, b, "same seed, same flip");
+        let clean = &payload()[..64];
+        let differing: Vec<usize> = (0..64).filter(|&i| a[i] != clean[i]).collect();
+        assert_eq!(differing.len(), 1, "exactly one byte touched");
+        let delta = a[differing[0]] ^ clean[differing[0]];
+        assert_eq!(delta.count_ones(), 1, "exactly one bit flipped");
+        // A different seed lands (almost surely) on a different bit.
+        let c = read(999);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn error_fires_only_at_the_scheduled_op() {
+        let src = FaultySource::new(InMemorySource::new(payload()), 3).with_fault(2, Fault::Error);
+        let mut buf = [0u8; 8];
+        src.read_at(0, &mut buf).unwrap();
+        src.read_at(8, &mut buf).unwrap();
+        let err = src.read_at(16, &mut buf).unwrap_err();
+        assert!(matches!(err, ZsmilesError::Io(_)), "{err}");
+        assert!(err.to_string().contains("injected fault at op 2"), "{err}");
+        // Sources recover: the next op is clean again.
+        src.read_at(24, &mut buf).unwrap();
+        assert_eq!(&buf[..], &payload()[24..32]);
+    }
+
+    #[test]
+    fn short_read_zeroes_the_tail_silently() {
+        let src = FaultySource::new(InMemorySource::new(payload()), 11).with_fault(0, Fault::Short);
+        let mut buf = [0xAAu8; 32];
+        src.read_at(0, &mut buf).unwrap();
+        let keep = short_prefix(11, 0, 32);
+        assert!(keep < 32);
+        assert_eq!(&buf[..keep], &payload()[..keep]);
+        assert!(buf[keep..].iter().all(|&b| b == 0), "tail zeroed");
+    }
+
+    #[test]
+    fn truncated_view_bounds_like_a_short_file() {
+        let src = FaultySource::new(InMemorySource::new(payload()), 0).truncated(100);
+        assert_eq!(ArchiveSource::len(&src), 100);
+        let mut buf = [0u8; 10];
+        src.read_at(90, &mut buf).unwrap();
+        let err = src.read_at(95, &mut buf).unwrap_err();
+        assert!(
+            matches!(err, ZsmilesError::SourceOutOfBounds { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sink_error_is_permanent() {
+        let mut sink = FaultySink::new(InMemorySink::new(), 5).with_fault(1, Fault::Error);
+        sink.append(b"good").unwrap();
+        assert!(sink.append(b"bad").is_err());
+        assert!(sink.is_dead());
+        assert!(sink.append(b"later").is_err(), "dead sinks stay dead");
+        assert!(sink.flush().is_err());
+        assert_eq!(sink.into_inner().into_bytes(), b"good");
+    }
+
+    #[test]
+    fn sink_short_write_persists_a_prefix_then_errors() {
+        let mut sink = FaultySink::new(InMemorySink::new(), 9).with_fault(0, Fault::Short);
+        let err = sink.append(&payload()[..100]).unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        assert!(sink.is_dead());
+        let written = sink.into_inner().into_bytes();
+        assert!(written.len() < 100);
+        assert_eq!(&written[..], &payload()[..written.len()]);
+    }
+
+    #[test]
+    fn sink_bit_flip_corrupts_exactly_one_bit() {
+        let mut sink = FaultySink::new(InMemorySink::new(), 13).with_fault(0, Fault::FlipBit);
+        sink.append(&payload()[..64]).unwrap();
+        sink.append(&payload()[64..128]).unwrap();
+        let written = sink.into_inner().into_bytes();
+        assert_eq!(written.len(), 128);
+        let diff: u8 = written
+            .iter()
+            .zip(&payload()[..128])
+            .map(|(a, b)| a ^ b)
+            .fold(0, |acc, d| acc | d);
+        let flipped: u32 = written
+            .iter()
+            .zip(&payload()[..128])
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "one bit corrupted (xor fold {diff:02x})");
+    }
+
+    #[test]
+    fn sink_counts_every_op_kind() {
+        let mut sink = FaultySink::new(InMemorySink::new(), 1);
+        sink.append(b"abcd").unwrap();
+        sink.write_at(0, b"A").unwrap();
+        sink.flush().unwrap();
+        assert_eq!(sink.ops(), 3);
+        assert_eq!(sink.position(), 4);
+    }
+}

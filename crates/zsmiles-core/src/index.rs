@@ -214,9 +214,14 @@ impl LineIndex {
         r.read_exact(&mut n8)?;
         let total = u64::from_le_bytes(n8);
 
+        // `n` is untrusted input: pre-allocating it verbatim lets a
+        // corrupted count abort the process before read_exact can fail.
+        // Cap the hint — the vectors grow normally past it.
+        let cap = n.min(1 << 20);
+
         if version == 3 {
-            let mut starts = Vec::with_capacity(n);
-            let mut ends = Vec::with_capacity(n);
+            let mut starts = Vec::with_capacity(cap);
+            let mut ends = Vec::with_capacity(cap);
             let mut prev_end = 0u64;
             for i in 0..n {
                 r.read_exact(&mut n8)?;
@@ -251,7 +256,7 @@ impl LineIndex {
         } else {
             true
         };
-        let mut starts = Vec::with_capacity(n);
+        let mut starts = Vec::with_capacity(cap);
         let mut prev: Option<u64> = None;
         for _ in 0..n {
             r.read_exact(&mut n8)?;
@@ -267,7 +272,7 @@ impl LineIndex {
             starts.push(v);
             prev = Some(v);
         }
-        let mut ends = Vec::with_capacity(n);
+        let mut ends = Vec::with_capacity(cap);
         for i in 0..n {
             ends.push(match starts.get(i + 1) {
                 Some(&next) => next - 1,

@@ -110,12 +110,14 @@
 
 pub mod archive;
 pub mod cache;
+pub mod check;
 pub mod codec;
 pub mod compress;
 pub mod decompress;
 pub mod dict;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod fileio;
 pub mod index;
 pub mod parallel;
@@ -132,6 +134,9 @@ pub mod writer;
 
 pub use archive::Archive;
 pub use cache::{BlockCache, BlockCacheStats};
+pub use check::{
+    check_deck, quarantine_shards, repair_deck, CheckReport, RepairOutcome, ShardCheck,
+};
 pub use codec::{Prepopulation, ESCAPE, LINE_SEP};
 pub use compress::{CompressStats, Compressor, MatcherKind};
 pub use decompress::{DecodeTable, DecompressStats, Decompressor};
@@ -142,6 +147,7 @@ pub use engine::{
     LineEncoder, WideEngine,
 };
 pub use error::ZsmilesError;
+pub use fault::{Fault, FaultPlan, FaultySink, FaultySource};
 pub use fileio::{
     compress_stream, compress_stream_dyn, compress_stream_engine, decompress_stream,
     decompress_stream_dyn, decompress_stream_engine, StreamOptions,
@@ -153,12 +159,14 @@ pub use parallel::{
     decompress_parallel_wide, WorkerPool,
 };
 pub use reader::ArchiveReader;
-pub use serve::{QueryClient, ServeHandle, ServeOptions, ServeStats, Server};
-pub use shard::{
-    DeckOptions, DeckReader, ShardManifest, ShardMeta, ShardPolicy, ShardedPackInfo, ShardedReader,
-    ShardedWriter,
+pub use serve::{
+    ClientOptions, HealthStats, QueryClient, ServeHandle, ServeOptions, ServeStats, Server,
 };
-pub use sink::{ArchiveSink, CountingSink, FileSink, InMemorySink};
+pub use shard::{
+    DeckOptions, DeckReader, QuarantinedShard, ShardManifest, ShardMeta, ShardPolicy,
+    ShardedPackInfo, ShardedReader, ShardedWriter,
+};
+pub use sink::{ArchiveSink, AtomicFileSink, CountingSink, FileSink, InMemorySink};
 pub use source::{
     ArchiveSource, AutoSource, CachedSource, CountingSource, FileSource, InMemorySource, MmapSource,
 };

@@ -1,9 +1,20 @@
 //! Blocking client for the `zsmiles-serve` wire protocol — what the CLI
 //! `query` subcommand and the bench harness drive.
+//!
+//! [`QueryClient::connect`] is the bare TCP connect the tests and quick
+//! scripts want; [`QueryClient::connect_with`] layers the production
+//! concerns on top: a connect timeout, a read deadline so a stalled
+//! server cannot hang the caller forever, and a bounded retry loop with
+//! exponential backoff (plus deterministic per-attempt jitter, so a herd
+//! of clients retrying the same dead server does not reconnect in
+//! lockstep).
 
-use super::protocol::{read_frame, FrameRead, Request, Response, ServeStats, MAX_RESPONSE_FRAME};
+use super::protocol::{
+    read_frame, FrameRead, HealthStats, Request, Response, ServeStats, MAX_RESPONSE_FRAME,
+};
 use crate::error::ZsmilesError;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 fn protocol(reason: impl Into<String>) -> ZsmilesError {
     ZsmilesError::Protocol {
@@ -11,19 +22,100 @@ fn protocol(reason: impl Into<String>) -> ZsmilesError {
     }
 }
 
+/// Connection knobs for [`QueryClient::connect_with`].
+///
+/// `Default` mirrors [`QueryClient::connect`]: no connect timeout (the
+/// OS default), no read deadline, no retries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Give up on an unanswered TCP connect after this long (per
+    /// attempt). `None` leaves the OS default in place.
+    pub connect_timeout: Option<Duration>,
+    /// Overall deadline for a response to start and keep flowing: the
+    /// socket read timeout. `None` blocks forever (plus the protocol's
+    /// own mid-frame patience window).
+    pub read_timeout: Option<Duration>,
+    /// Re-attempt a failed *connect* this many times after the first
+    /// try, with exponential backoff starting at [`ClientOptions::backoff`].
+    /// Requests are never retried — a request may have executed even if
+    /// its response was lost, and `flip`/`shutdown` are not idempotent.
+    pub retries: u32,
+    /// First retry delay; doubles per attempt, ±25% deterministic
+    /// jitter. Zero disables the sleep (tests).
+    pub backoff: Duration,
+}
+
+impl ClientOptions {
+    /// The backoff before retry attempt `attempt` (0-based): doubled per
+    /// attempt with ±25% jitter mixed from the address and attempt, so
+    /// a fleet of clients hammering one dead server spreads out, yet a
+    /// failing test reproduces its exact schedule.
+    fn backoff_for(&self, attempt: u32, addr: &SocketAddr) -> Duration {
+        let base = self.backoff.saturating_mul(1u32 << attempt.min(16));
+        if base.is_zero() {
+            return base;
+        }
+        // SplitMix64 over (port, attempt) — stateless, reproducible.
+        let mut z = ((addr.port() as u64) << 32 | attempt as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let jitter = (z ^ (z >> 31)) % 51; // 0..=50 → 75%..125%
+        base.mul_f64((75 + jitter) as f64 / 100.0)
+    }
+}
+
 /// One connection to a running server. Requests are strictly
 /// sequential per connection (one frame out, one frame back); open more
 /// clients for concurrency — the server runs a thread per connection.
+#[derive(Debug)]
 pub struct QueryClient {
     stream: TcpStream,
 }
 
 impl QueryClient {
-    /// Connect to a server at `addr` (e.g. `"127.0.0.1:7878"`).
+    /// Connect to a server at `addr` (e.g. `"127.0.0.1:7878"`) with
+    /// default options: no timeouts, no retries.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<QueryClient, ZsmilesError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(QueryClient { stream })
+        QueryClient::connect_with(addr, &ClientOptions::default())
+    }
+
+    /// Connect with explicit timeouts and a bounded, backed-off connect
+    /// retry loop. Only the *connect* is retried; requests on an
+    /// established connection fail fast (see [`ClientOptions::retries`]).
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        options: &ClientOptions,
+    ) -> Result<QueryClient, ZsmilesError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(protocol("address resolved to nothing"));
+        }
+        let mut last_err: Option<ZsmilesError> = None;
+        for attempt in 0..=options.retries {
+            if attempt > 0 {
+                let pause = options.backoff_for(attempt - 1, &addrs[0]);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            for a in &addrs {
+                let connected = match options.connect_timeout {
+                    Some(t) => TcpStream::connect_timeout(a, t),
+                    None => TcpStream::connect(a),
+                };
+                match connected {
+                    Ok(stream) => {
+                        stream.set_nodelay(true)?;
+                        stream.set_read_timeout(options.read_timeout)?;
+                        return Ok(QueryClient { stream });
+                    }
+                    Err(e) => last_err = Some(e.into()),
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| protocol("connect failed")))
     }
 
     fn roundtrip(&mut self, req: &Request) -> Result<Response, ZsmilesError> {
@@ -82,6 +174,15 @@ impl QueryClient {
         }
     }
 
+    /// The readiness/health probe: is the served deck complete, or
+    /// degraded with quarantined shards?
+    pub fn health(&mut self) -> Result<HealthStats, ZsmilesError> {
+        match self.roundtrip(&Request::Health)? {
+            Response::Health(h) => Ok(h),
+            other => Err(QueryClient::reject(other, "a health response")),
+        }
+    }
+
     /// Ask the server to atomically flip to the archive at the
     /// server-local `path`. Returns the generation now being served.
     pub fn flip(&mut self, path: &str) -> Result<u64, ZsmilesError> {
@@ -97,5 +198,95 @@ impl QueryClient {
             Response::Bye => Ok(()),
             other => Err(QueryClient::reject(other, "a bye response")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    #[test]
+    fn backoff_doubles_and_jitters_deterministically() {
+        let opts = ClientOptions {
+            backoff: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let addr: SocketAddr = "127.0.0.1:7878".parse().unwrap();
+        let a0 = opts.backoff_for(0, &addr);
+        let a1 = opts.backoff_for(1, &addr);
+        let a2 = opts.backoff_for(2, &addr);
+        // Within the ±25% jitter envelope of 100/200/400 ms.
+        assert!((75..=125).contains(&(a0.as_millis() as u64)), "{a0:?}");
+        assert!((150..=250).contains(&(a1.as_millis() as u64)), "{a1:?}");
+        assert!((300..=500).contains(&(a2.as_millis() as u64)), "{a2:?}");
+        // Deterministic: the same (addr, attempt) gives the same pause.
+        assert_eq!(a0, opts.backoff_for(0, &addr));
+        // Zero base disables the sleep entirely.
+        let zero = ClientOptions::default();
+        assert!(zero.backoff_for(3, &addr).is_zero());
+    }
+
+    #[test]
+    fn read_timeout_unsticks_a_stalling_server() {
+        // A listener that accepts and never answers: without a read
+        // deadline the client would hang forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sink = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Hold the socket open, answering nothing, until dropped.
+            std::thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+        let mut client = QueryClient::connect_with(
+            addr,
+            &ClientOptions {
+                connect_timeout: Some(Duration::from_secs(1)),
+                read_timeout: Some(Duration::from_millis(50)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let start = Instant::now();
+        let err = client.stats().unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "timed out promptly, took {:?}",
+            start.elapsed()
+        );
+        assert!(
+            err.to_string().contains("silent"),
+            "stall surfaces as a typed protocol error: {err}"
+        );
+        sink.join().unwrap();
+    }
+
+    #[test]
+    fn connect_retries_are_bounded() {
+        // Nothing listens here: bind then drop to get a (momentarily)
+        // free port.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let start = Instant::now();
+        let err = QueryClient::connect_with(
+            addr,
+            &ClientOptions {
+                connect_timeout: Some(Duration::from_millis(200)),
+                retries: 2,
+                backoff: Duration::from_millis(10),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ZsmilesError::Io(_)), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "three bounded attempts, took {:?}",
+            start.elapsed()
+        );
     }
 }

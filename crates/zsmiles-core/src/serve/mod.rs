@@ -41,6 +41,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::QueryClient;
-pub use protocol::{ErrorCode, Request, Response, ServeStats, MAX_REQUEST_FRAME};
+pub use client::{ClientOptions, QueryClient};
+pub use protocol::{ErrorCode, HealthStats, Request, Response, ServeStats, MAX_REQUEST_FRAME};
 pub use server::{ServeHandle, ServeOptions, Server};

@@ -44,12 +44,14 @@ const OP_GET_MANY: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_FLIP: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
+const OP_HEALTH: u8 = 0x07;
 
 // Response opcodes (high bit set).
 const OP_LINES: u8 = 0x81;
 const OP_STATS_REPLY: u8 = 0x82;
 const OP_FLIPPED: u8 = 0x83;
 const OP_BYE: u8 = 0x84;
+const OP_HEALTH_REPLY: u8 = 0x85;
 const OP_ERROR: u8 = 0xFF;
 
 fn protocol(reason: impl Into<String>) -> ZsmilesError {
@@ -74,6 +76,8 @@ pub enum Request {
     Flip { path: String },
     /// Stop the server once in-flight connections drain.
     Shutdown,
+    /// Readiness/health probe: is the deck fully servable or degraded?
+    Health,
 }
 
 /// A server-to-client message.
@@ -87,6 +91,8 @@ pub enum Response {
     Flipped { generation: u64 },
     /// Shutdown acknowledged.
     Bye,
+    /// The health probe's answer.
+    Health(HealthStats),
     /// The request failed; the connection stays usable unless the frame
     /// itself was unreadable.
     Error { code: ErrorCode, message: String },
@@ -107,6 +113,9 @@ pub enum ErrorCode {
     Internal = 4,
     /// The server is at its connection cap.
     Busy = 5,
+    /// The requested line lives on a quarantined shard of a degraded
+    /// deck; other lines keep serving.
+    Unavailable = 6,
 }
 
 impl ErrorCode {
@@ -117,9 +126,28 @@ impl ErrorCode {
             3 => ErrorCode::FlipRejected,
             4 => ErrorCode::Internal,
             5 => ErrorCode::Busy,
+            6 => ErrorCode::Unavailable,
             _ => return Err(protocol(format!("unknown error code {b}"))),
         })
     }
+}
+
+/// The `health` reply: is every line of the served deck answerable?
+///
+/// `status` is deliberately a coarse ok/degraded bit — orchestration
+/// readiness probes want a yes/no, the counts explain the no.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthStats {
+    /// `true` when every shard of the current generation is servable.
+    pub ok: bool,
+    /// Generation currently being served.
+    pub generation: u64,
+    /// Shards in the current deck (1 for a single-file archive).
+    pub total_shards: u32,
+    /// Shards quarantined by the degraded open (0 when `ok`).
+    pub quarantined_shards: u32,
+    /// Lines answering [`ErrorCode::Unavailable`] instead of bytes.
+    pub unavailable_lines: u64,
 }
 
 /// The `stats` reply: a fixed-layout snapshot of the serving process.
@@ -240,6 +268,7 @@ impl Request {
                 seal(f)
             }
             Request::Shutdown => seal(open_frame(OP_SHUTDOWN)),
+            Request::Health => seal(open_frame(OP_HEALTH)),
         }
     }
 
@@ -279,6 +308,7 @@ impl Request {
                 Request::Flip { path }
             }
             OP_SHUTDOWN => Request::Shutdown,
+            OP_HEALTH => Request::Health,
             other => return Err(protocol(format!("unknown request opcode 0x{other:02x}"))),
         };
         c.finish("request")?;
@@ -316,6 +346,15 @@ impl Response {
                 seal(f)
             }
             Response::Bye => seal(open_frame(OP_BYE)),
+            Response::Health(h) => {
+                let mut f = open_frame(OP_HEALTH_REPLY);
+                f.push(h.ok as u8);
+                put_u64(&mut f, h.generation);
+                put_u32(&mut f, h.total_shards);
+                put_u32(&mut f, h.quarantined_shards);
+                put_u64(&mut f, h.unavailable_lines);
+                seal(f)
+            }
             Response::Error { code, message } => {
                 let mut f = open_frame(OP_ERROR);
                 f.push(*code as u8);
@@ -358,6 +397,20 @@ impl Response {
                 generation: c.u64("generation")?,
             },
             OP_BYE => Response::Bye,
+            OP_HEALTH_REPLY => {
+                let ok = match c.u8("health status")? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(protocol(format!("unknown health status {other}"))),
+                };
+                Response::Health(HealthStats {
+                    ok,
+                    generation: c.u64("generation")?,
+                    total_shards: c.u32("total shards")?,
+                    quarantined_shards: c.u32("quarantined shards")?,
+                    unavailable_lines: c.u64("unavailable lines")?,
+                })
+            }
             OP_ERROR => {
                 let code = ErrorCode::from_u8(c.u8("error code")?)?;
                 let n = c.u32("error message length")? as usize;
@@ -469,6 +522,7 @@ mod tests {
                 path: "decks/next.zsm".into(),
             },
             Request::Shutdown,
+            Request::Health,
         ];
         for req in reqs {
             let frame = req.encode();
@@ -491,9 +545,16 @@ mod tests {
             }),
             Response::Flipped { generation: 5 },
             Response::Bye,
+            Response::Health(HealthStats {
+                ok: false,
+                generation: 3,
+                total_shards: 8,
+                quarantined_shards: 1,
+                unavailable_lines: 12_500,
+            }),
             Response::Error {
-                code: ErrorCode::OutOfRange,
-                message: "line 10 out of range".into(),
+                code: ErrorCode::Unavailable,
+                message: "line 12 is on quarantined shard 'deck.00001.zsa'".into(),
             },
         ];
         for resp in resps {
@@ -529,6 +590,10 @@ mod tests {
         f.extend_from_slice(&2u32.to_le_bytes());
         f.extend_from_slice(&[0xFF, 0xFE]);
         assert!(Request::decode(&f).is_err());
+        // Health reply whose status byte is neither 0 nor 1.
+        let mut f = vec![OP_HEALTH_REPLY, 7];
+        f.extend_from_slice(&[0u8; 24]);
+        assert!(Response::decode(&f).is_err());
     }
 
     #[test]

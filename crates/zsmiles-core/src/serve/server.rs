@@ -13,7 +13,7 @@
 //! `retired_blocks` stat.
 
 use super::protocol::{
-    read_frame, ErrorCode, FrameRead, Request, Response, ServeStats, MAX_BATCH_LINES,
+    read_frame, ErrorCode, FrameRead, HealthStats, Request, Response, ServeStats, MAX_BATCH_LINES,
     MAX_REQUEST_FRAME,
 };
 use crate::cache::BlockCache;
@@ -47,6 +47,11 @@ pub struct ServeOptions {
     /// retirement then deterministically releases blocks here — tests
     /// and cache-budget-conscious deployments use this.
     pub cache: Option<Arc<BlockCache>>,
+    /// Open decks in degraded mode: shards that fail their integrity
+    /// cross-checks are quarantined instead of failing the open, the
+    /// rest of the deck serves, and the `health` probe reports
+    /// `degraded`. Applies to the initial open *and* every flip.
+    pub degraded: bool,
 }
 
 impl Default for ServeOptions {
@@ -55,6 +60,7 @@ impl Default for ServeOptions {
             max_connections: 64,
             max_request_frame: MAX_REQUEST_FRAME,
             cache: None,
+            degraded: false,
         }
     }
 }
@@ -81,6 +87,7 @@ struct Shared {
     current: RwLock<Arc<Generation>>,
     addr: SocketAddr,
     deck_options: DeckOptions,
+    degraded_opens: bool,
     max_connections: usize,
     max_request_frame: usize,
     requests: AtomicU64,
@@ -107,7 +114,7 @@ impl Shared {
     /// is taken; the swap is one pointer exchange. Returns the
     /// generation now being served.
     fn do_flip(&self, path: &Path) -> Result<u64, ZsmilesError> {
-        let deck = DeckReader::open_with(path, &self.deck_options)?;
+        let deck = open_deck(path, &self.deck_options, self.degraded_opens)?;
         let declared = deck.generation();
         let mut cur = self.current.write().unwrap_or_else(PoisonError::into_inner);
         let next = if declared == 0 {
@@ -149,6 +156,18 @@ impl Shared {
             flips: self.flips.load(Ordering::Relaxed),
             active_connections: self.active.load(Ordering::Relaxed),
             retired_blocks: self.retired_blocks.load(Ordering::Relaxed),
+        }
+    }
+
+    fn health_snapshot(&self) -> HealthStats {
+        let gen = self.snapshot();
+        let quarantined = gen.deck.quarantined().len() as u32;
+        HealthStats {
+            ok: quarantined == 0,
+            generation: gen.number,
+            total_shards: gen.deck.shard_count() as u32,
+            quarantined_shards: quarantined,
+            unavailable_lines: gen.deck.unavailable_lines(),
         }
     }
 
@@ -198,13 +217,27 @@ impl Shared {
                 },
             },
             Request::Shutdown => Response::Bye,
+            Request::Health => Response::Health(self.health_snapshot()),
         }
+    }
+}
+
+fn open_deck(
+    path: &Path,
+    options: &DeckOptions,
+    degraded: bool,
+) -> Result<DeckReader, ZsmilesError> {
+    if degraded {
+        DeckReader::open_degraded(path, options)
+    } else {
+        DeckReader::open_with(path, options)
     }
 }
 
 fn error_response(e: ZsmilesError) -> Response {
     let code = match &e {
         ZsmilesError::LineOutOfRange { .. } => ErrorCode::OutOfRange,
+        ZsmilesError::ShardUnavailable { .. } => ErrorCode::Unavailable,
         ZsmilesError::Protocol { .. } => ErrorCode::BadFrame,
         _ => ErrorCode::Internal,
     };
@@ -337,7 +370,7 @@ impl Server {
         let deck_options = DeckOptions {
             cache: options.cache.clone(),
         };
-        let deck = DeckReader::open_with(deck_path, &deck_options)?;
+        let deck = open_deck(deck_path, &deck_options, options.degraded)?;
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let retired_blocks = Arc::new(AtomicU64::new(0));
@@ -350,6 +383,7 @@ impl Server {
             current: RwLock::new(Arc::new(generation)),
             addr,
             deck_options,
+            degraded_opens: options.degraded,
             max_connections: options.max_connections,
             max_request_frame: options.max_request_frame,
             requests: AtomicU64::new(0),
@@ -394,6 +428,11 @@ impl ServeHandle {
     /// Current server counters, same data as the wire `stats` request.
     pub fn stats(&self) -> ServeStats {
         self.shared.stats_snapshot()
+    }
+
+    /// Deck health, same data as the wire `health` request.
+    pub fn health(&self) -> HealthStats {
+        self.shared.health_snapshot()
     }
 
     /// Atomically flip to the archive at `path` from the server side

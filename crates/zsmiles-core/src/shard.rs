@@ -52,7 +52,7 @@ use crate::engine::{AnyDictionary, DictFlavor, DynEngine, LineDecoder};
 use crate::error::ZsmilesError;
 use crate::parallel::WorkerPool;
 use crate::reader::{ArchiveReader, LineIter, DEFAULT_BATCH_BYTES};
-use crate::sink::FileSink;
+use crate::sink::{ArchiveSink, AtomicFileSink};
 use crate::source::{ArchiveSource, AutoSource};
 use crate::writer::{ArchiveWriter, PackInfo, WriterOptions};
 use std::io::{Read, Write};
@@ -301,12 +301,21 @@ impl ShardManifest {
         Ok(manifest)
     }
 
+    /// Write the manifest crash-safely: bytes stream into a dotted temp
+    /// name beside `path` and only an fsync-then-rename publishes them.
+    /// The manifest is what makes a deck *parse* as a deck, so a pack
+    /// killed before this rename leaves no new deck at all — and a pack
+    /// killed during it leaves either the old manifest or the complete
+    /// new one, never a torn file.
     pub fn save(&self, path: &Path) -> Result<(), ZsmilesError> {
-        let f = std::fs::File::create(path)?;
-        let mut w = std::io::BufWriter::new(f);
-        self.write_to(&mut w)?;
-        w.flush()?;
-        Ok(())
+        let mut text = Vec::new();
+        self.write_to(&mut text)?;
+        let mut sink = AtomicFileSink::create(path)?;
+        if let Err(e) = sink.append(&text) {
+            sink.discard();
+            return Err(e);
+        }
+        sink.commit()
     }
 
     pub fn load(path: &Path) -> Result<ShardManifest, ZsmilesError> {
@@ -469,8 +478,9 @@ pub struct ShardedWriter {
     opts: WriterOptions,
     /// Cross-shard jobs in flight at once; 1 = serial streaming mode.
     workers: usize,
-    /// Serial mode: the shard being streamed.
-    current: Option<ArchiveWriter<FileSink>>,
+    /// Serial mode: the shard being streamed (into a temp name; the
+    /// shard file appears only when the shard seals cleanly).
+    current: Option<ArchiveWriter<AtomicFileSink>>,
     cur_name: String,
     /// Parallel mode: raw bytes of the shard being cut.
     cur_raw: Vec<u8>,
@@ -564,7 +574,7 @@ impl ShardedWriter {
 
     fn open_shard(&mut self) -> Result<(), ZsmilesError> {
         self.cur_name = self.next_shard_name();
-        let sink = FileSink::create(&self.dir.join(&self.cur_name))?;
+        let sink = AtomicFileSink::create(&self.dir.join(&self.cur_name))?;
         self.current = Some(ArchiveWriter::with_options(
             sink,
             self.dict.clone(),
@@ -575,11 +585,12 @@ impl ShardedWriter {
         Ok(())
     }
 
-    /// Finish the shard in progress and record its manifest row (serial
-    /// mode).
+    /// Finish the shard in progress, atomically publish its file, and
+    /// record its manifest row (serial mode).
     fn seal_shard(&mut self) -> Result<(), ZsmilesError> {
         let w = self.current.take().expect("a shard is always open");
-        let (_, info) = w.finish()?;
+        let (sink, info) = w.finish()?;
+        sink.commit()?;
         self.stats.merge(&info.stats);
         self.peak_buffered = self.peak_buffered.max(info.peak_buffered_bytes);
         debug_assert_eq!(info.lines as u64, self.cur_lines, "fed lines all landed");
@@ -846,7 +857,7 @@ fn pack_one_shard(
     raw: &[u8],
     batch_bytes: usize,
 ) -> Result<PackInfo, ZsmilesError> {
-    let sink = FileSink::create(path)?;
+    let sink = AtomicFileSink::create(path)?;
     let mut w = ArchiveWriter::with_options(
         sink,
         dict,
@@ -856,7 +867,8 @@ fn pack_one_shard(
         },
     )?;
     w.write(raw)?;
-    let (_, info) = w.finish()?;
+    let (sink, info) = w.finish()?;
+    sink.commit()?;
     Ok(info)
 }
 
@@ -864,24 +876,91 @@ fn pack_one_shard(
 // Sharded reading
 // ---------------------------------------------------------------------------
 
+/// A shard a degraded-mode open refused to serve, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedShard {
+    /// Position in the manifest's shard table.
+    pub index: usize,
+    /// The shard's manifest file name.
+    pub file: String,
+    /// The integrity failure that quarantined it (a rendered
+    /// [`ZsmilesError`]).
+    pub reason: String,
+}
+
 /// A sharded archive opened for random access: the manifest plus one
 /// out-of-core [`ArchiveReader`] per shard (metadata only — no payload is
 /// resident). Global line numbers route across shards by binary search on
 /// the cumulative line table.
+///
+/// A reader from [`ShardedReader::open`] is fully healthy: every shard
+/// passed its cross-checks or the open failed. A reader from
+/// [`ShardedReader::open_degraded`] may instead carry quarantined shards
+/// — their slots hold no reader, their lines answer with
+/// [`ZsmilesError::ShardUnavailable`], and everything else keeps serving.
 #[derive(Debug)]
 pub struct ShardedReader {
     manifest: ShardManifest,
-    readers: Vec<ArchiveReader<AutoSource>>,
+    /// One slot per manifest row; `None` = quarantined (degraded opens
+    /// only — a healthy open has every slot filled).
+    readers: Vec<Option<ArchiveReader<AutoSource>>>,
+    quarantined: Vec<QuarantinedShard>,
     /// `starts[k]` = global line number of shard `k`'s first line.
     starts: Vec<u64>,
     total: usize,
+    /// Index of the first healthy shard — where `dictionary()` reads
+    /// from (shard 0 itself may be quarantined).
+    dict_shard: usize,
+}
+
+/// The per-shard integrity cross-checks both open modes run: flavor,
+/// line count, file size and stored CRC against the manifest row — all
+/// from metadata; no payload byte is read.
+pub(crate) fn check_shard_meta(
+    reader: &ArchiveReader<AutoSource>,
+    meta: &ShardMeta,
+    flavor: DictFlavor,
+) -> Result<(), ZsmilesError> {
+    if reader.flavor() != flavor {
+        return Err(bad(format!(
+            "shard {}: flavor {} does not match manifest {}",
+            meta.file,
+            reader.flavor().name(),
+            flavor.name()
+        )));
+    }
+    if reader.len() as u64 != meta.lines {
+        return Err(bad(format!(
+            "shard {}: stores {} lines, manifest says {}",
+            meta.file,
+            reader.len(),
+            meta.lines
+        )));
+    }
+    if reader.source().len() != meta.file_bytes {
+        return Err(bad(format!(
+            "shard {}: {} bytes on disk, manifest says {}",
+            meta.file,
+            reader.source().len(),
+            meta.file_bytes
+        )));
+    }
+    if reader.container_crc() != meta.crc32 {
+        return Err(bad(format!(
+            "shard {}: container crc {:08x}, manifest says {:08x}",
+            meta.file,
+            reader.container_crc(),
+            meta.crc32
+        )));
+    }
+    Ok(())
 }
 
 impl ShardedReader {
     /// Open a `.zsm` manifest and every shard it lists, cross-checking
     /// each shard's flavor, line count, file size, stored CRC and
     /// embedded dictionary against the manifest — all from metadata; no
-    /// payload byte is read.
+    /// payload byte is read. Any failing shard fails the open.
     pub fn open(manifest_path: &Path) -> Result<ShardedReader, ZsmilesError> {
         ShardedReader::open_with(manifest_path, &DeckOptions::default())
     }
@@ -892,71 +971,98 @@ impl ShardedReader {
         manifest_path: &Path,
         options: &DeckOptions,
     ) -> Result<ShardedReader, ZsmilesError> {
+        ShardedReader::open_inner(manifest_path, options, false)
+    }
+
+    /// Open a deck *around* its damage: shards that fail to open or fail
+    /// a cross-check are quarantined instead of failing the whole open,
+    /// and their lines answer [`ZsmilesError::ShardUnavailable`]. The
+    /// global line numbering is unchanged — line `i` means the same
+    /// ligand it always did, served or not. Fails only when no shard at
+    /// all is servable (there is then no dictionary to decode with).
+    pub fn open_degraded(manifest_path: &Path) -> Result<ShardedReader, ZsmilesError> {
+        ShardedReader::open_degraded_with(manifest_path, &DeckOptions::default())
+    }
+
+    /// [`ShardedReader::open_degraded`] with explicit [`DeckOptions`].
+    pub fn open_degraded_with(
+        manifest_path: &Path,
+        options: &DeckOptions,
+    ) -> Result<ShardedReader, ZsmilesError> {
+        ShardedReader::open_inner(manifest_path, options, true)
+    }
+
+    fn open_inner(
+        manifest_path: &Path,
+        options: &DeckOptions,
+        degraded: bool,
+    ) -> Result<ShardedReader, ZsmilesError> {
         let manifest = ShardManifest::load(manifest_path)?;
         let dir = manifest_path
             .parent()
             .map(Path::to_path_buf)
             .unwrap_or_default();
-        let mut readers = Vec::with_capacity(manifest.shards().len());
+        let mut readers: Vec<Option<ArchiveReader<AutoSource>>> =
+            Vec::with_capacity(manifest.shards().len());
+        let mut quarantined = Vec::new();
         let mut starts = Vec::with_capacity(manifest.shards().len());
         let mut at = 0u64;
-        let mut first_dict: Option<Vec<u8>> = None;
-        for meta in manifest.shards() {
-            let reader = ArchiveReader::from_source(options.open_source(&dir.join(&meta.file))?)?;
-            if reader.flavor() != manifest.flavor() {
-                return Err(bad(format!(
-                    "shard {}: flavor {} does not match manifest {}",
-                    meta.file,
-                    reader.flavor().name(),
-                    manifest.flavor().name()
-                )));
-            }
-            if reader.len() as u64 != meta.lines {
-                return Err(bad(format!(
-                    "shard {}: stores {} lines, manifest says {}",
-                    meta.file,
-                    reader.len(),
-                    meta.lines
-                )));
-            }
-            if reader.source().len() != meta.file_bytes {
-                return Err(bad(format!(
-                    "shard {}: {} bytes on disk, manifest says {}",
-                    meta.file,
-                    reader.source().len(),
-                    meta.file_bytes
-                )));
-            }
-            if reader.container_crc() != meta.crc32 {
-                return Err(bad(format!(
-                    "shard {}: container crc {:08x}, manifest says {:08x}",
-                    meta.file,
-                    reader.container_crc(),
-                    meta.crc32
-                )));
-            }
-            let mut dict_bytes = Vec::new();
-            reader.dictionary().write(&mut dict_bytes)?;
-            match &first_dict {
-                None => first_dict = Some(dict_bytes),
-                Some(first) if *first != dict_bytes => {
-                    return Err(bad(format!(
-                        "shard {}: embedded dictionary differs from shard {}",
-                        meta.file,
-                        manifest.shards()[0].file
-                    )))
+        // Reference dictionary: the first healthy shard's, remembered
+        // with its file name so mismatch errors can cite it.
+        let mut first_dict: Option<(String, Vec<u8>)> = None;
+        let mut dict_shard = None;
+        for (index, meta) in manifest.shards().iter().enumerate() {
+            let opened = options
+                .open_source(&dir.join(&meta.file))
+                .and_then(ArchiveReader::from_source)
+                .and_then(|reader| {
+                    check_shard_meta(&reader, meta, manifest.flavor())?;
+                    let mut dict_bytes = Vec::new();
+                    reader.dictionary().write(&mut dict_bytes)?;
+                    match &first_dict {
+                        None => first_dict = Some((meta.file.clone(), dict_bytes)),
+                        Some((ref_file, first)) if *first != dict_bytes => {
+                            return Err(bad(format!(
+                                "shard {}: embedded dictionary differs from shard {ref_file}",
+                                meta.file
+                            )))
+                        }
+                        Some(_) => {}
+                    }
+                    Ok(reader)
+                });
+            match opened {
+                Ok(reader) => {
+                    dict_shard.get_or_insert(index);
+                    readers.push(Some(reader));
                 }
-                Some(_) => {}
+                Err(e) if degraded => {
+                    quarantined.push(QuarantinedShard {
+                        index,
+                        file: meta.file.clone(),
+                        reason: e.to_string(),
+                    });
+                    readers.push(None);
+                }
+                Err(e) => return Err(e),
             }
             starts.push(at);
             at += meta.lines;
-            readers.push(reader);
         }
+        let Some(dict_shard) = dict_shard else {
+            return Err(bad(format!(
+                "every shard of {} is unservable ({} quarantined); nothing to serve",
+                manifest_path.display(),
+                quarantined.len()
+            )));
+        };
         Ok(ShardedReader {
             total: at as usize,
             manifest,
             readers,
+            quarantined,
             starts,
+            dict_shard,
         })
     }
 
@@ -974,10 +1080,34 @@ impl ShardedReader {
         self.manifest.flavor()
     }
 
-    /// The embedded dictionary (identical in every shard; checked at
-    /// open).
+    /// The embedded dictionary (identical in every healthy shard;
+    /// checked at open — served from the first healthy shard, since a
+    /// degraded open may have quarantined shard 0).
     pub fn dictionary(&self) -> &AnyDictionary {
-        self.readers[0].dictionary()
+        self.readers[self.dict_shard]
+            .as_ref()
+            .expect("dict_shard indexes a healthy shard")
+            .dictionary()
+    }
+
+    /// Shards a degraded open refused to serve (empty for healthy decks
+    /// and for [`ShardedReader::open`], which fails instead).
+    pub fn quarantined(&self) -> &[QuarantinedShard] {
+        &self.quarantined
+    }
+
+    /// Whether any shard is quarantined.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// Lines that currently answer [`ZsmilesError::ShardUnavailable`]
+    /// (the quarantined shards' manifest line counts).
+    pub fn unavailable_lines(&self) -> u64 {
+        self.quarantined
+            .iter()
+            .map(|q| self.manifest.shards()[q.index].lines)
+            .sum()
     }
 
     /// The parsed manifest.
@@ -996,45 +1126,64 @@ impl ShardedReader {
     /// were released. The serving layer calls this when a generation is
     /// retired so the flipped-away deck stops competing for cache budget.
     pub fn retire_cached_blocks(&self) -> u64 {
-        self.readers
-            .iter()
+        self.healthy()
             .map(|r| r.source().retire_cached_blocks())
             .sum()
     }
 
-    /// Number of shards.
+    /// Number of shards the manifest lists (quarantined ones included —
+    /// they still own their line ranges).
     pub fn shard_count(&self) -> usize {
         self.readers.len()
     }
 
-    /// The per-shard readers, in manifest order.
-    pub fn shard_readers(&self) -> &[ArchiveReader<AutoSource>] {
-        &self.readers
+    /// The healthy per-shard readers, in manifest order (quarantined
+    /// slots skipped).
+    fn healthy(&self) -> impl Iterator<Item = &ArchiveReader<AutoSource>> {
+        self.readers.iter().flatten()
+    }
+
+    /// The reader for manifest shard `index`, `None` when quarantined.
+    pub fn shard_reader(&self, index: usize) -> Option<&ArchiveReader<AutoSource>> {
+        self.readers.get(index).and_then(Option::as_ref)
+    }
+
+    /// The healthy shard serving line `i`, or the typed routing error.
+    fn shard_for_line(
+        &self,
+        s: usize,
+        line: usize,
+    ) -> Result<&ArchiveReader<AutoSource>, ZsmilesError> {
+        self.readers[s]
+            .as_ref()
+            .ok_or_else(|| ZsmilesError::ShardUnavailable {
+                shard: self.manifest.shards()[s].file.clone(),
+                line,
+            })
     }
 
     /// Bytes of address space mapped across all shards (0 when the
     /// platform fell back to cached file I/O).
     pub fn bytes_mapped(&self) -> u64 {
-        self.readers.iter().map(|r| r.source().bytes_mapped()).sum()
+        self.healthy().map(|r| r.source().bytes_mapped()).sum()
     }
 
     /// Aggregate `(hits, misses)` of the shards' sources against the
     /// shared block cache; `None` when every shard is mmap-backed.
     pub fn cache_counters(&self) -> Option<(u64, u64)> {
-        self.readers
-            .iter()
+        self.healthy()
             .filter_map(|r| r.source().cache_counters())
             .reduce(|(h, m), (h2, m2)| (h + h2, m + m2))
     }
 
-    /// Compressed payload bytes across all shards (not resident).
+    /// Compressed payload bytes across all healthy shards (not resident).
     pub fn payload_bytes(&self) -> u64 {
-        self.readers.iter().map(|r| r.payload_bytes()).sum()
+        self.healthy().map(|r| r.payload_bytes()).sum()
     }
 
-    /// Metadata bytes transferred at open, across all shards.
+    /// Metadata bytes transferred at open, across all healthy shards.
     pub fn metadata_bytes(&self) -> u64 {
-        self.readers.iter().map(|r| r.metadata_bytes()).sum()
+        self.healthy().map(|r| r.metadata_bytes()).sum()
     }
 
     fn check_line(&self, i: usize) -> Result<(), ZsmilesError> {
@@ -1060,7 +1209,7 @@ impl ShardedReader {
     pub fn compressed_line(&self, i: usize) -> Result<Vec<u8>, ZsmilesError> {
         self.check_line(i)?;
         let (s, local) = self.locate(i);
-        self.readers[s].compressed_line(local)
+        self.shard_for_line(s, i)?.compressed_line(local)
     }
 
     /// Decompress global ligand `i` — the paper's random-access read,
@@ -1068,7 +1217,7 @@ impl ShardedReader {
     pub fn get(&self, i: usize) -> Result<Vec<u8>, ZsmilesError> {
         self.check_line(i)?;
         let (s, local) = self.locate(i);
-        self.readers[s].get(local)
+        self.shard_for_line(s, i)?.get(local)
     }
 
     /// Decompress a contiguous run of global ligands: one batched
@@ -1084,8 +1233,9 @@ impl ShardedReader {
         let mut i = lines.start;
         while i < lines.end {
             let (s, local) = self.locate(i);
-            let take = (self.readers[s].len() - local).min(lines.end - i);
-            out.extend(self.readers[s].get_range(local..local + take)?);
+            let reader = self.shard_for_line(s, i)?;
+            let take = (reader.len() - local).min(lines.end - i);
+            out.extend(reader.get_range(local..local + take)?);
             i += take;
         }
         Ok(out)
@@ -1100,9 +1250,9 @@ impl ShardedReader {
         for &i in indices {
             self.check_line(i)?;
             let (s, local) = self.locate(i);
-            let line = self.readers[s].compressed_line(local)?;
-            let dec =
-                decoders[s].get_or_insert_with(|| self.readers[s].dictionary().boxed_decoder());
+            let reader = self.shard_for_line(s, i)?;
+            let line = reader.compressed_line(local)?;
+            let dec = decoders[s].get_or_insert_with(|| reader.dictionary().boxed_decoder());
             let mut smiles = Vec::with_capacity(line.len() * 3);
             dec.decode_line(&line, &mut smiles)?;
             out.push(smiles);
@@ -1137,7 +1287,8 @@ impl ShardedReader {
         chunk_bytes: usize,
     ) -> Result<crate::decompress::DecompressStats, ZsmilesError> {
         let mut stats = crate::decompress::DecompressStats::default();
-        for r in &self.readers {
+        for s in 0..self.readers.len() {
+            let r = self.shard_for_line(s, self.starts[s] as usize)?;
             let s = r.unpack_to(&mut w, threads, chunk_bytes)?;
             stats.lines += s.lines;
             stats.in_bytes += s.in_bytes;
@@ -1148,10 +1299,11 @@ impl ShardedReader {
     }
 
     /// Verify every shard's CRC32 end to end, streaming each in bounded
-    /// memory.
+    /// memory. On a degraded deck the first quarantined shard fails the
+    /// verify (its bytes cannot be vouched for).
     pub fn verify(&self) -> Result<(), ZsmilesError> {
-        for r in &self.readers {
-            r.verify()?;
+        for s in 0..self.readers.len() {
+            self.shard_for_line(s, self.starts[s] as usize)?.verify()?;
         }
         Ok(())
     }
@@ -1180,8 +1332,20 @@ impl Iterator for ShardedLines<'_> {
             if self.shard >= self.reader.readers.len() {
                 return None;
             }
-            self.inner = Some(self.reader.readers[self.shard].lines_batched(self.batch_bytes));
+            let s = self.shard;
             self.shard += 1;
+            match self
+                .reader
+                .shard_for_line(s, self.reader.starts[s] as usize)
+            {
+                Ok(r) => self.inner = Some(r.lines_batched(self.batch_bytes)),
+                // A quarantined shard ends the stream with its typed
+                // error — the caller cannot silently skip lines.
+                Err(e) => {
+                    self.shard = self.reader.readers.len();
+                    return Some(Err(e));
+                }
+            }
         }
     }
 }
@@ -1221,6 +1385,47 @@ impl DeckReader {
             Ok(DeckReader::Single(Box::new(ArchiveReader::from_source(
                 options.open_source(path)?,
             )?)))
+        }
+    }
+
+    /// [`DeckReader::open`] that survives damaged shards: a `.zsm` deck
+    /// opens through [`ShardedReader::open_degraded_with`] (bad shards
+    /// quarantined, the rest served), a single `.zsa` opens normally —
+    /// one file is the whole deck, so there is nothing to degrade to.
+    pub fn open_degraded(path: &Path, options: &DeckOptions) -> Result<DeckReader, ZsmilesError> {
+        if is_manifest(path)? {
+            Ok(DeckReader::Sharded(Box::new(
+                ShardedReader::open_degraded_with(path, options)?,
+            )))
+        } else {
+            Ok(DeckReader::Single(Box::new(ArchiveReader::from_source(
+                options.open_source(path)?,
+            )?)))
+        }
+    }
+
+    /// Whether any shard was quarantined at open (always false for
+    /// single-file decks and healthy opens).
+    pub fn is_degraded(&self) -> bool {
+        match self {
+            DeckReader::Single(_) => false,
+            DeckReader::Sharded(r) => r.is_degraded(),
+        }
+    }
+
+    /// The quarantined shards (empty unless opened degraded over damage).
+    pub fn quarantined(&self) -> &[QuarantinedShard] {
+        match self {
+            DeckReader::Single(_) => &[],
+            DeckReader::Sharded(r) => r.quarantined(),
+        }
+    }
+
+    /// Lines currently answering [`ZsmilesError::ShardUnavailable`].
+    pub fn unavailable_lines(&self) -> u64 {
+        match self {
+            DeckReader::Single(_) => 0,
+            DeckReader::Sharded(r) => r.unavailable_lines(),
         }
     }
 

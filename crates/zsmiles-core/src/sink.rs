@@ -158,6 +158,91 @@ impl ArchiveSink for FileSink {
     }
 }
 
+/// A [`FileSink`] that only becomes visible under its real name on
+/// success. Bytes stream into `.<name>.tmp` in the destination
+/// directory; [`AtomicFileSink::commit`] fsyncs the file, renames it
+/// over the destination, and (on unix) fsyncs the parent directory so
+/// the rename itself is durable. A crash or error anywhere before
+/// `commit` leaves at most a `.tmp` orphan — never a half-written file
+/// that parses as the real thing. This is what makes `pack` crash-safe:
+/// shards and manifests are published atomically or not at all.
+#[derive(Debug)]
+pub struct AtomicFileSink {
+    inner: FileSink,
+    tmp: std::path::PathBuf,
+    dest: std::path::PathBuf,
+}
+
+impl AtomicFileSink {
+    /// Start writing the file that will become `dest`. The temp name
+    /// lives beside it (same filesystem, so the rename is atomic) and
+    /// starts with a dot so nothing sniffs it as a deck.
+    pub fn create(dest: &Path) -> Result<AtomicFileSink, ZsmilesError> {
+        let name = dest
+            .file_name()
+            .ok_or_else(|| ZsmilesError::Io(format!("no file name in '{}'", dest.display())))?;
+        let tmp = dest.with_file_name(format!(".{}.tmp", name.to_string_lossy()));
+        Ok(AtomicFileSink {
+            inner: FileSink::create(&tmp)?,
+            tmp,
+            dest: dest.to_path_buf(),
+        })
+    }
+
+    /// The destination this sink will publish to.
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    /// Durably publish: flush + fsync the temp file, rename it over the
+    /// destination, fsync the parent directory. Only after `commit`
+    /// returns can the file be observed under its real name.
+    pub fn commit(mut self) -> Result<(), ZsmilesError> {
+        self.inner.flush()?;
+        self.inner.file.sync_all()?;
+        std::fs::rename(&self.tmp, &self.dest)?;
+        // Durability of the rename itself: fsync the directory entry.
+        // Failure here is ignorable only in the sense that the rename
+        // already happened; report it anyway so callers can decide.
+        #[cfg(unix)]
+        if let Some(dir) = self.dest.parent() {
+            let dir = if dir.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                dir
+            };
+            File::open(dir)?.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Abandon the write and remove the temp file. Called on error
+    /// paths; a process killed before this ran leaves only the inert
+    /// `.tmp` orphan.
+    pub fn discard(self) {
+        drop(self.inner);
+        std::fs::remove_file(&self.tmp).ok();
+    }
+}
+
+impl ArchiveSink for AtomicFileSink {
+    fn append(&mut self, buf: &[u8]) -> Result<(), ZsmilesError> {
+        self.inner.append(buf)
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<(), ZsmilesError> {
+        self.inner.write_at(offset, buf)
+    }
+
+    fn position(&self) -> u64 {
+        self.inner.position()
+    }
+
+    fn flush(&mut self) -> Result<(), ZsmilesError> {
+        self.inner.flush()
+    }
+}
+
 /// Wraps any sink and counts traffic: appends, bytes appended, patches.
 #[derive(Debug, Default)]
 pub struct CountingSink<K> {
@@ -272,6 +357,40 @@ mod tests {
         drop(sink);
         assert_eq!(std::fs::read(&path).unwrap(), b"headtailmore");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_sink_publishes_only_on_commit() {
+        let dir = std::env::temp_dir().join(format!("zsmiles_atomic_sink_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dest = dir.join("out.bin");
+
+        // Uncommitted: the destination never appears.
+        let mut sink = AtomicFileSink::create(&dest).unwrap();
+        sink.append(b"half-done").unwrap();
+        assert!(!dest.exists(), "nothing visible before commit");
+        assert!(dir.join(".out.bin.tmp").exists(), "temp lives beside dest");
+        sink.discard();
+        assert!(!dir.join(".out.bin.tmp").exists(), "discard removes temp");
+        assert!(!dest.exists());
+
+        // Committed: full contents under the real name, temp gone.
+        let mut sink = AtomicFileSink::create(&dest).unwrap();
+        sink.append(b"????").unwrap();
+        sink.append(b"tail").unwrap();
+        sink.write_at(0, b"head").unwrap();
+        assert_eq!(sink.position(), 8);
+        sink.commit().unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"headtail");
+        assert!(!dir.join(".out.bin.tmp").exists());
+
+        // Commit over an existing file replaces it atomically.
+        let mut sink = AtomicFileSink::create(&dest).unwrap();
+        sink.append(b"second").unwrap();
+        sink.commit().unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"second");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -156,7 +156,14 @@ impl WideDictionary {
         for (seen, pat) in patterns.into_iter().enumerate() {
             let pat = pat.as_ref();
             let requested = seen + 1;
-            debug_assert!(!pat.is_empty() && pat.len() <= MAX_PATTERN_LEN);
+            // Deserialized dictionaries can carry corrupted patterns —
+            // refuse typed, don't assert.
+            if pat.is_empty() || pat.len() > MAX_PATTERN_LEN {
+                return Err(ZsmilesError::DictFormat {
+                    line: requested,
+                    reason: format!("pattern has length {} (1..={MAX_PATTERN_LEN})", pat.len()),
+                });
+            }
             if pat.len() == 1 && base[pat[0] as usize].is_some() {
                 continue; // identity duplicate
             }
