@@ -792,6 +792,17 @@ fn print_dict_stats(args: &Args, dict: &AnyDictionary) -> Result<(), String> {
         let bar = "#".repeat((n * 40).div_ceil(peak.max(1)));
         println!("  len {len:>2} {n:>5}  {bar}");
     }
+    println!("matcher layouts:");
+    for layout in analysis::matcher_layouts(dict) {
+        println!(
+            "  {:<13} {:>6} states x {:>3} classes | {:>9} bytes ({:.1} B/state)",
+            layout.name,
+            layout.states,
+            layout.classes,
+            layout.memory_bytes,
+            layout.bytes_per_state(),
+        );
+    }
     let Some(input) = args.get("--input") else {
         return Ok(());
     };

@@ -3,16 +3,22 @@
 
 use crate::dict::Dictionary;
 use crate::engine::{LineEncoder, PreprocessStage};
-use crate::sp::{encode_line, SpAlgorithm, SpScratch};
+use crate::sp::{self, encode_line, SpAlgorithm, SpScratch};
+use crate::trie::CompactLayout;
 
-/// Which pattern-matching structure the encoder walks. Both produce
-/// byte-identical output; the dense automaton is the default hot path and
-/// the node trie remains selectable so the throughput harness can measure
-/// the two in one run.
+/// Which pattern-matching structure the encoder walks. All three produce
+/// byte-identical output; the byte-class compressed automaton is the
+/// default hot path, and the dense automaton and node trie remain
+/// selectable so the throughput harness can measure all of them in one
+/// run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MatcherKind {
-    /// Flat `state × 256` tables ([`crate::trie::DenseAutomaton`]).
+    /// Byte-class compressed interleaved rows
+    /// ([`crate::trie::CompactAutomaton`]) — also unlocks the fused
+    /// batched DP ([`crate::sp::encode_lines_batched`]).
     #[default]
+    Compact,
+    /// Flat `state × 256` tables ([`crate::trie::DenseAutomaton`]).
     DenseAutomaton,
     /// The pointer-linked build-time [`crate::trie::Trie`].
     NodeTrie,
@@ -60,6 +66,10 @@ pub struct Compressor<'d> {
     /// ratio but is never incorrect, so it is a tunable, not an invariant.
     preprocess: PreprocessStage,
     scratch: SpScratch,
+    /// Staging for preprocessed sources of one batched group (the per-line
+    /// [`PreprocessStage`] buffer is reused per line, so a batch needs its
+    /// own arena).
+    batch_buf: Vec<u8>,
 }
 
 impl<'d> Compressor<'d> {
@@ -70,6 +80,7 @@ impl<'d> Compressor<'d> {
             matcher: MatcherKind::default(),
             preprocess: PreprocessStage::new(dict.preprocessed()),
             scratch: SpScratch::new(),
+            batch_buf: Vec::new(),
         }
     }
 
@@ -97,6 +108,10 @@ impl<'d> Compressor<'d> {
     pub fn compress_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> (usize, bool) {
         let (src, failed) = self.preprocess.apply(line);
         let n = match self.matcher {
+            MatcherKind::Compact => match self.dict.compact().view() {
+                CompactLayout::Narrow(v) => encode_line(&v, src, self.algo, &mut self.scratch, out),
+                CompactLayout::Wide(v) => encode_line(&v, src, self.algo, &mut self.scratch, out),
+            },
             MatcherKind::DenseAutomaton => encode_line(
                 self.dict.automaton(),
                 src,
@@ -122,6 +137,45 @@ impl<'d> Compressor<'d> {
 impl LineEncoder for Compressor<'_> {
     fn encode_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> (usize, bool) {
         self.compress_line(line, out)
+    }
+
+    /// The fused batched path: compact matcher + backward DP run the whole
+    /// group through [`sp::encode_lines_batched`]; other configurations
+    /// fall back to the per-line loop. Both are byte-identical.
+    fn encode_lines(&mut self, lines: &[&[u8]], out: &mut Vec<u8>) -> CompressStats {
+        if self.matcher != MatcherKind::Compact || self.algo != SpAlgorithm::BackwardDp {
+            return crate::engine::encode_lines_serial(self, lines, out);
+        }
+        let mut stats = CompressStats::default();
+        for chunk in lines.chunks(sp::BATCH_LINES) {
+            let mut srcs: [&[u8]; sp::BATCH_LINES] = [b""; sp::BATCH_LINES];
+            let mut spans = [(0usize, 0usize); sp::BATCH_LINES];
+            self.batch_buf.clear();
+            if self.preprocess.enabled() {
+                for (k, &line) in chunk.iter().enumerate() {
+                    let (src, failed) = self.preprocess.apply(line);
+                    stats.preprocess_failures += failed as usize;
+                    spans[k] = (self.batch_buf.len(), src.len());
+                    self.batch_buf.extend_from_slice(src);
+                }
+                for (k, (start, len)) in spans.iter().take(chunk.len()).enumerate() {
+                    srcs[k] = &self.batch_buf[*start..start + len];
+                }
+            } else {
+                srcs[..chunk.len()].copy_from_slice(chunk);
+            }
+            stats.lines += chunk.len();
+            stats.in_bytes += chunk.iter().map(|l| l.len()).sum::<usize>();
+            stats.out_bytes += match self.dict.compact().view() {
+                CompactLayout::Narrow(v) => {
+                    sp::encode_lines_batched(&v, &srcs[..chunk.len()], &mut self.scratch, out)
+                }
+                CompactLayout::Wide(v) => {
+                    sp::encode_lines_batched(&v, &srcs[..chunk.len()], &mut self.scratch, out)
+                }
+            };
+        }
+        stats
     }
 }
 

@@ -213,6 +213,74 @@ pub fn dict_stats(dict: &AnyDictionary) -> DictStats {
     }
 }
 
+/// Footprint of one compiled matcher layout, for the `inspect
+/// --dict-stats` layout comparison.
+#[derive(Debug, Clone)]
+pub struct MatcherLayoutStats {
+    /// Layout name: `"dense"` or `"compact(u16)"` / `"compact(u32)"`.
+    pub name: &'static str,
+    /// Compiled automaton states (including the dead and root states).
+    pub states: usize,
+    /// Transition-row width in byte classes (256 for the dense layout).
+    pub classes: usize,
+    /// Table allocation size.
+    pub memory_bytes: usize,
+}
+
+impl MatcherLayoutStats {
+    /// Average footprint per state — the number the byte-class layout
+    /// exists to shrink.
+    pub fn bytes_per_state(&self) -> f64 {
+        if self.states == 0 {
+            0.0
+        } else {
+            self.memory_bytes as f64 / self.states as f64
+        }
+    }
+}
+
+/// Compile-and-measure both matcher layouts (dense vs byte-class
+/// compact) for either dictionary flavour.
+pub fn matcher_layouts(dict: &AnyDictionary) -> Vec<MatcherLayoutStats> {
+    fn rows<BC>(
+        dense_states: usize,
+        dense_bytes: usize,
+        compact: &crate::trie::CompactAutomaton<BC>,
+    ) -> Vec<MatcherLayoutStats>
+    where
+        BC: crate::trie::CodePayload,
+    {
+        vec![
+            MatcherLayoutStats {
+                name: "dense",
+                states: dense_states,
+                classes: 256,
+                memory_bytes: dense_bytes,
+            },
+            MatcherLayoutStats {
+                name: if compact.is_narrow() {
+                    "compact(u16)"
+                } else {
+                    "compact(u32)"
+                },
+                states: compact.states(),
+                classes: compact.class_count(),
+                memory_bytes: compact.memory_bytes(),
+            },
+        ]
+    }
+    match dict {
+        AnyDictionary::Base(d) => {
+            let a = d.automaton();
+            rows(a.states(), a.memory_bytes(), d.compact())
+        }
+        AnyDictionary::Wide(d) => {
+            let a = d.automaton();
+            rows(a.states(), a.memory_bytes(), d.compact())
+        }
+    }
+}
+
 /// Per-symbol hit coverage of either dictionary flavour over a sample
 /// deck: the real encoder runs and every output code is attributed, so
 /// the numbers are what production compression would do.

@@ -14,7 +14,7 @@ pub mod format;
 use crate::codec::{code_space, is_code_byte, Prepopulation};
 use crate::decompress::DecodeTable;
 use crate::error::ZsmilesError;
-use crate::trie::{DenseAutomaton, Trie};
+use crate::trie::{CompactAutomaton, DenseAutomaton, Trie};
 
 /// Longest pattern length the format supports. Bounded so the trie and the
 /// GPU kernels can use fixed-size scratch; the paper's sweeps stop at 16.
@@ -41,6 +41,10 @@ pub struct Dictionary {
     /// its tables run to a few MiB and decode-only paths — `unpack`, the
     /// out-of-core reader — never walk it.
     automaton: std::sync::Arc<std::sync::OnceLock<DenseAutomaton>>,
+    /// The byte-class compressed matcher the encode hot path walks by
+    /// default ([`crate::MatcherKind::Compact`]); lazy and shared across
+    /// clones like `automaton`.
+    compact: std::sync::Arc<std::sync::OnceLock<CompactAutomaton>>,
     /// The arena-backed expansion table the decode hot path reads (a few
     /// KiB; built eagerly).
     decode: DecodeTable,
@@ -130,6 +134,7 @@ impl Dictionary {
             preprocessed,
             trie,
             automaton: std::sync::Arc::new(std::sync::OnceLock::new()),
+            compact: std::sync::Arc::new(std::sync::OnceLock::new()),
             decode,
         })
     }
@@ -176,6 +181,15 @@ impl Dictionary {
     pub fn automaton(&self) -> &DenseAutomaton {
         self.automaton
             .get_or_init(|| DenseAutomaton::compile(&self.trie))
+    }
+
+    /// The byte-class compressed matcher the encode hot path walks by
+    /// default — compiled from [`Dictionary::trie`] on first call (then
+    /// cached, shared by clones). Byte-identical matches to the trie and
+    /// [`Dictionary::automaton`]; see [`CompactAutomaton`] for the layout.
+    pub fn compact(&self) -> &CompactAutomaton {
+        self.compact
+            .get_or_init(|| CompactAutomaton::compile(&self.trie))
     }
 
     /// The arena-backed expansion table shared by every

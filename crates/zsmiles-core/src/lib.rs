@@ -166,7 +166,10 @@ pub use shard::{
     DeckOptions, DeckReader, QuarantinedShard, ShardManifest, ShardMeta, ShardPolicy,
     ShardedPackInfo, ShardedReader, ShardedWriter,
 };
-pub use sink::{ArchiveSink, AtomicFileSink, CountingSink, FileSink, InMemorySink};
+pub use sink::{
+    sync_parent_dir, ArchiveSink, AtomicFileSink, CountingSink, DeferredSync, FileSink,
+    InMemorySink,
+};
 pub use source::{
     ArchiveSource, AutoSource, CachedSource, CountingSource, FileSource, InMemorySource, MmapSource,
 };
@@ -179,6 +182,9 @@ pub use train::{
     BaseBuilder, FsstBuilder, Selection, SmazBuilder, TrainCorpus, TrainOptions, TrainedModel,
     WideBuilder,
 };
-pub use trie::{CodePayload, DenseAutomaton, Matcher, Trie};
+pub use trie::{
+    CellWord, CodePayload, CompactAutomaton, CompactLayout, CompactView, DenseAutomaton, Matcher,
+    Trie,
+};
 pub use wide::{WideCompressor, WideDecompressor, WideDictBuilder, WideDictionary};
 pub use writer::{ArchiveWriter, PackInfo, WriterOptions};

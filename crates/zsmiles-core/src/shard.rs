@@ -52,7 +52,7 @@ use crate::engine::{AnyDictionary, DictFlavor, DynEngine, LineDecoder};
 use crate::error::ZsmilesError;
 use crate::parallel::WorkerPool;
 use crate::reader::{ArchiveReader, LineIter, DEFAULT_BATCH_BYTES};
-use crate::sink::{ArchiveSink, AtomicFileSink};
+use crate::sink::{sync_parent_dir, ArchiveSink, AtomicFileSink, DeferredSync};
 use crate::source::{ArchiveSource, AutoSource};
 use crate::writer::{ArchiveWriter, PackInfo, WriterOptions};
 use std::io::{Read, Write};
@@ -496,6 +496,12 @@ pub struct ShardedWriter {
     cur_lines: u64,
     cur_raw_bytes: u64,
     shards: Vec<ShardMeta>,
+    /// Shard files published (renamed into place) but whose fsync is
+    /// deferred to [`Self::finish`], keeping sync latency off the packing
+    /// critical path. All are synced — plus one parent-directory fsync —
+    /// before the manifest commits, so the durable ordering (shards
+    /// before manifest) is unchanged.
+    deferred: Vec<DeferredSync>,
     /// Partial final line carried between `write` calls.
     carry: Vec<u8>,
     stats: CompressStats,
@@ -542,6 +548,7 @@ impl ShardedWriter {
             cur_lines: 0,
             cur_raw_bytes: 0,
             shards: Vec::new(),
+            deferred: Vec::new(),
             carry: Vec::new(),
             stats: CompressStats::default(),
             peak_buffered: 0,
@@ -590,7 +597,7 @@ impl ShardedWriter {
     fn seal_shard(&mut self) -> Result<(), ZsmilesError> {
         let w = self.current.take().expect("a shard is always open");
         let (sink, info) = w.finish()?;
-        sink.commit()?;
+        self.deferred.push(sink.commit_deferred()?);
         self.stats.merge(&info.stats);
         self.peak_buffered = self.peak_buffered.max(info.peak_buffered_bytes);
         debug_assert_eq!(info.lines as u64, self.cur_lines, "fed lines all landed");
@@ -639,7 +646,7 @@ impl ShardedWriter {
         }
         let batch = std::mem::take(&mut self.pending);
         self.staged_bytes = 0;
-        let mut slots: Vec<Option<Result<PackInfo, ZsmilesError>>> =
+        let mut slots: Vec<Option<Result<(PackInfo, DeferredSync), ZsmilesError>>> =
             batch.iter().map(|_| None).collect();
         let pool = WorkerPool::global();
         if pool.workers() == 1 || batch.len() == 1 {
@@ -670,7 +677,8 @@ impl ShardedWriter {
             pool.scoped_run(jobs);
         }
         for (shard, slot) in batch.iter().zip(slots) {
-            let info = slot.expect("every pool job writes its slot")?;
+            let (info, deferred) = slot.expect("every pool job writes its slot")?;
+            self.deferred.push(deferred);
             debug_assert_eq!(info.lines as u64, shard.lines, "staged lines all landed");
             self.stats.merge(&info.stats);
             self.peak_buffered = self.peak_buffered.max(info.peak_buffered_bytes);
@@ -832,6 +840,15 @@ impl ShardedWriter {
         } else {
             self.seal_shard()?;
         }
+        // Deferred-durability pass: every published shard is fsynced here,
+        // then the directory once, *before* the manifest commits — so the
+        // manifest (the atomic commit point) never points at a shard that
+        // could vanish on power loss. One sync sweep at the end instead of
+        // one per shard keeps fsync latency off the packing loop.
+        for deferred in std::mem::take(&mut self.deferred) {
+            deferred.sync()?;
+        }
+        sync_parent_dir(&self.manifest_path)?;
         let manifest =
             ShardManifest::new(self.dict.flavor(), self.shards).with_generation(self.generation);
         manifest.save(&self.manifest_path)?;
@@ -856,7 +873,7 @@ fn pack_one_shard(
     dict: AnyDictionary,
     raw: &[u8],
     batch_bytes: usize,
-) -> Result<PackInfo, ZsmilesError> {
+) -> Result<(PackInfo, DeferredSync), ZsmilesError> {
     let sink = AtomicFileSink::create(path)?;
     let mut w = ArchiveWriter::with_options(
         sink,
@@ -868,8 +885,8 @@ fn pack_one_shard(
     )?;
     w.write(raw)?;
     let (sink, info) = w.finish()?;
-    sink.commit()?;
-    Ok(info)
+    let deferred = sink.commit_deferred()?;
+    Ok((info, deferred))
 }
 
 // ---------------------------------------------------------------------------

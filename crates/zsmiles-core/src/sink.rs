@@ -204,16 +204,25 @@ impl AtomicFileSink {
         // Durability of the rename itself: fsync the directory entry.
         // Failure here is ignorable only in the sense that the rename
         // already happened; report it anyway so callers can decide.
-        #[cfg(unix)]
-        if let Some(dir) = self.dest.parent() {
-            let dir = if dir.as_os_str().is_empty() {
-                Path::new(".")
-            } else {
-                dir
-            };
-            File::open(dir)?.sync_all()?;
-        }
+        sync_parent_dir(&self.dest)?;
         Ok(())
+    }
+
+    /// Publish without durability: flush and rename, but defer the file
+    /// and directory fsyncs to the returned [`DeferredSync`]. The file is
+    /// immediately visible and complete *in the page cache* — a crash
+    /// (`kill -9`) cannot hurt it, only a power loss before the deferred
+    /// `sync()` runs can. Batch writers use this to keep fsync latency
+    /// off the packing critical path, then sync every shard plus the
+    /// parent directory once, right before the manifest — the actual
+    /// atomic commit point — is published with a full `commit`.
+    pub fn commit_deferred(mut self) -> Result<DeferredSync, ZsmilesError> {
+        self.inner.flush()?;
+        std::fs::rename(&self.tmp, &self.dest)?;
+        Ok(DeferredSync {
+            file: self.inner.file,
+            dest: self.dest,
+        })
     }
 
     /// Abandon the write and remove the temp file. Called on error
@@ -222,6 +231,50 @@ impl AtomicFileSink {
     pub fn discard(self) {
         drop(self.inner);
         std::fs::remove_file(&self.tmp).ok();
+    }
+}
+
+/// Fsync the directory entry holding `path`, so a rename into it is
+/// durable. A no-op on non-unix targets (directory fsync is a unix
+/// idiom; elsewhere the rename is as durable as the platform makes it).
+pub fn sync_parent_dir(path: &Path) -> Result<(), ZsmilesError> {
+    #[cfg(unix)]
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// A published-but-not-yet-durable file from
+/// [`AtomicFileSink::commit_deferred`]: the rename has happened, the
+/// fsync has not. Call [`DeferredSync::sync`] before anything that
+/// *depends* on this file becomes durable itself.
+#[derive(Debug)]
+pub struct DeferredSync {
+    file: File,
+    dest: std::path::PathBuf,
+}
+
+impl DeferredSync {
+    /// The published path awaiting its fsync.
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    /// Make the file contents durable. Does **not** fsync the parent
+    /// directory — callers batching many deferred syncs into one
+    /// directory should follow up with a single
+    /// [`sync_parent_dir`] call.
+    pub fn sync(self) -> Result<(), ZsmilesError> {
+        self.file.sync_all()?;
+        Ok(())
     }
 }
 
@@ -389,6 +442,29 @@ mod tests {
         sink.append(b"second").unwrap();
         sink.commit().unwrap();
         assert_eq!(std::fs::read(&dest).unwrap(), b"second");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deferred_commit_publishes_then_syncs() {
+        let dir =
+            std::env::temp_dir().join(format!("zsmiles_deferred_sink_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dest = dir.join("out.bin");
+
+        let mut sink = AtomicFileSink::create(&dest).unwrap();
+        sink.append(b"????").unwrap();
+        sink.append(b"tail").unwrap();
+        sink.write_at(0, b"head").unwrap();
+        let deferred = sink.commit_deferred().unwrap();
+        // Visible and complete under the real name before the fsync.
+        assert_eq!(deferred.dest(), dest.as_path());
+        assert_eq!(std::fs::read(&dest).unwrap(), b"headtail");
+        assert!(!dir.join(".out.bin.tmp").exists());
+        deferred.sync().unwrap();
+        sync_parent_dir(&dest).unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"headtail");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -54,7 +54,7 @@ use crate::dict::Dictionary;
 use crate::engine::{AnyDictionary, DictFlavor, DynCodec};
 use crate::error::ZsmilesError;
 use crate::sp::{encode_cost, SpAlgorithm, SpScratch};
-use crate::trie::Trie;
+use crate::trie::{CompactAutomaton, CompactLayout, Trie};
 use crate::wide::{WideDictionary, MAX_WIDE_ENTRIES, PAGE_BYTES};
 use std::io::BufRead;
 
@@ -333,6 +333,21 @@ struct Cand {
     hits: Option<Vec<u32>>,
 }
 
+/// Below this many cached hit lines, compiling a [`CompactAutomaton`]
+/// for a probe trie costs more than the node-trie walk it would save;
+/// above it, the CELF re-scoring loop is encoder-bound and the compiled
+/// walk wins.
+const COMPACT_EVAL_THRESHOLD: usize = 64;
+
+/// [`encode_cost`] against a compiled compact automaton, with the layout
+/// branch hoisted out of the per-line call.
+fn compact_cost(ca: &CompactAutomaton, line: &[u8], scratch: &mut SpScratch) -> usize {
+    match ca.view() {
+        CompactLayout::Narrow(v) => encode_cost(&v, line, SpAlgorithm::BackwardDp, scratch),
+        CompactLayout::Wide(v) => encode_cost(&v, line, SpAlgorithm::BackwardDp, scratch),
+    }
+}
+
 /// Exact marginal gain of `cand` given the current matcher and per-line
 /// baselines: only lines containing the pattern can change, so the DP
 /// re-runs on that (cached) subset alone.
@@ -357,9 +372,14 @@ fn eval_gain(
     }
     let mut probe = trie.clone();
     probe.insert(&cand.pat, 0);
+    let compact = (hits.len() >= COMPACT_EVAL_THRESHOLD).then(|| CompactAutomaton::compile(&probe));
     let mut gain = 0u64;
     for &i in hits.iter() {
-        let with = encode_cost(&probe, lines[i as usize], SpAlgorithm::BackwardDp, scratch) as u64;
+        let line = lines[i as usize];
+        let with = match &compact {
+            Some(ca) => compact_cost(ca, line, scratch),
+            None => encode_cost(&probe, line, SpAlgorithm::BackwardDp, scratch),
+        } as u64;
         gain += baseline[i as usize].saturating_sub(with);
     }
     gain
@@ -392,10 +412,13 @@ fn cost_guided_select(
         trie.insert(&[b], b);
     }
     let mut scratch = SpScratch::new();
+    // The full-corpus sweep always amortizes a compile.
+    let initial = CompactAutomaton::compile(&trie);
     let mut baseline: Vec<u64> = lines
         .iter()
-        .map(|l| encode_cost(&trie, l, SpAlgorithm::BackwardDp, &mut scratch) as u64)
+        .map(|l| compact_cost(&initial, l, &mut scratch) as u64)
         .collect();
+    drop(initial);
 
     let mut cands: Vec<Cand> = candidates
         .into_iter()
@@ -457,13 +480,15 @@ fn cost_guided_select(
         let chosen = cands.swap_remove(idx);
         trie.insert(&chosen.pat, 0);
         // A picked candidate is always fresh, so its hit set is cached.
-        for &li in chosen.hits.as_deref().unwrap_or(&[]) {
-            baseline[li as usize] = encode_cost(
-                &trie,
-                lines[li as usize],
-                SpAlgorithm::BackwardDp,
-                &mut scratch,
-            ) as u64;
+        let hits = chosen.hits.as_deref().unwrap_or(&[]);
+        let compact =
+            (hits.len() >= COMPACT_EVAL_THRESHOLD).then(|| CompactAutomaton::compile(&trie));
+        for &li in hits {
+            let line = lines[li as usize];
+            baseline[li as usize] = match &compact {
+                Some(ca) => compact_cost(ca, line, &mut scratch),
+                None => encode_cost(&trie, line, SpAlgorithm::BackwardDp, &mut scratch),
+            } as u64;
         }
         selected.push(chosen.pat);
         // Every remaining score is now a stale (upper) estimate.

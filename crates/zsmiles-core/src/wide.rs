@@ -30,7 +30,7 @@ use crate::dict::builder::DictBuilder;
 use crate::dict::MAX_PATTERN_LEN;
 use crate::engine::{LineDecoder, LineEncoder, PreprocessStage};
 use crate::error::ZsmilesError;
-use crate::trie::{DenseAutomaton, Matcher, Trie};
+use crate::trie::{CompactAutomaton, CompactLayout, DenseAutomaton, Matcher, RelaxKey, Trie};
 use std::io::{Read, Write};
 
 /// The eight extended bytes reserved as wide-code page prefixes.
@@ -112,6 +112,12 @@ pub struct WideDictionary {
     /// for the same reason as [`crate::dict::Dictionary`]: the tables run
     /// to megabytes and decode-only paths never walk them.
     automaton: std::sync::Arc<std::sync::OnceLock<DenseAutomaton<CodeId>>>,
+    /// The byte-class compressed matcher the wide encode hot path walks by
+    /// default ([`MatcherKind::Compact`]); lazy and shared across clones
+    /// like `automaton`. Wide dictionaries are where the compact layout
+    /// pays most: a maximal one runs to ~28k states, whose dense rows cost
+    /// 1 KiB each.
+    compact: std::sync::Arc<std::sync::OnceLock<CompactAutomaton<CodeId>>>,
 }
 
 impl WideDictionary {
@@ -211,6 +217,7 @@ impl WideDictionary {
             preprocessed,
             trie,
             automaton: std::sync::Arc::new(std::sync::OnceLock::new()),
+            compact: std::sync::Arc::new(std::sync::OnceLock::new()),
         })
     }
 
@@ -282,6 +289,15 @@ impl WideDictionary {
     pub fn automaton(&self) -> &DenseAutomaton<CodeId> {
         self.automaton
             .get_or_init(|| DenseAutomaton::compile(&self.trie))
+    }
+
+    /// The byte-class compressed matcher the wide encode hot path walks by
+    /// default — compiled from [`WideDictionary::trie`] on first call
+    /// (then cached, shared by clones). Byte-identical matches to the trie
+    /// and [`WideDictionary::automaton`].
+    pub fn compact(&self) -> &CompactAutomaton<CodeId> {
+        self.compact
+            .get_or_init(|| CompactAutomaton::compile(&self.trie))
     }
 
     /// All entries in code-assignment order: base codes (code-space order),
@@ -415,13 +431,30 @@ impl WideDictBuilder {
 // Compression: shortest path with per-edge costs
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct WideChoice {
-    id: CodeId,
-    len: u8,
+/// One wide DP cell, packed like [`crate::sp`]'s but with a 16-bit code
+/// id: `cost << 24 | (0xFF - len) << 16 | id`. Minimizing the key is the
+/// decision rule — smallest cost, then a code over an escape and a longer
+/// pattern over a shorter one (complemented length), then the smallest
+/// id. `len == 0` (stored as `0xFF`) means escape.
+type WideCell = u64;
+
+const WIDE_COST_SHIFT: u32 = 24;
+const WIDE_ESCAPE_TAG: WideCell = 0xFF_0000;
+
+#[inline]
+fn wide_cell_cost(cell: WideCell) -> u64 {
+    cell >> WIDE_COST_SHIFT
 }
 
-const WIDE_ESCAPE: WideChoice = WideChoice { id: 0, len: 0 };
+#[inline]
+fn wide_cell_len(cell: WideCell) -> usize {
+    0xFF - ((cell >> 16) & 0xFF) as usize
+}
+
+#[inline]
+fn wide_cell_id(cell: WideCell) -> CodeId {
+    (cell & 0xFFFF) as CodeId
+}
 
 /// Retired wide-DP scratch parked per thread — the same encoder-reuse
 /// story as `sp::SpScratch`: worker-pool threads persist, so re-minting a
@@ -430,35 +463,31 @@ const WIDE_ESCAPE: WideChoice = WideChoice { id: 0, len: 0 };
 const WIDE_STASH_CAP: usize = 8;
 
 thread_local! {
-    static WIDE_STASH: std::cell::RefCell<Vec<(Vec<u32>, Vec<WideChoice>)>> =
+    static WIDE_STASH: std::cell::RefCell<Vec<Vec<WideCell>>> =
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Reusable DP scratch, recycled through a thread-local stash on drop.
 #[derive(Debug, Default)]
 pub struct WideScratch {
-    dist: Vec<u32>,
-    choice: Vec<WideChoice>,
+    cells: Vec<WideCell>,
 }
 
 impl WideScratch {
     fn recycled() -> Self {
         WIDE_STASH
             .with(|s| s.borrow_mut().pop())
-            .map(|(dist, choice)| WideScratch { dist, choice })
+            .map(|cells| WideScratch { cells })
             .unwrap_or_default()
     }
 }
 
 impl Drop for WideScratch {
     fn drop(&mut self) {
-        if self.dist.capacity() == 0 && self.choice.capacity() == 0 {
+        if self.cells.capacity() == 0 {
             return;
         }
-        let entry = (
-            std::mem::take(&mut self.dist),
-            std::mem::take(&mut self.choice),
-        );
+        let entry = std::mem::take(&mut self.cells);
         WIDE_STASH.with(|s| {
             let mut stash = s.borrow_mut();
             if stash.len() < WIDE_STASH_CAP {
@@ -485,46 +514,71 @@ fn wide_encode_line<M: Matcher<Code = CodeId>>(
         return 0;
     }
     let n = line.len();
-    scratch.dist.clear();
-    scratch.dist.resize(n + 1, u32::MAX);
-    scratch.choice.clear();
-    scratch.choice.resize(n + 1, WIDE_ESCAPE);
-    scratch.dist[n] = 0;
-    for i in (0..n).rev() {
-        let mut best_cost = 2 + scratch.dist[i + 1];
-        let mut best = WIDE_ESCAPE;
-        let (dist, choice) = (&mut scratch.dist, &mut scratch.choice);
-        matcher.matches_at(line, i, |id, len| {
-            let (_, width) = emit_bytes(id);
-            let c = width as u32 + dist[i + len];
-            let better = c < best_cost
-                || (c == best_cost
-                    && (best.len == 0
-                        || len as u8 > best.len
-                        || (len as u8 == best.len && id < best.id)));
-            if better {
-                best_cost = c;
-                best = WideChoice { id, len: len as u8 };
-            }
-        });
-        dist[i] = best_cost;
-        choice[i] = best;
+    // No per-line clear: cell `i` is written before anything reads it
+    // (the sweep is backward), so only the sink cell needs a value.
+    if scratch.cells.len() < n + 1 {
+        scratch.cells.resize(n + 1, 0);
     }
+    scratch.cells[n] = 0;
+    for i in (0..n).rev() {
+        let escape =
+            ((2 + wide_cell_cost(scratch.cells[i + 1])) << WIDE_COST_SHIFT) | WIDE_ESCAPE_TAG;
+        scratch.cells[i] = matcher.best_relax::<WideKey>(line, i, &scratch.cells[..n + 1], escape);
+    }
+    wide_emit(line, &scratch.cells, out)
+}
+
+/// The wide codec's relax-key shape: base ids (< 256) emit one byte, wide
+/// ids two — the width is recovered from the raw accept word's payload
+/// bits without a full unpack.
+struct WideKey;
+
+impl RelaxKey for WideKey {
+    #[inline]
+    fn key(cell: u64, acc: u32) -> u64 {
+        let width = 1 + u64::from((acc & 0xFFFF) >= 256);
+        ((width + wide_cell_cost(cell)) << WIDE_COST_SHIFT) | acc as u64
+    }
+}
+
+/// Walk the line's choice chain out of the packed DP cells.
+fn wide_emit(line: &[u8], cells: &[WideCell], out: &mut Vec<u8>) -> usize {
     let before = out.len();
     let mut i = 0;
-    while i < n {
-        let ch = scratch.choice[i];
-        if ch.len == 0 {
+    while i < line.len() {
+        let cell = cells[i];
+        let len = wide_cell_len(cell);
+        if len == 0 {
             out.push(ESCAPE);
             out.push(line[i]);
             i += 1;
         } else {
-            let (bytes, width) = emit_bytes(ch.id);
+            let (bytes, width) = emit_bytes(wide_cell_id(cell));
             out.extend_from_slice(&bytes[..width]);
-            i += ch.len as usize;
+            i += len;
         }
     }
     out.len() - before
+}
+
+/// The wide twin of [`crate::sp::encode_lines_batched`]: run each line's
+/// fused match+DP walk with the wide codec's per-edge costs, the matcher's
+/// transition table staying cache-resident across the group. Byte-identical
+/// to the per-line [`wide_encode_line`] loop; appends each line's bytes
+/// followed by a [`LINE_SEP`] and returns the payload total, separators
+/// excluded.
+fn wide_encode_lines_batched<M: Matcher<Code = CodeId>>(
+    matcher: &M,
+    lines: &[&[u8]],
+    scratch: &mut WideScratch,
+    out: &mut Vec<u8>,
+) -> usize {
+    let mut payload = 0;
+    for line in lines {
+        payload += wide_encode_line(matcher, line, scratch, out);
+        out.push(LINE_SEP);
+    }
+    payload
 }
 
 /// A reusable compressor bound to one wide dictionary (mirrors
@@ -535,6 +589,9 @@ pub struct WideCompressor<'d> {
     matcher: MatcherKind,
     preprocess: PreprocessStage,
     scratch: WideScratch,
+    /// Staging for preprocessed sources of one batched group (mirrors
+    /// [`crate::Compressor`]).
+    batch_buf: Vec<u8>,
 }
 
 impl<'d> WideCompressor<'d> {
@@ -544,6 +601,7 @@ impl<'d> WideCompressor<'d> {
             matcher: MatcherKind::default(),
             preprocess: PreprocessStage::new(dict.preprocessed()),
             scratch: WideScratch::recycled(),
+            batch_buf: Vec::new(),
         }
     }
 
@@ -569,6 +627,10 @@ impl<'d> WideCompressor<'d> {
     pub fn compress_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> (usize, bool) {
         let (src, failed) = self.preprocess.apply(line);
         let n = match self.matcher {
+            MatcherKind::Compact => match self.dict.compact().view() {
+                CompactLayout::Narrow(v) => wide_encode_line(&v, src, &mut self.scratch, out),
+                CompactLayout::Wide(v) => wide_encode_line(&v, src, &mut self.scratch, out),
+            },
             MatcherKind::DenseAutomaton => {
                 wide_encode_line(self.dict.automaton(), src, &mut self.scratch, out)
             }
@@ -586,6 +648,45 @@ impl<'d> WideCompressor<'d> {
 impl LineEncoder for WideCompressor<'_> {
     fn encode_line(&mut self, line: &[u8], out: &mut Vec<u8>) -> (usize, bool) {
         self.compress_line(line, out)
+    }
+
+    /// The fused batched path, mirroring [`crate::Compressor`]: compact
+    /// matcher runs each group through `wide_encode_lines_batched`;
+    /// other matchers fall back to the per-line loop. Byte-identical.
+    fn encode_lines(&mut self, lines: &[&[u8]], out: &mut Vec<u8>) -> CompressStats {
+        if self.matcher != MatcherKind::Compact {
+            return crate::engine::encode_lines_serial(self, lines, out);
+        }
+        let mut stats = CompressStats::default();
+        for chunk in lines.chunks(crate::sp::BATCH_LINES) {
+            let mut srcs: [&[u8]; crate::sp::BATCH_LINES] = [b""; crate::sp::BATCH_LINES];
+            let mut spans = [(0usize, 0usize); crate::sp::BATCH_LINES];
+            self.batch_buf.clear();
+            if self.preprocess.enabled() {
+                for (k, &line) in chunk.iter().enumerate() {
+                    let (src, failed) = self.preprocess.apply(line);
+                    stats.preprocess_failures += failed as usize;
+                    spans[k] = (self.batch_buf.len(), src.len());
+                    self.batch_buf.extend_from_slice(src);
+                }
+                for (k, (start, len)) in spans.iter().take(chunk.len()).enumerate() {
+                    srcs[k] = &self.batch_buf[*start..start + len];
+                }
+            } else {
+                srcs[..chunk.len()].copy_from_slice(chunk);
+            }
+            stats.lines += chunk.len();
+            stats.in_bytes += chunk.iter().map(|l| l.len()).sum::<usize>();
+            stats.out_bytes += match self.dict.compact().view() {
+                CompactLayout::Narrow(v) => {
+                    wide_encode_lines_batched(&v, &srcs[..chunk.len()], &mut self.scratch, out)
+                }
+                CompactLayout::Wide(v) => {
+                    wide_encode_lines_batched(&v, &srcs[..chunk.len()], &mut self.scratch, out)
+                }
+            };
+        }
+        stats
     }
 }
 
