@@ -29,7 +29,7 @@
 //! ```text
 //! cargo run --release -p bench --bin throughput -- \
 //!     [--lines 50000] [--seed 12648430] [--threads N] [--reps 3] \
-//!     [--gets 20000] [--out BENCH_9.json]
+//!     [--gets 20000] [--out BENCH_10.json]
 //! ```
 //!
 //! Every measurement is best-of-`reps` wall time (per-rep byte counts are
@@ -44,7 +44,7 @@ use molgen::Dataset;
 use std::sync::Arc;
 use std::time::Instant;
 use zsmiles_core::engine::AnyDictionary;
-use zsmiles_core::serve::{QueryClient, ServeOptions, Server};
+use zsmiles_core::serve::{Executor, QueryClient, Request, ServeOptions, Server};
 use zsmiles_core::train::{BaseBuilder, DictBuilder as _, TrainCorpus};
 use zsmiles_core::{
     compress_parallel_dyn, decompress_parallel_dyn, ArchiveReader, ArchiveWriter, BlockCache,
@@ -72,7 +72,7 @@ fn parse_opts() -> Opts {
             .unwrap_or(4),
         reps: 3,
         gets: 20_000,
-        out: "BENCH_9.json".to_string(),
+        out: "BENCH_10.json".to_string(),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -473,81 +473,123 @@ fn main() {
 
     // ---- concurrent serving: random gets over loopback TCP ---------------
     // The same access pattern through a live `zsmiles-serve` process:
-    // throughput and tail latency at 1 / 8 / 64 concurrent clients, each
-    // client on its own connection (the server runs a thread per
-    // connection). Every level splits the same total op budget, so the
-    // rows compare aggregate service rates at equal work.
+    // throughput and tail latency at 1 / 8 / 64 / 256 concurrent
+    // clients, under both executors (the poll(2)+worker-pool event loop
+    // and the legacy thread-per-connection model), at pipeline depth 1
+    // (one request in flight per connection — the PR 9 protocol) and
+    // depth 16 (pipelined). Every cell splits the same total op budget,
+    // so the rows compare aggregate service rates at equal work.
+    // Pipelined latency is measured submission-to-response, so it
+    // includes time queued in the client's own window.
     let serve_rows = {
-        let handle = Server::start(
-            &zsa,
-            "127.0.0.1:0",
-            ServeOptions {
-                max_connections: 128,
-                ..Default::default()
-            },
-        )
-        .expect("starting the query server");
-        let addr = handle.addr();
-        // Byte-identity spot check: served reads are direct reads.
-        {
-            let mut c = QueryClient::connect(addr).expect("connecting the check client");
-            for &i in order.iter().take(256) {
-                assert_eq!(
-                    c.get(i as u64).expect("served get"),
-                    reader.get(i).expect("file get"),
-                    "served read ≠ direct read at line {i}"
-                );
-            }
-        }
-        let mut rows = Vec::new();
-        for &clients in &[1usize, 8, 64] {
-            let per_client = (o.gets / clients).max(1);
-            let total_ops = per_client * clients;
-            let mut best_wall = f64::INFINITY;
-            let mut latencies: Vec<u64> = Vec::new();
-            for _ in 0..o.reps {
-                let t0 = Instant::now();
-                let mut rep_lat: Vec<u64> = Vec::with_capacity(total_ops);
-                std::thread::scope(|scope| {
-                    let workers: Vec<_> = (0..clients)
-                        .map(|w| {
-                            let order = &order;
-                            scope.spawn(move || {
-                                let mut c =
-                                    QueryClient::connect(addr).expect("bench client connect");
-                                let mut lat = Vec::with_capacity(per_client);
-                                for k in 0..per_client {
-                                    let i = order[(w * per_client + k) % order.len()];
-                                    let t = Instant::now();
-                                    let line = c.get(i as u64).expect("served random get");
-                                    lat.push(t.elapsed().as_nanos() as u64);
-                                    std::hint::black_box(&line);
-                                }
-                                lat
-                            })
-                        })
-                        .collect();
-                    for w in workers {
-                        rep_lat.extend(w.join().expect("bench client thread"));
-                    }
-                });
-                let wall = t0.elapsed().as_secs_f64();
-                if wall < best_wall {
-                    best_wall = wall;
-                    latencies = rep_lat;
+        let mut rows: Vec<(&str, usize, usize, usize, f64, u64, u64)> = Vec::new();
+        for (exec_name, executor) in [
+            ("threaded", Executor::Threaded),
+            ("pooled", Executor::Pooled),
+        ] {
+            let handle = Server::start(
+                &zsa,
+                "127.0.0.1:0",
+                ServeOptions {
+                    max_connections: 300,
+                    executor,
+                    ..Default::default()
+                },
+            )
+            .expect("starting the query server");
+            let addr = handle.addr();
+            // Byte-identity spot check: served reads are direct reads,
+            // sequentially and pipelined.
+            {
+                let mut c = QueryClient::connect(addr).expect("connecting the check client");
+                for &i in order.iter().take(256) {
+                    assert_eq!(
+                        c.get(i as u64).expect("served get"),
+                        reader.get(i).expect("file get"),
+                        "served read ≠ direct read at line {i} ({exec_name})"
+                    );
+                }
+                let picks: Vec<u64> = order.iter().take(256).map(|&i| i as u64).collect();
+                let piped = c
+                    .get_many_pipelined(&picks, 16)
+                    .expect("pipelined spot check");
+                for (&i, bytes) in picks.iter().zip(&piped) {
+                    assert_eq!(
+                        *bytes,
+                        reader.get(i as usize).expect("file get"),
+                        "pipelined read ≠ direct read at line {i} ({exec_name})"
+                    );
                 }
             }
-            latencies.sort_unstable();
-            let pct = |p: usize| latencies[(latencies.len() - 1) * p / 100];
-            rows.push((
-                clients,
-                total_ops,
-                total_ops as f64 / best_wall,
-                pct(50),
-                pct(99),
-            ));
+            for &clients in &[1usize, 8, 64, 256] {
+                for &depth in &[1usize, 16] {
+                    let per_client = (o.gets / clients).max(1);
+                    let total_ops = per_client * clients;
+                    let mut best_wall = f64::INFINITY;
+                    let mut latencies: Vec<u64> = Vec::new();
+                    for _ in 0..o.reps {
+                        let t0 = Instant::now();
+                        let mut rep_lat: Vec<u64> = Vec::with_capacity(total_ops);
+                        std::thread::scope(|scope| {
+                            let workers: Vec<_> = (0..clients)
+                                .map(|w| {
+                                    let order = &order;
+                                    scope.spawn(move || {
+                                        let mut c = QueryClient::connect(addr)
+                                            .expect("bench client connect");
+                                        let mut pipe = c.pipeline(depth);
+                                        let mut lat = Vec::with_capacity(per_client);
+                                        let mut submitted =
+                                            std::collections::VecDeque::with_capacity(depth);
+                                        for k in 0..per_client {
+                                            let i = order[(w * per_client + k) % order.len()];
+                                            submitted.push_back(Instant::now());
+                                            if let Some(resp) = pipe
+                                                .send(&Request::Get { line: i as u64 })
+                                                .expect("pipelined send")
+                                            {
+                                                let t: Instant =
+                                                    submitted.pop_front().expect("submit time");
+                                                lat.push(t.elapsed().as_nanos() as u64);
+                                                std::hint::black_box(&resp);
+                                            }
+                                        }
+                                        while let Some(resp) = pipe.recv().expect("pipelined drain")
+                                        {
+                                            let t: Instant =
+                                                submitted.pop_front().expect("submit time");
+                                            lat.push(t.elapsed().as_nanos() as u64);
+                                            std::hint::black_box(&resp);
+                                        }
+                                        lat
+                                    })
+                                })
+                                .collect();
+                            for w in workers {
+                                rep_lat.extend(w.join().expect("bench client thread"));
+                            }
+                        });
+                        let wall = t0.elapsed().as_secs_f64();
+                        if wall < best_wall {
+                            best_wall = wall;
+                            latencies = rep_lat;
+                        }
+                    }
+                    latencies.sort_unstable();
+                    let pct = |p: usize| latencies[(latencies.len() - 1) * p / 100];
+                    rows.push((
+                        exec_name,
+                        clients,
+                        depth,
+                        total_ops,
+                        total_ops as f64 / best_wall,
+                        pct(50),
+                        pct(99),
+                    ));
+                }
+            }
+            handle.shutdown();
         }
-        handle.shutdown();
         rows
     };
 
@@ -618,9 +660,10 @@ fn main() {
 
     let serve_json = serve_rows
         .iter()
-        .map(|(clients, ops, ops_per_s, p50, p99)| {
+        .map(|(executor, clients, depth, ops, ops_per_s, p50, p99)| {
             format!(
-                "    {{ \"clients\": {clients}, \"ops\": {ops}, \"ops_per_s\": {ops_per_s:.0}, \
+                "    {{ \"executor\": \"{executor}\", \"clients\": {clients}, \
+                 \"depth\": {depth}, \"ops\": {ops}, \"ops_per_s\": {ops_per_s:.0}, \
                  \"p50_ns\": {p50}, \"p99_ns\": {p99} }}"
             )
         })
@@ -652,7 +695,7 @@ fn main() {
 
     let json = format!
     (
-        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 9,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \"parallel_pack_threads\": {},\n  \"shard_lines\": {},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"mmap_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"bytes_mapped\": {} }},\n  \"cached_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"hits\": {}, \"misses\": {}, \"pool_hit_rate\": {:.4} }},\n  \"concurrent_serve\": [\n{}\n  ],\n  \"served_degraded\": {{ \"healthy_ops_per_s\": {:.0}, \"degraded_ops_per_s\": {:.0}, \"overhead\": {:.3}, \"survivor_ops\": {} }},\n  \"encode_speedup_compact_vs_node_trie\": {:.3},\n  \"encode_speedup_compact_vs_dense\": {:.3},\n  \"wide_encode_speedup_compact_vs_node_trie\": {:.3},\n  \"dict_fitting\": {{ \"ratio_default_dict\": {:.4}, \"ratio_trained_dict\": {:.4}, \"train_sample_lines\": {}, \"train_secs\": {:.3} }}\n}}\n",
+        "{{\n  \"bench\": \"throughput\",\n  \"pr\": 10,\n  \"deck\": \"mixed\",\n  \"lines\": {},\n  \"seed\": {},\n  \"payload_bytes\": {},\n  \"compressed_bytes\": {},\n  \"ratio\": {:.4},\n  \"threads\": {},\n  \"reps\": {},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n  \"parallel_pack_threads\": {},\n  \"shard_lines\": {},\n  \"random_access_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }},\n  \"mmap_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"bytes_mapped\": {} }},\n  \"cached_random_get\": {{ \"ns_per_op\": {:.1}, \"ops\": {}, \"hits\": {}, \"misses\": {}, \"pool_hit_rate\": {:.4} }},\n  \"concurrent_serve\": [\n{}\n  ],\n  \"served_degraded\": {{ \"healthy_ops_per_s\": {:.0}, \"degraded_ops_per_s\": {:.0}, \"overhead\": {:.3}, \"survivor_ops\": {} }},\n  \"encode_speedup_compact_vs_node_trie\": {:.3},\n  \"encode_speedup_compact_vs_dense\": {:.3},\n  \"wide_encode_speedup_compact_vs_node_trie\": {:.3},\n  \"dict_fitting\": {{ \"ratio_default_dict\": {:.4}, \"ratio_trained_dict\": {:.4}, \"train_sample_lines\": {}, \"train_secs\": {:.3} }}\n}}\n",
         o.lines,
         o.seed,
         payload,
@@ -711,9 +754,10 @@ fn main() {
         r_pack_sharded_par.mb_per_s, get_ns, mmap_get_ns, cached_get_ns, cache_hit_rate * 100.0,
         default_stats.ratio(), trained_stats.ratio(), o.out
     );
-    for (clients, _, ops_per_s, p50, p99) in &serve_rows {
+    for (executor, clients, depth, _, ops_per_s, p50, p99) in &serve_rows {
         eprintln!(
-            "serve: {clients:>2} client(s) -> {ops_per_s:.0} ops/s, p50 {p50} ns, p99 {p99} ns"
+            "serve[{executor}]: {clients:>3} client(s) depth {depth:>2} -> {ops_per_s:.0} ops/s, \
+             p50 {p50} ns, p99 {p99} ns"
         );
     }
     eprintln!(

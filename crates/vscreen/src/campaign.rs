@@ -15,7 +15,7 @@ use zsmiles_core::ZsmilesError;
 
 /// Score an unparseable line poorly instead of failing the campaign: real
 /// decks contain the odd malformed row and a screen must not stop for it.
-const UNPARSEABLE_SCORE: f64 = f64::NEG_INFINITY;
+pub const UNPARSEABLE_SCORE: f64 = f64::NEG_INFINITY;
 
 /// Score every ligand in `deck` against `pocket`, serially.
 pub fn screen(deck: &Dataset, pocket: &Pocket) -> ScoreTable {
@@ -51,7 +51,11 @@ pub fn screen_parallel(deck: &Dataset, pocket: &Pocket, workers: usize) -> Score
     ScoreTable::new(scores)
 }
 
-fn score_line(line: &[u8], pocket: &Pocket) -> f64 {
+/// Score one deck line against a pocket — the per-ligand kernel that
+/// [`screen`], [`screen_parallel`] and the wire-protocol screener
+/// ([`crate::wire::PocketScreener`]) must all share so their scores stay
+/// bit-identical. Unparseable lines sink to [`UNPARSEABLE_SCORE`].
+pub fn score_line(line: &[u8], pocket: &Pocket) -> f64 {
     match smiles::parser::parse(line) {
         Ok(mol) => pocket.score(&mol),
         Err(_) => UNPARSEABLE_SCORE,

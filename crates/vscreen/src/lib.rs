@@ -38,9 +38,13 @@ pub mod campaign;
 pub mod filter;
 pub mod pocket;
 pub mod score;
+pub mod wire;
 
 pub use archive::{Archive, ColdArchive};
-pub use campaign::{screen, screen_parallel, top_hits, top_hits_cold, Hit, StorageModel};
+pub use campaign::{
+    score_line, screen, screen_parallel, top_hits, top_hits_cold, Hit, StorageModel,
+};
 pub use filter::{ro5_filter, Ro5Profile};
 pub use pocket::Pocket;
 pub use score::ScoreTable;
+pub use wire::PocketScreener;

@@ -1,0 +1,77 @@
+//! Serving-side screening: the [`zsmiles_core::serve::Screener`]
+//! implementation that puts `top_hits` on the wire.
+//!
+//! The serving core deliberately knows nothing about scoring (the crate
+//! dependency points the other way), so `zsmiles-serve` executes
+//! `top_hits` requests through a pluggable hook. [`PocketScreener`] is
+//! the production hook: the request's pattern string names a pocket seed
+//! (the same `u64` `screen --pocket-seed` takes), and every line is
+//! scored by the exact [`crate::campaign::score_line`] kernel the local
+//! campaign uses — which is what makes wire results byte-identical to
+//! [`crate::top_hits_cold`] over the same deck.
+
+use crate::campaign::score_line;
+use crate::pocket::Pocket;
+use zsmiles_core::serve::Screener;
+use zsmiles_core::ZsmilesError;
+
+/// Scores wire `top_hits` batches against [`Pocket::from_seed`] pockets;
+/// the request pattern is the decimal (or `0x`-prefixed hex) seed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PocketScreener;
+
+fn parse_seed(pattern: &str) -> Result<u64, ZsmilesError> {
+    let p = pattern.trim();
+    let parsed = match p.strip_prefix("0x").or_else(|| p.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => p.parse(),
+    };
+    parsed.map_err(|_| ZsmilesError::Protocol {
+        reason: format!("top_hits pattern '{pattern}' is not a pocket seed (u64)"),
+    })
+}
+
+impl Screener for PocketScreener {
+    fn score_batch(
+        &self,
+        pattern: &str,
+        lines: &[Vec<u8>],
+        out: &mut Vec<f64>,
+    ) -> Result<(), ZsmilesError> {
+        let pocket = Pocket::from_seed(parse_seed(pattern)?);
+        out.extend(lines.iter().map(|l| score_line(l, &pocket)));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_parsing_takes_decimal_and_hex() {
+        assert_eq!(parse_seed("7").unwrap(), 7);
+        assert_eq!(parse_seed(" 0xD0C5EED ").unwrap(), 0xD0C5EED);
+        assert!(parse_seed("not a seed").is_err());
+        assert!(parse_seed("").is_err());
+    }
+
+    #[test]
+    fn screener_scores_match_the_local_kernel() {
+        let deck: Vec<Vec<u8>> = [
+            b"COc1cc(C=O)ccc1O".to_vec(),
+            b"definitely not smiles".to_vec(),
+            b"CCO".to_vec(),
+        ]
+        .to_vec();
+        let mut wire = Vec::new();
+        PocketScreener.score_batch("5", &deck, &mut wire).unwrap();
+        let pocket = Pocket::from_seed(5);
+        let local: Vec<f64> = deck.iter().map(|l| score_line(l, &pocket)).collect();
+        assert_eq!(
+            wire.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            local.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        );
+        assert_eq!(wire[1], f64::NEG_INFINITY);
+    }
+}

@@ -5,7 +5,7 @@ use molgen::{profiles, stats, Dataset};
 use std::path::Path;
 use std::time::Instant;
 use zsmiles_core::engine::AnyDictionary;
-use zsmiles_core::serve::{QueryClient, ServeOptions, Server};
+use zsmiles_core::serve::{Executor, QueryClient, ServeOptions, Server};
 use zsmiles_core::shard::{is_manifest, ShardPolicy, ShardedReader, ShardedWriter};
 use zsmiles_core::train::{BaseBuilder, DictBuilder as _, TrainCorpus, WideBuilder};
 use zsmiles_core::{
@@ -58,18 +58,29 @@ const USAGE: &str =
               allows, else read through the shared block cache — --verbose
               reports bytes mapped, or the cache hit rate and evictions)
   serve      --archive in.zsa|in.zsm [--addr HOST:PORT] [--max-conns N] [--degraded]
+             [--executor pooled|threaded] [--workers N] [--depth K]
              (holds the deck open and answers concurrent get/get_range/
-              get_many/stats clients over a length-prefixed binary TCP
-              protocol; --addr defaults to 127.0.0.1:0 — an ephemeral
-              port, printed on startup; a wire flip atomically swaps to a
-              new dataset generation and a wire shutdown stops serving;
-              --degraded tolerates quarantined shards — the rest of the
-              deck serves and health reports degraded)
-  query      --addr HOST:PORT (--line K [--count N] | --many i,j,k
-             | --stats | --health | --flip newdeck.zsm | --shutdown)
-             (one request against a running serve process; --flip names a
-              server-local archive path; --health exits nonzero when the
-              served deck is degraded — a ready-made readiness probe)
+              get_many/stats/top_hits clients over a length-prefixed
+              binary TCP protocol; --addr defaults to 127.0.0.1:0 — an
+              ephemeral port, printed on startup; a wire flip atomically
+              swaps to a new dataset generation and a wire shutdown stops
+              serving; --degraded tolerates quarantined shards — the rest
+              of the deck serves and health reports degraded; the default
+              pooled executor drives pipelined connections through one
+              poll(2) loop plus --workers threads (0 = min(cores, 8)),
+              keeping up to --depth requests in flight per connection;
+              --executor threaded restores thread-per-connection)
+  query      --addr HOST:PORT (--line K [--count N] | --many i,j,k [--depth K]
+             | --top-hits N --pattern SEED | --stats | --health
+             | --flip newdeck.zsm | --shutdown)
+             (one request against a running serve process; --many with
+              --depth K > 1 pipelines the fetches, K frames in flight;
+              --top-hits ranks the whole served deck against pocket SEED
+              server-side and prints index, score and SMILES per hit —
+              byte-identical to a local screen over the same deck;
+              --flip names a server-local archive path; --health exits
+              nonzero when the served deck is degraded — a ready-made
+              readiness probe)
   screen     -i deck.smi [--pocket-seed S] [--top K] [--threads N] [--scores out.tsv]
   stats      -i file.smi
   inspect    -d dict.dct [-i corpus.smi] [--dict-stats]
@@ -840,9 +851,18 @@ fn print_dict_stats(args: &Args, dict: &AnyDictionary) -> Result<(), String> {
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let path = args.require("--archive")?;
     let addr = args.get("--addr").unwrap_or("127.0.0.1:0");
+    let executor = match args.get("--executor").unwrap_or("pooled") {
+        "pooled" => Executor::Pooled,
+        "threaded" => Executor::Threaded,
+        other => return Err(format!("--executor: '{other}' is not pooled|threaded")),
+    };
     let opts = ServeOptions {
         max_connections: args.get_usize("--max-conns", 64)?,
         degraded: args.get_bool("--degraded"),
+        executor,
+        workers: args.get_usize("--workers", 0)?,
+        pipeline_depth: args.get_usize("--depth", 64)?.max(1),
+        screener: Some(std::sync::Arc::new(vscreen::PocketScreener)),
         ..Default::default()
     };
     let handle = Server::start(Path::new(path), addr, opts).map_err(|e| e.to_string())?;
@@ -922,6 +942,27 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         }
         return Ok(());
     }
+    if let Some(k) = args.get("--top-hits") {
+        let k: u32 = k
+            .parse()
+            .map_err(|_| format!("--top-hits: bad count '{k}'"))?;
+        let pattern = args.require("--pattern")?;
+        let hits = client.top_hits(k, pattern).map_err(|e| e.to_string())?;
+        let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
+        use std::io::Write;
+        for h in &hits {
+            writeln!(
+                stdout,
+                "{}\t{}\t{}",
+                h.index,
+                h.score(),
+                String::from_utf8_lossy(&h.smiles)
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        return stdout.flush().map_err(|e| e.to_string());
+    }
+    let depth = args.get_usize("--depth", 1)?.max(1);
     let lines = if let Some(list) = args.get("--many") {
         let wanted: Vec<u64> = list
             .split(',')
@@ -931,7 +972,13 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                     .map_err(|_| format!("--many: bad line number '{s}'"))
             })
             .collect::<Result<_, String>>()?;
-        client.get_many(&wanted).map_err(|e| e.to_string())?
+        if depth > 1 {
+            client
+                .get_many_pipelined(&wanted, depth)
+                .map_err(|e| e.to_string())?
+        } else {
+            client.get_many(&wanted).map_err(|e| e.to_string())?
+        }
     } else {
         let line = args.get_u64("--line", 0)?;
         let count = args.get_u64("--count", 1)?.max(1);

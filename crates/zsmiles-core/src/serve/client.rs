@@ -10,9 +10,10 @@
 //! lockstep).
 
 use super::protocol::{
-    read_frame, FrameRead, HealthStats, Request, Response, ServeStats, MAX_RESPONSE_FRAME,
+    read_frame, FrameRead, HealthStats, HitRow, Request, Response, ServeStats, MAX_RESPONSE_FRAME,
 };
 use crate::error::ZsmilesError;
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -66,9 +67,10 @@ impl ClientOptions {
     }
 }
 
-/// One connection to a running server. Requests are strictly
-/// sequential per connection (one frame out, one frame back); open more
-/// clients for concurrency — the server runs a thread per connection.
+/// One connection to a running server. The plain methods are strictly
+/// sequential (one frame out, one frame back); [`QueryClient::pipeline`]
+/// keeps up to `depth` requests in flight on the same connection, with
+/// responses guaranteed to come back in submission order.
 #[derive(Debug)]
 pub struct QueryClient {
     stream: TcpStream,
@@ -119,7 +121,6 @@ impl QueryClient {
     }
 
     fn roundtrip(&mut self, req: &Request) -> Result<Response, ZsmilesError> {
-        use std::io::Write;
         self.stream.write_all(&req.encode())?;
         match read_frame(&mut self.stream, MAX_RESPONSE_FRAME)? {
             FrameRead::Frame(body) => Response::decode(&body),
@@ -166,6 +167,63 @@ impl QueryClient {
         })?)
     }
 
+    /// Run a `top_hits` screening campaign server-side: score every
+    /// line of the served deck against `pattern` and return the best
+    /// `k` rows (index, score, decompressed SMILES), best first, ties
+    /// toward the smaller line number — byte-identical to running the
+    /// campaign locally against the same deck. One round trip instead
+    /// of a scan's worth of `get`s.
+    pub fn top_hits(&mut self, k: u32, pattern: &str) -> Result<Vec<HitRow>, ZsmilesError> {
+        match self.roundtrip(&Request::TopHits {
+            k,
+            pattern: pattern.into(),
+        })? {
+            Response::Hits(rows) => Ok(rows),
+            other => Err(QueryClient::reject(other, "a hits response")),
+        }
+    }
+
+    /// Start a pipelined exchange: up to `depth` requests in flight at
+    /// once, responses strictly in submission order. See [`Pipeline`].
+    pub fn pipeline(&mut self, depth: usize) -> Pipeline<'_> {
+        Pipeline {
+            client: self,
+            depth: depth.max(1),
+            pending: 0,
+            wbuf: Vec::new(),
+        }
+    }
+
+    /// Fetch an arbitrary set of lines as individual pipelined `get`
+    /// frames, keeping up to `depth` of them in flight. Same result as
+    /// [`QueryClient::get_many`] (request order preserved), but
+    /// exercised through the pipelined path — and the server folds each
+    /// contiguous in-flight run back into one batched deck read.
+    pub fn get_many_pipelined(
+        &mut self,
+        lines: &[u64],
+        depth: usize,
+    ) -> Result<Vec<Vec<u8>>, ZsmilesError> {
+        let mut out = Vec::with_capacity(lines.len());
+        let mut pipe = self.pipeline(depth);
+        let take = |resp: Response| -> Result<Vec<u8>, ZsmilesError> {
+            let mut lines = QueryClient::expect_lines(resp)?;
+            match lines.len() {
+                1 => Ok(lines.pop().unwrap()),
+                n => Err(protocol(format!("get returned {n} lines, expected 1"))),
+            }
+        };
+        for &line in lines {
+            if let Some(resp) = pipe.send(&Request::Get { line })? {
+                out.push(take(resp)?);
+            }
+        }
+        while let Some(resp) = pipe.recv()? {
+            out.push(take(resp)?);
+        }
+        Ok(out)
+    }
+
     /// Server counters and the generation currently being served.
     pub fn stats(&mut self) -> Result<ServeStats, ZsmilesError> {
         match self.roundtrip(&Request::Stats)? {
@@ -198,6 +256,76 @@ impl QueryClient {
             Response::Bye => Ok(()),
             other => Err(QueryClient::reject(other, "a bye response")),
         }
+    }
+}
+
+/// A windowed pipelined exchange over one connection.
+///
+/// [`Pipeline::send`] buffers the encoded request; once the window is
+/// full (`depth` requests unanswered) the buffer is flushed and the
+/// *oldest* response is read and returned — so the wire carries up to
+/// `depth` frames per direction between syscalls, and the caller still
+/// sees responses strictly in the order it sent requests. Finish with
+/// [`Pipeline::recv`] until it returns `None`.
+///
+/// Dropping a pipeline with responses still owed leaves the connection
+/// mid-conversation — drain it first if the [`QueryClient`] is to be
+/// reused.
+#[derive(Debug)]
+pub struct Pipeline<'a> {
+    client: &'a mut QueryClient,
+    depth: usize,
+    /// Requests sent or buffered whose responses have not been read.
+    pending: usize,
+    /// Encoded request frames not yet written to the socket.
+    wbuf: Vec<u8>,
+}
+
+impl Pipeline<'_> {
+    /// How many responses are still owed.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn flush(&mut self) -> Result<(), ZsmilesError> {
+        if !self.wbuf.is_empty() {
+            self.client.stream.write_all(&self.wbuf)?;
+            self.wbuf.clear();
+        }
+        Ok(())
+    }
+
+    fn recv_one(&mut self) -> Result<Response, ZsmilesError> {
+        match read_frame(&mut self.client.stream, MAX_RESPONSE_FRAME)? {
+            FrameRead::Frame(body) => {
+                self.pending -= 1;
+                Response::decode(&body)
+            }
+            FrameRead::Eof => Err(protocol("server closed the connection mid-pipeline")),
+            FrameRead::TimedOut => Err(protocol("server went silent mid-pipeline")),
+        }
+    }
+
+    /// Queue `req`. Returns the oldest outstanding response once the
+    /// window is full, `None` while it is still filling.
+    pub fn send(&mut self, req: &Request) -> Result<Option<Response>, ZsmilesError> {
+        self.wbuf.extend_from_slice(&req.encode());
+        self.pending += 1;
+        if self.pending >= self.depth {
+            self.flush()?;
+            return self.recv_one().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Read the next outstanding response (submission order), or `None`
+    /// when every request has been answered.
+    pub fn recv(&mut self) -> Result<Option<Response>, ZsmilesError> {
+        if self.pending == 0 {
+            return Ok(None);
+        }
+        self.flush()?;
+        self.recv_one().map(Some)
     }
 }
 

@@ -5,10 +5,12 @@
 //! compressed deck at once. This module is the long-lived process that
 //! answers them — it holds [`crate::shard::DeckReader`]s open over
 //! `.zsa` / `.zsm` decks and serves `get` / `get_range` / `get_many` /
-//! `stats` requests from many simultaneous clients over a small
-//! length-prefixed binary protocol on TCP. No async runtime, no new
-//! crates: one accept thread plus one OS thread per connection, sharing
-//! the deck through `Arc` snapshots.
+//! `stats` / `top_hits` requests from many simultaneous clients over a
+//! small length-prefixed binary protocol on TCP. No async runtime, no
+//! new crates: a `poll(2)`-driven event loop plus a small fixed worker
+//! pool by default ([`server::Executor::Pooled`]), or the original
+//! thread-per-connection model ([`server::Executor::Threaded`]), sharing
+//! the deck through `Arc` snapshots either way.
 //!
 //! # Layers
 //!
@@ -18,10 +20,27 @@
 //!   truncated or oversized frame is a typed
 //!   [`crate::ZsmilesError::Protocol`] error, never a panic or a hang.
 //! * [`server`] — [`server::Server::start`] binds a listener and returns
-//!   a [`server::ServeHandle`]; each connection snapshots the current
-//!   generation per request and answers from it.
+//!   a [`server::ServeHandle`]; each request runs against a snapshot of
+//!   the current generation.
+//! * [`event`] — the pooled executor: nonblocking sockets driven
+//!   through per-connection state machines by one `poll(2)` thread,
+//!   with decoded requests executed on the worker pool and contiguous
+//!   `GET` runs batched into single `get_many` calls.
 //! * [`client`] — [`client::QueryClient`], the blocking client the CLI
 //!   `query` subcommand and the bench harness drive.
+//!
+//! # Pipelining
+//!
+//! Connections are pipelined under the pooled executor: a client may
+//! have many requests in flight on one connection, and responses come
+//! back *strictly in submission order* — the server sequences every
+//! decoded frame and flushes completions in order no matter how the
+//! worker pool interleaved them. The server stops reading a connection
+//! once [`server::ServeOptions::pipeline_depth`] requests are in flight
+//! or its write buffer fills (backpressure, not an error).
+//! [`client::QueryClient::pipeline`] is the windowed driver;
+//! [`client::QueryClient::get_many_pipelined`] fetches a line set with
+//! up to `depth` `get` frames on the wire at once.
 //!
 //! # Generation flips
 //!
@@ -38,9 +57,12 @@
 //! declares none (generation 0) is assigned `current + 1`.
 
 pub mod client;
+pub mod event;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ClientOptions, QueryClient};
-pub use protocol::{ErrorCode, HealthStats, Request, Response, ServeStats, MAX_REQUEST_FRAME};
-pub use server::{ServeHandle, ServeOptions, Server};
+pub use client::{ClientOptions, Pipeline, QueryClient};
+pub use protocol::{
+    ErrorCode, HealthStats, HitRow, Request, Response, ServeStats, MAX_REQUEST_FRAME,
+};
+pub use server::{Executor, Screener, ServeHandle, ServeOptions, Server};

@@ -45,6 +45,7 @@ const OP_STATS: u8 = 0x04;
 const OP_FLIP: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
 const OP_HEALTH: u8 = 0x07;
+const OP_TOP_HITS: u8 = 0x08;
 
 // Response opcodes (high bit set).
 const OP_LINES: u8 = 0x81;
@@ -52,6 +53,7 @@ const OP_STATS_REPLY: u8 = 0x82;
 const OP_FLIPPED: u8 = 0x83;
 const OP_BYE: u8 = 0x84;
 const OP_HEALTH_REPLY: u8 = 0x85;
+const OP_HITS: u8 = 0x86;
 const OP_ERROR: u8 = 0xFF;
 
 fn protocol(reason: impl Into<String>) -> ZsmilesError {
@@ -78,6 +80,10 @@ pub enum Request {
     Shutdown,
     /// Readiness/health probe: is the deck fully servable or degraded?
     Health,
+    /// Run a screening campaign server-side: score every line of the
+    /// served deck against `pattern` and return the `k` best hits —
+    /// one round trip instead of a score pass plus `k` gets.
+    TopHits { k: u32, pattern: String },
 }
 
 /// A server-to-client message.
@@ -93,9 +99,31 @@ pub enum Response {
     Bye,
     /// The health probe's answer.
     Health(HealthStats),
+    /// Screening winners, best first (ties toward the smaller line).
+    Hits(Vec<HitRow>),
     /// The request failed; the connection stays usable unless the frame
     /// itself was unreadable.
     Error { code: ErrorCode, message: String },
+}
+
+/// One `top_hits` winner as carried on the wire. The score travels as
+/// raw `f64` bits so a wire row compares byte-exactly against a locally
+/// computed one (and the enum stays `Eq`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HitRow {
+    /// Global deck line number of the hit.
+    pub index: u64,
+    /// The hit's score, as `f64::to_bits`.
+    pub score_bits: u64,
+    /// The decompressed SMILES line.
+    pub smiles: Vec<u8>,
+}
+
+impl HitRow {
+    /// The score as a float (`f64::from_bits` of the wire word).
+    pub fn score(&self) -> f64 {
+        f64::from_bits(self.score_bits)
+    }
 }
 
 /// Why a request failed, as carried on the wire.
@@ -116,6 +144,9 @@ pub enum ErrorCode {
     /// The requested line lives on a quarantined shard of a degraded
     /// deck; other lines keep serving.
     Unavailable = 6,
+    /// The request is valid but this server is not configured to run it
+    /// (e.g. `top_hits` on a server started without a screener).
+    Unsupported = 7,
 }
 
 impl ErrorCode {
@@ -127,6 +158,7 @@ impl ErrorCode {
             4 => ErrorCode::Internal,
             5 => ErrorCode::Busy,
             6 => ErrorCode::Unavailable,
+            7 => ErrorCode::Unsupported,
             _ => return Err(protocol(format!("unknown error code {b}"))),
         })
     }
@@ -269,6 +301,13 @@ impl Request {
             }
             Request::Shutdown => seal(open_frame(OP_SHUTDOWN)),
             Request::Health => seal(open_frame(OP_HEALTH)),
+            Request::TopHits { k, pattern } => {
+                let mut f = open_frame(OP_TOP_HITS);
+                put_u32(&mut f, *k);
+                put_u32(&mut f, pattern.len() as u32);
+                f.extend_from_slice(pattern.as_bytes());
+                seal(f)
+            }
         }
     }
 
@@ -309,6 +348,20 @@ impl Request {
             }
             OP_SHUTDOWN => Request::Shutdown,
             OP_HEALTH => Request::Health,
+            OP_TOP_HITS => {
+                let k = c.u32("top_hits k")?;
+                if k as usize > MAX_BATCH_LINES {
+                    return Err(protocol(format!(
+                        "top_hits asks for {k} hits; the cap is {MAX_BATCH_LINES}"
+                    )));
+                }
+                let n = c.u32("top_hits pattern length")? as usize;
+                let raw = c.take(n, "top_hits pattern")?;
+                let pattern = std::str::from_utf8(raw)
+                    .map_err(|_| protocol("top_hits pattern is not UTF-8"))?
+                    .to_string();
+                Request::TopHits { k, pattern }
+            }
             other => return Err(protocol(format!("unknown request opcode 0x{other:02x}"))),
         };
         c.finish("request")?;
@@ -353,6 +406,17 @@ impl Response {
                 put_u32(&mut f, h.total_shards);
                 put_u32(&mut f, h.quarantined_shards);
                 put_u64(&mut f, h.unavailable_lines);
+                seal(f)
+            }
+            Response::Hits(rows) => {
+                let mut f = open_frame(OP_HITS);
+                put_u32(&mut f, rows.len() as u32);
+                for r in rows {
+                    put_u64(&mut f, r.index);
+                    put_u64(&mut f, r.score_bits);
+                    put_u32(&mut f, r.smiles.len() as u32);
+                    f.extend_from_slice(&r.smiles);
+                }
                 seal(f)
             }
             Response::Error { code, message } => {
@@ -410,6 +474,26 @@ impl Response {
                     quarantined_shards: c.u32("quarantined shards")?,
                     unavailable_lines: c.u64("unavailable lines")?,
                 })
+            }
+            OP_HITS => {
+                let n = c.u32("hit count")? as usize;
+                if n > MAX_BATCH_LINES {
+                    return Err(protocol(format!(
+                        "response carries {n} hits; the cap is {MAX_BATCH_LINES}"
+                    )));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let index = c.u64("hit index")?;
+                    let score_bits = c.u64("hit score bits")?;
+                    let len = c.u32("hit line length")? as usize;
+                    rows.push(HitRow {
+                        index,
+                        score_bits,
+                        smiles: c.take(len, "hit line bytes")?.to_vec(),
+                    });
+                }
+                Response::Hits(rows)
             }
             OP_ERROR => {
                 let code = ErrorCode::from_u8(c.u8("error code")?)?;
@@ -523,6 +607,10 @@ mod tests {
             },
             Request::Shutdown,
             Request::Health,
+            Request::TopHits {
+                k: 25,
+                pattern: "7".into(),
+            },
         ];
         for req in reqs {
             let frame = req.encode();
@@ -552,6 +640,18 @@ mod tests {
                 quarantined_shards: 1,
                 unavailable_lines: 12_500,
             }),
+            Response::Hits(vec![
+                HitRow {
+                    index: 41,
+                    score_bits: 12.5f64.to_bits(),
+                    smiles: b"c1ccccc1".to_vec(),
+                },
+                HitRow {
+                    index: 7,
+                    score_bits: f64::NEG_INFINITY.to_bits(),
+                    smiles: Vec::new(),
+                },
+            ]),
             Response::Error {
                 code: ErrorCode::Unavailable,
                 message: "line 12 is on quarantined shard 'deck.00001.zsa'".into(),
@@ -593,6 +693,24 @@ mod tests {
         // Health reply whose status byte is neither 0 nor 1.
         let mut f = vec![OP_HEALTH_REPLY, 7];
         f.extend_from_slice(&[0u8; 24]);
+        assert!(Response::decode(&f).is_err());
+        // top_hits over the batch cap.
+        let mut f = vec![OP_TOP_HITS];
+        f.extend_from_slice(&(MAX_BATCH_LINES as u32 + 1).to_le_bytes());
+        f.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Request::decode(&f).is_err());
+        // top_hits pattern that is not UTF-8.
+        let mut f = vec![OP_TOP_HITS];
+        f.extend_from_slice(&5u32.to_le_bytes());
+        f.extend_from_slice(&2u32.to_le_bytes());
+        f.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(Request::decode(&f).is_err());
+        // Hits row whose line length overruns the body.
+        let mut f = vec![OP_HITS];
+        f.extend_from_slice(&1u32.to_le_bytes());
+        f.extend_from_slice(&0u64.to_le_bytes());
+        f.extend_from_slice(&0u64.to_le_bytes());
+        f.extend_from_slice(&100u32.to_le_bytes()); // promises 100 bytes, has 0
         assert!(Response::decode(&f).is_err());
     }
 

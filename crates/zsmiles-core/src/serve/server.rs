@@ -1,5 +1,5 @@
-//! The serving process: one accept thread, one OS thread per connection,
-//! generation snapshots shared through `Arc`.
+//! The serving process: request execution, generation snapshots, and the
+//! two executors that drive connections.
 //!
 //! Concurrency model: the current deck lives behind
 //! `RwLock<Arc<Generation>>`. Every request clones the `Arc` (a read
@@ -11,10 +11,21 @@
 //! snapshot of a retired generation drops, its `Drop` impl forgets the
 //! deck's blocks from the block cache and adds the count to the server's
 //! `retired_blocks` stat.
+//!
+//! Two executors share all of that:
+//!
+//! * [`Executor::Pooled`] (the default on 64-bit Unix) — the
+//!   readiness-driven event loop in [`super::event`]: one `poll(2)`
+//!   thread owns every socket, decoded requests run on a small fixed
+//!   worker pool, and connections are *pipelined* (many requests in
+//!   flight per connection, responses strictly in submission order).
+//! * [`Executor::Threaded`] — the original thread-per-connection loop,
+//!   kept selectable so the two models stay comparable under the same
+//!   bench harness.
 
 use super::protocol::{
-    read_frame, ErrorCode, FrameRead, HealthStats, Request, Response, ServeStats, MAX_BATCH_LINES,
-    MAX_REQUEST_FRAME,
+    read_frame, ErrorCode, FrameRead, HealthStats, HitRow, Request, Response, ServeStats,
+    MAX_BATCH_LINES, MAX_REQUEST_FRAME,
 };
 use crate::cache::BlockCache;
 use crate::error::ZsmilesError;
@@ -23,22 +34,74 @@ use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// How often an idle connection thread wakes to check the shutdown flag.
-const POLL_TICK: Duration = Duration::from_millis(100);
+/// How often an idle threaded connection wakes to check the shutdown
+/// flag. The pooled executor has no tick — it sleeps in `poll(2)` until
+/// a socket or its wakeup pipe turns readable.
+pub(super) const POLL_TICK: Duration = Duration::from_millis(100);
 
 /// How long shutdown waits for in-flight connections to drain.
-const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+pub(super) const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
 
-/// Serving knobs. `Default` is a 64-connection cap, the protocol's 1 MiB
-/// request-frame cap, and the platform-default read path per file.
-#[derive(Debug, Clone)]
+/// How long an over-cap connection gets to present its one frame before
+/// the server gives up and answers `Busy`.
+pub(super) const OVERCAP_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Most simultaneous over-cap probe threads the threaded executor will
+/// run; beyond this, over-cap connects get the old unread `Busy`.
+const OVERCAP_THREADS: u32 = 16;
+
+/// Lines scored per `get_range` batch during a server-side `top_hits`
+/// sweep — bounds the decoded-lines working set of a screening request.
+const SCREEN_BATCH: usize = 4096;
+
+/// Which connection-driving model a server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// Readiness-driven event loop + fixed worker pool (pipelined
+    /// connections, batched dispatch). Falls back to [`Executor::Threaded`]
+    /// on platforms without the `poll(2)` binding.
+    #[default]
+    Pooled,
+    /// One OS thread per connection, one request in flight at a time —
+    /// the PR 7 model, kept selectable for comparison.
+    Threaded,
+}
+
+/// Scores deck lines against a screening pattern, server-side.
+///
+/// The serving core cannot depend on the screening crate (the dependency
+/// points the other way), so `top_hits` execution is pluggable: the CLI
+/// installs a `vscreen`-backed screener, tests install toy ones. The
+/// contract that makes wire results byte-identical to a local campaign:
+/// the same `(pattern, line)` must produce the same `f64` bits here as
+/// in the local scorer.
+pub trait Screener: Send + Sync {
+    /// Append one score per line of `lines` (in order) to `out`. A
+    /// malformed `pattern` should come back as
+    /// [`ZsmilesError::Protocol`], which the server maps to a typed
+    /// `BadFrame` wire error.
+    fn score_batch(
+        &self,
+        pattern: &str,
+        lines: &[Vec<u8>],
+        out: &mut Vec<f64>,
+    ) -> Result<(), ZsmilesError>;
+}
+
+/// Serving knobs. `Default` is the pooled executor with `min(cores, 8)`
+/// workers, a 64-connection cap, 64 requests in flight per connection,
+/// the protocol's 1 MiB request-frame cap, and the platform-default read
+/// path per file.
+#[derive(Clone)]
 pub struct ServeOptions {
     /// Most simultaneous connections; excess connects are answered with
-    /// a typed `Busy` error and closed.
+    /// a typed `Busy` error and closed — after one frame's grace so a
+    /// `health` probe is still answered (a saturated server must not
+    /// look dead to its orchestrator).
     pub max_connections: usize,
     /// Largest request frame accepted (bytes).
     pub max_request_frame: usize,
@@ -52,6 +115,34 @@ pub struct ServeOptions {
     /// rest of the deck serves, and the `health` probe reports
     /// `degraded`. Applies to the initial open *and* every flip.
     pub degraded: bool,
+    /// Connection-driving model; see [`Executor`].
+    pub executor: Executor,
+    /// Worker threads for the pooled executor (`0` = `min(cores, 8)`).
+    /// Ignored by the threaded executor.
+    pub workers: usize,
+    /// Most requests the pooled executor keeps in flight per connection
+    /// before it stops reading that socket (backpressure, not an
+    /// error). Ignored by the threaded executor, which is strictly
+    /// one-at-a-time anyway.
+    pub pipeline_depth: usize,
+    /// Server-side screening hook for `top_hits` requests; without one
+    /// they are answered with a typed `Unsupported` error.
+    pub screener: Option<Arc<dyn Screener>>,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("max_connections", &self.max_connections)
+            .field("max_request_frame", &self.max_request_frame)
+            .field("cache", &self.cache.is_some())
+            .field("degraded", &self.degraded)
+            .field("executor", &self.executor)
+            .field("workers", &self.workers)
+            .field("pipeline_depth", &self.pipeline_depth)
+            .field("screener", &self.screener.is_some())
+            .finish()
+    }
 }
 
 impl Default for ServeOptions {
@@ -61,16 +152,29 @@ impl Default for ServeOptions {
             max_request_frame: MAX_REQUEST_FRAME,
             cache: None,
             degraded: false,
+            executor: Executor::default(),
+            workers: 0,
+            pipeline_depth: 64,
+            screener: None,
         }
     }
+}
+
+/// The pooled executor's default worker count: enough to keep a handful
+/// of cores busy, never a thread herd.
+pub(super) fn default_workers() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// One dataset generation: an open deck plus its generation number.
 /// Dropping the last reference retires the deck's cached blocks and
 /// reports how many into the server's `retired_blocks` counter.
-struct Generation {
-    number: u64,
-    deck: DeckReader,
+pub(super) struct Generation {
+    pub(super) number: u64,
+    pub(super) deck: DeckReader,
     retired_sink: Arc<AtomicU64>,
 }
 
@@ -83,30 +187,44 @@ impl Drop for Generation {
     }
 }
 
-struct Shared {
+/// Everything a connection needs to answer requests, shared between the
+/// accept/event machinery, the workers, and the [`ServeHandle`].
+pub(super) struct Shared {
     current: RwLock<Arc<Generation>>,
-    addr: SocketAddr,
     deck_options: DeckOptions,
     degraded_opens: bool,
-    max_connections: usize,
-    max_request_frame: usize,
-    requests: AtomicU64,
+    pub(super) max_connections: usize,
+    pub(super) max_request_frame: usize,
+    pub(super) pipeline_depth: usize,
+    screener: Option<Arc<dyn Screener>>,
+    pub(super) requests: AtomicU64,
     flips: AtomicU64,
-    active: AtomicU32,
+    pub(super) active: AtomicU32,
+    overcap_threads: AtomicU32,
     retired_blocks: Arc<AtomicU64>,
-    shutdown: AtomicBool,
+    pub(super) shutdown: AtomicBool,
+    /// How the executor is kicked out of its blocking wait when
+    /// `begin_shutdown` runs: the event loop registers a wakeup-pipe
+    /// write, the threaded accept loop a self-connect.
+    waker: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl Shared {
-    fn snapshot(&self) -> Arc<Generation> {
+    pub(super) fn snapshot(&self) -> Arc<Generation> {
         Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
     }
 
-    fn begin_shutdown(&self) {
+    pub(super) fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
-            // Wake the accept loop out of its blocking accept().
-            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            let waker = self.waker.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(wake) = waker.as_ref() {
+                wake();
+            }
         }
+    }
+
+    pub(super) fn set_waker(&self, wake: Box<dyn Fn() + Send + Sync>) {
+        *self.waker.lock().unwrap_or_else(PoisonError::into_inner) = Some(wake);
     }
 
     /// Atomically replace the served deck with the archive at `path`.
@@ -159,7 +277,7 @@ impl Shared {
         }
     }
 
-    fn health_snapshot(&self) -> HealthStats {
+    pub(super) fn health_snapshot(&self) -> HealthStats {
         let gen = self.snapshot();
         let quarantined = gen.deck.quarantined().len() as u32;
         HealthStats {
@@ -171,10 +289,75 @@ impl Shared {
         }
     }
 
+    /// Run a screening campaign over one generation snapshot: score the
+    /// whole deck in bounded batches, select the top `k` exactly as the
+    /// local campaign does (stable sort, ties toward the smaller line),
+    /// then fetch only the winners.
+    fn answer_top_hits(&self, gen: &Generation, k: usize, pattern: &str) -> Response {
+        let Some(screener) = self.screener.as_ref() else {
+            return Response::Error {
+                code: ErrorCode::Unsupported,
+                message: "server has no screener configured for top_hits".into(),
+            };
+        };
+        let len = gen.deck.len();
+        let mut scores: Vec<f64> = Vec::with_capacity(len);
+        let mut start = 0;
+        while start < len {
+            let end = (start + SCREEN_BATCH).min(len);
+            let lines = match gen.deck.get_range(start..end) {
+                Ok(lines) => lines,
+                Err(e) => return error_response(e),
+            };
+            if let Err(e) = screener.score_batch(pattern, &lines, &mut scores) {
+                return error_response(e);
+            }
+            start = end;
+        }
+        if scores.len() != len {
+            return Response::Error {
+                code: ErrorCode::Internal,
+                message: format!("screener returned {} scores for {len} lines", scores.len()),
+            };
+        }
+        // Selection must match `ScoreTable::top_k` bit for bit: best
+        // first, ties (and NaN pairs) resolved toward the smaller line
+        // by the stable sort.
+        let mut idx: Vec<usize> = (0..len).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        let fetched = match gen.deck.get_many(&idx) {
+            Ok(lines) => lines,
+            Err(e) => return error_response(e),
+        };
+        Response::Hits(
+            idx.into_iter()
+                .zip(fetched)
+                .map(|(i, smiles)| HitRow {
+                    index: i as u64,
+                    score_bits: scores[i].to_bits(),
+                    smiles,
+                })
+                .collect(),
+        )
+    }
+
     /// Answer one decoded request (everything but `Shutdown`, which the
-    /// connection loop handles so it can break afterwards).
-    fn answer(&self, req: Request) -> Response {
+    /// executors handle so they can stop afterwards).
+    pub(super) fn answer(&self, req: Request) -> Response {
         let gen = self.snapshot();
+        self.answer_on(&gen, req)
+    }
+
+    /// [`Shared::answer`] against a caller-held generation snapshot —
+    /// what batched dispatch uses so one readiness sweep's requests all
+    /// run against the same deck.
+    pub(super) fn answer_on(&self, gen: &Generation, req: Request) -> Response {
         match req {
             Request::Get { line } => match gen.deck.get(line as usize) {
                 Ok(l) => Response::Lines(vec![l]),
@@ -218,11 +401,31 @@ impl Shared {
             },
             Request::Shutdown => Response::Bye,
             Request::Health => Response::Health(self.health_snapshot()),
+            Request::TopHits { k, pattern } => self.answer_top_hits(gen, k as usize, &pattern),
+        }
+    }
+
+    /// Answer a contiguous run of `GET` requests from one pipelined
+    /// connection as a single batched `get_many` against one snapshot —
+    /// one index walk and one decoder pass instead of N. Falls back to
+    /// per-line answers (on the same snapshot) when the batch fails, so
+    /// each request keeps its own typed error.
+    pub(super) fn answer_get_run(&self, gen: &Generation, lines: &[u64]) -> Vec<Response> {
+        let idx: Vec<usize> = lines.iter().map(|&l| l as usize).collect();
+        match gen.deck.get_many(&idx) {
+            Ok(fetched) => fetched
+                .into_iter()
+                .map(|l| Response::Lines(vec![l]))
+                .collect(),
+            Err(_) => lines
+                .iter()
+                .map(|&line| self.answer_on(gen, Request::Get { line }))
+                .collect(),
         }
     }
 }
 
-fn open_deck(
+pub(super) fn open_deck(
     path: &Path,
     options: &DeckOptions,
     degraded: bool,
@@ -234,16 +437,24 @@ fn open_deck(
     }
 }
 
-fn error_response(e: ZsmilesError) -> Response {
+pub(super) fn error_response(e: ZsmilesError) -> Response {
     let code = match &e {
         ZsmilesError::LineOutOfRange { .. } => ErrorCode::OutOfRange,
         ZsmilesError::ShardUnavailable { .. } => ErrorCode::Unavailable,
         ZsmilesError::Protocol { .. } => ErrorCode::BadFrame,
+        ZsmilesError::Unsupported { .. } => ErrorCode::Unsupported,
         _ => ErrorCode::Internal,
     };
     Response::Error {
         code,
         message: e.to_string(),
+    }
+}
+
+pub(super) fn busy_response(max_connections: usize) -> Response {
+    Response::Error {
+        code: ErrorCode::Busy,
+        message: format!("server at its {max_connections}-connection capacity"),
     }
 }
 
@@ -309,6 +520,32 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// An over-cap connection still gets one frame's worth of attention:
+/// a `health` probe is answered (a saturated server must not look dead
+/// to its orchestrator), anything else — including silence past
+/// [`OVERCAP_DEADLINE`] — gets the typed `Busy` and the close the cap
+/// always meant.
+fn handle_overcap(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let deadline = Instant::now() + OVERCAP_DEADLINE;
+    let resp = loop {
+        match read_frame(&mut stream, shared.max_request_frame) {
+            Ok(FrameRead::Frame(body)) => match Request::decode(&body) {
+                Ok(Request::Health) => {
+                    shared.requests.fetch_add(1, Ordering::Relaxed);
+                    break Response::Health(shared.health_snapshot());
+                }
+                _ => break busy_response(shared.max_connections),
+            },
+            Ok(FrameRead::TimedOut) if Instant::now() < deadline => continue,
+            Ok(_) | Err(_) => break busy_response(shared.max_connections),
+        }
+    };
+    let _ = write_response(&mut stream, &resp);
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     for conn in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -321,18 +558,27 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         let prev = shared.active.fetch_add(1, Ordering::SeqCst);
         if prev as usize >= shared.max_connections {
             shared.active.fetch_sub(1, Ordering::SeqCst);
-            let mut s = stream;
-            let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
-            let _ = write_response(
-                &mut s,
-                &Response::Error {
-                    code: ErrorCode::Busy,
-                    message: format!(
-                        "server at its {}-connection capacity",
-                        shared.max_connections
-                    ),
-                },
-            );
+            // One bounded probe thread per over-cap connect, so HEALTH
+            // still answers at the cap; past the probe budget, fall back
+            // to an immediate unread Busy.
+            let prev_probes = shared.overcap_threads.fetch_add(1, Ordering::SeqCst);
+            if prev_probes < OVERCAP_THREADS {
+                let shared2 = Arc::clone(&shared);
+                let spawned = thread::Builder::new()
+                    .name("zsmiles-serve-overcap".into())
+                    .spawn(move || {
+                        handle_overcap(stream, &shared2);
+                        shared2.overcap_threads.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.overcap_threads.fetch_sub(1, Ordering::SeqCst);
+                }
+            } else {
+                shared.overcap_threads.fetch_sub(1, Ordering::SeqCst);
+                let mut s = stream;
+                let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
+                let _ = write_response(&mut s, &busy_response(shared.max_connections));
+            }
             continue;
         }
         let shared2 = Arc::clone(&shared);
@@ -381,28 +627,50 @@ impl Server {
         };
         let shared = Arc::new(Shared {
             current: RwLock::new(Arc::new(generation)),
-            addr,
             deck_options,
             degraded_opens: options.degraded,
             max_connections: options.max_connections,
             max_request_frame: options.max_request_frame,
+            pipeline_depth: options.pipeline_depth.max(1),
+            screener: options.screener.clone(),
             requests: AtomicU64::new(0),
             flips: AtomicU64::new(0),
             active: AtomicU32::new(0),
+            overcap_threads: AtomicU32::new(0),
             retired_blocks,
             shutdown: AtomicBool::new(false),
+            waker: Mutex::new(None),
         });
-        let shared2 = Arc::clone(&shared);
-        let accept = thread::Builder::new()
-            .name("zsmiles-serve-accept".into())
-            .spawn(move || accept_loop(listener, shared2))
-            .map_err(|e| ZsmilesError::Io(e.to_string()))?;
+        let driver = match options.executor {
+            Executor::Pooled => {
+                super::event::start(listener, Arc::clone(&shared), options.workers)?
+            }
+            Executor::Threaded => start_threaded(listener, Arc::clone(&shared))?,
+        };
         Ok(ServeHandle {
             addr,
             shared,
-            accept: Some(accept),
+            driver: Some(driver),
         })
     }
+}
+
+/// Spawn the thread-per-connection accept loop and register its
+/// self-connect waker (the blocking `accept()` has nothing else to kick
+/// it out).
+pub(super) fn start_threaded(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+) -> Result<JoinHandle<()>, ZsmilesError> {
+    let addr = listener.local_addr()?;
+    shared.set_waker(Box::new(move || {
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+    }));
+    let shared2 = Arc::clone(&shared);
+    thread::Builder::new()
+        .name("zsmiles-serve-accept".into())
+        .spawn(move || accept_loop(listener, shared2))
+        .map_err(|e| ZsmilesError::Io(e.to_string()))
 }
 
 /// A running server. Dropping the handle shuts the server down; call
@@ -411,7 +679,7 @@ impl Server {
 pub struct ServeHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    driver: Option<JoinHandle<()>>,
 }
 
 impl ServeHandle {
@@ -442,8 +710,10 @@ impl ServeHandle {
         self.shared.do_flip(path)
     }
 
-    /// Ask the server to stop; in-flight connections drain within the
-    /// poll tick. Does not block — follow with [`ServeHandle::wait`].
+    /// Ask the server to stop; in-flight connections drain promptly
+    /// (the pooled executor is woken through its pipe, the threaded one
+    /// within a poll tick). Does not block — follow with
+    /// [`ServeHandle::wait`].
     pub fn shutdown(&self) {
         self.shared.begin_shutdown();
     }
@@ -451,7 +721,7 @@ impl ServeHandle {
     /// Block until the server stops (a wire `shutdown` request, or
     /// [`ServeHandle::shutdown`] from another thread).
     pub fn wait(mut self) {
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.driver.take() {
             let _ = h.join();
         }
     }
@@ -459,7 +729,7 @@ impl ServeHandle {
 
 impl Drop for ServeHandle {
     fn drop(&mut self) {
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.driver.take() {
             self.shared.begin_shutdown();
             let _ = h.join();
         }

@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use zsmiles_core::engine::AnyDictionary;
 use zsmiles_core::serve::protocol::{self, FrameRead, Request, Response};
-use zsmiles_core::serve::{QueryClient, ServeOptions, Server};
+use zsmiles_core::serve::{Executor, QueryClient, ServeOptions, Server};
 use zsmiles_core::shard::ShardPolicy;
 use zsmiles_core::{
     BlockCache, DeckOptions, DeckReader, DictBuilder, ShardedWriter, WriterOptions, ZsmilesError,
@@ -215,11 +215,28 @@ fn hostile_frames_get_typed_errors_not_hangs() {
 
 #[test]
 fn concurrent_clients_read_byte_identical_lines() {
-    let dir = tmpdir("concurrent");
+    run_concurrent_byte_identity(Executor::Pooled, "concurrent_pooled");
+}
+
+#[test]
+fn concurrent_clients_read_byte_identical_lines_threaded() {
+    run_concurrent_byte_identity(Executor::Threaded, "concurrent_threaded");
+}
+
+fn run_concurrent_byte_identity(executor: Executor, tag: &str) {
+    let dir = tmpdir(tag);
     let deck = molgen::Dataset::generate_mixed(500, 123);
     let zsm = pack_deck(&dir, "deck.zsm", &deck, 0);
     let direct = DeckReader::open(&zsm).unwrap();
-    let handle = Server::start(&zsm, "127.0.0.1:0", ServeOptions::default()).unwrap();
+    let handle = Server::start(
+        &zsm,
+        "127.0.0.1:0",
+        ServeOptions {
+            executor,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let addr = handle.addr();
 
     std::thread::scope(|scope| {
@@ -269,7 +286,16 @@ fn concurrent_clients_read_byte_identical_lines() {
 /// which generation answered.
 #[test]
 fn generation_flip_is_atomic_under_concurrent_reads() {
-    let dir = tmpdir("flip");
+    run_flip_atomicity(Executor::Pooled, "flip_pooled");
+}
+
+#[test]
+fn generation_flip_is_atomic_under_concurrent_reads_threaded() {
+    run_flip_atomicity(Executor::Threaded, "flip_threaded");
+}
+
+fn run_flip_atomicity(executor: Executor, tag: &str) {
+    let dir = tmpdir(tag);
     let deck_a = molgen::Dataset::generate_mixed(300, 1);
     let deck_b = molgen::Dataset::generate_mixed(300, 2);
     let zsm_a = pack_deck(&dir, "a.zsm", &deck_a, 1);
@@ -277,7 +303,15 @@ fn generation_flip_is_atomic_under_concurrent_reads() {
     let direct_a = DeckReader::open(&zsm_a).unwrap();
     let direct_b = DeckReader::open(&zsm_b).unwrap();
 
-    let handle = Server::start(&zsm_a, "127.0.0.1:0", ServeOptions::default()).unwrap();
+    let handle = Server::start(
+        &zsm_a,
+        "127.0.0.1:0",
+        ServeOptions {
+            executor,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let addr = handle.addr();
     assert_eq!(handle.generation(), 1, "declared generation served");
 
